@@ -1,0 +1,36 @@
+// Ablation A3: the block-positive decision threshold trades precision
+// against recall and sparing cost. Sweeps the operating point for
+// Cordial-RF.
+#include "bench_common.hpp"
+#include "core/pipeline.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cordial;
+  auto args = bench::BenchArgs::Parse(argc, argv);
+  if (argc <= 1) args.scale = 0.5;
+  const auto fleet = bench::MakeFleet(args);
+  bench::PrintHeader("Ablation A3: block decision threshold", args, fleet);
+
+  TextTable table({"Threshold", "Precision", "Recall", "F1", "ICR",
+                   "Rows Spared", "Cost"});
+  for (double threshold : {0.10, 0.15, 0.20, 0.25, 0.30, 0.40, 0.50}) {
+    core::PipelineConfig config;
+    config.learner = ml::LearnerKind::kRandomForest;
+    config.crossrow.positive_threshold = threshold;
+    core::CordialPipeline pipeline(fleet.topology, config);
+    std::cerr << "threshold " << threshold << "...\n";
+    const auto result = pipeline.Run(fleet, args.seed + 3);
+    const auto& c = result.cordial;
+    table.AddRow({TextTable::FormatDouble(threshold, 2),
+                  TextTable::FormatDouble(c.block_metrics.precision),
+                  TextTable::FormatDouble(c.block_metrics.recall),
+                  TextTable::FormatDouble(c.block_metrics.f1),
+                  TextTable::FormatPercent(c.icr.Icr()),
+                  std::to_string(c.icr.rows_spared),
+                  TextTable::FormatDouble(c.icr.sparing_cost, 0)});
+  }
+  std::cout << table.Render("Cordial-RF across decision thresholds");
+  std::cout << "\nexpected shape: precision rises and recall/ICR fall with\n"
+               "the threshold; the default (0.25) sits near the F1 knee.\n";
+  return 0;
+}

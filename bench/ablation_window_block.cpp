@@ -1,0 +1,55 @@
+// Ablation A2: prediction window and block geometry. The paper fixes a
+// 128-row window (motivated by the Fig 4 locality peak) split into 16
+// blocks of 8 rows (§IV-D). This bench sweeps both knobs and reports block
+// metrics and ICR for Cordial-RF.
+#include "bench_common.hpp"
+#include "core/pipeline.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cordial;
+  auto args = bench::BenchArgs::Parse(argc, argv);
+  if (argc <= 1) args.scale = 0.5;
+  const auto fleet = bench::MakeFleet(args);
+  bench::PrintHeader("Ablation A2: window and block geometry", args, fleet);
+
+  struct Variant {
+    std::uint32_t block_size;
+    std::uint32_t n_blocks;
+  };
+  static constexpr Variant kVariants[] = {
+      {4, 8},    // 32-row window
+      {4, 16},   // 64-row window, fine blocks
+      {8, 8},    // 64-row window
+      {8, 16},   // 128-row window (paper default)
+      {16, 8},   // 128-row window, coarse blocks
+      {8, 32},   // 256-row window
+      {16, 16},  // 256-row window, coarse blocks
+      {8, 64},   // 512-row window
+  };
+
+  TextTable table({"Window (rows)", "Block Size", "Blocks", "Precision",
+                   "Recall", "F1", "ICR", "Rows Spared"});
+  for (const Variant& v : kVariants) {
+    core::PipelineConfig config;
+    config.learner = ml::LearnerKind::kRandomForest;
+    config.crossrow.block_size = v.block_size;
+    config.crossrow.n_blocks = v.n_blocks;
+    core::CordialPipeline pipeline(fleet.topology, config);
+    std::cerr << "window " << v.block_size * v.n_blocks << " = " << v.n_blocks
+              << " x " << v.block_size << "...\n";
+    const auto result = pipeline.Run(fleet, args.seed + 3);
+    const auto& c = result.cordial;
+    table.AddRow({std::to_string(v.block_size * v.n_blocks),
+                  std::to_string(v.block_size), std::to_string(v.n_blocks),
+                  TextTable::FormatDouble(c.block_metrics.precision),
+                  TextTable::FormatDouble(c.block_metrics.recall),
+                  TextTable::FormatDouble(c.block_metrics.f1),
+                  TextTable::FormatPercent(c.icr.Icr()),
+                  std::to_string(c.icr.rows_spared)});
+  }
+  std::cout << table.Render("Cordial-RF across window/block geometries");
+  std::cout << "\nexpected shape: ICR rises with window size until the\n"
+               "locality scale is covered, then flattens while the sparing\n"
+               "cost keeps growing — the paper's 128-row window is the knee.\n";
+  return 0;
+}

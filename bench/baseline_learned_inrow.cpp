@@ -1,0 +1,64 @@
+// Extension bench: how far does the in-row paradigm get with a real learned
+// model rather than the idealized "perfect precursor detector"?
+//
+// The paper argues (§I, §III-A) that in-row prediction is capped by the
+// sudden-UER ratio: at most ~4.4% of row failures have any in-row precursor
+// to learn from. This bench trains an honest in-row model (tree ensemble
+// over per-row precursor features) and measures its ICR next to the
+// idealized ceiling and Cordial.
+#include "bench_common.hpp"
+#include "core/inrow.hpp"
+#include "core/pipeline.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cordial;
+  auto args = bench::BenchArgs::Parse(argc, argv);
+  if (argc <= 1) args.scale = 0.5;
+  const auto fleet = bench::MakeFleet(args);
+  bench::PrintHeader("Learned in-row baseline vs the paradigm ceiling", args,
+                     fleet);
+
+  hbm::AddressCodec codec(fleet.topology);
+  const auto banks = fleet.log.GroupByBank(codec);
+
+  // 50:50 split by bank for the in-row model.
+  std::vector<const trace::BankHistory*> train, test;
+  for (std::size_t i = 0; i < banks.size(); ++i) {
+    (i % 2 == 0 ? train : test).push_back(&banks[i]);
+  }
+  Rng rng(args.seed + 7);
+  core::InRowPredictor predictor(fleet.topology,
+                                 ml::LearnerKind::kRandomForest);
+  std::cerr << "training the in-row model...\n";
+  predictor.Train(train, rng);
+  const ml::Dataset train_data = predictor.BuildDataset(train);
+  const auto counts = train_data.ClassCounts();
+  std::cout << "in-row training set: " << train_data.size() << " samples ("
+            << counts[1] << " rows that later failed)\n\n";
+
+  core::IcrEvaluator evaluator(fleet.topology);
+  core::LearnedInRowStrategy learned(predictor);
+  core::InRowStrategy ideal;
+  core::NeighborRowsStrategy neighbor(4, fleet.topology.rows_per_bank);
+  const auto learned_result = evaluator.Evaluate(test, learned);
+  const auto ideal_result = evaluator.Evaluate(test, ideal);
+  const auto neighbor_result = evaluator.Evaluate(test, neighbor);
+
+  TextTable table({"Strategy", "ICR", "Rows Spared"});
+  table.AddRow({"Learned in-row (RF)",
+                TextTable::FormatPercent(learned_result.Icr()),
+                std::to_string(learned_result.rows_spared)});
+  table.AddRow({"Idealized in-row (isolate on any precursor)",
+                TextTable::FormatPercent(ideal_result.Icr()),
+                std::to_string(ideal_result.rows_spared)});
+  table.AddRow({"Neighbor Rows (cross-row, non-learned)",
+                TextTable::FormatPercent(neighbor_result.Icr()),
+                std::to_string(neighbor_result.rows_spared)});
+  std::cout << table.Render("In-row paradigm vs the simplest cross-row "
+                            "strategy");
+  std::cout << "\nshape check: even a LEARNED in-row model cannot exceed the\n"
+               "idealized in-row ceiling (paper: 4.39%), and both fall far\n"
+               "short of even the naive cross-row baseline — the structural\n"
+               "argument for the cross-row paradigm.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Shared helpers for the reproduction benches: every bench regenerates the
+// default calibrated fleet (paper-sized at scale 1.0) and prints its tables
+// through TextTable with the paper's reference values alongside.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "analysis/labeler.hpp"
+#include "common/table.hpp"
+#include "hbm/address.hpp"
+#include "trace/fleet.hpp"
+
+namespace cordial::bench {
+
+struct BenchArgs {
+  double scale = 1.0;
+  std::uint64_t seed = 42;
+
+  static BenchArgs Parse(int argc, char** argv) {
+    BenchArgs args;
+    if (argc > 1) args.scale = std::atof(argv[1]);
+    if (argc > 2) args.seed = std::strtoull(argv[2], nullptr, 10);
+    return args;
+  }
+};
+
+inline trace::GeneratedFleet MakeFleet(const BenchArgs& args) {
+  hbm::TopologyConfig topology;
+  trace::CalibrationProfile profile;
+  profile.scale = args.scale;
+  trace::FleetGenerator generator(topology, profile);
+  std::cerr << "generating fleet (scale=" << args.scale
+            << ", seed=" << args.seed << ")...\n";
+  return generator.Generate(args.seed);
+}
+
+inline void PrintHeader(const std::string& what, const BenchArgs& args,
+                        const trace::GeneratedFleet& fleet) {
+  std::cout << "== " << what << " ==\n"
+            << "synthetic fleet: " << fleet.topology.TotalNpus() << " NPUs, "
+            << fleet.topology.TotalHbms() << " HBMs; " << fleet.log.size()
+            << " MCE records across " << fleet.banks.size()
+            << " faulty banks (scale " << args.scale << ", seed " << args.seed
+            << ")\n\n";
+}
+
+}  // namespace cordial::bench

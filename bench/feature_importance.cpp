@@ -1,0 +1,101 @@
+// Analysis bench: which features carry each stage of Cordial?
+//
+// Trains the Random-Forest pattern classifier and the single-cluster
+// cross-row predictor on the calibrated fleet and prints gain-normalized
+// feature importances, plus probability-quality measures (Brier score and
+// expected calibration error) for the block model — the numbers that tell
+// an operator whether the predicted probabilities can be thresholded
+// directly.
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "core/crossrow.hpp"
+#include "core/pattern_classifier.hpp"
+#include "ml/metrics.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cordial;
+  auto args = bench::BenchArgs::Parse(argc, argv);
+  if (argc <= 1) args.scale = 0.5;
+  const auto fleet = bench::MakeFleet(args);
+  bench::PrintHeader("Feature importance and probability quality", args, fleet);
+
+  hbm::AddressCodec codec(fleet.topology);
+  const auto banks = fleet.log.GroupByBank(codec);
+  analysis::PatternLabeler labeler(fleet.topology);
+  std::vector<core::LabelledBank> labelled;
+  std::vector<const trace::BankHistory*> singles;
+  for (const auto& bank : banks) {
+    if (!bank.HasUer()) continue;
+    const hbm::FailureClass cls = labeler.LabelClass(bank);
+    labelled.push_back(core::LabelledBank{&bank, cls});
+    if (cls == hbm::FailureClass::kSingleRowClustering) {
+      singles.push_back(&bank);
+    }
+  }
+  Rng rng(args.seed + 1);
+
+  auto print_top = [](const std::string& title,
+                      const std::vector<std::string>& names,
+                      const std::vector<double>& importance) {
+    std::vector<std::size_t> order(importance.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return importance[a] > importance[b];
+    });
+    TextTable table({"Rank", "Feature", "Importance"});
+    for (std::size_t r = 0; r < std::min<std::size_t>(10, order.size()); ++r) {
+      table.AddRow({std::to_string(r + 1), names[order[r]],
+                    TextTable::FormatPercent(importance[order[r]])});
+    }
+    std::cout << table.Render(title) << "\n";
+  };
+
+  // Stage 1: pattern classification.
+  core::PatternClassifier classifier(fleet.topology,
+                                     ml::LearnerKind::kRandomForest);
+  classifier.Train(labelled, rng);
+  print_top("Pattern classification (RF): top features",
+            classifier.extractor().feature_names(),
+            classifier.FeatureImportance());
+
+  // Stage 2: cross-row block prediction on single-row clusters, with a
+  // held-out probability-quality check.
+  const std::size_t n_train = singles.size() * 7 / 10;
+  std::vector<const trace::BankHistory*> train(singles.begin(),
+                                               singles.begin() + n_train);
+  std::vector<const trace::BankHistory*> held(singles.begin() + n_train,
+                                              singles.end());
+  core::CrossRowPredictor predictor(fleet.topology,
+                                    ml::LearnerKind::kRandomForest);
+  predictor.Train(train, rng);
+  print_top("Cross-row block prediction (RF): top features",
+            predictor.extractor().feature_names(),
+            predictor.FeatureImportance());
+
+  std::vector<double> proba;
+  std::vector<int> truth;
+  for (const auto* bank : held) {
+    for (const auto& anchor : predictor.AnchorsOf(*bank)) {
+      const auto block_truth = predictor.BlockTruth(*bank, anchor);
+      const auto block_proba = predictor.PredictBlockProba(*bank, anchor);
+      const auto window = predictor.extractor().WindowAt(anchor.row);
+      for (std::size_t b = 0; b < block_truth.size(); ++b) {
+        if (!window.BlockRange(b).has_value()) continue;
+        proba.push_back(block_proba[b]);
+        truth.push_back(block_truth[b]);
+      }
+    }
+  }
+  std::cout << "block-probability quality on " << proba.size()
+            << " held-out blocks:\n"
+            << "  Brier score: "
+            << TextTable::FormatDouble(ml::BrierScore(proba, truth)) << "\n"
+            << "  expected calibration error: "
+            << TextTable::FormatDouble(
+                   ml::ExpectedCalibrationError(proba, truth))
+            << "\n\nexpected shape: spatial features (stride fold, nearest-\n"
+               "row distances, row diffs) dominate the block model; count\n"
+               "and span features dominate pattern classification.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces paper Fig 3(b): the bank failure pattern distribution, both
+// from planted ground truth and as recovered by the rule-based labeler.
+#include "analysis/empirical.hpp"
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cordial;
+  const auto args = bench::BenchArgs::Parse(argc, argv);
+  const auto fleet = bench::MakeFleet(args);
+  bench::PrintHeader("Fig 3(b): bank failure pattern distribution", args, fleet);
+
+  hbm::AddressCodec codec(fleet.topology);
+  const auto banks = fleet.log.GroupByBank(codec);
+  analysis::PatternLabeler labeler(fleet.topology);
+  const auto dist = analysis::ComputePatternDistribution(banks, labeler);
+
+  std::map<hbm::PatternShape, std::uint64_t> truth_counts;
+  std::uint64_t truth_total = 0;
+  for (const auto& truth : fleet.banks) {
+    if (truth.shape == hbm::PatternShape::kCeOnly) continue;
+    ++truth_counts[truth.shape];
+    ++truth_total;
+  }
+
+  struct PaperRow {
+    hbm::PatternShape shape;
+    double fraction;
+  };
+  static constexpr PaperRow kPaper[] = {
+      {hbm::PatternShape::kSingleRowCluster, 0.682},
+      {hbm::PatternShape::kDoubleRowCluster, 0.099},
+      {hbm::PatternShape::kHalfTotalRowCluster, 0.073},
+      {hbm::PatternShape::kScattered, 0.125},
+      {hbm::PatternShape::kWholeColumn, 0.021},
+  };
+
+  TextTable table({"Pattern", "Labelled", "Planted", "Paper"});
+  for (const auto& row : kPaper) {
+    const double planted =
+        truth_total == 0
+            ? 0.0
+            : static_cast<double>(truth_counts[row.shape]) /
+                  static_cast<double>(truth_total);
+    table.AddRow({hbm::PatternShapeName(row.shape),
+                  TextTable::FormatPercent(dist.Fraction(row.shape)),
+                  TextTable::FormatPercent(planted),
+                  TextTable::FormatPercent(row.fraction)});
+  }
+  std::cout << table.Render("Bank failure pattern distribution over " +
+                            std::to_string(dist.total_uer_banks) +
+                            " observed UER banks");
+
+  const double agreement = analysis::LabelerAgreement(fleet, labeler);
+  std::cout << "\nrule-labeler vs planted ground truth agreement "
+               "(class level): "
+            << TextTable::FormatPercent(agreement) << "\n";
+  std::cout << "\nshape check: aggregation patterns dominate (~78% combined),\n"
+               "which is what makes cross-row prediction broadly applicable.\n";
+  return 0;
+}

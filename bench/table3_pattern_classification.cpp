@@ -1,0 +1,95 @@
+// Reproduces paper Table III: failure-pattern classification performance for
+// LightGBM-style, XGBoost-style and Random Forest learners.
+#include "bench_common.hpp"
+#include "core/pattern_classifier.hpp"
+#include "ml/dataset.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cordial;
+  const auto args = bench::BenchArgs::Parse(argc, argv);
+  const auto fleet = bench::MakeFleet(args);
+  bench::PrintHeader("Table III: failure pattern classification", args, fleet);
+
+  hbm::AddressCodec codec(fleet.topology);
+  const auto banks = fleet.log.GroupByBank(codec);
+  analysis::PatternLabeler labeler(fleet.topology);
+
+  std::vector<core::LabelledBank> labelled;
+  for (const auto& bank : banks) {
+    if (!bank.HasUer()) continue;
+    labelled.push_back(core::LabelledBank{&bank, labeler.LabelClass(bank)});
+  }
+  std::cout << labelled.size() << " UER banks labelled; 70:30 split\n\n";
+
+  // One stratified split shared by all learners.
+  Rng split_rng(args.seed + 1);
+  ml::Dataset label_only(1, hbm::kNumFailureClasses);
+  for (const auto& lb : labelled) {
+    const double zero = 0.0;
+    label_only.AddRow(std::span<const double>(&zero, 1),
+                      static_cast<int>(lb.label));
+  }
+  const auto split = ml::StratifiedSplit(label_only, 0.3, split_rng);
+  std::vector<core::LabelledBank> train, test;
+  for (std::size_t i : split.train) train.push_back(labelled[i]);
+  for (std::size_t i : split.test) test.push_back(labelled[i]);
+
+  // Paper Table III reference (precision / recall / F1).
+  struct PaperCell {
+    double p, r, f1;
+  };
+  static constexpr PaperCell kPaper[3][4] = {
+      // LightGBM: double, single, scattered, weighted
+      {{0.600, 0.474, 0.529}, {0.921, 0.972, 0.946}, {0.672, 0.629, 0.650},
+       {0.833, 0.844, 0.837}},
+      // XGBoost
+      {{0.611, 0.289, 0.393}, {0.881, 1.000, 0.937}, {0.698, 0.597, 0.643},
+       {0.803, 0.835, 0.813}},
+      // Random Forest
+      {{0.633, 0.500, 0.559}, {0.921, 0.981, 0.950}, {0.696, 0.629, 0.661},
+       {0.842, 0.859, 0.854}},
+  };
+  static constexpr ml::LearnerKind kKinds[] = {ml::LearnerKind::kLgbmStyle,
+                                               ml::LearnerKind::kXgbStyle,
+                                               ml::LearnerKind::kRandomForest};
+
+  TextTable table({"Model", "Pattern", "Precision", "Recall", "F1 Score",
+                   "Paper P", "Paper R", "Paper F1"});
+  for (int m = 0; m < 3; ++m) {
+    core::PatternClassifier classifier(fleet.topology, kKinds[m]);
+    Rng rng(args.seed + 2);
+    classifier.Train(train, rng);
+    const ml::ConfusionMatrix cm = classifier.Evaluate(test);
+
+    static constexpr hbm::FailureClass kOrder[] = {
+        hbm::FailureClass::kDoubleRowClustering,
+        hbm::FailureClass::kSingleRowClustering,
+        hbm::FailureClass::kScattered};
+    for (int c = 0; c < 3; ++c) {
+      const auto metrics = cm.Metrics(static_cast<int>(kOrder[c]));
+      table.AddRow({ml::LearnerKindName(kKinds[m]),
+                    hbm::FailureClassName(kOrder[c]),
+                    TextTable::FormatDouble(metrics.precision),
+                    TextTable::FormatDouble(metrics.recall),
+                    TextTable::FormatDouble(metrics.f1),
+                    TextTable::FormatDouble(kPaper[m][c].p),
+                    TextTable::FormatDouble(kPaper[m][c].r),
+                    TextTable::FormatDouble(kPaper[m][c].f1)});
+    }
+    const auto weighted = cm.WeightedAverage();
+    table.AddRow({ml::LearnerKindName(kKinds[m]), "Weighted Average",
+                  TextTable::FormatDouble(weighted.precision),
+                  TextTable::FormatDouble(weighted.recall),
+                  TextTable::FormatDouble(weighted.f1),
+                  TextTable::FormatDouble(kPaper[m][3].p),
+                  TextTable::FormatDouble(kPaper[m][3].r),
+                  TextTable::FormatDouble(kPaper[m][3].f1)});
+    table.AddSeparator();
+  }
+  std::cout << table.Render(
+      "Performance of failure pattern classification (measured vs paper)");
+  std::cout << "\nshape check: single-row clustering is the easiest class\n"
+               "(F1 ~0.95); double-row is the hardest; weighted F1 lands in\n"
+               "the 0.8-0.9 band with Random Forest at or near the top.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Isolation planner: explores the sparing-resource trade-off space.
+//
+// Row sparing is cheap but finite; bank sparing is powerful but expensive
+// (§I-II of the paper). This example runs the full Cordial pipeline under a
+// sweep of sparing budgets and prints the coverage/cost frontier an
+// operator would use to provision redundancy.
+//
+// Usage: isolation_planner [scale] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/pipeline.hpp"
+#include "trace/fleet.hpp"
+
+using namespace cordial;
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.5;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+
+  hbm::TopologyConfig topology;
+  trace::CalibrationProfile profile;
+  profile.scale = scale;
+  trace::FleetGenerator generator(topology, profile);
+  const trace::GeneratedFleet fleet = generator.Generate(seed);
+  std::cout << "fleet: " << fleet.log.size() << " MCE records, "
+            << fleet.CountUerBanks() << " UER banks\n\n";
+
+  struct Plan {
+    const char* label;
+    std::uint32_t rows_per_bank;
+    bool bank_sparing;
+  };
+  static constexpr Plan kPlans[] = {
+      {"austere: 16 spare rows, no bank sparing", 16, false},
+      {"lean: 32 spare rows, no bank sparing", 32, false},
+      {"lean+: 32 spare rows + bank sparing", 32, true},
+      {"standard: 64 spare rows + bank sparing", 64, true},
+      {"generous: 128 spare rows + bank sparing", 128, true},
+      {"unconstrained: 256 spare rows + bank sparing", 256, true},
+  };
+
+  TextTable table({"Plan", "ICR", "ICR w/ bank sparing", "Rows Spared",
+                   "Banks Spared", "Cost (row units)"});
+  for (const Plan& plan : kPlans) {
+    core::PipelineConfig config;
+    config.learner = ml::LearnerKind::kRandomForest;
+    config.budget.rows_per_bank = plan.rows_per_bank;
+    config.budget.bank_sparing_available = plan.bank_sparing;
+    config.policy.bank_spare_scattered = plan.bank_sparing;
+    core::CordialPipeline pipeline(topology, config);
+    std::cerr << "evaluating: " << plan.label << "\n";
+    const core::PipelineResult result = pipeline.Run(fleet, seed + 1);
+    const core::IcrResult& icr = result.cordial.icr;
+    table.AddRow({plan.label, TextTable::FormatPercent(icr.Icr()),
+                  TextTable::FormatPercent(icr.IcrWithBankSparing()),
+                  std::to_string(icr.rows_spared),
+                  std::to_string(icr.banks_spared),
+                  TextTable::FormatDouble(icr.sparing_cost, 0)});
+  }
+  std::cout << table.Render("Coverage/cost frontier under Cordial-RF");
+  std::cout << "\nreading the frontier: row-spare budgets below the predicted\n"
+               "block volume throttle coverage; bank sparing buys coverage on\n"
+               "scattered banks at ~512 row-equivalents per bank. Provision\n"
+               "the smallest plan whose ICR matches your availability target.\n";
+  return 0;
+}

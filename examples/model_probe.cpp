@@ -1,0 +1,98 @@
+// Internal diagnostic: train a cross-row predictor on single-row-cluster
+// banks and inspect its probability separation and the precision/recall
+// trade-off across thresholds. Used to tune the operating point.
+#include <iostream>
+
+#include "analysis/labeler.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/crossrow.hpp"
+#include "hbm/address.hpp"
+#include "ml/metrics.hpp"
+#include "trace/fleet.hpp"
+
+using namespace cordial;
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.5;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+
+  hbm::TopologyConfig topology;
+  trace::CalibrationProfile profile;
+  profile.scale = scale;
+  trace::FleetGenerator generator(topology, profile);
+  const auto fleet = generator.Generate(seed);
+  hbm::AddressCodec codec(topology);
+  const auto banks = fleet.log.GroupByBank(codec);
+  analysis::PatternLabeler labeler(topology);
+
+  std::vector<const trace::BankHistory*> singles;
+  for (const auto& bank : banks) {
+    if (!bank.HasUer()) continue;
+    if (labeler.LabelClass(bank) == hbm::FailureClass::kSingleRowClustering) {
+      singles.push_back(&bank);
+    }
+  }
+  const std::size_t n_train = singles.size() * 7 / 10;
+  std::vector<const trace::BankHistory*> train(singles.begin(),
+                                               singles.begin() + n_train);
+  std::vector<const trace::BankHistory*> test(singles.begin() + n_train,
+                                              singles.end());
+  std::cout << "single-cluster banks: " << singles.size() << " (train "
+            << train.size() << ", test " << test.size() << ")\n";
+
+  core::CrossRowPredictor predictor(topology, ml::LearnerKind::kRandomForest);
+  const ml::Dataset train_data = predictor.BuildDataset(train);
+  const auto counts = train_data.ClassCounts();
+  std::cout << "train samples: " << train_data.size() << " (neg " << counts[0]
+            << ", pos " << counts[1] << ", pos rate "
+            << TextTable::FormatPercent(static_cast<double>(counts[1]) /
+                                        static_cast<double>(train_data.size()))
+            << ")\n";
+  Rng rng(seed + 99);
+  predictor.Train(train, rng);
+
+  // Probability separation on held-out blocks.
+  RunningStats pos_proba, neg_proba;
+  std::vector<std::pair<double, int>> scored;
+  for (const auto* bank : test) {
+    for (const auto& anchor : predictor.AnchorsOf(*bank)) {
+      const auto truth = predictor.BlockTruth(*bank, anchor);
+      const auto proba = predictor.PredictBlockProba(*bank, anchor);
+      const auto window = predictor.extractor().WindowAt(anchor.row);
+      for (std::size_t b = 0; b < truth.size(); ++b) {
+        if (!window.BlockRange(b).has_value()) continue;
+        (truth[b] ? pos_proba : neg_proba).Add(proba[b]);
+        scored.emplace_back(proba[b], truth[b]);
+      }
+    }
+  }
+  std::cout << "positive blocks: mean proba "
+            << TextTable::FormatDouble(pos_proba.mean()) << " (n="
+            << pos_proba.count() << ", max "
+            << TextTable::FormatDouble(pos_proba.max()) << ")\n"
+            << "negative blocks: mean proba "
+            << TextTable::FormatDouble(neg_proba.mean()) << " (n="
+            << neg_proba.count() << ", max "
+            << TextTable::FormatDouble(neg_proba.max()) << ")\n\n";
+
+  TextTable pr({"threshold", "precision", "recall", "F1", "fired"});
+  for (double t : {0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.4, 0.5}) {
+    std::uint64_t tp = 0, fp = 0, fn = 0, fired = 0;
+    for (const auto& [p, y] : scored) {
+      const bool hit = p >= t;
+      fired += hit;
+      if (hit && y) ++tp;
+      if (hit && !y) ++fp;
+      if (!hit && y) ++fn;
+    }
+    const double prec = tp + fp ? static_cast<double>(tp) / (tp + fp) : 0.0;
+    const double rec = tp + fn ? static_cast<double>(tp) / (tp + fn) : 0.0;
+    const double f1 = prec + rec ? 2 * prec * rec / (prec + rec) : 0.0;
+    pr.AddRow({TextTable::FormatDouble(t, 2), TextTable::FormatDouble(prec),
+               TextTable::FormatDouble(rec), TextTable::FormatDouble(f1),
+               std::to_string(fired)});
+  }
+  std::cout << pr.Render("threshold sweep (held-out single-cluster blocks)");
+  return 0;
+}

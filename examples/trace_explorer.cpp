@@ -1,0 +1,164 @@
+// Trace explorer: generate (or load) a fleet trace, print per-shape and
+// per-block diagnostics, render example bank error maps, and export the log
+// to CSV. Doubles as the calibration-debugging tool for the generator.
+//
+// Usage: trace_explorer [scale] [seed] [csv_out]
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+
+#include "analysis/empirical.hpp"
+#include "analysis/labeler.hpp"
+#include "analysis/locality.hpp"
+#include "common/table.hpp"
+#include "core/crossrow.hpp"
+#include "core/features.hpp"
+#include "hbm/address.hpp"
+#include "hbm/error_map.hpp"
+#include "trace/fleet.hpp"
+#include "trace/log_codec.hpp"
+
+using namespace cordial;
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.25;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+
+  hbm::TopologyConfig topology;
+  trace::CalibrationProfile profile;
+  profile.scale = scale;
+  trace::FleetGenerator generator(topology, profile);
+  const trace::GeneratedFleet fleet = generator.Generate(seed);
+  hbm::AddressCodec codec(topology);
+  const auto banks = fleet.log.GroupByBank(codec);
+
+  std::cout << "=== fleet ===\n"
+            << topology.ToString() << "\n"
+            << fleet.log.size() << " records across " << banks.size()
+            << " banks\n\n";
+
+  // Per-shape statistics from ground truth.
+  struct ShapeStats {
+    std::size_t banks = 0;
+    std::size_t uer_rows = 0;
+    std::size_t uer_events = 0;
+  };
+  std::map<hbm::PatternShape, ShapeStats> by_shape;
+  for (const auto& bank : banks) {
+    const trace::BankTruth* truth = fleet.FindBank(bank.bank_key);
+    if (truth == nullptr) continue;
+    auto& s = by_shape[truth->shape];
+    ++s.banks;
+    s.uer_rows += core::CrossRowPredictor::FirstFailures(bank).size();
+    for (const auto& e : bank.events) {
+      if (e.type == hbm::ErrorType::kUer) ++s.uer_events;
+    }
+  }
+  TextTable shape_table({"Shape", "Banks", "UER rows", "UER events",
+                         "rows/bank"});
+  for (const auto& [shape, s] : by_shape) {
+    shape_table.AddRow(
+        {hbm::PatternShapeName(shape), std::to_string(s.banks),
+         std::to_string(s.uer_rows), std::to_string(s.uer_events),
+         s.banks ? TextTable::FormatDouble(
+                       static_cast<double>(s.uer_rows) /
+                       static_cast<double>(s.banks), 2)
+                 : "-"});
+  }
+  std::cout << shape_table.Render("Ground-truth shapes") << "\n";
+
+  // Labeler agreement.
+  analysis::PatternLabeler labeler(topology);
+  std::cout << "rule-labeler vs truth agreement (class level): "
+            << TextTable::FormatPercent(analysis::LabelerAgreement(fleet, labeler))
+            << "\n\n";
+
+  // Block-level diagnostics: positive rate by block index and the oracle
+  // ceiling (isolate every in-window block at every anchor).
+  core::CrossRowPredictor probe(topology, ml::LearnerKind::kRandomForest);
+  std::vector<std::size_t> positives(probe.config().n_blocks, 0);
+  std::vector<std::size_t> totals(probe.config().n_blocks, 0);
+  std::size_t anchors_total = 0;
+  std::size_t oracle_covered = 0, total_rows = 0, window_rows_possible = 0;
+  for (const auto& bank : banks) {
+    if (!bank.HasUer()) continue;
+    const auto firsts = core::CrossRowPredictor::FirstFailures(bank);
+    total_rows += firsts.size();
+    const auto anchors = probe.AnchorsOf(bank);
+    anchors_total += anchors.size();
+    std::set<std::uint32_t> oracle_isolated;
+    for (const auto& anchor : anchors) {
+      const auto truth = probe.BlockTruth(bank, anchor);
+      const auto window = probe.extractor().WindowAt(anchor.row);
+      for (std::size_t b = 0; b < truth.size(); ++b) {
+        const auto range = window.BlockRange(b);
+        if (!range.has_value()) continue;
+        ++totals[b];
+        positives[b] += static_cast<std::size_t>(truth[b]);
+      }
+      // Oracle isolates the whole window after this anchor.
+      for (const auto& [row, t] : firsts) {
+        if (t > anchor.time_s &&
+            std::llabs(static_cast<long long>(row) -
+                       static_cast<long long>(anchor.row)) <=
+                static_cast<long long>(window.radius())) {
+          oracle_isolated.insert(row);
+        }
+      }
+    }
+    oracle_covered += oracle_isolated.size();
+  }
+  window_rows_possible = oracle_covered;
+  std::cout << "anchors: " << anchors_total << ", UER rows: " << total_rows
+            << ", oracle (isolate full window at every anchor) coverage: "
+            << TextTable::FormatPercent(
+                   total_rows ? static_cast<double>(window_rows_possible) /
+                                    static_cast<double>(total_rows)
+                              : 0.0)
+            << "\n\nblock positive rates (block 0 = lowest rows):\n";
+  for (std::size_t b = 0; b < positives.size(); ++b) {
+    std::cout << "  block " << b << ": "
+              << TextTable::FormatPercent(
+                     totals[b] ? static_cast<double>(positives[b]) /
+                                     static_cast<double>(totals[b])
+                               : 0.0)
+              << "  (" << positives[b] << "/" << totals[b] << ")\n";
+  }
+
+  // Locality sweep detail.
+  const auto sweep = analysis::ComputeLocalitySweep(
+      banks, topology, analysis::DefaultLocalityThresholds());
+  TextTable loc({"threshold", "chi-square", "capture"});
+  for (const auto& pt : sweep) {
+    loc.AddRow({std::to_string(pt.threshold),
+                TextTable::FormatDouble(pt.chi_square, 1),
+                TextTable::FormatPercent(pt.CaptureRate())});
+  }
+  std::cout << "\n" << loc.Render("Cross-row locality sweep (Fig 4)");
+
+  // Example error maps, one per shape (Fig 3a).
+  for (const auto shape :
+       {hbm::PatternShape::kSingleRowCluster, hbm::PatternShape::kDoubleRowCluster,
+        hbm::PatternShape::kScattered, hbm::PatternShape::kWholeColumn}) {
+    for (const auto& bank : banks) {
+      const trace::BankTruth* truth = fleet.FindBank(bank.bank_key);
+      if (truth == nullptr || truth->shape != shape) continue;
+      hbm::BankErrorMap map(topology);
+      for (const auto& e : bank.events) {
+        map.Add(e.address.row, e.address.col, e.type);
+      }
+      std::cout << "\n--- " << hbm::PatternShapeName(shape) << " ---\n"
+                << map.Render(24, 64);
+      break;
+    }
+  }
+
+  if (argc > 3) {
+    std::ofstream out(argv[3]);
+    trace::LogCodec::WriteCsv(fleet.log, out);
+    std::cout << "\nwrote " << fleet.log.size() << " records to " << argv[3]
+              << "\n";
+  }
+  return 0;
+}

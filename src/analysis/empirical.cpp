@@ -1,0 +1,139 @@
+#include "analysis/empirical.hpp"
+
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace cordial::analysis {
+
+using hbm::ErrorType;
+using hbm::Level;
+
+namespace {
+
+struct EntityState {
+  bool has_ce = false;
+  bool has_ueo = false;
+  bool has_uer = false;
+  /// CE/UEO seen before the entity's first UER.
+  bool precursor_before_uer = false;
+};
+
+}  // namespace
+
+std::vector<SuddenUerRow> ComputeSuddenUerStudy(
+    const trace::ErrorLog& log, const hbm::AddressCodec& codec) {
+  // One state map per level; the log walk must be time-ordered for the
+  // "before first UER" semantics to hold.
+  std::vector<std::unordered_map<std::uint64_t, EntityState>> states(
+      std::size(hbm::kAllLevels));
+
+  double last_t = -1.0;
+  for (const trace::MceRecord& r : log.records()) {
+    CORDIAL_CHECK_MSG(r.time_s >= last_t, "sudden-UER study requires a "
+                                          "time-sorted log");
+    last_t = r.time_s;
+    for (std::size_t li = 0; li < std::size(hbm::kAllLevels); ++li) {
+      const std::uint64_t key = codec.EntityKey(r.address, hbm::kAllLevels[li]);
+      EntityState& s = states[li][key];
+      if (r.type == ErrorType::kUer) {
+        if (!s.has_uer) {
+          s.has_uer = true;
+          s.precursor_before_uer = s.has_ce || s.has_ueo;
+        }
+      } else if (r.type == ErrorType::kCe) {
+        s.has_ce = true;
+      } else {
+        s.has_ueo = true;
+      }
+    }
+  }
+
+  std::vector<SuddenUerRow> rows;
+  for (std::size_t li = 0; li < std::size(hbm::kAllLevels); ++li) {
+    SuddenUerRow row;
+    row.level = hbm::kAllLevels[li];
+    for (const auto& [key, s] : states[li]) {
+      if (!s.has_uer) continue;
+      if (s.precursor_before_uer) {
+        ++row.non_sudden;
+      } else {
+        ++row.sudden;
+      }
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<DatasetSummaryRow> ComputeDatasetSummary(
+    const trace::ErrorLog& log, const hbm::AddressCodec& codec) {
+  std::vector<std::unordered_map<std::uint64_t, EntityState>> states(
+      std::size(hbm::kAllLevels));
+  for (const trace::MceRecord& r : log.records()) {
+    for (std::size_t li = 0; li < std::size(hbm::kAllLevels); ++li) {
+      const std::uint64_t key = codec.EntityKey(r.address, hbm::kAllLevels[li]);
+      EntityState& s = states[li][key];
+      if (r.type == ErrorType::kCe) s.has_ce = true;
+      if (r.type == ErrorType::kUeo) s.has_ueo = true;
+      if (r.type == ErrorType::kUer) s.has_uer = true;
+    }
+  }
+  std::vector<DatasetSummaryRow> rows;
+  for (std::size_t li = 0; li < std::size(hbm::kAllLevels); ++li) {
+    DatasetSummaryRow row;
+    row.level = hbm::kAllLevels[li];
+    for (const auto& [key, s] : states[li]) {
+      if (s.has_ce) ++row.with_ce;
+      if (s.has_ueo) ++row.with_ueo;
+      if (s.has_uer) ++row.with_uer;
+      ++row.total;
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+double PatternDistribution::Fraction(hbm::PatternShape shape) const {
+  if (total_uer_banks == 0) return 0.0;
+  auto it = counts.find(shape);
+  return it == counts.end() ? 0.0
+                            : static_cast<double>(it->second) /
+                                  static_cast<double>(total_uer_banks);
+}
+
+PatternDistribution ComputePatternDistribution(
+    const std::vector<trace::BankHistory>& banks,
+    const PatternLabeler& labeler) {
+  PatternDistribution dist;
+  for (const trace::BankHistory& bank : banks) {
+    const hbm::PatternShape shape = labeler.LabelShape(bank);
+    if (shape == hbm::PatternShape::kCeOnly) continue;
+    ++dist.counts[shape];
+    ++dist.total_uer_banks;
+  }
+  return dist;
+}
+
+double LabelerAgreement(const trace::GeneratedFleet& fleet,
+                        const PatternLabeler& labeler) {
+  hbm::AddressCodec codec(fleet.topology);
+  const auto banks = fleet.log.GroupByBank(codec);
+  std::uint64_t total = 0, agree = 0;
+  for (const trace::BankHistory& bank : banks) {
+    const trace::BankTruth* truth = fleet.FindBank(bank.bank_key);
+    if (truth == nullptr || truth->planned_uer_rows.empty()) continue;
+    if (!bank.HasUer()) continue;
+    ++total;
+    // Compare at class granularity: the operationally-relevant label.
+    const auto labeled = hbm::CollapseToClass(labeler.LabelShape(bank));
+    if (labeled.has_value() && truth->failure_class.has_value() &&
+        *labeled == *truth->failure_class) {
+      ++agree;
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(agree) / static_cast<double>(total);
+}
+
+}  // namespace cordial::analysis

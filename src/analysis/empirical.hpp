@@ -1,0 +1,67 @@
+// Empirical-study computations over an MCE log: the sudden-UER accounting of
+// Table I, the entity-count summary of Table II, and the pattern-mix
+// distribution of Fig 3(b).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "analysis/labeler.hpp"
+#include "hbm/address.hpp"
+#include "trace/error_log.hpp"
+#include "trace/fleet.hpp"
+
+namespace cordial::analysis {
+
+/// One row of Table I.
+struct SuddenUerRow {
+  hbm::Level level;
+  std::uint64_t sudden = 0;      ///< UER entities with no prior CE/UEO inside
+  std::uint64_t non_sudden = 0;  ///< UER entities with an in-entity precursor
+  double PredictableRatio() const {
+    const std::uint64_t total = sudden + non_sudden;
+    return total == 0 ? 0.0
+                      : static_cast<double>(non_sudden) /
+                            static_cast<double>(total);
+  }
+};
+
+/// One row of Table II.
+struct DatasetSummaryRow {
+  hbm::Level level;
+  std::uint64_t with_ce = 0;
+  std::uint64_t with_ueo = 0;
+  std::uint64_t with_uer = 0;
+  std::uint64_t total = 0;  ///< entities with any error
+};
+
+/// Table I: per-level sudden vs non-sudden UER entity counts. An entity is
+/// non-sudden ("in-row predictable" at that granularity) iff some CE or UEO
+/// occurred inside it strictly before its first UER. Requires a time-sorted
+/// log.
+std::vector<SuddenUerRow> ComputeSuddenUerStudy(const trace::ErrorLog& log,
+                                                const hbm::AddressCodec& codec);
+
+/// Table II: per-level counts of entities with CE / UEO / UER / any error.
+std::vector<DatasetSummaryRow> ComputeDatasetSummary(
+    const trace::ErrorLog& log, const hbm::AddressCodec& codec);
+
+/// Fig 3(b): pattern-shape mix over UER banks, as labelled by the rule-based
+/// labeler from the complete log.
+struct PatternDistribution {
+  std::map<hbm::PatternShape, std::uint64_t> counts;
+  std::uint64_t total_uer_banks = 0;
+  double Fraction(hbm::PatternShape shape) const;
+};
+
+PatternDistribution ComputePatternDistribution(
+    const std::vector<trace::BankHistory>& banks,
+    const PatternLabeler& labeler);
+
+/// Labeler-vs-ground-truth agreement rate over the generated fleet's UER
+/// banks (a fidelity diagnostic; not part of the paper's tables).
+double LabelerAgreement(const trace::GeneratedFleet& fleet,
+                        const PatternLabeler& labeler);
+
+}  // namespace cordial::analysis

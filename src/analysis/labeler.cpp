@@ -1,0 +1,95 @@
+#include "analysis/labeler.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.hpp"
+
+namespace cordial::analysis {
+
+using hbm::FailureClass;
+using hbm::PatternShape;
+
+PatternLabeler::PatternLabeler(const hbm::TopologyConfig& topology,
+                               LabelerParams params)
+    : topology_(topology), params_(params) {
+  topology_.Validate();
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> PatternLabeler::Clusters(
+    std::vector<std::uint32_t> rows) const {
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> clusters;
+  for (std::uint32_t row : rows) {
+    if (!clusters.empty() && row - clusters.back().second <= params_.cluster_gap) {
+      clusters.back().second = row;
+    } else {
+      clusters.emplace_back(row, row);
+    }
+  }
+  return clusters;
+}
+
+hbm::PatternShape PatternLabeler::LabelShape(
+    const std::vector<std::uint32_t>& rows,
+    const std::vector<std::uint32_t>& cols) const {
+  CORDIAL_CHECK_MSG(!rows.empty(), "labeler requires at least one UER row");
+  CORDIAL_CHECK_MSG(rows.size() == cols.size(),
+                    "labeler rows/cols must be parallel");
+
+  // Whole-column rule first: many rows, one column, wide row span.
+  std::set<std::uint32_t> distinct_cols(cols.begin(), cols.end());
+  std::vector<std::uint32_t> distinct_rows(rows);
+  std::sort(distinct_rows.begin(), distinct_rows.end());
+  distinct_rows.erase(
+      std::unique(distinct_rows.begin(), distinct_rows.end()),
+      distinct_rows.end());
+  if (distinct_cols.size() == 1 &&
+      distinct_rows.size() >= params_.column_min_rows) {
+    const double span = static_cast<double>(distinct_rows.back() -
+                                            distinct_rows.front()) /
+                        static_cast<double>(topology_.rows_per_bank);
+    if (span >= params_.column_min_span) return PatternShape::kWholeColumn;
+  }
+
+  const auto clusters = Clusters(distinct_rows);
+  if (clusters.size() == 1) return PatternShape::kSingleRowCluster;
+  if (clusters.size() == 2) {
+    const std::uint32_t gap_lo = clusters[1].first - clusters[0].second;
+    const std::uint32_t half = topology_.rows_per_bank / 2;
+    // Compare cluster *centers* against the half-bank alias distance.
+    const std::uint32_t c0 = (clusters[0].first + clusters[0].second) / 2;
+    const std::uint32_t c1 = (clusters[1].first + clusters[1].second) / 2;
+    const std::uint32_t center_gap = c1 - c0;
+    const std::uint32_t tol = params_.half_gap_tolerance;
+    if (center_gap + tol >= half && center_gap <= half + tol) {
+      return PatternShape::kHalfTotalRowCluster;
+    }
+    (void)gap_lo;
+    return PatternShape::kDoubleRowCluster;
+  }
+  return PatternShape::kScattered;
+}
+
+hbm::PatternShape PatternLabeler::LabelShape(
+    const trace::BankHistory& bank) const {
+  std::vector<std::uint32_t> rows, cols;
+  for (const trace::MceRecord& r : bank.events) {
+    if (r.type != hbm::ErrorType::kUer) continue;
+    rows.push_back(r.address.row);
+    cols.push_back(r.address.col);
+  }
+  if (rows.empty()) return PatternShape::kCeOnly;
+  return LabelShape(rows, cols);
+}
+
+hbm::FailureClass PatternLabeler::LabelClass(
+    const trace::BankHistory& bank) const {
+  const PatternShape shape = LabelShape(bank);
+  const auto cls = hbm::CollapseToClass(shape);
+  CORDIAL_CHECK_MSG(cls.has_value(), "cannot class-label a CE-only bank");
+  return *cls;
+}
+
+}  // namespace cordial::analysis

@@ -1,0 +1,58 @@
+// Rule-based failure-pattern labeler.
+//
+// Given the *complete* set of UER observations for a bank (hindsight, not
+// prediction), assigns the ground-truth pattern shape using geometric rules:
+// row clustering via gap-splitting, the half-bank aliasing check for half
+// total-row clusters, and the single-column / row-spread check for whole
+// column failures. The empirical-study benches use it to reproduce Fig 3(b)
+// from raw logs, and tests validate it against the generator's planted truth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hbm/fault.hpp"
+#include "hbm/topology.hpp"
+#include "trace/error_log.hpp"
+
+namespace cordial::analysis {
+
+struct LabelerParams {
+  /// Rows closer than this belong to one cluster.
+  std::uint32_t cluster_gap = 1024;
+  /// Tolerance around rows/2 for the half-total aliasing check.
+  std::uint32_t half_gap_tolerance = 1024;
+  /// Whole-column rule: at least this many UER rows, all in one column,
+  /// spanning at least this fraction of the bank's rows.
+  std::size_t column_min_rows = 10;
+  double column_min_span = 0.5;
+};
+
+class PatternLabeler {
+ public:
+  explicit PatternLabeler(const hbm::TopologyConfig& topology,
+                          LabelerParams params = {});
+
+  /// Shape from distinct UER (row, col) observations. `rows`/`cols` are
+  /// parallel; at least one observation required.
+  hbm::PatternShape LabelShape(const std::vector<std::uint32_t>& rows,
+                               const std::vector<std::uint32_t>& cols) const;
+
+  /// Convenience: label a bank history (uses its UER events). Banks without
+  /// UERs are CE-only.
+  hbm::PatternShape LabelShape(const trace::BankHistory& bank) const;
+
+  /// Collapsed three-way class, as used by the classifier.
+  hbm::FailureClass LabelClass(const trace::BankHistory& bank) const;
+
+  /// Contiguous clusters (start row, end row inclusive) after gap-splitting
+  /// the sorted distinct rows. Exposed for tests and diagnostics.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> Clusters(
+      std::vector<std::uint32_t> rows) const;
+
+ private:
+  hbm::TopologyConfig topology_;
+  LabelerParams params_;
+};
+
+}  // namespace cordial::analysis

@@ -1,0 +1,124 @@
+#include "analysis/locality.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+#include "hbm/ecc.hpp"
+
+namespace cordial::analysis {
+
+std::vector<std::uint32_t> DefaultLocalityThresholds() {
+  return {4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048};
+}
+
+namespace {
+
+/// Distinct UER rows of a bank in first-failure order.
+std::vector<std::uint32_t> UerRowsInOrder(const trace::BankHistory& bank) {
+  std::vector<std::uint32_t> rows;
+  for (const trace::MceRecord& r : bank.events) {
+    if (r.type != hbm::ErrorType::kUer) continue;
+    if (std::find(rows.begin(), rows.end(), r.address.row) == rows.end()) {
+      rows.push_back(r.address.row);
+    }
+  }
+  return rows;
+}
+
+/// Number of distinct rows within `d` of any row in `rows` (union of
+/// clamped intervals [r-d, r+d]).
+std::uint64_t NeighborhoodSize(std::vector<std::uint32_t> rows, std::uint32_t d,
+                               std::uint32_t rows_per_bank) {
+  std::sort(rows.begin(), rows.end());
+  std::uint64_t total = 0;
+  std::int64_t cover_end = -1;  // last covered row so far
+  for (std::uint32_t r : rows) {
+    const std::int64_t lo =
+        std::max<std::int64_t>(0, static_cast<std::int64_t>(r) - d);
+    const std::int64_t hi = std::min<std::int64_t>(
+        static_cast<std::int64_t>(rows_per_bank) - 1,
+        static_cast<std::int64_t>(r) + d);
+    const std::int64_t start = std::max(lo, cover_end + 1);
+    if (hi >= start) total += static_cast<std::uint64_t>(hi - start + 1);
+    cover_end = std::max(cover_end, hi);
+  }
+  return total;
+}
+
+}  // namespace
+
+std::vector<LocalitySweepPoint> ComputeLocalitySweep(
+    const std::vector<trace::BankHistory>& banks,
+    const hbm::TopologyConfig& topology,
+    const std::vector<std::uint32_t>& thresholds) {
+  CORDIAL_CHECK_MSG(!thresholds.empty(), "locality sweep needs thresholds");
+
+  std::vector<LocalitySweepPoint> sweep(thresholds.size());
+  // 2x2 cells per threshold: [near/far] x [uer/not].
+  std::vector<double> near_uer(thresholds.size(), 0.0);
+  std::vector<double> far_uer(thresholds.size(), 0.0);
+  std::vector<double> near_total(thresholds.size(), 0.0);
+  std::uint64_t rows_considered = 0;
+
+  for (const trace::BankHistory& bank : banks) {
+    const std::vector<std::uint32_t> uer_rows = UerRowsInOrder(bank);
+    if (uer_rows.size() < 2) continue;
+    rows_considered += topology.rows_per_bank;
+
+    for (std::size_t ti = 0; ti < thresholds.size(); ++ti) {
+      const std::uint32_t d = thresholds[ti];
+      // Subsequent rows judged against the rows that failed before them.
+      for (std::size_t i = 1; i < uer_rows.size(); ++i) {
+        bool near = false;
+        for (std::size_t j = 0; j < i; ++j) {
+          const auto dist = static_cast<std::uint32_t>(
+              std::abs(static_cast<std::int64_t>(uer_rows[i]) -
+                       static_cast<std::int64_t>(uer_rows[j])));
+          if (dist <= d) {
+            near = true;
+            break;
+          }
+        }
+        if (near) {
+          near_uer[ti] += 1.0;
+        } else {
+          far_uer[ti] += 1.0;
+        }
+      }
+      near_total[ti] += static_cast<double>(
+          NeighborhoodSize(uer_rows, d, topology.rows_per_bank));
+    }
+  }
+
+  for (std::size_t ti = 0; ti < thresholds.size(); ++ti) {
+    LocalitySweepPoint& pt = sweep[ti];
+    pt.threshold = thresholds[ti];
+    pt.captured = static_cast<std::uint64_t>(near_uer[ti]);
+    pt.subsequent_total =
+        static_cast<std::uint64_t>(near_uer[ti] + far_uer[ti]);
+    if (rows_considered == 0) continue;
+    const double a = near_uer[ti];
+    const double b = far_uer[ti];
+    const double c = std::max(0.0, near_total[ti] - a);
+    const double dd = std::max(
+        0.0, static_cast<double>(rows_considered) - near_total[ti] - b);
+    if (a + b == 0.0 || c + dd == 0.0) continue;
+    pt.chi_square = ChiSquare2x2(a, b, c, dd);
+    pt.p_value = ChiSquarePValue(std::max(pt.chi_square, 0.0), 1.0);
+  }
+  return sweep;
+}
+
+std::uint32_t PeakThreshold(const std::vector<LocalitySweepPoint>& sweep) {
+  CORDIAL_CHECK_MSG(!sweep.empty(), "empty locality sweep");
+  const auto it = std::max_element(
+      sweep.begin(), sweep.end(),
+      [](const LocalitySweepPoint& a, const LocalitySweepPoint& b) {
+        return a.chi_square < b.chi_square;
+      });
+  return it->threshold;
+}
+
+}  // namespace cordial::analysis

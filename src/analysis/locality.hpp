@@ -1,0 +1,49 @@
+// Cross-row UER locality study (paper §III-C, Fig 4).
+//
+// For each candidate row-distance threshold d, build the 2x2 contingency
+// "row is within d of an earlier UER row" x "row raised a UER" over all UER
+// banks, and compute the chi-square statistic of independence. Small d
+// misses cluster mates (low capture); large d dilutes the neighbourhood
+// with healthy rows; the statistic peaks at the characteristic cluster
+// scale — 128 rows in the paper, which the default generator calibration
+// reproduces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hbm/topology.hpp"
+#include "trace/error_log.hpp"
+
+namespace cordial::analysis {
+
+struct LocalitySweepPoint {
+  std::uint32_t threshold = 0;
+  double chi_square = 0.0;
+  double p_value = 1.0;
+  /// Subsequent UER rows that fell within `threshold` of an earlier UER row.
+  std::uint64_t captured = 0;
+  /// All subsequent (non-first) distinct UER rows considered.
+  std::uint64_t subsequent_total = 0;
+  double CaptureRate() const {
+    return subsequent_total == 0
+               ? 0.0
+               : static_cast<double>(captured) /
+                     static_cast<double>(subsequent_total);
+  }
+};
+
+/// The paper sweeps thresholds 4..2048 (powers of two).
+std::vector<std::uint32_t> DefaultLocalityThresholds();
+
+/// Sweep the chi-square statistic over thresholds. Banks without at least
+/// two distinct UER rows contribute nothing.
+std::vector<LocalitySweepPoint> ComputeLocalitySweep(
+    const std::vector<trace::BankHistory>& banks,
+    const hbm::TopologyConfig& topology,
+    const std::vector<std::uint32_t>& thresholds);
+
+/// Threshold with the maximal chi-square statistic.
+std::uint32_t PeakThreshold(const std::vector<LocalitySweepPoint>& sweep);
+
+}  // namespace cordial::analysis

@@ -1,0 +1,126 @@
+#include "analysis/report.hpp"
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "analysis/empirical.hpp"
+#include "analysis/labeler.hpp"
+#include "analysis/locality.hpp"
+#include "common/table.hpp"
+#include "hbm/address.hpp"
+#include "hbm/error_map.hpp"
+
+namespace cordial::analysis {
+
+namespace {
+
+void MarkdownRow(std::ostream& out, const std::vector<std::string>& cells) {
+  out << '|';
+  for (const std::string& cell : cells) out << ' ' << cell << " |";
+  out << '\n';
+}
+
+void MarkdownHeader(std::ostream& out, const std::vector<std::string>& cells) {
+  MarkdownRow(out, cells);
+  out << '|';
+  for (std::size_t i = 0; i < cells.size(); ++i) out << "---|";
+  out << '\n';
+}
+
+}  // namespace
+
+void WriteStudyReport(const trace::ErrorLog& log,
+                      const hbm::TopologyConfig& topology, std::ostream& out,
+                      const ReportOptions& options) {
+  trace::ErrorLog sorted = log;
+  sorted.Sort();
+  hbm::AddressCodec codec(topology);
+  const auto banks = sorted.GroupByBank(codec);
+
+  out << "# " << options.title << "\n\n"
+      << "- records: " << sorted.size() << "\n"
+      << "- faulty banks: " << banks.size() << "\n"
+      << "- topology: " << topology.ToString() << "\n\n";
+
+  // --- Table I ---
+  out << "## Sudden vs non-sudden UERs by micro-level\n\n";
+  MarkdownHeader(out, {"Micro-level", "Sudden UER", "Non-sudden UER",
+                       "Predictable Ratio"});
+  for (const SuddenUerRow& row : ComputeSuddenUerStudy(sorted, codec)) {
+    MarkdownRow(out, {hbm::LevelName(row.level), std::to_string(row.sudden),
+                      std::to_string(row.non_sudden),
+                      TextTable::FormatPercent(row.PredictableRatio())});
+  }
+  out << "\nThe collapse toward the row level is what makes in-row "
+         "prediction impractical and motivates cross-row prediction.\n\n";
+
+  // --- Table II ---
+  out << "## Dataset summary\n\n";
+  MarkdownHeader(out, {"Micro-level", "With CE", "With UEO", "With UER",
+                       "Total"});
+  for (const DatasetSummaryRow& row : ComputeDatasetSummary(sorted, codec)) {
+    MarkdownRow(out, {hbm::LevelName(row.level), std::to_string(row.with_ce),
+                      std::to_string(row.with_ueo),
+                      std::to_string(row.with_uer),
+                      std::to_string(row.total)});
+  }
+  out << '\n';
+
+  // --- Fig 3(b) ---
+  PatternLabeler labeler(topology);
+  const PatternDistribution dist = ComputePatternDistribution(banks, labeler);
+  out << "## Failure pattern distribution (" << dist.total_uer_banks
+      << " UER banks)\n\n";
+  MarkdownHeader(out, {"Pattern", "Banks", "Share"});
+  for (const auto& [shape, count] : dist.counts) {
+    MarkdownRow(out, {hbm::PatternShapeName(shape), std::to_string(count),
+                      TextTable::FormatPercent(dist.Fraction(shape))});
+  }
+  out << '\n';
+
+  // --- Fig 4 ---
+  out << "## Cross-row locality\n\n";
+  const auto sweep =
+      ComputeLocalitySweep(banks, topology, DefaultLocalityThresholds());
+  MarkdownHeader(out, {"Distance threshold", "Chi-square", "Capture rate"});
+  for (const LocalitySweepPoint& pt : sweep) {
+    MarkdownRow(out, {std::to_string(pt.threshold),
+                      TextTable::FormatDouble(pt.chi_square, 1),
+                      TextTable::FormatPercent(pt.CaptureRate())});
+  }
+  bool any_pairs = false;
+  for (const LocalitySweepPoint& pt : sweep) {
+    any_pairs = any_pairs || pt.subsequent_total > 0;
+  }
+  if (any_pairs) {
+    out << "\nPeak significance at a **" << PeakThreshold(sweep)
+        << "-row** distance threshold.\n\n";
+  } else {
+    out << "\nNo banks with two or more UER rows — locality not "
+           "measurable.\n\n";
+  }
+
+  // --- Fig 3(a) style examples ---
+  if (options.example_maps_per_shape > 0) {
+    out << "## Example bank error maps\n\n"
+           "Legend: `.` clean, `c` CE, `o` UEO, `X` UER.\n\n";
+    std::map<hbm::PatternShape, std::size_t> rendered;
+    for (const trace::BankHistory& bank : banks) {
+      const hbm::PatternShape shape = labeler.LabelShape(bank);
+      if (shape == hbm::PatternShape::kCeOnly) continue;
+      if (rendered[shape] >= options.example_maps_per_shape) continue;
+      ++rendered[shape];
+      hbm::BankErrorMap map(topology);
+      for (const trace::MceRecord& r : bank.events) {
+        map.Add(r.address.row, r.address.col, r.type);
+      }
+      out << "### " << hbm::PatternShapeName(shape) << " (bank "
+          << bank.bank_key << ")\n\n```\n"
+          << map.Render(options.map_height, options.map_width) << "```\n\n";
+    }
+  }
+}
+
+}  // namespace cordial::analysis

@@ -1,0 +1,30 @@
+// Markdown study report: one call renders every empirical analysis of the
+// paper (Tables I/II, Fig 3(a)/(b), Fig 4) for an arbitrary MCE log — the
+// artifact a reliability team would attach to a fleet-health review.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "hbm/topology.hpp"
+#include "trace/error_log.hpp"
+
+namespace cordial::analysis {
+
+struct ReportOptions {
+  /// Example error maps rendered per detected pattern shape.
+  std::size_t example_maps_per_shape = 1;
+  /// Error-map render size.
+  std::size_t map_height = 20;
+  std::size_t map_width = 56;
+  /// Title of the generated document.
+  std::string title = "HBM fleet error study";
+};
+
+/// Render the full study as Markdown. The log need not be sorted; a sorted
+/// copy is used internally.
+void WriteStudyReport(const trace::ErrorLog& log,
+                      const hbm::TopologyConfig& topology, std::ostream& out,
+                      const ReportOptions& options = {});
+
+}  // namespace cordial::analysis

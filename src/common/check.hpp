@@ -1,0 +1,48 @@
+// Lightweight contract checking for the cordial libraries.
+//
+// CORDIAL_CHECK is always on (release included): these libraries drive
+// fleet-maintenance decisions, so a wrong answer is worse than an abort.
+// Violations throw, so callers and tests can observe them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cordial {
+
+/// Thrown when a CORDIAL_CHECK contract is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown on malformed external input (log files, CSV, config).
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << "CORDIAL_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace cordial
+
+#define CORDIAL_CHECK(expr)                                                \
+  do {                                                                     \
+    if (!(expr)) ::cordial::detail::CheckFailed(#expr, __FILE__, __LINE__, \
+                                                std::string());            \
+  } while (0)
+
+#define CORDIAL_CHECK_MSG(expr, msg)                                       \
+  do {                                                                     \
+    if (!(expr)) ::cordial::detail::CheckFailed(#expr, __FILE__, __LINE__, \
+                                                (msg));                    \
+  } while (0)

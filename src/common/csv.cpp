@@ -1,0 +1,119 @@
+#include "common/csv.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace cordial {
+
+std::string CsvWriter::EscapeField(const std::string& field) {
+  const bool needs_quote = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << EscapeField(fields[i]);
+  }
+  out_ << '\n';
+}
+
+std::vector<std::vector<std::string>> CsvReader::ReadAll(std::istream& in) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_started = false;
+  char c;
+  while (in.get(c)) {
+    if (in_quotes) {
+      if (c == '"') {
+        if (in.peek() == '"') {
+          in.get(c);
+          field.push_back('"');
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_started = true;
+        break;
+      case ',':
+        row.push_back(std::move(field));
+        field.clear();
+        row_started = true;
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        if (row_started || !field.empty()) {
+          row.push_back(std::move(field));
+          field.clear();
+          rows.push_back(std::move(row));
+          row.clear();
+          row_started = false;
+        }
+        break;
+      default:
+        field.push_back(c);
+        row_started = true;
+        break;
+    }
+  }
+  if (in_quotes) throw ParseError("CSV: unterminated quoted field");
+  if (row_started || !field.empty()) {
+    row.push_back(std::move(field));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<std::string> CsvReader::ParseLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c != '\r') {
+      field.push_back(c);
+    }
+  }
+  if (in_quotes) throw ParseError("CSV: unterminated quoted field");
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+}  // namespace cordial

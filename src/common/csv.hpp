@@ -1,0 +1,37 @@
+// Minimal RFC-4180-ish CSV reader/writer used to persist generated traces,
+// feature matrices and bench outputs. Handles quoting, embedded commas,
+// quotes and newlines; rejects structurally malformed input with ParseError.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cordial {
+
+class CsvWriter {
+ public:
+  /// Writes to the given stream; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Write one row; fields are quoted only when needed.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  static std::string EscapeField(const std::string& field);
+
+ private:
+  std::ostream& out_;
+};
+
+class CsvReader {
+ public:
+  /// Reads the entire stream into rows. Throws ParseError on unterminated
+  /// quotes. Empty input yields no rows. A trailing newline does not produce
+  /// a final empty row.
+  static std::vector<std::vector<std::string>> ReadAll(std::istream& in);
+
+  /// Parse a single CSV line (no embedded newlines).
+  static std::vector<std::string> ParseLine(const std::string& line);
+};
+
+}  // namespace cordial

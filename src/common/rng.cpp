@@ -1,0 +1,150 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace cordial {
+
+std::uint64_t Rng::UniformU64(std::uint64_t bound) {
+  CORDIAL_CHECK_MSG(bound > 0, "UniformU64 bound must be positive");
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    std::uint64_t threshold = (-bound) % bound;
+    while (l < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  CORDIAL_CHECK_MSG(lo <= hi, "UniformInt requires lo <= hi");
+  std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(Next());
+  }
+  return lo + static_cast<std::int64_t>(UniformU64(span));
+}
+
+double Rng::UniformReal() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformReal(double lo, double hi) {
+  CORDIAL_CHECK_MSG(lo <= hi, "UniformReal requires lo <= hi");
+  return lo + (hi - lo) * UniformReal();
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformReal() < p;
+}
+
+std::uint64_t Rng::Poisson(double mean) {
+  CORDIAL_CHECK_MSG(mean >= 0.0, "Poisson mean must be non-negative");
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth's multiplication method.
+    const double limit = std::exp(-mean);
+    double product = UniformReal();
+    std::uint64_t count = 0;
+    while (product > limit) {
+      ++count;
+      product *= UniformReal();
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction is adequate for the
+  // large-mean regime used by the workload generators (mean >= 30).
+  double draw;
+  do {
+    draw = Normal(mean, std::sqrt(mean));
+  } while (draw < -0.5);
+  return static_cast<std::uint64_t>(std::llround(draw));
+}
+
+std::uint64_t Rng::Geometric(double p) {
+  CORDIAL_CHECK_MSG(p > 0.0 && p <= 1.0, "Geometric p must be in (0,1]");
+  if (p == 1.0) return 0;
+  const double u = 1.0 - UniformReal();  // in (0, 1]
+  return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1;
+  do {
+    u1 = UniformReal();
+  } while (u1 <= 0.0);
+  const double u2 = UniformReal();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * 3.14159265358979323846 * u2;
+  cached_normal_ = radius * std::sin(theta);
+  has_cached_normal_ = true;
+  return radius * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  CORDIAL_CHECK_MSG(stddev >= 0.0, "Normal stddev must be non-negative");
+  return mean + stddev * Normal();
+}
+
+double Rng::Exponential(double rate) {
+  CORDIAL_CHECK_MSG(rate > 0.0, "Exponential rate must be positive");
+  double u;
+  do {
+    u = UniformReal();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Normal(mu, sigma));
+}
+
+std::size_t Rng::WeightedChoice(const std::vector<double>& weights) {
+  CORDIAL_CHECK_MSG(!weights.empty(), "WeightedChoice requires weights");
+  double total = 0.0;
+  for (double w : weights) {
+    CORDIAL_CHECK_MSG(w >= 0.0, "WeightedChoice weights must be non-negative");
+    total += w;
+  }
+  CORDIAL_CHECK_MSG(total > 0.0, "WeightedChoice weights must not all be zero");
+  double target = UniformReal() * total;
+  for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
+    if (target < weights[i]) return i;
+    target -= weights[i];
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::SampleWithoutReplacement(std::size_t n,
+                                                       std::size_t k) {
+  CORDIAL_CHECK_MSG(k <= n, "cannot sample more items than the population");
+  // Floyd's algorithm: O(k) expected, no O(n) scratch.
+  std::vector<std::size_t> chosen;
+  chosen.reserve(k);
+  for (std::size_t j = n - k; j < n; ++j) {
+    std::size_t t = static_cast<std::size_t>(UniformU64(j + 1));
+    bool seen = false;
+    for (std::size_t c : chosen) {
+      if (c == t) {
+        seen = true;
+        break;
+      }
+    }
+    chosen.push_back(seen ? j : t);
+  }
+  return chosen;
+}
+
+}  // namespace cordial

@@ -1,0 +1,118 @@
+// Deterministic pseudo-random number generation for reproducible simulation.
+//
+// All stochastic code in cordial draws from Rng so that a (seed, config) pair
+// fully determines a generated fleet, a trained model, and every benchmark
+// table. The engine is xoshiro256** seeded via SplitMix64, which is fast,
+// has a 2^256-1 period, and passes BigCrush.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace cordial {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+constexpr std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic random engine (xoshiro256**) with the distributions the
+/// simulator and the learners need. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x1234abcd5678ef00ULL) { Reseed(seed); }
+
+  void Reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(sm);
+  }
+
+  /// Derive an independent child stream; used to give each fleet entity its
+  /// own stream so generation order does not affect results.
+  Rng Fork(std::uint64_t stream_id) {
+    std::uint64_t mix = Next() ^ (0x9e3779b97f4a7c15ULL * (stream_id + 1));
+    return Rng(mix);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+  result_type operator()() { return Next(); }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). Uses Lemire's multiply-shift with rejection.
+  std::uint64_t UniformU64(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double UniformReal();
+
+  /// Uniform real in [lo, hi).
+  double UniformReal(double lo, double hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// PTRS transformed rejection for large means).
+  std::uint64_t Poisson(double mean);
+
+  /// Geometric: number of failures before first success, p in (0,1].
+  std::uint64_t Geometric(double p);
+
+  /// Standard normal via Box-Muller (cached second variate).
+  double Normal();
+  double Normal(double mean, double stddev);
+
+  /// Exponential with the given rate (lambda > 0).
+  double Exponential(double rate);
+
+  /// Log-normal: exp(Normal(mu, sigma)).
+  double LogNormal(double mu, double sigma);
+
+  /// Index in [0, weights.size()) with probability proportional to weight.
+  std::size_t WeightedChoice(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(UniformU64(i));
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// k distinct indices sampled uniformly from [0, n) (order unspecified).
+  std::vector<std::size_t> SampleWithoutReplacement(std::size_t n, std::size_t k);
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace cordial

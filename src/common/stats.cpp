@@ -1,0 +1,169 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace cordial {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+double RunningStats::min() const { return count_ == 0 ? 0.0 : min_; }
+double RunningStats::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double Quantile(std::vector<double> values, double p) {
+  CORDIAL_CHECK_MSG(!values.empty(), "Quantile of empty sample");
+  CORDIAL_CHECK_MSG(p >= 0.0 && p <= 1.0, "Quantile p must be in [0,1]");
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const double pos = p * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double ChiSquareStatistic(const std::vector<double>& observed,
+                          const std::vector<double>& expected) {
+  CORDIAL_CHECK_MSG(observed.size() == expected.size(),
+                    "chi-square cell count mismatch");
+  double stat = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    if (expected[i] == 0.0) {
+      CORDIAL_CHECK_MSG(observed[i] == 0.0,
+                        "observed mass in a zero-expectation cell");
+      continue;
+    }
+    const double d = observed[i] - expected[i];
+    stat += d * d / expected[i];
+  }
+  return stat;
+}
+
+double ChiSquare2x2(double a, double b, double c, double d) {
+  const double n = a + b + c + d;
+  CORDIAL_CHECK_MSG(n > 0.0, "empty 2x2 table");
+  const double r1 = a + b, r2 = c + d, c1 = a + c, c2 = b + d;
+  if (r1 == 0.0 || r2 == 0.0 || c1 == 0.0 || c2 == 0.0) return 0.0;
+  const double num = a * d - b * c;
+  return n * num * num / (r1 * r2 * c1 * c2);
+}
+
+double LogGamma(double x) {
+  // Lanczos approximation, g = 7, n = 9.
+  static constexpr double kCoef[9] = {
+      0.99999999999980993,  676.5203681218851,     -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059,   12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  CORDIAL_CHECK_MSG(x > 0.0, "LogGamma domain is x > 0");
+  if (x < 0.5) {
+    // Reflection formula.
+    const double pi = 3.14159265358979323846;
+    return std::log(pi / std::sin(pi * x)) - LogGamma(1.0 - x);
+  }
+  x -= 1.0;
+  double acc = kCoef[0];
+  const double t = x + 7.5;
+  for (int i = 1; i < 9; ++i) acc += kCoef[i] / (x + static_cast<double>(i));
+  return 0.5 * std::log(2.0 * 3.14159265358979323846) +
+         (x + 0.5) * std::log(t) - t + std::log(acc);
+}
+
+namespace {
+
+// Series expansion of P(a, x), good for x < a + 1.
+double GammaPSeries(double a, double x) {
+  const double log_pre = a * std::log(x) - x - LogGamma(a);
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int i = 0; i < 500; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * 1e-14) break;
+  }
+  return sum * std::exp(log_pre);
+}
+
+// Continued-fraction expansion of Q(a, x) = 1 - P(a, x), good for x >= a + 1.
+double GammaQContinuedFraction(double a, double x) {
+  const double log_pre = a * std::log(x) - x - LogGamma(a);
+  const double tiny = std::numeric_limits<double>::min() / 1e-30;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < 1e-14) break;
+  }
+  return std::exp(log_pre) * h;
+}
+
+}  // namespace
+
+double RegularizedGammaP(double a, double x) {
+  CORDIAL_CHECK_MSG(a > 0.0 && x >= 0.0, "RegularizedGammaP domain");
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return GammaPSeries(a, x);
+  return 1.0 - GammaQContinuedFraction(a, x);
+}
+
+double ChiSquarePValue(double statistic, double dof) {
+  CORDIAL_CHECK_MSG(dof > 0.0, "chi-square dof must be positive");
+  CORDIAL_CHECK_MSG(statistic >= 0.0, "chi-square statistic must be >= 0");
+  return 1.0 - RegularizedGammaP(dof / 2.0, statistic / 2.0);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  CORDIAL_CHECK_MSG(hi > lo, "Histogram range must be non-empty");
+  CORDIAL_CHECK_MSG(bins > 0, "Histogram needs at least one bin");
+}
+
+void Histogram::Add(double x) {
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::int64_t>(frac * static_cast<double>(counts_.size()));
+  idx = std::clamp<std::int64_t>(idx, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+}  // namespace cordial

@@ -1,0 +1,71 @@
+// Descriptive statistics and the chi-square machinery used by the
+// empirical-study analyses (Fig 4 of the paper) and by feature scoring.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cordial {
+
+/// Streaming mean/variance accumulator (Welford). Numerically stable.
+class RunningStats {
+ public:
+  void Add(double x);
+  std::size_t count() const { return count_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// p-quantile (0 <= p <= 1) with linear interpolation. Sorts a copy.
+double Quantile(std::vector<double> values, double p);
+
+/// Pearson chi-square statistic for an observed-vs-expected contingency.
+/// Cells with expected == 0 must have observed == 0 and contribute 0.
+double ChiSquareStatistic(const std::vector<double>& observed,
+                          const std::vector<double>& expected);
+
+/// Chi-square test of independence on a 2x2 table [[a,b],[c,d]].
+/// Returns the statistic (1 degree of freedom).
+double ChiSquare2x2(double a, double b, double c, double d);
+
+/// Upper-tail p-value of the chi-square distribution with `dof` degrees of
+/// freedom, i.e. P(X >= statistic). Computed via the regularized incomplete
+/// gamma function (series + continued fraction), accurate to ~1e-10.
+double ChiSquarePValue(double statistic, double dof);
+
+/// Regularized lower incomplete gamma P(a, x).
+double RegularizedGammaP(double a, double x);
+
+/// Natural log of the gamma function (Lanczos approximation).
+double LogGamma(double x);
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped into the
+/// first/last bin. Used by the bank error-map renderer and the benches.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void Add(double x);
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  std::uint64_t total() const { return total_; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace cordial

@@ -1,0 +1,100 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace cordial {
+
+namespace {
+
+bool LooksNumeric(const std::string& s) {
+  if (s.empty()) return false;
+  bool digit_seen = false;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit_seen = true;
+    } else if (c != '.' && c != '-' && c != '+' && c != '%' && c != 'e' &&
+               c != 'E' && c != 'x') {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  CORDIAL_CHECK_MSG(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  CORDIAL_CHECK_MSG(row.size() == header_.size(),
+                    "row width must match header width");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::AddSeparator() { rows_.emplace_back(); }
+
+std::string TextTable::Render(const std::string& title) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  }
+
+  std::size_t total = header_.size() * 3 + 1;
+  for (std::size_t w : width) total += w;
+
+  std::ostringstream os;
+  const std::string rule(total, '-');
+  if (!title.empty()) os << title << '\n';
+  os << rule << '\n';
+
+  auto emit_row = [&](const std::vector<std::string>& row, bool align) {
+    os << '|';
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = row[c];
+      const std::size_t pad = width[c] - cell.size();
+      os << ' ';
+      if (align && LooksNumeric(cell)) {
+        os << std::string(pad, ' ') << cell;
+      } else {
+        os << cell << std::string(pad, ' ');
+      }
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  emit_row(header_, false);
+  os << rule << '\n';
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      os << rule << '\n';
+    } else {
+      emit_row(row, true);
+    }
+  }
+  os << rule << '\n';
+  return os.str();
+}
+
+std::string TextTable::FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TextTable::FormatPercent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace cordial

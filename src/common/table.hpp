@@ -1,0 +1,29 @@
+// Aligned plain-text table rendering. Every bench binary prints its
+// paper-table reproduction through this so the output reads like the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cordial {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  /// Insert a horizontal rule before the next added row.
+  void AddSeparator();
+
+  /// Render with column alignment; numeric-looking cells are right-aligned.
+  std::string Render(const std::string& title = "") const;
+
+  static std::string FormatDouble(double value, int precision = 3);
+  static std::string FormatPercent(double fraction, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace cordial

@@ -1,0 +1,100 @@
+// Cross-row failure prediction stage (paper §IV-D).
+//
+// For aggregation-pattern banks, the ±64-row window around the last observed
+// UER row is divided into 16 blocks of 8 rows; a binary tree model predicts,
+// per block, whether a future UER row will land inside it. Predictions are
+// re-issued at every UER observation from the classification trigger (the
+// 3rd UER) onward, each time anchored at the newest UER row.
+//
+// Following Fig 5, separate predictors are trained for the single-row and
+// the double-row clustering classes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/features.hpp"
+#include "hbm/fault.hpp"
+#include "ml/classifier.hpp"
+#include "ml/metrics.hpp"
+
+namespace cordial::core {
+
+struct CrossRowConfig {
+  std::uint32_t block_size = 8;
+  std::uint32_t n_blocks = 16;
+  /// Anchors start at this UER event ordinal (3 = after classification).
+  std::size_t trigger_uers = 3;
+  /// Cap on anchors per bank, to bound dataset size on noisy banks.
+  std::size_t max_anchors_per_bank = 4;
+  /// Positive-class probability needed to predict a block. Block positives
+  /// are rare (~1-2 of 16 blocks), so the operating point sits below 0.5.
+  double positive_threshold = 0.25;
+};
+
+/// A prediction point: the bank state at `time_s` with the newest UER row
+/// `row` as window anchor.
+struct Anchor {
+  double time_s = 0.0;
+  std::uint32_t row = 0;
+  std::size_t uer_ordinal = 0;  ///< 1-based index of the anchoring UER event
+};
+
+class CrossRowPredictor {
+ public:
+  CrossRowPredictor(const hbm::TopologyConfig& topology, ml::LearnerKind kind,
+                    CrossRowConfig config = {});
+
+  const CrossRowConfig& config() const { return config_; }
+  const CrossRowFeatureExtractor& extractor() const { return extractor_; }
+
+  /// Anchors of a bank: one per UER event from the trigger ordinal onward,
+  /// skipping consecutive repeats of the same row, capped by config.
+  std::vector<Anchor> AnchorsOf(const trace::BankHistory& bank) const;
+
+  /// Distinct UER rows with their first-failure times, ascending time.
+  static std::vector<std::pair<std::uint32_t, double>> FirstFailures(
+      const trace::BankHistory& bank);
+
+  /// Ground-truth block labels at an anchor: label[b] == 1 iff some row
+  /// whose FIRST failure is after anchor.time_s lies in block b.
+  std::vector<int> BlockTruth(const trace::BankHistory& bank,
+                              const Anchor& anchor) const;
+
+  /// Dataset with one row per (bank, anchor, in-bank block).
+  ml::Dataset BuildDataset(
+      const std::vector<const trace::BankHistory*>& banks) const;
+
+  void Train(const std::vector<const trace::BankHistory*>& banks, Rng& rng);
+  bool trained() const { return trained_; }
+
+  /// Per-block positive probability at an anchor; blocks outside the bank
+  /// get probability 0.
+  std::vector<double> PredictBlockProba(const trace::BankHistory& bank,
+                                        const Anchor& anchor) const;
+  /// Thresholded predictions.
+  std::vector<int> PredictBlocks(const trace::BankHistory& bank,
+                                 const Anchor& anchor) const;
+
+  /// Persist / restore the trained block model.
+  void SaveModel(std::ostream& out) const;
+  void LoadModel(std::istream& in);
+
+  /// Normalized per-feature importance, parallel to
+  /// extractor().feature_names().
+  std::vector<double> FeatureImportance() const;
+
+ private:
+  hbm::TopologyConfig topology_;
+  CrossRowFeatureExtractor extractor_;
+  CrossRowConfig config_;
+  std::unique_ptr<ml::Classifier> model_;
+  bool trained_ = false;
+};
+
+/// Learner factory tuned for the (larger) block-level dataset: boosters use
+/// histogram splits so exact-sort cost does not dominate.
+std::unique_ptr<ml::Classifier> MakeCrossRowLearner(ml::LearnerKind kind);
+
+}  // namespace cordial::core

@@ -1,0 +1,401 @@
+#include "core/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/check.hpp"
+
+namespace cordial::core {
+
+using hbm::ErrorType;
+
+namespace {
+
+/// min/max/avg over a vector; kMissing triple when empty.
+struct Summary {
+  double min = kMissing;
+  double max = kMissing;
+  double avg = kMissing;
+};
+
+Summary Summarize(const std::vector<double>& values) {
+  if (values.empty()) return {};
+  Summary s;
+  s.min = *std::min_element(values.begin(), values.end());
+  s.max = *std::max_element(values.begin(), values.end());
+  double total = 0.0;
+  for (double v : values) total += v;
+  s.avg = total / static_cast<double>(values.size());
+  return s;
+}
+
+std::vector<double> ConsecutiveAbsDiffs(const std::vector<double>& values) {
+  std::vector<double> diffs;
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    diffs.push_back(std::fabs(values[i] - values[i - 1]));
+  }
+  return diffs;
+}
+
+}  // namespace
+
+TruncatedHistory TruncateAtUer(const trace::BankHistory& bank,
+                               std::size_t max_uers) {
+  CORDIAL_CHECK_MSG(max_uers >= 1, "must keep at least one UER");
+  TruncatedHistory out;
+  // Find the cutoff: time of the max_uers-th UER event (or last UER).
+  std::size_t uers_seen = 0;
+  double cutoff = -std::numeric_limits<double>::infinity();
+  for (const trace::MceRecord& r : bank.events) {
+    if (r.type != ErrorType::kUer) continue;
+    ++uers_seen;
+    cutoff = r.time_s;
+    if (uers_seen == max_uers) break;
+  }
+  CORDIAL_CHECK_MSG(uers_seen >= 1, "TruncateAtUer requires a UER bank");
+  out.cutoff_s = cutoff;
+
+  std::size_t uers_kept = 0;
+  for (const trace::MceRecord& r : bank.events) {
+    if (r.time_s > out.cutoff_s) break;
+    if (r.type == ErrorType::kUer) {
+      if (uers_kept == max_uers) continue;  // ties beyond the cap
+      ++uers_kept;
+    }
+    out.events.push_back(r);
+  }
+  out.uer_count = uers_kept;
+  return out;
+}
+
+std::uint32_t EstimateRowStride(const std::vector<std::uint32_t>& rows,
+                                std::uint32_t adjacency_floor) {
+  std::set<std::uint32_t> distinct(rows.begin(), rows.end());
+  std::uint32_t stride = 0;
+  std::optional<std::uint32_t> prev;
+  for (std::uint32_t row : distinct) {
+    if (prev.has_value()) {
+      const std::uint32_t gap = row - *prev;
+      if (gap > adjacency_floor && (stride == 0 || gap < stride)) {
+        stride = gap;
+      }
+    }
+    prev = row;
+  }
+  return stride;
+}
+
+// ------------------------------------------------------- classification
+
+ClassificationFeatureExtractor::ClassificationFeatureExtractor(
+    const hbm::TopologyConfig& topology, std::size_t max_uers)
+    : topology_(topology), max_uers_(max_uers) {
+  topology_.Validate();
+  CORDIAL_CHECK_MSG(max_uers_ >= 1, "max_uers must be >= 1");
+  feature_names_ = {
+      // spatial
+      "ce_row_min", "ce_row_max", "ueo_row_min", "ueo_row_max",
+      "uer_row_min", "uer_row_max", "uer_row_span", "uer_row_span_ratio",
+      "uer_row_diff_min", "uer_row_diff_max", "uer_row_diff_avg",
+      "all_row_diff_min", "all_row_diff_max", "all_row_diff_avg",
+      "uer_half_alias_gap",
+      // temporal
+      "ce_dt_min", "ce_dt_max", "ce_dt_avg",
+      "ueo_dt_min", "ueo_dt_max", "ueo_dt_avg",
+      "uer_dt_min", "uer_dt_max", "uer_dt_avg",
+      "uer_time_span",
+      // counts
+      "ce_count_before_first_uer", "ueo_count_before_first_uer",
+      "ce_count_total", "ueo_count_total", "uer_distinct_rows",
+  };
+}
+
+std::vector<double> ClassificationFeatureExtractor::Extract(
+    const trace::BankHistory& bank) const {
+  const TruncatedHistory view = TruncateAtUer(bank, max_uers_);
+
+  std::vector<double> ce_rows, ueo_rows, uer_rows, all_rows;
+  std::vector<double> ce_times, ueo_times, uer_times;
+  double first_uer_t = std::numeric_limits<double>::infinity();
+  for (const trace::MceRecord& r : view.events) {
+    const auto row = static_cast<double>(r.address.row);
+    all_rows.push_back(row);
+    switch (r.type) {
+      case ErrorType::kCe:
+        ce_rows.push_back(row);
+        ce_times.push_back(r.time_s);
+        break;
+      case ErrorType::kUeo:
+        ueo_rows.push_back(row);
+        ueo_times.push_back(r.time_s);
+        break;
+      case ErrorType::kUer:
+        uer_rows.push_back(row);
+        uer_times.push_back(r.time_s);
+        first_uer_t = std::min(first_uer_t, r.time_s);
+        break;
+    }
+  }
+  CORDIAL_CHECK_MSG(!uer_rows.empty(), "classification features need a UER");
+
+  auto min_or_missing = [](const std::vector<double>& v) {
+    return v.empty() ? kMissing : *std::min_element(v.begin(), v.end());
+  };
+  auto max_or_missing = [](const std::vector<double>& v) {
+    return v.empty() ? kMissing : *std::max_element(v.begin(), v.end());
+  };
+
+  const double uer_min = min_or_missing(uer_rows);
+  const double uer_max = max_or_missing(uer_rows);
+  const double uer_span = uer_max - uer_min;
+
+  // Half-bank aliasing indicator: minimal |pairwise distance - rows/2| over
+  // distinct UER row pairs (the signature of half total-row clusters).
+  double half_alias_gap = kMissing;
+  {
+    std::set<double> distinct(uer_rows.begin(), uer_rows.end());
+    const double half = static_cast<double>(topology_.rows_per_bank) / 2.0;
+    for (auto a = distinct.begin(); a != distinct.end(); ++a) {
+      for (auto b = std::next(a); b != distinct.end(); ++b) {
+        const double gap = std::fabs(std::fabs(*b - *a) - half);
+        if (half_alias_gap == kMissing || gap < half_alias_gap) {
+          half_alias_gap = gap;
+        }
+      }
+    }
+  }
+
+  const Summary uer_row_diff = Summarize(ConsecutiveAbsDiffs(uer_rows));
+  const Summary all_row_diff = Summarize(ConsecutiveAbsDiffs(all_rows));
+  const Summary ce_dt = Summarize(ConsecutiveAbsDiffs(ce_times));
+  const Summary ueo_dt = Summarize(ConsecutiveAbsDiffs(ueo_times));
+  const Summary uer_dt = Summarize(ConsecutiveAbsDiffs(uer_times));
+
+  const double uer_time_span =
+      uer_times.size() < 2 ? kMissing : uer_times.back() - uer_times.front();
+
+  double ce_before = 0.0, ueo_before = 0.0;
+  for (const trace::MceRecord& r : view.events) {
+    if (r.time_s >= first_uer_t) break;
+    if (r.type == ErrorType::kCe) ce_before += 1.0;
+    if (r.type == ErrorType::kUeo) ueo_before += 1.0;
+  }
+
+  std::set<double> distinct_uer_rows(uer_rows.begin(), uer_rows.end());
+
+  std::vector<double> features = {
+      min_or_missing(ce_rows), max_or_missing(ce_rows),
+      min_or_missing(ueo_rows), max_or_missing(ueo_rows),
+      uer_min, uer_max, uer_span,
+      uer_span / static_cast<double>(topology_.rows_per_bank),
+      uer_row_diff.min, uer_row_diff.max, uer_row_diff.avg,
+      all_row_diff.min, all_row_diff.max, all_row_diff.avg,
+      half_alias_gap,
+      ce_dt.min, ce_dt.max, ce_dt.avg,
+      ueo_dt.min, ueo_dt.max, ueo_dt.avg,
+      uer_dt.min, uer_dt.max, uer_dt.avg,
+      uer_time_span,
+      ce_before, ueo_before,
+      static_cast<double>(ce_rows.size()),
+      static_cast<double>(ueo_rows.size()),
+      static_cast<double>(distinct_uer_rows.size()),
+  };
+  CORDIAL_CHECK_MSG(features.size() == feature_names_.size(),
+                    "classification feature arity drifted");
+  return features;
+}
+
+// ------------------------------------------------------------ block window
+
+std::optional<std::pair<std::uint32_t, std::uint32_t>> BlockWindow::BlockRange(
+    std::size_t i) const {
+  CORDIAL_CHECK_MSG(i < n_blocks, "block index out of range");
+  const std::int64_t lo =
+      WindowStart() + static_cast<std::int64_t>(i) * block_size;
+  const std::int64_t hi = lo + static_cast<std::int64_t>(block_size) - 1;
+  const std::int64_t bank_hi = static_cast<std::int64_t>(rows_per_bank) - 1;
+  if (hi < 0 || lo > bank_hi) return std::nullopt;
+  return std::make_pair(
+      static_cast<std::uint32_t>(std::max<std::int64_t>(lo, 0)),
+      static_cast<std::uint32_t>(std::min(hi, bank_hi)));
+}
+
+std::optional<std::size_t> BlockWindow::BlockOf(std::uint32_t row) const {
+  const std::int64_t offset = static_cast<std::int64_t>(row) - WindowStart();
+  if (offset < 0) return std::nullopt;
+  const auto block = static_cast<std::size_t>(offset / block_size);
+  if (block >= n_blocks) return std::nullopt;
+  return block;
+}
+
+// --------------------------------------------------------------- cross-row
+
+CrossRowFeatureExtractor::CrossRowFeatureExtractor(
+    const hbm::TopologyConfig& topology, std::uint32_t block_size,
+    std::uint32_t n_blocks)
+    : topology_(topology), block_size_(block_size), n_blocks_(n_blocks) {
+  topology_.Validate();
+  CORDIAL_CHECK_MSG(block_size_ > 0 && n_blocks_ > 0,
+                    "block geometry must be non-trivial");
+  CORDIAL_CHECK_MSG(n_blocks_ % 2 == 0,
+                    "window must have an even number of blocks");
+  feature_names_ = {
+      // block geometry
+      "block_index", "block_center_offset", "block_abs_offset",
+      "anchor_row_ratio",
+      // spatial proximity of earlier errors to the block
+      "nearest_ce_row_dist", "nearest_ueo_row_dist", "nearest_uer_row_dist",
+      "ce_rows_in_block", "ueo_rows_in_block", "uer_rows_in_block",
+      "uer_rows_in_window", "uer_rows_within_8",
+      // bank spatial profile
+      "uer_row_diff_min", "uer_row_diff_max", "uer_row_diff_avg",
+      "all_row_diff_min", "all_row_diff_max", "all_row_diff_avg",
+      "uer_row_span",
+      // strip-geometry features
+      "est_stride", "block_offset_fold_stride", "block_k_positions",
+      // temporal profile
+      "ce_dt_min", "ce_dt_max", "ueo_dt_min", "ueo_dt_max",
+      "uer_dt_min", "uer_dt_max", "uer_dt_avg",
+      "time_since_last_event", "time_since_first_uer",
+      // counts
+      "ce_count", "ueo_count", "uer_count", "uce_count", "all_count",
+  };
+}
+
+BlockWindow CrossRowFeatureExtractor::WindowAt(std::uint32_t anchor_row) const {
+  BlockWindow w;
+  w.anchor_row = anchor_row;
+  w.block_size = block_size_;
+  w.n_blocks = n_blocks_;
+  w.rows_per_bank = topology_.rows_per_bank;
+  return w;
+}
+
+std::vector<double> CrossRowFeatureExtractor::Extract(
+    const trace::BankHistory& bank, double anchor_time_s,
+    std::uint32_t anchor_row, std::size_t block) const {
+  const BlockWindow window = WindowAt(anchor_row);
+  const auto range = window.BlockRange(block);
+  CORDIAL_CHECK_MSG(range.has_value(),
+                    "cannot extract features for an out-of-bank block");
+  const double block_center =
+      0.5 * (static_cast<double>(range->first) +
+             static_cast<double>(range->second));
+
+  std::vector<double> ce_rows, ueo_rows, uer_rows, all_rows;
+  std::vector<double> ce_times, ueo_times, uer_times;
+  double last_event_t = kMissing;
+  for (const trace::MceRecord& r : bank.events) {
+    if (r.time_s > anchor_time_s) break;
+    const auto row = static_cast<double>(r.address.row);
+    all_rows.push_back(row);
+    last_event_t = r.time_s;
+    switch (r.type) {
+      case ErrorType::kCe:
+        ce_rows.push_back(row);
+        ce_times.push_back(r.time_s);
+        break;
+      case ErrorType::kUeo:
+        ueo_rows.push_back(row);
+        ueo_times.push_back(r.time_s);
+        break;
+      case ErrorType::kUer:
+        uer_rows.push_back(row);
+        uer_times.push_back(r.time_s);
+        break;
+    }
+  }
+  CORDIAL_CHECK_MSG(!uer_rows.empty(),
+                    "cross-row features need at least one prior UER");
+
+  auto nearest_dist = [&](const std::vector<double>& rows) {
+    double best = kMissing;
+    for (double row : rows) {
+      const double d = std::fabs(row - block_center);
+      if (best == kMissing || d < best) best = d;
+    }
+    return best;
+  };
+  auto rows_in_range = [&](const std::vector<double>& rows) {
+    std::set<double> distinct;
+    for (double row : rows) {
+      if (row >= static_cast<double>(range->first) &&
+          row <= static_cast<double>(range->second)) {
+        distinct.insert(row);
+      }
+    }
+    return static_cast<double>(distinct.size());
+  };
+
+  std::set<double> distinct_uer(uer_rows.begin(), uer_rows.end());
+  double uer_in_window = 0.0, uer_within_8 = 0.0;
+  for (double row : distinct_uer) {
+    if (std::fabs(row - static_cast<double>(anchor_row)) <=
+        static_cast<double>(window.radius())) {
+      uer_in_window += 1.0;
+    }
+    if (std::fabs(row - static_cast<double>(anchor_row)) <= 8.0) {
+      uer_within_8 += 1.0;
+    }
+  }
+
+  const Summary uer_row_diff = Summarize(ConsecutiveAbsDiffs(uer_rows));
+  const Summary all_row_diff = Summarize(ConsecutiveAbsDiffs(all_rows));
+  const Summary ce_dt = Summarize(ConsecutiveAbsDiffs(ce_times));
+  const Summary ueo_dt = Summarize(ConsecutiveAbsDiffs(ueo_times));
+  const Summary uer_dt = Summarize(ConsecutiveAbsDiffs(uer_times));
+
+  const double uer_span =
+      *std::max_element(uer_rows.begin(), uer_rows.end()) -
+      *std::min_element(uer_rows.begin(), uer_rows.end());
+
+  // Strip geometry: fold the block offset onto the estimated stride. A
+  // block sitting on a strip position folds to ~0 and is a likely target.
+  std::vector<std::uint32_t> uer_rows_u32;
+  uer_rows_u32.reserve(uer_rows.size());
+  for (double row : uer_rows) {
+    uer_rows_u32.push_back(static_cast<std::uint32_t>(row));
+  }
+  const std::uint32_t stride = EstimateRowStride(uer_rows_u32);
+  double fold = kMissing;
+  double k_positions = kMissing;
+  if (stride > 0) {
+    // Fold relative to the nearest prior UER row, not the anchor alone:
+    // strip positions repeat from any failed row.
+    const double nearest_uer = nearest_dist(uer_rows);
+    const double mod = std::fmod(nearest_uer, static_cast<double>(stride));
+    fold = std::min(mod, static_cast<double>(stride) - mod);
+    k_positions = nearest_uer / static_cast<double>(stride);
+  }
+
+  std::vector<double> features = {
+      static_cast<double>(block),
+      block_center - static_cast<double>(anchor_row),
+      std::fabs(block_center - static_cast<double>(anchor_row)),
+      static_cast<double>(anchor_row) /
+          static_cast<double>(topology_.rows_per_bank),
+      nearest_dist(ce_rows), nearest_dist(ueo_rows), nearest_dist(uer_rows),
+      rows_in_range(ce_rows), rows_in_range(ueo_rows), rows_in_range(uer_rows),
+      uer_in_window, uer_within_8,
+      uer_row_diff.min, uer_row_diff.max, uer_row_diff.avg,
+      all_row_diff.min, all_row_diff.max, all_row_diff.avg,
+      uer_span,
+      stride == 0 ? kMissing : static_cast<double>(stride), fold, k_positions,
+      ce_dt.min, ce_dt.max, ueo_dt.min, ueo_dt.max,
+      uer_dt.min, uer_dt.max, uer_dt.avg,
+      last_event_t == kMissing ? kMissing : anchor_time_s - last_event_t,
+      anchor_time_s - uer_times.front(),
+      static_cast<double>(ce_rows.size()),
+      static_cast<double>(ueo_rows.size()),
+      static_cast<double>(uer_rows.size()),
+      static_cast<double>(ueo_rows.size() + uer_rows.size()),
+      static_cast<double>(all_rows.size()),
+  };
+  CORDIAL_CHECK_MSG(features.size() == feature_names_.size(),
+                    "cross-row feature arity drifted");
+  return features;
+}
+
+}  // namespace cordial::core

@@ -1,0 +1,177 @@
+#include "core/inrow.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "common/check.hpp"
+#include "core/features.hpp"
+
+namespace cordial::core {
+
+using hbm::ErrorType;
+
+InRowPredictor::InRowPredictor(const hbm::TopologyConfig& topology,
+                               ml::LearnerKind kind, InRowConfig config)
+    : topology_(topology), config_(config) {
+  topology_.Validate();
+  CORDIAL_CHECK_MSG(
+      config_.positive_threshold > 0.0 && config_.positive_threshold < 1.0,
+      "in-row threshold must be in (0,1)");
+  CORDIAL_CHECK_MSG(config_.max_observations_per_row >= 1,
+                    "need at least one observation per row");
+  model_ = MakeCrossRowLearner(kind);
+  feature_names_ = {
+      "row_ce_count", "row_ueo_count", "row_error_count",
+      "row_distinct_cols",
+      "row_time_since_first_error", "row_time_since_last_error",
+      "row_dt_min", "row_dt_max", "row_dt_avg",
+      "bank_ce_count", "bank_ueo_count", "bank_uer_count",
+      "bank_uer_rows_nearby", "row_position_ratio",
+  };
+}
+
+std::vector<double> InRowPredictor::Extract(const trace::BankHistory& bank,
+                                            std::uint32_t row,
+                                            double time_s) const {
+  std::vector<double> row_times;
+  double row_ce = 0.0, row_ueo = 0.0;
+  std::set<std::uint32_t> row_cols;
+  double bank_ce = 0.0, bank_ueo = 0.0, bank_uer = 0.0;
+  double nearby_uer_rows = 0.0;
+  std::set<std::uint32_t> uer_rows_seen;
+  for (const trace::MceRecord& r : bank.events) {
+    if (r.time_s > time_s) break;
+    if (r.type == ErrorType::kCe) bank_ce += 1.0;
+    if (r.type == ErrorType::kUeo) bank_ueo += 1.0;
+    if (r.type == ErrorType::kUer) {
+      bank_uer += 1.0;
+      if (uer_rows_seen.insert(r.address.row).second) {
+        const auto dist =
+            std::abs(static_cast<std::int64_t>(r.address.row) -
+                     static_cast<std::int64_t>(row));
+        if (dist <= 64) nearby_uer_rows += 1.0;
+      }
+    }
+    if (r.address.row != row) continue;
+    if (r.type == ErrorType::kUer) continue;  // in-row precursors only
+    row_times.push_back(r.time_s);
+    row_cols.insert(r.address.col);
+    if (r.type == ErrorType::kCe) row_ce += 1.0;
+    if (r.type == ErrorType::kUeo) row_ueo += 1.0;
+  }
+  CORDIAL_CHECK_MSG(!row_times.empty(),
+                    "in-row features need a precursor in the row");
+
+  double dt_min = kMissing, dt_max = kMissing, dt_avg = kMissing;
+  if (row_times.size() >= 2) {
+    dt_min = dt_max = row_times[1] - row_times[0];
+    double total = 0.0;
+    for (std::size_t i = 1; i < row_times.size(); ++i) {
+      const double dt = row_times[i] - row_times[i - 1];
+      dt_min = std::min(dt_min, dt);
+      dt_max = std::max(dt_max, dt);
+      total += dt;
+    }
+    dt_avg = total / static_cast<double>(row_times.size() - 1);
+  }
+
+  std::vector<double> features = {
+      row_ce,
+      row_ueo,
+      row_ce + row_ueo,
+      static_cast<double>(row_cols.size()),
+      time_s - row_times.front(),
+      time_s - row_times.back(),
+      dt_min,
+      dt_max,
+      dt_avg,
+      bank_ce,
+      bank_ueo,
+      bank_uer,
+      nearby_uer_rows,
+      static_cast<double>(row) / static_cast<double>(topology_.rows_per_bank),
+  };
+  CORDIAL_CHECK_MSG(features.size() == feature_names_.size(),
+                    "in-row feature arity drifted");
+  return features;
+}
+
+ml::Dataset InRowPredictor::BuildDataset(
+    const std::vector<const trace::BankHistory*>& banks) const {
+  ml::Dataset data(num_features(), /*num_classes=*/2, feature_names_);
+  for (const trace::BankHistory* bank : banks) {
+    CORDIAL_CHECK_MSG(bank != nullptr, "null bank in training set");
+    // First-UER time per row (labels) and precursor observations per row.
+    std::map<std::uint32_t, double> first_uer;
+    for (const trace::MceRecord& r : bank->events) {
+      if (r.type == ErrorType::kUer && !first_uer.contains(r.address.row)) {
+        first_uer[r.address.row] = r.time_s;
+      }
+    }
+    std::map<std::uint32_t, std::size_t> observations;
+    std::size_t negative_rows_used = 0;
+    std::set<std::uint32_t> negative_rows;
+    for (const trace::MceRecord& r : bank->events) {
+      if (r.type == ErrorType::kUer) continue;
+      const std::uint32_t row = r.address.row;
+      if (observations[row] >= config_.max_observations_per_row) continue;
+      const auto uer_it = first_uer.find(row);
+      // Observation must precede the row's failure to be a valid sample.
+      const bool fails_later =
+          uer_it != first_uer.end() && uer_it->second > r.time_s;
+      const bool never_fails = uer_it == first_uer.end();
+      if (!fails_later && !never_fails) continue;  // precursor after failure
+      if (never_fails) {
+        if (!negative_rows.contains(row) &&
+            negative_rows_used >= config_.max_negative_rows_per_bank) {
+          continue;
+        }
+        if (negative_rows.insert(row).second) ++negative_rows_used;
+      }
+      ++observations[row];
+      data.AddRow(Extract(*bank, row, r.time_s), fails_later ? 1 : 0);
+    }
+  }
+  return data;
+}
+
+void InRowPredictor::Train(
+    const std::vector<const trace::BankHistory*>& banks, Rng& rng) {
+  const ml::Dataset data = BuildDataset(banks);
+  CORDIAL_CHECK_MSG(!data.empty(), "no in-row training samples");
+  const auto counts = data.ClassCounts();
+  CORDIAL_CHECK_MSG(counts[0] > 0 && counts[1] > 0,
+                    "in-row training data must contain both classes");
+  model_->Fit(data, rng);
+  trained_ = true;
+}
+
+double InRowPredictor::PredictRowFailure(const trace::BankHistory& bank,
+                                         std::uint32_t row,
+                                         double time_s) const {
+  CORDIAL_CHECK_MSG(trained_, "in-row predictor not trained");
+  return model_->PredictProba(Extract(bank, row, time_s))[1];
+}
+
+LearnedInRowStrategy::LearnedInRowStrategy(const InRowPredictor& predictor)
+    : predictor_(predictor) {
+  CORDIAL_CHECK_MSG(predictor_.trained(),
+                    "in-row strategy needs a trained predictor");
+}
+
+void LearnedInRowStrategy::OnEvent(const trace::BankHistory& bank,
+                                   std::size_t event_index,
+                                   hbm::SparingLedger& ledger) {
+  const trace::MceRecord& r = bank.events[event_index];
+  if (r.type == ErrorType::kUer) return;
+  if (ledger.IsRowSpared(bank.bank_key, r.address.row)) return;
+  const double p =
+      predictor_.PredictRowFailure(bank, r.address.row, r.time_s);
+  if (p >= predictor_.config().positive_threshold) {
+    ledger.TrySpareRow(bank.bank_key, r.address.row);
+  }
+}
+
+}  // namespace cordial::core

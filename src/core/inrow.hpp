@@ -1,0 +1,86 @@
+// Learned in-row failure prediction — the paradigm Cordial replaces.
+//
+// Existing frameworks (paper §I, §II-C) forecast a row's UERs from that
+// row's own prior errors: precursor CEs/UEOs are treated as signals that
+// the same row will fail. This module implements that paradigm honestly —
+// a binary tree model over per-row precursor features — so the repository
+// can measure, rather than assume, its ceiling: since 95.61% of UER rows
+// are sudden (no in-row precursor, Table I), even a perfect in-row model
+// cannot cover more than ~4.4% of failures.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/isolation.hpp"
+#include "hbm/topology.hpp"
+#include "ml/classifier.hpp"
+#include "trace/error_log.hpp"
+
+namespace cordial::core {
+
+struct InRowConfig {
+  /// Positive probability needed to isolate the row.
+  double positive_threshold = 0.5;
+  /// Observation points per row are capped (each precursor event is one).
+  std::size_t max_observations_per_row = 3;
+  /// Negative rows per bank kept for training (downsampling the huge
+  /// never-fails majority).
+  std::size_t max_negative_rows_per_bank = 8;
+};
+
+class InRowPredictor {
+ public:
+  InRowPredictor(const hbm::TopologyConfig& topology, ml::LearnerKind kind,
+                 InRowConfig config = {});
+
+  const InRowConfig& config() const { return config_; }
+  std::size_t num_features() const { return feature_names_.size(); }
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+
+  /// Features for row `row` of `bank` as of `time_s` (events after the
+  /// cutoff are invisible). The row must have at least one CE/UEO at or
+  /// before the cutoff.
+  std::vector<double> Extract(const trace::BankHistory& bank,
+                              std::uint32_t row, double time_s) const;
+
+  /// One sample per (row, precursor observation) pair; label 1 iff the row
+  /// raises a UER strictly after the observation time.
+  ml::Dataset BuildDataset(
+      const std::vector<const trace::BankHistory*>& banks) const;
+
+  void Train(const std::vector<const trace::BankHistory*>& banks, Rng& rng);
+  bool trained() const { return trained_; }
+
+  /// P(row fails later | its error history up to time_s).
+  double PredictRowFailure(const trace::BankHistory& bank, std::uint32_t row,
+                           double time_s) const;
+
+ private:
+  hbm::TopologyConfig topology_;
+  InRowConfig config_;
+  std::vector<std::string> feature_names_;
+  std::unique_ptr<ml::Classifier> model_;
+  bool trained_ = false;
+};
+
+/// Deployment strategy for the learned in-row paradigm: on every CE/UEO,
+/// re-evaluate that row and spare it when the model fires.
+class LearnedInRowStrategy final : public IsolationStrategy {
+ public:
+  explicit LearnedInRowStrategy(const InRowPredictor& predictor);
+
+  void OnBankStart(const trace::BankHistory&) override {}
+  void OnEvent(const trace::BankHistory& bank, std::size_t event_index,
+               hbm::SparingLedger& ledger) override;
+  const std::string& name() const override { return name_; }
+
+ private:
+  const InRowPredictor& predictor_;
+  std::string name_ = "Learned In-row";
+};
+
+}  // namespace cordial::core

@@ -1,0 +1,150 @@
+#include "core/isolation.hpp"
+
+#include <set>
+
+#include "common/check.hpp"
+#include "hbm/address.hpp"
+
+namespace cordial::core {
+
+using hbm::ErrorType;
+
+IcrEvaluator::IcrEvaluator(const hbm::TopologyConfig& topology,
+                           hbm::SparingBudget budget)
+    : topology_(topology), budget_(budget) {
+  topology_.Validate();
+}
+
+IcrResult IcrEvaluator::Evaluate(
+    const std::vector<const trace::BankHistory*>& banks,
+    IsolationStrategy& strategy) const {
+  IcrResult result;
+  hbm::SparingLedger ledger(budget_);
+  for (const trace::BankHistory* bank : banks) {
+    CORDIAL_CHECK_MSG(bank != nullptr, "null bank in evaluation set");
+    strategy.OnBankStart(*bank);
+    std::set<std::uint32_t> failed_rows;
+    for (std::size_t i = 0; i < bank->events.size(); ++i) {
+      const trace::MceRecord& r = bank->events[i];
+      if (r.type == ErrorType::kUer &&
+          failed_rows.insert(r.address.row).second) {
+        ++result.total_uer_rows;
+        if (ledger.IsRowSpared(bank->bank_key, r.address.row)) {
+          ++result.covered_rows;
+        } else if (ledger.IsBankSpared(bank->bank_key)) {
+          ++result.covered_by_bank_spare;
+        }
+      }
+      strategy.OnEvent(*bank, i, ledger);
+    }
+  }
+  result.rows_spared = ledger.rows_spared();
+  result.banks_spared = ledger.banks_spared();
+  result.sparing_cost = ledger.total_cost();
+  return result;
+}
+
+// ----------------------------------------------------------------- in-row
+
+void InRowStrategy::OnEvent(const trace::BankHistory& bank,
+                            std::size_t event_index,
+                            hbm::SparingLedger& ledger) {
+  const trace::MceRecord& r = bank.events[event_index];
+  if (r.type == ErrorType::kUer) return;
+  // A row that sheds correctable errors is predicted to fail in-row.
+  ledger.TrySpareRow(bank.bank_key, r.address.row);
+}
+
+// ---------------------------------------------------------- neighbor rows
+
+NeighborRowsStrategy::NeighborRowsStrategy(std::uint32_t adjacency,
+                                           std::uint32_t rows_per_bank)
+    : adjacency_(adjacency), rows_per_bank_(rows_per_bank) {
+  CORDIAL_CHECK_MSG(adjacency_ > 0, "adjacency must be positive");
+}
+
+void NeighborRowsStrategy::OnEvent(const trace::BankHistory& bank,
+                                   std::size_t event_index,
+                                   hbm::SparingLedger& ledger) {
+  const trace::MceRecord& r = bank.events[event_index];
+  if (r.type != ErrorType::kUer) return;
+  const std::int64_t row = r.address.row;
+  for (std::int64_t d = 1; d <= static_cast<std::int64_t>(adjacency_); ++d) {
+    for (const std::int64_t neighbor : {row - d, row + d}) {
+      if (neighbor < 0 || neighbor >= static_cast<std::int64_t>(rows_per_bank_)) {
+        continue;
+      }
+      ledger.TrySpareRow(bank.bank_key, static_cast<std::uint32_t>(neighbor));
+    }
+  }
+}
+
+// ----------------------------------------------------------------- cordial
+
+CordialStrategy::CordialStrategy(const PatternClassifier& classifier,
+                                 const CrossRowPredictor& single_predictor,
+                                 const CrossRowPredictor& double_predictor,
+                                 CordialPolicyConfig config)
+    : classifier_(classifier),
+      single_predictor_(single_predictor),
+      double_predictor_(double_predictor),
+      config_(config) {
+  CORDIAL_CHECK_MSG(classifier_.trained(), "classifier must be trained");
+  CORDIAL_CHECK_MSG(single_predictor_.trained() && double_predictor_.trained(),
+                    "cross-row predictors must be trained");
+}
+
+void CordialStrategy::OnBankStart(const trace::BankHistory&) {
+  uer_events_seen_ = 0;
+  anchors_used_ = 0;
+  classified_ = false;
+  bank_class_ = hbm::FailureClass::kScattered;
+  last_anchor_row_ = -1;
+}
+
+void CordialStrategy::OnEvent(const trace::BankHistory& bank,
+                              std::size_t event_index,
+                              hbm::SparingLedger& ledger) {
+  const trace::MceRecord& r = bank.events[event_index];
+  if (r.type != ErrorType::kUer) return;
+  ++uer_events_seen_;
+
+  const std::size_t trigger = single_predictor_.config().trigger_uers;
+  if (uer_events_seen_ < trigger) return;
+
+  if (!classified_) {
+    // The classifier's extractor truncates at the trigger-th UER, which is
+    // exactly the current event — no lookahead.
+    bank_class_ = classifier_.Classify(bank);
+    classified_ = true;
+    if (bank_class_ == hbm::FailureClass::kScattered) {
+      if (config_.bank_spare_scattered) ledger.TrySpareBank(bank.bank_key);
+      return;
+    }
+  }
+  if (bank_class_ == hbm::FailureClass::kScattered) return;
+
+  // Re-anchor at every new UER row, mirroring AnchorsOf().
+  if (static_cast<std::int64_t>(r.address.row) == last_anchor_row_) return;
+  if (anchors_used_ >= single_predictor_.config().max_anchors_per_bank) return;
+  last_anchor_row_ = r.address.row;
+  ++anchors_used_;
+
+  const CrossRowPredictor& predictor =
+      bank_class_ == hbm::FailureClass::kSingleRowClustering
+          ? single_predictor_
+          : double_predictor_;
+  const Anchor anchor{r.time_s, r.address.row, uer_events_seen_};
+  const std::vector<int> blocks = predictor.PredictBlocks(bank, anchor);
+  const BlockWindow window = predictor.extractor().WindowAt(anchor.row);
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    if (blocks[b] != 1) continue;
+    const auto range = window.BlockRange(b);
+    if (!range.has_value()) continue;
+    for (std::uint32_t row = range->first; row <= range->second; ++row) {
+      ledger.TrySpareRow(bank.bank_key, row);
+    }
+  }
+}
+
+}  // namespace cordial::core

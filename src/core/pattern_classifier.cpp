@@ -1,0 +1,71 @@
+#include "core/pattern_classifier.hpp"
+
+#include "common/check.hpp"
+
+namespace cordial::core {
+
+PatternClassifier::PatternClassifier(const hbm::TopologyConfig& topology,
+                                     ml::LearnerKind kind,
+                                     std::size_t max_uers)
+    : extractor_(topology, max_uers), kind_(kind) {
+  model_ = ml::MakeClassifier(kind);
+}
+
+ml::Dataset PatternClassifier::BuildDataset(
+    const std::vector<LabelledBank>& banks) const {
+  ml::Dataset data(extractor_.num_features(), hbm::kNumFailureClasses,
+                   extractor_.feature_names());
+  for (const LabelledBank& lb : banks) {
+    CORDIAL_CHECK_MSG(lb.bank != nullptr, "null bank in labelled set");
+    data.AddRow(extractor_.Extract(*lb.bank), static_cast<int>(lb.label));
+  }
+  return data;
+}
+
+void PatternClassifier::Train(const std::vector<LabelledBank>& banks,
+                              Rng& rng) {
+  CORDIAL_CHECK_MSG(!banks.empty(), "cannot train on zero banks");
+  const ml::Dataset data = BuildDataset(banks);
+  model_->Fit(data, rng);
+  trained_ = true;
+}
+
+hbm::FailureClass PatternClassifier::Classify(
+    const trace::BankHistory& bank) const {
+  CORDIAL_CHECK_MSG(trained_, "classifier not trained");
+  return static_cast<hbm::FailureClass>(
+      model_->Predict(extractor_.Extract(bank)));
+}
+
+std::vector<double> PatternClassifier::ClassifyProba(
+    const trace::BankHistory& bank) const {
+  CORDIAL_CHECK_MSG(trained_, "classifier not trained");
+  return model_->PredictProba(extractor_.Extract(bank));
+}
+
+ml::ConfusionMatrix PatternClassifier::Evaluate(
+    const std::vector<LabelledBank>& banks) const {
+  CORDIAL_CHECK_MSG(trained_, "classifier not trained");
+  ml::ConfusionMatrix cm(hbm::kNumFailureClasses);
+  for (const LabelledBank& lb : banks) {
+    cm.Add(static_cast<int>(lb.label), static_cast<int>(Classify(*lb.bank)));
+  }
+  return cm;
+}
+
+void PatternClassifier::SaveModel(std::ostream& out) const {
+  CORDIAL_CHECK_MSG(trained_, "cannot save an untrained classifier");
+  ml::SaveClassifier(*model_, out);
+}
+
+void PatternClassifier::LoadModel(std::istream& in) {
+  model_ = ml::LoadClassifier(in);
+  trained_ = true;
+}
+
+std::vector<double> PatternClassifier::FeatureImportance() const {
+  CORDIAL_CHECK_MSG(trained_, "classifier not trained");
+  return model_->FeatureImportance();
+}
+
+}  // namespace cordial::core

@@ -1,0 +1,64 @@
+// Failure-pattern classification stage (paper §IV-C).
+//
+// Wraps a tree learner over the ClassificationFeatureExtractor: given a
+// bank's history truncated at the first three UER events, predicts one of
+// the paper's three classes — double-row clustering, single-row clustering,
+// scattered — which decides whether cross-row prediction is triggered
+// (aggregation patterns) or the bank is isolated wholesale (scattered).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/features.hpp"
+#include "hbm/fault.hpp"
+#include "ml/classifier.hpp"
+#include "ml/metrics.hpp"
+
+namespace cordial::core {
+
+/// One labelled training/eval unit: a bank history plus its pattern class.
+struct LabelledBank {
+  const trace::BankHistory* bank = nullptr;
+  hbm::FailureClass label = hbm::FailureClass::kSingleRowClustering;
+};
+
+class PatternClassifier {
+ public:
+  PatternClassifier(const hbm::TopologyConfig& topology,
+                    ml::LearnerKind kind, std::size_t max_uers = 3);
+
+  const ClassificationFeatureExtractor& extractor() const {
+    return extractor_;
+  }
+  ml::LearnerKind kind() const { return kind_; }
+
+  /// Dataset with one row per bank, labels = FailureClass values.
+  ml::Dataset BuildDataset(const std::vector<LabelledBank>& banks) const;
+
+  void Train(const std::vector<LabelledBank>& banks, Rng& rng);
+
+  bool trained() const { return trained_; }
+  hbm::FailureClass Classify(const trace::BankHistory& bank) const;
+  std::vector<double> ClassifyProba(const trace::BankHistory& bank) const;
+
+  /// Confusion matrix over a labelled evaluation set (Table III).
+  ml::ConfusionMatrix Evaluate(const std::vector<LabelledBank>& banks) const;
+
+  /// Persist / restore the trained model (training happens offline; the
+  /// BMC-side deployment only loads and classifies).
+  void SaveModel(std::ostream& out) const;
+  void LoadModel(std::istream& in);
+
+  /// Normalized per-feature importance of the trained model, parallel to
+  /// extractor().feature_names().
+  std::vector<double> FeatureImportance() const;
+
+ private:
+  ClassificationFeatureExtractor extractor_;
+  ml::LearnerKind kind_;
+  std::unique_ptr<ml::Classifier> model_;
+  bool trained_ = false;
+};
+
+}  // namespace cordial::core

@@ -1,0 +1,198 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "hbm/address.hpp"
+
+namespace cordial::core {
+
+using hbm::FailureClass;
+
+CordialPipeline::CordialPipeline(const hbm::TopologyConfig& topology,
+                                 PipelineConfig config)
+    : topology_(topology), config_(config) {
+  topology_.Validate();
+  CORDIAL_CHECK_MSG(
+      config_.test_fraction > 0.0 && config_.test_fraction < 1.0,
+      "test fraction must be in (0,1)");
+}
+
+namespace {
+
+/// Block-level confusion for one method over a set of anchored predictions.
+void AccumulateBlockMetrics(const CrossRowPredictor& predictor,
+                            const trace::BankHistory& bank,
+                            const std::vector<int>& predicted,
+                            const Anchor& anchor, ml::ConfusionMatrix& cm) {
+  const std::vector<int> truth = predictor.BlockTruth(bank, anchor);
+  const BlockWindow window = predictor.extractor().WindowAt(anchor.row);
+  for (std::size_t b = 0; b < predicted.size(); ++b) {
+    if (!window.BlockRange(b).has_value()) continue;
+    cm.Add(truth[b], predicted[b]);
+  }
+}
+
+/// The Neighbor-Rows baseline expressed as block predictions: positive for
+/// every block overlapping [anchor - adjacency, anchor + adjacency].
+std::vector<int> NeighborBlockPredictions(const BlockWindow& window,
+                                          std::uint32_t adjacency) {
+  std::vector<int> predicted(window.n_blocks, 0);
+  const std::int64_t lo =
+      static_cast<std::int64_t>(window.anchor_row) - adjacency;
+  const std::int64_t hi =
+      static_cast<std::int64_t>(window.anchor_row) + adjacency;
+  for (std::size_t b = 0; b < window.n_blocks; ++b) {
+    const auto range = window.BlockRange(b);
+    if (!range.has_value()) continue;
+    if (static_cast<std::int64_t>(range->second) >= lo &&
+        static_cast<std::int64_t>(range->first) <= hi) {
+      predicted[b] = 1;
+    }
+  }
+  return predicted;
+}
+
+}  // namespace
+
+PipelineResult CordialPipeline::Run(const trace::GeneratedFleet& fleet,
+                                    std::uint64_t seed) const {
+  hbm::AddressCodec codec(fleet.topology);
+  return RunOnBanks(fleet.log.GroupByBank(codec), seed);
+}
+
+PipelineResult CordialPipeline::RunOnBanks(
+    const std::vector<trace::BankHistory>& banks, std::uint64_t seed) const {
+  Rng rng(seed);
+  analysis::PatternLabeler labeler(topology_);
+
+  // Reference labels from the complete history of every UER bank.
+  std::vector<LabelledBank> labelled;
+  for (const trace::BankHistory& bank : banks) {
+    if (!bank.HasUer()) continue;
+    labelled.push_back(LabelledBank{&bank, labeler.LabelClass(bank)});
+  }
+  CORDIAL_CHECK_MSG(labelled.size() >= 10,
+                    "pipeline needs at least 10 UER banks");
+
+  // 70:30 stratified split at bank granularity.
+  ml::Dataset label_only(/*num_features=*/1, hbm::kNumFailureClasses);
+  for (const LabelledBank& lb : labelled) {
+    const double zero = 0.0;
+    label_only.AddRow(std::span<const double>(&zero, 1),
+                      static_cast<int>(lb.label));
+  }
+  const ml::TrainTestSplit split =
+      ml::StratifiedSplit(label_only, config_.test_fraction, rng);
+
+  std::vector<LabelledBank> train, test;
+  for (std::size_t i : split.train) train.push_back(labelled[i]);
+  for (std::size_t i : split.test) test.push_back(labelled[i]);
+
+  PipelineResult result;
+  result.train_banks = train.size();
+  result.test_banks = test.size();
+
+  // --- Stage 1: pattern classification ---
+  PatternClassifier classifier(topology_, config_.learner, config_.max_uers);
+  classifier.Train(train, rng);
+  result.pattern_confusion = classifier.Evaluate(test);
+
+  // --- Stage 2: per-class cross-row predictors ---
+  CrossRowConfig crossrow_config = config_.crossrow;
+  CrossRowPredictor single_predictor(topology_, config_.learner,
+                                     crossrow_config);
+  CrossRowPredictor double_predictor(topology_, config_.learner,
+                                     crossrow_config);
+
+  std::vector<const trace::BankHistory*> single_train, double_train;
+  for (const LabelledBank& lb : train) {
+    if (lb.label == FailureClass::kSingleRowClustering) {
+      single_train.push_back(lb.bank);
+    } else if (lb.label == FailureClass::kDoubleRowClustering) {
+      double_train.push_back(lb.bank);
+    }
+  }
+
+  auto trainable = [&](const CrossRowPredictor& p,
+                       const std::vector<const trace::BankHistory*>& set) {
+    if (set.empty()) return false;
+    const ml::Dataset data = p.BuildDataset(set);
+    if (data.empty()) return false;
+    const auto counts = data.ClassCounts();
+    return counts[0] > 0 && counts[1] > 0;
+  };
+
+  CORDIAL_CHECK_MSG(trainable(single_predictor, single_train),
+                    "not enough single-row clustering training data");
+  single_predictor.Train(single_train, rng);
+  result.crossrow_train_samples_single =
+      single_predictor.BuildDataset(single_train).size();
+
+  // Small fleets can lack usable double-cluster banks; fall back to the
+  // single-cluster model rather than failing the run.
+  const bool double_ok = trainable(double_predictor, double_train);
+  if (double_ok) {
+    double_predictor.Train(double_train, rng);
+    result.crossrow_train_samples_double =
+        double_predictor.BuildDataset(double_train).size();
+  }
+  const CrossRowPredictor& effective_double =
+      double_ok ? double_predictor : single_predictor;
+
+  // --- Stage 3: block-level prediction metrics (Table IV) ---
+  ml::ConfusionMatrix cordial_blocks(2), baseline_blocks(2);
+  for (const LabelledBank& lb : test) {
+    const std::vector<Anchor> anchors = single_predictor.AnchorsOf(*lb.bank);
+    if (anchors.empty()) continue;
+
+    // Baseline predicts around every anchor regardless of pattern.
+    for (const Anchor& anchor : anchors) {
+      const BlockWindow window =
+          single_predictor.extractor().WindowAt(anchor.row);
+      AccumulateBlockMetrics(
+          single_predictor, *lb.bank,
+          NeighborBlockPredictions(window, config_.baseline_adjacency), anchor,
+          baseline_blocks);
+    }
+
+    // Cordial predicts only for banks it classifies as aggregation.
+    const FailureClass predicted_class = classifier.Classify(*lb.bank);
+    if (predicted_class == FailureClass::kScattered) continue;
+    const CrossRowPredictor& predictor =
+        predicted_class == FailureClass::kSingleRowClustering
+            ? single_predictor
+            : effective_double;
+    for (const Anchor& anchor : anchors) {
+      AccumulateBlockMetrics(predictor, *lb.bank,
+                             predictor.PredictBlocks(*lb.bank, anchor), anchor,
+                             cordial_blocks);
+    }
+  }
+
+  // --- Stage 4: Isolation Coverage Rate ---
+  std::vector<const trace::BankHistory*> test_banks;
+  for (const LabelledBank& lb : test) test_banks.push_back(lb.bank);
+  IcrEvaluator evaluator(topology_, config_.budget);
+
+  CordialStrategy cordial_strategy(classifier, single_predictor,
+                                   effective_double, config_.policy);
+  NeighborRowsStrategy neighbor_strategy(config_.baseline_adjacency,
+                                         topology_.rows_per_bank);
+  InRowStrategy in_row_strategy;
+
+  result.cordial.method =
+      std::string("Cordial-") + ml::LearnerKindName(config_.learner);
+  result.cordial.block_metrics = cordial_blocks.Metrics(1);
+  result.cordial.icr = evaluator.Evaluate(test_banks, cordial_strategy);
+
+  result.neighbor_baseline.method = "Neighbor Rows";
+  result.neighbor_baseline.block_metrics = baseline_blocks.Metrics(1);
+  result.neighbor_baseline.icr =
+      evaluator.Evaluate(test_banks, neighbor_strategy);
+
+  result.in_row_icr = evaluator.Evaluate(test_banks, in_row_strategy);
+  return result;
+}
+
+}  // namespace cordial::core

@@ -1,0 +1,124 @@
+#include "hbm/address.hpp"
+
+#include <sstream>
+
+namespace cordial::hbm {
+
+std::string DeviceAddress::ToString() const {
+  std::ostringstream os;
+  os << "node" << node << "/npu" << npu << "/hbm" << hbm << "/sid" << sid
+     << "/ch" << channel << "/psch" << pseudo_channel << "/bg" << bank_group
+     << "/bank" << bank << "/row" << row << "/col" << col;
+  return os.str();
+}
+
+AddressCodec::AddressCodec(const TopologyConfig& topology)
+    : topology_(topology) {
+  topology_.Validate();
+  radix_[0] = topology_.nodes;
+  radix_[1] = topology_.npus_per_node;
+  radix_[2] = topology_.hbms_per_npu;
+  radix_[3] = topology_.sids_per_hbm;
+  radix_[4] = topology_.channels_per_sid;
+  radix_[5] = topology_.pseudo_channels_per_channel;
+  radix_[6] = topology_.bank_groups_per_pseudo_channel;
+  radix_[7] = topology_.banks_per_bank_group;
+  radix_[8] = topology_.rows_per_bank;
+  radix_[9] = topology_.cols_per_bank;
+}
+
+namespace {
+
+void ToDigits(const DeviceAddress& a, std::uint64_t (&digits)[10]) {
+  digits[0] = a.node;
+  digits[1] = a.npu;
+  digits[2] = a.hbm;
+  digits[3] = a.sid;
+  digits[4] = a.channel;
+  digits[5] = a.pseudo_channel;
+  digits[6] = a.bank_group;
+  digits[7] = a.bank;
+  digits[8] = a.row;
+  digits[9] = a.col;
+}
+
+}  // namespace
+
+bool AddressCodec::IsValid(const DeviceAddress& address) const {
+  std::uint64_t digits[10];
+  ToDigits(address, digits);
+  for (int i = 0; i < 10; ++i) {
+    if (digits[i] >= radix_[i]) return false;
+  }
+  return true;
+}
+
+std::uint64_t AddressCodec::Pack(const DeviceAddress& address) const {
+  CORDIAL_CHECK_MSG(IsValid(address),
+                    "Pack: address out of topology bounds: " + address.ToString());
+  std::uint64_t digits[10];
+  ToDigits(address, digits);
+  std::uint64_t key = 0;
+  for (int i = 0; i < 10; ++i) key = key * radix_[i] + digits[i];
+  return key;
+}
+
+DeviceAddress AddressCodec::Unpack(std::uint64_t key) const {
+  std::uint64_t digits[10];
+  for (int i = 9; i >= 0; --i) {
+    digits[i] = key % radix_[i];
+    key /= radix_[i];
+  }
+  CORDIAL_CHECK_MSG(key == 0, "Unpack: key exceeds topology address space");
+  DeviceAddress a;
+  a.node = static_cast<std::uint32_t>(digits[0]);
+  a.npu = static_cast<std::uint32_t>(digits[1]);
+  a.hbm = static_cast<std::uint32_t>(digits[2]);
+  a.sid = static_cast<std::uint32_t>(digits[3]);
+  a.channel = static_cast<std::uint32_t>(digits[4]);
+  a.pseudo_channel = static_cast<std::uint32_t>(digits[5]);
+  a.bank_group = static_cast<std::uint32_t>(digits[6]);
+  a.bank = static_cast<std::uint32_t>(digits[7]);
+  a.row = static_cast<std::uint32_t>(digits[8]);
+  a.col = static_cast<std::uint32_t>(digits[9]);
+  return a;
+}
+
+namespace {
+
+// Number of mixed-radix digits (coarse-first) that identify an entity at
+// each level: NPU = node+npu, ..., Row = everything but the column.
+int DigitsForLevel(Level level) {
+  switch (level) {
+    case Level::kNpu: return 2;
+    case Level::kHbm: return 3;
+    case Level::kSid: return 4;
+    case Level::kPseudoChannel: return 6;  // includes the channel digit
+    case Level::kBankGroup: return 7;
+    case Level::kBank: return 8;
+    case Level::kRow: return 9;
+  }
+  return 10;
+}
+
+}  // namespace
+
+std::uint64_t AddressCodec::EntityKey(const DeviceAddress& address,
+                                      Level level) const {
+  CORDIAL_CHECK_MSG(IsValid(address), "EntityKey: address out of bounds");
+  std::uint64_t digits[10];
+  ToDigits(address, digits);
+  const int n = DigitsForLevel(level);
+  std::uint64_t key = 0;
+  for (int i = 0; i < n; ++i) key = key * radix_[i] + digits[i];
+  return key;
+}
+
+std::uint64_t AddressCodec::EntityCount(Level level) const {
+  const int n = DigitsForLevel(level);
+  std::uint64_t count = 1;
+  for (int i = 0; i < n; ++i) count *= radix_[i];
+  return count;
+}
+
+}  // namespace cordial::hbm

@@ -1,0 +1,71 @@
+// Canonical device addressing.
+//
+// A DeviceAddress pins an error to a cell: node / NPU / HBM / SID / channel /
+// pseudo-channel / bank group / bank / row / column — the same coordinates the
+// paper's MCE log records carry. Addresses pack losslessly into 64 bits for
+// compact trace storage, and every hierarchy level has a grouping key so the
+// empirical-study code can count affected entities per micro-level.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "hbm/topology.hpp"
+
+namespace cordial::hbm {
+
+struct DeviceAddress {
+  std::uint32_t node = 0;
+  std::uint32_t npu = 0;             // within node
+  std::uint32_t hbm = 0;             // within NPU
+  std::uint32_t sid = 0;             // within HBM
+  std::uint32_t channel = 0;         // within SID
+  std::uint32_t pseudo_channel = 0;  // within channel
+  std::uint32_t bank_group = 0;      // within pseudo-channel
+  std::uint32_t bank = 0;            // within bank group
+  std::uint32_t row = 0;
+  std::uint32_t col = 0;
+
+  auto operator<=>(const DeviceAddress&) const = default;
+
+  std::string ToString() const;
+};
+
+/// Packs DeviceAddress <-> uint64 for a fixed topology, and derives the
+/// per-level entity keys used throughout the analysis code.
+class AddressCodec {
+ public:
+  explicit AddressCodec(const TopologyConfig& topology);
+
+  const TopologyConfig& topology() const { return topology_; }
+
+  /// True iff every coordinate is within the topology bounds.
+  bool IsValid(const DeviceAddress& address) const;
+
+  /// Mixed-radix packing; Pack(Unpack(k)) == k and Unpack(Pack(a)) == a for
+  /// all valid addresses. Throws ContractViolation on out-of-range input.
+  std::uint64_t Pack(const DeviceAddress& address) const;
+  DeviceAddress Unpack(std::uint64_t key) const;
+
+  /// Grouping key identifying the entity containing `address` at `level`
+  /// (e.g. Level::kBank -> the global bank index). Keys are dense per level.
+  std::uint64_t EntityKey(const DeviceAddress& address, Level level) const;
+
+  /// Global flat bank index — EntityKey at bank level; the primary grouping
+  /// unit of the Cordial method.
+  std::uint64_t BankKey(const DeviceAddress& address) const {
+    return EntityKey(address, Level::kBank);
+  }
+
+  /// Number of distinct entities at `level` in the whole fleet.
+  std::uint64_t EntityCount(Level level) const;
+
+ private:
+  TopologyConfig topology_;
+  // Mixed-radix digit bounds, coarse -> fine:
+  // node, npu, hbm, sid, channel, ps-ch, bg, bank, row, col.
+  std::uint64_t radix_[10];
+};
+
+}  // namespace cordial::hbm

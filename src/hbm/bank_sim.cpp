@@ -1,0 +1,105 @@
+#include "hbm/bank_sim.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace cordial::hbm {
+
+BankSimulator::BankSimulator(const TopologyConfig& topology,
+                             PatrolScrubber scrubber)
+    : topology_(topology), scrubber_(scrubber) {
+  topology_.Validate();
+}
+
+std::uint64_t BankSimulator::GoldenData(std::uint32_t row, std::uint32_t col) {
+  std::uint64_t state =
+      (static_cast<std::uint64_t>(row) << 32) | (static_cast<std::uint64_t>(col) + 1);
+  return SplitMix64(state);
+}
+
+void BankSimulator::InjectStuckBit(std::uint32_t row, std::uint32_t col,
+                                   int bit, double since_s) {
+  CORDIAL_CHECK_MSG(row < topology_.rows_per_bank, "fault row out of range");
+  CORDIAL_CHECK_MSG(col < topology_.cols_per_bank, "fault col out of range");
+  CORDIAL_CHECK_MSG(bit >= 0 && bit < SecDedCodec::kCodeBits,
+                    "fault bit out of range");
+  CORDIAL_CHECK_MSG(since_s >= 0.0, "fault onset must be non-negative");
+  WordState& word = words_[{row, col}];
+  for (StuckBit& existing : word.bits) {
+    if (existing.bit == bit) {
+      existing.since_s = std::min(existing.since_s, since_s);
+      return;
+    }
+  }
+  word.bits.push_back(StuckBit{bit, since_s});
+}
+
+int BankSimulator::FaultyBits(std::uint32_t row, std::uint32_t col,
+                              double time_s) const {
+  const auto it = words_.find({row, col});
+  if (it == words_.end()) return 0;
+  int active = 0;
+  for (const StuckBit& b : it->second.bits) {
+    active += b.since_s <= time_s;
+  }
+  return active;
+}
+
+SecDedCodec::Codeword BankSimulator::ReadRaw(std::uint32_t row,
+                                             std::uint32_t col,
+                                             double time_s) const {
+  SecDedCodec::Codeword word = SecDedCodec::Encode(GoldenData(row, col));
+  const auto it = words_.find({row, col});
+  if (it != words_.end()) {
+    for (const StuckBit& b : it->second.bits) {
+      if (b.since_s <= time_s) word = SecDedCodec::FlipBit(word, b.bit);
+    }
+  }
+  return word;
+}
+
+BankSimulator::ReadResult BankSimulator::Read(std::uint32_t row,
+                                              std::uint32_t col,
+                                              double time_s) {
+  CORDIAL_CHECK_MSG(row < topology_.rows_per_bank, "read row out of range");
+  CORDIAL_CHECK_MSG(col < topology_.cols_per_bank, "read col out of range");
+  const std::uint64_t golden = GoldenData(row, col);
+  const DecodeResult decode =
+      SecDedCodec::DecodeWithTruth(ReadRaw(row, col, time_s), golden);
+
+  ReadResult result;
+  result.data = decode.data;
+  result.data_correct = result.data == golden;
+  switch (decode.status) {
+    case DecodeResult::Status::kClean:
+      break;
+    case DecodeResult::Status::kCorrectedSingle:
+      result.finding = SimFinding{row, col, time_s, ErrorType::kCe};
+      break;
+    case DecodeResult::Status::kDetectedDouble:
+      result.finding = SimFinding{row, col, time_s, ErrorType::kUer};
+      break;
+    case DecodeResult::Status::kUndetectedOrMis:
+      ++silent_corruptions_;
+      break;
+  }
+  return result;
+}
+
+std::vector<SimFinding> BankSimulator::Scrub(double time_s) {
+  std::vector<SimFinding> findings;
+  for (auto& [address, word] : words_) {
+    int active = 0;
+    for (const StuckBit& b : word.bits) active += b.since_s <= time_s;
+    if (active == 0 || active == word.last_reported_bits) continue;
+    word.last_reported_bits = active;
+    findings.push_back(SimFinding{
+        address.first, address.second, time_s,
+        active == 1 ? ErrorType::kCe : ErrorType::kUeo});
+  }
+  return findings;
+}
+
+}  // namespace cordial::hbm

@@ -1,0 +1,98 @@
+// Cell-level bank simulation.
+//
+// The fleet generator works at event level for scale; this module provides
+// the bit-level ground truth underneath it: a bank whose words carry
+// planted stuck-at faults, serviced through the SEC-DED codec, with the
+// patrol scrubber racing demand accesses for detection. It demonstrates —
+// and the tests verify — that the CE/UEO/UER taxonomy used throughout the
+// library is exactly what the hardware path produces:
+//
+//   1 faulty bit   -> corrected in-line            -> CE
+//   >=2 faulty bits, scrubber finds it first       -> UEO
+//   >=2 faulty bits, demand access consumes it     -> UER
+//   >=3 faulty bits may alias the code             -> silent corruption
+//                                                     (counted separately)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "hbm/ecc.hpp"
+#include "hbm/scrub.hpp"
+#include "hbm/topology.hpp"
+
+namespace cordial::hbm {
+
+/// One detected error, as the memory controller would log it.
+struct SimFinding {
+  std::uint32_t row = 0;
+  std::uint32_t col = 0;
+  double time_s = 0.0;
+  ErrorType type = ErrorType::kCe;
+};
+
+class BankSimulator {
+ public:
+  explicit BankSimulator(const TopologyConfig& topology,
+                         PatrolScrubber scrubber = PatrolScrubber());
+
+  /// Plant a stuck-at fault: codeword bit `bit` (0..71) of word (row, col)
+  /// reads inverted from `since_s` onward. Idempotent per (word, bit).
+  void InjectStuckBit(std::uint32_t row, std::uint32_t col, int bit,
+                      double since_s);
+
+  /// Faulty bits active in a word at `time_s`.
+  int FaultyBits(std::uint32_t row, std::uint32_t col, double time_s) const;
+
+  /// The data a fault-free word holds (deterministic per address).
+  static std::uint64_t GoldenData(std::uint32_t row, std::uint32_t col);
+
+  struct ReadResult {
+    std::uint64_t data = 0;           ///< data returned to the requester
+    bool data_correct = true;         ///< equals the golden data?
+    std::optional<SimFinding> finding;  ///< logged error, if any
+  };
+
+  /// Demand read at `time_s`: decodes through SEC-DED, logs CE for a
+  /// corrected single-bit fault and UER for a detected-uncorrectable one.
+  /// Undetected aliasing returns wrong data with data_correct == false and
+  /// bumps silent_corruptions().
+  ReadResult Read(std::uint32_t row, std::uint32_t col, double time_s);
+
+  /// Run one full patrol sweep completing at `time_s`: every faulty word is
+  /// examined; newly-degraded words are logged (CE for single-bit, UEO for
+  /// uncorrectable). A word is re-reported only after its fault population
+  /// grows.
+  std::vector<SimFinding> Scrub(double time_s);
+
+  /// Whether the scrubber would discover a fault arising at `fault_t`
+  /// before a demand access `access_delay` seconds later.
+  bool ScrubWinsRace(double fault_t, double access_delay) const {
+    return scrubber_.ScrubWinsRace(fault_t, access_delay);
+  }
+
+  std::uint64_t silent_corruptions() const { return silent_corruptions_; }
+  std::size_t faulty_words() const { return words_.size(); }
+
+ private:
+  struct StuckBit {
+    int bit;
+    double since_s;
+  };
+  struct WordState {
+    std::vector<StuckBit> bits;
+    int last_reported_bits = 0;  ///< fault count at last scrub report
+  };
+
+  SecDedCodec::Codeword ReadRaw(std::uint32_t row, std::uint32_t col,
+                                double time_s) const;
+
+  TopologyConfig topology_;
+  PatrolScrubber scrubber_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, WordState> words_;
+  std::uint64_t silent_corruptions_ = 0;
+};
+
+}  // namespace cordial::hbm

@@ -1,0 +1,159 @@
+#include "hbm/ecc.hpp"
+
+#include <array>
+
+#include "common/check.hpp"
+
+namespace cordial::hbm {
+
+const char* ErrorTypeName(ErrorType type) {
+  switch (type) {
+    case ErrorType::kCe: return "CE";
+    case ErrorType::kUeo: return "UEO";
+    case ErrorType::kUer: return "UER";
+  }
+  return "?";
+}
+
+namespace {
+
+// Codeword layout (extended Hamming): position 0 holds the overall parity
+// bit; positions 1..71 hold the Hamming(71,64) code with check bits at the
+// seven power-of-two positions {1,2,4,8,16,32,64} and data bits everywhere
+// else, in ascending position order.
+constexpr bool IsPowerOfTwo(int x) { return x > 0 && (x & (x - 1)) == 0; }
+
+// data_position[i] = codeword position of data bit i.
+constexpr std::array<int, 64> BuildDataPositions() {
+  std::array<int, 64> positions{};
+  int next = 0;
+  for (int pos = 1; pos < 72; ++pos) {
+    if (!IsPowerOfTwo(pos)) positions[next++] = pos;
+  }
+  return positions;
+}
+
+constexpr std::array<int, 64> kDataPositions = BuildDataPositions();
+
+bool GetBit(const SecDedCodec::Codeword& w, int bit) {
+  return bit < 64 ? ((w.lo >> bit) & 1u) != 0
+                  : ((w.hi >> (bit - 64)) & 1u) != 0;
+}
+
+void SetBit(SecDedCodec::Codeword& w, int bit, bool value) {
+  if (bit < 64) {
+    w.lo = value ? (w.lo | (1ULL << bit)) : (w.lo & ~(1ULL << bit));
+  } else {
+    const std::uint8_t mask = static_cast<std::uint8_t>(1u << (bit - 64));
+    w.hi = value ? (w.hi | mask) : static_cast<std::uint8_t>(w.hi & ~mask);
+  }
+}
+
+std::uint64_t ExtractData(const SecDedCodec::Codeword& w) {
+  std::uint64_t data = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (GetBit(w, kDataPositions[static_cast<std::size_t>(i)]))
+      data |= 1ULL << i;
+  }
+  return data;
+}
+
+// Hamming syndrome over positions 1..71 and overall parity over 0..71.
+struct Syndromes {
+  int hamming = 0;
+  bool overall_parity_odd = false;
+};
+
+Syndromes ComputeSyndromes(const SecDedCodec::Codeword& w) {
+  Syndromes s;
+  int ones = 0;
+  for (int pos = 0; pos < 72; ++pos) {
+    if (!GetBit(w, pos)) continue;
+    ++ones;
+    if (pos >= 1) s.hamming ^= pos;
+  }
+  s.overall_parity_odd = (ones % 2) != 0;
+  return s;
+}
+
+}  // namespace
+
+SecDedCodec::Codeword SecDedCodec::Encode(std::uint64_t data) {
+  Codeword w;
+  for (int i = 0; i < 64; ++i) {
+    SetBit(w, kDataPositions[static_cast<std::size_t>(i)], (data >> i) & 1u);
+  }
+  // Check bits: bit at position 2^k covers all positions with bit k set.
+  for (int k = 0; k < 7; ++k) {
+    const int check_pos = 1 << k;
+    bool parity = false;
+    for (int pos = 1; pos < 72; ++pos) {
+      if (pos == check_pos) continue;
+      if ((pos & check_pos) != 0 && GetBit(w, pos)) parity = !parity;
+    }
+    SetBit(w, check_pos, parity);
+  }
+  // Overall parity makes the 72-bit word even-parity.
+  bool total = false;
+  for (int pos = 1; pos < 72; ++pos) {
+    if (GetBit(w, pos)) total = !total;
+  }
+  SetBit(w, 0, total);
+  return w;
+}
+
+SecDedCodec::Codeword SecDedCodec::FlipBit(Codeword word, int bit) {
+  CORDIAL_CHECK_MSG(bit >= 0 && bit < kCodeBits, "FlipBit: bit out of range");
+  SetBit(word, bit, !GetBit(word, bit));
+  return word;
+}
+
+DecodeResult SecDedCodec::Decode(Codeword word) {
+  const Syndromes s = ComputeSyndromes(word);
+  DecodeResult result;
+  if (s.hamming == 0 && !s.overall_parity_odd) {
+    result.status = DecodeResult::Status::kClean;
+    result.data = ExtractData(word);
+    return result;
+  }
+  if (s.overall_parity_odd) {
+    // Odd number of flips; decoder assumes exactly one.
+    int bit = s.hamming;  // 0 means the overall parity bit itself
+    if (bit >= kCodeBits) {
+      // Syndrome points outside the codeword: certainly multi-bit.
+      result.status = DecodeResult::Status::kDetectedDouble;
+      result.data = ExtractData(word);
+      return result;
+    }
+    Codeword fixed = FlipBit(word, bit);
+    result.status = DecodeResult::Status::kCorrectedSingle;
+    result.corrected_bit = bit;
+    result.data = ExtractData(fixed);
+    return result;
+  }
+  // Even parity with nonzero syndrome: double-bit error detected.
+  result.status = DecodeResult::Status::kDetectedDouble;
+  result.data = ExtractData(word);
+  return result;
+}
+
+DecodeResult SecDedCodec::DecodeWithTruth(Codeword word,
+                                          std::uint64_t true_data) {
+  DecodeResult result = Decode(word);
+  const bool claims_good =
+      result.status == DecodeResult::Status::kClean ||
+      result.status == DecodeResult::Status::kCorrectedSingle;
+  if (claims_good && result.data != true_data) {
+    result.status = DecodeResult::Status::kUndetectedOrMis;
+  }
+  return result;
+}
+
+ErrorType ClassifyError(int faulty_bits_in_word, bool found_by_scrub) {
+  CORDIAL_CHECK_MSG(faulty_bits_in_word >= 1,
+                    "ClassifyError requires at least one faulty bit");
+  if (faulty_bits_in_word == 1) return ErrorType::kCe;
+  return found_by_scrub ? ErrorType::kUeo : ErrorType::kUer;
+}
+
+}  // namespace cordial::hbm

@@ -1,0 +1,75 @@
+// SEC-DED (72,64) Hamming ECC codec and error-severity classification.
+//
+// The paper defines HBM errors relative to ECC capability (§II-B): errors the
+// code corrects are CEs; errors beyond it are UCEs, split into UEO (detected
+// proactively, action optional) and UER (hit by a demand access, action
+// required). This module provides the bit-level codec — an extended Hamming
+// code with one overall parity bit, the textbook SEC-DED construction used by
+// DRAM controllers — plus the severity classifier the simulator feeds.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace cordial::hbm {
+
+/// Severity of a memory error event after ECC and access-path context.
+enum class ErrorType : std::uint8_t {
+  kCe = 0,   ///< correctable error — fixed in-line by ECC
+  kUeo = 1,  ///< uncorrectable, found by patrol scrub — action optional
+  kUer = 2,  ///< uncorrectable, consumed by a demand access — action required
+};
+
+const char* ErrorTypeName(ErrorType type);
+
+/// Result of decoding a possibly-corrupted 72-bit codeword.
+struct DecodeResult {
+  enum class Status : std::uint8_t {
+    kClean,              ///< no error detected
+    kCorrectedSingle,    ///< one bit flipped; corrected
+    kDetectedDouble,     ///< two bits flipped; detected, not correctable
+    kUndetectedOrMis,    ///< >=3 flips may alias; decoder saw this pattern as
+                         ///< clean or as a (mis)correctable single-bit error
+  };
+  Status status = Status::kClean;
+  std::uint64_t data = 0;          ///< corrected data (valid unless double)
+  std::optional<int> corrected_bit;  ///< codeword bit index that was fixed
+};
+
+/// Extended Hamming SEC-DED over 64 data bits: 7 Hamming check bits plus one
+/// overall parity bit, 72-bit codeword. Single-bit errors are corrected,
+/// double-bit errors are detected; triple-and-beyond may alias (as in real
+/// hardware), which the classifier treats as uncorrectable.
+class SecDedCodec {
+ public:
+  static constexpr int kDataBits = 64;
+  static constexpr int kCheckBits = 8;  // 7 Hamming + 1 overall parity
+  static constexpr int kCodeBits = kDataBits + kCheckBits;
+
+  /// Encode 64 data bits into a 72-bit codeword (returned in the low 72 bits
+  /// of the pair: .first = low 64 bits, .second = high 8 bits).
+  struct Codeword {
+    std::uint64_t lo = 0;  // codeword bits 0..63
+    std::uint8_t hi = 0;   // codeword bits 64..71
+    bool operator==(const Codeword&) const = default;
+  };
+
+  static Codeword Encode(std::uint64_t data);
+
+  /// Decode a codeword; classifies clean / corrected / detected-double.
+  /// Patterns with >2 flips that alias to a clean or single-bit syndrome are
+  /// reported as kUndetectedOrMis only when the caller supplies the original
+  /// data to compare against (testing hook); otherwise they are
+  /// indistinguishable from the aliased outcome, as in hardware.
+  static DecodeResult Decode(Codeword word);
+  static DecodeResult DecodeWithTruth(Codeword word, std::uint64_t true_data);
+
+  /// Flip codeword bit `bit` (0..71).
+  static Codeword FlipBit(Codeword word, int bit);
+};
+
+/// Maps the number of faulty bits in a word and the detection context onto
+/// the paper's error taxonomy. `found_by_scrub` distinguishes UEO from UER.
+ErrorType ClassifyError(int faulty_bits_in_word, bool found_by_scrub);
+
+}  // namespace cordial::hbm

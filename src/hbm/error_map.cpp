@@ -1,0 +1,70 @@
+#include "hbm/error_map.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace cordial::hbm {
+
+BankErrorMap::BankErrorMap(const TopologyConfig& topology)
+    : topology_(topology) {
+  topology_.Validate();
+}
+
+void BankErrorMap::Add(std::uint32_t row, std::uint32_t col, ErrorType type) {
+  CORDIAL_CHECK_MSG(row < topology_.rows_per_bank, "error row out of range");
+  CORDIAL_CHECK_MSG(col < topology_.cols_per_bank, "error col out of range");
+  points_.push_back(Point{row, col, type});
+}
+
+std::vector<std::uint32_t> BankErrorMap::RowsWithType(ErrorType type) const {
+  std::set<std::uint32_t> rows;
+  for (const Point& p : points_) {
+    if (p.type == type) rows.insert(p.row);
+  }
+  return {rows.begin(), rows.end()};
+}
+
+std::string BankErrorMap::Render(std::size_t height, std::size_t width) const {
+  CORDIAL_CHECK_MSG(height > 0 && width > 0, "render size must be positive");
+  // Severity per tile: 0 empty, 1 CE, 2 UEO, 3 UER.
+  std::vector<int> grid(height * width, 0);
+  for (const Point& p : points_) {
+    const std::size_t r = std::min<std::size_t>(
+        static_cast<std::size_t>(p.row) * height / topology_.rows_per_bank,
+        height - 1);
+    const std::size_t c = std::min<std::size_t>(
+        static_cast<std::size_t>(p.col) * width / topology_.cols_per_bank,
+        width - 1);
+    int severity = 1;
+    if (p.type == ErrorType::kUeo) severity = 2;
+    if (p.type == ErrorType::kUer) severity = 3;
+    int& cell = grid[r * width + c];
+    cell = std::max(cell, severity);
+  }
+  static constexpr char kGlyph[4] = {'.', 'c', 'o', 'X'};
+  std::ostringstream os;
+  os << "rows 0.." << (topology_.rows_per_bank - 1) << " (top to bottom), cols 0.."
+     << (topology_.cols_per_bank - 1) << " (left to right)\n";
+  for (std::size_t r = 0; r < height; ++r) {
+    os << "  ";
+    for (std::size_t c = 0; c < width; ++c) {
+      os << kGlyph[grid[r * width + c]];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string BankErrorMap::ExportCsv() const {
+  std::ostringstream os;
+  os << "row,col,type\n";
+  for (const Point& p : points_) {
+    os << p.row << ',' << p.col << ',' << ErrorTypeName(p.type) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace cordial::hbm

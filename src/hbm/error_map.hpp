@@ -1,0 +1,47 @@
+// Bank error-map accumulation and rendering (paper Fig 3(a)).
+//
+// Collects per-cell error observations for one bank and renders a
+// downsampled ASCII heat map with rows on the vertical axis and columns on
+// the horizontal axis — the same presentation the paper uses to illustrate
+// the failure-pattern families.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hbm/ecc.hpp"
+#include "hbm/topology.hpp"
+
+namespace cordial::hbm {
+
+class BankErrorMap {
+ public:
+  explicit BankErrorMap(const TopologyConfig& topology);
+
+  /// Record one error observation at (row, col).
+  void Add(std::uint32_t row, std::uint32_t col, ErrorType type);
+
+  std::size_t total_errors() const { return points_.size(); }
+
+  /// Distinct rows containing at least one error of the given type.
+  std::vector<std::uint32_t> RowsWithType(ErrorType type) const;
+
+  /// ASCII rendering downsampled to `height` x `width` characters.
+  /// '.' empty, 'c' CE only, 'o' UEO (no UER), 'X' any UER in the tile.
+  std::string Render(std::size_t height = 32, std::size_t width = 64) const;
+
+  /// CSV rows "row,col,type" for external plotting.
+  std::string ExportCsv() const;
+
+ private:
+  struct Point {
+    std::uint32_t row;
+    std::uint32_t col;
+    ErrorType type;
+  };
+  TopologyConfig topology_;
+  std::vector<Point> points_;
+};
+
+}  // namespace cordial::hbm

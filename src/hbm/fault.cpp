@@ -1,0 +1,317 @@
+#include "hbm/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+#include <set>
+
+namespace cordial::hbm {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCellFault: return "cell";
+    case FaultKind::kSwdFault: return "swd";
+    case FaultKind::kSenseAmpFault: return "sense-amp";
+    case FaultKind::kDieCrack: return "die-crack";
+    case FaultKind::kTsvFault: return "tsv";
+    case FaultKind::kColumnDriverFault: return "column-driver";
+  }
+  return "?";
+}
+
+const char* PatternShapeName(PatternShape shape) {
+  switch (shape) {
+    case PatternShape::kCeOnly: return "ce-only";
+    case PatternShape::kSingleRowCluster: return "single-row-cluster";
+    case PatternShape::kDoubleRowCluster: return "double-row-cluster";
+    case PatternShape::kHalfTotalRowCluster: return "half-total-row-cluster";
+    case PatternShape::kScattered: return "scattered";
+    case PatternShape::kWholeColumn: return "whole-column";
+  }
+  return "?";
+}
+
+const char* FailureClassName(FailureClass failure_class) {
+  switch (failure_class) {
+    case FailureClass::kSingleRowClustering: return "Single-row Clustering";
+    case FailureClass::kDoubleRowClustering: return "Double-row Clustering";
+    case FailureClass::kScattered: return "Scattered Pattern";
+  }
+  return "?";
+}
+
+std::optional<FailureClass> CollapseToClass(PatternShape shape) {
+  switch (shape) {
+    case PatternShape::kCeOnly:
+      return std::nullopt;
+    case PatternShape::kSingleRowCluster:
+      return FailureClass::kSingleRowClustering;
+    case PatternShape::kDoubleRowCluster:
+    case PatternShape::kHalfTotalRowCluster:
+      return FailureClass::kDoubleRowClustering;
+    case PatternShape::kScattered:
+    case PatternShape::kWholeColumn:
+      return FailureClass::kScattered;
+  }
+  return std::nullopt;
+}
+
+FaultKind RootCauseOf(PatternShape shape) {
+  switch (shape) {
+    case PatternShape::kCeOnly: return FaultKind::kCellFault;
+    case PatternShape::kSingleRowCluster: return FaultKind::kSwdFault;
+    case PatternShape::kDoubleRowCluster: return FaultKind::kSenseAmpFault;
+    case PatternShape::kHalfTotalRowCluster: return FaultKind::kDieCrack;
+    case PatternShape::kScattered: return FaultKind::kTsvFault;
+    case PatternShape::kWholeColumn: return FaultKind::kColumnDriverFault;
+  }
+  return FaultKind::kCellFault;
+}
+
+FootprintGenerator::FootprintGenerator(const TopologyConfig& topology,
+                                       FootprintParams params)
+    : topology_(topology), params_(params) {
+  topology_.Validate();
+  CORDIAL_CHECK_MSG(topology_.rows_per_bank >= 256,
+                    "footprint generation assumes banks with >=256 rows");
+}
+
+std::uint32_t FootprintGenerator::ClampRow(std::int64_t row) const {
+  const auto hi = static_cast<std::int64_t>(topology_.rows_per_bank) - 1;
+  return static_cast<std::uint32_t>(std::clamp<std::int64_t>(row, 0, hi));
+}
+
+std::vector<std::uint32_t> FootprintGenerator::SampleCols(Rng& rng) const {
+  const std::size_t n =
+      1 + static_cast<std::size_t>(rng.Poisson(params_.cols_per_row_mean));
+  std::set<std::uint32_t> cols;
+  while (cols.size() < std::min<std::size_t>(n, topology_.cols_per_bank)) {
+    cols.insert(static_cast<std::uint32_t>(rng.UniformU64(topology_.cols_per_bank)));
+  }
+  return {cols.begin(), cols.end()};
+}
+
+std::vector<RowErrors> FootprintGenerator::MakeCluster(std::uint32_t center,
+                                                       double halfwidth,
+                                                       std::size_t count,
+                                                       Rng& rng,
+                                                       double fill) const {
+  // Rows are generated in failure order along a damaged driver strip: the
+  // strip serves every stride-th row of a band of the given half-width, so
+  // failures land at (near-)regular stride offsets from the center. Each
+  // later failure either propagates to a row adjacent to an existing
+  // failure (sense-amp collateral) or strikes another strip position. The
+  // loop guard tolerates tiny clusters whose row space saturates.
+  const std::uint32_t stride =
+      1u << rng.UniformInt(params_.cluster_stride_log2_min,
+                           params_.cluster_stride_log2_max);
+  const auto max_k = static_cast<std::int64_t>(
+      std::max<double>(1.0, halfwidth / static_cast<double>(stride)));
+  if (fill > 0.0) {
+    const auto positions = static_cast<double>(2 * max_k + 1);
+    count = std::max<std::size_t>(
+        2, static_cast<std::size_t>(std::llround(fill * positions)));
+  }
+
+  std::vector<std::uint32_t> ordered;
+  std::set<std::uint32_t> seen;
+  std::set<std::int64_t> failed_ks;  // strip positions already struck
+  std::size_t attempts = 0;
+  while (ordered.size() < count && attempts < count * 64 + 64) {
+    ++attempts;
+    std::uint32_t row;
+    if (!ordered.empty() && rng.Bernoulli(params_.cluster_adjacent_frac)) {
+      // Sense-amp collateral: a row right next to an existing failure.
+      const std::uint32_t anchor = ordered[static_cast<std::size_t>(
+          rng.UniformU64(ordered.size()))];
+      const auto step = static_cast<std::int64_t>(
+          rng.UniformInt(1, params_.cluster_adjacent_max_dist));
+      row = ClampRow(static_cast<std::int64_t>(anchor) +
+                     (rng.Bernoulli(0.5) ? step : -step));
+    } else {
+      std::int64_t k = 0;
+      if (failed_ks.empty()) {
+        k = 0;
+      } else if (rng.Bernoulli(params_.cluster_outward_frac)) {
+        // Outward propagation: nearest undamaged position beside a random
+        // failed one, in a random direction.
+        const std::int64_t dir = rng.Bernoulli(0.5) ? 1 : -1;
+        auto it = failed_ks.begin();
+        std::advance(it, static_cast<long>(rng.UniformU64(failed_ks.size())));
+        k = *it;
+        do {
+          k += dir;
+        } while (failed_ks.contains(k) &&
+                 k >= -2 * max_k && k <= 2 * max_k);
+        k = std::clamp<std::int64_t>(k, -max_k, max_k);
+      } else {
+        k = rng.UniformInt(-max_k, max_k);
+      }
+      failed_ks.insert(k);
+      std::int64_t jitter = 0;
+      if (rng.Bernoulli(params_.cluster_stride_jitter_prob)) {
+        jitter = rng.Bernoulli(0.5) ? 1 : -1;
+      }
+      row = ClampRow(static_cast<std::int64_t>(center) + k * stride + jitter);
+    }
+    if (seen.insert(row).second) ordered.push_back(row);
+  }
+  std::vector<RowErrors> result;
+  result.reserve(ordered.size());
+  for (std::uint32_t row : ordered) {
+    result.push_back(RowErrors{row, SampleCols(rng)});
+  }
+  return result;
+}
+
+namespace {
+
+/// Merge two clusters into a single failure order. Half the time the
+/// clusters alternate; half the time one side fails completely first —
+/// in that case the first few UERs reveal only one cluster, which is what
+/// makes double-row patterns genuinely hard to classify early (the paper's
+/// Table III shows double-row recall of only 0.5).
+std::vector<RowErrors> InterleaveClusters(std::vector<RowErrors> a,
+                                          std::vector<RowErrors> b, Rng& rng) {
+  std::vector<RowErrors> out;
+  out.reserve(a.size() + b.size());
+  if (rng.Bernoulli(0.5)) {
+    // Sequential: one cluster drains before the other starts.
+    if (rng.Bernoulli(0.5)) std::swap(a, b);
+    out.insert(out.end(), std::make_move_iterator(a.begin()),
+               std::make_move_iterator(a.end()));
+    out.insert(out.end(), std::make_move_iterator(b.begin()),
+               std::make_move_iterator(b.end()));
+    return out;
+  }
+  std::size_t ia = 0, ib = 0;
+  bool take_a = rng.Bernoulli(0.5);
+  while (ia < a.size() || ib < b.size()) {
+    if (ia < a.size() && (take_a || ib >= b.size())) {
+      out.push_back(std::move(a[ia++]));
+    } else if (ib < b.size()) {
+      out.push_back(std::move(b[ib++]));
+    }
+    take_a = !take_a;
+  }
+  return out;
+}
+
+}  // namespace
+
+BankFaultPlan FootprintGenerator::Generate(PatternShape shape, Rng& rng) const {
+  BankFaultPlan plan;
+  plan.shape = shape;
+  plan.kind = RootCauseOf(shape);
+  const std::uint32_t rows = topology_.rows_per_bank;
+
+  double ce_rows_mean = params_.ce_rows_mean_ce_only;
+  switch (shape) {
+    case PatternShape::kCeOnly: {
+      ce_rows_mean = params_.ce_rows_mean_ce_only;
+      break;
+    }
+    case PatternShape::kSingleRowCluster: {
+      ce_rows_mean = params_.ce_rows_mean_single;
+      const double raw = rng.LogNormal(params_.single_halfwidth_mu,
+                                       params_.single_halfwidth_sigma);
+      const double halfwidth =
+          std::clamp(raw, static_cast<double>(params_.single_halfwidth_min),
+                     static_cast<double>(params_.single_halfwidth_max));
+      const auto center = static_cast<std::uint32_t>(rng.UniformU64(rows));
+      const double fill =
+          rng.UniformReal(params_.single_fill_min, params_.single_fill_max);
+      // MakeCluster emits rows in failure order (center-out propagation);
+      // the row count tracks the strip's position count via the fill.
+      plan.uer_rows = MakeCluster(center, halfwidth, /*count=*/0, rng, fill);
+      break;
+    }
+    case PatternShape::kDoubleRowCluster: {
+      ce_rows_mean = params_.ce_rows_mean_double;
+      const int log2_gap = static_cast<int>(rng.UniformInt(
+          params_.double_gap_log2_min, params_.double_gap_log2_max));
+      const std::uint32_t gap = 1u << log2_gap;
+      const auto base = static_cast<std::uint32_t>(
+          rng.UniformU64(std::max<std::uint32_t>(rows - gap, 1)));
+      const auto per_cluster = [&] {
+        return 1 + static_cast<std::size_t>(
+                       rng.Poisson(params_.double_rows_per_cluster_mean));
+      };
+      auto a = MakeCluster(base, params_.double_cluster_halfwidth,
+                           per_cluster(), rng);
+      auto b = MakeCluster(base + gap, params_.double_cluster_halfwidth,
+                           per_cluster(), rng);
+      plan.uer_rows = InterleaveClusters(std::move(a), std::move(b), rng);
+      break;
+    }
+    case PatternShape::kHalfTotalRowCluster: {
+      ce_rows_mean = params_.ce_rows_mean_half;
+      const std::uint32_t gap = rows / 2;
+      const auto base = static_cast<std::uint32_t>(rng.UniformU64(gap));
+      const auto per_cluster = [&] {
+        return 2 + static_cast<std::size_t>(
+                       rng.Poisson(params_.half_rows_per_cluster_mean));
+      };
+      auto a = MakeCluster(base, params_.half_cluster_halfwidth, per_cluster(),
+                           rng);
+      auto b = MakeCluster(base + gap, params_.half_cluster_halfwidth,
+                           per_cluster(), rng);
+      plan.uer_rows = InterleaveClusters(std::move(a), std::move(b), rng);
+      break;
+    }
+    case PatternShape::kScattered: {
+      ce_rows_mean = params_.ce_rows_mean_scattered;
+      const std::size_t count =
+          4 + static_cast<std::size_t>(rng.Poisson(params_.scattered_rows_mean));
+      std::set<std::uint32_t> picked;
+      while (picked.size() < count) {
+        picked.insert(static_cast<std::uint32_t>(rng.UniformU64(rows)));
+      }
+      for (std::uint32_t row : picked) {
+        plan.uer_rows.push_back(RowErrors{row, SampleCols(rng)});
+      }
+      rng.Shuffle(plan.uer_rows);
+      break;
+    }
+    case PatternShape::kWholeColumn: {
+      ce_rows_mean = params_.ce_rows_mean_column;
+      const auto col =
+          static_cast<std::uint32_t>(rng.UniformU64(topology_.cols_per_bank));
+      const std::size_t count =
+          10 + static_cast<std::size_t>(rng.Poisson(params_.column_rows_mean));
+      std::set<std::uint32_t> picked;
+      while (picked.size() < count) {
+        picked.insert(static_cast<std::uint32_t>(rng.UniformU64(rows)));
+      }
+      for (std::uint32_t row : picked) {
+        plan.uer_rows.push_back(RowErrors{row, {col}});
+      }
+      rng.Shuffle(plan.uer_rows);
+      break;
+    }
+  }
+
+  // Ambient CE rows. Clustered faults leak correctable noise near the fault
+  // region; infrastructure faults (scattered / column) leak it bank-wide.
+  const auto ce_count = static_cast<std::size_t>(rng.Poisson(ce_rows_mean));
+  const bool bank_wide_noise = shape == PatternShape::kScattered ||
+                               shape == PatternShape::kWholeColumn ||
+                               shape == PatternShape::kCeOnly;
+  for (std::size_t i = 0; i < ce_count; ++i) {
+    std::uint32_t row;
+    if (bank_wide_noise || plan.uer_rows.empty()) {
+      row = static_cast<std::uint32_t>(rng.UniformU64(rows));
+    } else {
+      // Near a random UER row, within ~4x the typical cluster width.
+      const RowErrors& anchor = plan.uer_rows[static_cast<std::size_t>(
+          rng.UniformU64(plan.uer_rows.size()))];
+      const double offset = rng.Normal(0.0, 64.0);
+      row = ClampRow(static_cast<std::int64_t>(anchor.row) +
+                     static_cast<std::int64_t>(std::llround(offset)));
+    }
+    plan.ce_rows.push_back(RowErrors{row, SampleCols(rng)});
+  }
+  return plan;
+}
+
+}  // namespace cordial::hbm

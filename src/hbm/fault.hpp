@@ -1,0 +1,189 @@
+// Fault taxonomy and spatial footprint generation.
+//
+// The paper's empirical study (§III-B, Fig 3) observes five bank-level UER
+// shapes. Each shape has a physical root cause in the HBM literature the
+// paper cites, and that mapping is what the simulator implements:
+//
+//   single-row cluster      <- sub-wordline-driver (SWD) malfunction [20]:
+//                              a damaged driver strip disturbs a narrow,
+//                              contiguous band of rows.
+//   double-row cluster      <- subarray sense-amplifier fault: two row bands
+//                              sharing the amp stripe fail, separated by a
+//                              consistent power-of-two interval.
+//   half total-row cluster  <- stuck row-address bit / die crack: rows alias
+//                              at exactly rows_per_bank/2, producing two
+//                              wide bands half a bank apart.
+//   scattered               <- TSV / micro-bump defects [32]-[34]: the shared
+//                              vertical interconnect corrupts transfers for
+//                              unrelated rows, often across several banks of
+//                              one channel.
+//   whole column            <- column-driver / column-select fault: one
+//                              column fails across nearly all rows.
+//   CE-only                 <- isolated weak cells; never escalates to UER.
+//
+// For classification the five UER shapes collapse onto the paper's three
+// classes (see DESIGN.md "taxonomy reconciliation").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hbm/topology.hpp"
+
+namespace cordial::hbm {
+
+/// Physical root cause of a fault incident.
+enum class FaultKind : std::uint8_t {
+  kCellFault = 0,      ///< isolated weak cell(s); CE-only
+  kSwdFault,           ///< sub-wordline driver malfunction
+  kSenseAmpFault,      ///< subarray sense-amplifier fault
+  kDieCrack,           ///< die crack / stuck row-address bit
+  kTsvFault,           ///< TSV or micro-bump defect
+  kColumnDriverFault,  ///< column driver / column select fault
+};
+
+/// Ground-truth spatial shape of a bank's eventual UER footprint.
+enum class PatternShape : std::uint8_t {
+  kCeOnly = 0,
+  kSingleRowCluster,
+  kDoubleRowCluster,
+  kHalfTotalRowCluster,
+  kScattered,
+  kWholeColumn,
+};
+
+/// The paper's three-way classification target (§IV-C).
+enum class FailureClass : std::uint8_t {
+  kSingleRowClustering = 0,
+  kDoubleRowClustering = 1,
+  kScattered = 2,
+};
+inline constexpr int kNumFailureClasses = 3;
+
+const char* FaultKindName(FaultKind kind);
+const char* PatternShapeName(PatternShape shape);
+const char* FailureClassName(FailureClass failure_class);
+
+/// Maps a ground-truth shape to its classification class; nullopt for
+/// CE-only banks (no UERs, so never classified).
+std::optional<FailureClass> CollapseToClass(PatternShape shape);
+
+/// Root cause that produces each shape.
+FaultKind RootCauseOf(PatternShape shape);
+
+/// Errors planned within one row: the row index plus the affected columns.
+struct RowErrors {
+  std::uint32_t row = 0;
+  std::vector<std::uint32_t> cols;
+};
+
+/// Static spatial plan for one faulty bank: which rows will eventually
+/// produce UERs and which rows emit correctable precursors. The temporal
+/// expansion into a timestamped event stream happens in cordial::trace.
+struct BankFaultPlan {
+  PatternShape shape = PatternShape::kCeOnly;
+  FaultKind kind = FaultKind::kCellFault;
+  /// Rows that eventually raise UERs, in planned failure order.
+  std::vector<RowErrors> uer_rows;
+  /// Rows that emit CEs (ambient weak cells inside the fault region); may
+  /// overlap uer_rows (in-row precursors of non-sudden UERs).
+  std::vector<RowErrors> ce_rows;
+};
+
+/// Tunable shape parameters. Defaults are calibrated so that (a) the
+/// cross-row locality chi-square sweep peaks near a 128-row distance (paper
+/// Fig 4) and (b) observed UER-rows-per-bank matches Table II (~4.9).
+struct FootprintParams {
+  // Single-row cluster: a damaged sub-wordline-driver strip serves every
+  // stride-th row of a band, so failures land at (near-)regular stride
+  // offsets from the band center. Band half-width ~ LogNormal(mu, sigma),
+  // clamped; the scale is calibrated so the cross-row locality chi-square
+  // peaks near a 128-row distance (paper Fig 4), and the stride regularity
+  // is what makes cross-row block prediction learnable (paper §IV-D).
+  double single_halfwidth_mu = 4.85;    // median e^4.85 ~ 128 rows
+  double single_halfwidth_sigma = 0.35;
+  std::uint32_t single_halfwidth_min = 64;
+  std::uint32_t single_halfwidth_max = 256;
+  /// Fraction of the strip's positions that eventually fail, uniform in
+  /// [min, max]. High fill is what makes the unfailed in-band positions
+  /// predictable after a few observations.
+  double single_fill_min = 0.65;
+  double single_fill_max = 0.95;
+
+  /// Stride of the driver strip: 2^k rows, k uniform in this range.
+  int cluster_stride_log2_min = 5;  // 32
+  int cluster_stride_log2_max = 6;  // 64
+  /// Probability that a stride position lands one row off (imperfection).
+  double cluster_stride_jitter_prob = 0.1;
+  /// Probability that the next strip failure is the nearest undamaged
+  /// position to an already-failed one (outward damage propagation) rather
+  /// than a uniformly random strip position. This is the determinism that
+  /// makes cross-row block prediction effective in the paper's setting.
+  double cluster_outward_frac = 0.85;
+
+  // Within a cluster, each subsequent failing row either propagates to a
+  // row adjacent to an existing failure (sense-amp collateral) or strikes
+  // another stride position in the band. The adjacent fraction is what
+  // gives the industrial +/-4-row baseline its partial coverage (Table IV).
+  double cluster_adjacent_frac = 0.10;
+  std::uint32_t cluster_adjacent_max_dist = 4;
+
+  // Double-row cluster: inter-cluster gap = 2^k rows, k uniform in range.
+  // The upper range overlaps typical scattered spacings, which is what
+  // makes double-vs-scattered classification genuinely hard (§V-B).
+  int double_gap_log2_min = 7;   // 128
+  int double_gap_log2_max = 14;  // 16384
+  double double_cluster_halfwidth = 8.0;
+  double double_rows_per_cluster_mean = 1.0;  // rows/cluster = 1 + Poisson
+
+  // Half total-row cluster: gap fixed at rows_per_bank/2, wider bands.
+  double half_cluster_halfwidth = 48.0;
+  double half_rows_per_cluster_mean = 3.0;
+
+  // Scattered: rows uniform across the bank.
+  double scattered_rows_mean = 3.0;  // UER rows = 4 + Poisson(mean)
+
+  // Whole column: one column, rows uniform across nearly the full bank.
+  double column_rows_mean = 8.0;  // UER rows = 10 + Poisson(mean)
+
+  // Ambient CE rows per faulty bank, by shape (Poisson means). Scattered
+  // and whole-column faults sit on shared infrastructure (TSV, column
+  // driver) and therefore shower the bank with correctable noise — the
+  // count-feature signal described in §IV-B.
+  double ce_rows_mean_single = 2.0;
+  double ce_rows_mean_double = 3.0;
+  double ce_rows_mean_half = 5.0;
+  double ce_rows_mean_scattered = 12.0;
+  double ce_rows_mean_column = 20.0;
+  double ce_rows_mean_ce_only = 5.0;
+
+  // Columns hit per error row.
+  double cols_per_row_mean = 2.0;  // 1 + Poisson(mean)
+};
+
+/// Generates static bank fault footprints. Deterministic given the Rng.
+class FootprintGenerator {
+ public:
+  FootprintGenerator(const TopologyConfig& topology, FootprintParams params = {});
+
+  const FootprintParams& params() const { return params_; }
+
+  /// Generate the spatial plan for one bank exhibiting `shape`.
+  BankFaultPlan Generate(PatternShape shape, Rng& rng) const;
+
+ private:
+  /// Generate a strip cluster. If `fill` > 0, the row count is
+  /// fill * strip positions (at least 2) and `count` is ignored.
+  std::vector<RowErrors> MakeCluster(std::uint32_t center, double halfwidth,
+                                     std::size_t count, Rng& rng,
+                                     double fill = 0.0) const;
+  std::vector<std::uint32_t> SampleCols(Rng& rng) const;
+  std::uint32_t ClampRow(std::int64_t row) const;
+
+  TopologyConfig topology_;
+  FootprintParams params_;
+};
+
+}  // namespace cordial::hbm

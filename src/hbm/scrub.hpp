@@ -1,0 +1,49 @@
+// Patrol-scrub timing model (§II-B).
+//
+// Patrol scrubbing periodically sweeps memory to find latent errors before a
+// demand access consumes them. In the simulator this decides whether an
+// uncorrectable fault surfaces as a UEO (scrubber got there first) or a UER
+// (a demand access hit it first), and how long a latent fault stays hidden.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace cordial::hbm {
+
+class PatrolScrubber {
+ public:
+  /// `period_s`: wall-clock seconds for one full sweep of a device.
+  /// `phase_s`: offset of the first sweep completion after t=0.
+  explicit PatrolScrubber(double period_s = 24.0 * 3600.0, double phase_s = 0.0)
+      : period_s_(period_s), phase_s_(phase_s) {
+    CORDIAL_CHECK_MSG(period_s_ > 0.0, "scrub period must be positive");
+    CORDIAL_CHECK_MSG(phase_s_ >= 0.0, "scrub phase must be non-negative");
+  }
+
+  double period_s() const { return period_s_; }
+
+  /// First scrub-sweep completion at or after time `t` (seconds).
+  double NextSweepAfter(double t) const {
+    if (t <= phase_s_) return phase_s_;
+    const double since_phase = t - phase_s_;
+    const auto full = static_cast<std::uint64_t>(since_phase / period_s_);
+    double next = phase_s_ + static_cast<double>(full) * period_s_;
+    if (next < t) next += period_s_;
+    return next;
+  }
+
+  /// Whether a latent fault arising at `fault_t` is found by the scrubber
+  /// before a demand access arriving `access_delay` seconds later.
+  bool ScrubWinsRace(double fault_t, double access_delay) const {
+    return NextSweepAfter(fault_t) <= fault_t + access_delay;
+  }
+
+ private:
+  double period_s_;
+  double phase_s_;
+};
+
+}  // namespace cordial::hbm

@@ -1,0 +1,32 @@
+#include "hbm/sparing.hpp"
+
+namespace cordial::hbm {
+
+bool SparingLedger::TrySpareRow(std::uint64_t bank_key, std::uint32_t row) {
+  auto& rows = spared_rows_[bank_key];
+  if (rows.contains(row)) return true;  // idempotent
+  if (rows.size() >= budget_.rows_per_bank) return false;
+  rows.insert(row);
+  ++rows_spared_;
+  return true;
+}
+
+bool SparingLedger::TrySpareBank(std::uint64_t bank_key) {
+  if (!budget_.bank_sparing_available) return false;
+  if (spared_banks_.contains(bank_key)) return true;  // idempotent
+  spared_banks_.insert(bank_key);
+  ++banks_spared_;
+  return true;
+}
+
+bool SparingLedger::IsRowSpared(std::uint64_t bank_key,
+                                std::uint32_t row) const {
+  auto it = spared_rows_.find(bank_key);
+  return it != spared_rows_.end() && it->second.contains(row);
+}
+
+bool SparingLedger::IsBankSpared(std::uint64_t bank_key) const {
+  return spared_banks_.contains(bank_key);
+}
+
+}  // namespace cordial::hbm

@@ -1,0 +1,65 @@
+// Sparing-resource model (row sparing and bank sparing).
+//
+// §I/§II-C of the paper: row sparing remaps a failing row onto a spare row
+// within the bank at low cost; bank sparing retires a whole bank and is far
+// more expensive in redundancy. Cordial's isolation policy spends these
+// resources; this ledger tracks what was spent and what is isolated, and is
+// what the Isolation Coverage Rate evaluation queries.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cordial::hbm {
+
+struct SparingBudget {
+  /// Rows that can be spared (hardware spares + page offlining) per bank.
+  std::uint32_t rows_per_bank = 256;
+  /// Whether bank sparing is available at all.
+  bool bank_sparing_available = true;
+  /// Cost accounting: abstract units; a bank spare costs this many row units.
+  double row_spare_cost = 1.0;
+  double bank_spare_cost = 512.0;
+};
+
+/// Tracks isolation decisions across the fleet, keyed by the AddressCodec's
+/// global bank key. Idempotent: re-sparing an already-spared row/bank is a
+/// no-op that costs nothing.
+class SparingLedger {
+ public:
+  explicit SparingLedger(SparingBudget budget = {}) : budget_(budget) {}
+
+  const SparingBudget& budget() const { return budget_; }
+
+  /// Spare one row. Returns false if the per-bank budget is exhausted.
+  bool TrySpareRow(std::uint64_t bank_key, std::uint32_t row);
+
+  /// Spare a whole bank. Returns false if bank sparing is unavailable.
+  bool TrySpareBank(std::uint64_t bank_key);
+
+  bool IsRowSpared(std::uint64_t bank_key, std::uint32_t row) const;
+  bool IsBankSpared(std::uint64_t bank_key) const;
+
+  /// A row is isolated if it was row-spared or its bank was bank-spared.
+  bool IsRowIsolated(std::uint64_t bank_key, std::uint32_t row) const {
+    return IsBankSpared(bank_key) || IsRowSpared(bank_key, row);
+  }
+
+  std::uint64_t rows_spared() const { return rows_spared_; }
+  std::uint64_t banks_spared() const { return banks_spared_; }
+  double total_cost() const {
+    return static_cast<double>(rows_spared_) * budget_.row_spare_cost +
+           static_cast<double>(banks_spared_) * budget_.bank_spare_cost;
+  }
+
+ private:
+  SparingBudget budget_;
+  std::unordered_map<std::uint64_t, std::unordered_set<std::uint32_t>>
+      spared_rows_;
+  std::unordered_set<std::uint64_t> spared_banks_;
+  std::uint64_t rows_spared_ = 0;
+  std::uint64_t banks_spared_ = 0;
+};
+
+}  // namespace cordial::hbm

@@ -1,0 +1,56 @@
+#include "hbm/topology.hpp"
+
+#include <sstream>
+
+namespace cordial::hbm {
+
+void TopologyConfig::Validate() const {
+  CORDIAL_CHECK_MSG(nodes > 0, "topology: nodes must be > 0");
+  CORDIAL_CHECK_MSG(npus_per_node > 0, "topology: npus_per_node must be > 0");
+  CORDIAL_CHECK_MSG(hbms_per_npu > 0, "topology: hbms_per_npu must be > 0");
+  CORDIAL_CHECK_MSG(sids_per_hbm > 0, "topology: sids_per_hbm must be > 0");
+  CORDIAL_CHECK_MSG(channels_per_sid > 0, "topology: channels_per_sid must be > 0");
+  CORDIAL_CHECK_MSG(pseudo_channels_per_channel > 0,
+                    "topology: pseudo_channels_per_channel must be > 0");
+  CORDIAL_CHECK_MSG(bank_groups_per_pseudo_channel > 0,
+                    "topology: bank_groups_per_pseudo_channel must be > 0");
+  CORDIAL_CHECK_MSG(banks_per_bank_group > 0,
+                    "topology: banks_per_bank_group must be > 0");
+  CORDIAL_CHECK_MSG(rows_per_bank > 0, "topology: rows_per_bank must be > 0");
+  CORDIAL_CHECK_MSG(cols_per_bank > 0, "topology: cols_per_bank must be > 0");
+
+  // The packed address must fit in 64 bits: total cells = banks * rows * cols.
+  long double cells = static_cast<long double>(TotalBanks()) *
+                      static_cast<long double>(rows_per_bank) *
+                      static_cast<long double>(cols_per_bank);
+  CORDIAL_CHECK_MSG(cells < 1.8e19L, "topology: packed address exceeds 64 bits");
+}
+
+std::string TopologyConfig::ToString() const {
+  std::ostringstream os;
+  os << "TopologyConfig{nodes=" << nodes << ", npus/node=" << npus_per_node
+     << ", hbms/npu=" << hbms_per_npu << ", sids/hbm=" << sids_per_hbm
+     << ", ch/sid=" << channels_per_sid
+     << ", psch/ch=" << pseudo_channels_per_channel
+     << ", bg/psch=" << bank_groups_per_pseudo_channel
+     << ", banks/bg=" << banks_per_bank_group << ", rows=" << rows_per_bank
+     << ", cols=" << cols_per_bank << ", total_npus=" << TotalNpus()
+     << ", total_hbms=" << TotalHbms() << ", total_banks=" << TotalBanks()
+     << "}";
+  return os.str();
+}
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kNpu: return "NPU";
+    case Level::kHbm: return "HBM";
+    case Level::kSid: return "SID";
+    case Level::kPseudoChannel: return "PS-CH";
+    case Level::kBankGroup: return "BG";
+    case Level::kBank: return "Bank";
+    case Level::kRow: return "Row";
+  }
+  return "?";
+}
+
+}  // namespace cordial::hbm

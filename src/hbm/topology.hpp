@@ -1,0 +1,76 @@
+// HBM2E fleet topology model.
+//
+// Mirrors the organization in §II-A of the paper (Fig 1): each compute node
+// carries 8 NPUs, each NPU hosts several HBM stacks; a stack is built from an
+// 8-Hi pile of DRAM dies grouped into two stack IDs (SIDs); below an SID sit
+// channels, pseudo-channels, bank groups and banks; a bank is a 2-D array of
+// cells addressed by (row, column).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace cordial::hbm {
+
+/// Geometry of the fleet and of every HBM stack in it. All counts are
+/// per-parent. Defaults model the paper's platform: >10,000 NPUs and
+/// >80,000 HBM2E stacks (8 HBMs per NPU), 32K-row x 128-column banks.
+struct TopologyConfig {
+  std::uint32_t nodes = 1280;                      // fleet nodes
+  std::uint32_t npus_per_node = 8;                 // paper §II-A
+  std::uint32_t hbms_per_npu = 8;                  // 80k HBMs / 10k NPUs
+  std::uint32_t sids_per_hbm = 2;                  // 8Hi stack -> 2 SIDs
+  std::uint32_t channels_per_sid = 4;              // 8 channels per stack
+  std::uint32_t pseudo_channels_per_channel = 2;   // PS-CH
+  std::uint32_t bank_groups_per_pseudo_channel = 4;
+  std::uint32_t banks_per_bank_group = 4;
+  std::uint32_t rows_per_bank = 32768;             // Fig 3(a) y-axis ~ 30000+
+  std::uint32_t cols_per_bank = 128;               // Fig 3(a) x-axis 0..128
+
+  std::uint64_t TotalNpus() const {
+    return static_cast<std::uint64_t>(nodes) * npus_per_node;
+  }
+  std::uint64_t TotalHbms() const { return TotalNpus() * hbms_per_npu; }
+  std::uint64_t SidsPerHbm() const { return sids_per_hbm; }
+  std::uint64_t ChannelsPerHbm() const {
+    return static_cast<std::uint64_t>(sids_per_hbm) * channels_per_sid;
+  }
+  std::uint64_t PseudoChannelsPerHbm() const {
+    return ChannelsPerHbm() * pseudo_channels_per_channel;
+  }
+  std::uint64_t BankGroupsPerHbm() const {
+    return PseudoChannelsPerHbm() * bank_groups_per_pseudo_channel;
+  }
+  std::uint64_t BanksPerHbm() const {
+    return BankGroupsPerHbm() * banks_per_bank_group;
+  }
+  std::uint64_t TotalBanks() const { return TotalHbms() * BanksPerHbm(); }
+
+  /// Validate all dimensions are non-zero and the packed address fits 64 bits.
+  void Validate() const;
+
+  std::string ToString() const;
+};
+
+/// Micro-levels of the device hierarchy, ordered coarse -> fine exactly as in
+/// Tables I and II of the paper.
+enum class Level : std::uint8_t {
+  kNpu = 0,
+  kHbm,
+  kSid,
+  kPseudoChannel,
+  kBankGroup,
+  kBank,
+  kRow,
+};
+
+inline constexpr Level kAllLevels[] = {
+    Level::kNpu,         Level::kHbm,  Level::kSid, Level::kPseudoChannel,
+    Level::kBankGroup,   Level::kBank, Level::kRow,
+};
+
+const char* LevelName(Level level);
+
+}  // namespace cordial::hbm

@@ -1,0 +1,191 @@
+#include "ml/metrics.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace cordial::ml {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes)
+    : num_classes_(num_classes),
+      cells_(static_cast<std::size_t>(num_classes) *
+                 static_cast<std::size_t>(num_classes),
+             0) {
+  CORDIAL_CHECK_MSG(num_classes_ >= 2, "confusion matrix needs >=2 classes");
+}
+
+void ConfusionMatrix::Add(int truth, int predicted) {
+  CORDIAL_CHECK_MSG(truth >= 0 && truth < num_classes_, "truth out of range");
+  CORDIAL_CHECK_MSG(predicted >= 0 && predicted < num_classes_,
+                    "prediction out of range");
+  ++cells_[static_cast<std::size_t>(truth) *
+               static_cast<std::size_t>(num_classes_) +
+           static_cast<std::size_t>(predicted)];
+  ++total_;
+}
+
+std::uint64_t ConfusionMatrix::at(int truth, int predicted) const {
+  CORDIAL_CHECK_MSG(truth >= 0 && truth < num_classes_ && predicted >= 0 &&
+                        predicted < num_classes_,
+                    "confusion index out of range");
+  return cells_[static_cast<std::size_t>(truth) *
+                    static_cast<std::size_t>(num_classes_) +
+                static_cast<std::size_t>(predicted)];
+}
+
+ClassMetrics ConfusionMatrix::Metrics(int class_index) const {
+  std::uint64_t tp = at(class_index, class_index);
+  std::uint64_t fp = 0, fn = 0;
+  for (int other = 0; other < num_classes_; ++other) {
+    if (other == class_index) continue;
+    fp += at(other, class_index);
+    fn += at(class_index, other);
+  }
+  ClassMetrics m;
+  m.support = tp + fn;
+  m.precision = (tp + fp) == 0
+                    ? 0.0
+                    : static_cast<double>(tp) / static_cast<double>(tp + fp);
+  m.recall = (tp + fn) == 0
+                 ? 0.0
+                 : static_cast<double>(tp) / static_cast<double>(tp + fn);
+  m.f1 = (m.precision + m.recall) == 0.0
+             ? 0.0
+             : 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  return m;
+}
+
+ClassMetrics ConfusionMatrix::WeightedAverage() const {
+  ClassMetrics avg;
+  std::uint64_t total_support = 0;
+  for (int c = 0; c < num_classes_; ++c) {
+    const ClassMetrics m = Metrics(c);
+    avg.precision += m.precision * static_cast<double>(m.support);
+    avg.recall += m.recall * static_cast<double>(m.support);
+    avg.f1 += m.f1 * static_cast<double>(m.support);
+    total_support += m.support;
+  }
+  avg.support = total_support;
+  if (total_support > 0) {
+    const auto d = static_cast<double>(total_support);
+    avg.precision /= d;
+    avg.recall /= d;
+    avg.f1 /= d;
+  }
+  return avg;
+}
+
+ClassMetrics ConfusionMatrix::MacroAverage() const {
+  ClassMetrics avg;
+  for (int c = 0; c < num_classes_; ++c) {
+    const ClassMetrics m = Metrics(c);
+    avg.precision += m.precision;
+    avg.recall += m.recall;
+    avg.f1 += m.f1;
+    avg.support += m.support;
+  }
+  const auto d = static_cast<double>(num_classes_);
+  avg.precision /= d;
+  avg.recall /= d;
+  avg.f1 /= d;
+  return avg;
+}
+
+double ConfusionMatrix::Accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t correct = 0;
+  for (int c = 0; c < num_classes_; ++c) correct += at(c, c);
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+std::string ConfusionMatrix::ToString(
+    const std::vector<std::string>& class_names) const {
+  std::ostringstream os;
+  os << "truth\\pred";
+  for (int c = 0; c < num_classes_; ++c) {
+    os << '\t'
+       << (c < static_cast<int>(class_names.size())
+               ? class_names[static_cast<std::size_t>(c)]
+               : "c" + std::to_string(c));
+  }
+  os << '\n';
+  for (int t = 0; t < num_classes_; ++t) {
+    os << (t < static_cast<int>(class_names.size())
+               ? class_names[static_cast<std::size_t>(t)]
+               : "c" + std::to_string(t));
+    for (int p = 0; p < num_classes_; ++p) os << '\t' << at(t, p);
+    os << '\n';
+  }
+  return os.str();
+}
+
+ClassMetrics BinaryMetrics(const std::vector<int>& truth,
+                           const std::vector<int>& predicted) {
+  CORDIAL_CHECK_MSG(truth.size() == predicted.size(),
+                    "truth/prediction size mismatch");
+  ConfusionMatrix cm(2);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    cm.Add(truth[i], predicted[i]);
+  }
+  return cm.Metrics(1);
+}
+
+double BrierScore(const std::vector<double>& positive_proba,
+                  const std::vector<int>& truth) {
+  CORDIAL_CHECK_MSG(positive_proba.size() == truth.size(),
+                    "proba/truth size mismatch");
+  CORDIAL_CHECK_MSG(!truth.empty(), "Brier score of empty sample");
+  double total = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    CORDIAL_CHECK_MSG(positive_proba[i] >= 0.0 && positive_proba[i] <= 1.0,
+                      "probability out of [0,1]");
+    CORDIAL_CHECK_MSG(truth[i] == 0 || truth[i] == 1, "binary truth expected");
+    const double d = positive_proba[i] - static_cast<double>(truth[i]);
+    total += d * d;
+  }
+  return total / static_cast<double>(truth.size());
+}
+
+std::vector<CalibrationBin> CalibrationCurve(
+    const std::vector<double>& positive_proba, const std::vector<int>& truth,
+    std::size_t n_bins) {
+  CORDIAL_CHECK_MSG(positive_proba.size() == truth.size(),
+                    "proba/truth size mismatch");
+  CORDIAL_CHECK_MSG(n_bins >= 2, "need at least two calibration bins");
+  std::vector<CalibrationBin> bins(n_bins);
+  std::vector<double> proba_sum(n_bins, 0.0);
+  std::vector<double> positive_sum(n_bins, 0.0);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double p = positive_proba[i];
+    CORDIAL_CHECK_MSG(p >= 0.0 && p <= 1.0, "probability out of [0,1]");
+    auto bin = static_cast<std::size_t>(p * static_cast<double>(n_bins));
+    if (bin == n_bins) bin = n_bins - 1;  // p == 1.0
+    ++bins[bin].count;
+    proba_sum[bin] += p;
+    positive_sum[bin] += static_cast<double>(truth[i]);
+  }
+  for (std::size_t b = 0; b < n_bins; ++b) {
+    if (bins[b].count == 0) continue;
+    const auto n = static_cast<double>(bins[b].count);
+    bins[b].mean_predicted = proba_sum[b] / n;
+    bins[b].fraction_positive = positive_sum[b] / n;
+  }
+  return bins;
+}
+
+double ExpectedCalibrationError(const std::vector<double>& positive_proba,
+                                const std::vector<int>& truth,
+                                std::size_t n_bins) {
+  CORDIAL_CHECK_MSG(!truth.empty(), "ECE of empty sample");
+  const auto bins = CalibrationCurve(positive_proba, truth, n_bins);
+  double ece = 0.0;
+  for (const CalibrationBin& bin : bins) {
+    if (bin.count == 0) continue;
+    ece += static_cast<double>(bin.count) *
+           std::fabs(bin.mean_predicted - bin.fraction_positive);
+  }
+  return ece / static_cast<double>(truth.size());
+}
+
+}  // namespace cordial::ml

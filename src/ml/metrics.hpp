@@ -1,0 +1,79 @@
+// Classification metrics: confusion matrix, per-class precision / recall /
+// F1, macro and support-weighted averages — the measures reported in the
+// paper's Tables III and IV.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cordial::ml {
+
+struct ClassMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  std::size_t support = 0;  ///< true samples of this class
+};
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+
+  void Add(int truth, int predicted);
+  std::uint64_t at(int truth, int predicted) const;
+  int num_classes() const { return num_classes_; }
+  std::uint64_t total() const { return total_; }
+
+  /// Precision / recall / F1 for one class (one-vs-rest). Zero denominators
+  /// yield zero metrics, matching scikit-learn's zero_division=0 behaviour.
+  ClassMetrics Metrics(int class_index) const;
+
+  /// Support-weighted averages across classes (paper "Weighted Average").
+  ClassMetrics WeightedAverage() const;
+  /// Unweighted macro averages.
+  ClassMetrics MacroAverage() const;
+
+  double Accuracy() const;
+
+  std::string ToString(const std::vector<std::string>& class_names = {}) const;
+
+ private:
+  int num_classes_;
+  std::uint64_t total_ = 0;
+  std::vector<std::uint64_t> cells_;  // truth-major
+};
+
+/// Convenience for binary problems given parallel truth/prediction vectors.
+ClassMetrics BinaryMetrics(const std::vector<int>& truth,
+                           const std::vector<int>& predicted);
+
+// ------------------------------------------------ probability quality
+//
+// Cordial's isolation policy thresholds predicted probabilities, so the
+// probabilities themselves must be trustworthy — these measure that.
+
+/// Binary Brier score: mean (p - y)^2 over samples; 0 is perfect, 0.25 is
+/// an uninformative coin.
+double BrierScore(const std::vector<double>& positive_proba,
+                  const std::vector<int>& truth);
+
+/// One reliability-diagram bin.
+struct CalibrationBin {
+  double mean_predicted = 0.0;   ///< average predicted probability in bin
+  double fraction_positive = 0.0;  ///< empirical positive rate in bin
+  std::size_t count = 0;
+};
+
+/// Equal-width reliability bins over [0, 1]; empty bins are returned with
+/// count == 0.
+std::vector<CalibrationBin> CalibrationCurve(
+    const std::vector<double>& positive_proba, const std::vector<int>& truth,
+    std::size_t n_bins = 10);
+
+/// Expected calibration error: count-weighted |confidence - accuracy|.
+double ExpectedCalibrationError(const std::vector<double>& positive_proba,
+                                const std::vector<int>& truth,
+                                std::size_t n_bins = 10);
+
+}  // namespace cordial::ml

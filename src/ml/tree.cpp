@@ -1,0 +1,586 @@
+#include "ml/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <queue>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace cordial::ml {
+
+namespace {
+
+/// Feature subset to try at one split: all features when max_features is 0
+/// or >= d, otherwise a uniform sample without replacement.
+std::vector<std::size_t> SampleFeatures(std::size_t num_features,
+                                        std::size_t max_features, Rng& rng) {
+  if (max_features == 0 || max_features >= num_features) {
+    std::vector<std::size_t> all(num_features);
+    for (std::size_t i = 0; i < num_features; ++i) all[i] = i;
+    return all;
+  }
+  return rng.SampleWithoutReplacement(num_features, max_features);
+}
+
+double Gini(const std::vector<double>& counts, double total) {
+  if (total <= 0.0) return 0.0;
+  double sum_sq = 0.0;
+  for (double c : counts) sum_sq += c * c;
+  return 1.0 - sum_sq / (total * total);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- binning
+
+FeatureBinner::FeatureBinner(const Dataset& data,
+                             const std::vector<std::size_t>& indices,
+                             int max_bins)
+    : max_bins_(max_bins) {
+  CORDIAL_CHECK_MSG(max_bins_ >= 2, "binner needs at least 2 bins");
+  const std::size_t d = data.num_features();
+  edges_.resize(d);
+  std::vector<double> values;
+  for (std::size_t f = 0; f < d; ++f) {
+    values.clear();
+    if (indices.empty()) {
+      values.reserve(data.size());
+      for (std::size_t i = 0; i < data.size(); ++i) values.push_back(data.at(i, f));
+    } else {
+      values.reserve(indices.size());
+      for (std::size_t i : indices) values.push_back(data.at(i, f));
+    }
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    auto& edges = edges_[f];
+    if (values.size() <= static_cast<std::size_t>(max_bins_)) {
+      // One bin per distinct value: edges midway between neighbours.
+      for (std::size_t i = 0; i + 1 < values.size(); ++i) {
+        edges.push_back(0.5 * (values[i] + values[i + 1]));
+      }
+    } else {
+      // Quantile edges.
+      for (int b = 1; b < max_bins_; ++b) {
+        const double q = static_cast<double>(b) / max_bins_;
+        const auto pos = static_cast<std::size_t>(
+            q * static_cast<double>(values.size() - 1));
+        const double edge = 0.5 * (values[pos] +
+                                   values[std::min(pos + 1, values.size() - 1)]);
+        if (edges.empty() || edge > edges.back()) edges.push_back(edge);
+      }
+    }
+  }
+}
+
+int FeatureBinner::BinOf(std::size_t feature, double value) const {
+  CORDIAL_CHECK_MSG(feature < edges_.size(), "binner feature out of range");
+  const auto& edges = edges_[feature];
+  // Bin b holds values in (edge[b-1], edge[b]]: lower_bound keeps a value
+  // equal to an edge on the LEFT side, matching the tree's "value <=
+  // threshold goes left" prediction rule.
+  return static_cast<int>(
+      std::lower_bound(edges.begin(), edges.end(), value) - edges.begin());
+}
+
+int FeatureBinner::NumBins(std::size_t feature) const {
+  CORDIAL_CHECK_MSG(feature < edges_.size(), "binner feature out of range");
+  return static_cast<int>(edges_[feature].size()) + 1;
+}
+
+double FeatureBinner::BinUpperEdge(std::size_t feature, int bin) const {
+  const auto& edges = edges_[feature];
+  if (bin >= static_cast<int>(edges.size())) {
+    return std::numeric_limits<double>::infinity();
+  }
+  CORDIAL_CHECK_MSG(bin >= 0, "bin out of range");
+  return edges[static_cast<std::size_t>(bin)];
+}
+
+// ----------------------------------------------------- classification tree
+
+void ClassificationTree::Fit(const Dataset& data,
+                             const std::vector<std::size_t>& indices,
+                             Rng& rng) {
+  CORDIAL_CHECK_MSG(!indices.empty(), "cannot fit a tree on zero samples");
+  nodes_.clear();
+  depth_ = 0;
+  num_classes_ = data.num_classes();
+  importance_.assign(data.num_features(), 0.0);
+  std::vector<std::size_t> work(indices);
+  Build(data, work, 0, rng);
+}
+
+std::int32_t ClassificationTree::Build(const Dataset& data,
+                                       std::vector<std::size_t>& indices,
+                                       int depth, Rng& rng) {
+  depth_ = std::max(depth_, depth);
+  const auto k = static_cast<std::size_t>(num_classes_);
+
+  std::vector<double> counts(k, 0.0);
+  for (std::size_t i : indices) {
+    counts[static_cast<std::size_t>(data.label(i))] += 1.0;
+  }
+  const auto total = static_cast<double>(indices.size());
+  const double parent_impurity = Gini(counts, total);
+
+  auto make_leaf = [&]() -> std::int32_t {
+    Node leaf;
+    leaf.proba.resize(k);
+    for (std::size_t c = 0; c < k; ++c) leaf.proba[c] = counts[c] / total;
+    nodes_.push_back(std::move(leaf));
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  };
+
+  const bool pure = std::any_of(counts.begin(), counts.end(), [&](double c) {
+    return c == total;
+  });
+  if (pure || indices.size() < options_.min_samples_split ||
+      (options_.max_depth > 0 && depth >= options_.max_depth)) {
+    return make_leaf();
+  }
+
+  // Best Gini split over a feature subsample.
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_impurity = parent_impurity - options_.min_impurity_decrease;
+  std::vector<std::pair<double, int>> sorted;  // (value, label)
+  std::vector<double> left_counts(k);
+  for (std::size_t f :
+       SampleFeatures(data.num_features(), options_.max_features, rng)) {
+    sorted.clear();
+    sorted.reserve(indices.size());
+    for (std::size_t i : indices) sorted.emplace_back(data.at(i, f), data.label(i));
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.front().first == sorted.back().first) continue;  // constant
+
+    std::fill(left_counts.begin(), left_counts.end(), 0.0);
+    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+      left_counts[static_cast<std::size_t>(sorted[i].second)] += 1.0;
+      if (sorted[i].first == sorted[i + 1].first) continue;  // same value
+      const auto n_left = static_cast<double>(i + 1);
+      const double n_right = total - n_left;
+      if (n_left < static_cast<double>(options_.min_samples_leaf) ||
+          n_right < static_cast<double>(options_.min_samples_leaf)) {
+        continue;
+      }
+      double right_sq = 0.0, left_sq = 0.0;
+      for (std::size_t c = 0; c < k; ++c) {
+        left_sq += left_counts[c] * left_counts[c];
+        const double rc = counts[c] - left_counts[c];
+        right_sq += rc * rc;
+      }
+      const double gini_left = 1.0 - left_sq / (n_left * n_left);
+      const double gini_right = 1.0 - right_sq / (n_right * n_right);
+      const double weighted =
+          (n_left * gini_left + n_right * gini_right) / total;
+      if (weighted < best_impurity) {
+        best_impurity = weighted;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (sorted[i].first + sorted[i + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) return make_leaf();
+  importance_[static_cast<std::size_t>(best_feature)] +=
+      (parent_impurity - best_impurity) * total;
+
+  std::vector<std::size_t> left_idx, right_idx;
+  for (std::size_t i : indices) {
+    (data.at(i, static_cast<std::size_t>(best_feature)) <= best_threshold
+         ? left_idx
+         : right_idx)
+        .push_back(i);
+  }
+  if (left_idx.empty() || right_idx.empty()) return make_leaf();
+  indices.clear();
+  indices.shrink_to_fit();
+
+  const auto node_id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[static_cast<std::size_t>(node_id)].feature = best_feature;
+  nodes_[static_cast<std::size_t>(node_id)].threshold = best_threshold;
+  const std::int32_t left = Build(data, left_idx, depth + 1, rng);
+  const std::int32_t right = Build(data, right_idx, depth + 1, rng);
+  nodes_[static_cast<std::size_t>(node_id)].left = left;
+  nodes_[static_cast<std::size_t>(node_id)].right = right;
+  return node_id;
+}
+
+std::vector<double> ClassificationTree::PredictProba(
+    std::span<const double> features) const {
+  CORDIAL_CHECK_MSG(!nodes_.empty(), "tree not fitted");
+  std::size_t node = 0;
+  while (nodes_[node].feature >= 0) {
+    const Node& n = nodes_[node];
+    const double v = features[static_cast<std::size_t>(n.feature)];
+    node = static_cast<std::size_t>(v <= n.threshold ? n.left : n.right);
+  }
+  return nodes_[node].proba;
+}
+
+int ClassificationTree::Predict(std::span<const double> features) const {
+  const std::vector<double> proba = PredictProba(features);
+  return static_cast<int>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+// -------------------------------------------------------- regression tree
+
+namespace {
+
+struct GradSums {
+  double g = 0.0;
+  double h = 0.0;
+};
+
+double LeafValue(const GradSums& s, double lambda) {
+  return -s.g / (s.h + lambda);
+}
+
+double ScoreOf(const GradSums& s, double lambda) {
+  return s.g * s.g / (s.h + lambda);
+}
+
+}  // namespace
+
+RegressionTree::SplitResult RegressionTree::FindBestSplit(
+    const Dataset& data, const std::vector<std::size_t>& indices,
+    std::span<const double> gradients, std::span<const double> hessians,
+    Rng& rng, const FeatureBinner* binner) const {
+  SplitResult best;
+  GradSums parent;
+  for (std::size_t i : indices) {
+    parent.g += gradients[i];
+    parent.h += hessians[i];
+  }
+  const double parent_score = ScoreOf(parent, options_.lambda);
+
+  for (std::size_t f :
+       SampleFeatures(data.num_features(), options_.max_features, rng)) {
+    if (binner != nullptr) {
+      // Histogram scan.
+      const int bins = binner->NumBins(f);
+      if (bins < 2) continue;
+      std::vector<GradSums> hist(static_cast<std::size_t>(bins));
+      std::vector<std::uint32_t> bin_count(static_cast<std::size_t>(bins), 0);
+      for (std::size_t i : indices) {
+        const int b = binner->BinOf(f, data.at(i, f));
+        hist[static_cast<std::size_t>(b)].g += gradients[i];
+        hist[static_cast<std::size_t>(b)].h += hessians[i];
+        ++bin_count[static_cast<std::size_t>(b)];
+      }
+      GradSums left;
+      std::size_t n_left = 0;
+      for (int b = 0; b + 1 < bins; ++b) {
+        left.g += hist[static_cast<std::size_t>(b)].g;
+        left.h += hist[static_cast<std::size_t>(b)].h;
+        n_left += bin_count[static_cast<std::size_t>(b)];
+        if (n_left < options_.min_samples_leaf ||
+            indices.size() - n_left < options_.min_samples_leaf) {
+          continue;
+        }
+        const GradSums right{parent.g - left.g, parent.h - left.h};
+        if (left.h < options_.min_child_weight ||
+            right.h < options_.min_child_weight) {
+          continue;
+        }
+        const double gain = 0.5 * (ScoreOf(left, options_.lambda) +
+                                   ScoreOf(right, options_.lambda) -
+                                   parent_score) -
+                            options_.gamma;
+        if (gain > best.gain) {
+          best.found = true;
+          best.gain = gain;
+          best.feature = static_cast<int>(f);
+          best.threshold = binner->BinUpperEdge(f, b);
+        }
+      }
+    } else {
+      // Exact scan over sorted values.
+      std::vector<std::pair<double, std::size_t>> sorted;
+      sorted.reserve(indices.size());
+      for (std::size_t i : indices) sorted.emplace_back(data.at(i, f), i);
+      std::sort(sorted.begin(), sorted.end());
+      if (sorted.front().first == sorted.back().first) continue;
+      GradSums left;
+      for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+        const std::size_t sample = sorted[i].second;
+        left.g += gradients[sample];
+        left.h += hessians[sample];
+        if (sorted[i].first == sorted[i + 1].first) continue;
+        const std::size_t n_left = i + 1;
+        if (n_left < options_.min_samples_leaf ||
+            indices.size() - n_left < options_.min_samples_leaf) {
+          continue;
+        }
+        const GradSums right{parent.g - left.g, parent.h - left.h};
+        if (left.h < options_.min_child_weight ||
+            right.h < options_.min_child_weight) {
+          continue;
+        }
+        const double gain = 0.5 * (ScoreOf(left, options_.lambda) +
+                                   ScoreOf(right, options_.lambda) -
+                                   parent_score) -
+                            options_.gamma;
+        if (gain > best.gain) {
+          best.found = true;
+          best.gain = gain;
+          best.feature = static_cast<int>(f);
+          best.threshold = 0.5 * (sorted[i].first + sorted[i + 1].first);
+        }
+      }
+    }
+  }
+  return best;
+}
+
+void RegressionTree::Fit(const Dataset& data,
+                         const std::vector<std::size_t>& indices,
+                         std::span<const double> gradients,
+                         std::span<const double> hessians, Rng& rng,
+                         const FeatureBinner* binner) {
+  CORDIAL_CHECK_MSG(!indices.empty(), "cannot fit a tree on zero samples");
+  CORDIAL_CHECK_MSG(gradients.size() == hessians.size(),
+                    "gradient/hessian size mismatch");
+  CORDIAL_CHECK_MSG((options_.max_bins > 0) == (binner != nullptr),
+                    "binner must be supplied iff max_bins > 0");
+  nodes_.clear();
+  importance_.assign(data.num_features(), 0.0);
+
+  struct Pending {
+    std::int32_t node_id;
+    std::vector<std::size_t> indices;
+    int depth;
+    SplitResult split;
+  };
+
+  auto leaf_value_of = [&](const std::vector<std::size_t>& idx) {
+    GradSums s;
+    for (std::size_t i : idx) {
+      s.g += gradients[i];
+      s.h += hessians[i];
+    }
+    return LeafValue(s, options_.lambda);
+  };
+
+  auto can_expand = [&](const Pending& p) {
+    if (options_.max_depth > 0 && p.depth >= options_.max_depth) return false;
+    if (p.indices.size() < 2 * options_.min_samples_leaf) return false;
+    return true;
+  };
+
+  // Root.
+  nodes_.emplace_back();
+  Pending root{0, indices, 0, {}};
+  nodes_[0].value = leaf_value_of(root.indices);
+  if (can_expand(root)) {
+    root.split = FindBestSplit(data, root.indices, gradients, hessians, rng, binner);
+  }
+
+  // Best-first expansion; with max_leaves == 0 every positive-gain node is
+  // expanded, which makes the order irrelevant and the result identical to
+  // classic level-wise growth.
+  auto cmp = [](const Pending& a, const Pending& b) {
+    return a.split.gain < b.split.gain;
+  };
+  std::priority_queue<Pending, std::vector<Pending>, decltype(cmp)> heap(cmp);
+  if (root.split.found) heap.push(std::move(root));
+
+  std::size_t leaves = 1;
+  const std::size_t max_leaves =
+      options_.max_leaves > 0 ? static_cast<std::size_t>(options_.max_leaves)
+                              : std::numeric_limits<std::size_t>::max();
+
+  while (!heap.empty() && leaves < max_leaves) {
+    Pending p = heap.top();
+    heap.pop();
+    const auto f = static_cast<std::size_t>(p.split.feature);
+
+    std::vector<std::size_t> left_idx, right_idx;
+    for (std::size_t i : p.indices) {
+      (data.at(i, f) <= p.split.threshold ? left_idx : right_idx).push_back(i);
+    }
+    if (left_idx.empty() || right_idx.empty()) continue;  // degenerate
+
+    importance_[f] += p.split.gain;
+    Node& parent = nodes_[static_cast<std::size_t>(p.node_id)];
+    parent.feature = p.split.feature;
+    parent.threshold = p.split.threshold;
+    const auto left_id = static_cast<std::int32_t>(nodes_.size());
+    nodes_.emplace_back();
+    const auto right_id = static_cast<std::int32_t>(nodes_.size());
+    nodes_.emplace_back();
+    nodes_[static_cast<std::size_t>(p.node_id)].left = left_id;
+    nodes_[static_cast<std::size_t>(p.node_id)].right = right_id;
+    nodes_[static_cast<std::size_t>(left_id)].value = leaf_value_of(left_idx);
+    nodes_[static_cast<std::size_t>(right_id)].value = leaf_value_of(right_idx);
+    ++leaves;  // one leaf became two
+
+    Pending lp{left_id, std::move(left_idx), p.depth + 1, {}};
+    if (can_expand(lp)) {
+      lp.split = FindBestSplit(data, lp.indices, gradients, hessians, rng, binner);
+      if (lp.split.found) heap.push(std::move(lp));
+    }
+    Pending rp{right_id, std::move(right_idx), p.depth + 1, {}};
+    if (can_expand(rp)) {
+      rp.split = FindBestSplit(data, rp.indices, gradients, hessians, rng, binner);
+      if (rp.split.found) heap.push(std::move(rp));
+    }
+  }
+}
+
+double RegressionTree::Predict(std::span<const double> features) const {
+  CORDIAL_CHECK_MSG(!nodes_.empty(), "tree not fitted");
+  std::size_t node = 0;
+  while (nodes_[node].feature >= 0) {
+    const Node& n = nodes_[node];
+    const double v = features[static_cast<std::size_t>(n.feature)];
+    node = static_cast<std::size_t>(v <= n.threshold ? n.left : n.right);
+  }
+  return nodes_[node].value;
+}
+
+std::size_t RegressionTree::leaf_count() const {
+  std::size_t leaves = 0;
+  for (const Node& n : nodes_) {
+    if (n.feature < 0) ++leaves;
+  }
+  return leaves;
+}
+
+// ---------------------------------------------------------- serialization
+
+namespace {
+
+void WriteDouble(std::ostream& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out << buf;
+}
+
+double ReadDouble(std::istream& in) {
+  double v = 0.0;
+  if (!(in >> v)) throw ParseError("tree: malformed double");
+  return v;
+}
+
+long ReadLong(std::istream& in) {
+  long v = 0;
+  if (!(in >> v)) throw ParseError("tree: malformed integer");
+  return v;
+}
+
+void ExpectToken(std::istream& in, const char* token) {
+  std::string word;
+  if (!(in >> word) || word != token) {
+    throw ParseError(std::string("tree: expected token '") + token + "'");
+  }
+}
+
+}  // namespace
+
+void ClassificationTree::Serialize(std::ostream& out) const {
+  out << "classification_tree v1\n"
+      << "classes " << num_classes_ << " nodes " << nodes_.size()
+      << " importance " << importance_.size() << "\n";
+  for (const Node& n : nodes_) {
+    out << n.feature << ' ';
+    WriteDouble(out, n.threshold);
+    out << ' ' << n.left << ' ' << n.right;
+    if (n.feature < 0) {
+      for (double p : n.proba) {
+        out << ' ';
+        WriteDouble(out, p);
+      }
+    }
+    out << '\n';
+  }
+  for (double v : importance_) {
+    WriteDouble(out, v);
+    out << '\n';
+  }
+}
+
+ClassificationTree ClassificationTree::Deserialize(std::istream& in) {
+  ExpectToken(in, "classification_tree");
+  ExpectToken(in, "v1");
+  ExpectToken(in, "classes");
+  ClassificationTree tree;
+  tree.num_classes_ = static_cast<int>(ReadLong(in));
+  CORDIAL_CHECK_MSG(tree.num_classes_ >= 2, "tree: bad class count");
+  ExpectToken(in, "nodes");
+  const long n_nodes = ReadLong(in);
+  CORDIAL_CHECK_MSG(n_nodes >= 1, "tree: bad node count");
+  ExpectToken(in, "importance");
+  const long n_importance = ReadLong(in);
+  tree.nodes_.resize(static_cast<std::size_t>(n_nodes));
+  for (Node& node : tree.nodes_) {
+    node.feature = static_cast<int>(ReadLong(in));
+    node.threshold = ReadDouble(in);
+    node.left = static_cast<std::int32_t>(ReadLong(in));
+    node.right = static_cast<std::int32_t>(ReadLong(in));
+    if (node.feature < 0) {
+      node.proba.resize(static_cast<std::size_t>(tree.num_classes_));
+      for (double& p : node.proba) p = ReadDouble(in);
+    } else {
+      CORDIAL_CHECK_MSG(node.left >= 0 && node.left < n_nodes &&
+                            node.right >= 0 && node.right < n_nodes,
+                        "tree: child index out of range");
+    }
+  }
+  tree.importance_.resize(static_cast<std::size_t>(n_importance));
+  for (double& v : tree.importance_) v = ReadDouble(in);
+  return tree;
+}
+
+void RegressionTree::Serialize(std::ostream& out) const {
+  out << "regression_tree v1\n"
+      << "nodes " << nodes_.size() << " importance " << importance_.size()
+      << "\n";
+  for (const Node& n : nodes_) {
+    out << n.feature << ' ';
+    WriteDouble(out, n.threshold);
+    out << ' ' << n.left << ' ' << n.right << ' ';
+    WriteDouble(out, n.value);
+    out << '\n';
+  }
+  for (double v : importance_) {
+    WriteDouble(out, v);
+    out << '\n';
+  }
+}
+
+RegressionTree RegressionTree::Deserialize(std::istream& in) {
+  ExpectToken(in, "regression_tree");
+  ExpectToken(in, "v1");
+  ExpectToken(in, "nodes");
+  RegressionTree tree;
+  const long n_nodes = ReadLong(in);
+  CORDIAL_CHECK_MSG(n_nodes >= 1, "tree: bad node count");
+  ExpectToken(in, "importance");
+  const long n_importance = ReadLong(in);
+  tree.nodes_.resize(static_cast<std::size_t>(n_nodes));
+  for (Node& node : tree.nodes_) {
+    node.feature = static_cast<int>(ReadLong(in));
+    node.threshold = ReadDouble(in);
+    node.left = static_cast<std::int32_t>(ReadLong(in));
+    node.right = static_cast<std::int32_t>(ReadLong(in));
+    node.value = ReadDouble(in);
+    if (node.feature >= 0) {
+      CORDIAL_CHECK_MSG(node.left >= 0 && node.left < n_nodes &&
+                            node.right >= 0 && node.right < n_nodes,
+                        "tree: child index out of range");
+    }
+  }
+  tree.importance_.resize(static_cast<std::size_t>(n_importance));
+  for (double& v : tree.importance_) v = ReadDouble(in);
+  return tree;
+}
+
+}  // namespace cordial::ml

@@ -1,0 +1,97 @@
+#include "ml/validation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace cordial::ml {
+
+CrossValidationResult CrossValidate(const Dataset& data,
+                                    const ClassifierFactory& factory,
+                                    std::size_t folds, Rng& rng) {
+  CORDIAL_CHECK_MSG(folds >= 2, "cross-validation needs at least 2 folds");
+  CORDIAL_CHECK_MSG(data.size() >= folds,
+                    "cross-validation needs at least one sample per fold");
+
+  // Stratified fold assignment: shuffle within each class, deal round-robin.
+  std::vector<std::size_t> fold_of(data.size());
+  std::vector<std::vector<std::size_t>> by_class(
+      static_cast<std::size_t>(data.num_classes()));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    by_class[static_cast<std::size_t>(data.label(i))].push_back(i);
+  }
+  std::size_t deal = 0;
+  for (auto& members : by_class) {
+    rng.Shuffle(members);
+    for (std::size_t i : members) fold_of[i] = deal++ % folds;
+  }
+
+  CrossValidationResult result;
+  RunningStats accuracy_stats;
+  for (std::size_t fold = 0; fold < folds; ++fold) {
+    std::vector<std::size_t> train_idx, eval_idx;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      (fold_of[i] == fold ? eval_idx : train_idx).push_back(i);
+    }
+    CORDIAL_CHECK_MSG(!train_idx.empty() && !eval_idx.empty(),
+                      "degenerate cross-validation fold");
+    const Dataset train = data.Subset(train_idx);
+    auto model = factory();
+    model->Fit(train, rng);
+
+    ConfusionMatrix cm(data.num_classes());
+    for (std::size_t i : eval_idx) {
+      cm.Add(data.label(i), model->Predict(data.row(i)));
+    }
+    result.fold_accuracy.push_back(cm.Accuracy());
+    result.fold_weighted_f1.push_back(cm.WeightedAverage().f1);
+    accuracy_stats.Add(cm.Accuracy());
+    result.mean_weighted_f1 += cm.WeightedAverage().f1;
+  }
+  result.mean_accuracy = accuracy_stats.mean();
+  result.stddev_accuracy = accuracy_stats.stddev();
+  result.mean_weighted_f1 /= static_cast<double>(folds);
+  return result;
+}
+
+std::vector<double> PermutationImportance(const Classifier& model,
+                                          const Dataset& eval,
+                                          std::size_t repeats, Rng& rng) {
+  CORDIAL_CHECK_MSG(repeats >= 1, "need at least one permutation repeat");
+  CORDIAL_CHECK_MSG(!eval.empty(), "permutation importance needs data");
+
+  const auto baseline = [&] {
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < eval.size(); ++i) {
+      correct += model.Predict(eval.row(i)) == eval.label(i);
+    }
+    return static_cast<double>(correct) / static_cast<double>(eval.size());
+  }();
+
+  std::vector<double> importance(eval.num_features(), 0.0);
+  std::vector<double> row(eval.num_features());
+  std::vector<std::size_t> permutation(eval.size());
+  for (std::size_t f = 0; f < eval.num_features(); ++f) {
+    double drop_total = 0.0;
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+      for (std::size_t i = 0; i < eval.size(); ++i) permutation[i] = i;
+      rng.Shuffle(permutation);
+      std::size_t correct = 0;
+      for (std::size_t i = 0; i < eval.size(); ++i) {
+        const auto original = eval.row(i);
+        std::copy(original.begin(), original.end(), row.begin());
+        row[f] = eval.at(permutation[i], f);  // shuffled column value
+        correct += model.Predict(row) == eval.label(i);
+      }
+      const double shuffled_accuracy =
+          static_cast<double>(correct) / static_cast<double>(eval.size());
+      drop_total += baseline - shuffled_accuracy;
+    }
+    importance[f] = drop_total / static_cast<double>(repeats);
+  }
+  return importance;
+}
+
+}  // namespace cordial::ml

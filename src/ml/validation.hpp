@@ -1,0 +1,39 @@
+// Model-validation utilities: k-fold cross-validation and model-agnostic
+// permutation feature importance. Both operate through the Classifier
+// interface, so they work identically for the forest and both boosters.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ml/classifier.hpp"
+#include "ml/metrics.hpp"
+
+namespace cordial::ml {
+
+/// Factory for a fresh, unfitted model (cross-validation fits one per fold).
+using ClassifierFactory = std::function<std::unique_ptr<Classifier>()>;
+
+struct CrossValidationResult {
+  std::vector<double> fold_accuracy;
+  std::vector<double> fold_weighted_f1;
+  double mean_accuracy = 0.0;
+  double mean_weighted_f1 = 0.0;
+  double stddev_accuracy = 0.0;
+};
+
+/// Stratified k-fold cross-validation. Folds preserve class proportions;
+/// each sample appears in exactly one validation fold.
+CrossValidationResult CrossValidate(const Dataset& data,
+                                    const ClassifierFactory& factory,
+                                    std::size_t folds, Rng& rng);
+
+/// Permutation importance: accuracy drop when one feature's column is
+/// shuffled in the evaluation set (averaged over `repeats`). Unlike the
+/// gain-based importances, this measures what the *fitted* model actually
+/// relies on, and is comparable across model families.
+std::vector<double> PermutationImportance(const Classifier& model,
+                                          const Dataset& eval,
+                                          std::size_t repeats, Rng& rng);
+
+}  // namespace cordial::ml

@@ -1,0 +1,75 @@
+#include "trace/error_log.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+
+namespace cordial::trace {
+
+std::string MceRecord::ToString() const {
+  std::ostringstream os;
+  os << "t=" << time_s << " " << hbm::ErrorTypeName(type) << " @ "
+     << address.ToString();
+  return os.str();
+}
+
+std::vector<MceRecord> BankHistory::OfType(hbm::ErrorType type) const {
+  std::vector<MceRecord> out;
+  for (const MceRecord& r : events) {
+    if (r.type == type) out.push_back(r);
+  }
+  return out;
+}
+
+double BankHistory::FirstUerTime() const {
+  for (const MceRecord& r : events) {
+    if (r.type == hbm::ErrorType::kUer) return r.time_s;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+std::size_t BankHistory::CountBefore(hbm::ErrorType type, double cutoff_s) const {
+  std::size_t n = 0;
+  for (const MceRecord& r : events) {
+    if (r.time_s >= cutoff_s) break;
+    if (r.type == type) ++n;
+  }
+  return n;
+}
+
+bool BankHistory::HasUer() const {
+  return std::any_of(events.begin(), events.end(), [](const MceRecord& r) {
+    return r.type == hbm::ErrorType::kUer;
+  });
+}
+
+void ErrorLog::Append(const std::vector<MceRecord>& records) {
+  records_.insert(records_.end(), records.begin(), records.end());
+}
+
+void ErrorLog::Sort() { std::sort(records_.begin(), records_.end()); }
+
+std::vector<BankHistory> ErrorLog::GroupByBank(
+    const hbm::AddressCodec& codec) const {
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  std::vector<BankHistory> banks;
+  for (const MceRecord& r : records_) {
+    const std::uint64_t key = codec.BankKey(r.address);
+    auto [it, inserted] = index.emplace(key, banks.size());
+    if (inserted) {
+      banks.push_back(BankHistory{key, {}});
+    }
+    banks[it->second].events.push_back(r);
+  }
+  for (BankHistory& bank : banks) {
+    std::sort(bank.events.begin(), bank.events.end());
+  }
+  std::sort(banks.begin(), banks.end(),
+            [](const BankHistory& a, const BankHistory& b) {
+              return a.bank_key < b.bank_key;
+            });
+  return banks;
+}
+
+}  // namespace cordial::trace

@@ -1,0 +1,49 @@
+// Error-log container with the groupings the analyses and Cordial need.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hbm/address.hpp"
+#include "trace/mce_record.hpp"
+
+namespace cordial::trace {
+
+/// All events observed in one bank, time-sorted. This is the unit Cordial
+/// operates on (§IV: features are extracted per error bank).
+struct BankHistory {
+  std::uint64_t bank_key = 0;
+  std::vector<MceRecord> events;  // ascending time
+
+  /// Events of a given type, preserving order.
+  std::vector<MceRecord> OfType(hbm::ErrorType type) const;
+  /// First UER event time, or +inf if the bank has no UER.
+  double FirstUerTime() const;
+  /// Count of events of `type` strictly before `cutoff_s`.
+  std::size_t CountBefore(hbm::ErrorType type, double cutoff_s) const;
+  bool HasUer() const;
+};
+
+class ErrorLog {
+ public:
+  ErrorLog() = default;
+
+  void Add(MceRecord record) { records_.push_back(record); }
+  void Append(const std::vector<MceRecord>& records);
+
+  /// Sort records into canonical (time, address, type) order.
+  void Sort();
+
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  const std::vector<MceRecord>& records() const { return records_; }
+
+  /// Group into per-bank histories (each time-sorted). The log itself need
+  /// not be pre-sorted. Output order: ascending bank key.
+  std::vector<BankHistory> GroupByBank(const hbm::AddressCodec& codec) const;
+
+ private:
+  std::vector<MceRecord> records_;
+};
+
+}  // namespace cordial::trace

@@ -1,0 +1,247 @@
+#include "trace/fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hbm/address.hpp"
+
+namespace cordial::trace {
+
+using hbm::DeviceAddress;
+using hbm::PatternShape;
+
+void CalibrationProfile::Validate() const {
+  CORDIAL_CHECK_MSG(scale > 0.0, "profile: scale must be positive");
+  const double mix =
+      mix_single + mix_double + mix_half + mix_scattered + mix_column;
+  CORDIAL_CHECK_MSG(std::fabs(mix - 1.0) < 1e-6,
+                    "profile: pattern mix must sum to 1");
+  CORDIAL_CHECK_MSG(uer_npus > 0, "profile: uer_npus must be > 0");
+}
+
+const BankTruth* GeneratedFleet::FindBank(std::uint64_t bank_key) const {
+  auto it = bank_index.find(bank_key);
+  return it == bank_index.end() ? nullptr : &banks[it->second];
+}
+
+std::size_t GeneratedFleet::CountUerBanks() const {
+  return static_cast<std::size_t>(
+      std::count_if(banks.begin(), banks.end(), [](const BankTruth& b) {
+        return !b.planned_uer_rows.empty();
+      }));
+}
+
+FleetGenerator::FleetGenerator(const hbm::TopologyConfig& topology,
+                               CalibrationProfile profile,
+                               hbm::FootprintParams footprint,
+                               TimelineParams timeline)
+    : topology_(topology),
+      profile_(profile),
+      footprints_(topology, footprint),
+      timeline_(topology, timeline) {
+  topology_.Validate();
+  profile_.Validate();
+}
+
+namespace {
+
+/// 1 + Poisson(rate), capped at `cap`; the hierarchical fan-out primitive.
+std::size_t FanOut(double rate, std::size_t cap, Rng& rng) {
+  const std::size_t n = 1 + static_cast<std::size_t>(rng.Poisson(rate));
+  return std::min(n, cap);
+}
+
+std::size_t Scaled(std::uint32_t count, double scale) {
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(count * scale)));
+}
+
+}  // namespace
+
+GeneratedFleet FleetGenerator::Generate(std::uint64_t seed) const {
+  Rng rng(seed);
+  GeneratedFleet fleet;
+  fleet.topology = topology_;
+  hbm::AddressCodec codec(topology_);
+
+  const std::size_t n_uer_npus = Scaled(profile_.uer_npus, profile_.scale);
+  const std::size_t n_ce_npus = Scaled(profile_.ce_only_npus, profile_.scale);
+  const auto total_npus = static_cast<std::size_t>(topology_.TotalNpus());
+  CORDIAL_CHECK_MSG(n_uer_npus + n_ce_npus <= total_npus,
+                    "profile demands more faulty NPUs than the fleet has");
+
+  // Disjoint NPU sets; the paper's "with CE" counts include UER entities
+  // whose CE noise we emit within the UER incidents themselves.
+  std::vector<std::size_t> npu_picks =
+      rng.SampleWithoutReplacement(total_npus, n_uer_npus + n_ce_npus);
+
+  const std::vector<double> mix = {profile_.mix_single, profile_.mix_double,
+                                   profile_.mix_half, profile_.mix_scattered,
+                                   profile_.mix_column};
+  static constexpr PatternShape kShapeByMix[] = {
+      PatternShape::kSingleRowCluster, PatternShape::kDoubleRowCluster,
+      PatternShape::kHalfTotalRowCluster, PatternShape::kScattered,
+      PatternShape::kWholeColumn};
+
+  auto npu_address = [&](std::size_t flat_npu) {
+    DeviceAddress a;
+    a.node = static_cast<std::uint32_t>(flat_npu / topology_.npus_per_node);
+    a.npu = static_cast<std::uint32_t>(flat_npu % topology_.npus_per_node);
+    return a;
+  };
+
+  auto add_bank = [&](const DeviceAddress& base, PatternShape shape) {
+    const hbm::BankFaultPlan plan = footprints_.Generate(shape, rng);
+    BankTruth truth;
+    truth.base = base;
+    truth.bank_key = codec.BankKey(base);
+    truth.shape = shape;
+    truth.failure_class = hbm::CollapseToClass(shape);
+    truth.planned_uer_rows.reserve(plan.uer_rows.size());
+    for (const hbm::RowErrors& row : plan.uer_rows) {
+      truth.planned_uer_rows.push_back(row.row);
+    }
+    fleet.log.Append(timeline_.ExpandBank(plan, base, rng));
+    fleet.bank_index.emplace(truth.bank_key, fleet.banks.size());
+    fleet.banks.push_back(std::move(truth));
+  };
+
+  // --- UER incidents: hierarchical fan-out below each failing NPU ---
+  const std::uint32_t psch_slots =
+      topology_.channels_per_sid * topology_.pseudo_channels_per_channel;
+  for (std::size_t i = 0; i < n_uer_npus; ++i) {
+    const DeviceAddress npu = npu_address(npu_picks[i]);
+    DeviceAddress first_uer_bank;  // reference for companion placement
+    bool have_first_uer_bank = false;
+    const std::size_t n_hbm =
+        FanOut(profile_.extra_hbms_per_npu, topology_.hbms_per_npu, rng);
+    for (std::size_t hbm_pick :
+         rng.SampleWithoutReplacement(topology_.hbms_per_npu, n_hbm)) {
+      DeviceAddress at_hbm = npu;
+      at_hbm.hbm = static_cast<std::uint32_t>(hbm_pick);
+      const std::size_t n_sid =
+          FanOut(profile_.extra_sids_per_hbm, topology_.sids_per_hbm, rng);
+      for (std::size_t sid_pick :
+           rng.SampleWithoutReplacement(topology_.sids_per_hbm, n_sid)) {
+        DeviceAddress at_sid = at_hbm;
+        at_sid.sid = static_cast<std::uint32_t>(sid_pick);
+        const std::size_t n_psch =
+            FanOut(profile_.extra_pschs_per_sid, psch_slots, rng);
+        for (std::size_t psch_pick :
+             rng.SampleWithoutReplacement(psch_slots, n_psch)) {
+          DeviceAddress at_psch = at_sid;
+          at_psch.channel = static_cast<std::uint32_t>(
+              psch_pick / topology_.pseudo_channels_per_channel);
+          at_psch.pseudo_channel = static_cast<std::uint32_t>(
+              psch_pick % topology_.pseudo_channels_per_channel);
+          const std::size_t n_bg =
+              FanOut(profile_.extra_bgs_per_psch,
+                     topology_.bank_groups_per_pseudo_channel, rng);
+          for (std::size_t bg_pick : rng.SampleWithoutReplacement(
+                   topology_.bank_groups_per_pseudo_channel, n_bg)) {
+            DeviceAddress at_bg = at_psch;
+            at_bg.bank_group = static_cast<std::uint32_t>(bg_pick);
+            const std::size_t n_bank = FanOut(
+                profile_.extra_banks_per_bg, topology_.banks_per_bank_group, rng);
+            for (std::size_t bank_pick : rng.SampleWithoutReplacement(
+                     topology_.banks_per_bank_group, n_bank)) {
+              DeviceAddress at_bank = at_bg;
+              at_bank.bank = static_cast<std::uint32_t>(bank_pick);
+              add_bank(at_bank, kShapeByMix[rng.WeightedChoice(mix)]);
+              if (!have_first_uer_bank) {
+                first_uer_bank = at_bank;
+                have_first_uer_bank = true;
+              }
+            }
+          }
+        }
+      }
+    }
+
+    // Companion CE-only bank inside the same NPU: its correctable noise can
+    // precede the sibling's first UER and makes coarse levels predictable.
+    if (have_first_uer_bank && rng.Bernoulli(profile_.companion_ce_prob)) {
+      DeviceAddress companion = first_uer_bank;
+      const std::size_t placement = rng.WeightedChoice(
+          {profile_.companion_same_bg, profile_.companion_same_psch,
+           profile_.companion_same_sid, profile_.companion_same_hbm,
+           profile_.companion_same_npu});
+      // "Different but in range" coordinate: shift by a nonzero offset.
+      auto different = [&](std::uint32_t value, std::uint32_t radix) {
+        if (radix <= 1) return value;
+        return static_cast<std::uint32_t>(
+            (value + 1 + rng.UniformU64(radix - 1)) % radix);
+      };
+      auto uniform = [&](std::uint32_t radix) {
+        return static_cast<std::uint32_t>(rng.UniformU64(radix));
+      };
+      // Diverge at exactly the chosen level; redraw everything finer.
+      if (placement >= 4) companion.hbm = different(companion.hbm,
+                                                    topology_.hbms_per_npu);
+      if (placement == 3) companion.sid = different(companion.sid,
+                                                    topology_.sids_per_hbm);
+      if (placement >= 3) {
+        companion.channel = uniform(topology_.channels_per_sid);
+        companion.pseudo_channel =
+            uniform(topology_.pseudo_channels_per_channel);
+      } else if (placement == 2) {
+        // Same SID, different PS-CH slot.
+        const std::uint32_t slot =
+            companion.channel * topology_.pseudo_channels_per_channel +
+            companion.pseudo_channel;
+        const std::uint32_t new_slot = different(slot, psch_slots);
+        companion.channel = new_slot / topology_.pseudo_channels_per_channel;
+        companion.pseudo_channel =
+            new_slot % topology_.pseudo_channels_per_channel;
+      }
+      if (placement >= 2) {
+        companion.bank_group =
+            uniform(topology_.bank_groups_per_pseudo_channel);
+      } else if (placement == 1) {
+        companion.bank_group = different(
+            companion.bank_group, topology_.bank_groups_per_pseudo_channel);
+      }
+      companion.bank = placement == 0
+                           ? different(companion.bank,
+                                       topology_.banks_per_bank_group)
+                           : uniform(topology_.banks_per_bank_group);
+      if (!fleet.bank_index.contains(codec.BankKey(companion))) {
+        add_bank(companion, PatternShape::kCeOnly);
+      }
+    }
+  }
+
+  // --- CE-only incidents ---
+  for (std::size_t i = 0; i < n_ce_npus; ++i) {
+    const DeviceAddress npu = npu_address(npu_picks[n_uer_npus + i]);
+    const std::size_t n_banks =
+        1 + static_cast<std::size_t>(
+                rng.Poisson(profile_.ce_only_banks_per_npu_mean));
+    // Weak-cell incidents cluster within one HBM stack of the NPU, which
+    // keeps the HBM-level entity counts close to the NPU-level ones
+    // (Table II: 5497 CE NPUs vs 5944 CE HBMs).
+    const auto incident_hbm =
+        static_cast<std::uint32_t>(rng.UniformU64(topology_.hbms_per_npu));
+    for (std::size_t b = 0; b < n_banks; ++b) {
+      DeviceAddress at_bank = npu;
+      at_bank.hbm = incident_hbm;
+      at_bank.sid =
+          static_cast<std::uint32_t>(rng.UniformU64(topology_.sids_per_hbm));
+      at_bank.channel = static_cast<std::uint32_t>(
+          rng.UniformU64(topology_.channels_per_sid));
+      at_bank.pseudo_channel = static_cast<std::uint32_t>(
+          rng.UniformU64(topology_.pseudo_channels_per_channel));
+      at_bank.bank_group = static_cast<std::uint32_t>(
+          rng.UniformU64(topology_.bank_groups_per_pseudo_channel));
+      at_bank.bank = static_cast<std::uint32_t>(
+          rng.UniformU64(topology_.banks_per_bank_group));
+      if (fleet.bank_index.contains(codec.BankKey(at_bank))) continue;
+      add_bank(at_bank, PatternShape::kCeOnly);
+    }
+  }
+
+  fleet.log.Sort();
+  return fleet;
+}
+
+}  // namespace cordial::trace

@@ -1,0 +1,107 @@
+// Fleet-scale synthetic dataset generator.
+//
+// Substitutes the paper's proprietary industrial dataset (>10,000 NPUs,
+// >80,000 HBMs; §V-A Table II). Faults are planted top-down from *fault
+// incidents* at the NPU level, with hierarchical fan-out calibrated to the
+// paper's per-level entity counts: Table II implies 1,074 UER banks packed
+// into just 418 NPUs, i.e. strong cross-bank clustering (multi-bank TSV /
+// die-level faults), which the fan-out rates reproduce in expectation.
+//
+// A (seed, profile) pair fully determines the fleet; every bench regenerates
+// its inputs from the default profile and prints paper-vs-measured rows.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "hbm/fault.hpp"
+#include "trace/error_log.hpp"
+#include "trace/timeline.hpp"
+
+namespace cordial::trace {
+
+struct CalibrationProfile {
+  /// Linear scale on incident counts; tests use small scales for speed.
+  double scale = 1.0;
+
+  /// Fig 3(b) ground-truth shape mix over UER banks.
+  double mix_single = 0.682;
+  double mix_double = 0.099;
+  double mix_half = 0.073;
+  double mix_scattered = 0.125;
+  double mix_column = 0.021;
+
+  /// NPUs containing at least one UER bank at scale=1 (Table I: 243+175).
+  std::uint32_t uer_npus = 418;
+
+  /// Hierarchical fan-out: children = 1 + Poisson(rate), capped by topology.
+  /// Rates follow Table II's level ratios (e.g. 1074 banks / 686 BGs).
+  double extra_hbms_per_npu = 0.007;
+  double extra_sids_per_hbm = 0.045;
+  double extra_pschs_per_sid = 0.127;
+  double extra_bgs_per_psch = 0.383;
+  double extra_banks_per_bg = 0.566;
+
+  /// NPUs with only correctable noise (Table II: ~5497 CE NPUs vs 418 UER).
+  std::uint32_t ce_only_npus = 5285;
+  /// CE-only banks per such NPU = 1 + Poisson(mean) (Table II: ~8.2k banks).
+  double ce_only_banks_per_npu_mean = 0.56;
+
+  /// P(a UER NPU also hosts a CE-only companion bank). Companions produce
+  /// the paper's per-level predictability lift (Table I: 29.23% at bank
+  /// level rising to 41.86% at NPU level) because their correctable noise
+  /// precedes the first UER of a *sibling* bank.
+  double companion_ce_prob = 0.35;
+  /// Placement of the companion relative to a UER bank: weights for
+  /// same-BG / same-PSCH / same-SID / same-HBM / same-NPU (coarser level
+  /// means the lift only shows at that level and above).
+  double companion_same_bg = 0.45;
+  double companion_same_psch = 0.05;
+  double companion_same_sid = 0.30;
+  double companion_same_hbm = 0.08;
+  double companion_same_npu = 0.12;
+
+  void Validate() const;
+};
+
+/// Ground truth for one generated faulty bank.
+struct BankTruth {
+  std::uint64_t bank_key = 0;
+  hbm::DeviceAddress base;  ///< bank coordinates; row/col zero
+  hbm::PatternShape shape = hbm::PatternShape::kCeOnly;
+  std::optional<hbm::FailureClass> failure_class;
+  /// Planned UER rows in failure order (empty for CE-only banks).
+  std::vector<std::uint32_t> planned_uer_rows;
+};
+
+struct GeneratedFleet {
+  hbm::TopologyConfig topology;
+  ErrorLog log;  ///< merged fleet log, time-sorted
+  std::vector<BankTruth> banks;
+  std::unordered_map<std::uint64_t, std::size_t> bank_index;  ///< key -> banks[i]
+
+  const BankTruth* FindBank(std::uint64_t bank_key) const;
+  std::size_t CountUerBanks() const;
+};
+
+class FleetGenerator {
+ public:
+  FleetGenerator(const hbm::TopologyConfig& topology,
+                 CalibrationProfile profile = {},
+                 hbm::FootprintParams footprint = {},
+                 TimelineParams timeline = {});
+
+  const CalibrationProfile& profile() const { return profile_; }
+
+  GeneratedFleet Generate(std::uint64_t seed) const;
+
+ private:
+  hbm::TopologyConfig topology_;
+  CalibrationProfile profile_;
+  hbm::FootprintGenerator footprints_;
+  TimelineExpander timeline_;
+};
+
+}  // namespace cordial::trace

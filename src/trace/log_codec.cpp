@@ -1,0 +1,108 @@
+#include "trace/log_codec.hpp"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/csv.hpp"
+
+namespace cordial::trace {
+
+namespace {
+
+constexpr const char* kHeader[] = {"time_s", "node",           "npu",
+                                   "hbm",    "sid",            "channel",
+                                   "pseudo_channel", "bank_group", "bank",
+                                   "row",    "col",            "type"};
+constexpr std::size_t kFieldCount = sizeof(kHeader) / sizeof(kHeader[0]);
+
+std::uint32_t ParseU32(const std::string& s) {
+  std::uint32_t value = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    throw ParseError("MCE CSV: bad unsigned field '" + s + "'");
+  }
+  return value;
+}
+
+double ParseDouble(const std::string& s) {
+  try {
+    std::size_t pos = 0;
+    double value = std::stod(s, &pos);
+    if (pos != s.size()) throw ParseError("MCE CSV: bad double field '" + s + "'");
+    return value;
+  } catch (const std::invalid_argument&) {
+    throw ParseError("MCE CSV: bad double field '" + s + "'");
+  } catch (const std::out_of_range&) {
+    throw ParseError("MCE CSV: double field out of range '" + s + "'");
+  }
+}
+
+hbm::ErrorType ParseType(const std::string& s) {
+  if (s == "CE") return hbm::ErrorType::kCe;
+  if (s == "UEO") return hbm::ErrorType::kUeo;
+  if (s == "UER") return hbm::ErrorType::kUer;
+  throw ParseError("MCE CSV: unknown error type '" + s + "'");
+}
+
+}  // namespace
+
+namespace {
+
+/// Shortest round-trippable decimal rendering of a double.
+std::string FormatTime(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+void LogCodec::WriteCsv(const ErrorLog& log, std::ostream& out) {
+  CsvWriter writer(out);
+  writer.WriteRow(
+      std::vector<std::string>(kHeader, kHeader + kFieldCount));
+  for (const MceRecord& r : log.records()) {
+    const hbm::DeviceAddress& a = r.address;
+    writer.WriteRow({FormatTime(r.time_s), std::to_string(a.node),
+                     std::to_string(a.npu), std::to_string(a.hbm),
+                     std::to_string(a.sid), std::to_string(a.channel),
+                     std::to_string(a.pseudo_channel),
+                     std::to_string(a.bank_group), std::to_string(a.bank),
+                     std::to_string(a.row), std::to_string(a.col),
+                     hbm::ErrorTypeName(r.type)});
+  }
+}
+
+ErrorLog LogCodec::ReadCsv(std::istream& in) {
+  const auto rows = CsvReader::ReadAll(in);
+  if (rows.empty()) throw ParseError("MCE CSV: missing header");
+  ErrorLog log;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() != kFieldCount) {
+      throw ParseError("MCE CSV: row " + std::to_string(i) + " has " +
+                       std::to_string(row.size()) + " fields, expected " +
+                       std::to_string(kFieldCount));
+    }
+    MceRecord r;
+    r.time_s = ParseDouble(row[0]);
+    r.address.node = ParseU32(row[1]);
+    r.address.npu = ParseU32(row[2]);
+    r.address.hbm = ParseU32(row[3]);
+    r.address.sid = ParseU32(row[4]);
+    r.address.channel = ParseU32(row[5]);
+    r.address.pseudo_channel = ParseU32(row[6]);
+    r.address.bank_group = ParseU32(row[7]);
+    r.address.bank = ParseU32(row[8]);
+    r.address.row = ParseU32(row[9]);
+    r.address.col = ParseU32(row[10]);
+    r.type = ParseType(row[11]);
+    log.Add(r);
+  }
+  return log;
+}
+
+}  // namespace cordial::trace

@@ -1,0 +1,22 @@
+// CSV persistence for MCE logs — round-trips through the CsvWriter/Reader,
+// so generated traces can be exported, inspected, and re-ingested.
+#pragma once
+
+#include <iosfwd>
+
+#include "trace/error_log.hpp"
+
+namespace cordial::trace {
+
+class LogCodec {
+ public:
+  /// Header: time_s,node,npu,hbm,sid,channel,pseudo_channel,bank_group,bank,
+  ///         row,col,type
+  static void WriteCsv(const ErrorLog& log, std::ostream& out);
+
+  /// Parses a CSV written by WriteCsv. Throws ParseError on malformed rows
+  /// (wrong arity, non-numeric fields, unknown error type).
+  static ErrorLog ReadCsv(std::istream& in);
+};
+
+}  // namespace cordial::trace

@@ -1,0 +1,24 @@
+#include "trace/replay.hpp"
+
+#include "common/check.hpp"
+
+namespace cordial::trace {
+
+const BankHistory& StreamReplayer::Ingest(const MceRecord& record) {
+  CORDIAL_CHECK_MSG(record.time_s >= now_,
+                    "stream replay requires non-decreasing timestamps");
+  now_ = record.time_s;
+  ++records_;
+  const std::uint64_t key = codec_.BankKey(record.address);
+  BankHistory& bank = banks_[key];
+  bank.bank_key = key;
+  bank.events.push_back(record);
+  return bank;
+}
+
+const BankHistory* StreamReplayer::Find(std::uint64_t bank_key) const {
+  const auto it = banks_.find(bank_key);
+  return it == banks_.end() ? nullptr : &it->second;
+}
+
+}  // namespace cordial::trace

@@ -1,0 +1,40 @@
+// Streaming replay: incremental per-bank histories over a live MCE feed.
+//
+// Deployment consumes records one at a time (BMC polling), not as a closed
+// log. StreamReplayer maintains the same BankHistory state GroupByBank
+// builds in batch, incrementally and with monotonic-time enforcement, so
+// online daemons and the CLI share one ingestion path.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "hbm/address.hpp"
+#include "trace/error_log.hpp"
+
+namespace cordial::trace {
+
+class StreamReplayer {
+ public:
+  explicit StreamReplayer(const hbm::AddressCodec& codec) : codec_(codec) {}
+
+  /// Ingest one record. Records must arrive in non-decreasing time order.
+  /// Returns the bank's history including this record.
+  const BankHistory& Ingest(const MceRecord& record);
+
+  /// Bank state, or nullptr if no event for that bank was seen.
+  const BankHistory* Find(std::uint64_t bank_key) const;
+
+  std::size_t bank_count() const { return banks_.size(); }
+  std::size_t record_count() const { return records_; }
+  /// Timestamp of the newest ingested record (0 before any).
+  double now() const { return now_; }
+
+ private:
+  const hbm::AddressCodec& codec_;
+  std::unordered_map<std::uint64_t, BankHistory> banks_;
+  std::size_t records_ = 0;
+  double now_ = 0.0;
+};
+
+}  // namespace cordial::trace

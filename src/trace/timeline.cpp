@@ -1,0 +1,180 @@
+#include "trace/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cordial::trace {
+
+using hbm::ErrorType;
+using hbm::PatternShape;
+
+TimelineExpander::TimelineExpander(const hbm::TopologyConfig& topology,
+                                   TimelineParams params)
+    : topology_(topology), params_(params) {
+  topology_.Validate();
+  CORDIAL_CHECK_MSG(params_.window_s > 0.0, "window must be positive");
+  CORDIAL_CHECK_MSG(
+      params_.sudden_row_prob >= 0.0 && params_.sudden_row_prob <= 1.0,
+      "sudden_row_prob must be a probability");
+}
+
+double TimelineExpander::InterUerMean(PatternShape shape) const {
+  switch (shape) {
+    case PatternShape::kSingleRowCluster:
+    case PatternShape::kDoubleRowCluster:
+    case PatternShape::kHalfTotalRowCluster:
+      return params_.inter_uer_mean_cluster_s;
+    default:
+      return params_.inter_uer_mean_scattered_s;
+  }
+}
+
+double TimelineExpander::ExtraUeoRowsMean(PatternShape shape) const {
+  switch (shape) {
+    case PatternShape::kSingleRowCluster: return params_.extra_ueo_rows_single;
+    case PatternShape::kDoubleRowCluster: return params_.extra_ueo_rows_double;
+    case PatternShape::kHalfTotalRowCluster: return params_.extra_ueo_rows_half;
+    case PatternShape::kScattered: return params_.extra_ueo_rows_scattered;
+    case PatternShape::kWholeColumn: return params_.extra_ueo_rows_column;
+    case PatternShape::kCeOnly: return 0.0;
+  }
+  return 0.0;
+}
+
+MceRecord TimelineExpander::MakeRecord(const hbm::DeviceAddress& base,
+                                       std::uint32_t row, std::uint32_t col,
+                                       ErrorType type, double time_s) const {
+  MceRecord r;
+  r.address = base;
+  r.address.row = row;
+  r.address.col = col;
+  r.type = type;
+  r.time_s = std::clamp(time_s, 0.0, params_.window_s);
+  return r;
+}
+
+std::vector<MceRecord> TimelineExpander::ExpandBank(
+    const hbm::BankFaultPlan& plan, const hbm::DeviceAddress& base,
+    Rng& rng) const {
+  std::vector<MceRecord> events;
+  const auto pick_col = [&](const hbm::RowErrors& row) -> std::uint32_t {
+    CORDIAL_CHECK_MSG(!row.cols.empty(), "plan row without columns");
+    return row.cols[static_cast<std::size_t>(rng.UniformU64(row.cols.size()))];
+  };
+
+  if (plan.uer_rows.empty()) {
+    // CE-only bank: weak cells shedding correctable noise over the window.
+    const double onset = rng.UniformReal(0.0, params_.window_s * 0.95);
+    for (const hbm::RowErrors& row : plan.ce_rows) {
+      const auto n =
+          1 + static_cast<std::size_t>(rng.Poisson(params_.ce_events_per_row_mean));
+      for (std::size_t i = 0; i < n; ++i) {
+        const double t = rng.UniformReal(onset, params_.window_s);
+        events.push_back(MakeRecord(base, row.row, pick_col(row),
+                                    ErrorType::kCe, t));
+      }
+    }
+    return events;
+  }
+
+  // --- UER bank ---
+  const double first_uer_t =
+      rng.UniformReal(params_.window_s * 0.1, params_.window_s * 0.9);
+  const double inter_mean = InterUerMean(plan.shape);
+  const bool bank_emits_ueo = rng.Bernoulli(params_.ueo_bank_prob);
+  const bool ambient_precursor = rng.Bernoulli(params_.ambient_precursor_prob);
+
+  // Row failure schedule: plan order is failure order.
+  double t = first_uer_t;
+  for (std::size_t i = 0; i < plan.uer_rows.size(); ++i) {
+    const hbm::RowErrors& row = plan.uer_rows[i];
+    if (i > 0) t += rng.Exponential(1.0 / inter_mean);
+    const double row_first_t = t;
+    if (row_first_t > params_.window_s) break;  // beyond observation window
+
+    const bool sudden = rng.Bernoulli(params_.sudden_row_prob);
+    if (!sudden) {
+      // Same-row precursors: a few CEs, possibly a scrubber-found UEO.
+      const auto n_ce = 1 + static_cast<std::size_t>(rng.Poisson(1.0));
+      for (std::size_t k = 0; k < n_ce; ++k) {
+        const double lead = rng.UniformReal(0.0, params_.in_row_precursor_lead_s);
+        events.push_back(MakeRecord(base, row.row, pick_col(row), ErrorType::kCe,
+                                    row_first_t - lead));
+      }
+      if (bank_emits_ueo && rng.Bernoulli(params_.ueo_row_precursor_prob)) {
+        const double lead = rng.UniformReal(0.0, params_.scrub_period_s);
+        events.push_back(MakeRecord(base, row.row, pick_col(row),
+                                    ErrorType::kUeo, row_first_t - lead));
+      }
+    } else if (bank_emits_ueo && rng.Bernoulli(0.3)) {
+      // Scrubber re-detects the latent fault after the demand access hit it;
+      // strictly after the UER so the row stays "sudden".
+      const double lag = rng.Exponential(1.0 / params_.scrub_period_s);
+      events.push_back(MakeRecord(base, row.row, pick_col(row), ErrorType::kUeo,
+                                  std::min(row_first_t + lag, params_.window_s)));
+    }
+
+    // The UER event itself plus repeats until mitigation.
+    const auto repeats =
+        1 + static_cast<std::size_t>(rng.Poisson(params_.uer_repeat_mean));
+    double rt = row_first_t;
+    for (std::size_t k = 0; k < repeats && rt <= params_.window_s; ++k) {
+      events.push_back(
+          MakeRecord(base, row.row, pick_col(row), ErrorType::kUer, rt));
+      rt += rng.Exponential(1.0 / params_.uer_repeat_gap_mean_s);
+    }
+  }
+
+  // Ambient CE noise rows. If the bank is a "predictable" bank, the noise
+  // starts before the first UER; otherwise it trails the failure.
+  for (const hbm::RowErrors& row : plan.ce_rows) {
+    const double start = ambient_precursor
+                             ? first_uer_t - rng.UniformReal(0.0, params_.ambient_lead_s)
+                             : first_uer_t + rng.UniformReal(1.0, params_.ambient_lead_s);
+    const auto n =
+        1 + static_cast<std::size_t>(rng.Poisson(params_.ce_events_per_row_mean));
+    for (std::size_t i = 0; i < n; ++i) {
+      const double jitter = rng.UniformReal(0.0, params_.ambient_lead_s);
+      events.push_back(MakeRecord(base, row.row, pick_col(row), ErrorType::kCe,
+                                  std::max(0.0, start) + jitter));
+    }
+  }
+
+  // Extra latent rows the scrubber found but no access ever consumed (UEO
+  // only). Emitted after the bank's first UER unless the bank is a
+  // precursor bank.
+  if (bank_emits_ueo) {
+    const auto n_extra =
+        static_cast<std::size_t>(rng.Poisson(ExtraUeoRowsMean(plan.shape)));
+    const bool bank_wide = plan.shape == PatternShape::kScattered ||
+                           plan.shape == PatternShape::kWholeColumn;
+    for (std::size_t i = 0; i < n_extra; ++i) {
+      std::uint32_t row;
+      std::uint32_t col =
+          static_cast<std::uint32_t>(rng.UniformU64(topology_.cols_per_bank));
+      if (bank_wide || plan.uer_rows.empty()) {
+        row = static_cast<std::uint32_t>(rng.UniformU64(topology_.rows_per_bank));
+      } else {
+        const hbm::RowErrors& anchor = plan.uer_rows[static_cast<std::size_t>(
+            rng.UniformU64(plan.uer_rows.size()))];
+        const double offset = rng.Normal(0.0, 48.0);
+        const auto shifted = static_cast<std::int64_t>(anchor.row) +
+                             static_cast<std::int64_t>(std::llround(offset));
+        row = static_cast<std::uint32_t>(std::clamp<std::int64_t>(
+            shifted, 0, static_cast<std::int64_t>(topology_.rows_per_bank) - 1));
+        if (plan.shape == PatternShape::kWholeColumn && !anchor.cols.empty()) {
+          col = anchor.cols.front();
+        }
+      }
+      const double when =
+          ambient_precursor
+              ? first_uer_t - rng.UniformReal(0.0, params_.scrub_period_s)
+              : first_uer_t + rng.Exponential(1.0 / params_.scrub_period_s);
+      events.push_back(MakeRecord(base, row, col, ErrorType::kUeo, when));
+    }
+  }
+
+  return events;
+}
+
+}  // namespace cordial::trace

@@ -1,0 +1,89 @@
+// Temporal expansion: static bank fault plans -> timestamped MCE events.
+//
+// This encodes the error lifecycle from §II-B/§III-A of the paper:
+//   - *non-sudden* UER rows first shed CEs (and sometimes scrubber-found
+//     UEOs) in the same row, then escalate to UER;
+//   - *sudden* UER rows (95.61% at row level, Table I) fail with no prior
+//     error in that row;
+//   - bank-level predictability (29.23%, Table I) comes from *ambient*
+//     precursors: correctable noise elsewhere in the bank before its first
+//     UER;
+//   - the patrol scrubber turns latent uncorrectable faults it wins the
+//     race for into UEOs; demand accesses turn the rest into UERs.
+//
+// Aggregation faults propagate row-to-row faster than scattered ones
+// (§IV-B "errors can soon propagate to nearby rows"), which is the temporal
+// signal the pattern classifier keys on.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hbm/fault.hpp"
+#include "trace/mce_record.hpp"
+
+namespace cordial::trace {
+
+struct TimelineParams {
+  double window_s = 120.0 * 86400.0;  ///< observation window (120 days)
+
+  /// P(a UER row has no same-row precursor) — Table I row level: 95.61%.
+  double sudden_row_prob = 0.9561;
+  /// P(ambient bank noise starts before the bank's first UER).
+  double ambient_precursor_prob = 0.20;
+
+  /// P(the bank's latent faults are ever surfaced as UEOs by the scrubber).
+  double ueo_bank_prob = 0.5;
+  /// Within a UEO-emitting bank, P(a non-sudden UER row shows a UEO first).
+  double ueo_row_precursor_prob = 0.6;
+  /// Extra UEO-only rows by shape (Poisson means); infrastructure faults
+  /// leave many latent-but-never-consumed rows.
+  double extra_ueo_rows_single = 2.0;
+  double extra_ueo_rows_double = 4.0;
+  double extra_ueo_rows_half = 10.0;
+  double extra_ueo_rows_scattered = 28.0;
+  double extra_ueo_rows_column = 36.0;
+
+  /// Mean seconds between successive row failures.
+  double inter_uer_mean_cluster_s = 6.0 * 3600.0;
+  double inter_uer_mean_scattered_s = 18.0 * 3600.0;
+  /// Repeat UER events per failing row = 1 + Poisson(mean).
+  double uer_repeat_mean = 0.8;
+  double uer_repeat_gap_mean_s = 2.0 * 3600.0;
+
+  /// CE events per CE row = 1 + Poisson(mean).
+  double ce_events_per_row_mean = 2.0;
+  /// In-row precursors appear within this lead before the row's first UER.
+  double in_row_precursor_lead_s = 48.0 * 3600.0;
+  /// Ambient precursors start up to this long before the bank's first UER.
+  double ambient_lead_s = 14.0 * 86400.0;
+  /// Patrol scrub period; bounds UEO-before-UER lead times.
+  double scrub_period_s = 86400.0;
+};
+
+class TimelineExpander {
+ public:
+  TimelineExpander(const hbm::TopologyConfig& topology,
+                   TimelineParams params = {});
+
+  const TimelineParams& params() const { return params_; }
+
+  /// Expand one bank's plan into MCE events. `base` supplies every address
+  /// coordinate above the row (row/col are taken from the plan). The
+  /// returned events are not sorted; callers sort the merged fleet log.
+  std::vector<MceRecord> ExpandBank(const hbm::BankFaultPlan& plan,
+                                    const hbm::DeviceAddress& base,
+                                    Rng& rng) const;
+
+ private:
+  double InterUerMean(hbm::PatternShape shape) const;
+  double ExtraUeoRowsMean(hbm::PatternShape shape) const;
+  MceRecord MakeRecord(const hbm::DeviceAddress& base, std::uint32_t row,
+                       std::uint32_t col, hbm::ErrorType type,
+                       double time_s) const;
+
+  hbm::TopologyConfig topology_;
+  TimelineParams params_;
+};
+
+}  // namespace cordial::trace

@@ -1,0 +1,136 @@
+#include "analysis/empirical.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace cordial::analysis {
+namespace {
+
+using hbm::ErrorType;
+
+trace::MceRecord Make(double t, std::uint32_t npu, std::uint32_t bank,
+                      std::uint32_t row, ErrorType type) {
+  trace::MceRecord r;
+  r.time_s = t;
+  r.address.npu = npu;
+  r.address.bank = bank;
+  r.address.row = row;
+  r.type = type;
+  return r;
+}
+
+class EmpiricalTest : public ::testing::Test {
+ protected:
+  hbm::TopologyConfig topology_;
+  hbm::AddressCodec codec_{topology_};
+};
+
+TEST_F(EmpiricalTest, SuddenStudyHandcrafted) {
+  // NPU 0, bank 0: CE at t=1 in row 5, UER at t=2 in row 9 (different row).
+  //   -> row 9 is sudden; bank/NPU are non-sudden (precursor before UER).
+  // NPU 1, bank 0: UER at t=1 row 3, CE afterwards at t=2 row 3.
+  //   -> everything sudden (precursor came after).
+  trace::ErrorLog log;
+  log.Add(Make(1.0, 0, 0, 5, ErrorType::kCe));
+  log.Add(Make(2.0, 0, 0, 9, ErrorType::kUer));
+  log.Add(Make(1.0, 1, 0, 3, ErrorType::kUer));
+  log.Add(Make(2.0, 1, 0, 3, ErrorType::kCe));
+  log.Sort();
+
+  const auto rows = ComputeSuddenUerStudy(log, codec_);
+  ASSERT_EQ(rows.size(), 7u);
+  const SuddenUerRow& npu = rows[0];
+  EXPECT_EQ(npu.level, hbm::Level::kNpu);
+  EXPECT_EQ(npu.non_sudden, 1u);
+  EXPECT_EQ(npu.sudden, 1u);
+  EXPECT_NEAR(npu.PredictableRatio(), 0.5, 1e-12);
+
+  const SuddenUerRow& row_level = rows[6];
+  EXPECT_EQ(row_level.level, hbm::Level::kRow);
+  EXPECT_EQ(row_level.sudden, 2u);  // both UER rows had no in-row precursor
+  EXPECT_EQ(row_level.non_sudden, 0u);
+}
+
+TEST_F(EmpiricalTest, InRowPrecursorMakesRowNonSudden) {
+  trace::ErrorLog log;
+  log.Add(Make(1.0, 0, 0, 5, ErrorType::kUeo));
+  log.Add(Make(2.0, 0, 0, 5, ErrorType::kUer));
+  log.Sort();
+  const auto rows = ComputeSuddenUerStudy(log, codec_);
+  EXPECT_EQ(rows[6].non_sudden, 1u);
+  EXPECT_EQ(rows[6].sudden, 0u);
+}
+
+TEST_F(EmpiricalTest, SimultaneousPrecursorDoesNotCount) {
+  // CE and UER at the same timestamp: "strictly before" fails, so the CE
+  // sorts first by type... CE(0) < UER(2) at equal time and address order;
+  // the walk sees CE first, making the entity non-sudden. Use a different
+  // row for the CE so address ordering is deterministic.
+  trace::ErrorLog log;
+  log.Add(Make(1.0, 0, 0, 4, ErrorType::kCe));
+  log.Add(Make(1.0, 0, 0, 5, ErrorType::kUer));
+  log.Sort();
+  const auto rows = ComputeSuddenUerStudy(log, codec_);
+  // Row level: row 5 has no in-row precursor.
+  EXPECT_EQ(rows[6].sudden, 1u);
+}
+
+TEST_F(EmpiricalTest, SuddenStudyRequiresSortedLog) {
+  trace::ErrorLog log;
+  log.Add(Make(2.0, 0, 0, 1, ErrorType::kCe));
+  log.Add(Make(1.0, 0, 0, 2, ErrorType::kUer));
+  EXPECT_THROW(ComputeSuddenUerStudy(log, codec_), ContractViolation);
+}
+
+TEST_F(EmpiricalTest, DatasetSummaryHandcrafted) {
+  trace::ErrorLog log;
+  log.Add(Make(1.0, 0, 0, 1, ErrorType::kCe));
+  log.Add(Make(2.0, 0, 1, 2, ErrorType::kUer));
+  log.Add(Make(3.0, 1, 0, 3, ErrorType::kUeo));
+  const auto summary = ComputeDatasetSummary(log, codec_);
+  ASSERT_EQ(summary.size(), 7u);
+
+  const DatasetSummaryRow& npu = summary[0];
+  EXPECT_EQ(npu.with_ce, 1u);
+  EXPECT_EQ(npu.with_ueo, 1u);
+  EXPECT_EQ(npu.with_uer, 1u);
+  EXPECT_EQ(npu.total, 2u);
+
+  const DatasetSummaryRow& bank = summary[5];
+  EXPECT_EQ(bank.with_ce, 1u);
+  EXPECT_EQ(bank.with_uer, 1u);
+  EXPECT_EQ(bank.total, 3u);
+
+  const DatasetSummaryRow& row = summary[6];
+  EXPECT_EQ(row.total, 3u);
+}
+
+TEST_F(EmpiricalTest, PatternDistributionCountsUerBanksOnly) {
+  PatternLabeler labeler(topology_);
+  std::vector<trace::BankHistory> banks(3);
+  // Bank 0: tight single cluster.
+  banks[0].events = {Make(1.0, 0, 0, 100, ErrorType::kUer),
+                     Make(2.0, 0, 0, 108, ErrorType::kUer)};
+  // Bank 1: CE only -> excluded.
+  banks[1].events = {Make(1.0, 0, 1, 5, ErrorType::kCe)};
+  // Bank 2: scattered.
+  banks[2].events = {Make(1.0, 0, 2, 100, ErrorType::kUer),
+                     Make(2.0, 0, 2, 9000, ErrorType::kUer),
+                     Make(3.0, 0, 2, 25000, ErrorType::kUer)};
+  const PatternDistribution dist = ComputePatternDistribution(banks, labeler);
+  EXPECT_EQ(dist.total_uer_banks, 2u);
+  EXPECT_NEAR(dist.Fraction(hbm::PatternShape::kSingleRowCluster), 0.5, 1e-12);
+  EXPECT_NEAR(dist.Fraction(hbm::PatternShape::kScattered), 0.5, 1e-12);
+  EXPECT_EQ(dist.Fraction(hbm::PatternShape::kWholeColumn), 0.0);
+}
+
+TEST_F(EmpiricalTest, PatternDistributionEmptyInput) {
+  PatternLabeler labeler(topology_);
+  const PatternDistribution dist = ComputePatternDistribution({}, labeler);
+  EXPECT_EQ(dist.total_uer_banks, 0u);
+  EXPECT_EQ(dist.Fraction(hbm::PatternShape::kScattered), 0.0);
+}
+
+}  // namespace
+}  // namespace cordial::analysis

@@ -1,0 +1,107 @@
+#include "analysis/labeler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/empirical.hpp"
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "trace/fleet.hpp"
+
+namespace cordial::analysis {
+namespace {
+
+using hbm::PatternShape;
+
+class LabelerTest : public ::testing::Test {
+ protected:
+  hbm::TopologyConfig topology_;
+  PatternLabeler labeler_{topology_};
+
+  PatternShape Label(const std::vector<std::uint32_t>& rows,
+                     std::uint32_t col = 5) {
+    return labeler_.LabelShape(rows,
+                               std::vector<std::uint32_t>(rows.size(), col));
+  }
+};
+
+TEST_F(LabelerTest, TightClusterIsSingle) {
+  EXPECT_EQ(Label({100, 108, 116, 140}), PatternShape::kSingleRowCluster);
+  EXPECT_EQ(Label({5000}), PatternShape::kSingleRowCluster);
+  EXPECT_EQ(Label({0, 1, 2}), PatternShape::kSingleRowCluster);
+}
+
+TEST_F(LabelerTest, TwoDistantClustersAreDouble) {
+  EXPECT_EQ(Label({1000, 1016, 5000, 5032}), PatternShape::kDoubleRowCluster);
+  EXPECT_EQ(Label({100, 4200}), PatternShape::kDoubleRowCluster);
+}
+
+TEST_F(LabelerTest, HalfBankGapIsHalfTotal) {
+  const std::uint32_t half = topology_.rows_per_bank / 2;
+  EXPECT_EQ(Label({1000, 1032, 1000 + half, 1040 + half}),
+            PatternShape::kHalfTotalRowCluster);
+  // Slightly off the exact alias distance but within tolerance.
+  EXPECT_EQ(Label({2000, 2000 + half + 500}),
+            PatternShape::kHalfTotalRowCluster);
+  // Far outside the tolerance: plain double cluster.
+  EXPECT_EQ(Label({2000, 2000 + half + 5000}),
+            PatternShape::kDoubleRowCluster);
+}
+
+TEST_F(LabelerTest, ThreePlusClustersAreScattered) {
+  EXPECT_EQ(Label({100, 8000, 20000, 31000}), PatternShape::kScattered);
+  EXPECT_EQ(Label({0, 5000, 10000}), PatternShape::kScattered);
+}
+
+TEST_F(LabelerTest, WholeColumnNeedsOneColumnAndWideSpan) {
+  std::vector<std::uint32_t> rows;
+  for (int i = 0; i < 15; ++i) {
+    rows.push_back(static_cast<std::uint32_t>(i * 2200));
+  }
+  EXPECT_EQ(Label(rows, 7), PatternShape::kWholeColumn);
+
+  // Same rows but spread over two columns: just scattered.
+  std::vector<std::uint32_t> cols(rows.size(), 7);
+  cols[3] = 8;
+  EXPECT_EQ(labeler_.LabelShape(rows, cols), PatternShape::kScattered);
+
+  // One column but too few rows: falls through to geometric rules.
+  EXPECT_NE(Label({0, 10000, 30000}, 7), PatternShape::kWholeColumn);
+}
+
+TEST_F(LabelerTest, DuplicateRowsAreIgnored) {
+  EXPECT_EQ(Label({100, 100, 100, 104}), PatternShape::kSingleRowCluster);
+}
+
+TEST_F(LabelerTest, ClustersHelperSplitsAtGaps) {
+  const auto clusters = labeler_.Clusters({5, 10, 5000, 5010, 5020});
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0], (std::pair<std::uint32_t, std::uint32_t>{5, 10}));
+  EXPECT_EQ(clusters[1], (std::pair<std::uint32_t, std::uint32_t>{5000, 5020}));
+}
+
+TEST_F(LabelerTest, RejectsEmptyAndMismatchedInput) {
+  EXPECT_THROW(labeler_.LabelShape({}, {}), ContractViolation);
+  EXPECT_THROW(labeler_.LabelShape({1, 2}, {0}), ContractViolation);
+}
+
+TEST_F(LabelerTest, BankHistoryWithoutUerIsCeOnly) {
+  trace::BankHistory bank;
+  trace::MceRecord r;
+  r.type = hbm::ErrorType::kCe;
+  bank.events.push_back(r);
+  EXPECT_EQ(labeler_.LabelShape(bank), PatternShape::kCeOnly);
+  EXPECT_THROW(labeler_.LabelClass(bank), ContractViolation);
+}
+
+TEST_F(LabelerTest, AgreesWithGeneratorGroundTruth) {
+  trace::CalibrationProfile profile;
+  profile.scale = 0.1;
+  trace::FleetGenerator generator(topology_, profile);
+  const trace::GeneratedFleet fleet = generator.Generate(77);
+  const double agreement = LabelerAgreement(fleet, labeler_);
+  EXPECT_GT(agreement, 0.85);
+}
+
+}  // namespace
+}  // namespace cordial::analysis

@@ -1,0 +1,138 @@
+#include "analysis/locality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace cordial::analysis {
+namespace {
+
+using hbm::ErrorType;
+
+trace::MceRecord Uer(double t, std::uint32_t bank, std::uint32_t row) {
+  trace::MceRecord r;
+  r.time_s = t;
+  r.address.bank = bank;
+  r.address.row = row;
+  r.type = ErrorType::kUer;
+  return r;
+}
+
+class LocalityTest : public ::testing::Test {
+ protected:
+  hbm::TopologyConfig topology_;
+};
+
+TEST_F(LocalityTest, DefaultThresholdsArePowersOfTwo) {
+  const auto t = DefaultLocalityThresholds();
+  ASSERT_EQ(t.size(), 10u);
+  EXPECT_EQ(t.front(), 4u);
+  EXPECT_EQ(t.back(), 2048u);
+}
+
+TEST_F(LocalityTest, CaptureRatesAreMonotoneInThreshold) {
+  Rng rng(1);
+  std::vector<trace::BankHistory> banks;
+  for (int b = 0; b < 50; ++b) {
+    trace::BankHistory bank;
+    bank.bank_key = static_cast<std::uint64_t>(b);
+    const auto center =
+        static_cast<std::uint32_t>(2000 + rng.UniformU64(20000));
+    for (int i = 0; i < 5; ++i) {
+      bank.events.push_back(
+          Uer(i, static_cast<std::uint32_t>(b % 4),
+              center + static_cast<std::uint32_t>(rng.UniformU64(300))));
+    }
+    banks.push_back(std::move(bank));
+  }
+  const auto sweep =
+      ComputeLocalitySweep(banks, topology_, DefaultLocalityThresholds());
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GE(sweep[i].CaptureRate(), sweep[i - 1].CaptureRate());
+  }
+}
+
+TEST_F(LocalityTest, TightClustersCaptureEverythingAtSmallThreshold) {
+  std::vector<trace::BankHistory> banks(1);
+  banks[0].events = {Uer(1, 0, 1000), Uer(2, 0, 1002), Uer(3, 0, 1004)};
+  const auto sweep = ComputeLocalitySweep(banks, topology_, {4, 2048});
+  EXPECT_EQ(sweep[0].captured, 2u);
+  EXPECT_EQ(sweep[0].subsequent_total, 2u);
+  EXPECT_NEAR(sweep[0].CaptureRate(), 1.0, 1e-12);
+}
+
+TEST_F(LocalityTest, FarRowsAreNotCaptured) {
+  std::vector<trace::BankHistory> banks(1);
+  banks[0].events = {Uer(1, 0, 100), Uer(2, 0, 20000)};
+  const auto sweep = ComputeLocalitySweep(banks, topology_, {128});
+  EXPECT_EQ(sweep[0].captured, 0u);
+  EXPECT_EQ(sweep[0].subsequent_total, 1u);
+}
+
+TEST_F(LocalityTest, NearnessIsAgainstAnyPriorRow) {
+  // Rows fail at 100, 5000, 104: the third is near the FIRST, not the
+  // immediately-previous one.
+  std::vector<trace::BankHistory> banks(1);
+  banks[0].events = {Uer(1, 0, 100), Uer(2, 0, 5000), Uer(3, 0, 104)};
+  const auto sweep = ComputeLocalitySweep(banks, topology_, {8});
+  EXPECT_EQ(sweep[0].captured, 1u);
+  EXPECT_EQ(sweep[0].subsequent_total, 2u);
+}
+
+TEST_F(LocalityTest, RepeatUersOfSameRowAreOneRow) {
+  std::vector<trace::BankHistory> banks(1);
+  banks[0].events = {Uer(1, 0, 100), Uer(2, 0, 100), Uer(3, 0, 100)};
+  const auto sweep = ComputeLocalitySweep(banks, topology_, {4});
+  // A single distinct row: no subsequent rows to judge.
+  EXPECT_EQ(sweep[0].subsequent_total, 0u);
+  EXPECT_EQ(sweep[0].chi_square, 0.0);
+}
+
+TEST_F(LocalityTest, ClusteredDataYieldsInteriorPeak) {
+  // Rows spread uniformly in a +/-150 band: the statistic should peak at an
+  // interior threshold (around the band width), not at 4 or 2048.
+  Rng rng(2);
+  std::vector<trace::BankHistory> banks;
+  for (int b = 0; b < 200; ++b) {
+    trace::BankHistory bank;
+    bank.bank_key = static_cast<std::uint64_t>(b);
+    const auto center =
+        static_cast<std::uint32_t>(1000 + rng.UniformU64(30000));
+    for (int i = 0; i < 4; ++i) {
+      const auto offset = static_cast<std::int64_t>(rng.UniformU64(301)) - 150;
+      bank.events.push_back(Uer(
+          i, static_cast<std::uint32_t>(b % 7),
+          static_cast<std::uint32_t>(std::max<std::int64_t>(
+              0, static_cast<std::int64_t>(center) + offset))));
+    }
+    banks.push_back(std::move(bank));
+  }
+  const auto sweep =
+      ComputeLocalitySweep(banks, topology_, DefaultLocalityThresholds());
+  const std::uint32_t peak = PeakThreshold(sweep);
+  EXPECT_GE(peak, 32u);
+  EXPECT_LE(peak, 512u);
+  // And the statistic is significant at the peak.
+  for (const auto& pt : sweep) {
+    if (pt.threshold == peak) {
+      EXPECT_LT(pt.p_value, 1e-6);
+    }
+  }
+}
+
+TEST_F(LocalityTest, BanksWithFewerThanTwoRowsContributeNothing) {
+  std::vector<trace::BankHistory> banks(2);
+  banks[0].events = {Uer(1, 0, 5)};
+  // bank 1 empty
+  const auto sweep = ComputeLocalitySweep(banks, topology_, {64});
+  EXPECT_EQ(sweep[0].subsequent_total, 0u);
+}
+
+TEST_F(LocalityTest, EmptyThresholdsRejected) {
+  EXPECT_THROW(ComputeLocalitySweep({}, topology_, {}), ContractViolation);
+  EXPECT_THROW(PeakThreshold({}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace cordial::analysis

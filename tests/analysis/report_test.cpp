@@ -1,0 +1,82 @@
+#include "analysis/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/fleet.hpp"
+
+namespace cordial::analysis {
+namespace {
+
+TEST(StudyReport, ContainsEverySection) {
+  hbm::TopologyConfig topology;
+  trace::CalibrationProfile profile;
+  profile.scale = 0.05;
+  trace::FleetGenerator generator(topology, profile);
+  const trace::GeneratedFleet fleet = generator.Generate(17);
+
+  std::ostringstream out;
+  WriteStudyReport(fleet.log, topology, out);
+  const std::string report = out.str();
+
+  EXPECT_NE(report.find("# HBM fleet error study"), std::string::npos);
+  EXPECT_NE(report.find("## Sudden vs non-sudden UERs"), std::string::npos);
+  EXPECT_NE(report.find("## Dataset summary"), std::string::npos);
+  EXPECT_NE(report.find("## Failure pattern distribution"), std::string::npos);
+  EXPECT_NE(report.find("## Cross-row locality"), std::string::npos);
+  EXPECT_NE(report.find("## Example bank error maps"), std::string::npos);
+  EXPECT_NE(report.find("single-row-cluster"), std::string::npos);
+  EXPECT_NE(report.find("Peak significance"), std::string::npos);
+  // Markdown table syntax present.
+  EXPECT_NE(report.find("|---|"), std::string::npos);
+}
+
+TEST(StudyReport, CustomOptionsRespected) {
+  hbm::TopologyConfig topology;
+  trace::CalibrationProfile profile;
+  profile.scale = 0.05;
+  trace::FleetGenerator generator(topology, profile);
+  const trace::GeneratedFleet fleet = generator.Generate(18);
+
+  ReportOptions options;
+  options.title = "Custom Title 123";
+  options.example_maps_per_shape = 0;
+  std::ostringstream out;
+  WriteStudyReport(fleet.log, topology, out, options);
+  const std::string report = out.str();
+  EXPECT_NE(report.find("# Custom Title 123"), std::string::npos);
+  EXPECT_EQ(report.find("## Example bank error maps"), std::string::npos);
+}
+
+TEST(StudyReport, HandlesLogWithoutUerPairs) {
+  // A log with a single CE only: every section must still render.
+  trace::ErrorLog log;
+  trace::MceRecord r;
+  r.time_s = 1.0;
+  r.type = hbm::ErrorType::kCe;
+  log.Add(r);
+  hbm::TopologyConfig topology;
+  std::ostringstream out;
+  WriteStudyReport(log, topology, out);
+  EXPECT_NE(out.str().find("locality not"), std::string::npos);
+}
+
+TEST(StudyReport, AcceptsUnsortedLogs) {
+  trace::ErrorLog log;
+  trace::MceRecord r;
+  r.type = hbm::ErrorType::kUer;
+  r.time_s = 5.0;
+  r.address.row = 10;
+  log.Add(r);
+  r.time_s = 1.0;
+  r.address.row = 12;
+  r.type = hbm::ErrorType::kCe;
+  log.Add(r);  // out of order on purpose
+  hbm::TopologyConfig topology;
+  std::ostringstream out;
+  EXPECT_NO_THROW(WriteStudyReport(log, topology, out));
+}
+
+}  // namespace
+}  // namespace cordial::analysis

@@ -1,0 +1,318 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace cordial {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(123), b(124);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng rng(55);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(rng.Next());
+  rng.Reseed(55);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(rng.Next(), first[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng parent(9);
+  Rng child_a = parent.Fork(1);
+  Rng child_b = parent.Fork(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (child_a.Next() == child_b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformU64RespectsBound) {
+  Rng rng(1);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformU64(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, UniformU64RejectsZeroBound) {
+  Rng rng(1);
+  EXPECT_THROW(rng.UniformU64(0), ContractViolation);
+}
+
+TEST(Rng, UniformU64IsRoughlyUniform) {
+  Rng rng(17);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<double> observed(kBuckets, 0.0);
+  for (int i = 0; i < kDraws; ++i) {
+    observed[rng.UniformU64(kBuckets)] += 1.0;
+  }
+  const std::vector<double> expected(kBuckets, kDraws / double(kBuckets));
+  const double stat = ChiSquareStatistic(observed, expected);
+  // dof = 9; 99.9th percentile ~ 27.9.
+  EXPECT_LT(stat, 27.9);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIntSinglePoint) {
+  Rng rng(3);
+  EXPECT_EQ(rng.UniformInt(42, 42), 42);
+  EXPECT_EQ(rng.UniformInt(-7, -7), -7);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(3);
+  EXPECT_THROW(rng.UniformInt(2, 1), ContractViolation);
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformReal();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRealMeanIsHalf) {
+  Rng rng(5);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.UniformReal());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, BernoulliDegenerateCases) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(7);
+  int hits = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / double(kDraws), 0.3, 0.01);
+}
+
+class PoissonMeanTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMeanTest, MatchesMeanAndVariance) {
+  const double mean = GetParam();
+  Rng rng(static_cast<std::uint64_t>(mean * 1000) + 11);
+  RunningStats stats;
+  for (int i = 0; i < 40000; ++i) {
+    stats.Add(static_cast<double>(rng.Poisson(mean)));
+  }
+  EXPECT_NEAR(stats.mean(), mean, std::max(0.05, mean * 0.05));
+  EXPECT_NEAR(stats.variance(), mean, std::max(0.2, mean * 0.12));
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, PoissonMeanTest,
+                         ::testing::Values(0.1, 0.5, 1.0, 4.0, 12.0, 50.0,
+                                           120.0));
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Poisson(0.0), 0u);
+}
+
+TEST(Rng, PoissonRejectsNegativeMean) {
+  Rng rng(8);
+  EXPECT_THROW(rng.Poisson(-1.0), ContractViolation);
+}
+
+class GeometricTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GeometricTest, MatchesMean) {
+  const double p = GetParam();
+  Rng rng(19);
+  RunningStats stats;
+  for (int i = 0; i < 40000; ++i) {
+    stats.Add(static_cast<double>(rng.Geometric(p)));
+  }
+  const double expected_mean = (1.0 - p) / p;
+  EXPECT_NEAR(stats.mean(), expected_mean, std::max(0.05, expected_mean * 0.06));
+}
+
+INSTANTIATE_TEST_SUITE_P(Probs, GeometricTest,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.9));
+
+TEST(Rng, GeometricCertainSuccessIsZero) {
+  Rng rng(20);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.Geometric(1.0), 0u);
+}
+
+TEST(Rng, GeometricRejectsBadP) {
+  Rng rng(20);
+  EXPECT_THROW(rng.Geometric(0.0), ContractViolation);
+  EXPECT_THROW(rng.Geometric(1.5), ContractViolation);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(21);
+  RunningStats stats;
+  for (int i = 0; i < 60000; ++i) stats.Add(rng.Normal(5.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, NormalRejectsNegativeStddev) {
+  Rng rng(21);
+  EXPECT_THROW(rng.Normal(0.0, -1.0), ContractViolation);
+}
+
+TEST(Rng, ExponentialMoments) {
+  Rng rng(22);
+  RunningStats stats;
+  for (int i = 0; i < 60000; ++i) stats.Add(rng.Exponential(0.5));
+  EXPECT_NEAR(stats.mean(), 2.0, 0.06);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng(22);
+  EXPECT_THROW(rng.Exponential(0.0), ContractViolation);
+}
+
+TEST(Rng, LogNormalMedian) {
+  Rng rng(23);
+  std::vector<double> draws;
+  for (int i = 0; i < 30000; ++i) draws.push_back(rng.LogNormal(3.0, 0.5));
+  EXPECT_NEAR(Quantile(draws, 0.5), std::exp(3.0), std::exp(3.0) * 0.03);
+}
+
+TEST(Rng, WeightedChoiceFrequencies) {
+  Rng rng(24);
+  const std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  constexpr int kDraws = 60000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.WeightedChoice(weights)];
+  }
+  EXPECT_NEAR(counts[0] / double(kDraws), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / double(kDraws), 0.3, 0.012);
+  EXPECT_NEAR(counts[2] / double(kDraws), 0.6, 0.012);
+}
+
+TEST(Rng, WeightedChoiceZeroWeightNeverPicked) {
+  Rng rng(25);
+  const std::vector<double> weights = {0.0, 1.0};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(rng.WeightedChoice(weights), 1u);
+  }
+}
+
+TEST(Rng, WeightedChoiceRejectsDegenerateInput) {
+  Rng rng(25);
+  EXPECT_THROW(rng.WeightedChoice({}), ContractViolation);
+  EXPECT_THROW(rng.WeightedChoice({0.0, 0.0}), ContractViolation);
+  EXPECT_THROW(rng.WeightedChoice({-1.0, 2.0}), ContractViolation);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(26);
+  std::vector<int> values(100);
+  for (int i = 0; i < 100; ++i) values[static_cast<std::size_t>(i)] = i;
+  std::vector<int> shuffled = values;
+  rng.Shuffle(shuffled);
+  EXPECT_NE(shuffled, values);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(Rng, ShuffleHandlesTinyInputs) {
+  Rng rng(27);
+  std::vector<int> empty;
+  rng.Shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {7};
+  rng.Shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{7});
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(28);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto sample = rng.SampleWithoutReplacement(50, 20);
+    ASSERT_EQ(sample.size(), 20u);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 20u);
+    for (std::size_t v : sample) EXPECT_LT(v, 50u);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementEdgeCases) {
+  Rng rng(29);
+  EXPECT_TRUE(rng.SampleWithoutReplacement(10, 0).empty());
+  const auto all = rng.SampleWithoutReplacement(8, 8);
+  std::set<std::size_t> unique(all.begin(), all.end());
+  EXPECT_EQ(unique.size(), 8u);
+  EXPECT_THROW(rng.SampleWithoutReplacement(3, 4), ContractViolation);
+}
+
+TEST(Rng, SampleWithoutReplacementIsUnbiased) {
+  Rng rng(30);
+  std::vector<int> counts(10, 0);
+  constexpr int kTrials = 20000;
+  for (int t = 0; t < kTrials; ++t) {
+    for (std::size_t v : rng.SampleWithoutReplacement(10, 3)) {
+      ++counts[v];
+    }
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c / double(kTrials), 0.3, 0.02);
+  }
+}
+
+TEST(SplitMix64, IsDeterministicAndMixes) {
+  std::uint64_t s1 = 42, s2 = 42;
+  EXPECT_EQ(SplitMix64(s1), SplitMix64(s2));
+  std::uint64_t s3 = 42;
+  const std::uint64_t a = SplitMix64(s3);
+  const std::uint64_t b = SplitMix64(s3);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace cordial

@@ -1,0 +1,199 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace cordial {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.Add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats s;
+  for (double v : values) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, n-1 = 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, StableUnderLargeOffsets) {
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.Add(1e9 + (i % 2));
+  EXPECT_NEAR(s.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(s.variance(), 0.25025, 1e-3);
+}
+
+TEST(Quantile, KnownValues) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile({5.0}, 0.7), 5.0);
+}
+
+TEST(Quantile, UnsortedInputIsSorted) {
+  EXPECT_DOUBLE_EQ(Quantile({9.0, 1.0, 5.0}, 0.5), 5.0);
+}
+
+TEST(Quantile, RejectsBadInput) {
+  EXPECT_THROW(Quantile({}, 0.5), ContractViolation);
+  EXPECT_THROW(Quantile({1.0}, 1.5), ContractViolation);
+  EXPECT_THROW(Quantile({1.0}, -0.1), ContractViolation);
+}
+
+TEST(ChiSquare, StatisticHandComputed) {
+  // Observed 60/40 vs expected 50/50: (10^2/50)*2 = 4.
+  EXPECT_NEAR(ChiSquareStatistic({60.0, 40.0}, {50.0, 50.0}), 4.0, 1e-12);
+}
+
+TEST(ChiSquare, ZeroExpectationRequiresZeroObserved) {
+  EXPECT_NEAR(ChiSquareStatistic({0.0, 10.0}, {0.0, 10.0}), 0.0, 1e-12);
+  EXPECT_THROW(ChiSquareStatistic({1.0, 9.0}, {0.0, 10.0}), ContractViolation);
+}
+
+TEST(ChiSquare, SizeMismatchThrows) {
+  EXPECT_THROW(ChiSquareStatistic({1.0}, {1.0, 2.0}), ContractViolation);
+}
+
+TEST(ChiSquare2x2, HandComputed) {
+  // Classic example: [[10, 20], [30, 40]]:
+  // n=100, num=10*40-20*30=-200, chi2 = 100*200^2/(30*70*40*60) = 0.7936...
+  EXPECT_NEAR(ChiSquare2x2(10, 20, 30, 40), 100.0 * 200.0 * 200.0 /
+                                                (30.0 * 70.0 * 40.0 * 60.0),
+              1e-12);
+}
+
+TEST(ChiSquare2x2, IndependentTableIsZero) {
+  // Perfectly proportional rows -> statistic 0.
+  EXPECT_NEAR(ChiSquare2x2(10, 20, 30, 60), 0.0, 1e-12);
+}
+
+TEST(ChiSquare2x2, DegenerateMarginalsAreZero) {
+  EXPECT_EQ(ChiSquare2x2(0, 0, 5, 5), 0.0);
+  EXPECT_EQ(ChiSquare2x2(5, 0, 5, 0), 0.0);
+  EXPECT_THROW(ChiSquare2x2(0, 0, 0, 0), ContractViolation);
+}
+
+TEST(LogGamma, MatchesFactorials) {
+  // Gamma(n) = (n-1)!
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-10);
+  EXPECT_NEAR(LogGamma(2.0), 0.0, 1e-10);
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(LogGamma(11.0), std::log(3628800.0), 1e-8);
+}
+
+TEST(LogGamma, HalfIntegerIdentity) {
+  // Gamma(0.5) = sqrt(pi).
+  EXPECT_NEAR(LogGamma(0.5), 0.5 * std::log(3.14159265358979323846), 1e-10);
+}
+
+TEST(RegularizedGammaP, BoundaryBehaviour) {
+  EXPECT_EQ(RegularizedGammaP(2.0, 0.0), 0.0);
+  EXPECT_NEAR(RegularizedGammaP(1.0, 50.0), 1.0, 1e-12);
+  // P(1, x) = 1 - exp(-x).
+  EXPECT_NEAR(RegularizedGammaP(1.0, 1.0), 1.0 - std::exp(-1.0), 1e-10);
+}
+
+struct PValueCase {
+  double statistic;
+  double dof;
+  double expected;
+};
+
+class ChiSquarePValueTest : public ::testing::TestWithParam<PValueCase> {};
+
+TEST_P(ChiSquarePValueTest, MatchesReferenceTables) {
+  const PValueCase c = GetParam();
+  EXPECT_NEAR(ChiSquarePValue(c.statistic, c.dof), c.expected, 2e-4);
+}
+
+// Reference values from standard chi-square tables.
+INSTANTIATE_TEST_SUITE_P(
+    Table, ChiSquarePValueTest,
+    ::testing::Values(PValueCase{3.841, 1.0, 0.05}, PValueCase{6.635, 1.0, 0.01},
+                      PValueCase{5.991, 2.0, 0.05}, PValueCase{0.0, 1.0, 1.0},
+                      PValueCase{18.307, 10.0, 0.05},
+                      PValueCase{2.706, 1.0, 0.10}));
+
+TEST(ChiSquarePValue, MonotoneDecreasingInStatistic) {
+  double prev = 1.0;
+  for (double stat = 0.0; stat <= 30.0; stat += 1.5) {
+    const double p = ChiSquarePValue(stat, 3.0);
+    EXPECT_LE(p, prev + 1e-12);
+    prev = p;
+  }
+}
+
+TEST(ChiSquarePValue, RejectsBadInput) {
+  EXPECT_THROW(ChiSquarePValue(1.0, 0.0), ContractViolation);
+  EXPECT_THROW(ChiSquarePValue(-1.0, 1.0), ContractViolation);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(0.5);   // bin 0
+  h.Add(9.5);   // bin 4
+  h.Add(-3.0);  // clamped into bin 0
+  h.Add(42.0);  // clamped into bin 4
+  h.Add(5.0);   // bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[2], 1u);
+  EXPECT_EQ(h.counts()[4], 2u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), ContractViolation);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractViolation);
+}
+
+TEST(ChiSquare, PowerDetectsSkewedSample) {
+  // A skewed die should produce a large statistic vs a fair expectation.
+  Rng rng(31);
+  std::vector<double> observed(6, 0.0);
+  for (int i = 0; i < 6000; ++i) {
+    const std::size_t face = rng.Bernoulli(0.5)
+                                 ? 0
+                                 : 1 + rng.UniformU64(5);
+    observed[face] += 1.0;
+  }
+  const std::vector<double> expected(6, 1000.0);
+  const double stat = ChiSquareStatistic(observed, expected);
+  EXPECT_LT(ChiSquarePValue(stat, 5.0), 1e-6);
+}
+
+}  // namespace
+}  // namespace cordial

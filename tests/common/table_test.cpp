@@ -1,0 +1,73 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace cordial {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"Name", "Value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"beta", "22"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("Name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TextTable, TitleAppearsFirst) {
+  TextTable t({"A"});
+  t.AddRow({"x"});
+  const std::string out = t.Render("My Title");
+  EXPECT_EQ(out.rfind("My Title", 0), 0u);
+}
+
+TEST(TextTable, AllLinesSameWidth) {
+  TextTable t({"Col", "Another Column"});
+  t.AddRow({"a-very-long-cell-value", "1"});
+  t.AddRow({"b", "123456"});
+  t.AddSeparator();
+  t.AddRow({"c", "2"});
+  std::istringstream in(t.Render("T"));
+  std::string line;
+  std::getline(in, line);  // title
+  std::size_t width = 0;
+  while (std::getline(in, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(TextTable, RejectsMismatchedRowWidth) {
+  TextTable t({"A", "B"});
+  EXPECT_THROW(t.AddRow({"only-one"}), ContractViolation);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), ContractViolation);
+}
+
+TEST(TextTable, NumericCellsRightAligned) {
+  TextTable t({"Name", "Count"});
+  t.AddRow({"x", "7"});
+  const std::string out = t.Render();
+  // The numeric cell is padded on the left: "|     7 |" style.
+  EXPECT_NE(out.find(" 7 |"), std::string::npos);
+}
+
+TEST(TextTable, FormatDouble) {
+  EXPECT_EQ(TextTable::FormatDouble(1.23456, 3), "1.235");
+  EXPECT_EQ(TextTable::FormatDouble(2.0, 1), "2.0");
+  EXPECT_EQ(TextTable::FormatDouble(-0.5, 2), "-0.50");
+}
+
+TEST(TextTable, FormatPercent) {
+  EXPECT_EQ(TextTable::FormatPercent(0.1958), "19.58%");
+  EXPECT_EQ(TextTable::FormatPercent(1.0, 0), "100%");
+  EXPECT_EQ(TextTable::FormatPercent(0.04386, 2), "4.39%");
+}
+
+}  // namespace
+}  // namespace cordial

@@ -1,0 +1,248 @@
+#include "core/crossrow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace cordial::core {
+namespace {
+
+using hbm::ErrorType;
+
+trace::MceRecord Make(double t, std::uint32_t row, ErrorType type) {
+  trace::MceRecord r;
+  r.time_s = t;
+  r.address.row = row;
+  r.type = type;
+  return r;
+}
+
+trace::BankHistory MakeBank(std::vector<trace::MceRecord> events,
+                            std::uint64_t key = 0) {
+  trace::BankHistory bank;
+  bank.bank_key = key;
+  std::sort(events.begin(), events.end());
+  bank.events = std::move(events);
+  return bank;
+}
+
+class CrossRowTest : public ::testing::Test {
+ protected:
+  hbm::TopologyConfig topology_;
+  CrossRowPredictor predictor_{topology_, ml::LearnerKind::kRandomForest};
+};
+
+TEST_F(CrossRowTest, AnchorsStartAtTriggerOrdinal) {
+  const auto bank = MakeBank({
+      Make(1, 100, ErrorType::kUer),
+      Make(2, 110, ErrorType::kUer),
+      Make(3, 120, ErrorType::kUer),
+      Make(4, 130, ErrorType::kUer),
+  });
+  const auto anchors = predictor_.AnchorsOf(bank);
+  ASSERT_EQ(anchors.size(), 2u);
+  EXPECT_EQ(anchors[0].row, 120u);
+  EXPECT_EQ(anchors[0].uer_ordinal, 3u);
+  EXPECT_EQ(anchors[1].row, 130u);
+}
+
+TEST_F(CrossRowTest, AnchorsSkipConsecutiveRepeatRows) {
+  const auto bank = MakeBank({
+      Make(1, 100, ErrorType::kUer),
+      Make(2, 110, ErrorType::kUer),
+      Make(3, 120, ErrorType::kUer),
+      Make(4, 120, ErrorType::kUer),  // repeat of current anchor row
+      Make(5, 140, ErrorType::kUer),
+  });
+  const auto anchors = predictor_.AnchorsOf(bank);
+  ASSERT_EQ(anchors.size(), 2u);
+  EXPECT_EQ(anchors[0].row, 120u);
+  EXPECT_EQ(anchors[1].row, 140u);
+}
+
+TEST_F(CrossRowTest, AnchorsRespectCap) {
+  std::vector<trace::MceRecord> events;
+  for (int i = 0; i < 30; ++i) {
+    events.push_back(Make(i, static_cast<std::uint32_t>(1000 + i * 16),
+                          ErrorType::kUer));
+  }
+  const auto anchors = predictor_.AnchorsOf(MakeBank(std::move(events)));
+  EXPECT_EQ(anchors.size(), predictor_.config().max_anchors_per_bank);
+}
+
+TEST_F(CrossRowTest, BanksBelowTriggerHaveNoAnchors) {
+  const auto bank = MakeBank({
+      Make(1, 100, ErrorType::kUer),
+      Make(2, 110, ErrorType::kUer),
+  });
+  EXPECT_TRUE(predictor_.AnchorsOf(bank).empty());
+}
+
+TEST_F(CrossRowTest, FirstFailuresAreDistinctRowsInTimeOrder) {
+  const auto bank = MakeBank({
+      Make(1, 100, ErrorType::kUer),
+      Make(2, 200, ErrorType::kUer),
+      Make(3, 100, ErrorType::kUer),  // repeat
+      Make(4, 300, ErrorType::kUer),
+      Make(5, 50, ErrorType::kCe),
+  });
+  const auto firsts = CrossRowPredictor::FirstFailures(bank);
+  ASSERT_EQ(firsts.size(), 3u);
+  EXPECT_EQ(firsts[0], (std::pair<std::uint32_t, double>{100, 1.0}));
+  EXPECT_EQ(firsts[1], (std::pair<std::uint32_t, double>{200, 2.0}));
+  EXPECT_EQ(firsts[2], (std::pair<std::uint32_t, double>{300, 4.0}));
+}
+
+TEST_F(CrossRowTest, BlockTruthMarksOnlyFutureFirstFailures) {
+  const auto bank = MakeBank({
+      Make(1, 1000, ErrorType::kUer),
+      Make(2, 1010, ErrorType::kUer),
+      Make(3, 1020, ErrorType::kUer),
+      Make(4, 1030, ErrorType::kUer),  // future, within window of 1020
+      Make(5, 1010, ErrorType::kUer),  // repeat: NOT a future first failure
+      Make(6, 20000, ErrorType::kUer),  // far outside the window
+  });
+  const Anchor anchor{3.0, 1020, 3};
+  const auto truth = predictor_.BlockTruth(bank, anchor);
+  const BlockWindow window = predictor_.extractor().WindowAt(1020);
+  int positives = 0;
+  for (std::size_t b = 0; b < truth.size(); ++b) positives += truth[b];
+  EXPECT_EQ(positives, 1);
+  const auto block_of_1030 = window.BlockOf(1030);
+  ASSERT_TRUE(block_of_1030.has_value());
+  EXPECT_EQ(truth[*block_of_1030], 1);
+}
+
+TEST_F(CrossRowTest, BuildDatasetOneRowPerInBankBlock) {
+  const auto bank = MakeBank({
+      Make(1, 1000, ErrorType::kUer),
+      Make(2, 1016, ErrorType::kUer),
+      Make(3, 1032, ErrorType::kUer),
+  });
+  const ml::Dataset data = predictor_.BuildDataset({&bank});
+  // One anchor (3rd UER), all 16 blocks inside the bank.
+  EXPECT_EQ(data.size(), 16u);
+  EXPECT_EQ(data.num_features(), predictor_.extractor().num_features());
+}
+
+TEST_F(CrossRowTest, BuildDatasetSkipsOutOfBankBlocks) {
+  const auto bank = MakeBank({
+      Make(1, 4, ErrorType::kUer),
+      Make(2, 8, ErrorType::kUer),
+      Make(3, 12, ErrorType::kUer),  // anchor near row 0: window clipped
+  });
+  const ml::Dataset data = predictor_.BuildDataset({&bank});
+  EXPECT_LT(data.size(), 16u);
+  EXPECT_GT(data.size(), 4u);
+}
+
+TEST_F(CrossRowTest, TrainPredictEndToEnd) {
+  // Synthesize banks with a strict pattern: rows at stride 32 ascending,
+  // so the next row is always +32 from the anchor.
+  std::vector<trace::BankHistory> banks;
+  std::vector<const trace::BankHistory*> pointers;
+  Rng rng(3);
+  for (int b = 0; b < 60; ++b) {
+    std::vector<trace::MceRecord> events;
+    const auto base = static_cast<std::uint32_t>(2000 + rng.UniformU64(20000));
+    for (int i = 0; i < 6; ++i) {
+      events.push_back(Make(i * 100.0,
+                            base + static_cast<std::uint32_t>(i) * 32,
+                            ErrorType::kUer));
+    }
+    banks.push_back(MakeBank(std::move(events), static_cast<std::uint64_t>(b)));
+  }
+  for (const auto& bank : banks) pointers.push_back(&bank);
+
+  CrossRowPredictor predictor(topology_, ml::LearnerKind::kRandomForest);
+  Rng fit_rng(4);
+  predictor.Train(pointers, fit_rng);
+  EXPECT_TRUE(predictor.trained());
+
+  // On a fresh bank with the same pattern, the +32 block must be hot.
+  const auto probe = MakeBank({
+      Make(1, 9000, ErrorType::kUer),
+      Make(2, 9032, ErrorType::kUer),
+      Make(3, 9064, ErrorType::kUer),
+  });
+  const Anchor anchor{3.0, 9064, 3};
+  const auto proba = predictor.PredictBlockProba(probe, anchor);
+  const BlockWindow window = predictor.extractor().WindowAt(9064);
+  const auto hot_block = window.BlockOf(9096);  // anchor + 32
+  ASSERT_TRUE(hot_block.has_value());
+  const double hot = proba[*hot_block];
+  // The +32 block must be among the strongest predictions.
+  const double max_proba = *std::max_element(proba.begin(), proba.end());
+  EXPECT_GT(hot, 0.5 * max_proba);
+  EXPECT_GT(max_proba, 0.3);
+}
+
+TEST_F(CrossRowTest, PredictionsAreProbabilitiesAndThresholded) {
+  std::vector<trace::BankHistory> banks;
+  Rng rng(5);
+  for (int b = 0; b < 20; ++b) {
+    std::vector<trace::MceRecord> events;
+    const auto base = static_cast<std::uint32_t>(2000 + rng.UniformU64(10000));
+    for (int i = 0; i < 5; ++i) {
+      events.push_back(Make(i, base + static_cast<std::uint32_t>(
+                                          rng.UniformU64(64)),
+                            ErrorType::kUer));
+    }
+    banks.push_back(MakeBank(std::move(events)));
+  }
+  std::vector<const trace::BankHistory*> pointers;
+  for (const auto& bank : banks) pointers.push_back(&bank);
+  CrossRowPredictor predictor(topology_, ml::LearnerKind::kLgbmStyle);
+  Rng fit_rng(6);
+  predictor.Train(pointers, fit_rng);
+
+  const auto& probe = banks.front();
+  const auto anchors = predictor.AnchorsOf(probe);
+  ASSERT_FALSE(anchors.empty());
+  const auto proba = predictor.PredictBlockProba(probe, anchors[0]);
+  const auto votes = predictor.PredictBlocks(probe, anchors[0]);
+  for (std::size_t b = 0; b < proba.size(); ++b) {
+    EXPECT_GE(proba[b], 0.0);
+    EXPECT_LE(proba[b], 1.0);
+    EXPECT_EQ(votes[b],
+              proba[b] >= predictor.config().positive_threshold ? 1 : 0);
+  }
+}
+
+TEST_F(CrossRowTest, UntrainedPredictThrows) {
+  const auto bank = MakeBank({Make(1, 100, ErrorType::kUer)});
+  EXPECT_THROW(predictor_.PredictBlockProba(bank, Anchor{1.0, 100, 1}),
+               ContractViolation);
+}
+
+TEST_F(CrossRowTest, TrainRejectsEmptyOrSingleClassData) {
+  Rng empty_rng(1);
+  EXPECT_THROW(predictor_.Train({}, empty_rng), ContractViolation);
+  // A bank whose anchors have no future rows: all labels negative.
+  const auto bank = MakeBank({
+      Make(1, 1000, ErrorType::kUer),
+      Make(2, 1016, ErrorType::kUer),
+      Make(3, 1032, ErrorType::kUer),
+  });
+  Rng rng(2);
+  CrossRowPredictor predictor(topology_, ml::LearnerKind::kRandomForest);
+  EXPECT_THROW(predictor.Train({&bank}, rng), ContractViolation);
+}
+
+TEST_F(CrossRowTest, ConfigValidation) {
+  CrossRowConfig bad;
+  bad.trigger_uers = 0;
+  EXPECT_THROW(
+      CrossRowPredictor(topology_, ml::LearnerKind::kRandomForest, bad),
+      ContractViolation);
+  CrossRowConfig bad_threshold;
+  bad_threshold.positive_threshold = 1.0;
+  EXPECT_THROW(CrossRowPredictor(topology_, ml::LearnerKind::kRandomForest,
+                                 bad_threshold),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace cordial::core

@@ -1,0 +1,326 @@
+#include "core/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.hpp"
+
+namespace cordial::core {
+namespace {
+
+using hbm::ErrorType;
+
+trace::MceRecord Make(double t, std::uint32_t row, ErrorType type,
+                      std::uint32_t col = 0) {
+  trace::MceRecord r;
+  r.time_s = t;
+  r.address.row = row;
+  r.address.col = col;
+  r.type = type;
+  return r;
+}
+
+trace::BankHistory MakeBank(std::vector<trace::MceRecord> events) {
+  trace::BankHistory bank;
+  std::sort(events.begin(), events.end());
+  bank.events = std::move(events);
+  return bank;
+}
+
+// ------------------------------------------------------------ truncation
+
+TEST(TruncateAtUer, KeepsEventsUpToThirdUer) {
+  const auto bank = MakeBank({
+      Make(1, 10, ErrorType::kCe),
+      Make(2, 11, ErrorType::kUer),
+      Make(3, 12, ErrorType::kCe),
+      Make(4, 13, ErrorType::kUer),
+      Make(5, 14, ErrorType::kUeo),
+      Make(6, 15, ErrorType::kUer),   // 3rd UER -> cutoff
+      Make(7, 16, ErrorType::kCe),    // after cutoff
+      Make(8, 17, ErrorType::kUer),   // 4th UER
+  });
+  const TruncatedHistory view = TruncateAtUer(bank, 3);
+  EXPECT_DOUBLE_EQ(view.cutoff_s, 6.0);
+  EXPECT_EQ(view.uer_count, 3u);
+  EXPECT_EQ(view.events.size(), 6u);
+  for (const auto& e : view.events) EXPECT_LE(e.time_s, 6.0);
+}
+
+TEST(TruncateAtUer, BankWithFewerUersKeepsAll) {
+  const auto bank = MakeBank({Make(1, 1, ErrorType::kCe),
+                              Make(2, 2, ErrorType::kUer),
+                              Make(3, 3, ErrorType::kCe)});
+  const TruncatedHistory view = TruncateAtUer(bank, 3);
+  EXPECT_DOUBLE_EQ(view.cutoff_s, 2.0);
+  EXPECT_EQ(view.uer_count, 1u);
+  EXPECT_EQ(view.events.size(), 2u);  // trailing CE excluded
+}
+
+TEST(TruncateAtUer, RequiresAtLeastOneUer) {
+  const auto bank = MakeBank({Make(1, 1, ErrorType::kCe)});
+  EXPECT_THROW(TruncateAtUer(bank, 3), ContractViolation);
+  EXPECT_THROW(TruncateAtUer(MakeBank({Make(1, 1, ErrorType::kUer)}), 0),
+               ContractViolation);
+}
+
+// ----------------------------------------------------------- stride
+
+TEST(EstimateRowStride, FindsMinimumGapAboveFloor) {
+  EXPECT_EQ(EstimateRowStride({100, 132, 164}), 32u);
+  EXPECT_EQ(EstimateRowStride({100, 102, 164}), 62u);  // 2 ignored (adjacency)
+  EXPECT_EQ(EstimateRowStride({100, 101, 102}), 0u);   // all micro-adjacent
+  EXPECT_EQ(EstimateRowStride({500}), 0u);
+  EXPECT_EQ(EstimateRowStride({}), 0u);
+  EXPECT_EQ(EstimateRowStride({10, 26, 74}), 16u);
+}
+
+// ----------------------------------------------- classification features
+
+class ClassificationFeatureTest : public ::testing::Test {
+ protected:
+  hbm::TopologyConfig topology_;
+  ClassificationFeatureExtractor extractor_{topology_, 3};
+
+  std::map<std::string, double> Named(const trace::BankHistory& bank) {
+    const auto values = extractor_.Extract(bank);
+    std::map<std::string, double> named;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      named[extractor_.feature_names()[i]] = values[i];
+    }
+    return named;
+  }
+};
+
+TEST_F(ClassificationFeatureTest, ArityMatchesNames) {
+  const auto bank = MakeBank({Make(1, 5, ErrorType::kUer)});
+  EXPECT_EQ(extractor_.Extract(bank).size(), extractor_.num_features());
+  EXPECT_GE(extractor_.num_features(), 25u);
+}
+
+TEST_F(ClassificationFeatureTest, SpatialFeaturesHandComputed) {
+  const auto bank = MakeBank({
+      Make(1, 100, ErrorType::kCe),
+      Make(2, 300, ErrorType::kCe),
+      Make(3, 1000, ErrorType::kUer),
+      Make(4, 1100, ErrorType::kUer),
+      Make(5, 1040, ErrorType::kUer),
+  });
+  const auto f = Named(bank);
+  EXPECT_DOUBLE_EQ(f.at("ce_row_min"), 100.0);
+  EXPECT_DOUBLE_EQ(f.at("ce_row_max"), 300.0);
+  EXPECT_DOUBLE_EQ(f.at("uer_row_min"), 1000.0);
+  EXPECT_DOUBLE_EQ(f.at("uer_row_max"), 1100.0);
+  EXPECT_DOUBLE_EQ(f.at("uer_row_span"), 100.0);
+  // Consecutive UER row diffs: |1100-1000|=100, |1040-1100|=60.
+  EXPECT_DOUBLE_EQ(f.at("uer_row_diff_min"), 60.0);
+  EXPECT_DOUBLE_EQ(f.at("uer_row_diff_max"), 100.0);
+  EXPECT_DOUBLE_EQ(f.at("uer_row_diff_avg"), 80.0);
+  EXPECT_DOUBLE_EQ(f.at("uer_distinct_rows"), 3.0);
+  // No UEOs: sentinel.
+  EXPECT_DOUBLE_EQ(f.at("ueo_row_min"), kMissing);
+  EXPECT_DOUBLE_EQ(f.at("ueo_dt_min"), kMissing);
+}
+
+TEST_F(ClassificationFeatureTest, TemporalAndCountFeatures) {
+  const auto bank = MakeBank({
+      Make(10, 100, ErrorType::kCe),
+      Make(30, 101, ErrorType::kCe),
+      Make(70, 102, ErrorType::kCe),
+      Make(100, 200, ErrorType::kUer),
+      Make(160, 201, ErrorType::kUer),
+  });
+  const auto f = Named(bank);
+  // CE inter-arrivals: 20, 40.
+  EXPECT_DOUBLE_EQ(f.at("ce_dt_min"), 20.0);
+  EXPECT_DOUBLE_EQ(f.at("ce_dt_max"), 40.0);
+  EXPECT_DOUBLE_EQ(f.at("ce_dt_avg"), 30.0);
+  EXPECT_DOUBLE_EQ(f.at("uer_dt_min"), 60.0);
+  EXPECT_DOUBLE_EQ(f.at("uer_time_span"), 60.0);
+  EXPECT_DOUBLE_EQ(f.at("ce_count_before_first_uer"), 3.0);
+  EXPECT_DOUBLE_EQ(f.at("ueo_count_before_first_uer"), 0.0);
+  EXPECT_DOUBLE_EQ(f.at("ce_count_total"), 3.0);
+}
+
+TEST_F(ClassificationFeatureTest, OnlyFirstThreeUersAreUsed) {
+  const auto bank = MakeBank({
+      Make(1, 100, ErrorType::kUer),
+      Make(2, 110, ErrorType::kUer),
+      Make(3, 120, ErrorType::kUer),
+      Make(4, 30000, ErrorType::kUer),  // beyond the truncation
+  });
+  const auto f = Named(bank);
+  EXPECT_DOUBLE_EQ(f.at("uer_row_max"), 120.0);
+  EXPECT_DOUBLE_EQ(f.at("uer_row_span"), 20.0);
+}
+
+TEST_F(ClassificationFeatureTest, HalfAliasGapDetectsAliasing) {
+  const std::uint32_t half = topology_.rows_per_bank / 2;
+  const auto aliased = MakeBank({
+      Make(1, 1000, ErrorType::kUer),
+      Make(2, 1000 + half, ErrorType::kUer),
+      Make(3, 1010, ErrorType::kUer),
+  });
+  EXPECT_NEAR(Named(aliased).at("uer_half_alias_gap"), 0.0, 10.0);
+
+  const auto tight = MakeBank({
+      Make(1, 1000, ErrorType::kUer),
+      Make(2, 1010, ErrorType::kUer),
+  });
+  // Distance 10 vs half ~16384: gap is huge.
+  EXPECT_GT(Named(tight).at("uer_half_alias_gap"), 16000.0);
+}
+
+TEST_F(ClassificationFeatureTest, CesAfterCutoffAreExcluded) {
+  const auto bank = MakeBank({
+      Make(1, 100, ErrorType::kUer),
+      Make(2, 110, ErrorType::kUer),
+      Make(3, 120, ErrorType::kUer),
+      Make(4, 50, ErrorType::kCe),  // after the 3rd UER
+  });
+  EXPECT_DOUBLE_EQ(Named(bank).at("ce_count_total"), 0.0);
+}
+
+// ------------------------------------------------------------ block window
+
+TEST(BlockWindow, GeometryCentersOnAnchor) {
+  BlockWindow w{/*anchor_row=*/1000, /*block_size=*/8, /*n_blocks=*/16,
+                /*rows_per_bank=*/32768};
+  EXPECT_EQ(w.radius(), 64u);
+  EXPECT_EQ(w.WindowStart(), 936);
+  const auto first = w.BlockRange(0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->first, 936u);
+  EXPECT_EQ(first->second, 943u);
+  const auto last = w.BlockRange(15);
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->second, 1063u);
+}
+
+TEST(BlockWindow, BlockOfMapsRowsToBlocks) {
+  BlockWindow w{1000, 8, 16, 32768};
+  EXPECT_EQ(w.BlockOf(936), 0u);
+  EXPECT_EQ(w.BlockOf(943), 0u);
+  EXPECT_EQ(w.BlockOf(944), 1u);
+  EXPECT_EQ(w.BlockOf(1000), 8u);
+  EXPECT_EQ(w.BlockOf(1063), 15u);
+  EXPECT_EQ(w.BlockOf(1064), std::nullopt);
+  EXPECT_EQ(w.BlockOf(935), std::nullopt);
+}
+
+TEST(BlockWindow, ClipsAtBankStart) {
+  BlockWindow w{10, 8, 16, 32768};  // window start = -54
+  EXPECT_FALSE(w.BlockRange(0).has_value());   // entirely below row 0
+  const auto partial = w.BlockRange(6);        // covers [-6, 1] -> [0, 1]
+  ASSERT_TRUE(partial.has_value());
+  EXPECT_EQ(partial->first, 0u);
+  EXPECT_EQ(partial->second, 1u);
+  ASSERT_TRUE(w.BlockRange(8).has_value());
+}
+
+TEST(BlockWindow, ClipsAtBankEnd) {
+  BlockWindow w{32760, 8, 16, 32768};
+  const auto last = w.BlockRange(15);
+  EXPECT_FALSE(last.has_value());
+  const auto mid = w.BlockRange(8);  // [32760, 32767]
+  ASSERT_TRUE(mid.has_value());
+  EXPECT_EQ(mid->second, 32767u);
+}
+
+// ---------------------------------------------------- cross-row features
+
+class CrossRowFeatureTest : public ::testing::Test {
+ protected:
+  hbm::TopologyConfig topology_;
+  CrossRowFeatureExtractor extractor_{topology_, 8, 16};
+
+  std::map<std::string, double> Named(const trace::BankHistory& bank,
+                                      double t, std::uint32_t anchor,
+                                      std::size_t block) {
+    const auto values = extractor_.Extract(bank, t, anchor, block);
+    std::map<std::string, double> named;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      named[extractor_.feature_names()[i]] = values[i];
+    }
+    return named;
+  }
+};
+
+TEST_F(CrossRowFeatureTest, GeometryFeatures) {
+  const auto bank = MakeBank({Make(1, 1000, ErrorType::kUer)});
+  const auto f = Named(bank, 1.0, 1000, 8);
+  EXPECT_DOUBLE_EQ(f.at("block_index"), 8.0);
+  // Block 8 covers [1000, 1007]; center 1003.5; offset +3.5.
+  EXPECT_DOUBLE_EQ(f.at("block_center_offset"), 3.5);
+  EXPECT_DOUBLE_EQ(f.at("block_abs_offset"), 3.5);
+  EXPECT_DOUBLE_EQ(f.at("uer_count"), 1.0);
+  EXPECT_DOUBLE_EQ(f.at("nearest_uer_row_dist"), 3.5);
+}
+
+TEST_F(CrossRowFeatureTest, EventsAfterAnchorAreInvisible) {
+  const auto bank = MakeBank({
+      Make(1, 1000, ErrorType::kUer),
+      Make(5, 1016, ErrorType::kUer),  // future
+  });
+  const auto f = Named(bank, 1.0, 1000, 8);
+  EXPECT_DOUBLE_EQ(f.at("uer_count"), 1.0);
+  const auto later = Named(bank, 5.0, 1016, 8);
+  EXPECT_DOUBLE_EQ(later.at("uer_count"), 2.0);
+}
+
+TEST_F(CrossRowFeatureTest, CountsRowsInsideBlock) {
+  const auto bank = MakeBank({
+      Make(1, 1000, ErrorType::kUer),
+      Make(2, 1002, ErrorType::kCe),
+      Make(3, 1005, ErrorType::kCe),
+      Make(4, 900, ErrorType::kCe),
+  });
+  // Block 8 of a window anchored at 1000 covers [1000, 1007].
+  const auto f = Named(bank, 4.0, 1000, 8);
+  EXPECT_DOUBLE_EQ(f.at("ce_rows_in_block"), 2.0);
+  EXPECT_DOUBLE_EQ(f.at("uer_rows_in_block"), 1.0);
+  EXPECT_DOUBLE_EQ(f.at("ce_count"), 3.0);
+}
+
+TEST_F(CrossRowFeatureTest, StrideFeaturesExposeStripGeometry) {
+  const auto bank = MakeBank({
+      Make(1, 1000, ErrorType::kUer),
+      Make(2, 1032, ErrorType::kUer),
+      Make(3, 1064, ErrorType::kUer),
+  });
+  // Anchor at the latest row; the strip stride is 32.
+  const auto f = Named(bank, 3.0, 1064, 12);  // block 12 covers [1096,1103]
+  EXPECT_DOUBLE_EQ(f.at("est_stride"), 32.0);
+  // Block center 1099.5; nearest prior UER row 1064 -> dist 35.5; fold
+  // 35.5 mod 32 = 3.5.
+  EXPECT_DOUBLE_EQ(f.at("block_offset_fold_stride"), 3.5);
+}
+
+TEST_F(CrossRowFeatureTest, TemporalFeatures) {
+  const auto bank = MakeBank({
+      Make(10, 1000, ErrorType::kUer),
+      Make(25, 1032, ErrorType::kUer),
+  });
+  const auto f = Named(bank, 25.0, 1032, 0);
+  EXPECT_DOUBLE_EQ(f.at("uer_dt_min"), 15.0);
+  EXPECT_DOUBLE_EQ(f.at("time_since_last_event"), 0.0);
+  EXPECT_DOUBLE_EQ(f.at("time_since_first_uer"), 15.0);
+}
+
+TEST_F(CrossRowFeatureTest, RequiresPriorUerAndValidBlock) {
+  const auto no_uer = MakeBank({Make(1, 5, ErrorType::kCe)});
+  EXPECT_THROW(extractor_.Extract(no_uer, 2.0, 5, 0), ContractViolation);
+  const auto bank = MakeBank({Make(1, 5, ErrorType::kUer)});
+  // Anchor at row 5: low blocks fall outside the bank.
+  EXPECT_THROW(extractor_.Extract(bank, 2.0, 5, 0), ContractViolation);
+}
+
+TEST_F(CrossRowFeatureTest, RejectsOddWindowConfig) {
+  EXPECT_THROW(CrossRowFeatureExtractor(topology_, 8, 15), ContractViolation);
+  EXPECT_THROW(CrossRowFeatureExtractor(topology_, 0, 16), ContractViolation);
+}
+
+}  // namespace
+}  // namespace cordial::core

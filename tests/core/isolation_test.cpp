@@ -1,0 +1,191 @@
+#include "core/isolation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace cordial::core {
+namespace {
+
+using hbm::ErrorType;
+
+trace::MceRecord Make(double t, std::uint32_t row, ErrorType type) {
+  trace::MceRecord r;
+  r.time_s = t;
+  r.address.row = row;
+  r.type = type;
+  return r;
+}
+
+trace::BankHistory MakeBank(std::vector<trace::MceRecord> events,
+                            std::uint64_t key = 1) {
+  trace::BankHistory bank;
+  bank.bank_key = key;
+  std::sort(events.begin(), events.end());
+  bank.events = std::move(events);
+  return bank;
+}
+
+/// Scripted strategy: isolates a fixed set of rows when it sees the n-th
+/// event of a bank.
+class ScriptedStrategy final : public IsolationStrategy {
+ public:
+  ScriptedStrategy(std::size_t after_event, std::vector<std::uint32_t> rows)
+      : after_event_(after_event), rows_(std::move(rows)) {}
+
+  void OnBankStart(const trace::BankHistory&) override { seen_ = 0; }
+  void OnEvent(const trace::BankHistory& bank, std::size_t,
+               hbm::SparingLedger& ledger) override {
+    if (++seen_ == after_event_) {
+      for (std::uint32_t row : rows_) ledger.TrySpareRow(bank.bank_key, row);
+    }
+  }
+  const std::string& name() const override { return name_; }
+
+ private:
+  std::size_t after_event_;
+  std::vector<std::uint32_t> rows_;
+  std::size_t seen_ = 0;
+  std::string name_ = "scripted";
+};
+
+class IsolationTest : public ::testing::Test {
+ protected:
+  hbm::TopologyConfig topology_;
+  IcrEvaluator evaluator_{topology_};
+};
+
+TEST_F(IsolationTest, RowsIsolatedBeforeFailureCountAsCovered) {
+  const auto bank = MakeBank({
+      Make(1, 100, ErrorType::kUer),
+      Make(2, 200, ErrorType::kUer),
+      Make(3, 300, ErrorType::kUer),
+  });
+  // Isolate rows 200 and 300 right after the first event.
+  ScriptedStrategy strategy(1, {200, 300});
+  const IcrResult result = evaluator_.Evaluate({&bank}, strategy);
+  EXPECT_EQ(result.total_uer_rows, 3u);
+  EXPECT_EQ(result.covered_rows, 2u);
+  EXPECT_NEAR(result.Icr(), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(result.rows_spared, 2u);
+}
+
+TEST_F(IsolationTest, NoLookahead_IsolationAfterFailureDoesNotCount) {
+  const auto bank = MakeBank({
+      Make(1, 100, ErrorType::kUer),
+      Make(2, 200, ErrorType::kUer),
+  });
+  // Rows isolated only after the second event: too late for both.
+  ScriptedStrategy strategy(2, {100, 200});
+  const IcrResult result = evaluator_.Evaluate({&bank}, strategy);
+  EXPECT_EQ(result.covered_rows, 0u);
+}
+
+TEST_F(IsolationTest, RepeatUersCountOnce) {
+  const auto bank = MakeBank({
+      Make(1, 100, ErrorType::kUer),
+      Make(2, 100, ErrorType::kUer),
+      Make(3, 100, ErrorType::kUer),
+  });
+  ScriptedStrategy strategy(99, {});
+  const IcrResult result = evaluator_.Evaluate({&bank}, strategy);
+  EXPECT_EQ(result.total_uer_rows, 1u);
+}
+
+TEST_F(IsolationTest, PerBankStateIsReset) {
+  const auto bank_a = MakeBank({Make(1, 100, ErrorType::kUer),
+                                Make(2, 200, ErrorType::kUer)},
+                               1);
+  const auto bank_b = MakeBank({Make(1, 100, ErrorType::kUer),
+                                Make(2, 200, ErrorType::kUer)},
+                               2);
+  // Strategy fires after the first event of EACH bank (OnBankStart resets).
+  ScriptedStrategy strategy(1, {200});
+  const IcrResult result = evaluator_.Evaluate({&bank_a, &bank_b}, strategy);
+  EXPECT_EQ(result.covered_rows, 2u);
+  EXPECT_EQ(result.total_uer_rows, 4u);
+}
+
+TEST_F(IsolationTest, InRowStrategyCoversExactlyNonSuddenRows) {
+  const auto bank = MakeBank({
+      Make(1, 100, ErrorType::kCe),   // precursor for row 100
+      Make(2, 100, ErrorType::kUer),  // non-sudden -> covered
+      Make(3, 200, ErrorType::kUer),  // sudden -> not covered
+      Make(4, 300, ErrorType::kUeo),  // precursor for row 300
+      Make(5, 300, ErrorType::kUer),  // non-sudden -> covered
+  });
+  InRowStrategy strategy;
+  const IcrResult result = evaluator_.Evaluate({&bank}, strategy);
+  EXPECT_EQ(result.total_uer_rows, 3u);
+  EXPECT_EQ(result.covered_rows, 2u);
+}
+
+TEST_F(IsolationTest, NeighborRowsCoversAdjacentFailures) {
+  const auto bank = MakeBank({
+      Make(1, 100, ErrorType::kUer),
+      Make(2, 103, ErrorType::kUer),  // within +/-4 of 100 -> covered
+      Make(3, 120, ErrorType::kUer),  // too far -> not covered
+      Make(4, 118, ErrorType::kUer),  // within +/-4 of 120 -> covered
+  });
+  NeighborRowsStrategy strategy(4, topology_.rows_per_bank);
+  const IcrResult result = evaluator_.Evaluate({&bank}, strategy);
+  EXPECT_EQ(result.total_uer_rows, 4u);
+  EXPECT_EQ(result.covered_rows, 2u);
+}
+
+TEST_F(IsolationTest, NeighborRowsClampsAtBankEdges) {
+  const auto bank = MakeBank({
+      Make(1, 1, ErrorType::kUer),
+      Make(2, topology_.rows_per_bank - 2, ErrorType::kUer),
+  });
+  NeighborRowsStrategy strategy(4, topology_.rows_per_bank);
+  EXPECT_NO_THROW(evaluator_.Evaluate({&bank}, strategy));
+}
+
+TEST_F(IsolationTest, BankSpareCoverageIsSeparated) {
+  // A strategy that bank-spares on first event.
+  class BankSpareStrategy final : public IsolationStrategy {
+   public:
+    void OnBankStart(const trace::BankHistory&) override {}
+    void OnEvent(const trace::BankHistory& bank, std::size_t,
+                 hbm::SparingLedger& ledger) override {
+      ledger.TrySpareBank(bank.bank_key);
+    }
+    const std::string& name() const override { return name_; }
+    std::string name_ = "bank-spare";
+  };
+  const auto bank = MakeBank({
+      Make(1, 100, ErrorType::kUer),
+      Make(2, 200, ErrorType::kUer),
+      Make(3, 300, ErrorType::kUer),
+  });
+  BankSpareStrategy strategy;
+  const IcrResult result = evaluator_.Evaluate({&bank}, strategy);
+  EXPECT_EQ(result.covered_rows, 0u);             // not via row prediction
+  EXPECT_EQ(result.covered_by_bank_spare, 2u);    // rows 200 and 300
+  EXPECT_NEAR(result.Icr(), 0.0, 1e-12);
+  EXPECT_NEAR(result.IcrWithBankSparing(), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(result.banks_spared, 1u);
+  EXPECT_GT(result.sparing_cost, 500.0);
+}
+
+TEST_F(IsolationTest, EmptyEvaluationIsZero) {
+  InRowStrategy strategy;
+  const IcrResult result = evaluator_.Evaluate({}, strategy);
+  EXPECT_EQ(result.total_uer_rows, 0u);
+  EXPECT_EQ(result.Icr(), 0.0);
+}
+
+TEST_F(IsolationTest, NullBankRejected) {
+  InRowStrategy strategy;
+  EXPECT_THROW(evaluator_.Evaluate({nullptr}, strategy), ContractViolation);
+}
+
+TEST_F(IsolationTest, NeighborRowsRejectsZeroAdjacency) {
+  EXPECT_THROW(NeighborRowsStrategy(0, 100), ContractViolation);
+}
+
+}  // namespace
+}  // namespace cordial::core

@@ -1,0 +1,126 @@
+#include "core/pattern_classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/labeler.hpp"
+#include "common/check.hpp"
+#include "trace/fleet.hpp"
+
+namespace cordial::core {
+namespace {
+
+class PatternClassifierTest : public ::testing::Test {
+ protected:
+  static const trace::GeneratedFleet& Fleet() {
+    static const trace::GeneratedFleet fleet = [] {
+      hbm::TopologyConfig topology;
+      trace::CalibrationProfile profile;
+      profile.scale = 0.2;
+      trace::FleetGenerator generator(topology, profile);
+      return generator.Generate(11);
+    }();
+    return fleet;
+  }
+
+  static const std::vector<trace::BankHistory>& Banks() {
+    static const std::vector<trace::BankHistory> banks = [] {
+      hbm::AddressCodec codec(Fleet().topology);
+      return Fleet().log.GroupByBank(codec);
+    }();
+    return banks;
+  }
+
+  std::vector<LabelledBank> LabelledBanks() {
+    analysis::PatternLabeler labeler(Fleet().topology);
+    std::vector<LabelledBank> out;
+    for (const auto& bank : Banks()) {
+      if (!bank.HasUer()) continue;
+      out.push_back(LabelledBank{&bank, labeler.LabelClass(bank)});
+    }
+    return out;
+  }
+};
+
+TEST_F(PatternClassifierTest, BuildDatasetShape) {
+  PatternClassifier classifier(Fleet().topology,
+                               ml::LearnerKind::kRandomForest);
+  const auto labelled = LabelledBanks();
+  const ml::Dataset data = classifier.BuildDataset(labelled);
+  EXPECT_EQ(data.size(), labelled.size());
+  EXPECT_EQ(data.num_features(), classifier.extractor().num_features());
+  EXPECT_EQ(data.num_classes(), hbm::kNumFailureClasses);
+}
+
+TEST_F(PatternClassifierTest, TrainedClassifierBeatsChanceByFar) {
+  const auto labelled = LabelledBanks();
+  ASSERT_GT(labelled.size(), 100u);
+  const std::size_t n_train = labelled.size() * 7 / 10;
+  std::vector<LabelledBank> train(labelled.begin(),
+                                  labelled.begin() + n_train);
+  std::vector<LabelledBank> test(labelled.begin() + n_train, labelled.end());
+
+  PatternClassifier classifier(Fleet().topology,
+                               ml::LearnerKind::kRandomForest);
+  Rng rng(1);
+  classifier.Train(train, rng);
+  const ml::ConfusionMatrix cm = classifier.Evaluate(test);
+  EXPECT_GT(cm.Accuracy(), 0.8);
+  EXPECT_GT(cm.WeightedAverage().f1, 0.8);
+}
+
+TEST_F(PatternClassifierTest, SingleRowClusteringIsTheEasiestClass) {
+  // Mirrors the paper's Table III finding.
+  const auto labelled = LabelledBanks();
+  const std::size_t n_train = labelled.size() * 7 / 10;
+  std::vector<LabelledBank> train(labelled.begin(),
+                                  labelled.begin() + n_train);
+  std::vector<LabelledBank> test(labelled.begin() + n_train, labelled.end());
+  PatternClassifier classifier(Fleet().topology,
+                               ml::LearnerKind::kRandomForest);
+  Rng rng(2);
+  classifier.Train(train, rng);
+  const ml::ConfusionMatrix cm = classifier.Evaluate(test);
+  const double single_f1 =
+      cm.Metrics(static_cast<int>(hbm::FailureClass::kSingleRowClustering)).f1;
+  const double double_f1 =
+      cm.Metrics(static_cast<int>(hbm::FailureClass::kDoubleRowClustering)).f1;
+  EXPECT_GT(single_f1, 0.9);
+  EXPECT_GE(single_f1, double_f1);
+}
+
+TEST_F(PatternClassifierTest, ClassifyProbaIsDistribution) {
+  const auto labelled = LabelledBanks();
+  PatternClassifier classifier(Fleet().topology, ml::LearnerKind::kLgbmStyle);
+  Rng rng(3);
+  classifier.Train(labelled, rng);
+  const auto proba = classifier.ClassifyProba(*labelled.front().bank);
+  ASSERT_EQ(proba.size(), 3u);
+  double total = 0.0;
+  for (double p : proba) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_F(PatternClassifierTest, UntrainedUseThrows) {
+  PatternClassifier classifier(Fleet().topology,
+                               ml::LearnerKind::kRandomForest);
+  EXPECT_FALSE(classifier.trained());
+  EXPECT_THROW(classifier.Classify(Banks().front()), ContractViolation);
+  EXPECT_THROW(classifier.Evaluate({}), ContractViolation);
+  Rng rng(4);
+  EXPECT_THROW(classifier.Train({}, rng), ContractViolation);
+}
+
+TEST_F(PatternClassifierTest, DeterministicGivenSeed) {
+  const auto labelled = LabelledBanks();
+  PatternClassifier a(Fleet().topology, ml::LearnerKind::kRandomForest);
+  PatternClassifier b(Fleet().topology, ml::LearnerKind::kRandomForest);
+  Rng ra(7), rb(7);
+  a.Train(labelled, ra);
+  b.Train(labelled, rb);
+  for (std::size_t i = 0; i < labelled.size(); i += 17) {
+    EXPECT_EQ(a.Classify(*labelled[i].bank), b.Classify(*labelled[i].bank));
+  }
+}
+
+}  // namespace
+}  // namespace cordial::core

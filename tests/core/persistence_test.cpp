@@ -1,0 +1,130 @@
+// Train-offline / deploy-online persistence at the Cordial level.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/labeler.hpp"
+#include "common/check.hpp"
+#include "core/crossrow.hpp"
+#include "core/pattern_classifier.hpp"
+#include "hbm/address.hpp"
+#include "trace/fleet.hpp"
+
+namespace cordial::core {
+namespace {
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  static const trace::GeneratedFleet& Fleet() {
+    static const trace::GeneratedFleet fleet = [] {
+      hbm::TopologyConfig topology;
+      trace::CalibrationProfile profile;
+      profile.scale = 0.1;
+      trace::FleetGenerator generator(topology, profile);
+      return generator.Generate(31);
+    }();
+    return fleet;
+  }
+
+  static const std::vector<trace::BankHistory>& Banks() {
+    static const std::vector<trace::BankHistory> banks = [] {
+      hbm::AddressCodec codec(Fleet().topology);
+      return Fleet().log.GroupByBank(codec);
+    }();
+    return banks;
+  }
+};
+
+TEST_F(PersistenceTest, PatternClassifierSurvivesRoundTrip) {
+  analysis::PatternLabeler labeler(Fleet().topology);
+  std::vector<LabelledBank> labelled;
+  for (const auto& bank : Banks()) {
+    if (bank.HasUer()) {
+      labelled.push_back(LabelledBank{&bank, labeler.LabelClass(bank)});
+    }
+  }
+  PatternClassifier trained(Fleet().topology, ml::LearnerKind::kRandomForest);
+  Rng rng(1);
+  trained.Train(labelled, rng);
+
+  std::stringstream buffer;
+  trained.SaveModel(buffer);
+
+  PatternClassifier deployed(Fleet().topology,
+                             ml::LearnerKind::kRandomForest);
+  EXPECT_FALSE(deployed.trained());
+  deployed.LoadModel(buffer);
+  EXPECT_TRUE(deployed.trained());
+  for (const auto& lb : labelled) {
+    ASSERT_EQ(deployed.Classify(*lb.bank), trained.Classify(*lb.bank));
+  }
+}
+
+TEST_F(PersistenceTest, CrossRowPredictorSurvivesRoundTrip) {
+  analysis::PatternLabeler labeler(Fleet().topology);
+  std::vector<const trace::BankHistory*> singles;
+  for (const auto& bank : Banks()) {
+    if (bank.HasUer() && labeler.LabelClass(bank) ==
+                             hbm::FailureClass::kSingleRowClustering) {
+      singles.push_back(&bank);
+    }
+  }
+  CrossRowPredictor trained(Fleet().topology, ml::LearnerKind::kLgbmStyle);
+  Rng rng(2);
+  trained.Train(singles, rng);
+
+  std::stringstream buffer;
+  trained.SaveModel(buffer);
+
+  CrossRowPredictor deployed(Fleet().topology, ml::LearnerKind::kLgbmStyle);
+  deployed.LoadModel(buffer);
+  for (const auto* bank : singles) {
+    for (const auto& anchor : trained.AnchorsOf(*bank)) {
+      ASSERT_EQ(deployed.PredictBlockProba(*bank, anchor),
+                trained.PredictBlockProba(*bank, anchor));
+    }
+  }
+}
+
+TEST_F(PersistenceTest, FeatureImportanceMatchesExtractorArity) {
+  analysis::PatternLabeler labeler(Fleet().topology);
+  std::vector<LabelledBank> labelled;
+  for (const auto& bank : Banks()) {
+    if (bank.HasUer()) {
+      labelled.push_back(LabelledBank{&bank, labeler.LabelClass(bank)});
+    }
+  }
+  PatternClassifier classifier(Fleet().topology,
+                               ml::LearnerKind::kRandomForest);
+  Rng rng(3);
+  classifier.Train(labelled, rng);
+  const auto importance = classifier.FeatureImportance();
+  EXPECT_EQ(importance.size(), classifier.extractor().num_features());
+  double total = 0.0;
+  for (double v : importance) {
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_F(PersistenceTest, UntrainedSaveThrows) {
+  PatternClassifier classifier(Fleet().topology,
+                               ml::LearnerKind::kRandomForest);
+  std::stringstream buffer;
+  EXPECT_THROW(classifier.SaveModel(buffer), ContractViolation);
+  CrossRowPredictor predictor(Fleet().topology,
+                              ml::LearnerKind::kRandomForest);
+  EXPECT_THROW(predictor.SaveModel(buffer), ContractViolation);
+  EXPECT_THROW(predictor.FeatureImportance(), ContractViolation);
+}
+
+TEST_F(PersistenceTest, LoadRejectsCorruptStream) {
+  PatternClassifier classifier(Fleet().topology,
+                               ml::LearnerKind::kRandomForest);
+  std::istringstream garbage("garbage");
+  EXPECT_THROW(classifier.LoadModel(garbage), ParseError);
+}
+
+}  // namespace
+}  // namespace cordial::core

@@ -1,0 +1,84 @@
+// Parameterized pipeline sweep over the three learner families — the
+// structural Table IV property must hold for every learner, not just RF.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/pipeline.hpp"
+
+namespace cordial::core {
+namespace {
+
+class PipelineLearnerTest : public ::testing::TestWithParam<ml::LearnerKind> {
+ protected:
+  static const trace::GeneratedFleet& Fleet() {
+    static const trace::GeneratedFleet fleet = [] {
+      hbm::TopologyConfig topology;
+      trace::CalibrationProfile profile;
+      profile.scale = 0.4;
+      trace::FleetGenerator generator(topology, profile);
+      return generator.Generate(99);
+    }();
+    return fleet;
+  }
+
+  static const PipelineResult& ResultFor(ml::LearnerKind kind) {
+    static std::map<ml::LearnerKind, PipelineResult> cache;
+    auto it = cache.find(kind);
+    if (it == cache.end()) {
+      PipelineConfig config;
+      config.learner = kind;
+      CordialPipeline pipeline(Fleet().topology, config);
+      it = cache.emplace(kind, pipeline.Run(Fleet(), 5)).first;
+    }
+    return it->second;
+  }
+};
+
+TEST_P(PipelineLearnerTest, CordialDominatesBaseline) {
+  const PipelineResult& result = ResultFor(GetParam());
+  EXPECT_GT(result.cordial.block_metrics.f1,
+            result.neighbor_baseline.block_metrics.f1);
+  EXPECT_GT(result.cordial.icr.Icr(), result.neighbor_baseline.icr.Icr());
+}
+
+TEST_P(PipelineLearnerTest, InRowParadigmIsTheFloor) {
+  const PipelineResult& result = ResultFor(GetParam());
+  EXPECT_LT(result.in_row_icr.Icr(), result.cordial.icr.Icr());
+  EXPECT_LT(result.in_row_icr.Icr(), 0.12);
+}
+
+TEST_P(PipelineLearnerTest, PatternClassificationIsStrong) {
+  const PipelineResult& result = ResultFor(GetParam());
+  EXPECT_GT(result.pattern_confusion.WeightedAverage().f1, 0.75);
+}
+
+TEST_P(PipelineLearnerTest, SparingSpendIsAccounted) {
+  const PipelineResult& result = ResultFor(GetParam());
+  EXPECT_GT(result.cordial.icr.rows_spared, 0u);
+  EXPECT_GT(result.cordial.icr.sparing_cost, 0.0);
+  // Bank sparing fires for scattered-classified banks under the default
+  // policy.
+  EXPECT_GT(result.cordial.icr.banks_spared, 0u);
+  // And bank-spared coverage is tracked separately from the paper ICR.
+  EXPECT_GE(result.cordial.icr.IcrWithBankSparing(),
+            result.cordial.icr.Icr());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLearners, PipelineLearnerTest,
+                         ::testing::Values(ml::LearnerKind::kRandomForest,
+                                           ml::LearnerKind::kXgbStyle,
+                                           ml::LearnerKind::kLgbmStyle),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case ml::LearnerKind::kRandomForest:
+                               return "RandomForest";
+                             case ml::LearnerKind::kXgbStyle:
+                               return "XgbStyle";
+                             default:
+                               return "LgbmStyle";
+                           }
+                         });
+
+}  // namespace
+}  // namespace cordial::core

@@ -1,0 +1,113 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace cordial::core {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static const trace::GeneratedFleet& Fleet() {
+    static const trace::GeneratedFleet fleet = [] {
+      hbm::TopologyConfig topology;
+      trace::CalibrationProfile profile;
+      profile.scale = 0.25;
+      trace::FleetGenerator generator(topology, profile);
+      return generator.Generate(2024);
+    }();
+    return fleet;
+  }
+
+  static const PipelineResult& Result() {
+    static const PipelineResult result = [] {
+      PipelineConfig config;
+      config.learner = ml::LearnerKind::kRandomForest;
+      CordialPipeline pipeline(Fleet().topology, config);
+      return pipeline.Run(Fleet(), 7);
+    }();
+    return result;
+  }
+};
+
+TEST_F(PipelineTest, SplitRoughlySeventyThirty) {
+  const auto& r = Result();
+  const double test_fraction =
+      static_cast<double>(r.test_banks) /
+      static_cast<double>(r.test_banks + r.train_banks);
+  EXPECT_NEAR(test_fraction, 0.3, 0.05);
+}
+
+TEST_F(PipelineTest, PatternClassificationQualityMatchesTableIIIShape) {
+  const auto& cm = Result().pattern_confusion;
+  const auto weighted = cm.WeightedAverage();
+  // Paper Table III RF: weighted F1 0.854. We assert the broad band.
+  EXPECT_GT(weighted.f1, 0.75);
+  const double single_f1 =
+      cm.Metrics(static_cast<int>(hbm::FailureClass::kSingleRowClustering)).f1;
+  EXPECT_GT(single_f1, 0.9);
+}
+
+TEST_F(PipelineTest, CordialBeatsBaselineOnBlockF1) {
+  // Paper Table IV: Cordial-RF F1 0.662 vs Neighbor Rows 0.347.
+  EXPECT_GT(Result().cordial.block_metrics.f1,
+            Result().neighbor_baseline.block_metrics.f1);
+}
+
+TEST_F(PipelineTest, IcrOrderingMatchesTableIV) {
+  // in-row << neighbor rows < Cordial (paper: 4.39 < 13.31 < 19.58).
+  const double in_row = Result().in_row_icr.Icr();
+  const double baseline = Result().neighbor_baseline.icr.Icr();
+  const double cordial = Result().cordial.icr.Icr();
+  EXPECT_LT(in_row, baseline);
+  EXPECT_LT(baseline, cordial);
+  EXPECT_LT(in_row, 0.12);
+  EXPECT_GT(cordial, 0.10);
+}
+
+TEST_F(PipelineTest, MethodNamesAreDescriptive) {
+  EXPECT_EQ(Result().cordial.method, "Cordial-Random Forest");
+  EXPECT_EQ(Result().neighbor_baseline.method, "Neighbor Rows");
+}
+
+TEST_F(PipelineTest, CrossRowTrainingSawBothClasses) {
+  EXPECT_GT(Result().crossrow_train_samples_single, 100u);
+}
+
+TEST_F(PipelineTest, DeterministicGivenSeed) {
+  PipelineConfig config;
+  config.learner = ml::LearnerKind::kRandomForest;
+  CordialPipeline pipeline(Fleet().topology, config);
+  const PipelineResult again = pipeline.Run(Fleet(), 7);
+  EXPECT_EQ(again.cordial.icr.covered_rows, Result().cordial.icr.covered_rows);
+  EXPECT_DOUBLE_EQ(again.cordial.block_metrics.f1,
+                   Result().cordial.block_metrics.f1);
+  EXPECT_EQ(again.pattern_confusion.Accuracy(),
+            Result().pattern_confusion.Accuracy());
+}
+
+TEST_F(PipelineTest, RunOnBanksMatchesRunOnFleet) {
+  hbm::AddressCodec codec(Fleet().topology);
+  const auto banks = Fleet().log.GroupByBank(codec);
+  PipelineConfig config;
+  config.learner = ml::LearnerKind::kRandomForest;
+  CordialPipeline pipeline(Fleet().topology, config);
+  const PipelineResult from_banks = pipeline.RunOnBanks(banks, 7);
+  EXPECT_DOUBLE_EQ(from_banks.cordial.block_metrics.f1,
+                   Result().cordial.block_metrics.f1);
+}
+
+TEST_F(PipelineTest, ConfigValidation) {
+  PipelineConfig bad;
+  bad.test_fraction = 0.0;
+  EXPECT_THROW(CordialPipeline(Fleet().topology, bad), ContractViolation);
+}
+
+TEST_F(PipelineTest, TooFewBanksRejected) {
+  CordialPipeline pipeline(Fleet().topology, PipelineConfig{});
+  EXPECT_THROW(pipeline.RunOnBanks({}, 1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace cordial::core

@@ -1,0 +1,166 @@
+#include "hbm/address.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace cordial::hbm {
+namespace {
+
+DeviceAddress RandomAddress(const TopologyConfig& t, Rng& rng) {
+  DeviceAddress a;
+  a.node = static_cast<std::uint32_t>(rng.UniformU64(t.nodes));
+  a.npu = static_cast<std::uint32_t>(rng.UniformU64(t.npus_per_node));
+  a.hbm = static_cast<std::uint32_t>(rng.UniformU64(t.hbms_per_npu));
+  a.sid = static_cast<std::uint32_t>(rng.UniformU64(t.sids_per_hbm));
+  a.channel = static_cast<std::uint32_t>(rng.UniformU64(t.channels_per_sid));
+  a.pseudo_channel = static_cast<std::uint32_t>(
+      rng.UniformU64(t.pseudo_channels_per_channel));
+  a.bank_group = static_cast<std::uint32_t>(
+      rng.UniformU64(t.bank_groups_per_pseudo_channel));
+  a.bank = static_cast<std::uint32_t>(rng.UniformU64(t.banks_per_bank_group));
+  a.row = static_cast<std::uint32_t>(rng.UniformU64(t.rows_per_bank));
+  a.col = static_cast<std::uint32_t>(rng.UniformU64(t.cols_per_bank));
+  return a;
+}
+
+TEST(AddressCodec, PackUnpackRoundTripProperty) {
+  const TopologyConfig t;
+  const AddressCodec codec(t);
+  Rng rng(101);
+  for (int i = 0; i < 2000; ++i) {
+    const DeviceAddress a = RandomAddress(t, rng);
+    const std::uint64_t key = codec.Pack(a);
+    EXPECT_EQ(codec.Unpack(key), a);
+  }
+}
+
+TEST(AddressCodec, UnpackPackRoundTripOnSmallTopology) {
+  TopologyConfig t;
+  t.nodes = 2;
+  t.npus_per_node = 2;
+  t.hbms_per_npu = 2;
+  t.sids_per_hbm = 2;
+  t.channels_per_sid = 2;
+  t.pseudo_channels_per_channel = 2;
+  t.bank_groups_per_pseudo_channel = 2;
+  t.banks_per_bank_group = 2;
+  t.rows_per_bank = 256;
+  t.cols_per_bank = 4;
+  const AddressCodec codec(t);
+  const std::uint64_t space = 256ULL * 256 * 4;
+  for (std::uint64_t key = 0; key < space; key += 7) {
+    EXPECT_EQ(codec.Pack(codec.Unpack(key)), key);
+  }
+}
+
+TEST(AddressCodec, ZeroAddressPacksToZero) {
+  const AddressCodec codec{TopologyConfig{}};
+  EXPECT_EQ(codec.Pack(DeviceAddress{}), 0u);
+}
+
+TEST(AddressCodec, PackRejectsOutOfRange) {
+  const TopologyConfig t;
+  const AddressCodec codec(t);
+  DeviceAddress a;
+  a.row = t.rows_per_bank;  // one past the end
+  EXPECT_FALSE(codec.IsValid(a));
+  EXPECT_THROW(codec.Pack(a), ContractViolation);
+}
+
+TEST(AddressCodec, UnpackRejectsKeyBeyondSpace) {
+  TopologyConfig t;
+  t.nodes = 1;
+  t.npus_per_node = 1;
+  t.hbms_per_npu = 1;
+  t.sids_per_hbm = 1;
+  t.channels_per_sid = 1;
+  t.pseudo_channels_per_channel = 1;
+  t.bank_groups_per_pseudo_channel = 1;
+  t.banks_per_bank_group = 1;
+  t.rows_per_bank = 256;
+  t.cols_per_bank = 2;
+  const AddressCodec codec(t);
+  EXPECT_NO_THROW(codec.Unpack(511));
+  EXPECT_THROW(codec.Unpack(512), ContractViolation);
+}
+
+TEST(AddressCodec, EntityKeysNestProperly) {
+  const TopologyConfig t;
+  const AddressCodec codec(t);
+  Rng rng(102);
+  for (int i = 0; i < 500; ++i) {
+    DeviceAddress a = RandomAddress(t, rng);
+    DeviceAddress b = a;
+    b.col = (a.col + 1) % t.cols_per_bank;
+    // Same row, different column -> same entity at every level.
+    for (Level level : kAllLevels) {
+      EXPECT_EQ(codec.EntityKey(a, level), codec.EntityKey(b, level));
+    }
+    DeviceAddress c = a;
+    c.row = (a.row + 1) % t.rows_per_bank;
+    // Different row, same bank: row keys differ, bank key equal.
+    EXPECT_NE(codec.EntityKey(a, Level::kRow), codec.EntityKey(c, Level::kRow));
+    EXPECT_EQ(codec.BankKey(a), codec.BankKey(c));
+  }
+}
+
+TEST(AddressCodec, DifferentBanksDifferentKeys) {
+  const TopologyConfig t;
+  const AddressCodec codec(t);
+  Rng rng(103);
+  std::set<std::uint64_t> keys;
+  DeviceAddress a;
+  for (std::uint32_t bank = 0; bank < t.banks_per_bank_group; ++bank) {
+    a.bank = bank;
+    keys.insert(codec.BankKey(a));
+  }
+  EXPECT_EQ(keys.size(), t.banks_per_bank_group);
+}
+
+TEST(AddressCodec, EntityCountsMatchTopology) {
+  const TopologyConfig t;
+  const AddressCodec codec(t);
+  EXPECT_EQ(codec.EntityCount(Level::kNpu), t.TotalNpus());
+  EXPECT_EQ(codec.EntityCount(Level::kHbm), t.TotalHbms());
+  EXPECT_EQ(codec.EntityCount(Level::kSid), t.TotalHbms() * t.sids_per_hbm);
+  EXPECT_EQ(codec.EntityCount(Level::kBank), t.TotalBanks());
+  EXPECT_EQ(codec.EntityCount(Level::kRow), t.TotalBanks() * t.rows_per_bank);
+}
+
+TEST(AddressCodec, EntityKeyIsDenseUpperBound) {
+  const TopologyConfig t;
+  const AddressCodec codec(t);
+  Rng rng(104);
+  for (int i = 0; i < 500; ++i) {
+    const DeviceAddress a = RandomAddress(t, rng);
+    for (Level level : kAllLevels) {
+      EXPECT_LT(codec.EntityKey(a, level), codec.EntityCount(level));
+    }
+  }
+}
+
+TEST(DeviceAddress, ToStringContainsCoordinates) {
+  DeviceAddress a;
+  a.node = 3;
+  a.row = 777;
+  const std::string s = a.ToString();
+  EXPECT_NE(s.find("node3"), std::string::npos);
+  EXPECT_NE(s.find("row777"), std::string::npos);
+}
+
+TEST(DeviceAddress, OrderingIsLexicographic) {
+  DeviceAddress a, b;
+  b.col = 1;
+  EXPECT_LT(a, b);
+  DeviceAddress c;
+  c.node = 1;
+  EXPECT_LT(a, c);
+  EXPECT_LT(b, c);
+}
+
+}  // namespace
+}  // namespace cordial::hbm

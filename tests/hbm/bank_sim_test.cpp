@@ -1,0 +1,137 @@
+#include "hbm/bank_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace cordial::hbm {
+namespace {
+
+class BankSimTest : public ::testing::Test {
+ protected:
+  TopologyConfig topology_;
+  BankSimulator sim_{topology_, PatrolScrubber(100.0, 0.0)};
+};
+
+TEST_F(BankSimTest, CleanReadsReturnGoldenData) {
+  for (std::uint32_t row : {0u, 5u, 32767u}) {
+    const auto result = sim_.Read(row, 3, 1.0);
+    EXPECT_TRUE(result.data_correct);
+    EXPECT_EQ(result.data, BankSimulator::GoldenData(row, 3));
+    EXPECT_FALSE(result.finding.has_value());
+  }
+  EXPECT_EQ(sim_.silent_corruptions(), 0u);
+}
+
+TEST_F(BankSimTest, GoldenDataVariesByAddress) {
+  EXPECT_NE(BankSimulator::GoldenData(1, 2), BankSimulator::GoldenData(2, 1));
+  EXPECT_NE(BankSimulator::GoldenData(0, 0), BankSimulator::GoldenData(0, 1));
+  EXPECT_EQ(BankSimulator::GoldenData(7, 9), BankSimulator::GoldenData(7, 9));
+}
+
+TEST_F(BankSimTest, SingleStuckBitIsCorrectedAndLoggedAsCe) {
+  sim_.InjectStuckBit(100, 4, 17, 10.0);
+  const auto result = sim_.Read(100, 4, 20.0);
+  EXPECT_TRUE(result.data_correct);  // ECC corrected it
+  ASSERT_TRUE(result.finding.has_value());
+  EXPECT_EQ(result.finding->type, ErrorType::kCe);
+  EXPECT_EQ(result.finding->row, 100u);
+}
+
+TEST_F(BankSimTest, FaultNotActiveBeforeOnset) {
+  sim_.InjectStuckBit(100, 4, 17, 50.0);
+  EXPECT_EQ(sim_.FaultyBits(100, 4, 49.0), 0);
+  EXPECT_EQ(sim_.FaultyBits(100, 4, 50.0), 1);
+  const auto early = sim_.Read(100, 4, 10.0);
+  EXPECT_FALSE(early.finding.has_value());
+}
+
+TEST_F(BankSimTest, DoubleStuckBitsBecomeUerOnDemandRead) {
+  sim_.InjectStuckBit(200, 1, 3, 5.0);
+  sim_.InjectStuckBit(200, 1, 40, 6.0);
+  const auto result = sim_.Read(200, 1, 10.0);
+  ASSERT_TRUE(result.finding.has_value());
+  EXPECT_EQ(result.finding->type, ErrorType::kUer);
+}
+
+TEST_F(BankSimTest, ScrubReportsCeThenUeoAsWordDegrades) {
+  sim_.InjectStuckBit(300, 2, 10, 5.0);
+  auto first = sim_.Scrub(100.0);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].type, ErrorType::kCe);
+
+  // Unchanged word: not re-reported.
+  EXPECT_TRUE(sim_.Scrub(200.0).empty());
+
+  // Second bit arrives; next sweep reports a UEO.
+  sim_.InjectStuckBit(300, 2, 11, 250.0);
+  auto second = sim_.Scrub(300.0);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].type, ErrorType::kUeo);
+}
+
+TEST_F(BankSimTest, ScrubBeforeOnsetSeesNothing) {
+  sim_.InjectStuckBit(300, 2, 10, 500.0);
+  EXPECT_TRUE(sim_.Scrub(100.0).empty());
+}
+
+TEST_F(BankSimTest, UeoVsUerIsExactlyTheScrubRace) {
+  // Fault at t=10; scrub period 100 with sweeps at 0, 100, 200...
+  // A demand access at t=50 (delay 40) beats the t=100 sweep -> UER path.
+  EXPECT_FALSE(sim_.ScrubWinsRace(10.0, 40.0));
+  // An access at t=150 (delay 140) loses to the sweep -> UEO path.
+  EXPECT_TRUE(sim_.ScrubWinsRace(10.0, 140.0));
+}
+
+TEST_F(BankSimTest, DuplicateInjectionIsIdempotent) {
+  sim_.InjectStuckBit(10, 0, 5, 20.0);
+  sim_.InjectStuckBit(10, 0, 5, 30.0);  // same bit, later onset
+  EXPECT_EQ(sim_.FaultyBits(10, 0, 25.0), 1);
+  // Earliest onset wins.
+  sim_.InjectStuckBit(10, 0, 5, 1.0);
+  EXPECT_EQ(sim_.FaultyBits(10, 0, 2.0), 1);
+}
+
+TEST_F(BankSimTest, TripleBitFaultsEitherDetectOrCountSilent) {
+  Rng rng(9);
+  std::uint64_t detected = 0;
+  BankSimulator sim(topology_);
+  for (std::uint32_t col = 0; col < 100; ++col) {
+    for (std::size_t b : rng.SampleWithoutReplacement(72, 3)) {
+      sim.InjectStuckBit(500, col, static_cast<int>(b), 1.0);
+    }
+    const auto result = sim.Read(500, col, 2.0);
+    if (result.finding.has_value()) {
+      ++detected;
+      EXPECT_EQ(result.finding->type, ErrorType::kUer);
+    }
+  }
+  // Every word is either detected or counted as a silent corruption.
+  EXPECT_EQ(detected + sim.silent_corruptions(), 100u);
+  // SEC-DED sees odd parity and "corrects" one bit, which for three flips
+  // is usually a miscorrection: silent corruption dominates — precisely the
+  // paper's argument that plain ECC cannot contain multi-bit SWD faults.
+  EXPECT_GT(sim.silent_corruptions(), 50u);
+  EXPECT_GT(detected, 5u);
+}
+
+TEST_F(BankSimTest, RejectsOutOfRangeInputs) {
+  EXPECT_THROW(sim_.InjectStuckBit(topology_.rows_per_bank, 0, 0, 0.0),
+               ContractViolation);
+  EXPECT_THROW(sim_.InjectStuckBit(0, topology_.cols_per_bank, 0, 0.0),
+               ContractViolation);
+  EXPECT_THROW(sim_.InjectStuckBit(0, 0, 72, 0.0), ContractViolation);
+  EXPECT_THROW(sim_.InjectStuckBit(0, 0, 0, -1.0), ContractViolation);
+  EXPECT_THROW(sim_.Read(topology_.rows_per_bank, 0, 0.0), ContractViolation);
+}
+
+TEST_F(BankSimTest, FaultyWordsTracksDistinctWords) {
+  sim_.InjectStuckBit(1, 1, 0, 0.0);
+  sim_.InjectStuckBit(1, 1, 1, 0.0);
+  sim_.InjectStuckBit(2, 2, 0, 0.0);
+  EXPECT_EQ(sim_.faulty_words(), 2u);
+}
+
+}  // namespace
+}  // namespace cordial::hbm

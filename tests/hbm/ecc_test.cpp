@@ -1,0 +1,139 @@
+#include "hbm/ecc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace cordial::hbm {
+namespace {
+
+TEST(SecDed, CleanCodewordDecodesClean) {
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t data = rng.Next();
+    const auto word = SecDedCodec::Encode(data);
+    const DecodeResult result = SecDedCodec::Decode(word);
+    EXPECT_EQ(result.status, DecodeResult::Status::kClean);
+    EXPECT_EQ(result.data, data);
+  }
+}
+
+TEST(SecDed, EncodeIsDeterministic) {
+  EXPECT_EQ(SecDedCodec::Encode(0xdeadbeefcafebabeULL),
+            SecDedCodec::Encode(0xdeadbeefcafebabeULL));
+}
+
+TEST(SecDed, DistinctDataDistinctCodewords) {
+  const auto a = SecDedCodec::Encode(1);
+  const auto b = SecDedCodec::Encode(2);
+  EXPECT_FALSE(a == b);
+}
+
+class SingleBitTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SingleBitTest, EveryPositionIsCorrected) {
+  const int bit = GetParam();
+  Rng rng(static_cast<std::uint64_t>(bit) + 7);
+  const std::uint64_t data = rng.Next();
+  const auto word = SecDedCodec::Encode(data);
+  const auto corrupted = SecDedCodec::FlipBit(word, bit);
+  const DecodeResult result = SecDedCodec::Decode(corrupted);
+  EXPECT_EQ(result.status, DecodeResult::Status::kCorrectedSingle);
+  EXPECT_EQ(result.data, data);
+  ASSERT_TRUE(result.corrected_bit.has_value());
+  EXPECT_EQ(*result.corrected_bit, bit);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBits, SingleBitTest, ::testing::Range(0, 72));
+
+TEST(SecDed, AllDoubleBitErrorsDetected) {
+  const std::uint64_t data = 0x0123456789abcdefULL;
+  const auto word = SecDedCodec::Encode(data);
+  for (int i = 0; i < SecDedCodec::kCodeBits; ++i) {
+    for (int j = i + 1; j < SecDedCodec::kCodeBits; ++j) {
+      const auto corrupted =
+          SecDedCodec::FlipBit(SecDedCodec::FlipBit(word, i), j);
+      const DecodeResult result = SecDedCodec::Decode(corrupted);
+      EXPECT_EQ(result.status, DecodeResult::Status::kDetectedDouble)
+          << "bits " << i << "," << j;
+    }
+  }
+}
+
+TEST(SecDed, TripleBitErrorsNeverSilentlyCorruptWithTruth) {
+  Rng rng(9);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::uint64_t data = rng.Next();
+    auto word = SecDedCodec::Encode(data);
+    const auto bits = rng.SampleWithoutReplacement(72, 3);
+    for (std::size_t b : bits) {
+      word = SecDedCodec::FlipBit(word, static_cast<int>(b));
+    }
+    const DecodeResult result =
+        SecDedCodec::DecodeWithTruth(word, data);
+    // Triple errors either get flagged (double-detect / mis-correct) or by
+    // chance decode correctly — but DecodeWithTruth must never claim clean
+    // or corrected while returning wrong data.
+    if (result.status == DecodeResult::Status::kClean ||
+        result.status == DecodeResult::Status::kCorrectedSingle) {
+      EXPECT_EQ(result.data, data);
+    }
+  }
+}
+
+TEST(SecDed, TripleBitErrorsUsuallyMiscorrect) {
+  // An SEC-DED code cannot correct three flips; most such patterns must be
+  // flagged as kDetectedDouble or kUndetectedOrMis.
+  Rng rng(10);
+  int flagged = 0;
+  constexpr int kTrials = 500;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const std::uint64_t data = rng.Next();
+    auto word = SecDedCodec::Encode(data);
+    for (std::size_t b : rng.SampleWithoutReplacement(72, 3)) {
+      word = SecDedCodec::FlipBit(word, static_cast<int>(b));
+    }
+    const auto result = SecDedCodec::DecodeWithTruth(word, data);
+    if (result.status == DecodeResult::Status::kDetectedDouble ||
+        result.status == DecodeResult::Status::kUndetectedOrMis) {
+      ++flagged;
+    }
+  }
+  EXPECT_GT(flagged, kTrials * 9 / 10);
+}
+
+TEST(SecDed, FlipBitIsInvolution) {
+  const auto word = SecDedCodec::Encode(42);
+  for (int bit = 0; bit < 72; ++bit) {
+    EXPECT_EQ(SecDedCodec::FlipBit(SecDedCodec::FlipBit(word, bit), bit), word);
+  }
+}
+
+TEST(SecDed, FlipBitRejectsOutOfRange) {
+  const auto word = SecDedCodec::Encode(0);
+  EXPECT_THROW(SecDedCodec::FlipBit(word, -1), ContractViolation);
+  EXPECT_THROW(SecDedCodec::FlipBit(word, 72), ContractViolation);
+}
+
+TEST(ClassifyError, MapsBitCountsAndContext) {
+  EXPECT_EQ(ClassifyError(1, false), ErrorType::kCe);
+  EXPECT_EQ(ClassifyError(1, true), ErrorType::kCe);
+  EXPECT_EQ(ClassifyError(2, true), ErrorType::kUeo);
+  EXPECT_EQ(ClassifyError(2, false), ErrorType::kUer);
+  EXPECT_EQ(ClassifyError(5, true), ErrorType::kUeo);
+  EXPECT_EQ(ClassifyError(5, false), ErrorType::kUer);
+}
+
+TEST(ClassifyError, RejectsZeroBits) {
+  EXPECT_THROW(ClassifyError(0, false), ContractViolation);
+}
+
+TEST(ErrorType, NamesMatchPaperTerminology) {
+  EXPECT_STREQ(ErrorTypeName(ErrorType::kCe), "CE");
+  EXPECT_STREQ(ErrorTypeName(ErrorType::kUeo), "UEO");
+  EXPECT_STREQ(ErrorTypeName(ErrorType::kUer), "UER");
+}
+
+}  // namespace
+}  // namespace cordial::hbm

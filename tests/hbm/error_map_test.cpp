@@ -1,0 +1,88 @@
+#include "hbm/error_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace cordial::hbm {
+namespace {
+
+TEST(BankErrorMap, RejectsOutOfRangePoints) {
+  TopologyConfig t;
+  BankErrorMap map(t);
+  EXPECT_THROW(map.Add(t.rows_per_bank, 0, ErrorType::kCe), ContractViolation);
+  EXPECT_THROW(map.Add(0, t.cols_per_bank, ErrorType::kCe), ContractViolation);
+}
+
+TEST(BankErrorMap, CountsAndRowsByType) {
+  TopologyConfig t;
+  BankErrorMap map(t);
+  map.Add(10, 1, ErrorType::kCe);
+  map.Add(10, 2, ErrorType::kCe);
+  map.Add(20, 3, ErrorType::kUer);
+  map.Add(30, 4, ErrorType::kUeo);
+  EXPECT_EQ(map.total_errors(), 4u);
+  EXPECT_EQ(map.RowsWithType(ErrorType::kCe),
+            (std::vector<std::uint32_t>{10}));
+  EXPECT_EQ(map.RowsWithType(ErrorType::kUer),
+            (std::vector<std::uint32_t>{20}));
+  EXPECT_EQ(map.RowsWithType(ErrorType::kUeo),
+            (std::vector<std::uint32_t>{30}));
+}
+
+TEST(BankErrorMap, RenderUsesSeverityGlyphs) {
+  TopologyConfig t;
+  BankErrorMap map(t);
+  map.Add(0, 0, ErrorType::kCe);
+  map.Add(t.rows_per_bank - 1, t.cols_per_bank - 1, ErrorType::kUer);
+  const std::string art = map.Render(8, 16);
+  EXPECT_NE(art.find('c'), std::string::npos);
+  EXPECT_NE(art.find('X'), std::string::npos);
+  EXPECT_NE(art.find('.'), std::string::npos);
+}
+
+TEST(BankErrorMap, UerDominatesTileSeverity) {
+  TopologyConfig t;
+  BankErrorMap map(t);
+  // Same tile: CE then UER -> tile renders as UER.
+  map.Add(0, 0, ErrorType::kCe);
+  map.Add(1, 1, ErrorType::kUer);
+  const std::string art = map.Render(1, 1);
+  // Skip the header line; inspect the single grid tile.
+  const std::string grid = art.substr(art.find('\n') + 1);
+  EXPECT_NE(grid.find('X'), std::string::npos);
+  EXPECT_EQ(grid.find('c'), std::string::npos);
+}
+
+TEST(BankErrorMap, RenderSizeMatchesRequest) {
+  TopologyConfig t;
+  BankErrorMap map(t);
+  const std::string art = map.Render(4, 10);
+  int lines = 0;
+  std::istringstream in(art);
+  std::string line;
+  std::getline(in, line);  // header line
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.size(), 12u);  // two-space indent + 10 glyphs
+    ++lines;
+  }
+  EXPECT_EQ(lines, 4);
+}
+
+TEST(BankErrorMap, RejectsZeroRenderSize) {
+  TopologyConfig t;
+  BankErrorMap map(t);
+  EXPECT_THROW(map.Render(0, 8), ContractViolation);
+}
+
+TEST(BankErrorMap, ExportCsvHasHeaderAndRows) {
+  TopologyConfig t;
+  BankErrorMap map(t);
+  map.Add(5, 6, ErrorType::kUeo);
+  const std::string csv = map.ExportCsv();
+  EXPECT_EQ(csv.rfind("row,col,type\n", 0), 0u);
+  EXPECT_NE(csv.find("5,6,UEO"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cordial::hbm

@@ -1,0 +1,246 @@
+#include "hbm/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace cordial::hbm {
+namespace {
+
+class FaultTest : public ::testing::Test {
+ protected:
+  TopologyConfig topology_;
+  FootprintGenerator generator_{topology_};
+
+  std::set<std::uint32_t> DistinctRows(const BankFaultPlan& plan) {
+    std::set<std::uint32_t> rows;
+    for (const RowErrors& r : plan.uer_rows) rows.insert(r.row);
+    return rows;
+  }
+};
+
+TEST_F(FaultTest, GenerateIsDeterministicGivenSeed) {
+  for (PatternShape shape :
+       {PatternShape::kSingleRowCluster, PatternShape::kScattered,
+        PatternShape::kWholeColumn}) {
+    Rng a(42), b(42);
+    const BankFaultPlan pa = generator_.Generate(shape, a);
+    const BankFaultPlan pb = generator_.Generate(shape, b);
+    ASSERT_EQ(pa.uer_rows.size(), pb.uer_rows.size());
+    for (std::size_t i = 0; i < pa.uer_rows.size(); ++i) {
+      EXPECT_EQ(pa.uer_rows[i].row, pb.uer_rows[i].row);
+      EXPECT_EQ(pa.uer_rows[i].cols, pb.uer_rows[i].cols);
+    }
+  }
+}
+
+TEST_F(FaultTest, AllRowsAndColsInBounds) {
+  Rng rng(7);
+  for (PatternShape shape :
+       {PatternShape::kCeOnly, PatternShape::kSingleRowCluster,
+        PatternShape::kDoubleRowCluster, PatternShape::kHalfTotalRowCluster,
+        PatternShape::kScattered, PatternShape::kWholeColumn}) {
+    for (int i = 0; i < 50; ++i) {
+      const BankFaultPlan plan = generator_.Generate(shape, rng);
+      for (const auto& rows : {plan.uer_rows, plan.ce_rows}) {
+        for (const RowErrors& r : rows) {
+          EXPECT_LT(r.row, topology_.rows_per_bank);
+          ASSERT_FALSE(r.cols.empty());
+          for (std::uint32_t col : r.cols) {
+            EXPECT_LT(col, topology_.cols_per_bank);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(FaultTest, CeOnlyHasNoUerRows) {
+  Rng rng(8);
+  for (int i = 0; i < 50; ++i) {
+    const BankFaultPlan plan = generator_.Generate(PatternShape::kCeOnly, rng);
+    EXPECT_TRUE(plan.uer_rows.empty());
+    EXPECT_EQ(plan.kind, FaultKind::kCellFault);
+  }
+}
+
+TEST_F(FaultTest, SingleClusterIsNarrowBand) {
+  Rng rng(9);
+  const auto& p = generator_.params();
+  for (int i = 0; i < 200; ++i) {
+    const auto rows =
+        DistinctRows(generator_.Generate(PatternShape::kSingleRowCluster, rng));
+    ASSERT_GE(rows.size(), 2u);
+    const std::uint32_t span = *rows.rbegin() - *rows.begin();
+    // Span bounded by twice the max half-width plus adjacency slack.
+    EXPECT_LE(span, 2 * p.single_halfwidth_max + 16);
+  }
+}
+
+TEST_F(FaultTest, SingleClusterFollowsStrideGrid) {
+  Rng rng(10);
+  int grid_consistent = 0, total = 0;
+  for (int i = 0; i < 200; ++i) {
+    const BankFaultPlan plan =
+        generator_.Generate(PatternShape::kSingleRowCluster, rng);
+    const auto rows = DistinctRows(plan);
+    // Count rows whose offset from the first failure is a multiple of some
+    // stride in the configured range (allowing +/-1 jitter and +/-4
+    // adjacency collateral).
+    const std::uint32_t anchor = plan.uer_rows.front().row;
+    for (std::uint32_t row : rows) {
+      ++total;
+      const auto dist = static_cast<std::int64_t>(row) -
+                        static_cast<std::int64_t>(anchor);
+      bool on_grid = false;
+      for (int k = generator_.params().cluster_stride_log2_min;
+           k <= generator_.params().cluster_stride_log2_max; ++k) {
+        const std::int64_t stride = 1LL << k;
+        const std::int64_t mod = ((dist % stride) + stride) % stride;
+        if (mod <= 5 || stride - mod <= 5) {
+          on_grid = true;
+          break;
+        }
+      }
+      grid_consistent += on_grid;
+    }
+  }
+  // The vast majority of rows sit on (or within jitter+adjacency of) a
+  // stride grid anchored at the first failure.
+  EXPECT_GT(static_cast<double>(grid_consistent) / total, 0.9);
+}
+
+TEST_F(FaultTest, DoubleClusterHasTwoGroupsWithPowerOfTwoGap) {
+  Rng rng(11);
+  int two_groups = 0;
+  constexpr int kTrials = 200;
+  for (int i = 0; i < kTrials; ++i) {
+    const auto rows = DistinctRows(
+        generator_.Generate(PatternShape::kDoubleRowCluster, rng));
+    // Split at the largest gap; both sides should be tight clusters.
+    std::vector<std::uint32_t> sorted(rows.begin(), rows.end());
+    if (sorted.size() < 2) continue;
+    std::size_t split = 0;
+    std::uint32_t best_gap = 0;
+    for (std::size_t j = 1; j < sorted.size(); ++j) {
+      if (sorted[j] - sorted[j - 1] > best_gap) {
+        best_gap = sorted[j] - sorted[j - 1];
+        split = j;
+      }
+    }
+    if (best_gap < 64) continue;  // both clusters collapsed together
+    const std::uint32_t left_span = sorted[split - 1] - sorted.front();
+    const std::uint32_t right_span = sorted.back() - sorted[split];
+    if (left_span <= 64 && right_span <= 64) ++two_groups;
+  }
+  EXPECT_GT(two_groups, kTrials * 5 / 10);
+}
+
+TEST_F(FaultTest, HalfTotalClusterAliasesAtHalfBank) {
+  Rng rng(12);
+  int aliased = 0;
+  constexpr int kTrials = 100;
+  for (int i = 0; i < kTrials; ++i) {
+    const auto rows = DistinctRows(
+        generator_.Generate(PatternShape::kHalfTotalRowCluster, rng));
+    const std::uint32_t half = topology_.rows_per_bank / 2;
+    // Some pair should be ~half a bank apart.
+    bool found = false;
+    for (std::uint32_t a : rows) {
+      for (std::uint32_t b : rows) {
+        if (b <= a) continue;
+        const std::uint32_t gap = b - a;
+        if (gap + 512 >= half && gap <= half + 512) found = true;
+      }
+    }
+    aliased += found;
+  }
+  EXPECT_GT(aliased, kTrials * 8 / 10);
+}
+
+TEST_F(FaultTest, ScatteredSpansTheBank) {
+  Rng rng(13);
+  double avg_span = 0.0;
+  constexpr int kTrials = 100;
+  for (int i = 0; i < kTrials; ++i) {
+    const auto rows =
+        DistinctRows(generator_.Generate(PatternShape::kScattered, rng));
+    ASSERT_GE(rows.size(), 4u);
+    avg_span += static_cast<double>(*rows.rbegin() - *rows.begin());
+  }
+  avg_span /= kTrials;
+  // Uniform rows span most of the bank on average.
+  EXPECT_GT(avg_span, topology_.rows_per_bank * 0.5);
+}
+
+TEST_F(FaultTest, WholeColumnUsesOneColumnAcrossManyRows) {
+  Rng rng(14);
+  for (int i = 0; i < 50; ++i) {
+    const BankFaultPlan plan =
+        generator_.Generate(PatternShape::kWholeColumn, rng);
+    ASSERT_GE(plan.uer_rows.size(), 10u);
+    std::set<std::uint32_t> cols;
+    for (const RowErrors& r : plan.uer_rows) {
+      cols.insert(r.cols.begin(), r.cols.end());
+    }
+    EXPECT_EQ(cols.size(), 1u);
+  }
+}
+
+TEST_F(FaultTest, ScatteredAndColumnGetMoreAmbientCes) {
+  Rng rng(15);
+  double single_ces = 0.0, scattered_ces = 0.0;
+  constexpr int kTrials = 200;
+  for (int i = 0; i < kTrials; ++i) {
+    single_ces += static_cast<double>(
+        generator_.Generate(PatternShape::kSingleRowCluster, rng).ce_rows.size());
+    scattered_ces += static_cast<double>(
+        generator_.Generate(PatternShape::kScattered, rng).ce_rows.size());
+  }
+  EXPECT_GT(scattered_ces, single_ces * 2);
+}
+
+TEST(Fault, CollapseToClassMatchesPaperTaxonomy) {
+  EXPECT_EQ(CollapseToClass(PatternShape::kSingleRowCluster),
+            FailureClass::kSingleRowClustering);
+  EXPECT_EQ(CollapseToClass(PatternShape::kDoubleRowCluster),
+            FailureClass::kDoubleRowClustering);
+  EXPECT_EQ(CollapseToClass(PatternShape::kHalfTotalRowCluster),
+            FailureClass::kDoubleRowClustering);
+  EXPECT_EQ(CollapseToClass(PatternShape::kScattered),
+            FailureClass::kScattered);
+  EXPECT_EQ(CollapseToClass(PatternShape::kWholeColumn),
+            FailureClass::kScattered);
+  EXPECT_EQ(CollapseToClass(PatternShape::kCeOnly), std::nullopt);
+}
+
+TEST(Fault, RootCausesArephysicallyConsistent) {
+  EXPECT_EQ(RootCauseOf(PatternShape::kSingleRowCluster), FaultKind::kSwdFault);
+  EXPECT_EQ(RootCauseOf(PatternShape::kDoubleRowCluster),
+            FaultKind::kSenseAmpFault);
+  EXPECT_EQ(RootCauseOf(PatternShape::kHalfTotalRowCluster),
+            FaultKind::kDieCrack);
+  EXPECT_EQ(RootCauseOf(PatternShape::kScattered), FaultKind::kTsvFault);
+  EXPECT_EQ(RootCauseOf(PatternShape::kWholeColumn),
+            FaultKind::kColumnDriverFault);
+}
+
+TEST(Fault, NamesAreStable) {
+  EXPECT_STREQ(PatternShapeName(PatternShape::kSingleRowCluster),
+               "single-row-cluster");
+  EXPECT_STREQ(FailureClassName(FailureClass::kScattered), "Scattered Pattern");
+  EXPECT_STREQ(FaultKindName(FaultKind::kTsvFault), "tsv");
+}
+
+TEST(Fault, GeneratorRejectsTinyBanks) {
+  TopologyConfig t;
+  t.rows_per_bank = 128;
+  EXPECT_THROW(FootprintGenerator generator(t), ContractViolation);
+}
+
+}  // namespace
+}  // namespace cordial::hbm

@@ -1,0 +1,39 @@
+#include "hbm/scrub.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace cordial::hbm {
+namespace {
+
+TEST(PatrolScrubber, NextSweepMath) {
+  PatrolScrubber scrubber(100.0, 10.0);
+  EXPECT_DOUBLE_EQ(scrubber.NextSweepAfter(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(scrubber.NextSweepAfter(10.0), 10.0);
+  EXPECT_DOUBLE_EQ(scrubber.NextSweepAfter(10.5), 110.0);
+  EXPECT_DOUBLE_EQ(scrubber.NextSweepAfter(110.0), 110.0);
+  EXPECT_DOUBLE_EQ(scrubber.NextSweepAfter(250.0), 310.0);
+}
+
+TEST(PatrolScrubber, ZeroPhaseDefaults) {
+  PatrolScrubber scrubber(24.0 * 3600.0);
+  EXPECT_DOUBLE_EQ(scrubber.NextSweepAfter(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(scrubber.NextSweepAfter(1.0), 24.0 * 3600.0);
+}
+
+TEST(PatrolScrubber, RaceSemantics) {
+  PatrolScrubber scrubber(100.0, 0.0);
+  // Fault at t=10: next sweep at t=100. Access 50s later (t=60) wins.
+  EXPECT_FALSE(scrubber.ScrubWinsRace(10.0, 50.0));
+  // Access 200s later (t=210): the t=100 sweep found it first.
+  EXPECT_TRUE(scrubber.ScrubWinsRace(10.0, 200.0));
+}
+
+TEST(PatrolScrubber, RejectsBadConfig) {
+  EXPECT_THROW(PatrolScrubber(0.0), ContractViolation);
+  EXPECT_THROW(PatrolScrubber(10.0, -1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace cordial::hbm

@@ -1,0 +1,69 @@
+#include "hbm/sparing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cordial::hbm {
+namespace {
+
+TEST(SparingLedger, RowSparingIsIdempotent) {
+  SparingLedger ledger;
+  EXPECT_TRUE(ledger.TrySpareRow(1, 100));
+  EXPECT_TRUE(ledger.TrySpareRow(1, 100));
+  EXPECT_EQ(ledger.rows_spared(), 1u);
+  EXPECT_TRUE(ledger.IsRowSpared(1, 100));
+  EXPECT_FALSE(ledger.IsRowSpared(1, 101));
+  EXPECT_FALSE(ledger.IsRowSpared(2, 100));
+}
+
+TEST(SparingLedger, RowBudgetIsPerBank) {
+  SparingBudget budget;
+  budget.rows_per_bank = 2;
+  SparingLedger ledger(budget);
+  EXPECT_TRUE(ledger.TrySpareRow(1, 1));
+  EXPECT_TRUE(ledger.TrySpareRow(1, 2));
+  EXPECT_FALSE(ledger.TrySpareRow(1, 3));  // bank 1 exhausted
+  EXPECT_TRUE(ledger.TrySpareRow(2, 3));   // bank 2 unaffected
+  // Re-sparing an existing row still succeeds after exhaustion.
+  EXPECT_TRUE(ledger.TrySpareRow(1, 2));
+  EXPECT_EQ(ledger.rows_spared(), 3u);
+}
+
+TEST(SparingLedger, BankSparing) {
+  SparingLedger ledger;
+  EXPECT_FALSE(ledger.IsBankSpared(7));
+  EXPECT_TRUE(ledger.TrySpareBank(7));
+  EXPECT_TRUE(ledger.TrySpareBank(7));  // idempotent
+  EXPECT_EQ(ledger.banks_spared(), 1u);
+  EXPECT_TRUE(ledger.IsBankSpared(7));
+}
+
+TEST(SparingLedger, BankSparingCanBeDisabled) {
+  SparingBudget budget;
+  budget.bank_sparing_available = false;
+  SparingLedger ledger(budget);
+  EXPECT_FALSE(ledger.TrySpareBank(7));
+  EXPECT_EQ(ledger.banks_spared(), 0u);
+}
+
+TEST(SparingLedger, RowIsolationIncludesBankSpares) {
+  SparingLedger ledger;
+  ledger.TrySpareBank(3);
+  ledger.TrySpareRow(4, 50);
+  EXPECT_TRUE(ledger.IsRowIsolated(3, 12345));  // any row of a spared bank
+  EXPECT_TRUE(ledger.IsRowIsolated(4, 50));
+  EXPECT_FALSE(ledger.IsRowIsolated(4, 51));
+}
+
+TEST(SparingLedger, CostAccounting) {
+  SparingBudget budget;
+  budget.row_spare_cost = 1.0;
+  budget.bank_spare_cost = 512.0;
+  SparingLedger ledger(budget);
+  ledger.TrySpareRow(1, 1);
+  ledger.TrySpareRow(1, 2);
+  ledger.TrySpareBank(9);
+  EXPECT_DOUBLE_EQ(ledger.total_cost(), 2.0 + 512.0);
+}
+
+}  // namespace
+}  // namespace cordial::hbm

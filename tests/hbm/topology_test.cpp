@@ -1,0 +1,73 @@
+#include "hbm/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace cordial::hbm {
+namespace {
+
+TEST(Topology, DefaultMatchesPaperPlatform) {
+  TopologyConfig t;
+  t.Validate();
+  // Paper platform: >10,000 NPUs, >80,000 HBMs (§I, §V-A).
+  EXPECT_GT(t.TotalNpus(), 10000u);
+  EXPECT_GT(t.TotalHbms(), 80000u);
+  EXPECT_EQ(t.TotalHbms(), t.TotalNpus() * t.hbms_per_npu);
+}
+
+TEST(Topology, HierarchyCountsMultiplyOut) {
+  TopologyConfig t;
+  EXPECT_EQ(t.ChannelsPerHbm(), 8u);          // 8 channels per stack
+  EXPECT_EQ(t.PseudoChannelsPerHbm(), 16u);   // x2 pseudo-channels
+  EXPECT_EQ(t.BankGroupsPerHbm(), 64u);       // x4 bank groups
+  EXPECT_EQ(t.BanksPerHbm(), 256u);           // x4 banks
+  EXPECT_EQ(t.TotalBanks(), t.TotalHbms() * 256u);
+}
+
+TEST(Topology, ValidateRejectsZeroDimensions) {
+  TopologyConfig t;
+  t.rows_per_bank = 0;
+  EXPECT_THROW(t.Validate(), ContractViolation);
+
+  TopologyConfig t2;
+  t2.nodes = 0;
+  EXPECT_THROW(t2.Validate(), ContractViolation);
+
+  TopologyConfig t3;
+  t3.banks_per_bank_group = 0;
+  EXPECT_THROW(t3.Validate(), ContractViolation);
+}
+
+TEST(Topology, ValidateRejectsAddressSpaceOverflow) {
+  TopologyConfig t;
+  t.nodes = 4000000000u;
+  t.rows_per_bank = 4000000000u;
+  EXPECT_THROW(t.Validate(), ContractViolation);
+}
+
+TEST(Topology, LevelNamesMatchPaperTables) {
+  EXPECT_STREQ(LevelName(Level::kNpu), "NPU");
+  EXPECT_STREQ(LevelName(Level::kHbm), "HBM");
+  EXPECT_STREQ(LevelName(Level::kSid), "SID");
+  EXPECT_STREQ(LevelName(Level::kPseudoChannel), "PS-CH");
+  EXPECT_STREQ(LevelName(Level::kBankGroup), "BG");
+  EXPECT_STREQ(LevelName(Level::kBank), "Bank");
+  EXPECT_STREQ(LevelName(Level::kRow), "Row");
+}
+
+TEST(Topology, AllLevelsOrderedCoarseToFine) {
+  ASSERT_EQ(std::size(kAllLevels), 7u);
+  EXPECT_EQ(kAllLevels[0], Level::kNpu);
+  EXPECT_EQ(kAllLevels[6], Level::kRow);
+}
+
+TEST(Topology, ToStringMentionsKeyCounts) {
+  TopologyConfig t;
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("total_npus=10240"), std::string::npos);
+  EXPECT_NE(s.find("total_hbms=81920"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cordial::hbm

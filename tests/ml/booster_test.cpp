@@ -1,0 +1,211 @@
+#include "ml/booster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace cordial::ml {
+namespace {
+
+Dataset Blobs2(std::size_t n_per_class, double noise, Rng& rng) {
+  Dataset data(3, 2);
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    const double a[] = {rng.Normal(-2, noise), rng.Normal(0, 1), rng.Normal(0, 1)};
+    data.AddRow(std::span<const double>(a, 3), 0);
+    const double b[] = {rng.Normal(2, noise), rng.Normal(0, 1), rng.Normal(0, 1)};
+    data.AddRow(std::span<const double>(b, 3), 1);
+  }
+  return data;
+}
+
+Dataset Blobs3(std::size_t n_per_class, double noise, Rng& rng) {
+  Dataset data(2, 3);
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    for (int cls = 0; cls < 3; ++cls) {
+      const double angle = cls * 2.094;
+      const double row[] = {2.5 * std::cos(angle) + rng.Normal(0, noise),
+                            2.5 * std::sin(angle) + rng.Normal(0, noise)};
+      data.AddRow(std::span<const double>(row, 2), cls);
+    }
+  }
+  return data;
+}
+
+double Accuracy(const Classifier& model, const Dataset& data) {
+  int correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    correct += model.Predict(data.row(i)) == data.label(i);
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+TEST(Softmax, BasicProperties) {
+  const std::vector<double> scores = {1.0, 2.0, 3.0};
+  const auto p = Softmax(scores);
+  double total = 0.0;
+  for (double v : p) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_LT(p[0], p[1]);
+  EXPECT_LT(p[1], p[2]);
+}
+
+TEST(Softmax, StableUnderLargeScores) {
+  const std::vector<double> scores = {1000.0, 1001.0};
+  const auto p = Softmax(scores);
+  EXPECT_FALSE(std::isnan(p[0]));
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-12);
+  EXPECT_NEAR(p[1] / p[0], std::exp(1.0), 1e-6);
+}
+
+TEST(Softmax, RejectsEmpty) {
+  EXPECT_THROW(Softmax(std::vector<double>{}), ContractViolation);
+}
+
+class BoosterKindTest
+    : public ::testing::TestWithParam<bool> {};  // histogram_leafwise?
+
+TEST_P(BoosterKindTest, LearnsBinaryBlobs) {
+  Rng rng(1);
+  const Dataset train = Blobs2(200, 0.6, rng);
+  const Dataset test = Blobs2(100, 0.6, rng);
+  BoosterOptions options;
+  options.n_rounds = 40;
+  auto model = GetParam() ? MakeLgbmStyleBooster(options)
+                          : MakeXgbStyleBooster(options);
+  Rng fit_rng(2);
+  model->Fit(train, fit_rng);
+  EXPECT_GT(Accuracy(*model, test), 0.95);
+}
+
+TEST_P(BoosterKindTest, LearnsThreeClassBlobs) {
+  Rng rng(3);
+  const Dataset train = Blobs3(150, 0.6, rng);
+  const Dataset test = Blobs3(80, 0.6, rng);
+  BoosterOptions options;
+  options.n_rounds = 40;
+  auto model = GetParam() ? MakeLgbmStyleBooster(options)
+                          : MakeXgbStyleBooster(options);
+  Rng fit_rng(4);
+  model->Fit(train, fit_rng);
+  EXPECT_GT(Accuracy(*model, test), 0.9);
+}
+
+TEST_P(BoosterKindTest, ProbabilitiesAreValid) {
+  Rng rng(5);
+  const Dataset train = Blobs3(50, 0.8, rng);
+  BoosterOptions options;
+  options.n_rounds = 15;
+  auto model = GetParam() ? MakeLgbmStyleBooster(options)
+                          : MakeXgbStyleBooster(options);
+  Rng fit_rng(6);
+  model->Fit(train, fit_rng);
+  for (std::size_t i = 0; i < train.size(); i += 13) {
+    const auto proba = model->PredictProba(train.row(i));
+    ASSERT_EQ(proba.size(), 3u);
+    double total = 0.0;
+    for (double p : proba) {
+      EXPECT_GE(p, 0.0);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST_P(BoosterKindTest, DeterministicGivenSeed) {
+  Rng rng(7);
+  const Dataset train = Blobs2(60, 1.0, rng);
+  BoosterOptions options;
+  options.n_rounds = 10;
+  auto a = GetParam() ? MakeLgbmStyleBooster(options)
+                      : MakeXgbStyleBooster(options);
+  auto b = GetParam() ? MakeLgbmStyleBooster(options)
+                      : MakeXgbStyleBooster(options);
+  Rng ra(8), rb(8);
+  a->Fit(train, ra);
+  b->Fit(train, rb);
+  for (std::size_t i = 0; i < train.size(); i += 9) {
+    EXPECT_EQ(a->PredictProba(train.row(i)), b->PredictProba(train.row(i)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Styles, BoosterKindTest, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "LgbmStyle" : "XgbStyle";
+                         });
+
+TEST(Booster, MoreRoundsImproveTrainingFit) {
+  Rng rng(9);
+  const Dataset train = Blobs2(150, 2.5, rng);  // heavily overlapping
+  BoosterOptions few;
+  few.n_rounds = 2;
+  few.learning_rate = 0.05;
+  BoosterOptions many = few;
+  many.n_rounds = 80;
+  auto weak = MakeXgbStyleBooster(few);
+  auto strong = MakeXgbStyleBooster(many);
+  Rng r1(10), r2(10);
+  weak->Fit(train, r1);
+  strong->Fit(train, r2);
+  EXPECT_GT(Accuracy(*strong, train), Accuracy(*weak, train));
+}
+
+TEST(Booster, BaseScoreReflectsClassPrior) {
+  // A booster fitted on a skewed dataset with no usable features must
+  // predict the majority class.
+  Dataset data(1, 2);
+  Rng noise(11);
+  for (int i = 0; i < 100; ++i) {
+    const double x = 1.0;  // constant feature
+    data.AddRow(std::span<const double>(&x, 1), i < 90 ? 0 : 1);
+  }
+  BoosterOptions options;
+  options.n_rounds = 5;
+  auto model = MakeXgbStyleBooster(options);
+  Rng rng(12);
+  model->Fit(data, rng);
+  const double x = 1.0;
+  EXPECT_EQ(model->Predict(std::span<const double>(&x, 1)), 0);
+  const auto proba = model->PredictProba(std::span<const double>(&x, 1));
+  EXPECT_GT(proba[0], 0.75);
+}
+
+TEST(Booster, NamesDistinguishStyles) {
+  EXPECT_EQ(MakeXgbStyleBooster()->name(), "XGBoost-style");
+  EXPECT_EQ(MakeLgbmStyleBooster()->name(), "LightGBM-style");
+}
+
+TEST(Booster, FactoryCoversAllKinds) {
+  EXPECT_NE(MakeClassifier(LearnerKind::kRandomForest), nullptr);
+  EXPECT_NE(MakeClassifier(LearnerKind::kXgbStyle), nullptr);
+  EXPECT_NE(MakeClassifier(LearnerKind::kLgbmStyle), nullptr);
+  EXPECT_STREQ(LearnerKindName(LearnerKind::kRandomForest), "Random Forest");
+  EXPECT_STREQ(LearnerKindName(LearnerKind::kXgbStyle), "XGBoost");
+  EXPECT_STREQ(LearnerKindName(LearnerKind::kLgbmStyle), "LightGBM");
+}
+
+TEST(Booster, RejectsBadOptions) {
+  BoosterOptions bad;
+  bad.n_rounds = 0;
+  EXPECT_THROW(GradientBoostedClassifier("x", bad, false), ContractViolation);
+  BoosterOptions bad_lr;
+  bad_lr.learning_rate = 0.0;
+  EXPECT_THROW(GradientBoostedClassifier("x", bad_lr, false),
+               ContractViolation);
+  BoosterOptions bad_sub;
+  bad_sub.subsample = 0.0;
+  EXPECT_THROW(GradientBoostedClassifier("x", bad_sub, false),
+               ContractViolation);
+}
+
+TEST(Booster, UnfittedPredictThrows) {
+  auto model = MakeXgbStyleBooster();
+  const double x[] = {0.0};
+  EXPECT_THROW(model->PredictProba(std::span<const double>(x, 1)),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace cordial::ml

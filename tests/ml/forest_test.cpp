@@ -1,0 +1,133 @@
+#include "ml/forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace cordial::ml {
+namespace {
+
+Dataset NoisyBlobs(std::size_t n_per_class, double noise, Rng& rng) {
+  Dataset data(4, 3, {"a", "b", "c", "d"});
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    for (int cls = 0; cls < 3; ++cls) {
+      const double angle = cls * 2.094;
+      const double row[] = {3.0 * std::cos(angle) + rng.Normal(0, noise),
+                            3.0 * std::sin(angle) + rng.Normal(0, noise),
+                            rng.Normal(0, 1.0), rng.Normal(0, 1.0)};
+      data.AddRow(std::span<const double>(row, 4), cls);
+    }
+  }
+  return data;
+}
+
+double Accuracy(const Classifier& model, const Dataset& data) {
+  int correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    correct += model.Predict(data.row(i)) == data.label(i);
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+TEST(RandomForest, LearnsThreeClassBlobs) {
+  Rng rng(1);
+  const Dataset train = NoisyBlobs(150, 0.8, rng);
+  const Dataset test = NoisyBlobs(80, 0.8, rng);
+  auto forest = MakeRandomForest();
+  Rng fit_rng(2);
+  forest->Fit(train, fit_rng);
+  EXPECT_GT(Accuracy(*forest, test), 0.9);
+}
+
+TEST(RandomForest, ProbabilitiesSumToOne) {
+  Rng rng(3);
+  const Dataset train = NoisyBlobs(50, 0.8, rng);
+  RandomForestOptions options;
+  options.n_trees = 20;
+  RandomForestClassifier forest(options);
+  Rng fit_rng(4);
+  forest.Fit(train, fit_rng);
+  for (std::size_t i = 0; i < train.size(); i += 7) {
+    const auto proba = forest.PredictProba(train.row(i));
+    double total = 0.0;
+    for (double p : proba) {
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(RandomForest, DeterministicGivenSeed) {
+  Rng rng(5);
+  const Dataset train = NoisyBlobs(60, 1.0, rng);
+  auto a = MakeRandomForest();
+  auto b = MakeRandomForest();
+  Rng ra(9), rb(9);
+  a->Fit(train, ra);
+  b->Fit(train, rb);
+  for (std::size_t i = 0; i < train.size(); i += 5) {
+    EXPECT_EQ(a->PredictProba(train.row(i)), b->PredictProba(train.row(i)));
+  }
+}
+
+TEST(RandomForest, TreeCountMatchesOptions) {
+  Rng rng(6);
+  const Dataset train = NoisyBlobs(20, 0.5, rng);
+  RandomForestOptions options;
+  options.n_trees = 13;
+  RandomForestClassifier forest(options);
+  Rng fit_rng(7);
+  forest.Fit(train, fit_rng);
+  EXPECT_EQ(forest.tree_count(), 13u);
+}
+
+TEST(RandomForest, WorksWithoutBootstrap) {
+  Rng rng(8);
+  const Dataset train = NoisyBlobs(50, 0.5, rng);
+  RandomForestOptions options;
+  options.bootstrap = false;
+  options.n_trees = 10;
+  RandomForestClassifier forest(options);
+  Rng fit_rng(9);
+  forest.Fit(train, fit_rng);
+  EXPECT_GT(Accuracy(forest, train), 0.95);
+}
+
+TEST(RandomForest, BeatsASingleShallowTree) {
+  Rng rng(10);
+  const Dataset train = NoisyBlobs(120, 1.6, rng);
+  const Dataset test = NoisyBlobs(120, 1.6, rng);
+
+  RandomForestOptions single_options;
+  single_options.n_trees = 1;
+  single_options.max_depth = 3;
+  RandomForestClassifier single(single_options);
+  RandomForestOptions forest_options;
+  forest_options.n_trees = 100;
+  RandomForestClassifier forest(forest_options);
+  Rng r1(11), r2(11);
+  single.Fit(train, r1);
+  forest.Fit(train, r2);
+  EXPECT_GE(Accuracy(forest, test), Accuracy(single, test));
+}
+
+TEST(RandomForest, RejectsBadUse) {
+  EXPECT_THROW(RandomForestClassifier(RandomForestOptions{.n_trees = 0}),
+               ContractViolation);
+  auto forest = MakeRandomForest();
+  const double x[] = {0.0, 0.0, 0.0, 0.0};
+  EXPECT_THROW(forest->PredictProba(std::span<const double>(x, 4)),
+               ContractViolation);
+}
+
+TEST(RandomForest, NameIsStable) {
+  EXPECT_EQ(MakeRandomForest()->name(), "RandomForest");
+}
+
+}  // namespace
+}  // namespace cordial::ml

@@ -1,0 +1,125 @@
+#include "ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace cordial::ml {
+namespace {
+
+ConfusionMatrix HandMatrix() {
+  // truth\pred   0   1   2
+  //   0          5   2   1      (support 8)
+  //   1          1   6   1      (support 8)
+  //   2          0   2   2      (support 4)
+  ConfusionMatrix cm(3);
+  auto add = [&](int t, int p, int n) {
+    for (int i = 0; i < n; ++i) cm.Add(t, p);
+  };
+  add(0, 0, 5);
+  add(0, 1, 2);
+  add(0, 2, 1);
+  add(1, 0, 1);
+  add(1, 1, 6);
+  add(1, 2, 1);
+  add(2, 1, 2);
+  add(2, 2, 2);
+  return cm;
+}
+
+TEST(ConfusionMatrix, CellsAndTotal) {
+  const ConfusionMatrix cm = HandMatrix();
+  EXPECT_EQ(cm.total(), 20u);
+  EXPECT_EQ(cm.at(0, 0), 5u);
+  EXPECT_EQ(cm.at(2, 1), 2u);
+  EXPECT_EQ(cm.at(2, 0), 0u);
+}
+
+TEST(ConfusionMatrix, PerClassMetricsHandComputed) {
+  const ConfusionMatrix cm = HandMatrix();
+  const ClassMetrics c0 = cm.Metrics(0);
+  EXPECT_NEAR(c0.precision, 5.0 / 6.0, 1e-12);
+  EXPECT_NEAR(c0.recall, 5.0 / 8.0, 1e-12);
+  EXPECT_NEAR(c0.f1, 2 * (5.0 / 6.0) * (5.0 / 8.0) / (5.0 / 6.0 + 5.0 / 8.0),
+              1e-12);
+  EXPECT_EQ(c0.support, 8u);
+
+  const ClassMetrics c2 = cm.Metrics(2);
+  EXPECT_NEAR(c2.precision, 2.0 / 4.0, 1e-12);
+  EXPECT_NEAR(c2.recall, 2.0 / 4.0, 1e-12);
+  EXPECT_EQ(c2.support, 4u);
+}
+
+TEST(ConfusionMatrix, WeightedAverageUsesSupports) {
+  const ConfusionMatrix cm = HandMatrix();
+  const ClassMetrics w = cm.WeightedAverage();
+  const ClassMetrics c0 = cm.Metrics(0);
+  const ClassMetrics c1 = cm.Metrics(1);
+  const ClassMetrics c2 = cm.Metrics(2);
+  EXPECT_NEAR(w.f1, (8 * c0.f1 + 8 * c1.f1 + 4 * c2.f1) / 20.0, 1e-12);
+  EXPECT_EQ(w.support, 20u);
+}
+
+TEST(ConfusionMatrix, MacroAverageIsUnweighted) {
+  const ConfusionMatrix cm = HandMatrix();
+  const ClassMetrics m = cm.MacroAverage();
+  const double expected =
+      (cm.Metrics(0).f1 + cm.Metrics(1).f1 + cm.Metrics(2).f1) / 3.0;
+  EXPECT_NEAR(m.f1, expected, 1e-12);
+}
+
+TEST(ConfusionMatrix, Accuracy) {
+  const ConfusionMatrix cm = HandMatrix();
+  EXPECT_NEAR(cm.Accuracy(), 13.0 / 20.0, 1e-12);
+  EXPECT_EQ(ConfusionMatrix(2).Accuracy(), 0.0);
+}
+
+TEST(ConfusionMatrix, ZeroDivisionYieldsZeroMetrics) {
+  ConfusionMatrix cm(3);
+  cm.Add(0, 0);
+  // Class 1 never appears: zero support, zero predictions.
+  const ClassMetrics c1 = cm.Metrics(1);
+  EXPECT_EQ(c1.precision, 0.0);
+  EXPECT_EQ(c1.recall, 0.0);
+  EXPECT_EQ(c1.f1, 0.0);
+  EXPECT_EQ(c1.support, 0u);
+}
+
+TEST(ConfusionMatrix, PerfectClassifier) {
+  ConfusionMatrix cm(2);
+  for (int i = 0; i < 10; ++i) cm.Add(i % 2, i % 2);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.WeightedAverage().f1, 1.0);
+}
+
+TEST(ConfusionMatrix, RejectsOutOfRange) {
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.Add(2, 0), ContractViolation);
+  EXPECT_THROW(cm.Add(0, -1), ContractViolation);
+  EXPECT_THROW(cm.at(0, 5), ContractViolation);
+  EXPECT_THROW(ConfusionMatrix(1), ContractViolation);
+}
+
+TEST(ConfusionMatrix, ToStringListsCells) {
+  const ConfusionMatrix cm = HandMatrix();
+  const std::string s = cm.ToString({"a", "b", "c"});
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("5"), std::string::npos);
+}
+
+TEST(BinaryMetrics, MatchesConfusionMatrix) {
+  const std::vector<int> truth = {1, 0, 1, 1, 0, 0, 1};
+  const std::vector<int> pred = {1, 0, 0, 1, 1, 0, 1};
+  const ClassMetrics m = BinaryMetrics(truth, pred);
+  // tp=3, fp=1, fn=1.
+  EXPECT_NEAR(m.precision, 0.75, 1e-12);
+  EXPECT_NEAR(m.recall, 0.75, 1e-12);
+  EXPECT_EQ(m.support, 4u);
+}
+
+TEST(BinaryMetrics, RejectsSizeMismatch) {
+  EXPECT_THROW(BinaryMetrics({1, 0}, {1}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace cordial::ml

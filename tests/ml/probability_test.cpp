@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "ml/booster.hpp"
+#include "ml/forest.hpp"
+#include "ml/metrics.hpp"
+
+namespace cordial::ml {
+namespace {
+
+// --------------------------------------------------------------- Brier
+
+TEST(BrierScore, PerfectAndWorstCases) {
+  EXPECT_DOUBLE_EQ(BrierScore({1.0, 0.0}, {1, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(BrierScore({0.0, 1.0}, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(BrierScore({0.5, 0.5}, {1, 0}), 0.25);
+}
+
+TEST(BrierScore, HandComputed) {
+  // (0.8-1)^2 + (0.3-0)^2 + (0.6-1)^2 = 0.04 + 0.09 + 0.16 = 0.29 / 3.
+  EXPECT_NEAR(BrierScore({0.8, 0.3, 0.6}, {1, 0, 1}), 0.29 / 3.0, 1e-12);
+}
+
+TEST(BrierScore, RejectsBadInput) {
+  EXPECT_THROW(BrierScore({0.5}, {1, 0}), ContractViolation);
+  EXPECT_THROW(BrierScore({}, {}), ContractViolation);
+  EXPECT_THROW(BrierScore({1.5}, {1}), ContractViolation);
+  EXPECT_THROW(BrierScore({0.5}, {2}), ContractViolation);
+}
+
+// --------------------------------------------------------- calibration
+
+TEST(CalibrationCurve, BinsPopulateCorrectly) {
+  const std::vector<double> proba = {0.05, 0.15, 0.15, 0.95, 1.0};
+  const std::vector<int> truth = {0, 0, 1, 1, 1};
+  const auto bins = CalibrationCurve(proba, truth, 10);
+  ASSERT_EQ(bins.size(), 10u);
+  EXPECT_EQ(bins[0].count, 1u);
+  EXPECT_EQ(bins[1].count, 2u);
+  EXPECT_NEAR(bins[1].mean_predicted, 0.15, 1e-12);
+  EXPECT_NEAR(bins[1].fraction_positive, 0.5, 1e-12);
+  // p == 1.0 clamps into the last bin.
+  EXPECT_EQ(bins[9].count, 2u);
+  EXPECT_EQ(bins[5].count, 0u);
+}
+
+TEST(CalibrationCurve, RejectsBadInput) {
+  EXPECT_THROW(CalibrationCurve({0.5}, {1}, 1), ContractViolation);
+  EXPECT_THROW(CalibrationCurve({0.5, 0.5}, {1}, 10), ContractViolation);
+}
+
+TEST(ExpectedCalibrationError, ZeroForPerfectCalibration) {
+  // Bin at 0.25 with 25% positives, bin at 0.75 with 75% positives.
+  std::vector<double> proba;
+  std::vector<int> truth;
+  for (int i = 0; i < 100; ++i) {
+    proba.push_back(0.25);
+    truth.push_back(i % 4 == 0 ? 1 : 0);
+    proba.push_back(0.75);
+    truth.push_back(i % 4 != 0 ? 1 : 0);
+  }
+  EXPECT_NEAR(ExpectedCalibrationError(proba, truth, 10), 0.0, 1e-12);
+}
+
+TEST(ExpectedCalibrationError, DetectsOverconfidence) {
+  // Claims 0.95 but only half are positive.
+  std::vector<double> proba(100, 0.95);
+  std::vector<int> truth;
+  for (int i = 0; i < 100; ++i) truth.push_back(i % 2);
+  EXPECT_NEAR(ExpectedCalibrationError(proba, truth, 10), 0.45, 1e-12);
+}
+
+// ----------------------------------- learned probabilities are useful
+
+TEST(ProbabilityQuality, ForestProbabilitiesBeatCoinOnBlobs) {
+  Rng rng(1);
+  Dataset train(2, 2), test(2, 2);
+  for (int i = 0; i < 400; ++i) {
+    const double a[] = {rng.Normal(-1, 1.2), rng.Normal(0, 1)};
+    (i < 300 ? train : test).AddRow(std::span<const double>(a, 2), 0);
+    const double b[] = {rng.Normal(1, 1.2), rng.Normal(0, 1)};
+    (i < 300 ? train : test).AddRow(std::span<const double>(b, 2), 1);
+  }
+  auto forest = MakeRandomForest();
+  Rng fit_rng(2);
+  forest->Fit(train, fit_rng);
+  std::vector<double> proba;
+  std::vector<int> truth;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    proba.push_back(forest->PredictProba(test.row(i))[1]);
+    truth.push_back(test.label(i));
+  }
+  EXPECT_LT(BrierScore(proba, truth), 0.20);       // informative
+  EXPECT_LT(ExpectedCalibrationError(proba, truth), 0.15);  // honest
+}
+
+// ----------------------------------------------------------- importance
+
+TEST(FeatureImportance, ForestFindsTheInformativeFeature) {
+  Rng rng(3);
+  Dataset data(4, 2);
+  for (int i = 0; i < 400; ++i) {
+    const int label = i % 2;
+    const double row[] = {rng.Normal(0, 1), rng.Normal(0, 1),
+                          label == 0 ? rng.Normal(-2, 0.5)
+                                     : rng.Normal(2, 0.5),
+                          rng.Normal(0, 1)};
+    data.AddRow(std::span<const double>(row, 4), label);
+  }
+  auto forest = MakeRandomForest();
+  Rng fit_rng(4);
+  forest->Fit(data, fit_rng);
+  const auto importance = forest->FeatureImportance();
+  ASSERT_EQ(importance.size(), 4u);
+  double total = 0.0;
+  for (double v : importance) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(importance[2], 0.6);
+  EXPECT_GT(importance[2], importance[0] + importance[1] + importance[3]);
+}
+
+TEST(FeatureImportance, BoosterFindsTheInformativeFeature) {
+  Rng rng(5);
+  Dataset data(3, 2);
+  for (int i = 0; i < 300; ++i) {
+    const int label = i % 2;
+    const double row[] = {rng.Normal(0, 1),
+                          label == 0 ? rng.Normal(-2, 0.5)
+                                     : rng.Normal(2, 0.5),
+                          rng.Normal(0, 1)};
+    data.AddRow(std::span<const double>(row, 3), label);
+  }
+  for (auto kind : {LearnerKind::kXgbStyle, LearnerKind::kLgbmStyle}) {
+    auto model = MakeClassifier(kind);
+    Rng fit_rng(6);
+    model->Fit(data, fit_rng);
+    const auto importance = model->FeatureImportance();
+    ASSERT_EQ(importance.size(), 3u);
+    EXPECT_GT(importance[1], 0.5) << LearnerKindName(kind);
+  }
+}
+
+TEST(FeatureImportance, EmptyBeforeFitting) {
+  EXPECT_TRUE(MakeRandomForest()->FeatureImportance().empty());
+  EXPECT_TRUE(MakeXgbStyleBooster()->FeatureImportance().empty());
+}
+
+// ----------------------------------------------------------------- GOSS
+
+TEST(Goss, StillLearnsTheProblem) {
+  Rng rng(7);
+  Dataset train(2, 2), test(2, 2);
+  for (int i = 0; i < 500; ++i) {
+    const double a[] = {rng.Normal(-2, 0.6), rng.Normal(0, 1)};
+    (i < 350 ? train : test).AddRow(std::span<const double>(a, 2), 0);
+    const double b[] = {rng.Normal(2, 0.6), rng.Normal(0, 1)};
+    (i < 350 ? train : test).AddRow(std::span<const double>(b, 2), 1);
+  }
+  BoosterOptions options;
+  options.n_rounds = 40;
+  options.goss = true;
+  auto model = MakeLgbmStyleBooster(options);
+  Rng fit_rng(8);
+  model->Fit(train, fit_rng);
+  int correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    correct += model->Predict(test.row(i)) == test.label(i);
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(test.size()),
+            0.95);
+}
+
+TEST(Goss, DeterministicGivenSeed) {
+  Rng rng(9);
+  Dataset data(2, 2);
+  for (int i = 0; i < 200; ++i) {
+    const double row[] = {rng.Normal(i % 2 ? 2 : -2, 1.0), rng.Normal(0, 1)};
+    data.AddRow(std::span<const double>(row, 2), i % 2);
+  }
+  BoosterOptions options;
+  options.n_rounds = 10;
+  options.goss = true;
+  auto a = MakeLgbmStyleBooster(options);
+  auto b = MakeLgbmStyleBooster(options);
+  Rng ra(10), rb(10);
+  a->Fit(data, ra);
+  b->Fit(data, rb);
+  for (std::size_t i = 0; i < data.size(); i += 11) {
+    EXPECT_EQ(a->PredictProba(data.row(i)), b->PredictProba(data.row(i)));
+  }
+}
+
+}  // namespace
+}  // namespace cordial::ml

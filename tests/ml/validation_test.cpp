@@ -1,0 +1,128 @@
+#include "ml/validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "ml/booster.hpp"
+#include "ml/forest.hpp"
+
+namespace cordial::ml {
+namespace {
+
+Dataset SeparableBlobs(std::size_t n_per_class, Rng& rng) {
+  Dataset data(3, 2);
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    const double a[] = {rng.Normal(-2, 0.6), rng.Normal(0, 1), rng.Normal(0, 1)};
+    data.AddRow(std::span<const double>(a, 3), 0);
+    const double b[] = {rng.Normal(2, 0.6), rng.Normal(0, 1), rng.Normal(0, 1)};
+    data.AddRow(std::span<const double>(b, 3), 1);
+  }
+  return data;
+}
+
+TEST(CrossValidate, HighAccuracyOnSeparableData) {
+  Rng rng(1);
+  const Dataset data = SeparableBlobs(120, rng);
+  Rng cv_rng(2);
+  const CrossValidationResult result = CrossValidate(
+      data,
+      [] {
+        return MakeRandomForest(RandomForestOptions{.n_trees = 30});
+      },
+      5, cv_rng);
+  ASSERT_EQ(result.fold_accuracy.size(), 5u);
+  EXPECT_GT(result.mean_accuracy, 0.95);
+  EXPECT_GT(result.mean_weighted_f1, 0.95);
+  EXPECT_LT(result.stddev_accuracy, 0.05);
+}
+
+TEST(CrossValidate, NearChanceOnNoise) {
+  Rng rng(3);
+  Dataset data(2, 2);
+  for (int i = 0; i < 300; ++i) {
+    const double row[] = {rng.Normal(0, 1), rng.Normal(0, 1)};
+    data.AddRow(std::span<const double>(row, 2), i % 2);
+  }
+  Rng cv_rng(4);
+  const CrossValidationResult result = CrossValidate(
+      data,
+      [] {
+        return MakeRandomForest(RandomForestOptions{.n_trees = 20});
+      },
+      4, cv_rng);
+  EXPECT_LT(result.mean_accuracy, 0.62);
+  EXPECT_GT(result.mean_accuracy, 0.38);
+}
+
+TEST(CrossValidate, FoldsPartitionTheData) {
+  // With k folds, fold accuracies exist for every fold even with a skewed
+  // class (stratification keeps both classes in every fold).
+  Rng rng(5);
+  Dataset data(1, 2);
+  for (int i = 0; i < 100; ++i) {
+    const double x = i < 80 ? rng.Normal(-1, 1) : rng.Normal(1, 1);
+    data.AddRow(std::span<const double>(&x, 1), i < 80 ? 0 : 1);
+  }
+  Rng cv_rng(6);
+  const auto result = CrossValidate(
+      data, [] { return MakeRandomForest(RandomForestOptions{.n_trees = 5}); },
+      5, cv_rng);
+  for (double accuracy : result.fold_accuracy) {
+    EXPECT_GT(accuracy, 0.3);  // a fold without both classes would be weird
+  }
+}
+
+TEST(CrossValidate, RejectsBadConfig) {
+  Rng rng(7);
+  const Dataset data = SeparableBlobs(10, rng);
+  auto factory = [] { return MakeRandomForest(); };
+  EXPECT_THROW(CrossValidate(data, factory, 1, rng), ContractViolation);
+  Dataset tiny(1, 2);
+  const double x = 0.0;
+  tiny.AddRow(std::span<const double>(&x, 1), 0);
+  EXPECT_THROW(CrossValidate(tiny, factory, 2, rng), ContractViolation);
+}
+
+TEST(PermutationImportance, InformativeFeatureDominates) {
+  Rng rng(8);
+  const Dataset data = SeparableBlobs(150, rng);  // feature 0 informative
+  auto model = MakeRandomForest();
+  Rng fit_rng(9);
+  model->Fit(data, fit_rng);
+  Rng perm_rng(10);
+  const auto importance = PermutationImportance(*model, data, 3, perm_rng);
+  ASSERT_EQ(importance.size(), 3u);
+  EXPECT_GT(importance[0], 0.25);        // shuffling it destroys accuracy
+  EXPECT_LT(std::abs(importance[1]), 0.05);  // noise features barely matter
+  EXPECT_LT(std::abs(importance[2]), 0.05);
+}
+
+TEST(PermutationImportance, AgreesWithGainImportanceOnRanking) {
+  Rng rng(11);
+  const Dataset data = SeparableBlobs(150, rng);
+  auto model = MakeXgbStyleBooster(BoosterOptions{.n_rounds = 30});
+  Rng fit_rng(12);
+  model->Fit(data, fit_rng);
+  Rng perm_rng(13);
+  const auto permutation = PermutationImportance(*model, data, 2, perm_rng);
+  const auto gain = model->FeatureImportance();
+  // Both rank feature 0 first.
+  EXPECT_EQ(std::max_element(permutation.begin(), permutation.end()) -
+                permutation.begin(),
+            0);
+  EXPECT_EQ(std::max_element(gain.begin(), gain.end()) - gain.begin(), 0);
+}
+
+TEST(PermutationImportance, RejectsBadInput) {
+  Rng rng(14);
+  const Dataset data = SeparableBlobs(10, rng);
+  auto model = MakeRandomForest();
+  Rng fit_rng(15);
+  model->Fit(data, fit_rng);
+  EXPECT_THROW(PermutationImportance(*model, data, 0, rng),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace cordial::ml

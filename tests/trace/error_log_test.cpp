@@ -1,0 +1,125 @@
+#include "trace/error_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hbm/address.hpp"
+
+namespace cordial::trace {
+namespace {
+
+using hbm::DeviceAddress;
+using hbm::ErrorType;
+
+MceRecord Make(double t, std::uint32_t bank, std::uint32_t row,
+               ErrorType type) {
+  MceRecord r;
+  r.time_s = t;
+  r.address.bank = bank;
+  r.address.row = row;
+  r.type = type;
+  return r;
+}
+
+TEST(MceRecord, OrderingIsTimeFirst) {
+  const MceRecord a = Make(1.0, 3, 9, ErrorType::kUer);
+  const MceRecord b = Make(2.0, 0, 0, ErrorType::kCe);
+  EXPECT_LT(a, b);
+}
+
+TEST(MceRecord, TieBreakByAddressThenType) {
+  const MceRecord a = Make(1.0, 0, 5, ErrorType::kCe);
+  const MceRecord b = Make(1.0, 0, 6, ErrorType::kCe);
+  EXPECT_LT(a, b);
+  const MceRecord c = Make(1.0, 0, 5, ErrorType::kUer);
+  EXPECT_LT(a, c);
+}
+
+TEST(MceRecord, ToStringMentionsTypeAndAddress) {
+  const std::string s = Make(3.5, 1, 42, ErrorType::kUeo).ToString();
+  EXPECT_NE(s.find("UEO"), std::string::npos);
+  EXPECT_NE(s.find("row42"), std::string::npos);
+}
+
+TEST(ErrorLog, SortProducesCanonicalOrder) {
+  ErrorLog log;
+  log.Add(Make(5.0, 0, 1, ErrorType::kCe));
+  log.Add(Make(1.0, 0, 2, ErrorType::kUer));
+  log.Add(Make(3.0, 0, 3, ErrorType::kUeo));
+  log.Sort();
+  EXPECT_DOUBLE_EQ(log.records()[0].time_s, 1.0);
+  EXPECT_DOUBLE_EQ(log.records()[1].time_s, 3.0);
+  EXPECT_DOUBLE_EQ(log.records()[2].time_s, 5.0);
+}
+
+TEST(ErrorLog, GroupByBankSplitsAndSorts) {
+  hbm::TopologyConfig t;
+  hbm::AddressCodec codec(t);
+  ErrorLog log;
+  log.Add(Make(5.0, 1, 10, ErrorType::kUer));
+  log.Add(Make(1.0, 1, 11, ErrorType::kCe));
+  log.Add(Make(2.0, 2, 12, ErrorType::kCe));
+  const auto banks = log.GroupByBank(codec);
+  ASSERT_EQ(banks.size(), 2u);
+  // Output sorted by bank key; bank 1 < bank 2.
+  EXPECT_EQ(banks[0].events.size(), 2u);
+  EXPECT_DOUBLE_EQ(banks[0].events[0].time_s, 1.0);  // time-sorted per bank
+  EXPECT_DOUBLE_EQ(banks[0].events[1].time_s, 5.0);
+  EXPECT_EQ(banks[1].events.size(), 1u);
+  EXPECT_LT(banks[0].bank_key, banks[1].bank_key);
+}
+
+TEST(ErrorLog, GroupByBankOnEmptyLog) {
+  hbm::TopologyConfig t;
+  hbm::AddressCodec codec(t);
+  EXPECT_TRUE(ErrorLog{}.GroupByBank(codec).empty());
+}
+
+TEST(BankHistory, OfTypePreservesOrder) {
+  BankHistory bank;
+  bank.events = {Make(1.0, 0, 1, ErrorType::kCe),
+                 Make(2.0, 0, 2, ErrorType::kUer),
+                 Make(3.0, 0, 3, ErrorType::kCe)};
+  const auto ces = bank.OfType(ErrorType::kCe);
+  ASSERT_EQ(ces.size(), 2u);
+  EXPECT_DOUBLE_EQ(ces[0].time_s, 1.0);
+  EXPECT_DOUBLE_EQ(ces[1].time_s, 3.0);
+  EXPECT_EQ(bank.OfType(ErrorType::kUeo).size(), 0u);
+}
+
+TEST(BankHistory, FirstUerTimeAndHasUer) {
+  BankHistory bank;
+  bank.events = {Make(1.0, 0, 1, ErrorType::kCe),
+                 Make(2.5, 0, 2, ErrorType::kUer),
+                 Make(3.0, 0, 2, ErrorType::kUer)};
+  EXPECT_TRUE(bank.HasUer());
+  EXPECT_DOUBLE_EQ(bank.FirstUerTime(), 2.5);
+
+  BankHistory no_uer;
+  no_uer.events = {Make(1.0, 0, 1, ErrorType::kCe)};
+  EXPECT_FALSE(no_uer.HasUer());
+  EXPECT_TRUE(std::isinf(no_uer.FirstUerTime()));
+}
+
+TEST(BankHistory, CountBeforeIsStrict) {
+  BankHistory bank;
+  bank.events = {Make(1.0, 0, 1, ErrorType::kCe),
+                 Make(2.0, 0, 2, ErrorType::kCe),
+                 Make(2.0, 0, 3, ErrorType::kUeo),
+                 Make(3.0, 0, 4, ErrorType::kCe)};
+  EXPECT_EQ(bank.CountBefore(hbm::ErrorType::kCe, 2.0), 1u);  // strictly before
+  EXPECT_EQ(bank.CountBefore(hbm::ErrorType::kCe, 3.5), 3u);
+  EXPECT_EQ(bank.CountBefore(hbm::ErrorType::kUeo, 2.0), 0u);
+  EXPECT_EQ(bank.CountBefore(hbm::ErrorType::kUeo, 2.5), 1u);
+}
+
+TEST(ErrorLog, AppendBulk) {
+  ErrorLog log;
+  log.Append({Make(1.0, 0, 1, ErrorType::kCe), Make(2.0, 0, 2, ErrorType::kCe)});
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_FALSE(log.empty());
+}
+
+}  // namespace
+}  // namespace cordial::trace

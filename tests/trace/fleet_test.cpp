@@ -1,0 +1,181 @@
+#include "trace/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "analysis/empirical.hpp"
+#include "common/check.hpp"
+#include "hbm/address.hpp"
+
+namespace cordial::trace {
+namespace {
+
+GeneratedFleet SmallFleet(std::uint64_t seed, double scale = 0.05) {
+  hbm::TopologyConfig topology;
+  CalibrationProfile profile;
+  profile.scale = scale;
+  FleetGenerator generator(topology, profile);
+  return generator.Generate(seed);
+}
+
+TEST(Fleet, DeterministicGivenSeed) {
+  const GeneratedFleet a = SmallFleet(5);
+  const GeneratedFleet b = SmallFleet(5);
+  ASSERT_EQ(a.log.size(), b.log.size());
+  for (std::size_t i = 0; i < a.log.size(); i += 37) {
+    EXPECT_EQ(a.log.records()[i], b.log.records()[i]);
+  }
+  ASSERT_EQ(a.banks.size(), b.banks.size());
+}
+
+TEST(Fleet, DifferentSeedsDiffer) {
+  const GeneratedFleet a = SmallFleet(5);
+  const GeneratedFleet b = SmallFleet(6);
+  EXPECT_NE(a.log.size(), b.log.size());
+}
+
+TEST(Fleet, LogIsTimeSorted) {
+  const GeneratedFleet fleet = SmallFleet(7);
+  double prev = 0.0;
+  for (const MceRecord& r : fleet.log.records()) {
+    EXPECT_GE(r.time_s, prev);
+    prev = r.time_s;
+  }
+}
+
+TEST(Fleet, BankIndexIsConsistent) {
+  const GeneratedFleet fleet = SmallFleet(8);
+  hbm::AddressCodec codec(fleet.topology);
+  for (const BankTruth& truth : fleet.banks) {
+    EXPECT_EQ(codec.BankKey(truth.base), truth.bank_key);
+    const BankTruth* found = fleet.FindBank(truth.bank_key);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->bank_key, truth.bank_key);
+  }
+  EXPECT_EQ(fleet.FindBank(0xffffffffffffULL), nullptr);
+}
+
+TEST(Fleet, TruthClassMatchesShapeCollapse) {
+  const GeneratedFleet fleet = SmallFleet(9);
+  for (const BankTruth& truth : fleet.banks) {
+    EXPECT_EQ(truth.failure_class, hbm::CollapseToClass(truth.shape));
+    if (truth.shape == hbm::PatternShape::kCeOnly) {
+      EXPECT_TRUE(truth.planned_uer_rows.empty());
+    } else {
+      EXPECT_FALSE(truth.planned_uer_rows.empty());
+    }
+  }
+}
+
+TEST(Fleet, EveryLogRecordBelongsToAKnownBank) {
+  const GeneratedFleet fleet = SmallFleet(10);
+  hbm::AddressCodec codec(fleet.topology);
+  for (std::size_t i = 0; i < fleet.log.size(); i += 11) {
+    const MceRecord& r = fleet.log.records()[i];
+    EXPECT_NE(fleet.FindBank(codec.BankKey(r.address)), nullptr);
+  }
+}
+
+TEST(Fleet, ScaleControlsSize) {
+  const GeneratedFleet small = SmallFleet(11, 0.02);
+  const GeneratedFleet large = SmallFleet(11, 0.10);
+  EXPECT_GT(large.banks.size(), small.banks.size() * 3);
+}
+
+TEST(Fleet, ProfileValidation) {
+  CalibrationProfile bad;
+  bad.scale = 0.0;
+  EXPECT_THROW(bad.Validate(), ContractViolation);
+  CalibrationProfile bad_mix;
+  bad_mix.mix_single = 0.9;  // mix no longer sums to 1
+  EXPECT_THROW(bad_mix.Validate(), ContractViolation);
+}
+
+// ---- Calibration against the paper's published marginals ----
+
+class FleetCalibrationTest : public ::testing::Test {
+ protected:
+  static const GeneratedFleet& Fleet() {
+    static const GeneratedFleet fleet = SmallFleet(42, 0.5);
+    return fleet;
+  }
+};
+
+TEST_F(FleetCalibrationTest, PatternMixMatchesFig3b) {
+  std::map<hbm::PatternShape, double> counts;
+  double total = 0.0;
+  for (const BankTruth& truth : Fleet().banks) {
+    if (truth.shape == hbm::PatternShape::kCeOnly) continue;
+    counts[truth.shape] += 1.0;
+    total += 1.0;
+  }
+  ASSERT_GT(total, 200.0);
+  EXPECT_NEAR(counts[hbm::PatternShape::kSingleRowCluster] / total, 0.682, 0.05);
+  EXPECT_NEAR(counts[hbm::PatternShape::kDoubleRowCluster] / total, 0.099, 0.04);
+  EXPECT_NEAR(counts[hbm::PatternShape::kHalfTotalRowCluster] / total, 0.073,
+              0.04);
+  EXPECT_NEAR(counts[hbm::PatternShape::kScattered] / total, 0.125, 0.04);
+  EXPECT_NEAR(counts[hbm::PatternShape::kWholeColumn] / total, 0.021, 0.02);
+}
+
+TEST_F(FleetCalibrationTest, SuddenRowRatioMatchesTableI) {
+  hbm::AddressCodec codec(Fleet().topology);
+  const auto rows = analysis::ComputeSuddenUerStudy(Fleet().log, codec);
+  const auto& row_level = rows.back();
+  ASSERT_EQ(row_level.level, hbm::Level::kRow);
+  // Paper: 4.39% predictable at row level.
+  EXPECT_NEAR(row_level.PredictableRatio(), 0.0439, 0.02);
+}
+
+TEST_F(FleetCalibrationTest, PredictabilityRisesTowardCoarseLevels) {
+  hbm::AddressCodec codec(Fleet().topology);
+  const auto rows = analysis::ComputeSuddenUerStudy(Fleet().log, codec);
+  ASSERT_EQ(rows.size(), 7u);
+  const double npu = rows[0].PredictableRatio();
+  const double bank = rows[5].PredictableRatio();
+  const double row = rows[6].PredictableRatio();
+  // Paper Table I: 41.86% (NPU) > 29.23% (bank) >> 4.39% (row).
+  EXPECT_GT(npu, bank + 0.03);
+  EXPECT_GT(bank, row + 0.15);
+  EXPECT_NEAR(bank, 0.2923, 0.08);
+  EXPECT_NEAR(npu, 0.4186, 0.10);
+}
+
+TEST_F(FleetCalibrationTest, UerRowsPerBankMatchesTableII) {
+  hbm::AddressCodec codec(Fleet().topology);
+  const auto summary = analysis::ComputeDatasetSummary(Fleet().log, codec);
+  const auto& bank_row = summary[5];
+  const auto& row_row = summary[6];
+  ASSERT_EQ(bank_row.level, hbm::Level::kBank);
+  ASSERT_EQ(row_row.level, hbm::Level::kRow);
+  const double rows_per_bank = static_cast<double>(row_row.with_uer) /
+                               static_cast<double>(bank_row.with_uer);
+  // Paper Table II: 5209 UER rows / 1074 UER banks = 4.85.
+  EXPECT_NEAR(rows_per_bank, 4.85, 1.5);
+}
+
+TEST_F(FleetCalibrationTest, EntityCountsCompressTowardCoarseLevels) {
+  hbm::AddressCodec codec(Fleet().topology);
+  const auto summary = analysis::ComputeDatasetSummary(Fleet().log, codec);
+  // with_uer must be non-decreasing from NPU (coarse) to row (fine).
+  for (std::size_t i = 1; i < summary.size(); ++i) {
+    EXPECT_GE(summary[i].with_uer, summary[i - 1].with_uer)
+        << "level " << hbm::LevelName(summary[i].level);
+  }
+  // Banks-per-BG compression in the paper: 1074/686 ~ 1.57.
+  const double banks_per_bg = static_cast<double>(summary[5].with_uer) /
+                              static_cast<double>(summary[4].with_uer);
+  EXPECT_NEAR(banks_per_bg, 1.57, 0.35);
+}
+
+TEST_F(FleetCalibrationTest, CeBanksVastlyOutnumberUerBanks) {
+  hbm::AddressCodec codec(Fleet().topology);
+  const auto summary = analysis::ComputeDatasetSummary(Fleet().log, codec);
+  const auto& bank_row = summary[5];
+  // Paper Table II: 8557 CE banks vs 1074 UER banks (~8x).
+  EXPECT_GT(bank_row.with_ce, bank_row.with_uer * 5);
+}
+
+}  // namespace
+}  // namespace cordial::trace

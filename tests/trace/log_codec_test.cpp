@@ -1,0 +1,102 @@
+#include "trace/log_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "trace/fleet.hpp"
+
+namespace cordial::trace {
+namespace {
+
+TEST(LogCodec, RoundTripsHandcraftedRecords) {
+  ErrorLog log;
+  MceRecord r;
+  r.time_s = 1234.5;
+  r.address = {1, 2, 3, 1, 2, 1, 3, 2, 30000, 101};
+  r.type = hbm::ErrorType::kUeo;
+  log.Add(r);
+  r.time_s = 99.25;
+  r.type = hbm::ErrorType::kCe;
+  r.address.row = 0;
+  log.Add(r);
+
+  std::stringstream buffer;
+  LogCodec::WriteCsv(log, buffer);
+  const ErrorLog parsed = LogCodec::ReadCsv(buffer);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed.records()[0], log.records()[0]);
+  EXPECT_EQ(parsed.records()[1], log.records()[1]);
+}
+
+TEST(LogCodec, RoundTripsGeneratedFleetLog) {
+  hbm::TopologyConfig topology;
+  CalibrationProfile profile;
+  profile.scale = 0.02;
+  FleetGenerator generator(topology, profile);
+  const GeneratedFleet fleet = generator.Generate(1);
+  ASSERT_GT(fleet.log.size(), 100u);
+
+  std::stringstream buffer;
+  LogCodec::WriteCsv(fleet.log, buffer);
+  const ErrorLog parsed = LogCodec::ReadCsv(buffer);
+  ASSERT_EQ(parsed.size(), fleet.log.size());
+  for (std::size_t i = 0; i < parsed.size(); i += 97) {
+    EXPECT_EQ(parsed.records()[i], fleet.log.records()[i]);
+  }
+}
+
+TEST(LogCodec, HeaderOnlyYieldsEmptyLog) {
+  std::istringstream in(
+      "time_s,node,npu,hbm,sid,channel,pseudo_channel,bank_group,bank,row,"
+      "col,type\n");
+  EXPECT_TRUE(LogCodec::ReadCsv(in).empty());
+}
+
+TEST(LogCodec, EmptyInputThrows) {
+  std::istringstream in("");
+  EXPECT_THROW(LogCodec::ReadCsv(in), ParseError);
+}
+
+TEST(LogCodec, WrongArityThrows) {
+  std::istringstream in("header\n1.0,2,3\n");
+  EXPECT_THROW(LogCodec::ReadCsv(in), ParseError);
+}
+
+TEST(LogCodec, BadNumberThrows) {
+  std::istringstream in(
+      "h,h,h,h,h,h,h,h,h,h,h,h\n"
+      "1.0,0,0,0,0,0,0,0,0,abc,0,CE\n");
+  EXPECT_THROW(LogCodec::ReadCsv(in), ParseError);
+}
+
+TEST(LogCodec, BadTimeThrows) {
+  std::istringstream in(
+      "h,h,h,h,h,h,h,h,h,h,h,h\n"
+      "not-a-time,0,0,0,0,0,0,0,0,0,0,CE\n");
+  EXPECT_THROW(LogCodec::ReadCsv(in), ParseError);
+}
+
+TEST(LogCodec, UnknownErrorTypeThrows) {
+  std::istringstream in(
+      "h,h,h,h,h,h,h,h,h,h,h,h\n"
+      "1.0,0,0,0,0,0,0,0,0,0,0,FATAL\n");
+  EXPECT_THROW(LogCodec::ReadCsv(in), ParseError);
+}
+
+TEST(LogCodec, AllErrorTypesParse) {
+  std::istringstream in(
+      "h,h,h,h,h,h,h,h,h,h,h,h\n"
+      "1.0,0,0,0,0,0,0,0,0,0,0,CE\n"
+      "2.0,0,0,0,0,0,0,0,0,0,0,UEO\n"
+      "3.0,0,0,0,0,0,0,0,0,0,0,UER\n");
+  const ErrorLog log = LogCodec::ReadCsv(in);
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.records()[0].type, hbm::ErrorType::kCe);
+  EXPECT_EQ(log.records()[1].type, hbm::ErrorType::kUeo);
+  EXPECT_EQ(log.records()[2].type, hbm::ErrorType::kUer);
+}
+
+}  // namespace
+}  // namespace cordial::trace

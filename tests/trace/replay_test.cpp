@@ -1,0 +1,86 @@
+#include "trace/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "trace/fleet.hpp"
+
+namespace cordial::trace {
+namespace {
+
+MceRecord Make(double t, std::uint32_t bank, std::uint32_t row,
+               hbm::ErrorType type) {
+  MceRecord r;
+  r.time_s = t;
+  r.address.bank = bank;
+  r.address.row = row;
+  r.type = type;
+  return r;
+}
+
+TEST(StreamReplayer, AccumulatesPerBankState) {
+  hbm::TopologyConfig topology;
+  hbm::AddressCodec codec(topology);
+  StreamReplayer replayer(codec);
+  const BankHistory& a1 =
+      replayer.Ingest(Make(1.0, 0, 10, hbm::ErrorType::kCe));
+  EXPECT_EQ(a1.events.size(), 1u);
+  replayer.Ingest(Make(2.0, 1, 20, hbm::ErrorType::kUer));
+  const BankHistory& a2 =
+      replayer.Ingest(Make(3.0, 0, 11, hbm::ErrorType::kUer));
+  EXPECT_EQ(a2.events.size(), 2u);
+  EXPECT_EQ(replayer.bank_count(), 2u);
+  EXPECT_EQ(replayer.record_count(), 3u);
+  EXPECT_DOUBLE_EQ(replayer.now(), 3.0);
+}
+
+TEST(StreamReplayer, FindLocatesBanks) {
+  hbm::TopologyConfig topology;
+  hbm::AddressCodec codec(topology);
+  StreamReplayer replayer(codec);
+  const MceRecord r = Make(1.0, 3, 10, hbm::ErrorType::kCe);
+  replayer.Ingest(r);
+  const std::uint64_t key = codec.BankKey(r.address);
+  ASSERT_NE(replayer.Find(key), nullptr);
+  EXPECT_EQ(replayer.Find(key)->bank_key, key);
+  EXPECT_EQ(replayer.Find(key + 1), nullptr);
+}
+
+TEST(StreamReplayer, RejectsTimeTravel) {
+  hbm::TopologyConfig topology;
+  hbm::AddressCodec codec(topology);
+  StreamReplayer replayer(codec);
+  replayer.Ingest(Make(5.0, 0, 1, hbm::ErrorType::kCe));
+  EXPECT_THROW(replayer.Ingest(Make(4.0, 0, 2, hbm::ErrorType::kCe)),
+               ContractViolation);
+  // Equal timestamps are fine.
+  EXPECT_NO_THROW(replayer.Ingest(Make(5.0, 0, 3, hbm::ErrorType::kCe)));
+}
+
+TEST(StreamReplayer, MatchesBatchGrouping) {
+  hbm::TopologyConfig topology;
+  trace::CalibrationProfile profile;
+  profile.scale = 0.03;
+  FleetGenerator generator(topology, profile);
+  const GeneratedFleet fleet = generator.Generate(4);
+  hbm::AddressCodec codec(topology);
+
+  StreamReplayer replayer(codec);
+  for (const MceRecord& r : fleet.log.records()) replayer.Ingest(r);
+
+  const auto batch = fleet.log.GroupByBank(codec);
+  ASSERT_EQ(replayer.bank_count(), batch.size());
+  for (const BankHistory& bank : batch) {
+    const BankHistory* streamed = replayer.Find(bank.bank_key);
+    ASSERT_NE(streamed, nullptr);
+    ASSERT_EQ(streamed->events.size(), bank.events.size());
+    // Same multiset of events; per-bank order may differ only within equal
+    // timestamps (batch sorts by address/type as tie-break).
+    for (std::size_t i = 0; i < bank.events.size(); ++i) {
+      EXPECT_DOUBLE_EQ(streamed->events[i].time_s, bank.events[i].time_s);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cordial::trace

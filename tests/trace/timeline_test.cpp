@@ -1,0 +1,185 @@
+#include "trace/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/check.hpp"
+#include "hbm/fault.hpp"
+
+namespace cordial::trace {
+namespace {
+
+using hbm::ErrorType;
+using hbm::PatternShape;
+
+class TimelineTest : public ::testing::Test {
+ protected:
+  hbm::TopologyConfig topology_;
+  hbm::FootprintGenerator footprints_{topology_};
+  TimelineExpander expander_{topology_};
+
+  hbm::DeviceAddress Base() {
+    hbm::DeviceAddress a;
+    a.node = 1;
+    a.bank = 2;
+    return a;
+  }
+
+  std::vector<MceRecord> Expand(PatternShape shape, std::uint64_t seed) {
+    Rng rng(seed);
+    const auto plan = footprints_.Generate(shape, rng);
+    auto events = expander_.ExpandBank(plan, Base(), rng);
+    std::sort(events.begin(), events.end());
+    return events;
+  }
+};
+
+TEST_F(TimelineTest, CeOnlyBankEmitsOnlyCes) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    for (const MceRecord& r : Expand(PatternShape::kCeOnly, seed)) {
+      EXPECT_EQ(r.type, ErrorType::kCe);
+    }
+  }
+}
+
+TEST_F(TimelineTest, AllEventsWithinWindow) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    for (PatternShape shape :
+         {PatternShape::kSingleRowCluster, PatternShape::kScattered}) {
+      for (const MceRecord& r : Expand(shape, seed)) {
+        EXPECT_GE(r.time_s, 0.0);
+        EXPECT_LE(r.time_s, expander_.params().window_s);
+      }
+    }
+  }
+}
+
+TEST_F(TimelineTest, EventsCarryTheBaseAddress) {
+  for (const MceRecord& r : Expand(PatternShape::kSingleRowCluster, 3)) {
+    EXPECT_EQ(r.address.node, 1u);
+    EXPECT_EQ(r.address.bank, 2u);
+    EXPECT_LT(r.address.row, topology_.rows_per_bank);
+    EXPECT_LT(r.address.col, topology_.cols_per_bank);
+  }
+}
+
+TEST_F(TimelineTest, UerBanksEmitUers) {
+  int with_uer = 0;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const auto events = Expand(PatternShape::kSingleRowCluster, seed);
+    with_uer += std::any_of(events.begin(), events.end(),
+                            [](const MceRecord& r) {
+                              return r.type == ErrorType::kUer;
+                            });
+  }
+  // A few plans can schedule their first failure beyond the window; the
+  // vast majority must materialize.
+  EXPECT_GE(with_uer, 25);
+}
+
+TEST_F(TimelineTest, SuddenRowRatioIsCalibrated) {
+  // Count UER rows with an in-row precursor (CE/UEO in the same row
+  // strictly before the row's first UER).
+  std::size_t sudden = 0, non_sudden = 0;
+  for (std::uint64_t seed = 0; seed < 1500; ++seed) {
+    const auto events = Expand(PatternShape::kSingleRowCluster, seed);
+    std::map<std::uint32_t, double> first_uer;
+    for (const MceRecord& r : events) {
+      if (r.type == ErrorType::kUer && !first_uer.contains(r.address.row)) {
+        first_uer[r.address.row] = r.time_s;
+      }
+    }
+    for (const auto& [row, t] : first_uer) {
+      bool precursor = false;
+      for (const MceRecord& r : events) {
+        if (r.type != ErrorType::kUer && r.address.row == row && r.time_s < t) {
+          precursor = true;
+          break;
+        }
+      }
+      (precursor ? non_sudden : sudden) += 1;
+    }
+  }
+  const double ratio =
+      static_cast<double>(sudden) / static_cast<double>(sudden + non_sudden);
+  // Paper Table I: 95.61% sudden at row level.
+  EXPECT_NEAR(ratio, 0.9561, 0.02);
+}
+
+TEST_F(TimelineTest, AmbientPrecursorProbControlsBankPredictability) {
+  auto measure = [&](double prob) {
+    TimelineParams params;
+    params.ambient_precursor_prob = prob;
+    TimelineExpander expander(topology_, params);
+    std::size_t predictable = 0, total = 0;
+    for (std::uint64_t seed = 0; seed < 600; ++seed) {
+      Rng rng(seed + 5000);
+      const auto plan =
+          footprints_.Generate(PatternShape::kSingleRowCluster, rng);
+      auto events = expander.ExpandBank(plan, Base(), rng);
+      std::sort(events.begin(), events.end());
+      double first_uer = -1.0;
+      for (const MceRecord& r : events) {
+        if (r.type == ErrorType::kUer) {
+          first_uer = r.time_s;
+          break;
+        }
+      }
+      if (first_uer < 0.0) continue;
+      ++total;
+      predictable += std::any_of(
+          events.begin(), events.end(), [&](const MceRecord& r) {
+            return r.type != ErrorType::kUer && r.time_s < first_uer;
+          });
+    }
+    return static_cast<double>(predictable) / static_cast<double>(total);
+  };
+  const double low = measure(0.0);
+  const double high = measure(0.9);
+  EXPECT_LT(low, 0.25);  // only in-row precursors remain
+  EXPECT_GT(high, 0.75);
+  EXPECT_GT(high, low + 0.4);
+}
+
+struct MeanAccumulator {
+  double sum = 0.0;
+  std::size_t n = 0;
+  void Add(double v) {
+    sum += v;
+    ++n;
+  }
+  double mean() const { return n == 0 ? 0.0 : sum / static_cast<double>(n); }
+};
+
+TEST_F(TimelineTest, ClusterShapesFailFasterThanScattered) {
+  auto mean_uer_gap = [&](PatternShape shape) {
+    MeanAccumulator stats;
+    for (std::uint64_t seed = 0; seed < 300; ++seed) {
+      const auto events = Expand(shape, seed);
+      double prev = -1.0;
+      for (const MceRecord& r : events) {
+        if (r.type != ErrorType::kUer) continue;
+        if (prev >= 0.0) stats.Add(r.time_s - prev);
+        prev = r.time_s;
+      }
+    }
+    return stats.mean();
+  };
+  EXPECT_LT(mean_uer_gap(PatternShape::kSingleRowCluster),
+            mean_uer_gap(PatternShape::kScattered));
+}
+
+TEST_F(TimelineTest, RejectsInvalidParams) {
+  TimelineParams params;
+  params.window_s = 0.0;
+  EXPECT_THROW(TimelineExpander(topology_, params), ContractViolation);
+  TimelineParams params2;
+  params2.sudden_row_prob = 1.5;
+  EXPECT_THROW(TimelineExpander(topology_, params2), ContractViolation);
+}
+
+}  // namespace
+}  // namespace cordial::trace
