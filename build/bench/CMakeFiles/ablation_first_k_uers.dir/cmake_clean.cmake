@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_first_k_uers.dir/ablation_first_k_uers.cpp.o"
+  "CMakeFiles/ablation_first_k_uers.dir/ablation_first_k_uers.cpp.o.d"
+  "ablation_first_k_uers"
+  "ablation_first_k_uers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_first_k_uers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

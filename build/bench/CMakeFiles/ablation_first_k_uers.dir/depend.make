@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_first_k_uers.
+# This may be replaced when dependencies are built.

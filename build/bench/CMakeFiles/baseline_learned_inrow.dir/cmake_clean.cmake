@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_learned_inrow.dir/baseline_learned_inrow.cpp.o"
+  "CMakeFiles/baseline_learned_inrow.dir/baseline_learned_inrow.cpp.o.d"
+  "baseline_learned_inrow"
+  "baseline_learned_inrow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_learned_inrow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

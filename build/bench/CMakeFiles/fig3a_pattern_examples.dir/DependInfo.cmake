@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3a_pattern_examples.cpp" "bench/CMakeFiles/fig3a_pattern_examples.dir/fig3a_pattern_examples.cpp.o" "gcc" "bench/CMakeFiles/fig3a_pattern_examples.dir/fig3a_pattern_examples.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cordial_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cordial_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/cordial_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cordial_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/hbm/CMakeFiles/cordial_hbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cordial_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

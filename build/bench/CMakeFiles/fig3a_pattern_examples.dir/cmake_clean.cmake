@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_pattern_examples.dir/fig3a_pattern_examples.cpp.o"
+  "CMakeFiles/fig3a_pattern_examples.dir/fig3a_pattern_examples.cpp.o.d"
+  "fig3a_pattern_examples"
+  "fig3a_pattern_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_pattern_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

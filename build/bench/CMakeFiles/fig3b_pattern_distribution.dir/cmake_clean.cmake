@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_pattern_distribution.dir/fig3b_pattern_distribution.cpp.o"
+  "CMakeFiles/fig3b_pattern_distribution.dir/fig3b_pattern_distribution.cpp.o.d"
+  "fig3b_pattern_distribution"
+  "fig3b_pattern_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_pattern_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

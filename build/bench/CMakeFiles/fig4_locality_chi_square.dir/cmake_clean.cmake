@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_locality_chi_square.dir/fig4_locality_chi_square.cpp.o"
+  "CMakeFiles/fig4_locality_chi_square.dir/fig4_locality_chi_square.cpp.o.d"
+  "fig4_locality_chi_square"
+  "fig4_locality_chi_square.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_locality_chi_square.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

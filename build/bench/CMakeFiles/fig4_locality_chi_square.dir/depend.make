@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_locality_chi_square.
+# This may be replaced when dependencies are built.

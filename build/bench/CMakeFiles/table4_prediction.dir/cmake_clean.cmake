@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_prediction.dir/table4_prediction.cpp.o"
+  "CMakeFiles/table4_prediction.dir/table4_prediction.cpp.o.d"
+  "table4_prediction"
+  "table4_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cordial_cli.dir/cordial_cli.cpp.o"
+  "CMakeFiles/cordial_cli.dir/cordial_cli.cpp.o.d"
+  "cordial_cli"
+  "cordial_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cordial_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

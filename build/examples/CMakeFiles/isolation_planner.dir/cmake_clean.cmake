@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isolation_planner.dir/isolation_planner.cpp.o"
+  "CMakeFiles/isolation_planner.dir/isolation_planner.cpp.o.d"
+  "isolation_planner"
+  "isolation_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isolation_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

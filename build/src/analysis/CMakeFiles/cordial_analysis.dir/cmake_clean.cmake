@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cordial_analysis.dir/empirical.cpp.o"
+  "CMakeFiles/cordial_analysis.dir/empirical.cpp.o.d"
+  "CMakeFiles/cordial_analysis.dir/labeler.cpp.o"
+  "CMakeFiles/cordial_analysis.dir/labeler.cpp.o.d"
+  "CMakeFiles/cordial_analysis.dir/locality.cpp.o"
+  "CMakeFiles/cordial_analysis.dir/locality.cpp.o.d"
+  "CMakeFiles/cordial_analysis.dir/report.cpp.o"
+  "CMakeFiles/cordial_analysis.dir/report.cpp.o.d"
+  "libcordial_analysis.a"
+  "libcordial_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cordial_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cordial_common.dir/csv.cpp.o"
+  "CMakeFiles/cordial_common.dir/csv.cpp.o.d"
+  "CMakeFiles/cordial_common.dir/rng.cpp.o"
+  "CMakeFiles/cordial_common.dir/rng.cpp.o.d"
+  "CMakeFiles/cordial_common.dir/stats.cpp.o"
+  "CMakeFiles/cordial_common.dir/stats.cpp.o.d"
+  "CMakeFiles/cordial_common.dir/table.cpp.o"
+  "CMakeFiles/cordial_common.dir/table.cpp.o.d"
+  "libcordial_common.a"
+  "libcordial_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cordial_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

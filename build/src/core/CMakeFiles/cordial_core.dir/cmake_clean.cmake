@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cordial_core.dir/crossrow.cpp.o"
+  "CMakeFiles/cordial_core.dir/crossrow.cpp.o.d"
+  "CMakeFiles/cordial_core.dir/features.cpp.o"
+  "CMakeFiles/cordial_core.dir/features.cpp.o.d"
+  "CMakeFiles/cordial_core.dir/inrow.cpp.o"
+  "CMakeFiles/cordial_core.dir/inrow.cpp.o.d"
+  "CMakeFiles/cordial_core.dir/isolation.cpp.o"
+  "CMakeFiles/cordial_core.dir/isolation.cpp.o.d"
+  "CMakeFiles/cordial_core.dir/pattern_classifier.cpp.o"
+  "CMakeFiles/cordial_core.dir/pattern_classifier.cpp.o.d"
+  "CMakeFiles/cordial_core.dir/pipeline.cpp.o"
+  "CMakeFiles/cordial_core.dir/pipeline.cpp.o.d"
+  "libcordial_core.a"
+  "libcordial_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cordial_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hbm/address.cpp" "src/hbm/CMakeFiles/cordial_hbm.dir/address.cpp.o" "gcc" "src/hbm/CMakeFiles/cordial_hbm.dir/address.cpp.o.d"
+  "/root/repo/src/hbm/bank_sim.cpp" "src/hbm/CMakeFiles/cordial_hbm.dir/bank_sim.cpp.o" "gcc" "src/hbm/CMakeFiles/cordial_hbm.dir/bank_sim.cpp.o.d"
+  "/root/repo/src/hbm/ecc.cpp" "src/hbm/CMakeFiles/cordial_hbm.dir/ecc.cpp.o" "gcc" "src/hbm/CMakeFiles/cordial_hbm.dir/ecc.cpp.o.d"
+  "/root/repo/src/hbm/error_map.cpp" "src/hbm/CMakeFiles/cordial_hbm.dir/error_map.cpp.o" "gcc" "src/hbm/CMakeFiles/cordial_hbm.dir/error_map.cpp.o.d"
+  "/root/repo/src/hbm/fault.cpp" "src/hbm/CMakeFiles/cordial_hbm.dir/fault.cpp.o" "gcc" "src/hbm/CMakeFiles/cordial_hbm.dir/fault.cpp.o.d"
+  "/root/repo/src/hbm/sparing.cpp" "src/hbm/CMakeFiles/cordial_hbm.dir/sparing.cpp.o" "gcc" "src/hbm/CMakeFiles/cordial_hbm.dir/sparing.cpp.o.d"
+  "/root/repo/src/hbm/topology.cpp" "src/hbm/CMakeFiles/cordial_hbm.dir/topology.cpp.o" "gcc" "src/hbm/CMakeFiles/cordial_hbm.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cordial_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cordial_hbm.dir/address.cpp.o"
+  "CMakeFiles/cordial_hbm.dir/address.cpp.o.d"
+  "CMakeFiles/cordial_hbm.dir/bank_sim.cpp.o"
+  "CMakeFiles/cordial_hbm.dir/bank_sim.cpp.o.d"
+  "CMakeFiles/cordial_hbm.dir/ecc.cpp.o"
+  "CMakeFiles/cordial_hbm.dir/ecc.cpp.o.d"
+  "CMakeFiles/cordial_hbm.dir/error_map.cpp.o"
+  "CMakeFiles/cordial_hbm.dir/error_map.cpp.o.d"
+  "CMakeFiles/cordial_hbm.dir/fault.cpp.o"
+  "CMakeFiles/cordial_hbm.dir/fault.cpp.o.d"
+  "CMakeFiles/cordial_hbm.dir/sparing.cpp.o"
+  "CMakeFiles/cordial_hbm.dir/sparing.cpp.o.d"
+  "CMakeFiles/cordial_hbm.dir/topology.cpp.o"
+  "CMakeFiles/cordial_hbm.dir/topology.cpp.o.d"
+  "libcordial_hbm.a"
+  "libcordial_hbm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cordial_hbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cordial_ml.dir/booster.cpp.o"
+  "CMakeFiles/cordial_ml.dir/booster.cpp.o.d"
+  "CMakeFiles/cordial_ml.dir/dataset.cpp.o"
+  "CMakeFiles/cordial_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/cordial_ml.dir/forest.cpp.o"
+  "CMakeFiles/cordial_ml.dir/forest.cpp.o.d"
+  "CMakeFiles/cordial_ml.dir/metrics.cpp.o"
+  "CMakeFiles/cordial_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/cordial_ml.dir/tree.cpp.o"
+  "CMakeFiles/cordial_ml.dir/tree.cpp.o.d"
+  "CMakeFiles/cordial_ml.dir/validation.cpp.o"
+  "CMakeFiles/cordial_ml.dir/validation.cpp.o.d"
+  "libcordial_ml.a"
+  "libcordial_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cordial_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

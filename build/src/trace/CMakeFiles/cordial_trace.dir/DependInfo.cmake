@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/error_log.cpp" "src/trace/CMakeFiles/cordial_trace.dir/error_log.cpp.o" "gcc" "src/trace/CMakeFiles/cordial_trace.dir/error_log.cpp.o.d"
+  "/root/repo/src/trace/fleet.cpp" "src/trace/CMakeFiles/cordial_trace.dir/fleet.cpp.o" "gcc" "src/trace/CMakeFiles/cordial_trace.dir/fleet.cpp.o.d"
+  "/root/repo/src/trace/log_codec.cpp" "src/trace/CMakeFiles/cordial_trace.dir/log_codec.cpp.o" "gcc" "src/trace/CMakeFiles/cordial_trace.dir/log_codec.cpp.o.d"
+  "/root/repo/src/trace/replay.cpp" "src/trace/CMakeFiles/cordial_trace.dir/replay.cpp.o" "gcc" "src/trace/CMakeFiles/cordial_trace.dir/replay.cpp.o.d"
+  "/root/repo/src/trace/timeline.cpp" "src/trace/CMakeFiles/cordial_trace.dir/timeline.cpp.o" "gcc" "src/trace/CMakeFiles/cordial_trace.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hbm/CMakeFiles/cordial_hbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cordial_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cordial_trace.dir/error_log.cpp.o"
+  "CMakeFiles/cordial_trace.dir/error_log.cpp.o.d"
+  "CMakeFiles/cordial_trace.dir/fleet.cpp.o"
+  "CMakeFiles/cordial_trace.dir/fleet.cpp.o.d"
+  "CMakeFiles/cordial_trace.dir/log_codec.cpp.o"
+  "CMakeFiles/cordial_trace.dir/log_codec.cpp.o.d"
+  "CMakeFiles/cordial_trace.dir/replay.cpp.o"
+  "CMakeFiles/cordial_trace.dir/replay.cpp.o.d"
+  "CMakeFiles/cordial_trace.dir/timeline.cpp.o"
+  "CMakeFiles/cordial_trace.dir/timeline.cpp.o.d"
+  "libcordial_trace.a"
+  "libcordial_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cordial_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

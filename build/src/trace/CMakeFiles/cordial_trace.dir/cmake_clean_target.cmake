@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcordial_trace.a"
+)

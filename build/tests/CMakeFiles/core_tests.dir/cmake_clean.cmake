@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/crossrow_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/crossrow_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/features_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/features_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/inrow_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/inrow_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/isolation_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/isolation_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/pattern_classifier_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/pattern_classifier_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/persistence_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/persistence_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/pipeline_learners_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/pipeline_learners_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/pipeline_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/pipeline_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

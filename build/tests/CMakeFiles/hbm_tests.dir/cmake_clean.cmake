@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbm_tests.dir/hbm/address_test.cpp.o"
+  "CMakeFiles/hbm_tests.dir/hbm/address_test.cpp.o.d"
+  "CMakeFiles/hbm_tests.dir/hbm/bank_sim_test.cpp.o"
+  "CMakeFiles/hbm_tests.dir/hbm/bank_sim_test.cpp.o.d"
+  "CMakeFiles/hbm_tests.dir/hbm/ecc_test.cpp.o"
+  "CMakeFiles/hbm_tests.dir/hbm/ecc_test.cpp.o.d"
+  "CMakeFiles/hbm_tests.dir/hbm/error_map_test.cpp.o"
+  "CMakeFiles/hbm_tests.dir/hbm/error_map_test.cpp.o.d"
+  "CMakeFiles/hbm_tests.dir/hbm/fault_test.cpp.o"
+  "CMakeFiles/hbm_tests.dir/hbm/fault_test.cpp.o.d"
+  "CMakeFiles/hbm_tests.dir/hbm/scrub_test.cpp.o"
+  "CMakeFiles/hbm_tests.dir/hbm/scrub_test.cpp.o.d"
+  "CMakeFiles/hbm_tests.dir/hbm/sparing_test.cpp.o"
+  "CMakeFiles/hbm_tests.dir/hbm/sparing_test.cpp.o.d"
+  "CMakeFiles/hbm_tests.dir/hbm/topology_test.cpp.o"
+  "CMakeFiles/hbm_tests.dir/hbm/topology_test.cpp.o.d"
+  "hbm_tests"
+  "hbm_tests.pdb"
+  "hbm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

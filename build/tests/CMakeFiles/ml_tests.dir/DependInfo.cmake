@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/booster_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/booster_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/booster_test.cpp.o.d"
+  "/root/repo/tests/ml/dataset_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/dataset_test.cpp.o.d"
+  "/root/repo/tests/ml/forest_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/forest_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/forest_test.cpp.o.d"
+  "/root/repo/tests/ml/metrics_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/metrics_test.cpp.o.d"
+  "/root/repo/tests/ml/probability_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/probability_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/probability_test.cpp.o.d"
+  "/root/repo/tests/ml/serialize_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/serialize_test.cpp.o.d"
+  "/root/repo/tests/ml/tree_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/tree_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/tree_test.cpp.o.d"
+  "/root/repo/tests/ml/validation_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/validation_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/validation_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cordial_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cordial_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/cordial_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cordial_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/hbm/CMakeFiles/cordial_hbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cordial_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

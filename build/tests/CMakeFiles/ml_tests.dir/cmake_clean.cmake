@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_tests.dir/ml/booster_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/booster_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/dataset_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/dataset_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/forest_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/forest_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/metrics_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/metrics_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/probability_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/probability_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/serialize_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/serialize_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/tree_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/tree_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/validation_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/validation_test.cpp.o.d"
+  "ml_tests"
+  "ml_tests.pdb"
+  "ml_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
