@@ -1,0 +1,136 @@
+// Thread-scaling benchmark for the deterministic parallel layer: fleet
+// generation, random-forest training, and ICR replay at 1/2/4/8 threads.
+// Speedup is real-time ratio versus the Arg(1) row of the same benchmark.
+// Results are written to BENCH_parallel.json (google-benchmark JSON) unless
+// the caller passes an explicit --benchmark_out.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "core/isolation.hpp"
+#include "hbm/address.hpp"
+#include "ml/classifier.hpp"
+#include "ml/dataset.hpp"
+#include "ml/forest.hpp"
+#include "trace/fleet.hpp"
+
+namespace {
+
+using namespace cordial;
+
+const trace::GeneratedFleet& SharedFleet() {
+  static const trace::GeneratedFleet fleet = [] {
+    hbm::TopologyConfig topology;
+    trace::CalibrationProfile profile;
+    profile.scale = 0.1;
+    return trace::FleetGenerator(topology, profile).Generate(123);
+  }();
+  return fleet;
+}
+
+const std::vector<const trace::BankHistory*>& SharedUerBanks() {
+  static const std::vector<trace::BankHistory> banks = [] {
+    hbm::AddressCodec codec(SharedFleet().topology);
+    return SharedFleet().log.GroupByBank(codec);
+  }();
+  static const std::vector<const trace::BankHistory*> uer = [] {
+    std::vector<const trace::BankHistory*> out;
+    for (const trace::BankHistory& bank : banks) {
+      if (bank.HasUer()) out.push_back(&bank);
+    }
+    return out;
+  }();
+  return uer;
+}
+
+const ml::Dataset& SharedDataset() {
+  static const ml::Dataset data = [] {
+    ml::Dataset d(/*num_features=*/8, /*num_classes=*/2);
+    Rng rng(77);
+    for (int i = 0; i < 4000; ++i) {
+      const int label = static_cast<int>(rng.UniformU64(2));
+      double row[8];
+      for (double& v : row) v = rng.UniformReal();
+      row[0] += label * 0.6;
+      row[3] -= label * 0.4;
+      d.AddRow(row, label);
+    }
+    return d;
+  }();
+  return data;
+}
+
+void BM_FleetGenerate(benchmark::State& state) {
+  SetThreadCount(static_cast<std::size_t>(state.range(0)));
+  hbm::TopologyConfig topology;
+  trace::CalibrationProfile profile;
+  profile.scale = 0.05;
+  const trace::FleetGenerator generator(topology, profile);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.Generate(42));
+  }
+  SetThreadCount(0);
+}
+BENCHMARK(BM_FleetGenerate)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_RandomForestFit(benchmark::State& state) {
+  SetThreadCount(static_cast<std::size_t>(state.range(0)));
+  const ml::Dataset& data = SharedDataset();
+  ml::RandomForestOptions options;
+  options.n_trees = 40;
+  for (auto _ : state) {
+    ml::RandomForestClassifier forest(options);
+    Rng rng(11);
+    forest.Fit(data, rng);
+    benchmark::DoNotOptimize(forest.tree_count());
+  }
+  SetThreadCount(0);
+}
+BENCHMARK(BM_RandomForestFit)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_IcrReplay(benchmark::State& state) {
+  SetThreadCount(static_cast<std::size_t>(state.range(0)));
+  const std::vector<const trace::BankHistory*>& banks = SharedUerBanks();
+  const core::IcrEvaluator evaluator(SharedFleet().topology);
+  core::NeighborRowsStrategy strategy(4, SharedFleet().topology.rows_per_bank);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.Evaluate(banks, strategy));
+  }
+  SetThreadCount(0);
+}
+BENCHMARK(BM_IcrReplay)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_parallel.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + test suite, then the parallel-layer
+# tests again under ThreadSanitizer so data races in the thread pool or in
+# any fanned-out hot path fail the run even when the plain build passes.
+#
+# Usage: scripts/tier1.sh [--skip-tsan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SKIP_TSAN=0
+[[ "${1:-}" == "--skip-tsan" ]] && SKIP_TSAN=1
+
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j
+
+if [[ "$SKIP_TSAN" == "1" ]]; then
+  echo "tier1: skipping ThreadSanitizer pass (--skip-tsan)"
+  exit 0
+fi
+
+cmake -B build-tsan -S . -DCORDIAL_SANITIZE=thread \
+  -DCORDIAL_BUILD_BENCHMARKS=OFF -DCORDIAL_BUILD_EXAMPLES=OFF
+cmake --build build-tsan -j
+# Run the parallel-layer tests wide enough to exercise the worker pool.
+CORDIAL_THREADS=8 ctest --test-dir build-tsan --output-on-failure \
+  -R '^Parallel'
+echo "tier1: OK"

@@ -35,11 +35,17 @@ class Rng {
     for (auto& word : state_) word = SplitMix64(sm);
   }
 
-  /// Derive an independent child stream; used to give each fleet entity its
-  /// own stream so generation order does not affect results.
-  Rng Fork(std::uint64_t stream_id) {
-    std::uint64_t mix = Next() ^ (0x9e3779b97f4a7c15ULL * (stream_id + 1));
-    return Rng(mix);
+  /// Derive an independent child stream via SplitMix64 seed-splitting.
+  /// Const and draw-free: the child depends only on the parent's current
+  /// state and the stream id, so forking tasks 0..n-1 yields the same
+  /// streams regardless of fork order or thread count. This is what makes
+  /// the parallel execution layer deterministic by construction — every
+  /// parallel task forks its own child at its task index.
+  Rng Fork(std::uint64_t stream_id) const {
+    std::uint64_t sm = state_[0] ^ Rotl(state_[1], 19) ^ Rotl(state_[2], 37) ^
+                       state_[3];
+    sm ^= 0x9e3779b97f4a7c15ULL * (stream_id + 1);
+    return Rng(SplitMix64(sm));
   }
 
   static constexpr result_type min() { return 0; }

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "hbm/address.hpp"
 
 namespace cordial::core {
@@ -15,28 +16,68 @@ IcrEvaluator::IcrEvaluator(const hbm::TopologyConfig& topology,
   topology_.Validate();
 }
 
+namespace {
+
+/// Replay one bank's event stream, tallying coverage into `result`.
+void ReplayBank(const trace::BankHistory& bank, IsolationStrategy& strategy,
+                hbm::SparingLedger& ledger, IcrResult& result) {
+  strategy.OnBankStart(bank);
+  std::set<std::uint32_t> failed_rows;
+  for (std::size_t i = 0; i < bank.events.size(); ++i) {
+    const trace::MceRecord& r = bank.events[i];
+    if (r.type == ErrorType::kUer && failed_rows.insert(r.address.row).second) {
+      ++result.total_uer_rows;
+      if (ledger.IsRowSpared(bank.bank_key, r.address.row)) {
+        ++result.covered_rows;
+      } else if (ledger.IsBankSpared(bank.bank_key)) {
+        ++result.covered_by_bank_spare;
+      }
+    }
+    strategy.OnEvent(bank, i, ledger);
+  }
+}
+
+}  // namespace
+
 IcrResult IcrEvaluator::Evaluate(
     const std::vector<const trace::BankHistory*>& banks,
     IsolationStrategy& strategy) const {
+  for (const trace::BankHistory* bank : banks) {
+    CORDIAL_CHECK_MSG(bank != nullptr, "null bank in evaluation set");
+  }
+
+  // Banks are independent replays: strategy state resets at OnBankStart and
+  // the ledger's budgets are per bank key, so per-bank local ledgers summed
+  // afterwards equal one shared ledger exactly. Strategies that cannot be
+  // cloned (Clone() == nullptr) replay serially through the one instance.
+  if (banks.size() > 1 && ThreadCount() > 1 && strategy.Clone() != nullptr) {
+    const std::vector<IcrResult> per_bank = ParallelMap<IcrResult>(
+        banks.size(), [&](std::size_t b) {
+          const std::unique_ptr<IsolationStrategy> local = strategy.Clone();
+          hbm::SparingLedger ledger(budget_);
+          IcrResult r;
+          ReplayBank(*banks[b], *local, ledger, r);
+          r.rows_spared = ledger.rows_spared();
+          r.banks_spared = ledger.banks_spared();
+          r.sparing_cost = ledger.total_cost();
+          return r;
+        });
+    IcrResult result;
+    for (const IcrResult& r : per_bank) {
+      result.covered_rows += r.covered_rows;
+      result.covered_by_bank_spare += r.covered_by_bank_spare;
+      result.total_uer_rows += r.total_uer_rows;
+      result.rows_spared += r.rows_spared;
+      result.banks_spared += r.banks_spared;
+      result.sparing_cost += r.sparing_cost;
+    }
+    return result;
+  }
+
   IcrResult result;
   hbm::SparingLedger ledger(budget_);
   for (const trace::BankHistory* bank : banks) {
-    CORDIAL_CHECK_MSG(bank != nullptr, "null bank in evaluation set");
-    strategy.OnBankStart(*bank);
-    std::set<std::uint32_t> failed_rows;
-    for (std::size_t i = 0; i < bank->events.size(); ++i) {
-      const trace::MceRecord& r = bank->events[i];
-      if (r.type == ErrorType::kUer &&
-          failed_rows.insert(r.address.row).second) {
-        ++result.total_uer_rows;
-        if (ledger.IsRowSpared(bank->bank_key, r.address.row)) {
-          ++result.covered_rows;
-        } else if (ledger.IsBankSpared(bank->bank_key)) {
-          ++result.covered_by_bank_spare;
-        }
-      }
-      strategy.OnEvent(*bank, i, ledger);
-    }
+    ReplayBank(*bank, strategy, ledger, result);
   }
   result.rows_spared = ledger.rows_spared();
   result.banks_spared = ledger.banks_spared();

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,12 @@ class IsolationStrategy {
   virtual void OnEvent(const trace::BankHistory& bank,
                        std::size_t event_index,
                        hbm::SparingLedger& ledger) = 0;
+
+  /// Copy of this strategy's configuration (per-bank replay state need not
+  /// be carried over — OnBankStart resets it). The evaluator replays banks
+  /// in parallel through independent clones; the default of nullptr opts a
+  /// strategy out, falling back to a serial single-instance replay.
+  virtual std::unique_ptr<IsolationStrategy> Clone() const { return nullptr; }
 
   virtual const std::string& name() const = 0;
 };
@@ -94,6 +101,9 @@ class InRowStrategy final : public IsolationStrategy {
   void OnBankStart(const trace::BankHistory&) override {}
   void OnEvent(const trace::BankHistory& bank, std::size_t event_index,
                hbm::SparingLedger& ledger) override;
+  std::unique_ptr<IsolationStrategy> Clone() const override {
+    return std::make_unique<InRowStrategy>(*this);
+  }
   const std::string& name() const override { return name_; }
 
  private:
@@ -107,6 +117,9 @@ class NeighborRowsStrategy final : public IsolationStrategy {
   void OnBankStart(const trace::BankHistory&) override {}
   void OnEvent(const trace::BankHistory& bank, std::size_t event_index,
                hbm::SparingLedger& ledger) override;
+  std::unique_ptr<IsolationStrategy> Clone() const override {
+    return std::make_unique<NeighborRowsStrategy>(*this);
+  }
   const std::string& name() const override { return name_; }
 
  private:
@@ -131,6 +144,9 @@ class CordialStrategy final : public IsolationStrategy {
   void OnBankStart(const trace::BankHistory& bank) override;
   void OnEvent(const trace::BankHistory& bank, std::size_t event_index,
                hbm::SparingLedger& ledger) override;
+  std::unique_ptr<IsolationStrategy> Clone() const override {
+    return std::make_unique<CordialStrategy>(*this);
+  }
   const std::string& name() const override { return name_; }
 
  private:

@@ -1,6 +1,7 @@
 #include "core/pattern_classifier.hpp"
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 
 namespace cordial::core {
 
@@ -46,9 +47,15 @@ std::vector<double> PatternClassifier::ClassifyProba(
 ml::ConfusionMatrix PatternClassifier::Evaluate(
     const std::vector<LabelledBank>& banks) const {
   CORDIAL_CHECK_MSG(trained_, "classifier not trained");
+  // Classification is const per bank; predictions fan out and the matrix is
+  // filled in bank order afterwards.
+  const std::vector<int> predicted =
+      ParallelMap<int>(banks.size(), [&](std::size_t i) {
+        return static_cast<int>(Classify(*banks[i].bank));
+      });
   ml::ConfusionMatrix cm(hbm::kNumFailureClasses);
-  for (const LabelledBank& lb : banks) {
-    cm.Add(static_cast<int>(lb.label), static_cast<int>(Classify(*lb.bank)));
+  for (std::size_t i = 0; i < banks.size(); ++i) {
+    cm.Add(static_cast<int>(banks[i].label), predicted[i]);
   }
   return cm;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "hbm/address.hpp"
 
 namespace cordial::core {
@@ -66,11 +67,20 @@ PipelineResult CordialPipeline::RunOnBanks(
   Rng rng(seed);
   analysis::PatternLabeler labeler(topology_);
 
-  // Reference labels from the complete history of every UER bank.
-  std::vector<LabelledBank> labelled;
+  // Reference labels from the complete history of every UER bank. Labelling
+  // is a pure per-bank function, so the banks fan out across threads.
+  std::vector<const trace::BankHistory*> uer_banks;
   for (const trace::BankHistory& bank : banks) {
-    if (!bank.HasUer()) continue;
-    labelled.push_back(LabelledBank{&bank, labeler.LabelClass(bank)});
+    if (bank.HasUer()) uer_banks.push_back(&bank);
+  }
+  const std::vector<hbm::FailureClass> labels =
+      ParallelMap<hbm::FailureClass>(uer_banks.size(), [&](std::size_t i) {
+        return labeler.LabelClass(*uer_banks[i]);
+      });
+  std::vector<LabelledBank> labelled;
+  labelled.reserve(uer_banks.size());
+  for (std::size_t i = 0; i < uer_banks.size(); ++i) {
+    labelled.push_back(LabelledBank{uer_banks[i], labels[i]});
   }
   CORDIAL_CHECK_MSG(labelled.size() >= 10,
                     "pipeline needs at least 10 UER banks");
@@ -141,33 +151,49 @@ PipelineResult CordialPipeline::RunOnBanks(
       double_ok ? double_predictor : single_predictor;
 
   // --- Stage 3: block-level prediction metrics (Table IV) ---
+  // Every test bank is scored through the (const, trained) models
+  // independently; per-bank confusion matrices are summed afterwards, which
+  // is order-insensitive and therefore thread-count-invariant.
+  struct BankBlocks {
+    ml::ConfusionMatrix cordial{2};
+    ml::ConfusionMatrix baseline{2};
+  };
+  const std::vector<BankBlocks> per_bank = ParallelMap<BankBlocks>(
+      test.size(), [&](std::size_t t) {
+        const LabelledBank& lb = test[t];
+        BankBlocks blocks;
+        const std::vector<Anchor> anchors =
+            single_predictor.AnchorsOf(*lb.bank);
+        if (anchors.empty()) return blocks;
+
+        // Baseline predicts around every anchor regardless of pattern.
+        for (const Anchor& anchor : anchors) {
+          const BlockWindow window =
+              single_predictor.extractor().WindowAt(anchor.row);
+          AccumulateBlockMetrics(
+              single_predictor, *lb.bank,
+              NeighborBlockPredictions(window, config_.baseline_adjacency),
+              anchor, blocks.baseline);
+        }
+
+        // Cordial predicts only for banks it classifies as aggregation.
+        const FailureClass predicted_class = classifier.Classify(*lb.bank);
+        if (predicted_class == FailureClass::kScattered) return blocks;
+        const CrossRowPredictor& predictor =
+            predicted_class == FailureClass::kSingleRowClustering
+                ? single_predictor
+                : effective_double;
+        for (const Anchor& anchor : anchors) {
+          AccumulateBlockMetrics(predictor, *lb.bank,
+                                 predictor.PredictBlocks(*lb.bank, anchor),
+                                 anchor, blocks.cordial);
+        }
+        return blocks;
+      });
   ml::ConfusionMatrix cordial_blocks(2), baseline_blocks(2);
-  for (const LabelledBank& lb : test) {
-    const std::vector<Anchor> anchors = single_predictor.AnchorsOf(*lb.bank);
-    if (anchors.empty()) continue;
-
-    // Baseline predicts around every anchor regardless of pattern.
-    for (const Anchor& anchor : anchors) {
-      const BlockWindow window =
-          single_predictor.extractor().WindowAt(anchor.row);
-      AccumulateBlockMetrics(
-          single_predictor, *lb.bank,
-          NeighborBlockPredictions(window, config_.baseline_adjacency), anchor,
-          baseline_blocks);
-    }
-
-    // Cordial predicts only for banks it classifies as aggregation.
-    const FailureClass predicted_class = classifier.Classify(*lb.bank);
-    if (predicted_class == FailureClass::kScattered) continue;
-    const CrossRowPredictor& predictor =
-        predicted_class == FailureClass::kSingleRowClustering
-            ? single_predictor
-            : effective_double;
-    for (const Anchor& anchor : anchors) {
-      AccumulateBlockMetrics(predictor, *lb.bank,
-                             predictor.PredictBlocks(*lb.bank, anchor), anchor,
-                             cordial_blocks);
-    }
+  for (const BankBlocks& blocks : per_bank) {
+    cordial_blocks.Merge(blocks.cordial);
+    baseline_blocks.Merge(blocks.baseline);
   }
 
   // --- Stage 4: Isolation Coverage Rate ---

@@ -7,6 +7,7 @@
 #include <ostream>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "ml/forest.hpp"
 
 namespace cordial::ml {
@@ -98,41 +99,44 @@ void GradientBoostedClassifier::Fit(const Dataset& train, Rng& rng) {
   };
 
   for (int round = 0; round < options_.n_rounds; ++round) {
+    // Per-sample gradient and score-update loops fan out over rows: every
+    // iteration writes only its own slot, so any thread count gives the
+    // same result bit-for-bit.
     if (num_classes_ == 2) {
       // Binary logistic fast path: one tree per round on the class-1 score.
-      for (std::size_t i = 0; i < n; ++i) {
+      ParallelFor(n, 0, [&](std::size_t i) {
         const double margin = scores[i * k + 1] - scores[i * k + 0];
         const double p = 1.0 / (1.0 + std::exp(-margin));
         const double y = train.label(i) == 1 ? 1.0 : 0.0;
         grad[i] = p - y;
         hess[i] = std::max(p * (1.0 - p), 1e-9);
-      }
+      });
       const std::vector<std::size_t> round_indices =
           select_rows(grad, hess, rng);
       RegressionTree tree(tree_options);
       tree.Fit(train, round_indices, grad, hess, rng, binner.get());
-      for (std::size_t i = 0; i < n; ++i) {
+      ParallelFor(n, 0, [&](std::size_t i) {
         scores[i * k + 1] += options_.learning_rate * tree.Predict(train.row(i));
-      }
+      });
       trees_.push_back(std::move(tree));
       continue;
     }
 
     for (std::size_t c = 0; c < k; ++c) {
-      for (std::size_t i = 0; i < n; ++i) {
+      ParallelFor(n, 0, [&](std::size_t i) {
         const std::span<const double> row_scores(&scores[i * k], k);
         const std::vector<double> p = Softmax(row_scores);
         const double y = train.label(i) == static_cast<int>(c) ? 1.0 : 0.0;
         grad[i] = p[c] - y;
         hess[i] = std::max(p[c] * (1.0 - p[c]), 1e-9);
-      }
+      });
       const std::vector<std::size_t> round_indices =
           select_rows(grad, hess, rng);
       RegressionTree tree(tree_options);
       tree.Fit(train, round_indices, grad, hess, rng, binner.get());
-      for (std::size_t i = 0; i < n; ++i) {
+      ParallelFor(n, 0, [&](std::size_t i) {
         scores[i * k + c] += options_.learning_rate * tree.Predict(train.row(i));
-      }
+      });
       trees_.push_back(std::move(tree));
     }
   }

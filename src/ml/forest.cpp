@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 
 namespace cordial::ml {
 
@@ -37,19 +38,26 @@ void RandomForestClassifier::Fit(const Dataset& train, Rng& rng) {
                          static_cast<double>(train.num_features())))));
 
   const std::size_t n = train.size();
-  std::vector<std::size_t> indices(n);
-  for (int t = 0; t < options_.n_trees; ++t) {
+  // One draw advances the caller's stream (so back-to-back fits differ);
+  // every tree then forks the resulting stream at its own index. Bootstrap
+  // indices come from the fork, not the shared stream, which makes each
+  // tree a pure function of (salt, t) — trainable on any thread in any
+  // order with a bit-identical forest.
+  const Rng forker(rng.Next());
+  trees_.assign(static_cast<std::size_t>(options_.n_trees),
+                ClassificationTree(tree_options));
+  ParallelFor(trees_.size(), 1, [&](std::size_t t) {
+    Rng tree_rng = forker.Fork(t);
+    std::vector<std::size_t> indices(n);
     if (options_.bootstrap) {
       for (std::size_t i = 0; i < n; ++i) {
-        indices[i] = static_cast<std::size_t>(rng.UniformU64(n));
+        indices[i] = static_cast<std::size_t>(tree_rng.UniformU64(n));
       }
     } else {
       for (std::size_t i = 0; i < n; ++i) indices[i] = i;
     }
-    ClassificationTree tree(tree_options);
-    tree.Fit(train, indices, rng);
-    trees_.push_back(std::move(tree));
-  }
+    trees_[t].Fit(train, indices, tree_rng);
+  });
 }
 
 std::vector<double> RandomForestClassifier::PredictProba(
@@ -57,8 +65,7 @@ std::vector<double> RandomForestClassifier::PredictProba(
   CORDIAL_CHECK_MSG(!trees_.empty(), "forest not fitted");
   std::vector<double> avg(static_cast<std::size_t>(num_classes_), 0.0);
   for (const ClassificationTree& tree : trees_) {
-    const std::vector<double> proba = tree.PredictProba(features);
-    for (std::size_t c = 0; c < avg.size(); ++c) avg[c] += proba[c];
+    tree.PredictProbaInto(features, avg);
   }
   for (double& p : avg) p /= static_cast<double>(trees_.size());
   return avg;

@@ -25,6 +25,13 @@ void ConfusionMatrix::Add(int truth, int predicted) {
   ++total_;
 }
 
+void ConfusionMatrix::Merge(const ConfusionMatrix& other) {
+  CORDIAL_CHECK_MSG(other.num_classes_ == num_classes_,
+                    "cannot merge confusion matrices of different sizes");
+  for (std::size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+  total_ += other.total_;
+}
+
 std::uint64_t ConfusionMatrix::at(int truth, int predicted) const {
   CORDIAL_CHECK_MSG(truth >= 0 && truth < num_classes_ && predicted >= 0 &&
                         predicted < num_classes_,

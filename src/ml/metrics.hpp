@@ -21,6 +21,9 @@ class ConfusionMatrix {
   explicit ConfusionMatrix(int num_classes);
 
   void Add(int truth, int predicted);
+  /// Cell-wise sum with `other` (same num_classes required) — combines
+  /// per-shard matrices from a parallel evaluation.
+  void Merge(const ConfusionMatrix& other);
   std::uint64_t at(int truth, int predicted) const;
   int num_classes() const { return num_classes_; }
   std::uint64_t total() const { return total_; }

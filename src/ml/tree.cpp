@@ -10,10 +10,17 @@
 #include <string>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 
 namespace cordial::ml {
 
 namespace {
+
+/// Per-feature split scans go parallel once a node holds this many samples;
+/// below it the scheduling overhead outweighs the scan. The cutover only
+/// affects speed — scans are pure and reduced in sampled-feature order, so
+/// the chosen split is identical either way.
+constexpr std::size_t kParallelSplitMinSamples = 2048;
 
 /// Feature subset to try at one split: all features when max_features is 0
 /// or >= d, otherwise a uniform sample without replacement.
@@ -144,21 +151,31 @@ std::int32_t ClassificationTree::Build(const Dataset& data,
     return make_leaf();
   }
 
-  // Best Gini split over a feature subsample.
-  int best_feature = -1;
-  double best_threshold = 0.0;
-  double best_impurity = parent_impurity - options_.min_impurity_decrease;
-  std::vector<std::pair<double, int>> sorted;  // (value, label)
-  std::vector<double> left_counts(k);
-  for (std::size_t f :
-       SampleFeatures(data.num_features(), options_.max_features, rng)) {
-    sorted.clear();
+  // Best Gini split over a feature subsample. Every candidate feature is
+  // scanned independently (in parallel for large nodes) and the per-feature
+  // winners are reduced in sampled order with strict improvement, which is
+  // exactly the serial loop's first-strict-winner semantics — the chosen
+  // split is identical at every thread count.
+  struct FeatureSplit {
+    bool found = false;
+    double impurity = 0.0;
+    double threshold = 0.0;
+  };
+  const double impurity_bar = parent_impurity - options_.min_impurity_decrease;
+  const std::vector<std::size_t> feats =
+      SampleFeatures(data.num_features(), options_.max_features, rng);
+  auto scan_feature = [&](std::size_t f) {
+    FeatureSplit split;
+    std::vector<std::pair<double, int>> sorted;  // (value, label)
     sorted.reserve(indices.size());
-    for (std::size_t i : indices) sorted.emplace_back(data.at(i, f), data.label(i));
+    for (std::size_t i : indices) {
+      sorted.emplace_back(data.at(i, f), data.label(i));
+    }
     std::sort(sorted.begin(), sorted.end());
-    if (sorted.front().first == sorted.back().first) continue;  // constant
+    if (sorted.front().first == sorted.back().first) return split;  // constant
 
-    std::fill(left_counts.begin(), left_counts.end(), 0.0);
+    double feature_best = impurity_bar;
+    std::vector<double> left_counts(k, 0.0);
     for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
       left_counts[static_cast<std::size_t>(sorted[i].second)] += 1.0;
       if (sorted[i].first == sorted[i + 1].first) continue;  // same value
@@ -178,11 +195,33 @@ std::int32_t ClassificationTree::Build(const Dataset& data,
       const double gini_right = 1.0 - right_sq / (n_right * n_right);
       const double weighted =
           (n_left * gini_left + n_right * gini_right) / total;
-      if (weighted < best_impurity) {
-        best_impurity = weighted;
-        best_feature = static_cast<int>(f);
-        best_threshold = 0.5 * (sorted[i].first + sorted[i + 1].first);
+      if (weighted < feature_best) {
+        feature_best = weighted;
+        split.found = true;
+        split.impurity = weighted;
+        split.threshold = 0.5 * (sorted[i].first + sorted[i + 1].first);
       }
+    }
+    return split;
+  };
+
+  std::vector<FeatureSplit> splits;
+  if (indices.size() >= kParallelSplitMinSamples && feats.size() > 1) {
+    splits = ParallelMap<FeatureSplit>(
+        feats.size(), [&](std::size_t fi) { return scan_feature(feats[fi]); });
+  } else {
+    splits.reserve(feats.size());
+    for (std::size_t f : feats) splits.push_back(scan_feature(f));
+  }
+
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_impurity = impurity_bar;
+  for (std::size_t fi = 0; fi < feats.size(); ++fi) {
+    if (splits[fi].found && splits[fi].impurity < best_impurity) {
+      best_impurity = splits[fi].impurity;
+      best_feature = static_cast<int>(feats[fi]);
+      best_threshold = splits[fi].threshold;
     }
   }
 
@@ -224,6 +263,21 @@ std::vector<double> ClassificationTree::PredictProba(
   return nodes_[node].proba;
 }
 
+void ClassificationTree::PredictProbaInto(std::span<const double> features,
+                                          std::span<double> out) const {
+  CORDIAL_CHECK_MSG(!nodes_.empty(), "tree not fitted");
+  std::size_t node = 0;
+  while (nodes_[node].feature >= 0) {
+    const Node& n = nodes_[node];
+    const double v = features[static_cast<std::size_t>(n.feature)];
+    node = static_cast<std::size_t>(v <= n.threshold ? n.left : n.right);
+  }
+  const std::vector<double>& proba = nodes_[node].proba;
+  CORDIAL_CHECK_MSG(out.size() >= proba.size(),
+                    "output span smaller than class count");
+  for (std::size_t c = 0; c < proba.size(); ++c) out[c] += proba[c];
+}
+
 int ClassificationTree::Predict(std::span<const double> features) const {
   const std::vector<double> proba = PredictProba(features);
   return static_cast<int>(
@@ -253,7 +307,6 @@ RegressionTree::SplitResult RegressionTree::FindBestSplit(
     const Dataset& data, const std::vector<std::size_t>& indices,
     std::span<const double> gradients, std::span<const double> hessians,
     Rng& rng, const FeatureBinner* binner) const {
-  SplitResult best;
   GradSums parent;
   for (std::size_t i : indices) {
     parent.g += gradients[i];
@@ -261,12 +314,18 @@ RegressionTree::SplitResult RegressionTree::FindBestSplit(
   }
   const double parent_score = ScoreOf(parent, options_.lambda);
 
-  for (std::size_t f :
-       SampleFeatures(data.num_features(), options_.max_features, rng)) {
+  // Per-feature scans (histogram or exact) are independent; for large nodes
+  // they run in parallel and the winners are reduced in sampled-feature
+  // order with strict improvement — identical to the serial loop's
+  // first-strict-winner pick at every thread count.
+  const std::vector<std::size_t> feats =
+      SampleFeatures(data.num_features(), options_.max_features, rng);
+  auto scan_feature = [&](std::size_t f) {
+    SplitResult best;
     if (binner != nullptr) {
       // Histogram scan.
       const int bins = binner->NumBins(f);
-      if (bins < 2) continue;
+      if (bins < 2) return best;
       std::vector<GradSums> hist(static_cast<std::size_t>(bins));
       std::vector<std::uint32_t> bin_count(static_cast<std::size_t>(bins), 0);
       for (std::size_t i : indices) {
@@ -307,7 +366,7 @@ RegressionTree::SplitResult RegressionTree::FindBestSplit(
       sorted.reserve(indices.size());
       for (std::size_t i : indices) sorted.emplace_back(data.at(i, f), i);
       std::sort(sorted.begin(), sorted.end());
-      if (sorted.front().first == sorted.back().first) continue;
+      if (sorted.front().first == sorted.back().first) return best;
       GradSums left;
       for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
         const std::size_t sample = sorted[i].second;
@@ -336,6 +395,21 @@ RegressionTree::SplitResult RegressionTree::FindBestSplit(
         }
       }
     }
+    return best;
+  };
+
+  std::vector<SplitResult> per_feature;
+  if (indices.size() >= kParallelSplitMinSamples && feats.size() > 1) {
+    per_feature = ParallelMap<SplitResult>(
+        feats.size(), [&](std::size_t fi) { return scan_feature(feats[fi]); });
+  } else {
+    per_feature.reserve(feats.size());
+    for (std::size_t f : feats) per_feature.push_back(scan_feature(f));
+  }
+
+  SplitResult best;
+  for (const SplitResult& candidate : per_feature) {
+    if (candidate.found && candidate.gain > best.gain) best = candidate;
   }
   return best;
 }

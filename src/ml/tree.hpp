@@ -64,6 +64,10 @@ class ClassificationTree {
 
   /// Class-probability vector (leaf class frequencies).
   std::vector<double> PredictProba(std::span<const double> features) const;
+  /// Adds the leaf's class frequencies into `out` (size >= num_classes)
+  /// without allocating — the ensemble-averaging fast path.
+  void PredictProbaInto(std::span<const double> features,
+                        std::span<double> out) const;
   int Predict(std::span<const double> features) const;
 
   std::size_t node_count() const { return nodes_.size(); }

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_set>
 
+#include "common/parallel.hpp"
 #include "hbm/address.hpp"
 
 namespace cordial::trace {
@@ -56,63 +58,63 @@ std::size_t Scaled(std::uint32_t count, double scale) {
       1, static_cast<std::size_t>(std::llround(count * scale)));
 }
 
-}  // namespace
+/// One generated faulty bank plus its expanded event stream. Incidents
+/// produce these in generation order; the merge step stitches them into
+/// the fleet in incident-index order, which keeps the result independent
+/// of which thread generated which incident.
+struct BankOutput {
+  BankTruth truth;
+  std::vector<MceRecord> events;
+};
 
-GeneratedFleet FleetGenerator::Generate(std::uint64_t seed) const {
-  Rng rng(seed);
-  GeneratedFleet fleet;
-  fleet.topology = topology_;
-  hbm::AddressCodec codec(topology_);
+/// Everything planted below one faulty NPU. Each incident is generated
+/// from its own forked RNG and never sees another incident's banks; this
+/// is sound because incidents own disjoint NPUs (picks are sampled without
+/// replacement), so bank keys cannot collide across incidents.
+struct IncidentOutput {
+  std::vector<BankOutput> banks;
+};
 
-  const std::size_t n_uer_npus = Scaled(profile_.uer_npus, profile_.scale);
-  const std::size_t n_ce_npus = Scaled(profile_.ce_only_npus, profile_.scale);
-  const auto total_npus = static_cast<std::size_t>(topology_.TotalNpus());
-  CORDIAL_CHECK_MSG(n_uer_npus + n_ce_npus <= total_npus,
-                    "profile demands more faulty NPUs than the fleet has");
+/// Generates one incident's fault fan-out. Holds only const references —
+/// safe to share across worker threads.
+class IncidentBuilder {
+ public:
+  IncidentBuilder(const hbm::TopologyConfig& topology,
+                  const CalibrationProfile& profile,
+                  const hbm::FootprintGenerator& footprints,
+                  const TimelineExpander& timeline,
+                  const hbm::AddressCodec& codec)
+      : topology_(topology),
+        profile_(profile),
+        footprints_(footprints),
+        timeline_(timeline),
+        codec_(codec),
+        mix_{profile.mix_single, profile.mix_double, profile.mix_half,
+             profile.mix_scattered, profile.mix_column},
+        psch_slots_(topology.channels_per_sid *
+                    topology.pseudo_channels_per_channel) {}
 
-  // Disjoint NPU sets; the paper's "with CE" counts include UER entities
-  // whose CE noise we emit within the UER incidents themselves.
-  std::vector<std::size_t> npu_picks =
-      rng.SampleWithoutReplacement(total_npus, n_uer_npus + n_ce_npus);
-
-  const std::vector<double> mix = {profile_.mix_single, profile_.mix_double,
-                                   profile_.mix_half, profile_.mix_scattered,
-                                   profile_.mix_column};
-  static constexpr PatternShape kShapeByMix[] = {
-      PatternShape::kSingleRowCluster, PatternShape::kDoubleRowCluster,
-      PatternShape::kHalfTotalRowCluster, PatternShape::kScattered,
-      PatternShape::kWholeColumn};
-
-  auto npu_address = [&](std::size_t flat_npu) {
+  DeviceAddress NpuAddress(std::size_t flat_npu) const {
     DeviceAddress a;
     a.node = static_cast<std::uint32_t>(flat_npu / topology_.npus_per_node);
     a.npu = static_cast<std::uint32_t>(flat_npu % topology_.npus_per_node);
     return a;
-  };
+  }
 
-  auto add_bank = [&](const DeviceAddress& base, PatternShape shape) {
-    const hbm::BankFaultPlan plan = footprints_.Generate(shape, rng);
-    BankTruth truth;
-    truth.base = base;
-    truth.bank_key = codec.BankKey(base);
-    truth.shape = shape;
-    truth.failure_class = hbm::CollapseToClass(shape);
-    truth.planned_uer_rows.reserve(plan.uer_rows.size());
-    for (const hbm::RowErrors& row : plan.uer_rows) {
-      truth.planned_uer_rows.push_back(row.row);
-    }
-    fleet.log.Append(timeline_.ExpandBank(plan, base, rng));
-    fleet.bank_index.emplace(truth.bank_key, fleet.banks.size());
-    fleet.banks.push_back(std::move(truth));
-  };
+  /// UER incident: hierarchical fan-out below the failing NPU, plus an
+  /// optional CE-only companion bank in the same NPU.
+  IncidentOutput UerIncident(std::size_t flat_npu, Rng& rng) const {
+    static constexpr PatternShape kShapeByMix[] = {
+        PatternShape::kSingleRowCluster, PatternShape::kDoubleRowCluster,
+        PatternShape::kHalfTotalRowCluster, PatternShape::kScattered,
+        PatternShape::kWholeColumn};
 
-  // --- UER incidents: hierarchical fan-out below each failing NPU ---
-  const std::uint32_t psch_slots =
-      topology_.channels_per_sid * topology_.pseudo_channels_per_channel;
-  for (std::size_t i = 0; i < n_uer_npus; ++i) {
-    const DeviceAddress npu = npu_address(npu_picks[i]);
+    IncidentOutput out;
+    std::unordered_set<std::uint64_t> local_keys;
+    const DeviceAddress npu = NpuAddress(flat_npu);
     DeviceAddress first_uer_bank;  // reference for companion placement
     bool have_first_uer_bank = false;
+
     const std::size_t n_hbm =
         FanOut(profile_.extra_hbms_per_npu, topology_.hbms_per_npu, rng);
     for (std::size_t hbm_pick :
@@ -126,9 +128,9 @@ GeneratedFleet FleetGenerator::Generate(std::uint64_t seed) const {
         DeviceAddress at_sid = at_hbm;
         at_sid.sid = static_cast<std::uint32_t>(sid_pick);
         const std::size_t n_psch =
-            FanOut(profile_.extra_pschs_per_sid, psch_slots, rng);
+            FanOut(profile_.extra_pschs_per_sid, psch_slots_, rng);
         for (std::size_t psch_pick :
-             rng.SampleWithoutReplacement(psch_slots, n_psch)) {
+             rng.SampleWithoutReplacement(psch_slots_, n_psch)) {
           DeviceAddress at_psch = at_sid;
           at_psch.channel = static_cast<std::uint32_t>(
               psch_pick / topology_.pseudo_channels_per_channel);
@@ -142,12 +144,14 @@ GeneratedFleet FleetGenerator::Generate(std::uint64_t seed) const {
             DeviceAddress at_bg = at_psch;
             at_bg.bank_group = static_cast<std::uint32_t>(bg_pick);
             const std::size_t n_bank = FanOut(
-                profile_.extra_banks_per_bg, topology_.banks_per_bank_group, rng);
+                profile_.extra_banks_per_bg, topology_.banks_per_bank_group,
+                rng);
             for (std::size_t bank_pick : rng.SampleWithoutReplacement(
                      topology_.banks_per_bank_group, n_bank)) {
               DeviceAddress at_bank = at_bg;
               at_bank.bank = static_cast<std::uint32_t>(bank_pick);
-              add_bank(at_bank, kShapeByMix[rng.WeightedChoice(mix)]);
+              AddBank(at_bank, kShapeByMix[rng.WeightedChoice(mix_)], rng,
+                      out, local_keys);
               if (!have_first_uer_bank) {
                 first_uer_bank = at_bank;
                 have_first_uer_bank = true;
@@ -189,7 +193,7 @@ GeneratedFleet FleetGenerator::Generate(std::uint64_t seed) const {
         const std::uint32_t slot =
             companion.channel * topology_.pseudo_channels_per_channel +
             companion.pseudo_channel;
-        const std::uint32_t new_slot = different(slot, psch_slots);
+        const std::uint32_t new_slot = different(slot, psch_slots_);
         companion.channel = new_slot / topology_.pseudo_channels_per_channel;
         companion.pseudo_channel =
             new_slot % topology_.pseudo_channels_per_channel;
@@ -205,21 +209,23 @@ GeneratedFleet FleetGenerator::Generate(std::uint64_t seed) const {
                            ? different(companion.bank,
                                        topology_.banks_per_bank_group)
                            : uniform(topology_.banks_per_bank_group);
-      if (!fleet.bank_index.contains(codec.BankKey(companion))) {
-        add_bank(companion, PatternShape::kCeOnly);
+      if (!local_keys.contains(codec_.BankKey(companion))) {
+        AddBank(companion, PatternShape::kCeOnly, rng, out, local_keys);
       }
     }
+    return out;
   }
 
-  // --- CE-only incidents ---
-  for (std::size_t i = 0; i < n_ce_npus; ++i) {
-    const DeviceAddress npu = npu_address(npu_picks[n_uer_npus + i]);
+  /// CE-only incident: weak-cell banks clustered within one HBM stack of
+  /// the NPU, which keeps the HBM-level entity counts close to the
+  /// NPU-level ones (Table II: 5497 CE NPUs vs 5944 CE HBMs).
+  IncidentOutput CeIncident(std::size_t flat_npu, Rng& rng) const {
+    IncidentOutput out;
+    std::unordered_set<std::uint64_t> local_keys;
+    const DeviceAddress npu = NpuAddress(flat_npu);
     const std::size_t n_banks =
         1 + static_cast<std::size_t>(
                 rng.Poisson(profile_.ce_only_banks_per_npu_mean));
-    // Weak-cell incidents cluster within one HBM stack of the NPU, which
-    // keeps the HBM-level entity counts close to the NPU-level ones
-    // (Table II: 5497 CE NPUs vs 5944 CE HBMs).
     const auto incident_hbm =
         static_cast<std::uint32_t>(rng.UniformU64(topology_.hbms_per_npu));
     for (std::size_t b = 0; b < n_banks; ++b) {
@@ -235,8 +241,82 @@ GeneratedFleet FleetGenerator::Generate(std::uint64_t seed) const {
           rng.UniformU64(topology_.bank_groups_per_pseudo_channel));
       at_bank.bank = static_cast<std::uint32_t>(
           rng.UniformU64(topology_.banks_per_bank_group));
-      if (fleet.bank_index.contains(codec.BankKey(at_bank))) continue;
-      add_bank(at_bank, PatternShape::kCeOnly);
+      if (local_keys.contains(codec_.BankKey(at_bank))) continue;
+      AddBank(at_bank, PatternShape::kCeOnly, rng, out, local_keys);
+    }
+    return out;
+  }
+
+ private:
+  void AddBank(const DeviceAddress& base, PatternShape shape, Rng& rng,
+               IncidentOutput& out,
+               std::unordered_set<std::uint64_t>& local_keys) const {
+    const hbm::BankFaultPlan plan = footprints_.Generate(shape, rng);
+    BankOutput bank;
+    bank.truth.base = base;
+    bank.truth.bank_key = codec_.BankKey(base);
+    bank.truth.shape = shape;
+    bank.truth.failure_class = hbm::CollapseToClass(shape);
+    bank.truth.planned_uer_rows.reserve(plan.uer_rows.size());
+    for (const hbm::RowErrors& row : plan.uer_rows) {
+      bank.truth.planned_uer_rows.push_back(row.row);
+    }
+    bank.events = timeline_.ExpandBank(plan, base, rng);
+    local_keys.insert(bank.truth.bank_key);
+    out.banks.push_back(std::move(bank));
+  }
+
+  const hbm::TopologyConfig& topology_;
+  const CalibrationProfile& profile_;
+  const hbm::FootprintGenerator& footprints_;
+  const TimelineExpander& timeline_;
+  const hbm::AddressCodec& codec_;
+  const std::vector<double> mix_;
+  const std::uint32_t psch_slots_;
+};
+
+}  // namespace
+
+GeneratedFleet FleetGenerator::Generate(std::uint64_t seed) const {
+  Rng root(seed);
+  GeneratedFleet fleet;
+  fleet.topology = topology_;
+  hbm::AddressCodec codec(topology_);
+
+  const std::size_t n_uer_npus = Scaled(profile_.uer_npus, profile_.scale);
+  const std::size_t n_ce_npus = Scaled(profile_.ce_only_npus, profile_.scale);
+  const auto total_npus = static_cast<std::size_t>(topology_.TotalNpus());
+  CORDIAL_CHECK_MSG(n_uer_npus + n_ce_npus <= total_npus,
+                    "profile demands more faulty NPUs than the fleet has");
+
+  // Disjoint NPU sets; the paper's "with CE" counts include UER entities
+  // whose CE noise we emit within the UER incidents themselves.
+  const std::vector<std::size_t> npu_picks =
+      root.SampleWithoutReplacement(total_npus, n_uer_npus + n_ce_npus);
+
+  // Each incident derives its RNG by forking the root at its index, so the
+  // generated fleet is a pure function of (seed, profile) no matter how the
+  // incidents are distributed over worker threads.
+  const IncidentBuilder builder(topology_, profile_, footprints_, timeline_,
+                                codec);
+  const std::size_t total_incidents = n_uer_npus + n_ce_npus;
+  std::vector<IncidentOutput> incidents = ParallelMap<IncidentOutput>(
+      total_incidents, [&](std::size_t i) {
+        Rng incident_rng = root.Fork(i);
+        return i < n_uer_npus
+                   ? builder.UerIncident(npu_picks[i], incident_rng)
+                   : builder.CeIncident(npu_picks[i], incident_rng);
+      });
+
+  // Merge in incident-index order. Cross-incident key collisions cannot
+  // happen (disjoint NPUs); the contains() check keeps merge semantics
+  // identical to the old serial generator, which skipped duplicates.
+  for (IncidentOutput& incident : incidents) {
+    for (BankOutput& bank : incident.banks) {
+      if (fleet.bank_index.contains(bank.truth.bank_key)) continue;
+      fleet.log.Append(bank.events);
+      fleet.bank_index.emplace(bank.truth.bank_key, fleet.banks.size());
+      fleet.banks.push_back(std::move(bank.truth));
     }
   }
 
