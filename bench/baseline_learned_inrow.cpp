@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
   core::IcrEvaluator evaluator(fleet.topology);
   core::LearnedInRowStrategy learned(predictor);
   core::InRowStrategy ideal;
-  core::NeighborRowsStrategy neighbor(4, fleet.topology.rows_per_bank);
+  core::NeighborRowsStrategy neighbor(4, fleet.topology);
   const auto learned_result = evaluator.Evaluate(test, learned);
   const auto ideal_result = evaluator.Evaluate(test, ideal);
   const auto neighbor_result = evaluator.Evaluate(test, neighbor);

@@ -102,7 +102,7 @@ void BM_IcrReplay(benchmark::State& state) {
   SetThreadCount(static_cast<std::size_t>(state.range(0)));
   const std::vector<const trace::BankHistory*>& banks = SharedUerBanks();
   const core::IcrEvaluator evaluator(SharedFleet().topology);
-  core::NeighborRowsStrategy strategy(4, SharedFleet().topology.rows_per_bank);
+  core::NeighborRowsStrategy strategy(4, SharedFleet().topology);
   for (auto _ : state) {
     benchmark::DoNotOptimize(evaluator.Evaluate(banks, strategy));
   }

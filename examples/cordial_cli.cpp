@@ -21,6 +21,7 @@
 #include "analysis/empirical.hpp"
 #include "analysis/locality.hpp"
 #include "common/table.hpp"
+#include "core/engine.hpp"
 #include "core/pipeline.hpp"
 #include "hbm/address.hpp"
 #include "trace/fleet.hpp"
@@ -190,51 +191,27 @@ int CmdPredict(const std::string& log_path, const std::string& prefix) {
        [&](std::istream& in) { double_predictor.LoadModel(in); });
 
   const trace::ErrorLog log = LoadLog(log_path);
-  hbm::AddressCodec codec(topology);
-  trace::StreamReplayer replayer(codec);
 
-  struct BankState {
-    std::size_t uer_events = 0;
-    bool classified = false;
-    hbm::FailureClass cls = hbm::FailureClass::kScattered;
-    std::set<std::size_t> advised_blocks;
-  };
-  std::unordered_map<std::uint64_t, BankState> states;
+  // One PredictionEngine drives the whole advisory stream: the same anchor
+  // semantics (same-row skip, per-bank anchor cap) the offline evaluation
+  // replays, with bounded per-bank raw-record retention.
+  core::PredictionEngine engine(topology, classifier, single_predictor,
+                                &double_predictor);
   std::size_t advisories = 0, bank_spares = 0;
 
   for (const trace::MceRecord& record : log.records()) {
-    const trace::BankHistory& bank = replayer.Ingest(record);
-    if (record.type != hbm::ErrorType::kUer) continue;
-    BankState& state = states[bank.bank_key];
-    ++state.uer_events;
-    if (state.uer_events < single_predictor.config().trigger_uers) continue;
-    if (!state.classified) {
-      state.cls = classifier.Classify(bank);
-      state.classified = true;
-      if (state.cls == hbm::FailureClass::kScattered) {
-        ++bank_spares;
-        std::cout << "ADVISE bank-spare: bank " << bank.bank_key << " ("
-                  << hbm::FailureClassName(state.cls) << ")\n";
-        continue;
-      }
+    const std::uint64_t key = engine.codec().BankKey(record.address);
+    const core::IsolationActions actions = engine.Observe(record);
+    if (actions.bank_spare) {
+      ++bank_spares;
+      std::cout << "ADVISE bank-spare: bank " << key << " ("
+                << hbm::FailureClassName(actions.bank_class) << ")\n";
     }
-    if (state.cls == hbm::FailureClass::kScattered) continue;
-    const core::CrossRowPredictor& predictor =
-        state.cls == hbm::FailureClass::kSingleRowClustering
-            ? single_predictor
-            : double_predictor;
-    const core::Anchor anchor{record.time_s, record.address.row,
-                              state.uer_events};
-    const auto blocks = predictor.PredictBlocks(bank, anchor);
-    const auto window = predictor.extractor().WindowAt(anchor.row);
-    for (std::size_t b = 0; b < blocks.size(); ++b) {
-      if (blocks[b] != 1) continue;
-      const auto range = window.BlockRange(b);
-      if (!range.has_value()) continue;
+    for (const core::RowSpan& span : actions.predicted_spans) {
       ++advisories;
       if (advisories <= 20) {
-        std::cout << "ADVISE row-spare: bank " << bank.bank_key << " rows ["
-                  << range->first << ", " << range->second << "]\n";
+        std::cout << "ADVISE row-spare: bank " << key << " rows ["
+                  << span.first << ", " << span.last << "]\n";
       }
     }
   }
@@ -243,7 +220,7 @@ int CmdPredict(const std::string& log_path, const std::string& prefix) {
   }
   std::cout << "\ntotal: " << advisories << " row-block advisories, "
             << bank_spares << " bank-spare advisories over "
-            << replayer.bank_count() << " banks\n";
+            << engine.replayer().bank_count() << " banks\n";
   return 0;
 }
 

@@ -1,147 +1,30 @@
 // Fleet monitor: an online deployment scenario for Cordial.
 //
-// A monitoring daemon consumes the fleet's MCE stream in time order. Models
-// are trained on a historical window (the banks whose first UER falls in
-// the first 60% of the observation window); the remainder is replayed live:
-// at each bank's 3rd UER the daemon classifies the failure pattern, then
-// re-issues cross-row block predictions at every further UER and isolates
-// the predicted rows. At the end it reports how many of the subsequent row
-// failures had been preemptively isolated.
+// A core::PredictionEngine consumes the fleet's MCE stream in time order.
+// Models are trained on a historical window (the banks whose first UER falls
+// in the first 60% of the observation window); the remainder is replayed
+// live: at each bank's 3rd UER the engine classifies the failure pattern,
+// then re-issues cross-row block predictions at every further UER and
+// isolates the predicted rows. At the end it reports how many of the
+// subsequent row failures had been preemptively isolated.
+//
+// This is the same decision path the offline ICR evaluation replays
+// (core::StepCordial), driven by bounded-memory streaming state instead of
+// full event histories.
 //
 // Usage: fleet_monitor [scale] [seed]
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
 #include <set>
-#include <unordered_map>
 
 #include "analysis/labeler.hpp"
 #include "common/table.hpp"
-#include "core/crossrow.hpp"
-#include "core/pattern_classifier.hpp"
+#include "core/engine.hpp"
 #include "hbm/address.hpp"
-#include "hbm/sparing.hpp"
 #include "trace/fleet.hpp"
 
 using namespace cordial;
-
-namespace {
-
-/// Minimal online daemon: accumulates per-bank history and spends sparing
-/// resources as soon as predictions fire.
-class MonitorDaemon {
- public:
-  MonitorDaemon(const hbm::TopologyConfig& topology,
-                const core::PatternClassifier& classifier,
-                const core::CrossRowPredictor& single_predictor,
-                const core::CrossRowPredictor& double_predictor)
-      : topology_(topology),
-        classifier_(classifier),
-        single_(single_predictor),
-        double_(double_predictor) {}
-
-  struct Stats {
-    std::size_t events = 0;
-    std::size_t banks_classified = 0;
-    std::size_t banks_bank_spared = 0;
-    std::size_t predictions_issued = 0;
-    std::size_t uer_rows_total = 0;
-    std::size_t uer_rows_covered = 0;
-    std::size_t rows_isolated = 0;
-  };
-
-  void Ingest(const trace::MceRecord& record, std::uint64_t bank_key,
-              bool verbose) {
-    ++stats_.events;
-    BankState& state = banks_[bank_key];
-    state.history.bank_key = bank_key;
-    state.history.events.push_back(record);
-    if (record.type != hbm::ErrorType::kUer) return;
-
-    // Coverage accounting on first failure of a row.
-    if (state.failed_rows.insert(record.address.row).second) {
-      ++stats_.uer_rows_total;
-      if (ledger_.IsRowIsolated(bank_key, record.address.row)) {
-        ++stats_.uer_rows_covered;
-        if (verbose) {
-          std::cout << "  [t=" << std::fixed << std::setprecision(0)
-                    << record.time_s / 3600.0 << "h] PREVENTED: row "
-                    << record.address.row << " of bank " << bank_key
-                    << " failed while isolated\n";
-        }
-      }
-    }
-    ++state.uer_events;
-
-    const std::size_t trigger = single_.config().trigger_uers;
-    if (state.uer_events < trigger) return;
-    if (!state.classified) {
-      state.failure_class = classifier_.Classify(state.history);
-      state.classified = true;
-      ++stats_.banks_classified;
-      if (verbose) {
-        std::cout << "  [t=" << std::fixed << std::setprecision(0)
-                  << record.time_s / 3600.0 << "h] bank " << bank_key
-                  << " classified as "
-                  << hbm::FailureClassName(state.failure_class) << "\n";
-      }
-      if (state.failure_class == hbm::FailureClass::kScattered) {
-        ledger_.TrySpareBank(bank_key);
-        ++stats_.banks_bank_spared;
-        return;
-      }
-    }
-    if (state.failure_class == hbm::FailureClass::kScattered) return;
-    if (static_cast<std::int64_t>(record.address.row) == state.last_anchor) {
-      return;
-    }
-    if (state.anchors_used >= single_.config().max_anchors_per_bank) return;
-    state.last_anchor = record.address.row;
-    ++state.anchors_used;
-
-    const core::CrossRowPredictor& predictor =
-        state.failure_class == hbm::FailureClass::kSingleRowClustering
-            ? single_
-            : double_;
-    const core::Anchor anchor{record.time_s, record.address.row,
-                              state.uer_events};
-    const auto blocks = predictor.PredictBlocks(state.history, anchor);
-    const core::BlockWindow window =
-        predictor.extractor().WindowAt(anchor.row);
-    ++stats_.predictions_issued;
-    for (std::size_t b = 0; b < blocks.size(); ++b) {
-      if (blocks[b] != 1) continue;
-      const auto range = window.BlockRange(b);
-      if (!range.has_value()) continue;
-      for (std::uint32_t row = range->first; row <= range->second; ++row) {
-        if (ledger_.TrySpareRow(bank_key, row)) ++stats_.rows_isolated;
-      }
-    }
-  }
-
-  const Stats& stats() const { return stats_; }
-
- private:
-  struct BankState {
-    trace::BankHistory history;
-    std::set<std::uint32_t> failed_rows;
-    std::size_t uer_events = 0;
-    std::size_t anchors_used = 0;
-    bool classified = false;
-    hbm::FailureClass failure_class = hbm::FailureClass::kScattered;
-    std::int64_t last_anchor = -1;
-  };
-
-  hbm::TopologyConfig topology_;
-  const core::PatternClassifier& classifier_;
-  const core::CrossRowPredictor& single_;
-  const core::CrossRowPredictor& double_;
-  hbm::SparingLedger ledger_;
-  std::unordered_map<std::uint64_t, BankState> banks_;
-  Stats stats_;
-};
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const double scale = argc > 1 ? std::atof(argv[1]) : 0.5;
@@ -190,25 +73,35 @@ int main(int argc, char** argv) {
   const bool double_ok = !double_train.empty();
   if (double_ok) double_predictor.Train(double_train, rng);
 
-  MonitorDaemon daemon(topology, classifier, single_predictor,
-                       double_ok ? double_predictor : single_predictor);
+  core::PredictionEngine engine(topology, classifier, single_predictor,
+                                double_ok ? &double_predictor : nullptr);
 
   std::cout << "\nreplaying the live stream (sample of daemon decisions):\n";
   std::size_t verbose_budget = 12;
   for (const trace::MceRecord& record : fleet.log.records()) {
-    const std::uint64_t key = codec.BankKey(record.address);
+    const std::uint64_t key = engine.codec().BankKey(record.address);
     if (train_keys.contains(key)) continue;  // history, already learned from
-    const bool verbose = verbose_budget > 0;
-    const auto before = daemon.stats().banks_classified +
-                        daemon.stats().uer_rows_covered;
-    daemon.Ingest(record, key, verbose);
-    if (verbose && daemon.stats().banks_classified +
-                           daemon.stats().uer_rows_covered != before) {
-      --verbose_budget;
+    const core::IsolationActions actions = engine.Observe(record);
+    if (verbose_budget == 0) continue;
+    bool printed = false;
+    if (actions.first_failure && actions.covered()) {
+      std::cout << "  [t=" << std::fixed << std::setprecision(0)
+                << record.time_s / 3600.0 << "h] PREVENTED: row "
+                << record.address.row << " of bank " << key
+                << " failed while isolated\n";
+      printed = true;
     }
+    if (actions.classified_now) {
+      std::cout << "  [t=" << std::fixed << std::setprecision(0)
+                << record.time_s / 3600.0 << "h] bank " << key
+                << " classified as "
+                << hbm::FailureClassName(actions.bank_class) << "\n";
+      printed = true;
+    }
+    if (printed) --verbose_budget;
   }
 
-  const auto& s = daemon.stats();
+  const core::EngineStats& s = engine.stats();
   TextTable summary({"Metric", "Value"});
   summary.AddRow({"events ingested", std::to_string(s.events)});
   summary.AddRow({"banks classified", std::to_string(s.banks_classified)});
@@ -218,14 +111,14 @@ int main(int argc, char** argv) {
                   std::to_string(s.predictions_issued)});
   summary.AddRow({"rows isolated", std::to_string(s.rows_isolated)});
   summary.AddRow({"UER rows observed", std::to_string(s.uer_rows_total)});
-  summary.AddRow({"UER rows preemptively isolated",
-                  std::to_string(s.uer_rows_covered)});
+  const std::size_t covered = s.uer_rows_covered + s.uer_rows_covered_by_bank;
+  summary.AddRow({"UER rows preemptively isolated", std::to_string(covered)});
   summary.AddRow(
       {"live isolation coverage",
        TextTable::FormatPercent(
            s.uer_rows_total == 0
                ? 0.0
-               : static_cast<double>(s.uer_rows_covered) /
+               : static_cast<double>(covered) /
                      static_cast<double>(s.uer_rows_total))});
   std::cout << "\n" << summary.Render("Monitoring session summary");
   return 0;

@@ -1,14 +1,21 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + test suite, then the parallel-layer
 # tests again under ThreadSanitizer so data races in the thread pool or in
-# any fanned-out hot path fail the run even when the plain build passes.
+# any fanned-out hot path fail the run even when the plain build passes,
+# and the engine/profile/replay tests under AddressSanitizer so lifetime
+# bugs in the incremental per-bank state (profile snapshots, bounded
+# retention eviction) fail the run too.
 #
-# Usage: scripts/tier1.sh [--skip-tsan]
+# Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SKIP_TSAN=0
-[[ "${1:-}" == "--skip-tsan" ]] && SKIP_TSAN=1
+SKIP_ASAN=0
+for arg in "$@"; do
+  [[ "$arg" == "--skip-tsan" ]] && SKIP_TSAN=1
+  [[ "$arg" == "--skip-asan" ]] && SKIP_ASAN=1
+done
 
 cmake -B build -S .
 cmake --build build -j
@@ -16,13 +23,22 @@ ctest --test-dir build --output-on-failure -j
 
 if [[ "$SKIP_TSAN" == "1" ]]; then
   echo "tier1: skipping ThreadSanitizer pass (--skip-tsan)"
-  exit 0
+else
+  cmake -B build-tsan -S . -DCORDIAL_SANITIZE=thread \
+    -DCORDIAL_BUILD_BENCHMARKS=OFF -DCORDIAL_BUILD_EXAMPLES=OFF
+  cmake --build build-tsan -j
+  # Run the parallel-layer tests wide enough to exercise the worker pool.
+  CORDIAL_THREADS=8 ctest --test-dir build-tsan --output-on-failure \
+    -R '^Parallel'
 fi
 
-cmake -B build-tsan -S . -DCORDIAL_SANITIZE=thread \
-  -DCORDIAL_BUILD_BENCHMARKS=OFF -DCORDIAL_BUILD_EXAMPLES=OFF
-cmake --build build-tsan -j
-# Run the parallel-layer tests wide enough to exercise the worker pool.
-CORDIAL_THREADS=8 ctest --test-dir build-tsan --output-on-failure \
-  -R '^Parallel'
+if [[ "$SKIP_ASAN" == "1" ]]; then
+  echo "tier1: skipping AddressSanitizer pass (--skip-asan)"
+else
+  cmake -B build-asan -S . -DCORDIAL_SANITIZE=address \
+    -DCORDIAL_BUILD_BENCHMARKS=OFF -DCORDIAL_BUILD_EXAMPLES=OFF
+  cmake --build build-asan -j
+  ctest --test-dir build-asan --output-on-failure \
+    -R '^(BankProfile|PredictionEngine|StreamReplayer)'
+fi
 echo "tier1: OK"

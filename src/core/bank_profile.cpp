@@ -1,0 +1,178 @@
+#include "core/bank_profile.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace cordial::core {
+
+using hbm::ErrorType;
+
+namespace {
+
+/// Insert `row` into a sorted distinct vector; returns the insertion index
+/// or SIZE_MAX when the row was already present.
+std::size_t InsertDistinct(std::vector<double>& sorted, double row) {
+  const auto it = std::lower_bound(sorted.begin(), sorted.end(), row);
+  if (it != sorted.end() && *it == row) return static_cast<std::size_t>(-1);
+  const auto index = static_cast<std::size_t>(it - sorted.begin());
+  sorted.insert(it, row);
+  return index;
+}
+
+}  // namespace
+
+// --------------------------------------------------------- classification
+
+void ClassAccumulator::Absorb(const trace::MceRecord& record) {
+  const double row = static_cast<double>(record.address.row);
+  const double t = record.time_s;
+  if (!any_event || t != last_time) {
+    ce_at_last_time = 0;
+    ueo_at_last_time = 0;
+  }
+  all_row_diff.Push(row);
+  switch (record.type) {
+    case ErrorType::kCe:
+      if (ce_total == 0 || row < ce_row_min) ce_row_min = row;
+      if (ce_total == 0 || row > ce_row_max) ce_row_max = row;
+      ++ce_total;
+      ce_dt.Push(t);
+      ++ce_at_last_time;
+      break;
+    case ErrorType::kUeo:
+      if (ueo_total == 0 || row < ueo_row_min) ueo_row_min = row;
+      if (ueo_total == 0 || row > ueo_row_max) ueo_row_max = row;
+      ++ueo_total;
+      ueo_dt.Push(t);
+      ++ueo_at_last_time;
+      break;
+    case ErrorType::kUer:
+      if (uer_events == 0) {
+        first_uer_time = t;
+        // Density before the first UER counts events STRICTLY before its
+        // timestamp: subtract the same-timestamp run absorbed just above.
+        const bool same = any_event && last_time == t;
+        ce_before_first_uer =
+            static_cast<double>(ce_total - (same ? ce_at_last_time : 0));
+        ueo_before_first_uer =
+            static_cast<double>(ueo_total - (same ? ueo_at_last_time : 0));
+      }
+      if (uer_events == 0 || row < uer_row_min) uer_row_min = row;
+      if (uer_events == 0 || row > uer_row_max) uer_row_max = row;
+      ++uer_events;
+      last_uer_time = t;
+      uer_row_diff.Push(row);
+      uer_dt.Push(t);
+      InsertDistinct(distinct_uer_rows, row);
+      break;
+  }
+  any_event = true;
+  last_time = t;
+}
+
+// -------------------------------------------------------------- cross-row
+
+void CrossRowAccumulator::Absorb(const trace::MceRecord& record) {
+  const double row = static_cast<double>(record.address.row);
+  const double t = record.time_s;
+  ++all_count;
+  all_row_diff.Push(row);
+  last_event_time = t;
+  switch (record.type) {
+    case ErrorType::kCe:
+      ++ce_count;
+      ce_dt.Push(t);
+      InsertDistinct(ce_rows, row);
+      break;
+    case ErrorType::kUeo:
+      ++ueo_count;
+      ueo_dt.Push(t);
+      InsertDistinct(ueo_rows, row);
+      break;
+    case ErrorType::kUer: {
+      if (uer_count == 0) first_uer_time = t;
+      if (uer_count == 0 || row < uer_row_min) uer_row_min = row;
+      if (uer_count == 0 || row > uer_row_max) uer_row_max = row;
+      ++uer_count;
+      uer_dt.Push(t);
+      uer_row_diff.Push(row);
+      const std::size_t index = InsertDistinct(uer_rows, row);
+      if (index != static_cast<std::size_t>(-1)) {
+        // Maintain the neighbour-gap multiset: inserting between two
+        // existing rows splits their gap in two.
+        const auto u32 = [](double v) { return static_cast<std::uint32_t>(v); };
+        const bool has_prev = index > 0;
+        const bool has_next = index + 1 < uer_rows.size();
+        if (has_prev && has_next) {
+          const std::uint32_t old_gap =
+              u32(uer_rows[index + 1]) - u32(uer_rows[index - 1]);
+          const auto it = uer_row_gaps.find(old_gap);
+          CORDIAL_CHECK_MSG(it != uer_row_gaps.end(),
+                            "UER gap bookkeeping out of sync");
+          uer_row_gaps.erase(it);
+        }
+        if (has_prev) {
+          uer_row_gaps.insert(u32(row) - u32(uer_rows[index - 1]));
+        }
+        if (has_next) {
+          uer_row_gaps.insert(u32(uer_rows[index + 1]) - u32(row));
+        }
+      }
+      break;
+    }
+  }
+}
+
+// ------------------------------------------------------------ BankProfile
+
+BankProfile::BankProfile(std::size_t max_uers) : max_uers_(max_uers) {
+  CORDIAL_CHECK_MSG(max_uers_ >= 1, "must keep at least one UER");
+}
+
+void BankProfile::Observe(const trace::MceRecord& record) {
+  CORDIAL_CHECK_MSG(events_ == 0 || record.time_s >= last_time_,
+                    "BankProfile requires non-decreasing timestamps");
+  ++events_;
+  last_time_ = record.time_s;
+  crossrow_.Absorb(record);
+
+  if (record.type == ErrorType::kUer) {
+    // TruncateAtUer keeps the first max_uers UERs; later ones — including
+    // same-timestamp ties with the cutoff — are outside the view.
+    if (uer_accepted_ < max_uers_) {
+      live_.Absorb(record);
+      ++uer_accepted_;
+      cutoff_ = record.time_s;
+      frozen_ = live_;
+      if (uer_accepted_ == max_uers_) capped_ = true;
+    }
+    return;
+  }
+
+  // CE/UEO: part of the truncated view iff time <= cutoff. Pre-cap the
+  // cutoff can still move forward, so everything is tracked in `live`;
+  // same-timestamp ties with the current cutoff additionally land in
+  // `frozen` so the snapshot equals the view at all times.
+  if (!capped_) live_.Absorb(record);
+  if (uer_accepted_ >= 1 && record.time_s == cutoff_) frozen_.Absorb(record);
+}
+
+void BankProfile::ObserveAll(const trace::BankHistory& bank) {
+  for (const trace::MceRecord& record : bank.events) Observe(record);
+}
+
+double BankProfile::classification_cutoff_s() const {
+  CORDIAL_CHECK_MSG(HasClassificationView(),
+                    "classification cutoff requires a UER");
+  return cutoff_;
+}
+
+bool BankProfile::HasUerRow(std::uint32_t row) const {
+  const double value = static_cast<double>(row);
+  const auto& rows = crossrow_.uer_rows;
+  const auto it = std::lower_bound(rows.begin(), rows.end(), value);
+  return it != rows.end() && *it == value;
+}
+
+}  // namespace cordial::core

@@ -1,0 +1,151 @@
+// Incremental per-bank error-state accumulator (the online engine's core).
+//
+// A BankProfile ingests a bank's MCE records one at a time (non-decreasing
+// timestamps) and maintains, in O(log d) per event and O(d) memory (d =
+// distinct error rows), every spatial/temporal/count statistic the two
+// feature extractors need:
+//
+//  * a CLASSIFICATION view — the history truncated at the `max_uers`-th UER
+//    exactly as TruncateAtUer defines it (CE/UEO up to and including the
+//    cutoff timestamp, UERs capped), maintained as a *live* accumulator plus
+//    a *frozen* snapshot taken at each accepted UER. The snapshot-at-UER
+//    construction preserves the batch path's left-to-right summation order,
+//    so derived features are bit-identical to scanning the truncated events.
+//
+//  * a CROSS-ROW view — untruncated running statistics over the full prefix:
+//    per-type sorted distinct rows (window proximity and range counts by
+//    binary search), consecutive row-difference and inter-arrival chains,
+//    row extrema, and the multiset of gaps between distinct UER rows (so
+//    EstimateRowStride's "smallest gap above the adjacency floor" is an
+//    O(log d) query instead of a rescan).
+//
+// Feeding a profile the prefix of events with time <= t reproduces, bit for
+// bit, what the batch extractors compute from a BankHistory scanned up to t;
+// tests/core/bank_profile_test.cpp pins this property against reference
+// implementations of the pre-refactor scans.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "trace/error_log.hpp"
+
+namespace cordial::core {
+
+/// Running min/max/sum over consecutive absolute differences of a pushed
+/// sequence, matching Summarize(ConsecutiveAbsDiffs(values)) of the batch
+/// extractors: `min`/`max` compare with `<`/`>` in push order and `sum`
+/// accumulates left to right, so queries are bit-identical to the batch
+/// reduction.
+struct DiffChain {
+  std::size_t count = 0;  ///< number of differences (pushes - 1, if any)
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  bool has_last = false;
+  double last = 0.0;
+
+  void Push(double value) {
+    if (has_last) {
+      const double d = value >= last ? value - last : last - value;
+      if (count == 0 || d < min) min = d;
+      if (count == 0 || d > max) max = d;
+      sum += d;
+      ++count;
+    }
+    has_last = true;
+    last = value;
+  }
+};
+
+/// Statistics of the truncated (classification) view. Cheap to copy: the
+/// only dynamic member is the distinct-UER-row vector, capped at max_uers.
+struct ClassAccumulator {
+  std::size_t ce_total = 0, ueo_total = 0, uer_events = 0;
+  double ce_row_min = 0.0, ce_row_max = 0.0;
+  double ueo_row_min = 0.0, ueo_row_max = 0.0;
+  double uer_row_min = 0.0, uer_row_max = 0.0;
+  DiffChain uer_row_diff, all_row_diff;  ///< rows, event order
+  DiffChain ce_dt, ueo_dt, uer_dt;       ///< timestamps, per type
+  double first_uer_time = 0.0, last_uer_time = 0.0;
+  std::vector<double> distinct_uer_rows;  ///< sorted ascending, <= max_uers
+  double ce_before_first_uer = 0.0, ueo_before_first_uer = 0.0;
+
+  // Counts at the newest timestamp, for the strictly-before-first-UER
+  // semantics of the density features.
+  bool any_event = false;
+  double last_time = 0.0;
+  std::size_t ce_at_last_time = 0, ueo_at_last_time = 0;
+
+  void Absorb(const trace::MceRecord& record);
+};
+
+/// Untruncated running statistics over the full event prefix.
+struct CrossRowAccumulator {
+  std::size_t ce_count = 0, ueo_count = 0, uer_count = 0, all_count = 0;
+  DiffChain uer_row_diff, all_row_diff;
+  DiffChain ce_dt, ueo_dt, uer_dt;
+  double uer_row_min = 0.0, uer_row_max = 0.0;
+  double first_uer_time = 0.0;
+  double last_event_time = 0.0;
+  std::vector<double> ce_rows, ueo_rows, uer_rows;  ///< sorted distinct rows
+  std::multiset<std::uint32_t> uer_row_gaps;  ///< gaps of sorted distinct UERs
+
+  void Absorb(const trace::MceRecord& record);
+
+  /// EstimateRowStride over the distinct UER rows: the smallest gap above
+  /// `adjacency_floor`, or 0 when none exists. O(log d).
+  std::uint32_t EstimatedUerStride(std::uint32_t adjacency_floor = 4) const {
+    const auto it = uer_row_gaps.upper_bound(adjacency_floor);
+    return it == uer_row_gaps.end() ? 0 : *it;
+  }
+};
+
+class BankProfile {
+ public:
+  explicit BankProfile(std::size_t max_uers = 3);
+
+  /// Ingest one record. Records must arrive in non-decreasing time order.
+  void Observe(const trace::MceRecord& record);
+  /// Feed an entire (time-sorted) history.
+  void ObserveAll(const trace::BankHistory& bank);
+
+  std::size_t max_uers() const { return max_uers_; }
+  std::size_t event_count() const { return events_; }
+  bool empty() const { return events_ == 0; }
+  /// Timestamp of the newest observed record (only valid when !empty()).
+  double last_time_s() const { return last_time_; }
+
+  // --- classification (truncated) view -----------------------------------
+  /// True once at least one UER has been accepted into the truncated view.
+  bool HasClassificationView() const { return uer_accepted_ > 0; }
+  /// Time of the last accepted UER == TruncateAtUer(...).cutoff_s.
+  double classification_cutoff_s() const;
+  /// UER events in the truncated view == TruncateAtUer(...).uer_count.
+  std::size_t classification_uer_count() const { return uer_accepted_; }
+  const ClassAccumulator& classification() const { return frozen_; }
+
+  // --- cross-row (untruncated) view --------------------------------------
+  const CrossRowAccumulator& crossrow() const { return crossrow_; }
+  /// Total UER events observed (untruncated).
+  std::size_t uer_event_count() const { return crossrow_.uer_count; }
+  std::size_t distinct_uer_row_count() const {
+    return crossrow_.uer_rows.size();
+  }
+  /// Whether `row` has already shown a UER — O(log d).
+  bool HasUerRow(std::uint32_t row) const;
+
+ private:
+  std::size_t max_uers_;
+  std::size_t events_ = 0;
+  double last_time_ = 0.0;
+  std::size_t uer_accepted_ = 0;  ///< UERs in the truncated view
+  bool capped_ = false;           ///< reached max_uers accepted UERs
+  double cutoff_ = 0.0;           ///< time of the last accepted UER
+  ClassAccumulator live_;    ///< all pre-cap events, in arrival order
+  ClassAccumulator frozen_;  ///< snapshot at the last accepted UER (+ ties)
+  CrossRowAccumulator crossrow_;
+};
+
+}  // namespace cordial::core

@@ -97,12 +97,22 @@ ml::Dataset CrossRowPredictor::BuildDataset(
                    extractor_.feature_names());
   for (const trace::BankHistory* bank : banks) {
     CORDIAL_CHECK_MSG(bank != nullptr, "null bank in training set");
+    // One profile per bank, advanced anchor by anchor: O(events) total
+    // instead of a history rescan per (anchor, block).
+    BankProfile profile;
+    std::size_t cursor = 0;
     for (const Anchor& anchor : AnchorsOf(*bank)) {
+      while (cursor < bank->events.size() &&
+             bank->events[cursor].time_s <= anchor.time_s) {
+        profile.Observe(bank->events[cursor]);
+        ++cursor;
+      }
       const BlockWindow window = extractor_.WindowAt(anchor.row);
       const std::vector<int> truth = BlockTruth(*bank, anchor);
       for (std::size_t b = 0; b < config_.n_blocks; ++b) {
         if (!window.BlockRange(b).has_value()) continue;  // outside the bank
-        data.AddRow(extractor_.Extract(*bank, anchor.time_s, anchor.row, b),
+        data.AddRow(extractor_.ExtractFromProfile(profile, anchor.time_s,
+                                                  anchor.row, b),
                     truth[b]);
       }
     }
@@ -123,22 +133,42 @@ void CrossRowPredictor::Train(
 
 std::vector<double> CrossRowPredictor::PredictBlockProba(
     const trace::BankHistory& bank, const Anchor& anchor) const {
-  CORDIAL_CHECK_MSG(trained_, "cross-row predictor not trained");
-  const BlockWindow window = extractor_.WindowAt(anchor.row);
-  std::vector<double> proba(config_.n_blocks, 0.0);
-  for (std::size_t b = 0; b < config_.n_blocks; ++b) {
-    if (!window.BlockRange(b).has_value()) continue;
-    const std::vector<double> p =
-        model_->PredictProba(extractor_.Extract(bank, anchor.time_s,
-                                                anchor.row, b));
-    proba[b] = p[1];
+  BankProfile profile;
+  for (const trace::MceRecord& r : bank.events) {
+    if (r.time_s > anchor.time_s) break;
+    profile.Observe(r);
   }
-  return proba;
+  return PredictBlockProbaFromProfile(profile, anchor);
 }
 
 std::vector<int> CrossRowPredictor::PredictBlocks(
     const trace::BankHistory& bank, const Anchor& anchor) const {
   const std::vector<double> proba = PredictBlockProba(bank, anchor);
+  std::vector<int> predictions(proba.size(), 0);
+  for (std::size_t b = 0; b < proba.size(); ++b) {
+    predictions[b] = proba[b] >= config_.positive_threshold ? 1 : 0;
+  }
+  return predictions;
+}
+
+std::vector<double> CrossRowPredictor::PredictBlockProbaFromProfile(
+    const BankProfile& profile, const Anchor& anchor) const {
+  CORDIAL_CHECK_MSG(trained_, "cross-row predictor not trained");
+  const BlockWindow window = extractor_.WindowAt(anchor.row);
+  std::vector<double> proba(config_.n_blocks, 0.0);
+  for (std::size_t b = 0; b < config_.n_blocks; ++b) {
+    if (!window.BlockRange(b).has_value()) continue;
+    const std::vector<double> p = model_->PredictProba(
+        extractor_.ExtractFromProfile(profile, anchor.time_s, anchor.row, b));
+    proba[b] = p[1];
+  }
+  return proba;
+}
+
+std::vector<int> CrossRowPredictor::PredictBlocksFromProfile(
+    const BankProfile& profile, const Anchor& anchor) const {
+  const std::vector<double> proba =
+      PredictBlockProbaFromProfile(profile, anchor);
   std::vector<int> predictions(proba.size(), 0);
   for (std::size_t b = 0; b < proba.size(); ++b) {
     predictions[b] = proba[b] >= config_.positive_threshold ? 1 : 0;

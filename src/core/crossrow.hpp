@@ -70,12 +70,21 @@ class CrossRowPredictor {
   bool trained() const { return trained_; }
 
   /// Per-block positive probability at an anchor; blocks outside the bank
-  /// get probability 0.
+  /// get probability 0. Thin wrapper: feeds the events with time <=
+  /// anchor.time_s into one BankProfile shared by all blocks.
   std::vector<double> PredictBlockProba(const trace::BankHistory& bank,
                                         const Anchor& anchor) const;
   /// Thresholded predictions.
   std::vector<int> PredictBlocks(const trace::BankHistory& bank,
                                  const Anchor& anchor) const;
+
+  /// Engine path: predictions from an incrementally maintained profile that
+  /// has absorbed exactly the events with time <= anchor.time_s. Equivalent
+  /// to the batch overloads fed the same prefix.
+  std::vector<double> PredictBlockProbaFromProfile(const BankProfile& profile,
+                                                   const Anchor& anchor) const;
+  std::vector<int> PredictBlocksFromProfile(const BankProfile& profile,
+                                            const Anchor& anchor) const;
 
   /// Persist / restore the trained block model.
   void SaveModel(std::ostream& out) const;

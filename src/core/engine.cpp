@@ -1,0 +1,151 @@
+#include "core/engine.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace cordial::core {
+
+using hbm::ErrorType;
+using hbm::FailureClass;
+
+IsolationActions StepCordial(CordialBankState& state,
+                             const BankProfile& profile,
+                             const trace::MceRecord& record,
+                             const PatternClassifier& classifier,
+                             const CrossRowPredictor& single_predictor,
+                             const CrossRowPredictor& double_predictor,
+                             const CordialPolicyConfig& policy) {
+  IsolationActions actions;
+  if (record.type != ErrorType::kUer) return actions;
+  ++state.uer_events_seen;
+
+  const std::size_t trigger = single_predictor.config().trigger_uers;
+  if (state.uer_events_seen < trigger) return actions;
+
+  if (!state.classified) {
+    // The profile's classification view truncates at the trigger-th UER,
+    // which is exactly the current event — no lookahead.
+    state.bank_class = classifier.ClassifyProfile(profile);
+    state.classified = true;
+    actions.classified_now = true;
+    actions.bank_class = state.bank_class;
+    if (state.bank_class == FailureClass::kScattered) {
+      actions.bank_spare = policy.bank_spare_scattered;
+      return actions;
+    }
+  }
+  actions.bank_class = state.bank_class;
+  if (state.bank_class == FailureClass::kScattered) return actions;
+
+  // Re-anchor at every new UER row, mirroring CrossRowPredictor::AnchorsOf.
+  if (static_cast<std::int64_t>(record.address.row) == state.last_anchor_row) {
+    return actions;
+  }
+  if (state.anchors_used >= single_predictor.config().max_anchors_per_bank) {
+    return actions;
+  }
+  state.last_anchor_row = record.address.row;
+  ++state.anchors_used;
+
+  const CrossRowPredictor& predictor =
+      state.bank_class == FailureClass::kSingleRowClustering
+          ? single_predictor
+          : double_predictor;
+  const Anchor anchor{record.time_s, record.address.row,
+                      state.uer_events_seen};
+  const std::vector<int> blocks =
+      predictor.PredictBlocksFromProfile(profile, anchor);
+  const BlockWindow window = predictor.extractor().WindowAt(anchor.row);
+  actions.prediction_issued = true;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    if (blocks[b] != 1) continue;
+    const auto range = window.BlockRange(b);
+    if (!range.has_value()) continue;
+    actions.predicted_spans.push_back(RowSpan{range->first, range->second});
+  }
+  return actions;
+}
+
+PredictionEngine::PredictionEngine(const hbm::TopologyConfig& topology,
+                                   const PatternClassifier& classifier,
+                                   const CrossRowPredictor& single_predictor,
+                                   const CrossRowPredictor* double_predictor,
+                                   EngineConfig config)
+    : codec_(topology),
+      classifier_(classifier),
+      single_(single_predictor),
+      double_(double_predictor != nullptr ? *double_predictor
+                                          : single_predictor),
+      config_(config),
+      replayer_(codec_, config.retention),
+      ledger_(config.budget) {
+  CORDIAL_CHECK_MSG(classifier_.trained(), "classifier must be trained");
+  CORDIAL_CHECK_MSG(single_.trained() && double_.trained(),
+                    "cross-row predictors must be trained");
+  // With the trigger at or past the truncation depth, the classification
+  // cutoff can never be later than the triggering event — the profile view
+  // is guaranteed lookahead-free.
+  CORDIAL_CHECK_MSG(
+      single_.config().trigger_uers >= classifier_.extractor().max_uers(),
+      "cross-row trigger must not precede the classification truncation");
+}
+
+IsolationActions PredictionEngine::Observe(const trace::MceRecord& record) {
+  const trace::BankHistory& bank = replayer_.Ingest(record);
+  ++stats_.events;
+  const auto [it, inserted] =
+      banks_.try_emplace(bank.bank_key, classifier_.extractor().max_uers());
+  BankState& state = it->second;
+
+  IsolationActions coverage;
+  if (record.type == ErrorType::kUer) {
+    ++stats_.uer_events;
+    // First-failure coverage, judged against the ledger as it stood before
+    // this record (the profile has not absorbed it yet).
+    if (!state.profile.HasUerRow(record.address.row)) {
+      coverage.first_failure = true;
+      ++stats_.uer_rows_total;
+      if (ledger_.IsRowSpared(bank.bank_key, record.address.row)) {
+        coverage.covered_by_row_spare = true;
+        ++stats_.uer_rows_covered;
+      } else if (ledger_.IsBankSpared(bank.bank_key)) {
+        coverage.covered_by_bank_spare = true;
+        ++stats_.uer_rows_covered_by_bank;
+      }
+    }
+  }
+
+  state.profile.Observe(record);
+  IsolationActions actions =
+      StepCordial(state.cordial, state.profile, record, classifier_, single_,
+                  double_, config_.policy);
+  actions.first_failure = coverage.first_failure;
+  actions.covered_by_row_spare = coverage.covered_by_row_spare;
+  actions.covered_by_bank_spare = coverage.covered_by_bank_spare;
+
+  if (actions.classified_now) ++stats_.banks_classified;
+  if (actions.bank_spare) {
+    ledger_.TrySpareBank(bank.bank_key);
+    ++stats_.banks_bank_spared;
+  }
+  if (actions.prediction_issued) ++stats_.predictions_issued;
+  // TrySpareRow is idempotent (true for an already-spared row), so count
+  // newly isolated rows off the ledger's tally, not the return values.
+  const std::uint64_t spared_before = ledger_.rows_spared();
+  for (const RowSpan& span : actions.predicted_spans) {
+    for (std::uint32_t row = span.first; row <= span.last; ++row) {
+      ledger_.TrySpareRow(bank.bank_key, row);
+    }
+  }
+  actions.rows_newly_spared = ledger_.rows_spared() - spared_before;
+  stats_.rows_isolated += actions.rows_newly_spared;
+  return actions;
+}
+
+const BankProfile* PredictionEngine::FindProfile(std::uint64_t bank_key) const {
+  const auto it = banks_.find(bank_key);
+  return it == banks_.end() ? nullptr : &it->second.profile;
+}
+
+}  // namespace cordial::core

@@ -1,0 +1,165 @@
+// Online prediction engine: the single ingestion/inference path shared by
+// the offline pipeline, the ICR replay and live streaming deployment.
+//
+// One `PredictionEngine` owns the trained models' wiring, a sparing ledger
+// and per-bank incremental state (`core::BankProfile` + `CordialBankState`);
+// `Observe(record)` consumes one MCE record and returns the isolation
+// actions the Cordial policy took for it. The decision logic itself lives in
+// the free function `StepCordial`, which the offline `CordialStrategy`
+// replays through as well — so batch evaluation and live monitoring cannot
+// drift apart.
+//
+// Every decision is computed from a BankProfile, never by rescanning raw
+// event lists: ICR replay drops from O(events^2) to O(events) per bank, and
+// streaming memory stays bounded (the engine's StreamReplayer retains only
+// a window of raw records; profiles never need the dropped ones).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/crossrow.hpp"
+#include "core/pattern_classifier.hpp"
+#include "hbm/address.hpp"
+#include "hbm/sparing.hpp"
+#include "trace/replay.hpp"
+
+namespace cordial::core {
+
+/// Inclusive row range [first, last] within one bank.
+struct RowSpan {
+  std::uint32_t first = 0;
+  std::uint32_t last = 0;
+};
+
+struct CordialPolicyConfig {
+  /// Bank-spare scattered-classified banks.
+  bool bank_spare_scattered = true;
+};
+
+/// Per-bank Cordial decision state, advanced one UER event at a time.
+struct CordialBankState {
+  std::size_t uer_events_seen = 0;
+  std::size_t anchors_used = 0;
+  bool classified = false;
+  hbm::FailureClass bank_class = hbm::FailureClass::kScattered;
+  std::int64_t last_anchor_row = -1;
+};
+
+/// What the Cordial policy decided (and, in the engine, what happened) for
+/// one observed record.
+struct IsolationActions {
+  // -- coverage accounting (filled by PredictionEngine::Observe only) --
+  bool first_failure = false;  ///< record is a row's first UER in its bank
+  bool covered_by_row_spare = false;
+  bool covered_by_bank_spare = false;
+  /// Rows this record's prediction newly isolated (ledger successes).
+  std::size_t rows_newly_spared = 0;
+
+  // -- policy decisions (filled by StepCordial) --
+  bool classified_now = false;  ///< the bank was classified on this record
+  hbm::FailureClass bank_class = hbm::FailureClass::kScattered;
+  bool bank_spare = false;  ///< policy asks for a bank spare
+  bool prediction_issued = false;
+  std::vector<RowSpan> predicted_spans;  ///< rows the policy asks to spare
+
+  bool covered() const { return covered_by_row_spare || covered_by_bank_spare; }
+};
+
+/// Advance the Cordial policy by one record whose bank state is `profile`
+/// (which must already have absorbed the record). Pure decision logic: the
+/// caller applies `bank_spare` / `predicted_spans` to its ledger. Shared by
+/// PredictionEngine (live) and CordialStrategy (offline replay).
+IsolationActions StepCordial(CordialBankState& state, const BankProfile& profile,
+                             const trace::MceRecord& record,
+                             const PatternClassifier& classifier,
+                             const CrossRowPredictor& single_predictor,
+                             const CrossRowPredictor& double_predictor,
+                             const CordialPolicyConfig& policy);
+
+struct EngineConfig {
+  CordialPolicyConfig policy;
+  hbm::SparingBudget budget;
+  /// Raw-record retention for the engine's stream replayer. Decisions come
+  /// from BankProfile accumulators, so any bound (even 1) leaves them
+  /// bit-identical; the retained window only serves debugging/inspection.
+  trace::RetentionPolicy retention{64};
+};
+
+/// Running tallies over everything the engine observed.
+struct EngineStats {
+  std::size_t events = 0;
+  std::size_t uer_events = 0;
+  std::size_t banks_classified = 0;
+  std::size_t banks_bank_spared = 0;
+  std::size_t predictions_issued = 0;
+  std::size_t rows_isolated = 0;
+  std::size_t uer_rows_total = 0;
+  std::size_t uer_rows_covered = 0;  ///< first failure hit a spared row
+  std::size_t uer_rows_covered_by_bank = 0;
+
+  /// The paper's ICR: row-level coverage only (matches IcrResult::Icr).
+  double Icr() const {
+    return uer_rows_total == 0
+               ? 0.0
+               : static_cast<double>(uer_rows_covered) /
+                     static_cast<double>(uer_rows_total);
+  }
+  double IcrWithBankSparing() const {
+    return uer_rows_total == 0
+               ? 0.0
+               : static_cast<double>(uer_rows_covered +
+                                     uer_rows_covered_by_bank) /
+                     static_cast<double>(uer_rows_total);
+  }
+};
+
+/// Owns the online deployment state: stream ingestion, per-bank profiles,
+/// Cordial decision state, the sparing ledger and coverage stats. Models are
+/// held by reference and must be trained and outlive the engine.
+class PredictionEngine {
+ public:
+  /// `double_predictor` may be nullptr; the single-row predictor then serves
+  /// both clustering classes (as the examples do when no double-row training
+  /// banks exist).
+  PredictionEngine(const hbm::TopologyConfig& topology,
+                   const PatternClassifier& classifier,
+                   const CrossRowPredictor& single_predictor,
+                   const CrossRowPredictor* double_predictor = nullptr,
+                   EngineConfig config = {});
+
+  /// Ingest one record (records must arrive in non-decreasing time order
+  /// across the whole fleet) and apply the Cordial policy for its bank.
+  IsolationActions Observe(const trace::MceRecord& record);
+
+  const EngineStats& stats() const { return stats_; }
+  const hbm::SparingLedger& ledger() const { return ledger_; }
+  const trace::StreamReplayer& replayer() const { return replayer_; }
+  const hbm::AddressCodec& codec() const { return codec_; }
+  const EngineConfig& config() const { return config_; }
+
+  /// Incremental profile of a bank, or nullptr if it produced no events.
+  const BankProfile* FindProfile(std::uint64_t bank_key) const;
+
+  double now() const { return replayer_.now(); }
+
+ private:
+  struct BankState {
+    BankProfile profile;
+    CordialBankState cordial;
+    explicit BankState(std::size_t max_uers) : profile(max_uers) {}
+  };
+
+  hbm::AddressCodec codec_;
+  const PatternClassifier& classifier_;
+  const CrossRowPredictor& single_;
+  const CrossRowPredictor& double_;
+  EngineConfig config_;
+  trace::StreamReplayer replayer_;
+  hbm::SparingLedger ledger_;
+  std::unordered_map<std::uint64_t, BankState> banks_;
+  EngineStats stats_;
+};
+
+}  // namespace cordial::core

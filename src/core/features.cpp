@@ -13,30 +13,19 @@ using hbm::ErrorType;
 
 namespace {
 
-/// min/max/avg over a vector; kMissing triple when empty.
+/// min/max/avg of a consecutive-difference chain; kMissing triple when the
+/// chain holds no differences. Matches the historical batch reduction
+/// (min/max via element comparison, sum accumulated left to right).
 struct Summary {
   double min = kMissing;
   double max = kMissing;
   double avg = kMissing;
 };
 
-Summary Summarize(const std::vector<double>& values) {
-  if (values.empty()) return {};
-  Summary s;
-  s.min = *std::min_element(values.begin(), values.end());
-  s.max = *std::max_element(values.begin(), values.end());
-  double total = 0.0;
-  for (double v : values) total += v;
-  s.avg = total / static_cast<double>(values.size());
-  return s;
-}
-
-std::vector<double> ConsecutiveAbsDiffs(const std::vector<double>& values) {
-  std::vector<double> diffs;
-  for (std::size_t i = 1; i < values.size(); ++i) {
-    diffs.push_back(std::fabs(values[i] - values[i - 1]));
-  }
-  return diffs;
+Summary ChainSummary(const DiffChain& chain) {
+  if (chain.count == 0) return {};
+  return {chain.min, chain.max,
+          chain.sum / static_cast<double>(chain.count)};
 }
 
 }  // namespace
@@ -114,52 +103,32 @@ ClassificationFeatureExtractor::ClassificationFeatureExtractor(
 
 std::vector<double> ClassificationFeatureExtractor::Extract(
     const trace::BankHistory& bank) const {
-  const TruncatedHistory view = TruncateAtUer(bank, max_uers_);
+  BankProfile profile(max_uers_);
+  profile.ObserveAll(bank);
+  return ExtractFromProfile(profile);
+}
 
-  std::vector<double> ce_rows, ueo_rows, uer_rows, all_rows;
-  std::vector<double> ce_times, ueo_times, uer_times;
-  double first_uer_t = std::numeric_limits<double>::infinity();
-  for (const trace::MceRecord& r : view.events) {
-    const auto row = static_cast<double>(r.address.row);
-    all_rows.push_back(row);
-    switch (r.type) {
-      case ErrorType::kCe:
-        ce_rows.push_back(row);
-        ce_times.push_back(r.time_s);
-        break;
-      case ErrorType::kUeo:
-        ueo_rows.push_back(row);
-        ueo_times.push_back(r.time_s);
-        break;
-      case ErrorType::kUer:
-        uer_rows.push_back(row);
-        uer_times.push_back(r.time_s);
-        first_uer_t = std::min(first_uer_t, r.time_s);
-        break;
-    }
-  }
-  CORDIAL_CHECK_MSG(!uer_rows.empty(), "classification features need a UER");
+std::vector<double> ClassificationFeatureExtractor::ExtractFromProfile(
+    const BankProfile& profile) const {
+  CORDIAL_CHECK_MSG(profile.max_uers() == max_uers_,
+                    "profile truncation depth mismatch");
+  const ClassAccumulator& a = profile.classification();
+  CORDIAL_CHECK_MSG(a.uer_events >= 1, "classification features need a UER");
 
-  auto min_or_missing = [](const std::vector<double>& v) {
-    return v.empty() ? kMissing : *std::min_element(v.begin(), v.end());
-  };
-  auto max_or_missing = [](const std::vector<double>& v) {
-    return v.empty() ? kMissing : *std::max_element(v.begin(), v.end());
-  };
-
-  const double uer_min = min_or_missing(uer_rows);
-  const double uer_max = max_or_missing(uer_rows);
+  const double uer_min = a.uer_row_min;
+  const double uer_max = a.uer_row_max;
   const double uer_span = uer_max - uer_min;
 
   // Half-bank aliasing indicator: minimal |pairwise distance - rows/2| over
-  // distinct UER row pairs (the signature of half total-row clusters).
+  // distinct UER row pairs (the signature of half total-row clusters). At
+  // most max_uers distinct rows, so the pair loop is O(1).
   double half_alias_gap = kMissing;
   {
-    std::set<double> distinct(uer_rows.begin(), uer_rows.end());
+    const std::vector<double>& distinct = a.distinct_uer_rows;
     const double half = static_cast<double>(topology_.rows_per_bank) / 2.0;
-    for (auto a = distinct.begin(); a != distinct.end(); ++a) {
-      for (auto b = std::next(a); b != distinct.end(); ++b) {
-        const double gap = std::fabs(std::fabs(*b - *a) - half);
+    for (std::size_t i = 0; i < distinct.size(); ++i) {
+      for (std::size_t j = i + 1; j < distinct.size(); ++j) {
+        const double gap = std::fabs(std::fabs(distinct[j] - distinct[i]) - half);
         if (half_alias_gap == kMissing || gap < half_alias_gap) {
           half_alias_gap = gap;
         }
@@ -167,27 +136,20 @@ std::vector<double> ClassificationFeatureExtractor::Extract(
     }
   }
 
-  const Summary uer_row_diff = Summarize(ConsecutiveAbsDiffs(uer_rows));
-  const Summary all_row_diff = Summarize(ConsecutiveAbsDiffs(all_rows));
-  const Summary ce_dt = Summarize(ConsecutiveAbsDiffs(ce_times));
-  const Summary ueo_dt = Summarize(ConsecutiveAbsDiffs(ueo_times));
-  const Summary uer_dt = Summarize(ConsecutiveAbsDiffs(uer_times));
+  const Summary uer_row_diff = ChainSummary(a.uer_row_diff);
+  const Summary all_row_diff = ChainSummary(a.all_row_diff);
+  const Summary ce_dt = ChainSummary(a.ce_dt);
+  const Summary ueo_dt = ChainSummary(a.ueo_dt);
+  const Summary uer_dt = ChainSummary(a.uer_dt);
 
   const double uer_time_span =
-      uer_times.size() < 2 ? kMissing : uer_times.back() - uer_times.front();
-
-  double ce_before = 0.0, ueo_before = 0.0;
-  for (const trace::MceRecord& r : view.events) {
-    if (r.time_s >= first_uer_t) break;
-    if (r.type == ErrorType::kCe) ce_before += 1.0;
-    if (r.type == ErrorType::kUeo) ueo_before += 1.0;
-  }
-
-  std::set<double> distinct_uer_rows(uer_rows.begin(), uer_rows.end());
+      a.uer_events < 2 ? kMissing : a.last_uer_time - a.first_uer_time;
 
   std::vector<double> features = {
-      min_or_missing(ce_rows), max_or_missing(ce_rows),
-      min_or_missing(ueo_rows), max_or_missing(ueo_rows),
+      a.ce_total == 0 ? kMissing : a.ce_row_min,
+      a.ce_total == 0 ? kMissing : a.ce_row_max,
+      a.ueo_total == 0 ? kMissing : a.ueo_row_min,
+      a.ueo_total == 0 ? kMissing : a.ueo_row_max,
       uer_min, uer_max, uer_span,
       uer_span / static_cast<double>(topology_.rows_per_bank),
       uer_row_diff.min, uer_row_diff.max, uer_row_diff.avg,
@@ -197,10 +159,10 @@ std::vector<double> ClassificationFeatureExtractor::Extract(
       ueo_dt.min, ueo_dt.max, ueo_dt.avg,
       uer_dt.min, uer_dt.max, uer_dt.avg,
       uer_time_span,
-      ce_before, ueo_before,
-      static_cast<double>(ce_rows.size()),
-      static_cast<double>(ueo_rows.size()),
-      static_cast<double>(distinct_uer_rows.size()),
+      a.ce_before_first_uer, a.ueo_before_first_uer,
+      static_cast<double>(a.ce_total),
+      static_cast<double>(a.ueo_total),
+      static_cast<double>(a.distinct_uer_rows.size()),
   };
   CORDIAL_CHECK_MSG(features.size() == feature_names_.size(),
                     "classification feature arity drifted");
@@ -276,95 +238,78 @@ BlockWindow CrossRowFeatureExtractor::WindowAt(std::uint32_t anchor_row) const {
 std::vector<double> CrossRowFeatureExtractor::Extract(
     const trace::BankHistory& bank, double anchor_time_s,
     std::uint32_t anchor_row, std::size_t block) const {
+  BankProfile profile;
+  for (const trace::MceRecord& r : bank.events) {
+    if (r.time_s > anchor_time_s) break;
+    profile.Observe(r);
+  }
+  return ExtractFromProfile(profile, anchor_time_s, anchor_row, block);
+}
+
+std::vector<double> CrossRowFeatureExtractor::ExtractFromProfile(
+    const BankProfile& profile, double anchor_time_s,
+    std::uint32_t anchor_row, std::size_t block) const {
   const BlockWindow window = WindowAt(anchor_row);
   const auto range = window.BlockRange(block);
   CORDIAL_CHECK_MSG(range.has_value(),
                     "cannot extract features for an out-of-bank block");
+  const CrossRowAccumulator& a = profile.crossrow();
+  CORDIAL_CHECK_MSG(a.uer_count >= 1,
+                    "cross-row features need at least one prior UER");
+  CORDIAL_CHECK_MSG(profile.last_time_s() <= anchor_time_s,
+                    "profile contains events newer than the anchor");
   const double block_center =
       0.5 * (static_cast<double>(range->first) +
              static_cast<double>(range->second));
 
-  std::vector<double> ce_rows, ueo_rows, uer_rows, all_rows;
-  std::vector<double> ce_times, ueo_times, uer_times;
-  double last_event_t = kMissing;
-  for (const trace::MceRecord& r : bank.events) {
-    if (r.time_s > anchor_time_s) break;
-    const auto row = static_cast<double>(r.address.row);
-    all_rows.push_back(row);
-    last_event_t = r.time_s;
-    switch (r.type) {
-      case ErrorType::kCe:
-        ce_rows.push_back(row);
-        ce_times.push_back(r.time_s);
-        break;
-      case ErrorType::kUeo:
-        ueo_rows.push_back(row);
-        ueo_times.push_back(r.time_s);
-        break;
-      case ErrorType::kUer:
-        uer_rows.push_back(row);
-        uer_times.push_back(r.time_s);
-        break;
-    }
-  }
-  CORDIAL_CHECK_MSG(!uer_rows.empty(),
-                    "cross-row features need at least one prior UER");
-
+  // Sorted distinct rows make proximity a two-candidate binary search. The
+  // minimum distance over distinct rows equals the batch minimum over all
+  // rows, computed with the same |row - center| arithmetic.
   auto nearest_dist = [&](const std::vector<double>& rows) {
     double best = kMissing;
-    for (double row : rows) {
-      const double d = std::fabs(row - block_center);
+    const auto it = std::lower_bound(rows.begin(), rows.end(), block_center);
+    if (it != rows.end()) best = std::fabs(*it - block_center);
+    if (it != rows.begin()) {
+      const double d = std::fabs(*(it - 1) - block_center);
       if (best == kMissing || d < best) best = d;
     }
     return best;
   };
+  auto rows_in_span = [](const std::vector<double>& rows, double lo,
+                         double hi) {
+    return static_cast<double>(
+        std::upper_bound(rows.begin(), rows.end(), hi) -
+        std::lower_bound(rows.begin(), rows.end(), lo));
+  };
   auto rows_in_range = [&](const std::vector<double>& rows) {
-    std::set<double> distinct;
-    for (double row : rows) {
-      if (row >= static_cast<double>(range->first) &&
-          row <= static_cast<double>(range->second)) {
-        distinct.insert(row);
-      }
-    }
-    return static_cast<double>(distinct.size());
+    return rows_in_span(rows, static_cast<double>(range->first),
+                        static_cast<double>(range->second));
   };
 
-  std::set<double> distinct_uer(uer_rows.begin(), uer_rows.end());
-  double uer_in_window = 0.0, uer_within_8 = 0.0;
-  for (double row : distinct_uer) {
-    if (std::fabs(row - static_cast<double>(anchor_row)) <=
-        static_cast<double>(window.radius())) {
-      uer_in_window += 1.0;
-    }
-    if (std::fabs(row - static_cast<double>(anchor_row)) <= 8.0) {
-      uer_within_8 += 1.0;
-    }
-  }
+  const double anchor = static_cast<double>(anchor_row);
+  const double radius = static_cast<double>(window.radius());
+  const double uer_in_window =
+      rows_in_span(a.uer_rows, anchor - radius, anchor + radius);
+  const double uer_within_8 = rows_in_span(a.uer_rows, anchor - 8.0,
+                                           anchor + 8.0);
 
-  const Summary uer_row_diff = Summarize(ConsecutiveAbsDiffs(uer_rows));
-  const Summary all_row_diff = Summarize(ConsecutiveAbsDiffs(all_rows));
-  const Summary ce_dt = Summarize(ConsecutiveAbsDiffs(ce_times));
-  const Summary ueo_dt = Summarize(ConsecutiveAbsDiffs(ueo_times));
-  const Summary uer_dt = Summarize(ConsecutiveAbsDiffs(uer_times));
+  const Summary uer_row_diff = ChainSummary(a.uer_row_diff);
+  const Summary all_row_diff = ChainSummary(a.all_row_diff);
+  const Summary ce_dt = ChainSummary(a.ce_dt);
+  const Summary ueo_dt = ChainSummary(a.ueo_dt);
+  const Summary uer_dt = ChainSummary(a.uer_dt);
 
-  const double uer_span =
-      *std::max_element(uer_rows.begin(), uer_rows.end()) -
-      *std::min_element(uer_rows.begin(), uer_rows.end());
+  const double uer_span = a.uer_row_max - a.uer_row_min;
 
   // Strip geometry: fold the block offset onto the estimated stride. A
   // block sitting on a strip position folds to ~0 and is a likely target.
-  std::vector<std::uint32_t> uer_rows_u32;
-  uer_rows_u32.reserve(uer_rows.size());
-  for (double row : uer_rows) {
-    uer_rows_u32.push_back(static_cast<std::uint32_t>(row));
-  }
-  const std::uint32_t stride = EstimateRowStride(uer_rows_u32);
+  const std::uint32_t stride = a.EstimatedUerStride();
   double fold = kMissing;
   double k_positions = kMissing;
   if (stride > 0) {
     // Fold relative to the nearest prior UER row, not the anchor alone:
     // strip positions repeat from any failed row.
-    const double nearest_uer = nearest_dist(uer_rows);
+    const double nearest_uer = nearest_dist(a.uer_rows);
     const double mod = std::fmod(nearest_uer, static_cast<double>(stride));
     fold = std::min(mod, static_cast<double>(stride) - mod);
     k_positions = nearest_uer / static_cast<double>(stride);
@@ -372,12 +317,13 @@ std::vector<double> CrossRowFeatureExtractor::Extract(
 
   std::vector<double> features = {
       static_cast<double>(block),
-      block_center - static_cast<double>(anchor_row),
-      std::fabs(block_center - static_cast<double>(anchor_row)),
-      static_cast<double>(anchor_row) /
-          static_cast<double>(topology_.rows_per_bank),
-      nearest_dist(ce_rows), nearest_dist(ueo_rows), nearest_dist(uer_rows),
-      rows_in_range(ce_rows), rows_in_range(ueo_rows), rows_in_range(uer_rows),
+      block_center - anchor,
+      std::fabs(block_center - anchor),
+      anchor / static_cast<double>(topology_.rows_per_bank),
+      nearest_dist(a.ce_rows), nearest_dist(a.ueo_rows),
+      nearest_dist(a.uer_rows),
+      rows_in_range(a.ce_rows), rows_in_range(a.ueo_rows),
+      rows_in_range(a.uer_rows),
       uer_in_window, uer_within_8,
       uer_row_diff.min, uer_row_diff.max, uer_row_diff.avg,
       all_row_diff.min, all_row_diff.max, all_row_diff.avg,
@@ -385,13 +331,13 @@ std::vector<double> CrossRowFeatureExtractor::Extract(
       stride == 0 ? kMissing : static_cast<double>(stride), fold, k_positions,
       ce_dt.min, ce_dt.max, ueo_dt.min, ueo_dt.max,
       uer_dt.min, uer_dt.max, uer_dt.avg,
-      last_event_t == kMissing ? kMissing : anchor_time_s - last_event_t,
-      anchor_time_s - uer_times.front(),
-      static_cast<double>(ce_rows.size()),
-      static_cast<double>(ueo_rows.size()),
-      static_cast<double>(uer_rows.size()),
-      static_cast<double>(ueo_rows.size() + uer_rows.size()),
-      static_cast<double>(all_rows.size()),
+      a.all_count == 0 ? kMissing : anchor_time_s - a.last_event_time,
+      anchor_time_s - a.first_uer_time,
+      static_cast<double>(a.ce_count),
+      static_cast<double>(a.ueo_count),
+      static_cast<double>(a.uer_count),
+      static_cast<double>(a.ueo_count + a.uer_count),
+      static_cast<double>(a.all_count),
   };
   CORDIAL_CHECK_MSG(features.size() == feature_names_.size(),
                     "cross-row feature arity drifted");

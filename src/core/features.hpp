@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "core/bank_profile.hpp"
 #include "hbm/topology.hpp"
 #include "trace/error_log.hpp"
 
@@ -65,8 +66,15 @@ class ClassificationFeatureExtractor {
   std::size_t max_uers() const { return max_uers_; }
 
   /// Feature vector for one UER bank. The bank must contain at least one
-  /// UER event.
+  /// UER event. Thin wrapper: builds a BankProfile over the history and
+  /// queries it.
   std::vector<double> Extract(const trace::BankHistory& bank) const;
+
+  /// Feature vector from an incrementally maintained profile. The profile
+  /// must have been constructed with the same max_uers and have absorbed at
+  /// least one UER. Bit-identical to the batch overload fed the same
+  /// events. O(1) in the history length.
+  std::vector<double> ExtractFromProfile(const BankProfile& profile) const;
 
  private:
   hbm::TopologyConfig topology_;
@@ -114,9 +122,18 @@ class CrossRowFeatureExtractor {
 
   /// Features for block `block` of the window anchored at `anchor_row`,
   /// computed from the events with time <= `anchor_time_s` in `bank`.
+  /// Thin wrapper: feeds that prefix into a BankProfile and queries it.
   std::vector<double> Extract(const trace::BankHistory& bank,
                               double anchor_time_s, std::uint32_t anchor_row,
                               std::size_t block) const;
+
+  /// Same features from an incrementally maintained profile that has
+  /// absorbed exactly the events with time <= `anchor_time_s` (and at least
+  /// one UER). Bit-identical to the batch overload; O(log d) per call.
+  std::vector<double> ExtractFromProfile(const BankProfile& profile,
+                                         double anchor_time_s,
+                                         std::uint32_t anchor_row,
+                                         std::size_t block) const;
 
  private:
   hbm::TopologyConfig topology_;

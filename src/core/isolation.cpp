@@ -99,9 +99,10 @@ void InRowStrategy::OnEvent(const trace::BankHistory& bank,
 // ---------------------------------------------------------- neighbor rows
 
 NeighborRowsStrategy::NeighborRowsStrategy(std::uint32_t adjacency,
-                                           std::uint32_t rows_per_bank)
-    : adjacency_(adjacency), rows_per_bank_(rows_per_bank) {
+                                           const hbm::TopologyConfig& topology)
+    : adjacency_(adjacency), rows_per_bank_(topology.rows_per_bank) {
   CORDIAL_CHECK_MSG(adjacency_ > 0, "adjacency must be positive");
+  CORDIAL_CHECK_MSG(rows_per_bank_ > 0, "topology must have rows");
 }
 
 void NeighborRowsStrategy::OnEvent(const trace::BankHistory& bank,
@@ -129,60 +130,45 @@ CordialStrategy::CordialStrategy(const PatternClassifier& classifier,
     : classifier_(classifier),
       single_predictor_(single_predictor),
       double_predictor_(double_predictor),
-      config_(config) {
+      config_(config),
+      profile_(classifier.extractor().max_uers()) {
   CORDIAL_CHECK_MSG(classifier_.trained(), "classifier must be trained");
   CORDIAL_CHECK_MSG(single_predictor_.trained() && double_predictor_.trained(),
                     "cross-row predictors must be trained");
+  CORDIAL_CHECK_MSG(
+      single_predictor_.config().trigger_uers >=
+          classifier_.extractor().max_uers(),
+      "cross-row trigger must not precede the classification truncation");
 }
 
 void CordialStrategy::OnBankStart(const trace::BankHistory&) {
-  uer_events_seen_ = 0;
-  anchors_used_ = 0;
-  classified_ = false;
-  bank_class_ = hbm::FailureClass::kScattered;
-  last_anchor_row_ = -1;
+  profile_ = BankProfile(classifier_.extractor().max_uers());
+  state_ = CordialBankState{};
+  feed_cursor_ = 0;
 }
 
 void CordialStrategy::OnEvent(const trace::BankHistory& bank,
                               std::size_t event_index,
                               hbm::SparingLedger& ledger) {
   const trace::MceRecord& r = bank.events[event_index];
-  if (r.type != ErrorType::kUer) return;
-  ++uer_events_seen_;
 
-  const std::size_t trigger = single_predictor_.config().trigger_uers;
-  if (uer_events_seen_ < trigger) return;
-
-  if (!classified_) {
-    // The classifier's extractor truncates at the trigger-th UER, which is
-    // exactly the current event — no lookahead.
-    bank_class_ = classifier_.Classify(bank);
-    classified_ = true;
-    if (bank_class_ == hbm::FailureClass::kScattered) {
-      if (config_.bank_spare_scattered) ledger.TrySpareBank(bank.bank_key);
-      return;
-    }
+  // Absorb the whole same-timestamp group before deciding: the batch
+  // extractors see every event with time <= the anchor time, including ones
+  // recorded after the triggering event in the log, and the closed replay
+  // history makes them available here. (The live engine, which has no such
+  // lookahead, simply never sees the not-yet-arrived ties.)
+  while (feed_cursor_ < bank.events.size() &&
+         bank.events[feed_cursor_].time_s <= r.time_s) {
+    profile_.Observe(bank.events[feed_cursor_]);
+    ++feed_cursor_;
   }
-  if (bank_class_ == hbm::FailureClass::kScattered) return;
 
-  // Re-anchor at every new UER row, mirroring AnchorsOf().
-  if (static_cast<std::int64_t>(r.address.row) == last_anchor_row_) return;
-  if (anchors_used_ >= single_predictor_.config().max_anchors_per_bank) return;
-  last_anchor_row_ = r.address.row;
-  ++anchors_used_;
-
-  const CrossRowPredictor& predictor =
-      bank_class_ == hbm::FailureClass::kSingleRowClustering
-          ? single_predictor_
-          : double_predictor_;
-  const Anchor anchor{r.time_s, r.address.row, uer_events_seen_};
-  const std::vector<int> blocks = predictor.PredictBlocks(bank, anchor);
-  const BlockWindow window = predictor.extractor().WindowAt(anchor.row);
-  for (std::size_t b = 0; b < blocks.size(); ++b) {
-    if (blocks[b] != 1) continue;
-    const auto range = window.BlockRange(b);
-    if (!range.has_value()) continue;
-    for (std::uint32_t row = range->first; row <= range->second; ++row) {
+  const IsolationActions actions =
+      StepCordial(state_, profile_, r, classifier_, single_predictor_,
+                  double_predictor_, config_);
+  if (actions.bank_spare) ledger.TrySpareBank(bank.bank_key);
+  for (const RowSpan& span : actions.predicted_spans) {
+    for (std::uint32_t row = span.first; row <= span.last; ++row) {
       ledger.TrySpareRow(bank.bank_key, row);
     }
   }

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/crossrow.hpp"
+#include "core/engine.hpp"
 #include "core/pattern_classifier.hpp"
 #include "hbm/sparing.hpp"
 #include "trace/error_log.hpp"
@@ -112,8 +113,10 @@ class InRowStrategy final : public IsolationStrategy {
 
 class NeighborRowsStrategy final : public IsolationStrategy {
  public:
-  explicit NeighborRowsStrategy(std::uint32_t adjacency = 4,
-                                std::uint32_t rows_per_bank = 32768);
+  /// Row bounds come from the deployment topology — no hardcoded bank
+  /// geometry.
+  NeighborRowsStrategy(std::uint32_t adjacency,
+                       const hbm::TopologyConfig& topology);
   void OnBankStart(const trace::BankHistory&) override {}
   void OnEvent(const trace::BankHistory& bank, std::size_t event_index,
                hbm::SparingLedger& ledger) override;
@@ -126,11 +129,6 @@ class NeighborRowsStrategy final : public IsolationStrategy {
   std::uint32_t adjacency_;
   std::uint32_t rows_per_bank_;
   std::string name_ = "Neighbor Rows";
-};
-
-struct CordialPolicyConfig {
-  /// Bank-spare scattered-classified banks.
-  bool bank_spare_scattered = true;
 };
 
 class CordialStrategy final : public IsolationStrategy {
@@ -156,12 +154,14 @@ class CordialStrategy final : public IsolationStrategy {
   CordialPolicyConfig config_;
   std::string name_ = "Cordial";
 
-  // Per-bank replay state.
-  std::size_t uer_events_seen_ = 0;
-  std::size_t anchors_used_ = 0;
-  bool classified_ = false;
-  hbm::FailureClass bank_class_ = hbm::FailureClass::kScattered;
-  std::int64_t last_anchor_row_ = -1;
+  // Per-bank replay state: an incrementally maintained profile plus the
+  // shared Cordial decision state (decisions delegate to StepCordial, the
+  // same code path PredictionEngine runs live). The feed cursor absorbs
+  // whole same-timestamp groups before each decision, matching the batch
+  // extractors' closed-history tie semantics.
+  BankProfile profile_;
+  CordialBankState state_;
+  std::size_t feed_cursor_ = 0;
 };
 
 }  // namespace cordial::core

@@ -44,6 +44,19 @@ std::vector<double> PatternClassifier::ClassifyProba(
   return model_->PredictProba(extractor_.Extract(bank));
 }
 
+hbm::FailureClass PatternClassifier::ClassifyProfile(
+    const BankProfile& profile) const {
+  CORDIAL_CHECK_MSG(trained_, "classifier not trained");
+  return static_cast<hbm::FailureClass>(
+      model_->Predict(extractor_.ExtractFromProfile(profile)));
+}
+
+std::vector<double> PatternClassifier::ClassifyProbaProfile(
+    const BankProfile& profile) const {
+  CORDIAL_CHECK_MSG(trained_, "classifier not trained");
+  return model_->PredictProba(extractor_.ExtractFromProfile(profile));
+}
+
 ml::ConfusionMatrix PatternClassifier::Evaluate(
     const std::vector<LabelledBank>& banks) const {
   CORDIAL_CHECK_MSG(trained_, "classifier not trained");

@@ -42,6 +42,11 @@ class PatternClassifier {
   hbm::FailureClass Classify(const trace::BankHistory& bank) const;
   std::vector<double> ClassifyProba(const trace::BankHistory& bank) const;
 
+  /// Classification from an incrementally maintained per-bank profile (the
+  /// online engine path); equivalent to Classify on the same event prefix.
+  hbm::FailureClass ClassifyProfile(const BankProfile& profile) const;
+  std::vector<double> ClassifyProbaProfile(const BankProfile& profile) const;
+
   /// Confusion matrix over a labelled evaluation set (Table III).
   ml::ConfusionMatrix Evaluate(const std::vector<LabelledBank>& banks) const;
 

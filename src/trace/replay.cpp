@@ -13,6 +13,15 @@ const BankHistory& StreamReplayer::Ingest(const MceRecord& record) {
   BankHistory& bank = banks_[key];
   bank.bank_key = key;
   bank.events.push_back(record);
+  if (retention_.max_events_per_bank > 0 &&
+      bank.events.size() > retention_.max_events_per_bank) {
+    const std::size_t excess =
+        bank.events.size() - retention_.max_events_per_bank;
+    bank.events.erase(bank.events.begin(),
+                      bank.events.begin() +
+                          static_cast<std::ptrdiff_t>(excess));
+    dropped_ += excess;
+  }
   return bank;
 }
 

@@ -4,6 +4,12 @@
 // log. StreamReplayer maintains the same BankHistory state GroupByBank
 // builds in batch, incrementally and with monotonic-time enforcement, so
 // online daemons and the CLI share one ingestion path.
+//
+// Long-running feeds cannot retain every record: with a RetentionPolicy the
+// replayer keeps only the newest `max_events_per_bank` events per bank
+// (decision state lives in core::BankProfile accumulators, which never
+// need the dropped records), turning unbounded streaming into O(banks)
+// memory.
 #pragma once
 
 #include <cstdint>
@@ -14,26 +20,40 @@
 
 namespace cordial::trace {
 
+/// Bounded event retention for streaming ingestion.
+struct RetentionPolicy {
+  /// Newest events kept per bank; 0 keeps everything (batch-equivalent).
+  std::size_t max_events_per_bank = 0;
+};
+
 class StreamReplayer {
  public:
-  explicit StreamReplayer(const hbm::AddressCodec& codec) : codec_(codec) {}
+  explicit StreamReplayer(const hbm::AddressCodec& codec,
+                          RetentionPolicy retention = {})
+      : codec_(codec), retention_(retention) {}
 
   /// Ingest one record. Records must arrive in non-decreasing time order.
-  /// Returns the bank's history including this record.
+  /// Returns the bank's (retained) history including this record.
   const BankHistory& Ingest(const MceRecord& record);
 
   /// Bank state, or nullptr if no event for that bank was seen.
   const BankHistory* Find(std::uint64_t bank_key) const;
 
   std::size_t bank_count() const { return banks_.size(); }
+  /// Records ingested (dropped ones included).
   std::size_t record_count() const { return records_; }
+  /// Records evicted by the retention policy.
+  std::size_t records_dropped() const { return dropped_; }
+  const RetentionPolicy& retention() const { return retention_; }
   /// Timestamp of the newest ingested record (0 before any).
   double now() const { return now_; }
 
  private:
   const hbm::AddressCodec& codec_;
+  RetentionPolicy retention_;
   std::unordered_map<std::uint64_t, BankHistory> banks_;
   std::size_t records_ = 0;
+  std::size_t dropped_ = 0;
   double now_ = 0.0;
 };
 

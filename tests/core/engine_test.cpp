@@ -1,0 +1,183 @@
+// PredictionEngine: the live streaming path must reproduce the offline ICR
+// replay exactly (same models, same fleet, same sparing budgets), stay
+// invariant under raw-record retention bounds, and enforce its contracts.
+#include "core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/labeler.hpp"
+#include "common/check.hpp"
+#include "core/isolation.hpp"
+#include "hbm/address.hpp"
+#include "trace/fleet.hpp"
+
+namespace cordial::core {
+namespace {
+
+/// Small fleet plus models trained on it, built once and shared read-only.
+struct World {
+  hbm::TopologyConfig topology;
+  trace::GeneratedFleet fleet;
+  std::vector<trace::BankHistory> banks;
+  std::vector<const trace::BankHistory*> uer_banks;
+  PatternClassifier classifier;
+  CrossRowPredictor single_pred;
+  CrossRowPredictor double_pred;
+  bool double_ok = false;
+
+  World()
+      : fleet(MakeFleet(topology)),
+        classifier(topology, ml::LearnerKind::kRandomForest),
+        single_pred(topology, ml::LearnerKind::kRandomForest),
+        double_pred(topology, ml::LearnerKind::kRandomForest) {
+    hbm::AddressCodec codec(topology);
+    banks = fleet.log.GroupByBank(codec);
+    analysis::PatternLabeler labeler(topology);
+    std::vector<LabelledBank> labelled;
+    std::vector<const trace::BankHistory*> singles, doubles;
+    for (const trace::BankHistory& bank : banks) {
+      if (!bank.HasUer()) continue;
+      uer_banks.push_back(&bank);
+      const hbm::FailureClass cls = labeler.LabelClass(bank);
+      labelled.push_back(LabelledBank{&bank, cls});
+      if (cls == hbm::FailureClass::kSingleRowClustering) {
+        singles.push_back(&bank);
+      } else if (cls == hbm::FailureClass::kDoubleRowClustering) {
+        doubles.push_back(&bank);
+      }
+    }
+    Rng rng(99);
+    classifier.Train(labelled, rng);
+    single_pred.Train(singles, rng);
+    try {
+      double_pred.Train(doubles, rng);
+      double_ok = true;
+    } catch (const ContractViolation&) {
+      double_ok = false;  // too few double-cluster banks at this scale
+    }
+  }
+
+  static trace::GeneratedFleet MakeFleet(const hbm::TopologyConfig& topology) {
+    trace::CalibrationProfile profile;
+    profile.scale = 0.08;
+    return trace::FleetGenerator(topology, profile).Generate(5);
+  }
+
+  const CrossRowPredictor& effective_double() const {
+    return double_ok ? double_pred : single_pred;
+  }
+  const CrossRowPredictor* double_or_null() const {
+    return double_ok ? &double_pred : nullptr;
+  }
+};
+
+const World& SharedWorld() {
+  static const World* world = new World();
+  return *world;
+}
+
+TEST(PredictionEngine, StreamingMatchesIcrReplay) {
+  const World& w = SharedWorld();
+  PredictionEngine engine(w.topology, w.classifier, w.single_pred,
+                          w.double_or_null());
+  for (const trace::MceRecord& record : w.fleet.log.records()) {
+    engine.Observe(record);
+  }
+
+  const IcrEvaluator evaluator(w.topology);
+  CordialStrategy strategy(w.classifier, w.single_pred, w.effective_double());
+  const IcrResult icr = evaluator.Evaluate(w.uer_banks, strategy);
+
+  ASSERT_GT(icr.total_uer_rows, 0u);
+  EXPECT_EQ(engine.stats().uer_rows_total, icr.total_uer_rows);
+  EXPECT_EQ(engine.stats().uer_rows_covered, icr.covered_rows);
+  EXPECT_EQ(engine.stats().uer_rows_covered_by_bank,
+            icr.covered_by_bank_spare);
+  EXPECT_EQ(engine.ledger().rows_spared(), icr.rows_spared);
+  EXPECT_EQ(engine.ledger().banks_spared(), icr.banks_spared);
+  EXPECT_DOUBLE_EQ(engine.ledger().total_cost(), icr.sparing_cost);
+  EXPECT_EQ(engine.stats().rows_isolated, icr.rows_spared);
+  EXPECT_DOUBLE_EQ(engine.stats().Icr(), icr.Icr());
+  EXPECT_DOUBLE_EQ(engine.stats().IcrWithBankSparing(),
+                   icr.IcrWithBankSparing());
+  EXPECT_EQ(engine.stats().events, w.fleet.log.size());
+}
+
+TEST(PredictionEngine, RetentionBoundDoesNotChangeDecisions) {
+  const World& w = SharedWorld();
+  EngineConfig unbounded;
+  unbounded.retention.max_events_per_bank = 0;
+  EngineConfig bounded;
+  bounded.retention.max_events_per_bank = 4;
+
+  PredictionEngine a(w.topology, w.classifier, w.single_pred,
+                     w.double_or_null(), unbounded);
+  PredictionEngine b(w.topology, w.classifier, w.single_pred,
+                     w.double_or_null(), bounded);
+  for (const trace::MceRecord& record : w.fleet.log.records()) {
+    a.Observe(record);
+    b.Observe(record);
+  }
+
+  // Decisions come from profiles, not retained records: identical tallies.
+  EXPECT_EQ(a.stats().banks_classified, b.stats().banks_classified);
+  EXPECT_EQ(a.stats().banks_bank_spared, b.stats().banks_bank_spared);
+  EXPECT_EQ(a.stats().predictions_issued, b.stats().predictions_issued);
+  EXPECT_EQ(a.stats().rows_isolated, b.stats().rows_isolated);
+  EXPECT_EQ(a.stats().uer_rows_covered, b.stats().uer_rows_covered);
+  EXPECT_EQ(a.stats().uer_rows_covered_by_bank,
+            b.stats().uer_rows_covered_by_bank);
+  EXPECT_EQ(a.ledger().rows_spared(), b.ledger().rows_spared());
+  EXPECT_EQ(a.ledger().banks_spared(), b.ledger().banks_spared());
+
+  // The bound actually bit: records were evicted and memory stayed small.
+  EXPECT_EQ(a.replayer().records_dropped(), 0u);
+  EXPECT_GT(b.replayer().records_dropped(), 0u);
+  EXPECT_EQ(b.replayer().record_count(), a.replayer().record_count());
+  for (const trace::BankHistory* bank : w.uer_banks) {
+    const trace::BankHistory* retained = b.replayer().Find(bank->bank_key);
+    ASSERT_NE(retained, nullptr);
+    EXPECT_LE(retained->events.size(), 4u);
+  }
+}
+
+TEST(PredictionEngine, RejectsTimeTravel) {
+  const World& w = SharedWorld();
+  PredictionEngine engine(w.topology, w.classifier, w.single_pred,
+                          w.double_or_null());
+  trace::MceRecord r;
+  r.time_s = 10.0;
+  r.type = hbm::ErrorType::kCe;
+  engine.Observe(r);
+  r.time_s = 9.0;
+  EXPECT_THROW(engine.Observe(r), ContractViolation);
+}
+
+TEST(PredictionEngine, RequiresTrainedModels) {
+  const World& w = SharedWorld();
+  PatternClassifier raw(w.topology, ml::LearnerKind::kRandomForest);
+  EXPECT_THROW(PredictionEngine(w.topology, raw, w.single_pred),
+               ContractViolation);
+}
+
+TEST(PredictionEngine, RejectsTriggerBeforeTruncation) {
+  const World& w = SharedWorld();
+  // A trigger below the classification truncation depth would let the
+  // truncated view keep growing after the decision point (lookahead).
+  CrossRowConfig early_config;
+  early_config.trigger_uers = 2;
+  CrossRowPredictor early(w.topology, ml::LearnerKind::kRandomForest,
+                          early_config);
+  std::stringstream model;
+  w.single_pred.SaveModel(model);
+  early.LoadModel(model);
+  EXPECT_THROW(PredictionEngine(w.topology, w.classifier, early),
+               ContractViolation);
+  EXPECT_THROW(CordialStrategy(w.classifier, early, early),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace cordial::core

@@ -129,7 +129,7 @@ TEST_F(IsolationTest, NeighborRowsCoversAdjacentFailures) {
       Make(3, 120, ErrorType::kUer),  // too far -> not covered
       Make(4, 118, ErrorType::kUer),  // within +/-4 of 120 -> covered
   });
-  NeighborRowsStrategy strategy(4, topology_.rows_per_bank);
+  NeighborRowsStrategy strategy(4, topology_);
   const IcrResult result = evaluator_.Evaluate({&bank}, strategy);
   EXPECT_EQ(result.total_uer_rows, 4u);
   EXPECT_EQ(result.covered_rows, 2u);
@@ -140,7 +140,7 @@ TEST_F(IsolationTest, NeighborRowsClampsAtBankEdges) {
       Make(1, 1, ErrorType::kUer),
       Make(2, topology_.rows_per_bank - 2, ErrorType::kUer),
   });
-  NeighborRowsStrategy strategy(4, topology_.rows_per_bank);
+  NeighborRowsStrategy strategy(4, topology_);
   EXPECT_NO_THROW(evaluator_.Evaluate({&bank}, strategy));
 }
 
@@ -184,7 +184,7 @@ TEST_F(IsolationTest, NullBankRejected) {
 }
 
 TEST_F(IsolationTest, NeighborRowsRejectsZeroAdjacency) {
-  EXPECT_THROW(NeighborRowsStrategy(0, 100), ContractViolation);
+  EXPECT_THROW(NeighborRowsStrategy(0, topology_), ContractViolation);
 }
 
 }  // namespace

@@ -161,7 +161,7 @@ TEST(ParallelDeterminism, IcrReplayMatchesSerial) {
     EXPECT_DOUBLE_EQ(a.sparing_cost, b.sparing_cost);
   };
 
-  core::NeighborRowsStrategy neighbor(4, fleet.topology.rows_per_bank);
+  core::NeighborRowsStrategy neighbor(4, fleet.topology);
   expect_equal(evaluate_at(1, neighbor), evaluate_at(8, neighbor));
   core::InRowStrategy in_row;
   expect_equal(evaluate_at(1, in_row), evaluate_at(8, in_row));

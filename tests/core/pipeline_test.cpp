@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 
 namespace cordial::core {
 namespace {
@@ -96,6 +97,52 @@ TEST_F(PipelineTest, RunOnBanksMatchesRunOnFleet) {
   const PipelineResult from_banks = pipeline.RunOnBanks(banks, 7);
   EXPECT_DOUBLE_EQ(from_banks.cordial.block_metrics.f1,
                    Result().cordial.block_metrics.f1);
+}
+
+TEST_F(PipelineTest, RunIsThreadCountInvariant) {
+  // The full result — classification confusion, block metrics, every ICR
+  // tally — must be bit-identical at 1 and 8 threads.
+  hbm::TopologyConfig topology;
+  trace::CalibrationProfile profile;
+  profile.scale = 0.12;
+  const trace::GeneratedFleet fleet =
+      trace::FleetGenerator(topology, profile).Generate(77);
+  PipelineConfig config;
+  config.learner = ml::LearnerKind::kRandomForest;
+  CordialPipeline pipeline(topology, config);
+
+  const auto run_at = [&](std::size_t threads) {
+    SetThreadCount(threads);
+    const PipelineResult r = pipeline.Run(fleet, 9);
+    SetThreadCount(0);
+    return r;
+  };
+  const PipelineResult serial = run_at(1);
+  const PipelineResult parallel = run_at(8);
+
+  EXPECT_EQ(serial.train_banks, parallel.train_banks);
+  EXPECT_EQ(serial.test_banks, parallel.test_banks);
+  EXPECT_EQ(serial.crossrow_train_samples_single,
+            parallel.crossrow_train_samples_single);
+  EXPECT_EQ(serial.pattern_confusion.Accuracy(),
+            parallel.pattern_confusion.Accuracy());
+  for (const auto& [a, b] :
+       {std::pair{&serial.cordial, &parallel.cordial},
+        std::pair{&serial.neighbor_baseline, &parallel.neighbor_baseline}}) {
+    EXPECT_EQ(a->method, b->method);
+    EXPECT_EQ(a->block_metrics.precision, b->block_metrics.precision);
+    EXPECT_EQ(a->block_metrics.recall, b->block_metrics.recall);
+    EXPECT_EQ(a->block_metrics.f1, b->block_metrics.f1);
+    EXPECT_EQ(a->icr.covered_rows, b->icr.covered_rows);
+    EXPECT_EQ(a->icr.covered_by_bank_spare, b->icr.covered_by_bank_spare);
+    EXPECT_EQ(a->icr.total_uer_rows, b->icr.total_uer_rows);
+    EXPECT_EQ(a->icr.rows_spared, b->icr.rows_spared);
+    EXPECT_EQ(a->icr.banks_spared, b->icr.banks_spared);
+    EXPECT_EQ(a->icr.sparing_cost, b->icr.sparing_cost);
+  }
+  EXPECT_EQ(serial.in_row_icr.covered_rows, parallel.in_row_icr.covered_rows);
+  EXPECT_EQ(serial.in_row_icr.total_uer_rows,
+            parallel.in_row_icr.total_uer_rows);
 }
 
 TEST_F(PipelineTest, ConfigValidation) {

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/check.hpp"
+#include "common/rng.hpp"
 #include "trace/fleet.hpp"
 
 namespace cordial::trace {
@@ -80,6 +83,80 @@ TEST(StreamReplayer, MatchesBatchGrouping) {
       EXPECT_DOUBLE_EQ(streamed->events[i].time_s, bank.events[i].time_s);
     }
   }
+}
+
+TEST(StreamReplayer, ShuffledThenSortedLogMatchesBatchGrouping) {
+  // A log that arrives out of order must be sorted before streaming; once
+  // it is, the replayer rebuilds exactly what GroupByBank computes.
+  hbm::TopologyConfig topology;
+  trace::CalibrationProfile profile;
+  profile.scale = 0.03;
+  FleetGenerator generator(topology, profile);
+  const GeneratedFleet fleet = generator.Generate(11);
+  hbm::AddressCodec codec(topology);
+
+  std::vector<MceRecord> shuffled(fleet.log.records().begin(),
+                                  fleet.log.records().end());
+  Rng rng(3);
+  for (std::size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.UniformU64(i)]);
+  }
+  std::stable_sort(shuffled.begin(), shuffled.end(),
+                   [](const MceRecord& a, const MceRecord& b) {
+                     return a.time_s < b.time_s;
+                   });
+
+  StreamReplayer replayer(codec);
+  for (const MceRecord& r : shuffled) replayer.Ingest(r);
+
+  const auto batch = fleet.log.GroupByBank(codec);
+  ASSERT_EQ(replayer.bank_count(), batch.size());
+  std::size_t total = 0;
+  for (const BankHistory& bank : batch) {
+    const BankHistory* streamed = replayer.Find(bank.bank_key);
+    ASSERT_NE(streamed, nullptr);
+    ASSERT_EQ(streamed->events.size(), bank.events.size());
+    for (std::size_t i = 0; i < bank.events.size(); ++i) {
+      EXPECT_DOUBLE_EQ(streamed->events[i].time_s, bank.events[i].time_s);
+    }
+    total += bank.events.size();
+  }
+  EXPECT_EQ(replayer.record_count(), total);
+}
+
+TEST(StreamReplayer, RetentionKeepsOnlyNewestEventsPerBank) {
+  hbm::TopologyConfig topology;
+  hbm::AddressCodec codec(topology);
+  StreamReplayer replayer(codec, RetentionPolicy{4});
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    replayer.Ingest(Make(static_cast<double>(i), 0, 100 + i,
+                         hbm::ErrorType::kCe));
+  }
+  const MceRecord probe = Make(10.0, 0, 50, hbm::ErrorType::kCe);
+  const std::uint64_t key = codec.BankKey(probe.address);
+  const BankHistory* bank = replayer.Find(key);
+  ASSERT_NE(bank, nullptr);
+  ASSERT_EQ(bank->events.size(), 4u);
+  // The newest four survive, oldest first.
+  EXPECT_DOUBLE_EQ(bank->events.front().time_s, 6.0);
+  EXPECT_DOUBLE_EQ(bank->events.back().time_s, 9.0);
+  EXPECT_EQ(replayer.records_dropped(), 6u);
+  // Accounting still covers everything ingested.
+  EXPECT_EQ(replayer.record_count(), 10u);
+}
+
+TEST(StreamReplayer, ZeroRetentionBoundKeepsEverything) {
+  hbm::TopologyConfig topology;
+  hbm::AddressCodec codec(topology);
+  StreamReplayer replayer(codec, RetentionPolicy{0});
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    replayer.Ingest(Make(static_cast<double>(i), 0, i, hbm::ErrorType::kCe));
+  }
+  EXPECT_EQ(replayer.records_dropped(), 0u);
+  const MceRecord probe = Make(10.0, 0, 0, hbm::ErrorType::kCe);
+  const BankHistory* bank = replayer.Find(codec.BankKey(probe.address));
+  ASSERT_NE(bank, nullptr);
+  EXPECT_EQ(bank->events.size(), 10u);
 }
 
 }  // namespace
