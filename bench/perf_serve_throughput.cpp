@@ -1,0 +1,179 @@
+// Serving-layer throughput benchmark (records/sec).
+//
+// One fleet stream, one set of trained models, three consumption paths:
+//
+//   * EngineDirect   — PredictionEngine::Observe on the caller thread; the
+//                      no-queue baseline every serving configuration pays
+//                      against.
+//   * FleetServer/N  — serve::FleetServer with N shards: one producer
+//                      submitting the stream, N workers running the engines.
+//                      N=1 prices the queue hop; N>1 shows the sharding win.
+//
+// Queue capacity is set high enough that the producer never blocks, so the
+// measured wall time is max(producer, slowest shard) — the steady-state
+// regime a daemon runs in. Results go to BENCH_serve.json (google-benchmark
+// JSON) unless the caller passes an explicit --benchmark_out. Acceptance:
+// multi-shard records/sec beats the 1-shard server.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/labeler.hpp"
+#include "common/rng.hpp"
+#include "serve/fleet_server.hpp"
+#include "trace/fleet.hpp"
+
+namespace {
+
+using namespace cordial;
+
+/// UER banks padded with CE background to deployment-like event densities
+/// (same construction as perf_engine_throughput).
+trace::BankHistory Densify(const trace::BankHistory& bank,
+                           std::size_t target_events, std::uint32_t rows,
+                           Rng& rng) {
+  trace::BankHistory dense = bank;
+  const double horizon = bank.events.back().time_s;
+  while (dense.events.size() < target_events) {
+    trace::MceRecord ce = bank.events[rng.UniformU64(bank.events.size())];
+    ce.type = hbm::ErrorType::kCe;
+    ce.time_s = rng.UniformReal(0.0, horizon);
+    const std::int64_t jittered =
+        static_cast<std::int64_t>(ce.address.row) + rng.UniformInt(-64, 64);
+    ce.address.row = static_cast<std::uint32_t>(
+        std::clamp<std::int64_t>(jittered, 0, rows - 1));
+    dense.events.push_back(ce);
+  }
+  std::stable_sort(dense.events.begin(), dense.events.end(),
+                   [](const trace::MceRecord& a, const trace::MceRecord& b) {
+                     return a.time_s < b.time_s;
+                   });
+  return dense;
+}
+
+struct BenchWorld {
+  hbm::TopologyConfig topology;
+  trace::GeneratedFleet fleet;
+  std::vector<trace::MceRecord> stream;
+  core::PatternClassifier classifier;
+  core::CrossRowPredictor single_pred;
+  core::CrossRowPredictor double_pred;
+  bool double_ok = false;
+
+  BenchWorld()
+      : fleet([] {
+          hbm::TopologyConfig topology;
+          trace::CalibrationProfile profile;
+          profile.scale = 0.1;
+          return trace::FleetGenerator(topology, profile).Generate(123);
+        }()),
+        classifier(topology, ml::LearnerKind::kRandomForest),
+        single_pred(topology, ml::LearnerKind::kRandomForest),
+        double_pred(topology, ml::LearnerKind::kRandomForest) {
+    hbm::AddressCodec codec(topology);
+    const auto banks = fleet.log.GroupByBank(codec);
+    analysis::PatternLabeler labeler(topology);
+    std::vector<core::LabelledBank> labelled;
+    std::vector<const trace::BankHistory*> singles, doubles;
+    std::vector<trace::BankHistory> dense_banks;
+    Rng dense_rng(31);
+    for (const trace::BankHistory& bank : banks) {
+      if (!bank.HasUer()) continue;
+      dense_banks.push_back(
+          Densify(bank, 1000, topology.rows_per_bank, dense_rng));
+      const hbm::FailureClass cls = labeler.LabelClass(bank);
+      labelled.push_back(core::LabelledBank{&bank, cls});
+      if (cls == hbm::FailureClass::kSingleRowClustering) {
+        singles.push_back(&bank);
+      } else if (cls == hbm::FailureClass::kDoubleRowClustering) {
+        doubles.push_back(&bank);
+      }
+    }
+    for (const trace::BankHistory& bank : dense_banks) {
+      stream.insert(stream.end(), bank.events.begin(), bank.events.end());
+    }
+    std::stable_sort(stream.begin(), stream.end(),
+                     [](const trace::MceRecord& a, const trace::MceRecord& b) {
+                       return a.time_s < b.time_s;
+                     });
+    Rng rng(7);
+    classifier.Train(labelled, rng);
+    single_pred.Train(singles, rng);
+    try {
+      double_pred.Train(doubles, rng);
+      double_ok = true;
+    } catch (const ContractViolation&) {
+      double_ok = false;
+    }
+  }
+
+  const core::CrossRowPredictor* double_or_null() const {
+    return double_ok ? &double_pred : nullptr;
+  }
+};
+
+const BenchWorld& World() {
+  static const BenchWorld* world = new BenchWorld();
+  return *world;
+}
+
+void BM_EngineDirect(benchmark::State& state) {
+  const BenchWorld& w = World();
+  for (auto _ : state) {
+    core::PredictionEngine engine(w.topology, w.classifier, w.single_pred,
+                                  w.double_or_null());
+    for (const trace::MceRecord& record : w.stream) engine.Observe(record);
+    benchmark::DoNotOptimize(engine.stats().uer_rows_covered);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.stream.size()));
+}
+BENCHMARK(BM_EngineDirect)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_FleetServer(benchmark::State& state) {
+  const BenchWorld& w = World();
+  serve::FleetServerConfig config;
+  config.shard_count = static_cast<std::size_t>(state.range(0));
+  // Deep queues keep the single producer from ever blocking: the run
+  // measures engine work, not backpressure.
+  config.queue.capacity = w.stream.size() + 1;
+  for (auto _ : state) {
+    serve::FleetServer server(w.topology, w.classifier, w.single_pred,
+                              w.double_or_null(), config);
+    server.Start();
+    for (const trace::MceRecord& record : w.stream) server.Submit(record);
+    server.Stop();
+    benchmark::DoNotOptimize(server.AggregateStats().uer_rows_covered);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.stream.size()));
+}
+BENCHMARK(BM_FleetServer)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_serve.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full build + test suite, then the parallel-layer
-# tests again under ThreadSanitizer so data races in the thread pool or in
-# any fanned-out hot path fail the run even when the plain build passes,
-# and the engine/profile/replay tests under AddressSanitizer so lifetime
-# bugs in the incremental per-bank state (profile snapshots, bounded
-# retention eviction) fail the run too.
+# Tier-1 verification: full build + test suite, then the parallel-layer and
+# serving-layer tests again under ThreadSanitizer so data races in the
+# thread pool, the shard queues, or any fanned-out hot path fail the run
+# even when the plain build passes, and the engine/profile/replay tests
+# under AddressSanitizer so lifetime bugs in the incremental per-bank state
+# (profile snapshots, bounded retention eviction) fail the run too.
 #
 # Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan]
 set -euo pipefail
@@ -27,9 +27,10 @@ else
   cmake -B build-tsan -S . -DCORDIAL_SANITIZE=thread \
     -DCORDIAL_BUILD_BENCHMARKS=OFF -DCORDIAL_BUILD_EXAMPLES=OFF
   cmake --build build-tsan -j
-  # Run the parallel-layer tests wide enough to exercise the worker pool.
+  # Run the parallel-layer tests wide enough to exercise the worker pool,
+  # plus the serving-layer tests (shard workers + checkpointing).
   CORDIAL_THREADS=8 ctest --test-dir build-tsan --output-on-failure \
-    -R '^Parallel'
+    -R '^(Parallel|FleetServer|EngineCheckpoint)'
 fi
 
 if [[ "$SKIP_ASAN" == "1" ]]; then

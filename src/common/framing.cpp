@@ -1,0 +1,116 @@
+#include "common/framing.hpp"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace cordial {
+
+namespace {
+
+std::uint32_t ParseVersionToken(const std::string& token,
+                                const std::string& magic) {
+  if (token.size() < 2 || token[0] != 'v') {
+    throw ParseError(magic + ": malformed version token '" + token + "'");
+  }
+  std::uint32_t version = 0;
+  for (std::size_t i = 1; i < token.size(); ++i) {
+    const char c = token[i];
+    if (c < '0' || c > '9') {
+      throw ParseError(magic + ": malformed version token '" + token + "'");
+    }
+    version = version * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  return version;
+}
+
+}  // namespace
+
+void WriteFramed(std::ostream& out, const std::string& magic,
+                 std::uint32_t version, const std::string& payload) {
+  out << magic << " v" << version << ' ' << payload.size() << '\n' << payload;
+}
+
+std::string ReadFramed(std::istream& in, const std::string& magic,
+                       std::uint32_t expected_version) {
+  std::string seen_magic;
+  if (!(in >> seen_magic)) throw ParseError(magic + ": empty stream");
+  if (seen_magic != magic) {
+    throw ParseError(magic + ": bad magic '" + seen_magic +
+                     "' (not a " + magic + " stream)");
+  }
+  std::string version_token;
+  if (!(in >> version_token)) throw ParseError(magic + ": missing version");
+  const std::uint32_t version = ParseVersionToken(version_token, magic);
+  if (version != expected_version) {
+    throw ParseError(magic + ": version mismatch — stream is v" +
+                     std::to_string(version) + ", this build reads v" +
+                     std::to_string(expected_version));
+  }
+  std::uint64_t bytes = 0;
+  if (!(in >> bytes)) throw ParseError(magic + ": missing payload length");
+  // The single separator newline written by WriteFramed.
+  if (in.get() != '\n') throw ParseError(magic + ": malformed header");
+  std::string payload(static_cast<std::size_t>(bytes), '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(bytes));
+  if (static_cast<std::uint64_t>(in.gcount()) != bytes) {
+    throw ParseError(magic + ": truncated payload (expected " +
+                     std::to_string(bytes) + " bytes, got " +
+                     std::to_string(in.gcount()) + ")");
+  }
+  return payload;
+}
+
+std::string PeekMagic(std::istream& in) {
+  const auto start = in.tellg();
+  std::string magic;
+  if (!(in >> magic)) {
+    in.clear();
+    in.seekg(start);
+    return std::string();
+  }
+  in.seekg(start);
+  return magic;
+}
+
+void WriteDoubleToken(std::ostream& out, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out << buf;
+}
+
+double ReadDoubleToken(std::istream& in, const char* context) {
+  double value = 0.0;
+  if (!(in >> value)) {
+    throw ParseError(std::string(context) + ": malformed double");
+  }
+  return value;
+}
+
+std::uint64_t ReadU64Token(std::istream& in, const char* context) {
+  std::uint64_t value = 0;
+  if (!(in >> value)) {
+    throw ParseError(std::string(context) + ": malformed unsigned integer");
+  }
+  return value;
+}
+
+std::int64_t ReadI64Token(std::istream& in, const char* context) {
+  std::int64_t value = 0;
+  if (!(in >> value)) {
+    throw ParseError(std::string(context) + ": malformed integer");
+  }
+  return value;
+}
+
+void ExpectToken(std::istream& in, const char* token) {
+  std::string word;
+  if (!(in >> word) || word != token) {
+    throw ParseError(std::string("expected token '") + token + "', got '" +
+                     word + "'");
+  }
+}
+
+}  // namespace cordial

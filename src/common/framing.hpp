@@ -1,0 +1,56 @@
+// Versioned magic + length framing for persisted streams.
+//
+// Every model file and engine snapshot starts with one header line
+//
+//   <magic> v<version> <payload_bytes>\n
+//
+// followed by exactly payload_bytes of payload. The header makes the three
+// failure modes distinguishable at load time: a stream that is not ours at
+// all (wrong magic), a stream written by an incompatible build (version
+// mismatch), and a stream cut short mid-write (length mismatch) — each
+// rejected with a ParseError naming the expectation. Frames nest: a
+// checkpoint frame's payload can itself contain framed engine sections.
+//
+// The token helpers below are the shared text codec for snapshot payloads:
+// whitespace-separated tokens, doubles rendered with %.17g so every value
+// round-trips bit-exactly (the same convention the ml model serialization
+// and the MCE CSV codec use).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace cordial {
+
+/// Write `payload` wrapped in a `<magic> v<version> <bytes>` header.
+void WriteFramed(std::ostream& out, const std::string& magic,
+                 std::uint32_t version, const std::string& payload);
+
+/// Read one frame and return its payload. Throws ParseError when the magic
+/// differs, the version is not `expected_version`, or the payload is shorter
+/// than the header promised.
+std::string ReadFramed(std::istream& in, const std::string& magic,
+                       std::uint32_t expected_version);
+
+/// Magic of the next frame without consuming it (empty at end of stream).
+std::string PeekMagic(std::istream& in);
+
+// --- token codec (shared by the snapshot serializers) ---------------------
+
+/// Append a lossless %.17g rendering of `value`.
+void WriteDoubleToken(std::ostream& out, double value);
+
+/// Read one double token; ParseError mentioning `context` on failure.
+double ReadDoubleToken(std::istream& in, const char* context);
+
+/// Read one unsigned integer token; ParseError mentioning `context`.
+std::uint64_t ReadU64Token(std::istream& in, const char* context);
+
+/// Read one signed integer token; ParseError mentioning `context`.
+std::int64_t ReadI64Token(std::istream& in, const char* context);
+
+/// Consume one token and require it to equal `token`.
+void ExpectToken(std::istream& in, const char* token);
+
+}  // namespace cordial

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <set>
 #include <vector>
 
@@ -135,6 +136,12 @@ class BankProfile {
   }
   /// Whether `row` has already shown a UER — O(log d).
   bool HasUerRow(std::uint32_t row) const;
+
+  /// Serialize every accumulator as a token stream: a profile restored by
+  /// Load continues absorbing events bit-identically to the original (the
+  /// checkpoint/restore layer depends on this).
+  void Save(std::ostream& out) const;
+  static BankProfile Load(std::istream& in);
 
  private:
   std::size_t max_uers_;

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <set>
+#include <sstream>
 
 #include "common/check.hpp"
+#include "common/framing.hpp"
+#include "core/persist.hpp"
 
 namespace cordial::core {
 
@@ -178,11 +181,15 @@ std::vector<int> CrossRowPredictor::PredictBlocksFromProfile(
 
 void CrossRowPredictor::SaveModel(std::ostream& out) const {
   CORDIAL_CHECK_MSG(trained_, "cannot save an untrained predictor");
-  ml::SaveClassifier(*model_, out);
+  std::ostringstream payload;
+  ml::SaveClassifier(*model_, payload);
+  WriteFramed(out, kCrossRowModelMagic, kModelFrameVersion, payload.str());
 }
 
 void CrossRowPredictor::LoadModel(std::istream& in) {
-  model_ = ml::LoadClassifier(in);
+  std::istringstream payload(
+      ReadFramed(in, kCrossRowModelMagic, kModelFrameVersion));
+  model_ = ml::LoadClassifier(payload);
   trained_ = true;
 }
 

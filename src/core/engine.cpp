@@ -1,8 +1,13 @@
 #include "core/engine.hpp"
 
+#include <algorithm>
+#include <sstream>
 #include <utility>
+#include <vector>
 
 #include "common/check.hpp"
+#include "common/framing.hpp"
+#include "core/persist.hpp"
 
 namespace cordial::core {
 
@@ -92,10 +97,16 @@ PredictionEngine::PredictionEngine(const hbm::TopologyConfig& topology,
 }
 
 IsolationActions PredictionEngine::Observe(const trace::MceRecord& record) {
-  const trace::BankHistory& bank = replayer_.Ingest(record);
+  const trace::BankHistory* bank = replayer_.Ingest(record);
+  if (bank == nullptr) {
+    // Rejected by the drop skew policy: no profile, no decision, no stats
+    // beyond the drop counter (keeps `events` == accepted records).
+    ++stats_.records_skew_dropped;
+    return IsolationActions{};
+  }
   ++stats_.events;
   const auto [it, inserted] =
-      banks_.try_emplace(bank.bank_key, classifier_.extractor().max_uers());
+      banks_.try_emplace(bank->bank_key, classifier_.extractor().max_uers());
   BankState& state = it->second;
 
   IsolationActions coverage;
@@ -106,10 +117,10 @@ IsolationActions PredictionEngine::Observe(const trace::MceRecord& record) {
     if (!state.profile.HasUerRow(record.address.row)) {
       coverage.first_failure = true;
       ++stats_.uer_rows_total;
-      if (ledger_.IsRowSpared(bank.bank_key, record.address.row)) {
+      if (ledger_.IsRowSpared(bank->bank_key, record.address.row)) {
         coverage.covered_by_row_spare = true;
         ++stats_.uer_rows_covered;
-      } else if (ledger_.IsBankSpared(bank.bank_key)) {
+      } else if (ledger_.IsBankSpared(bank->bank_key)) {
         coverage.covered_by_bank_spare = true;
         ++stats_.uer_rows_covered_by_bank;
       }
@@ -126,8 +137,11 @@ IsolationActions PredictionEngine::Observe(const trace::MceRecord& record) {
 
   if (actions.classified_now) ++stats_.banks_classified;
   if (actions.bank_spare) {
-    ledger_.TrySpareBank(bank.bank_key);
-    ++stats_.banks_bank_spared;
+    // TrySpareBank is idempotent and may be unavailable; count only banks
+    // the ledger actually retired, mirroring the row accounting below.
+    const std::uint64_t banks_before = ledger_.banks_spared();
+    ledger_.TrySpareBank(bank->bank_key);
+    stats_.banks_bank_spared += ledger_.banks_spared() - banks_before;
   }
   if (actions.prediction_issued) ++stats_.predictions_issued;
   // TrySpareRow is idempotent (true for an already-spared row), so count
@@ -135,7 +149,7 @@ IsolationActions PredictionEngine::Observe(const trace::MceRecord& record) {
   const std::uint64_t spared_before = ledger_.rows_spared();
   for (const RowSpan& span : actions.predicted_spans) {
     for (std::uint32_t row = span.first; row <= span.last; ++row) {
-      ledger_.TrySpareRow(bank.bank_key, row);
+      ledger_.TrySpareRow(bank->bank_key, row);
     }
   }
   actions.rows_newly_spared = ledger_.rows_spared() - spared_before;
@@ -146,6 +160,82 @@ IsolationActions PredictionEngine::Observe(const trace::MceRecord& record) {
 const BankProfile* PredictionEngine::FindProfile(std::uint64_t bank_key) const {
   const auto it = banks_.find(bank_key);
   return it == banks_.end() ? nullptr : &it->second.profile;
+}
+
+void PredictionEngine::SaveState(std::ostream& out) const {
+  std::ostringstream payload;
+  payload << "stats " << stats_.events << ' ' << stats_.uer_events << ' '
+          << stats_.banks_classified << ' ' << stats_.banks_bank_spared << ' '
+          << stats_.predictions_issued << ' ' << stats_.rows_isolated << ' '
+          << stats_.uer_rows_total << ' ' << stats_.uer_rows_covered << ' '
+          << stats_.uer_rows_covered_by_bank << ' '
+          << stats_.records_skew_dropped << '\n';
+  ledger_.Save(payload);
+  replayer_.Save(payload);
+
+  std::vector<std::uint64_t> keys;
+  keys.reserve(banks_.size());
+  for (const auto& [key, state] : banks_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  payload << "banks " << keys.size() << '\n';
+  for (const std::uint64_t key : keys) {
+    const BankState& state = banks_.at(key);
+    payload << key << ' ' << state.cordial.uer_events_seen << ' '
+            << state.cordial.anchors_used << ' '
+            << (state.cordial.classified ? 1 : 0) << ' '
+            << static_cast<int>(state.cordial.bank_class) << ' '
+            << state.cordial.last_anchor_row << '\n';
+    state.profile.Save(payload);
+  }
+  WriteFramed(out, kEngineStateMagic, kEngineStateVersion, payload.str());
+}
+
+void PredictionEngine::RestoreState(std::istream& in) {
+  std::istringstream payload(
+      ReadFramed(in, kEngineStateMagic, kEngineStateVersion));
+  ExpectToken(payload, "stats");
+  EngineStats stats;
+  stats.events = ReadU64Token(payload, "engine stats");
+  stats.uer_events = ReadU64Token(payload, "engine stats");
+  stats.banks_classified = ReadU64Token(payload, "engine stats");
+  stats.banks_bank_spared = ReadU64Token(payload, "engine stats");
+  stats.predictions_issued = ReadU64Token(payload, "engine stats");
+  stats.rows_isolated = ReadU64Token(payload, "engine stats");
+  stats.uer_rows_total = ReadU64Token(payload, "engine stats");
+  stats.uer_rows_covered = ReadU64Token(payload, "engine stats");
+  stats.uer_rows_covered_by_bank = ReadU64Token(payload, "engine stats");
+  stats.records_skew_dropped = ReadU64Token(payload, "engine stats");
+
+  hbm::SparingLedger ledger = hbm::SparingLedger::Load(payload);
+  // The replayer holds a codec reference and is restored in place; a throw
+  // past this point leaves the engine unspecified (see header contract).
+  replayer_.Restore(payload);
+
+  ExpectToken(payload, "banks");
+  const std::uint64_t bank_count = ReadU64Token(payload, "engine banks");
+  std::unordered_map<std::uint64_t, BankState> banks;
+  banks.reserve(static_cast<std::size_t>(bank_count));
+  for (std::uint64_t b = 0; b < bank_count; ++b) {
+    const std::uint64_t key = ReadU64Token(payload, "engine bank");
+    const auto [it, inserted] =
+        banks.try_emplace(key, classifier_.extractor().max_uers());
+    if (!inserted) throw ParseError("engine bank: duplicate bank key");
+    BankState& state = it->second;
+    state.cordial.uer_events_seen = ReadU64Token(payload, "engine bank");
+    state.cordial.anchors_used = ReadU64Token(payload, "engine bank");
+    state.cordial.classified = ReadU64Token(payload, "engine bank") != 0;
+    const std::int64_t bank_class = ReadI64Token(payload, "engine bank");
+    if (bank_class < 0 || bank_class > 2) {
+      throw ParseError("engine bank: unknown failure class");
+    }
+    state.cordial.bank_class = static_cast<hbm::FailureClass>(bank_class);
+    state.cordial.last_anchor_row = ReadI64Token(payload, "engine bank");
+    state.profile = BankProfile::Load(payload);
+  }
+
+  stats_ = stats;
+  ledger_ = std::move(ledger);
+  banks_ = std::move(banks);
 }
 
 }  // namespace cordial::core

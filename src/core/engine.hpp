@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <unordered_map>
 #include <vector>
 
@@ -31,6 +32,8 @@ namespace cordial::core {
 struct RowSpan {
   std::uint32_t first = 0;
   std::uint32_t last = 0;
+
+  friend bool operator==(const RowSpan&, const RowSpan&) = default;
 };
 
 struct CordialPolicyConfig {
@@ -65,6 +68,9 @@ struct IsolationActions {
   std::vector<RowSpan> predicted_spans;  ///< rows the policy asks to spare
 
   bool covered() const { return covered_by_row_spare || covered_by_bank_spare; }
+
+  friend bool operator==(const IsolationActions&,
+                         const IsolationActions&) = default;
 };
 
 /// Advance the Cordial policy by one record whose bank state is `profile`
@@ -98,6 +104,11 @@ struct EngineStats {
   std::size_t uer_rows_total = 0;
   std::size_t uer_rows_covered = 0;  ///< first failure hit a spared row
   std::size_t uer_rows_covered_by_bank = 0;
+  /// Records rejected by the replayer's time-skew drop policy; such records
+  /// never reach a profile or the policy and are excluded from `events`.
+  std::size_t records_skew_dropped = 0;
+
+  friend bool operator==(const EngineStats&, const EngineStats&) = default;
 
   /// The paper's ICR: row-level coverage only (matches IcrResult::Icr).
   double Icr() const {
@@ -131,7 +142,22 @@ class PredictionEngine {
 
   /// Ingest one record (records must arrive in non-decreasing time order
   /// across the whole fleet) and apply the Cordial policy for its bank.
+  /// Under RetentionPolicy::kDrop a time-skewed record is counted in
+  /// `stats().records_skew_dropped` and returns empty actions.
   IsolationActions Observe(const trace::MceRecord& record);
+
+  /// Checkpoint the full mutable state (stats, ledger, replayer window,
+  /// per-bank profiles and Cordial decision state) as a versioned framed
+  /// stream. Deterministic: equal state serializes byte-identically.
+  /// Models and config are NOT serialized — a restoring engine must be
+  /// constructed with the same models, topology and config.
+  void SaveState(std::ostream& out) const;
+
+  /// Replace this engine's mutable state with a SaveState stream's. Throws
+  /// ParseError on malformed input or version mismatch; the engine's state
+  /// is unspecified after a throw (discard it). After a successful
+  /// RestoreState the engine resumes bit-identically to the saver.
+  void RestoreState(std::istream& in);
 
   const EngineStats& stats() const { return stats_; }
   const hbm::SparingLedger& ledger() const { return ledger_; }

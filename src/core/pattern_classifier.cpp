@@ -1,7 +1,11 @@
 #include "core/pattern_classifier.hpp"
 
+#include <sstream>
+
 #include "common/check.hpp"
+#include "common/framing.hpp"
 #include "common/parallel.hpp"
+#include "core/persist.hpp"
 
 namespace cordial::core {
 
@@ -75,11 +79,15 @@ ml::ConfusionMatrix PatternClassifier::Evaluate(
 
 void PatternClassifier::SaveModel(std::ostream& out) const {
   CORDIAL_CHECK_MSG(trained_, "cannot save an untrained classifier");
-  ml::SaveClassifier(*model_, out);
+  std::ostringstream payload;
+  ml::SaveClassifier(*model_, payload);
+  WriteFramed(out, kPatternModelMagic, kModelFrameVersion, payload.str());
 }
 
 void PatternClassifier::LoadModel(std::istream& in) {
-  model_ = ml::LoadClassifier(in);
+  std::istringstream payload(
+      ReadFramed(in, kPatternModelMagic, kModelFrameVersion));
+  model_ = ml::LoadClassifier(payload);
   trained_ = true;
 }
 

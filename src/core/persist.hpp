@@ -1,0 +1,18 @@
+// Magic strings and frame versions for every persisted cordial stream
+// (model files and engine snapshots). Bump a version when its payload
+// format changes; LoadModel / RestoreState reject mismatches with a
+// ParseError instead of misparsing a stream from another build.
+#pragma once
+
+#include <cstdint>
+
+namespace cordial::core {
+
+inline constexpr char kPatternModelMagic[] = "cordial_pattern_model";
+inline constexpr char kCrossRowModelMagic[] = "cordial_crossrow_model";
+inline constexpr std::uint32_t kModelFrameVersion = 1;
+
+inline constexpr char kEngineStateMagic[] = "cordial_engine_state";
+inline constexpr std::uint32_t kEngineStateVersion = 1;
+
+}  // namespace cordial::core

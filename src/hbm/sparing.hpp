@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -48,6 +49,14 @@ class SparingLedger {
 
   std::uint64_t rows_spared() const { return rows_spared_; }
   std::uint64_t banks_spared() const { return banks_spared_; }
+
+  /// Serialize budget + spared state as a token stream. Keys and rows are
+  /// emitted sorted, so ledgers holding equal state serialize identically
+  /// regardless of insertion order.
+  void Save(std::ostream& out) const;
+  /// Rebuild a ledger from a Save stream. Throws ParseError on malformed
+  /// input.
+  static SparingLedger Load(std::istream& in);
   double total_cost() const {
     return static_cast<double>(rows_spared_) * budget_.row_spare_cost +
            static_cast<double>(banks_spared_) * budget_.bank_spare_cost;

@@ -1,0 +1,31 @@
+#include "serve/checkpoint.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.hpp"
+#include "serve/fleet_server.hpp"
+
+namespace cordial::serve {
+
+void WriteCheckpointFile(const FleetServer& server, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    CORDIAL_CHECK_MSG(out.good(), "cannot open checkpoint tmp file");
+    server.SaveCheckpoint(out);
+    out.flush();
+    CORDIAL_CHECK_MSG(out.good(), "checkpoint tmp write failed");
+  }
+  CORDIAL_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                    "checkpoint rename failed");
+}
+
+bool ReadCheckpointFile(FleetServer& server, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  server.RestoreCheckpoint(in);
+  return true;
+}
+
+}  // namespace cordial::serve

@@ -1,0 +1,34 @@
+// Checkpoint framing constants and atomic file helpers for the serve layer.
+//
+// A fleet checkpoint is one frame (common/framing.hpp) whose payload holds
+// the shard count followed by each shard engine's own framed state, in shard
+// order. Frames nest, so every section self-describes its version and length
+// and a truncated file is rejected rather than half-loaded.
+//
+// The file helpers write through a `<path>.tmp` + rename sequence so a crash
+// mid-checkpoint leaves the previous checkpoint intact — the restart path
+// either sees the old complete file or the new complete file, never a torn
+// one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cordial::serve {
+
+class FleetServer;
+
+inline constexpr char kFleetCheckpointMagic[] = "cordial_fleet_checkpoint";
+inline constexpr std::uint32_t kFleetCheckpointVersion = 1;
+
+/// Atomically write `server`'s checkpoint to `path` (tmp + rename). The
+/// server must be drained. Throws ContractViolation when the file cannot be
+/// written.
+void WriteCheckpointFile(const FleetServer& server, const std::string& path);
+
+/// Restore `server` from a checkpoint file. Returns false when `path` does
+/// not exist (fresh start); throws ParseError on a malformed or
+/// incompatible checkpoint.
+bool ReadCheckpointFile(FleetServer& server, const std::string& path);
+
+}  // namespace cordial::serve

@@ -1,0 +1,108 @@
+#include "serve/fleet_server.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/framing.hpp"
+#include "common/rng.hpp"
+#include "serve/checkpoint.hpp"
+
+namespace cordial::serve {
+
+FleetServer::FleetServer(const hbm::TopologyConfig& topology,
+                         const core::PatternClassifier& classifier,
+                         const core::CrossRowPredictor& single_predictor,
+                         const core::CrossRowPredictor* double_predictor,
+                         FleetServerConfig config, ActionSink sink)
+    : codec_(topology) {
+  CORDIAL_CHECK_MSG(config.shard_count >= 1, "server needs at least 1 shard");
+  shards_.reserve(config.shard_count);
+  for (std::size_t s = 0; s < config.shard_count; ++s) {
+    EngineShard::ActionSink shard_sink;
+    if (sink) {
+      shard_sink = [s, sink](const trace::MceRecord& record,
+                             const core::IsolationActions& actions) {
+        sink(s, record, actions);
+      };
+    }
+    shards_.push_back(std::make_unique<EngineShard>(
+        topology, classifier, single_predictor, double_predictor,
+        config.engine, config.queue, std::move(shard_sink)));
+  }
+}
+
+void FleetServer::Start() {
+  for (auto& shard : shards_) shard->Start();
+}
+
+std::size_t FleetServer::ShardOf(std::uint64_t bank_key) const {
+  std::uint64_t state = bank_key;
+  return static_cast<std::size_t>(SplitMix64(state) % shards_.size());
+}
+
+bool FleetServer::Submit(const trace::MceRecord& record) {
+  return shards_[ShardOf(codec_.BankKey(record.address))]->Submit(record);
+}
+
+void FleetServer::Drain() {
+  for (auto& shard : shards_) shard->Drain();
+}
+
+void FleetServer::Stop() {
+  for (auto& shard : shards_) shard->Stop();
+}
+
+core::EngineStats FleetServer::AggregateStats() const {
+  core::EngineStats total;
+  for (const auto& shard : shards_) {
+    const core::EngineStats& s = shard->engine().stats();
+    total.events += s.events;
+    total.uer_events += s.uer_events;
+    total.banks_classified += s.banks_classified;
+    total.banks_bank_spared += s.banks_bank_spared;
+    total.predictions_issued += s.predictions_issued;
+    total.rows_isolated += s.rows_isolated;
+    total.uer_rows_total += s.uer_rows_total;
+    total.uer_rows_covered += s.uer_rows_covered;
+    total.uer_rows_covered_by_bank += s.uer_rows_covered_by_bank;
+    total.records_skew_dropped += s.records_skew_dropped;
+  }
+  return total;
+}
+
+ShardCounters FleetServer::AggregateCounters() const {
+  ShardCounters total;
+  for (const auto& shard : shards_) {
+    const ShardCounters c = shard->counters();
+    total.submitted += c.submitted;
+    total.processed += c.processed;
+    total.dropped_oldest += c.dropped_oldest;
+    total.rejected += c.rejected;
+  }
+  return total;
+}
+
+void FleetServer::SaveCheckpoint(std::ostream& out) const {
+  std::ostringstream payload;
+  payload << "shards " << shards_.size() << '\n';
+  for (const auto& shard : shards_) shard->SaveState(payload);
+  WriteFramed(out, kFleetCheckpointMagic, kFleetCheckpointVersion,
+              payload.str());
+}
+
+void FleetServer::RestoreCheckpoint(std::istream& in) {
+  std::istringstream payload(
+      ReadFramed(in, kFleetCheckpointMagic, kFleetCheckpointVersion));
+  ExpectToken(payload, "shards");
+  const std::uint64_t shard_count = ReadU64Token(payload, "checkpoint");
+  if (shard_count != shards_.size()) {
+    throw ParseError("checkpoint holds " + std::to_string(shard_count) +
+                     " shard(s) but this server has " +
+                     std::to_string(shards_.size()) +
+                     " — shard counts must match to restore");
+  }
+  for (auto& shard : shards_) shard->RestoreState(payload);
+}
+
+}  // namespace cordial::serve

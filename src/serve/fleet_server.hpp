@@ -1,0 +1,82 @@
+// Sharded fleet server: N PredictionEngines behind deterministic routing.
+//
+// A fleet feed is one globally time-ordered MCE stream; a single engine
+// consumes it serially. The server splits the fleet's banks across N
+// EngineShards via a fixed hash of the global bank key (SplitMix64, so
+// adjacent keys scatter), each with its own queue + worker. Because Cordial
+// is per-bank — profiles, decision state, ledger entries never cross banks —
+// a bank's records all land on one shard in submission order, and the
+// sharded server's decisions, ledgers and aggregate stats are bit-identical
+// to the single engine's (pinned by tests/serve/fleet_server_test.cpp).
+//
+// Checkpointing: SaveCheckpoint serializes every shard's engine into one
+// versioned frame; RestoreCheckpoint rebuilds a same-shape server that
+// resumes bit-identically. Both require the server to be drained.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "serve/shard.hpp"
+
+namespace cordial::serve {
+
+struct FleetServerConfig {
+  std::size_t shard_count = 1;  ///< must be >= 1
+  core::EngineConfig engine;    ///< per-shard engine configuration
+  QueueConfig queue;            ///< per-shard queue bound + overload policy
+};
+
+class FleetServer {
+ public:
+  /// Sink invoked on each shard's worker thread after every engine step.
+  /// Distinct shards call it concurrently — the sink must be thread-safe
+  /// (per-shard sinks can be built by dispatching on `shard`).
+  using ActionSink = std::function<void(std::size_t shard,
+                                        const trace::MceRecord& record,
+                                        const core::IsolationActions&)>;
+
+  FleetServer(const hbm::TopologyConfig& topology,
+              const core::PatternClassifier& classifier,
+              const core::CrossRowPredictor& single_predictor,
+              const core::CrossRowPredictor* double_predictor = nullptr,
+              FleetServerConfig config = {}, ActionSink sink = nullptr);
+
+  void Start();  ///< start every shard's worker
+  /// Route one record to its bank's shard. Returns false when that shard
+  /// refused it (kReject overload policy).
+  bool Submit(const trace::MceRecord& record);
+  void Drain();  ///< block until every shard is idle with an empty queue
+  void Stop();   ///< drain remaining work and join all workers; idempotent
+
+  std::size_t shard_count() const { return shards_.size(); }
+  const EngineShard& shard(std::size_t index) const {
+    return *shards_[index];
+  }
+  /// Deterministic bank→shard routing: SplitMix64(bank_key) % shard_count.
+  std::size_t ShardOf(std::uint64_t bank_key) const;
+  const hbm::AddressCodec& codec() const { return codec_; }
+
+  /// Element-wise sum of every shard engine's stats (ratios recompute from
+  /// the summed tallies). Meaningful when drained.
+  core::EngineStats AggregateStats() const;
+  /// Element-wise sum of every shard's queue counters.
+  ShardCounters AggregateCounters() const;
+
+  /// Serialize every shard engine into one framed checkpoint. The server
+  /// must be drained (Drain() or Stop() first).
+  void SaveCheckpoint(std::ostream& out) const;
+  /// Restore from a SaveCheckpoint stream. Throws ParseError on malformed
+  /// input, version mismatch, or a shard-count mismatch (a checkpoint only
+  /// restores into a server with the same shard count).
+  void RestoreCheckpoint(std::istream& in);
+
+ private:
+  hbm::AddressCodec codec_;
+  std::vector<std::unique_ptr<EngineShard>> shards_;
+};
+
+}  // namespace cordial::serve

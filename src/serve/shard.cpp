@@ -1,0 +1,130 @@
+#include "serve/shard.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace cordial::serve {
+
+EngineShard::EngineShard(const hbm::TopologyConfig& topology,
+                         const core::PatternClassifier& classifier,
+                         const core::CrossRowPredictor& single_predictor,
+                         const core::CrossRowPredictor* double_predictor,
+                         core::EngineConfig engine_config,
+                         QueueConfig queue_config, ActionSink sink)
+    : engine_(topology, classifier, single_predictor, double_predictor,
+              engine_config),
+      queue_config_(queue_config),
+      sink_(std::move(sink)) {
+  CORDIAL_CHECK_MSG(queue_config_.capacity >= 1,
+                    "shard queue capacity must be >= 1");
+}
+
+EngineShard::~EngineShard() { Stop(); }
+
+void EngineShard::Start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CORDIAL_CHECK_MSG(!started_ && !stopped_,
+                    "shard already started or stopped");
+  started_ = true;
+  worker_ = std::thread(&EngineShard::WorkerLoop, this);
+}
+
+bool EngineShard::Submit(const trace::MceRecord& record) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopping_ || stopped_) {
+    ++counters_.rejected;
+    return false;
+  }
+  if (queue_.size() >= queue_config_.capacity) {
+    switch (queue_config_.policy) {
+      case OverloadPolicy::kBlock:
+        not_full_.wait(lock, [&] {
+          return queue_.size() < queue_config_.capacity || stopping_;
+        });
+        if (stopping_) {
+          ++counters_.rejected;
+          return false;
+        }
+        break;
+      case OverloadPolicy::kDropOldest:
+        while (queue_.size() >= queue_config_.capacity) {
+          queue_.pop_front();
+          ++counters_.dropped_oldest;
+        }
+        break;
+      case OverloadPolicy::kReject:
+        ++counters_.rejected;
+        return false;
+    }
+  }
+  queue_.push_back(record);
+  ++counters_.submitted;
+  not_empty_.notify_one();
+  return true;
+}
+
+void EngineShard::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  CORDIAL_CHECK_MSG(started_ || queue_.empty(),
+                    "draining a non-empty shard requires a running worker");
+  idle_.wait(lock, [&] { return queue_.empty() && !busy_; });
+}
+
+void EngineShard::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_) {
+      stopped_ = true;  // never-started shards become terminal too
+      return;
+    }
+    stopping_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  worker_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  started_ = false;
+  stopping_ = false;
+  stopped_ = true;
+}
+
+ShardCounters EngineShard::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+void EngineShard::SaveState(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CORDIAL_CHECK_MSG(queue_.empty() && !busy_,
+                    "shard must be drained before checkpointing");
+  engine_.SaveState(out);
+}
+
+void EngineShard::RestoreState(std::istream& in) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CORDIAL_CHECK_MSG(queue_.empty() && !busy_,
+                    "shard must be drained before restoring");
+  engine_.RestoreState(in);
+}
+
+void EngineShard::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    not_empty_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping and fully drained
+    const trace::MceRecord record = queue_.front();
+    queue_.pop_front();
+    busy_ = true;
+    lock.unlock();
+    not_full_.notify_one();
+    const core::IsolationActions actions = engine_.Observe(record);
+    if (sink_) sink_(record, actions);
+    lock.lock();
+    busy_ = false;
+    ++counters_.processed;
+    if (queue_.empty()) idle_.notify_all();
+  }
+}
+
+}  // namespace cordial::serve

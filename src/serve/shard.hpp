@@ -1,0 +1,119 @@
+// One serving shard: a PredictionEngine behind a bounded MPSC queue.
+//
+// The fleet server partitions banks across shards; each shard's worker
+// thread consumes its queue in FIFO order, so every bank's records reach its
+// engine in exactly the submission order — the property that makes an
+// N-shard server's decisions bit-identical to one engine consuming the same
+// feed (banks never span shards, and Cordial's policy is per-bank).
+//
+// The queue is bounded; what happens when producers outrun the worker is the
+// OverloadPolicy: block the producer (lossless, backpressure), drop the
+// oldest queued record (bounded latency, lossy), or reject the new record
+// (caller decides). Every lossy outcome is counted.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <mutex>
+#include <thread>
+
+#include "core/engine.hpp"
+
+namespace cordial::serve {
+
+/// What Submit does when the shard's queue is full.
+enum class OverloadPolicy {
+  kBlock,       ///< wait for space — lossless backpressure
+  kDropOldest,  ///< evict the oldest queued record, keep the new one
+  kReject,      ///< refuse the new record (Submit returns false)
+};
+
+struct QueueConfig {
+  std::size_t capacity = 1024;  ///< must be >= 1
+  OverloadPolicy policy = OverloadPolicy::kBlock;
+};
+
+/// Tallies of everything that crossed (or failed to cross) a shard's queue.
+struct ShardCounters {
+  std::uint64_t submitted = 0;      ///< records accepted into the queue
+  std::uint64_t processed = 0;      ///< records the engine consumed
+  std::uint64_t dropped_oldest = 0; ///< evictions under kDropOldest
+  std::uint64_t rejected = 0;       ///< refusals under kReject
+
+  friend bool operator==(const ShardCounters&,
+                         const ShardCounters&) = default;
+};
+
+/// A single engine + queue + worker thread. Thread-safe for any number of
+/// producers calling Submit concurrently; the engine itself is touched only
+/// by the worker.
+class EngineShard {
+ public:
+  /// Called by the worker after each engine step (still on the worker
+  /// thread, engine state already advanced). May be empty.
+  using ActionSink = std::function<void(const trace::MceRecord&,
+                                        const core::IsolationActions&)>;
+
+  EngineShard(const hbm::TopologyConfig& topology,
+              const core::PatternClassifier& classifier,
+              const core::CrossRowPredictor& single_predictor,
+              const core::CrossRowPredictor* double_predictor,
+              core::EngineConfig engine_config, QueueConfig queue_config = {},
+              ActionSink sink = nullptr);
+  ~EngineShard();
+
+  EngineShard(const EngineShard&) = delete;
+  EngineShard& operator=(const EngineShard&) = delete;
+
+  /// Spawn the worker thread. Submitting before Start is allowed (records
+  /// queue up), but kBlock submits to a full unstarted shard would wait
+  /// forever — start first under that policy.
+  void Start();
+
+  /// Enqueue one record. Returns false only when the record was refused
+  /// (kReject on a full queue, or the shard is stopping).
+  bool Submit(const trace::MceRecord& record);
+
+  /// Block until the queue is empty and the worker is idle. Requires the
+  /// worker to be running if anything is queued.
+  void Drain();
+
+  /// Process everything still queued, then join the worker. Idempotent.
+  void Stop();
+
+  /// The shard's engine. Safe to read only while the shard is drained or
+  /// stopped and no producer is submitting.
+  const core::PredictionEngine& engine() const { return engine_; }
+
+  ShardCounters counters() const;
+
+  /// Checkpoint the engine (PredictionEngine::SaveState). The shard must be
+  /// drained or stopped — enforced by a contract check.
+  void SaveState(std::ostream& out) const;
+  /// Restore the engine from a SaveState stream (same contract).
+  void RestoreState(std::istream& in);
+
+ private:
+  void WorkerLoop();
+
+  core::PredictionEngine engine_;
+  QueueConfig queue_config_;
+  ActionSink sink_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::condition_variable idle_;
+  std::deque<trace::MceRecord> queue_;
+  ShardCounters counters_;
+  bool busy_ = false;      ///< worker is inside an engine step
+  bool started_ = false;
+  bool stopping_ = false;
+  bool stopped_ = false;   ///< Stop completed — the shard is terminal
+  std::thread worker_;
+};
+
+}  // namespace cordial::serve

@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "common/check.hpp"
 #include "common/csv.hpp"
@@ -47,6 +48,23 @@ hbm::ErrorType ParseType(const std::string& s) {
   throw ParseError("MCE CSV: unknown error type '" + s + "'");
 }
 
+MceRecord ParseFields(const std::vector<std::string>& row) {
+  MceRecord r;
+  r.time_s = ParseDouble(row[0]);
+  r.address.node = ParseU32(row[1]);
+  r.address.npu = ParseU32(row[2]);
+  r.address.hbm = ParseU32(row[3]);
+  r.address.sid = ParseU32(row[4]);
+  r.address.channel = ParseU32(row[5]);
+  r.address.pseudo_channel = ParseU32(row[6]);
+  r.address.bank_group = ParseU32(row[7]);
+  r.address.bank = ParseU32(row[8]);
+  r.address.row = ParseU32(row[9]);
+  r.address.col = ParseU32(row[10]);
+  r.type = ParseType(row[11]);
+  return r;
+}
+
 }  // namespace
 
 namespace {
@@ -87,22 +105,38 @@ ErrorLog LogCodec::ReadCsv(std::istream& in) {
                        std::to_string(row.size()) + " fields, expected " +
                        std::to_string(kFieldCount));
     }
-    MceRecord r;
-    r.time_s = ParseDouble(row[0]);
-    r.address.node = ParseU32(row[1]);
-    r.address.npu = ParseU32(row[2]);
-    r.address.hbm = ParseU32(row[3]);
-    r.address.sid = ParseU32(row[4]);
-    r.address.channel = ParseU32(row[5]);
-    r.address.pseudo_channel = ParseU32(row[6]);
-    r.address.bank_group = ParseU32(row[7]);
-    r.address.bank = ParseU32(row[8]);
-    r.address.row = ParseU32(row[9]);
-    r.address.col = ParseU32(row[10]);
-    r.type = ParseType(row[11]);
-    log.Add(r);
+    log.Add(ParseFields(row));
   }
   return log;
+}
+
+bool LogCodec::IsCsvHeader(const std::string& line) {
+  return line.rfind(kHeader[0], 0) == 0;
+}
+
+MceRecord LogCodec::ParseCsvLine(const std::string& line) {
+  // The schema is unquoted numeric/type fields, so a plain comma split is
+  // exact.
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  if (!fields.empty() && !fields.back().empty() &&
+      fields.back().back() == '\r') {
+    fields.back().pop_back();
+  }
+  if (fields.size() != kFieldCount) {
+    throw ParseError("MCE CSV line: " + std::to_string(fields.size()) +
+                     " fields, expected " + std::to_string(kFieldCount));
+  }
+  return ParseFields(fields);
 }
 
 }  // namespace cordial::trace

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <string>
 
 #include "trace/error_log.hpp"
 
@@ -17,6 +18,14 @@ class LogCodec {
   /// Parses a CSV written by WriteCsv. Throws ParseError on malformed rows
   /// (wrong arity, non-numeric fields, unknown error type).
   static ErrorLog ReadCsv(std::istream& in);
+
+  /// True when `line` is the WriteCsv header row (streaming feeds skip it).
+  static bool IsCsvHeader(const std::string& line);
+
+  /// Parse one data line of the WriteCsv schema. The streaming entry point
+  /// for daemons consuming a live feed line by line; same ParseError
+  /// contract as ReadCsv.
+  static MceRecord ParseCsvLine(const std::string& line);
 };
 
 }  // namespace cordial::trace

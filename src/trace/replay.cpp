@@ -1,12 +1,24 @@
 #include "trace/replay.hpp"
 
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <vector>
+
 #include "common/check.hpp"
+#include "common/framing.hpp"
 
 namespace cordial::trace {
 
-const BankHistory& StreamReplayer::Ingest(const MceRecord& record) {
-  CORDIAL_CHECK_MSG(record.time_s >= now_,
-                    "stream replay requires non-decreasing timestamps");
+const BankHistory* StreamReplayer::Ingest(const MceRecord& record) {
+  if (record.time_s < now_) {
+    if (retention_.skew_policy == TimeSkewPolicy::kDrop) {
+      ++skew_dropped_;
+      return nullptr;
+    }
+    CORDIAL_CHECK_MSG(false,
+                      "stream replay requires non-decreasing timestamps");
+  }
   now_ = record.time_s;
   ++records_;
   const std::uint64_t key = codec_.BankKey(record.address);
@@ -22,12 +34,63 @@ const BankHistory& StreamReplayer::Ingest(const MceRecord& record) {
                           static_cast<std::ptrdiff_t>(excess));
     dropped_ += excess;
   }
-  return bank;
+  return &bank;
 }
 
 const BankHistory* StreamReplayer::Find(std::uint64_t bank_key) const {
   const auto it = banks_.find(bank_key);
   return it == banks_.end() ? nullptr : &it->second;
+}
+
+void StreamReplayer::Save(std::ostream& out) const {
+  out << "stream_replayer v1\n";
+  WriteDoubleToken(out, now_);
+  out << ' ' << records_ << ' ' << dropped_ << ' ' << skew_dropped_ << '\n';
+  std::vector<std::uint64_t> keys;
+  keys.reserve(banks_.size());
+  for (const auto& [key, bank] : banks_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  out << "banks " << keys.size() << '\n';
+  for (const std::uint64_t key : keys) {
+    const BankHistory& bank = banks_.at(key);
+    out << key << ' ' << bank.events.size() << '\n';
+    for (const MceRecord& r : bank.events) {
+      WriteDoubleToken(out, r.time_s);
+      out << ' ' << codec_.Pack(r.address) << ' '
+          << static_cast<int>(r.type) << '\n';
+    }
+  }
+}
+
+void StreamReplayer::Restore(std::istream& in) {
+  ExpectToken(in, "stream_replayer");
+  ExpectToken(in, "v1");
+  banks_.clear();
+  now_ = ReadDoubleToken(in, "replayer");
+  records_ = ReadU64Token(in, "replayer");
+  dropped_ = ReadU64Token(in, "replayer");
+  skew_dropped_ = ReadU64Token(in, "replayer");
+  ExpectToken(in, "banks");
+  const std::uint64_t bank_count = ReadU64Token(in, "replayer");
+  for (std::uint64_t b = 0; b < bank_count; ++b) {
+    const std::uint64_t key = ReadU64Token(in, "replayer bank");
+    const std::uint64_t event_count = ReadU64Token(in, "replayer bank");
+    BankHistory& bank = banks_[key];
+    bank.bank_key = key;
+    bank.events.clear();
+    bank.events.reserve(static_cast<std::size_t>(event_count));
+    for (std::uint64_t e = 0; e < event_count; ++e) {
+      MceRecord r;
+      r.time_s = ReadDoubleToken(in, "replayer event");
+      r.address = codec_.Unpack(ReadU64Token(in, "replayer event"));
+      const std::int64_t type = ReadI64Token(in, "replayer event");
+      if (type < 0 || type > 2) {
+        throw ParseError("replayer event: unknown error type");
+      }
+      r.type = static_cast<hbm::ErrorType>(type);
+      bank.events.push_back(r);
+    }
+  }
 }
 
 }  // namespace cordial::trace

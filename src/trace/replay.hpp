@@ -2,17 +2,24 @@
 //
 // Deployment consumes records one at a time (BMC polling), not as a closed
 // log. StreamReplayer maintains the same BankHistory state GroupByBank
-// builds in batch, incrementally and with monotonic-time enforcement, so
-// online daemons and the CLI share one ingestion path.
+// builds in batch, incrementally and with a configurable monotonic-time
+// contract, so online daemons and the CLI share one ingestion path.
 //
 // Long-running feeds cannot retain every record: with a RetentionPolicy the
 // replayer keeps only the newest `max_events_per_bank` events per bank
 // (decision state lives in core::BankProfile accumulators, which never
 // need the dropped records), turning unbounded streaming into O(banks)
 // memory.
+//
+// Clock skew: closed logs are pre-sorted, so a timestamp that moves
+// backwards is a caller bug and the default policy throws. A live fleet
+// feed aggregated from thousands of BMCs is not so clean — with
+// TimeSkewPolicy::kDrop a stale record is counted and discarded instead of
+// killing the server, and the feed degrades gracefully.
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <unordered_map>
 
 #include "hbm/address.hpp"
@@ -20,10 +27,17 @@
 
 namespace cordial::trace {
 
-/// Bounded event retention for streaming ingestion.
+/// What to do with a record whose timestamp precedes the newest one seen.
+enum class TimeSkewPolicy {
+  kThrow,  ///< contract violation — correct for sorted/offline feeds
+  kDrop,   ///< discard the record, bump records_skew_dropped()
+};
+
+/// Bounded event retention and skew handling for streaming ingestion.
 struct RetentionPolicy {
   /// Newest events kept per bank; 0 keeps everything (batch-equivalent).
   std::size_t max_events_per_bank = 0;
+  TimeSkewPolicy skew_policy = TimeSkewPolicy::kThrow;
 };
 
 class StreamReplayer {
@@ -32,21 +46,33 @@ class StreamReplayer {
                           RetentionPolicy retention = {})
       : codec_(codec), retention_(retention) {}
 
-  /// Ingest one record. Records must arrive in non-decreasing time order.
-  /// Returns the bank's (retained) history including this record.
-  const BankHistory& Ingest(const MceRecord& record);
+  /// Ingest one record. Under TimeSkewPolicy::kThrow records must arrive in
+  /// non-decreasing time order. Returns the bank's (retained) history
+  /// including this record, or nullptr when the record was discarded by
+  /// TimeSkewPolicy::kDrop.
+  const BankHistory* Ingest(const MceRecord& record);
 
   /// Bank state, or nullptr if no event for that bank was seen.
   const BankHistory* Find(std::uint64_t bank_key) const;
 
   std::size_t bank_count() const { return banks_.size(); }
-  /// Records ingested (dropped ones included).
+  /// Records ingested (retention-dropped ones included, skew-dropped not).
   std::size_t record_count() const { return records_; }
   /// Records evicted by the retention policy.
   std::size_t records_dropped() const { return dropped_; }
+  /// Stale records discarded under TimeSkewPolicy::kDrop.
+  std::size_t records_skew_dropped() const { return skew_dropped_; }
   const RetentionPolicy& retention() const { return retention_; }
   /// Timestamp of the newest ingested record (0 before any).
   double now() const { return now_; }
+
+  /// Serialize the full replay state (counters + retained events) as a
+  /// token stream, bit-exact under Restore. Per-bank sections are emitted
+  /// in ascending key order so equal states serialize identically.
+  void Save(std::ostream& out) const;
+  /// Replace this replayer's state with a stream written by Save. The
+  /// retention policy stays the constructor's; only dynamic state loads.
+  void Restore(std::istream& in);
 
  private:
   const hbm::AddressCodec& codec_;
@@ -54,6 +80,7 @@ class StreamReplayer {
   std::unordered_map<std::uint64_t, BankHistory> banks_;
   std::size_t records_ = 0;
   std::size_t dropped_ = 0;
+  std::size_t skew_dropped_ = 0;
   double now_ = 0.0;
 };
 

@@ -1,0 +1,122 @@
+// Versioned magic + length framing: the loader must tell apart "not our
+// file", "wrong version", and "truncated" — and the token codec must
+// round-trip doubles bit-exactly.
+#include "common/framing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace cordial {
+namespace {
+
+TEST(Framing, RoundTripsPayloadVerbatim) {
+  std::ostringstream out;
+  const std::string payload = "line one\nline two with spaces\n\x01\x02 raw";
+  WriteFramed(out, "test_magic", 3, payload);
+  std::istringstream in(out.str());
+  EXPECT_EQ(ReadFramed(in, "test_magic", 3), payload);
+}
+
+TEST(Framing, EmptyPayloadRoundTrips) {
+  std::ostringstream out;
+  WriteFramed(out, "empty_frame", 1, "");
+  std::istringstream in(out.str());
+  EXPECT_EQ(ReadFramed(in, "empty_frame", 1), "");
+}
+
+TEST(Framing, FramesNest) {
+  std::ostringstream inner;
+  WriteFramed(inner, "inner", 1, "payload");
+  std::ostringstream outer;
+  WriteFramed(outer, "outer", 2, inner.str());
+  std::istringstream in(outer.str());
+  std::istringstream nested(ReadFramed(in, "outer", 2));
+  EXPECT_EQ(ReadFramed(nested, "inner", 1), "payload");
+}
+
+TEST(Framing, ConsecutiveFramesReadInOrder) {
+  std::ostringstream out;
+  WriteFramed(out, "frame", 1, "first");
+  WriteFramed(out, "frame", 1, "second");
+  std::istringstream in(out.str());
+  EXPECT_EQ(PeekMagic(in), "frame");
+  EXPECT_EQ(ReadFramed(in, "frame", 1), "first");
+  EXPECT_EQ(ReadFramed(in, "frame", 1), "second");
+  EXPECT_EQ(PeekMagic(in), "");
+}
+
+TEST(Framing, RejectsWrongMagic) {
+  std::ostringstream out;
+  WriteFramed(out, "actual_magic", 1, "x");
+  std::istringstream in(out.str());
+  EXPECT_THROW(ReadFramed(in, "expected_magic", 1), ParseError);
+}
+
+TEST(Framing, RejectsVersionMismatchWithClearMessage) {
+  std::ostringstream out;
+  WriteFramed(out, "magic", 7, "x");
+  std::istringstream in(out.str());
+  try {
+    ReadFramed(in, "magic", 1);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("v7"), std::string::npos) << what;
+    EXPECT_NE(what.find("v1"), std::string::npos) << what;
+  }
+}
+
+TEST(Framing, RejectsTruncatedPayload) {
+  std::ostringstream out;
+  WriteFramed(out, "magic", 1, "a full payload");
+  const std::string whole = out.str();
+  std::istringstream in(whole.substr(0, whole.size() - 5));
+  EXPECT_THROW(ReadFramed(in, "magic", 1), ParseError);
+}
+
+TEST(Framing, RejectsEmptyAndGarbageStreams) {
+  std::istringstream empty("");
+  EXPECT_THROW(ReadFramed(empty, "magic", 1), ParseError);
+  std::istringstream garbage("not a frame at all");
+  EXPECT_THROW(ReadFramed(garbage, "magic", 1), ParseError);
+  std::istringstream bad_header("magic vX 10\n0123456789");
+  EXPECT_THROW(ReadFramed(bad_header, "magic", 1), ParseError);
+}
+
+TEST(Framing, DoubleTokensRoundTripBitExactly) {
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0 / 3.0,
+                           6.02214076e23,
+                           -2.2250738585072014e-308,
+                           123456789.123456789,
+                           std::numeric_limits<double>::max(),
+                           std::numeric_limits<double>::denorm_min()};
+  for (const double v : values) {
+    std::ostringstream out;
+    WriteDoubleToken(out, v);
+    std::istringstream in(out.str());
+    const double back = ReadDoubleToken(in, "test");
+    EXPECT_EQ(std::signbit(back), std::signbit(v));
+    EXPECT_EQ(back, v);
+  }
+}
+
+TEST(Framing, TokenReadersRejectMalformedInput) {
+  std::istringstream not_num("zebra");
+  EXPECT_THROW(ReadU64Token(not_num, "ctx"), ParseError);
+  std::istringstream not_dbl("??");
+  EXPECT_THROW(ReadDoubleToken(not_dbl, "ctx"), ParseError);
+  std::istringstream empty("");
+  EXPECT_THROW(ReadI64Token(empty, "ctx"), ParseError);
+  std::istringstream wrong("alpha");
+  EXPECT_THROW(ExpectToken(wrong, "beta"), ParseError);
+}
+
+}  // namespace
+}  // namespace cordial

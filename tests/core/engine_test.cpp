@@ -143,6 +143,51 @@ TEST(PredictionEngine, RetentionBoundDoesNotChangeDecisions) {
   }
 }
 
+TEST(PredictionEngine, BankSpareStatsCountLedgerSuccessesOnly) {
+  const World& w = SharedWorld();
+  // Scattered banks re-request a bank spare at every post-trigger UER; the
+  // stat must count distinct retired banks, not requests.
+  PredictionEngine with_sparing(w.topology, w.classifier, w.single_pred,
+                                w.double_or_null());
+  for (const trace::MceRecord& record : w.fleet.log.records()) {
+    with_sparing.Observe(record);
+  }
+  EXPECT_EQ(with_sparing.stats().banks_bank_spared,
+            with_sparing.ledger().banks_spared());
+
+  // With bank sparing unavailable every TrySpareBank fails — the stat must
+  // stay at zero even though the policy still asks.
+  EngineConfig no_bank_sparing;
+  no_bank_sparing.budget.bank_sparing_available = false;
+  PredictionEngine without(w.topology, w.classifier, w.single_pred,
+                           w.double_or_null(), no_bank_sparing);
+  for (const trace::MceRecord& record : w.fleet.log.records()) {
+    without.Observe(record);
+  }
+  EXPECT_GT(with_sparing.stats().banks_bank_spared, 0u);
+  EXPECT_EQ(without.ledger().banks_spared(), 0u);
+  EXPECT_EQ(without.stats().banks_bank_spared, 0u);
+}
+
+TEST(PredictionEngine, DropSkewPolicyCountsAndSkipsStaleRecords) {
+  const World& w = SharedWorld();
+  EngineConfig config;
+  config.retention.skew_policy = trace::TimeSkewPolicy::kDrop;
+  PredictionEngine engine(w.topology, w.classifier, w.single_pred,
+                          w.double_or_null(), config);
+  trace::MceRecord r;
+  r.time_s = 10.0;
+  r.type = hbm::ErrorType::kCe;
+  engine.Observe(r);
+  r.time_s = 9.0;
+  const IsolationActions actions = engine.Observe(r);
+  EXPECT_EQ(actions, IsolationActions{});
+  EXPECT_EQ(engine.stats().records_skew_dropped, 1u);
+  // Accepted-event accounting is untouched by the drop.
+  EXPECT_EQ(engine.stats().events, 1u);
+  EXPECT_EQ(engine.replayer().record_count(), 1u);
+}
+
 TEST(PredictionEngine, RejectsTimeTravel) {
   const World& w = SharedWorld();
   PredictionEngine engine(w.topology, w.classifier, w.single_pred,

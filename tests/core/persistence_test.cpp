@@ -5,8 +5,10 @@
 
 #include "analysis/labeler.hpp"
 #include "common/check.hpp"
+#include "common/framing.hpp"
 #include "core/crossrow.hpp"
 #include "core/pattern_classifier.hpp"
+#include "core/persist.hpp"
 #include "hbm/address.hpp"
 #include "trace/fleet.hpp"
 
@@ -124,6 +126,57 @@ TEST_F(PersistenceTest, LoadRejectsCorruptStream) {
                                ml::LearnerKind::kRandomForest);
   std::istringstream garbage("garbage");
   EXPECT_THROW(classifier.LoadModel(garbage), ParseError);
+}
+
+TEST_F(PersistenceTest, ModelFilesCarryVersionedMagicHeaders) {
+  analysis::PatternLabeler labeler(Fleet().topology);
+  std::vector<LabelledBank> labelled;
+  std::vector<const trace::BankHistory*> singles;
+  for (const auto& bank : Banks()) {
+    if (!bank.HasUer()) continue;
+    const hbm::FailureClass cls = labeler.LabelClass(bank);
+    labelled.push_back(LabelledBank{&bank, cls});
+    if (cls == hbm::FailureClass::kSingleRowClustering) {
+      singles.push_back(&bank);
+    }
+  }
+  Rng rng(4);
+  PatternClassifier classifier(Fleet().topology,
+                               ml::LearnerKind::kRandomForest);
+  classifier.Train(labelled, rng);
+  CrossRowPredictor predictor(Fleet().topology,
+                              ml::LearnerKind::kRandomForest);
+  predictor.Train(singles, rng);
+
+  std::stringstream pattern_buf, crossrow_buf;
+  classifier.SaveModel(pattern_buf);
+  predictor.SaveModel(crossrow_buf);
+  EXPECT_EQ(PeekMagic(pattern_buf), kPatternModelMagic);
+  EXPECT_EQ(PeekMagic(crossrow_buf), kCrossRowModelMagic);
+
+  // A model stream of the wrong kind is rejected by its magic, not half
+  // parsed.
+  CrossRowPredictor wrong_kind(Fleet().topology,
+                               ml::LearnerKind::kRandomForest);
+  EXPECT_THROW(wrong_kind.LoadModel(pattern_buf), ParseError);
+
+  // A stream from a newer format version is rejected with a message naming
+  // both versions.
+  std::istringstream reread(crossrow_buf.str());
+  const std::string payload =
+      ReadFramed(reread, kCrossRowModelMagic, kModelFrameVersion);
+  std::ostringstream future;
+  WriteFramed(future, kCrossRowModelMagic, kModelFrameVersion + 1, payload);
+  std::istringstream future_in(future.str());
+  CrossRowPredictor deployed(Fleet().topology,
+                             ml::LearnerKind::kRandomForest);
+  try {
+    deployed.LoadModel(future_in);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos)
+        << e.what();
+  }
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
@@ -25,13 +26,15 @@ TEST(StreamReplayer, AccumulatesPerBankState) {
   hbm::TopologyConfig topology;
   hbm::AddressCodec codec(topology);
   StreamReplayer replayer(codec);
-  const BankHistory& a1 =
+  const BankHistory* a1 =
       replayer.Ingest(Make(1.0, 0, 10, hbm::ErrorType::kCe));
-  EXPECT_EQ(a1.events.size(), 1u);
+  ASSERT_NE(a1, nullptr);
+  EXPECT_EQ(a1->events.size(), 1u);
   replayer.Ingest(Make(2.0, 1, 20, hbm::ErrorType::kUer));
-  const BankHistory& a2 =
+  const BankHistory* a2 =
       replayer.Ingest(Make(3.0, 0, 11, hbm::ErrorType::kUer));
-  EXPECT_EQ(a2.events.size(), 2u);
+  ASSERT_NE(a2, nullptr);
+  EXPECT_EQ(a2->events.size(), 2u);
   EXPECT_EQ(replayer.bank_count(), 2u);
   EXPECT_EQ(replayer.record_count(), 3u);
   EXPECT_DOUBLE_EQ(replayer.now(), 3.0);
@@ -143,6 +146,60 @@ TEST(StreamReplayer, RetentionKeepsOnlyNewestEventsPerBank) {
   EXPECT_EQ(replayer.records_dropped(), 6u);
   // Accounting still covers everything ingested.
   EXPECT_EQ(replayer.record_count(), 10u);
+}
+
+TEST(StreamReplayer, DropSkewPolicyDiscardsStaleRecordsAndCounts) {
+  hbm::TopologyConfig topology;
+  hbm::AddressCodec codec(topology);
+  RetentionPolicy retention;
+  retention.skew_policy = TimeSkewPolicy::kDrop;
+  StreamReplayer replayer(codec, retention);
+  replayer.Ingest(Make(5.0, 0, 1, hbm::ErrorType::kCe));
+  EXPECT_EQ(replayer.Ingest(Make(4.0, 0, 2, hbm::ErrorType::kCe)), nullptr);
+  EXPECT_EQ(replayer.records_skew_dropped(), 1u);
+  // The dropped record leaves all other state untouched.
+  EXPECT_EQ(replayer.record_count(), 1u);
+  EXPECT_DOUBLE_EQ(replayer.now(), 5.0);
+  const BankHistory* bank =
+      replayer.Ingest(Make(6.0, 0, 3, hbm::ErrorType::kCe));
+  ASSERT_NE(bank, nullptr);
+  EXPECT_EQ(bank->events.size(), 2u);
+}
+
+TEST(StreamReplayer, SaveRestoreRoundTripsExactly) {
+  hbm::TopologyConfig topology;
+  trace::CalibrationProfile profile;
+  profile.scale = 0.03;
+  FleetGenerator generator(topology, profile);
+  const GeneratedFleet fleet = generator.Generate(7);
+  hbm::AddressCodec codec(topology);
+
+  StreamReplayer original(codec, RetentionPolicy{8});
+  for (const MceRecord& r : fleet.log.records()) original.Ingest(r);
+  std::ostringstream saved;
+  original.Save(saved);
+
+  StreamReplayer restored(codec, RetentionPolicy{8});
+  std::istringstream in(saved.str());
+  restored.Restore(in);
+  EXPECT_EQ(restored.bank_count(), original.bank_count());
+  EXPECT_EQ(restored.record_count(), original.record_count());
+  EXPECT_EQ(restored.records_dropped(), original.records_dropped());
+  EXPECT_DOUBLE_EQ(restored.now(), original.now());
+  std::ostringstream resaved;
+  restored.Save(resaved);
+  EXPECT_EQ(resaved.str(), saved.str());
+}
+
+TEST(StreamReplayer, RestoreRejectsMalformedStreams) {
+  hbm::TopologyConfig topology;
+  hbm::AddressCodec codec(topology);
+  StreamReplayer replayer(codec);
+  std::istringstream wrong_magic("some_other_stream v1\n");
+  EXPECT_THROW(replayer.Restore(wrong_magic), ParseError);
+  std::istringstream bad_type(
+      "stream_replayer v1\n0 1 0 0\nbanks 1\n7 1\n1 0 9\n");
+  EXPECT_THROW(replayer.Restore(bad_type), ParseError);
 }
 
 TEST(StreamReplayer, ZeroRetentionBoundKeepsEverything) {
