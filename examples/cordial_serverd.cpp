@@ -7,6 +7,13 @@
 // where it stopped — bit-identical ledgers and stats, pinned by the serve
 // test suite.
 //
+// Observability: with --admin-port the daemon serves a loopback HTTP admin
+// plane — GET /metrics (Prometheus text: per-shard queue depths, submit→
+// processed and Observe latency histograms, sparing/overload counters,
+// checkpoint timings), /statusz (human-readable shard table) and /healthz.
+// Independently, every --status-every submitted records a one-line status
+// goes to stderr so stdin-only deployments get progress without a port.
+//
 //   cordial_serverd <model_prefix> [options]
 //     --input <path>           feed to read (default: stdin). A FIFO works:
 //                              mkfifo feed && cordial_serverd m --input feed
@@ -18,15 +25,26 @@
 //     --shards <n>             engine shards (default 4)
 //     --queue-capacity <n>     per-shard queue bound (default 1024)
 //     --overload <policy>      block | drop-oldest | reject (default block)
+//     --admin-port <port>      HTTP admin plane on 127.0.0.1:<port>
+//                              (default 0 = off)
+//     --status-every <n>       records between stderr status lines
+//                              (default 10000; 0 = off)
+//     --version                print the frame versions this build speaks
 //
 // Models come from `cordial_cli train <log.csv> <model_prefix>`.
+#include <chrono>
 #include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/table.hpp"
+#include "core/persist.hpp"
+#include "obs/admin_server.hpp"
+#include "obs/metrics.hpp"
 #include "serve/checkpoint.hpp"
 #include "serve/fleet_server.hpp"
 #include "trace/log_codec.hpp"
@@ -43,8 +61,21 @@ int Usage() {
       << "usage: cordial_serverd <model_prefix> [--input <path>]\n"
          "         [--checkpoint <path>] [--checkpoint-every <n>]\n"
          "         [--shards <n>] [--queue-capacity <n>]\n"
-         "         [--overload block|drop-oldest|reject]\n";
+         "         [--overload block|drop-oldest|reject]\n"
+         "         [--admin-port <port>] [--status-every <n>] [--version]\n";
   return 2;
+}
+
+int PrintVersion() {
+  std::cout << "cordial_serverd (cordial 1.0.0)\n"
+            << "  model frames:      " << core::kPatternModelMagic << ", "
+            << core::kCrossRowModelMagic << " v" << core::kModelFrameVersion
+            << "\n"
+            << "  engine state:      " << core::kEngineStateMagic << " v"
+            << core::kEngineStateVersion << "\n"
+            << "  fleet checkpoint:  " << serve::kFleetCheckpointMagic << " v"
+            << serve::kFleetCheckpointVersion << "\n";
+  return 0;
 }
 
 struct Options {
@@ -55,30 +86,66 @@ struct Options {
   std::size_t shards = 4;
   std::size_t queue_capacity = 1024;
   serve::OverloadPolicy overload = serve::OverloadPolicy::kBlock;
+  std::uint16_t admin_port = 0;     // 0 = admin plane off
+  std::size_t status_every = 10000; // 0 = status lines off
 };
 
-bool ParseArgs(int argc, char** argv, Options& opts) {
-  if (argc < 2) return false;
+/// Parse argv into `opts`; on failure `error` names the offending flag.
+bool ParseArgs(int argc, char** argv, Options& opts, std::string& error) {
+  if (argc < 2) {
+    error = "missing <model_prefix>";
+    return false;
+  }
   opts.model_prefix = argv[1];
+  if (opts.model_prefix.rfind("--", 0) == 0) {
+    error = "expected <model_prefix> before flags, got " + opts.model_prefix;
+    return false;
+  }
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
     auto next = [&]() -> const char* {
       return ++i < argc ? argv[i] : nullptr;
     };
+    auto parse_count = [&](const char* value, std::size_t& out,
+                           bool allow_zero) {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(value, &end, 10);
+      if (end == value || *end != '\0') {
+        error = flag + " expects an integer, got '" + value + "'";
+        return false;
+      }
+      if (!allow_zero && parsed == 0) {
+        error = flag + " must be at least 1";
+        return false;
+      }
+      out = static_cast<std::size_t>(parsed);
+      return true;
+    };
     const char* value = next();
-    if (value == nullptr) return false;
+    if (value == nullptr) {
+      error = flag + " requires a value";
+      return false;
+    }
     if (flag == "--input") {
       opts.input = value;
     } else if (flag == "--checkpoint") {
       opts.checkpoint = value;
     } else if (flag == "--checkpoint-every") {
-      opts.checkpoint_every = std::strtoull(value, nullptr, 10);
+      if (!parse_count(value, opts.checkpoint_every, true)) return false;
     } else if (flag == "--shards") {
-      opts.shards = std::strtoull(value, nullptr, 10);
-      if (opts.shards == 0) return false;
+      if (!parse_count(value, opts.shards, false)) return false;
     } else if (flag == "--queue-capacity") {
-      opts.queue_capacity = std::strtoull(value, nullptr, 10);
-      if (opts.queue_capacity == 0) return false;
+      if (!parse_count(value, opts.queue_capacity, false)) return false;
+    } else if (flag == "--status-every") {
+      if (!parse_count(value, opts.status_every, true)) return false;
+    } else if (flag == "--admin-port") {
+      std::size_t port = 0;
+      if (!parse_count(value, port, true)) return false;
+      if (port > 65535) {
+        error = flag + " must be a TCP port (0-65535)";
+        return false;
+      }
+      opts.admin_port = static_cast<std::uint16_t>(port);
     } else if (flag == "--overload") {
       const std::string policy = value;
       if (policy == "block") {
@@ -88,9 +155,12 @@ bool ParseArgs(int argc, char** argv, Options& opts) {
       } else if (policy == "reject") {
         opts.overload = serve::OverloadPolicy::kReject;
       } else {
+        error = "--overload must be block, drop-oldest or reject, got '" +
+                policy + "'";
         return false;
       }
     } else {
+      error = "unknown flag " + flag;
       return false;
     }
   }
@@ -100,8 +170,15 @@ bool ParseArgs(int argc, char** argv, Options& opts) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--version") return PrintVersion();
+  }
   Options opts;
-  if (!ParseArgs(argc, argv, opts)) return Usage();
+  std::string parse_error;
+  if (!ParseArgs(argc, argv, opts, parse_error)) {
+    std::cerr << "cordial_serverd: " << parse_error << "\n";
+    return Usage();
+  }
 
   try {
     hbm::TopologyConfig topology;
@@ -133,6 +210,54 @@ int main(int argc, char** argv) {
     serve::FleetServer server(topology, classifier, single_predictor,
                               &double_predictor, config);
 
+    // Daemon-level metrics: checkpoint-cycle timing lives here (it is a
+    // property of the daemon's drain+write cycle, not of any one shard) and
+    // merges with the shard registries on scrape.
+    obs::MetricRegistry daemon_metrics;
+    obs::Histogram& checkpoint_seconds = daemon_metrics.GetHistogram(
+        "cordial_checkpoint_seconds",
+        "Wall time of one checkpoint cycle (drain + atomic write)",
+        obs::DefaultLatencyBuckets());
+    obs::Counter& checkpoints_total = daemon_metrics.GetCounter(
+        "cordial_checkpoints_total", "Checkpoints written");
+    obs::Counter& malformed_total = daemon_metrics.GetCounter(
+        "cordial_feed_malformed_lines_total",
+        "Feed lines that failed CSV parsing");
+
+    std::size_t submitted = 0, refused = 0, malformed = 0, checkpoints = 0;
+    const auto write_checkpoint = [&] {
+      const auto start = std::chrono::steady_clock::now();
+      serve::WriteCheckpointFile(server, opts.checkpoint);
+      checkpoint_seconds.Observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count());
+      checkpoints_total.Increment();
+      ++checkpoints;
+    };
+
+    std::unique_ptr<obs::AdminServer> admin;
+    if (opts.admin_port != 0) {
+      obs::AdminServerConfig admin_config;
+      admin_config.port = opts.admin_port;
+      admin = std::make_unique<obs::AdminServer>(admin_config);
+      admin->AddHandler(
+          "/metrics", "text/plain; version=0.0.4; charset=utf-8", [&] {
+            return obs::RenderPrometheus(obs::MergeSnapshots(
+                {daemon_metrics.Snapshot(), server.MetricsSnapshot()}));
+          });
+      admin->AddHandler("/statusz", "text/plain; charset=utf-8", [&] {
+        std::string page = server.StatusTable();
+        page += "\ncheckpoints written: " + std::to_string(checkpoints_total.value());
+        page += "\nmalformed feed lines: " + std::to_string(malformed_total.value());
+        page += "\n";
+        return page;
+      });
+      admin->Start();
+      std::cerr << "admin plane on http://127.0.0.1:" << admin->port()
+                << " (/metrics /statusz /healthz)\n";
+    }
+
     if (!opts.checkpoint.empty() &&
         serve::ReadCheckpointFile(server, opts.checkpoint)) {
       std::cerr << "resumed from checkpoint " << opts.checkpoint << " ("
@@ -150,7 +275,7 @@ int main(int argc, char** argv) {
     std::istream& feed = opts.input.empty() ? std::cin : file;
 
     server.Start();
-    std::size_t submitted = 0, refused = 0, malformed = 0, checkpoints = 0;
+    std::vector<serve::ShardCounters> last_status(opts.shards);
     std::string line;
     while (g_stop == 0 && std::getline(feed, line)) {
       if (line.empty() || trace::LogCodec::IsCsvHeader(line)) continue;
@@ -159,6 +284,7 @@ int main(int argc, char** argv) {
         record = trace::LogCodec::ParseCsvLine(line);
       } catch (const ParseError& e) {
         ++malformed;
+        malformed_total.Increment();
         std::cerr << "skipping malformed line: " << e.what() << "\n";
         continue;
       }
@@ -170,17 +296,53 @@ int main(int argc, char** argv) {
       if (!opts.checkpoint.empty() && opts.checkpoint_every > 0 &&
           submitted % opts.checkpoint_every == 0) {
         server.Drain();
-        serve::WriteCheckpointFile(server, opts.checkpoint);
-        ++checkpoints;
+        write_checkpoint();
+      }
+      if (opts.status_every > 0 && submitted % opts.status_every == 0) {
+        // Per-shard queue-counter deltas since the last status line, then
+        // aggregate engine tallies off the atomic metric counters (the
+        // engines themselves are never read while their workers run).
+        std::cerr << "[status] submitted=" << submitted;
+        for (std::size_t s = 0; s < server.shard_count(); ++s) {
+          const serve::ShardCounters now = server.shard(s).counters();
+          std::cerr << " | s" << s << " +"
+                    << now.submitted - last_status[s].submitted << "/+"
+                    << now.processed - last_status[s].processed
+                    << " q=" << server.shard(s).queue_depth();
+          if (now.dropped_oldest != last_status[s].dropped_oldest ||
+              now.rejected != last_status[s].rejected) {
+            std::cerr << " shed="
+                      << (now.dropped_oldest - last_status[s].dropped_oldest) +
+                             (now.rejected - last_status[s].rejected);
+          }
+          last_status[s] = now;
+        }
+        const obs::RegistrySnapshot live = server.MetricsSnapshot();
+        std::cerr << " | events="
+                  << obs::SumCounterSamples(live,
+                                            "cordial_engine_events_total")
+                  << " uer="
+                  << obs::SumCounterSamples(live,
+                                            "cordial_engine_uer_events_total")
+                  << " rows_spared="
+                  << obs::SumCounterSamples(live,
+                                            "cordial_engine_rows_spared_total")
+                  << " banks_spared="
+                  << obs::SumCounterSamples(
+                         live, "cordial_engine_banks_spared_total")
+                  << " skew_dropped="
+                  << obs::SumCounterSamples(
+                         live, "cordial_engine_records_skew_dropped_total")
+                  << "\n";
       }
     }
 
     server.Stop();  // drains the queues, then joins the workers
     if (!opts.checkpoint.empty()) {
-      serve::WriteCheckpointFile(server, opts.checkpoint);
-      ++checkpoints;
+      write_checkpoint();
       std::cerr << "final checkpoint written to " << opts.checkpoint << "\n";
     }
+    if (admin) admin->Stop();
 
     const core::EngineStats stats = server.AggregateStats();
     const serve::ShardCounters counters = server.AggregateCounters();

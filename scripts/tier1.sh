@@ -1,20 +1,25 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full build + test suite, then the parallel-layer and
-# serving-layer tests again under ThreadSanitizer so data races in the
-# thread pool, the shard queues, or any fanned-out hot path fail the run
-# even when the plain build passes, and the engine/profile/replay tests
-# under AddressSanitizer so lifetime bugs in the incremental per-bank state
-# (profile snapshots, bounded retention eviction) fail the run too.
+# Tier-1 verification: full build + test suite, then the parallel-layer,
+# serving-layer and observability tests again under ThreadSanitizer so data
+# races in the thread pool, the shard queues, the metric registries, or any
+# fanned-out hot path fail the run even when the plain build passes, and the
+# engine/profile/replay tests under AddressSanitizer so lifetime bugs in the
+# incremental per-bank state (profile snapshots, bounded retention eviction)
+# fail the run too. Finally the observability overhead gate: instrumenting
+# the serving hot path must cost <= 5% throughput vs the uninstrumented
+# path, or the run fails (BENCH_obs.json holds the measurement).
 #
-# Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan]
+# Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan] [--skip-bench]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SKIP_TSAN=0
 SKIP_ASAN=0
+SKIP_BENCH=0
 for arg in "$@"; do
   [[ "$arg" == "--skip-tsan" ]] && SKIP_TSAN=1
   [[ "$arg" == "--skip-asan" ]] && SKIP_ASAN=1
+  [[ "$arg" == "--skip-bench" ]] && SKIP_BENCH=1
 done
 
 cmake -B build -S .
@@ -28,9 +33,11 @@ else
     -DCORDIAL_BUILD_BENCHMARKS=OFF -DCORDIAL_BUILD_EXAMPLES=OFF
   cmake --build build-tsan -j
   # Run the parallel-layer tests wide enough to exercise the worker pool,
-  # plus the serving-layer tests (shard workers + checkpointing).
+  # plus the serving-layer tests (shard workers + checkpointing) and the
+  # observability tests (concurrent metric accumulation, scrape-under-fire,
+  # the admin HTTP server).
   CORDIAL_THREADS=8 ctest --test-dir build-tsan --output-on-failure \
-    -R '^(Parallel|FleetServer|EngineCheckpoint)'
+    -R '^(Parallel|FleetServer|EngineCheckpoint|Obs)'
 fi
 
 if [[ "$SKIP_ASAN" == "1" ]]; then
@@ -40,6 +47,13 @@ else
     -DCORDIAL_BUILD_BENCHMARKS=OFF -DCORDIAL_BUILD_EXAMPLES=OFF
   cmake --build build-asan -j
   ctest --test-dir build-asan --output-on-failure \
-    -R '^(BankProfile|PredictionEngine|StreamReplayer)'
+    -R '^(BankProfile|PredictionEngine|StreamReplayer|Obs)'
+fi
+
+if [[ "$SKIP_BENCH" == "1" ]]; then
+  echo "tier1: skipping observability overhead gate (--skip-bench)"
+else
+  # Exits non-zero when instrumentation costs more than 5% throughput.
+  (cd build/bench && ./perf_obs_overhead)
 fi
 echo "tier1: OK"

@@ -1,6 +1,7 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 #include <utility>
 #include <vector>
@@ -96,15 +97,70 @@ PredictionEngine::PredictionEngine(const hbm::TopologyConfig& topology,
       "cross-row trigger must not precede the classification truncation");
 }
 
+void PredictionEngine::AttachMetrics(obs::MetricRegistry& registry,
+                                     const obs::Labels& labels,
+                                     std::size_t latency_sample_every) {
+  CORDIAL_CHECK_MSG(latency_sample_every >= 1,
+                    "latency sample stride must be >= 1");
+  latency_sample_every_ = latency_sample_every;
+  metrics_.observe_latency = &registry.GetHistogram(
+      "cordial_engine_observe_seconds",
+      "Latency of PredictionEngine::Observe (ingest + policy + ledger)",
+      obs::DefaultLatencyBuckets(), labels);
+  metrics_.events = &registry.GetCounter(
+      "cordial_engine_events_total", "MCE records the engine accepted",
+      labels);
+  metrics_.uer_events = &registry.GetCounter(
+      "cordial_engine_uer_events_total", "Accepted records that were UERs",
+      labels);
+  metrics_.banks_classified = &registry.GetCounter(
+      "cordial_engine_banks_classified_total",
+      "Banks whose failure pattern was classified", labels);
+  metrics_.banks_spared = &registry.GetCounter(
+      "cordial_engine_banks_spared_total",
+      "Banks the sparing ledger actually retired", labels);
+  metrics_.block_predictions = &registry.GetCounter(
+      "cordial_engine_block_predictions_total",
+      "Cross-row block predictions issued", labels);
+  metrics_.rows_spared = &registry.GetCounter(
+      "cordial_engine_rows_spared_total",
+      "Rows newly isolated by predictions (idempotent re-spares excluded)",
+      labels);
+  metrics_.skew_dropped = &registry.GetCounter(
+      "cordial_engine_records_skew_dropped_total",
+      "Stale records discarded by the time-skew drop policy", labels);
+  replayer_.SetRetentionEvictionCounter(&registry.GetCounter(
+      "cordial_replay_retention_evictions_total",
+      "Raw records evicted from the replayer's bounded per-bank window",
+      labels));
+}
+
 IsolationActions PredictionEngine::Observe(const trace::MceRecord& record) {
+  using Clock = std::chrono::steady_clock;
+  // Threshold compare, not modulo — a division per record is measurable.
+  const bool timed =
+      metrics_.observe_latency != nullptr && observe_calls_ >= next_timed_;
+  if (timed) next_timed_ = observe_calls_ + latency_sample_every_;
+  ++observe_calls_;
+  const Clock::time_point start = timed ? Clock::now() : Clock::time_point{};
+  const auto record_latency = [&] {
+    if (timed) {
+      metrics_.observe_latency->Observe(
+          std::chrono::duration<double>(Clock::now() - start).count());
+    }
+  };
+
   const trace::BankHistory* bank = replayer_.Ingest(record);
   if (bank == nullptr) {
     // Rejected by the drop skew policy: no profile, no decision, no stats
     // beyond the drop counter (keeps `events` == accepted records).
     ++stats_.records_skew_dropped;
+    if (metrics_.skew_dropped) metrics_.skew_dropped->Increment();
+    record_latency();
     return IsolationActions{};
   }
   ++stats_.events;
+  if (metrics_.events) metrics_.events->Increment();
   const auto [it, inserted] =
       banks_.try_emplace(bank->bank_key, classifier_.extractor().max_uers());
   BankState& state = it->second;
@@ -112,6 +168,7 @@ IsolationActions PredictionEngine::Observe(const trace::MceRecord& record) {
   IsolationActions coverage;
   if (record.type == ErrorType::kUer) {
     ++stats_.uer_events;
+    if (metrics_.uer_events) metrics_.uer_events->Increment();
     // First-failure coverage, judged against the ledger as it stood before
     // this record (the profile has not absorbed it yet).
     if (!state.profile.HasUerRow(record.address.row)) {
@@ -135,15 +192,23 @@ IsolationActions PredictionEngine::Observe(const trace::MceRecord& record) {
   actions.covered_by_row_spare = coverage.covered_by_row_spare;
   actions.covered_by_bank_spare = coverage.covered_by_bank_spare;
 
-  if (actions.classified_now) ++stats_.banks_classified;
+  if (actions.classified_now) {
+    ++stats_.banks_classified;
+    if (metrics_.banks_classified) metrics_.banks_classified->Increment();
+  }
   if (actions.bank_spare) {
     // TrySpareBank is idempotent and may be unavailable; count only banks
     // the ledger actually retired, mirroring the row accounting below.
     const std::uint64_t banks_before = ledger_.banks_spared();
     ledger_.TrySpareBank(bank->bank_key);
-    stats_.banks_bank_spared += ledger_.banks_spared() - banks_before;
+    const std::uint64_t banks_newly = ledger_.banks_spared() - banks_before;
+    stats_.banks_bank_spared += banks_newly;
+    if (metrics_.banks_spared) metrics_.banks_spared->Increment(banks_newly);
   }
-  if (actions.prediction_issued) ++stats_.predictions_issued;
+  if (actions.prediction_issued) {
+    ++stats_.predictions_issued;
+    if (metrics_.block_predictions) metrics_.block_predictions->Increment();
+  }
   // TrySpareRow is idempotent (true for an already-spared row), so count
   // newly isolated rows off the ledger's tally, not the return values.
   const std::uint64_t spared_before = ledger_.rows_spared();
@@ -154,6 +219,10 @@ IsolationActions PredictionEngine::Observe(const trace::MceRecord& record) {
   }
   actions.rows_newly_spared = ledger_.rows_spared() - spared_before;
   stats_.rows_isolated += actions.rows_newly_spared;
+  if (metrics_.rows_spared) {
+    metrics_.rows_spared->Increment(actions.rows_newly_spared);
+  }
+  record_latency();
   return actions;
 }
 

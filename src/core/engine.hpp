@@ -24,6 +24,7 @@
 #include "core/pattern_classifier.hpp"
 #include "hbm/address.hpp"
 #include "hbm/sparing.hpp"
+#include "obs/metrics.hpp"
 #include "trace/replay.hpp"
 
 namespace cordial::core {
@@ -159,6 +160,24 @@ class PredictionEngine {
   /// RestoreState the engine resumes bit-identically to the saver.
   void RestoreState(std::istream& in);
 
+  /// Register this engine's live metrics (`cordial_engine_*` counters, the
+  /// Observe latency histogram, and the replayer's retention-eviction
+  /// counter) in `registry` and start feeding them. `labels` is attached to
+  /// every metric (a serving shard passes its shard index). The registry
+  /// must outlive the engine. Without an attach, Observe pays nothing —
+  /// null-pointer checks only. Counters are process-local and monotonic:
+  /// RestoreState rewinds stats() but never the attached counters
+  /// (Prometheus counter semantics).
+  ///
+  /// `latency_sample_every` strides the Observe latency histogram: only
+  /// every Nth call is timed (counters stay exact — they cost relaxed
+  /// atomics, while timing costs two clock reads per sample). 1 times every
+  /// call; serving shards default to a coarser stride (QueueConfig).
+  void AttachMetrics(obs::MetricRegistry& registry,
+                     const obs::Labels& labels = {},
+                     std::size_t latency_sample_every = 1);
+  bool instrumented() const { return metrics_.observe_latency != nullptr; }
+
   const EngineStats& stats() const { return stats_; }
   const hbm::SparingLedger& ledger() const { return ledger_; }
   const trace::StreamReplayer& replayer() const { return replayer_; }
@@ -177,11 +196,27 @@ class PredictionEngine {
     explicit BankState(std::size_t max_uers) : profile(max_uers) {}
   };
 
+  /// Hot-path metric handles, all null until AttachMetrics.
+  struct Metrics {
+    obs::Histogram* observe_latency = nullptr;
+    obs::Counter* events = nullptr;
+    obs::Counter* uer_events = nullptr;
+    obs::Counter* banks_classified = nullptr;
+    obs::Counter* banks_spared = nullptr;
+    obs::Counter* block_predictions = nullptr;
+    obs::Counter* rows_spared = nullptr;
+    obs::Counter* skew_dropped = nullptr;
+  };
+
   hbm::AddressCodec codec_;
   const PatternClassifier& classifier_;
   const CrossRowPredictor& single_;
   const CrossRowPredictor& double_;
   EngineConfig config_;
+  Metrics metrics_;
+  std::size_t latency_sample_every_ = 1;
+  std::size_t observe_calls_ = 0;  ///< for latency sampling; never persisted
+  std::size_t next_timed_ = 0;     ///< observe_calls_ value to time next
   trace::StreamReplayer replayer_;
   hbm::SparingLedger ledger_;
   std::unordered_map<std::uint64_t, BankState> banks_;

@@ -1,0 +1,220 @@
+#include "obs/admin_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace cordial::obs {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 16 * 1024;
+
+std::string StatusLine(int code) {
+  switch (code) {
+    case 200: return "HTTP/1.1 200 OK";
+    case 404: return "HTTP/1.1 404 Not Found";
+    case 405: return "HTTP/1.1 405 Method Not Allowed";
+    default: return "HTTP/1.1 500 Internal Server Error";
+  }
+}
+
+void SendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer went away; nothing useful to do
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void SendResponse(int fd, int code, const std::string& content_type,
+                  const std::string& body) {
+  std::string response = StatusLine(code);
+  response += "\r\nContent-Type: " + content_type;
+  response += "\r\nContent-Length: " + std::to_string(body.size());
+  response += "\r\nConnection: close\r\n\r\n";
+  response += body;
+  SendAll(fd, response);
+}
+
+/// Read until the header terminator (we never expect a body on GET).
+std::string ReadRequestHead(int fd) {
+  std::string request;
+  char buf[1024];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.find("\n\n") == std::string::npos &&
+         request.size() < kMaxRequestBytes) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  return request;
+}
+
+}  // namespace
+
+AdminServer::AdminServer(AdminServerConfig config)
+    : config_(std::move(config)) {
+  AddHandler("/healthz", "text/plain; charset=utf-8",
+             [] { return std::string("ok\n"); });
+}
+
+AdminServer::~AdminServer() { Stop(); }
+
+void AdminServer::AddHandler(const std::string& path,
+                             const std::string& content_type,
+                             Handler handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  routes_[path] = Route{content_type, std::move(handler)};
+}
+
+void AdminServer::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CORDIAL_CHECK_MSG(!running_, "admin server already running");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  CORDIAL_CHECK_MSG(listen_fd_ >= 0, "admin server: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    CORDIAL_CHECK_MSG(false,
+                      "admin server: bad bind address " + config_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    CORDIAL_CHECK_MSG(false, "admin server: cannot listen on " +
+                                 config_.bind_address + ":" +
+                                 std::to_string(config_.port) + " — " + reason);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+
+  CORDIAL_CHECK_MSG(::pipe(wake_fds_) == 0, "admin server: pipe() failed");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    running_ = true;
+  }
+  thread_ = std::thread(&AdminServer::ServeLoop, this);
+}
+
+void AdminServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    running_ = false;
+  }
+  const char byte = 0;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &byte, 1);
+  thread_.join();
+  ::close(listen_fd_);
+  ::close(wake_fds_[0]);
+  ::close(wake_fds_[1]);
+  listen_fd_ = wake_fds_[0] = wake_fds_[1] = -1;
+}
+
+bool AdminServer::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+void AdminServer::ServeLoop() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_fds_[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[1].revents != 0) return;  // Stop() woke us
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    // Bound how long a stalled client can hold the (single) accept thread.
+    timeval timeout{2, 0};
+    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+    ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof timeout);
+    HandleConnection(conn);
+    ::close(conn);
+  }
+}
+
+void AdminServer::HandleConnection(int fd) {
+  const std::string request = ReadRequestHead(fd);
+  const std::size_t line_end = request.find_first_of("\r\n");
+  const std::string request_line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+
+  const std::size_t method_end = request_line.find(' ');
+  const std::size_t target_end =
+      method_end == std::string::npos
+          ? std::string::npos
+          : request_line.find(' ', method_end + 1);
+  if (method_end == std::string::npos || target_end == std::string::npos) {
+    SendResponse(fd, 405, "text/plain; charset=utf-8", "malformed request\n");
+    return;
+  }
+  const std::string method = request_line.substr(0, method_end);
+  std::string path =
+      request_line.substr(method_end + 1, target_end - method_end - 1);
+  const std::size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  if (method != "GET") {
+    SendResponse(fd, 405, "text/plain; charset=utf-8",
+                 "only GET is supported\n");
+    return;
+  }
+
+  Route route;
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = routes_.find(path);
+    if (it != routes_.end()) {
+      route = it->second;
+      found = true;
+    }
+  }
+  if (!found) {
+    std::string body = "not found: " + path + "\navailable:\n";
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const auto& [known_path, ignored] : routes_) {
+        body += "  " + known_path + "\n";
+      }
+    }
+    SendResponse(fd, 404, "text/plain; charset=utf-8", body);
+    return;
+  }
+  try {
+    SendResponse(fd, 200, route.content_type, route.handler());
+  } catch (const std::exception& e) {
+    SendResponse(fd, 500, "text/plain; charset=utf-8",
+                 std::string("handler error: ") + e.what() + "\n");
+  }
+}
+
+}  // namespace cordial::obs

@@ -1,0 +1,81 @@
+// Minimal blocking HTTP admin plane over plain BSD sockets — no external
+// dependencies, one accept thread, Connection: close on every response.
+//
+// This is an operator endpoint, not a traffic server: a Prometheus scraper
+// or a human with curl hits it every few seconds, so requests are handled
+// serially on the accept thread and each connection carries exactly one GET.
+// Handlers run on that thread; they must be safe to call concurrently with
+// the daemon's workers (the obs metric snapshots are — atomics and
+// per-registry locks only) and a throwing handler becomes a 500 rather than
+// taking the daemon down.
+//
+// `/healthz` is built in (returns "ok"); `/metrics`, `/statusz` and anything
+// else are added by the daemon via AddHandler. Binding port 0 picks an
+// ephemeral port (exposed by port()) — the end-to-end tests rely on that.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace cordial::obs {
+
+struct AdminServerConfig {
+  /// TCP port to listen on; 0 asks the kernel for an ephemeral port.
+  std::uint16_t port = 0;
+  /// Interface to bind. Loopback by default: the admin plane is unsecured
+  /// by design and must not face the fleet network unless opted in.
+  std::string bind_address = "127.0.0.1";
+};
+
+class AdminServer {
+ public:
+  /// Produces a response body. Runs on the accept thread per request.
+  using Handler = std::function<std::string()>;
+
+  explicit AdminServer(AdminServerConfig config = {});
+  ~AdminServer();  ///< stops the server if still running
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Register (or replace) the handler for an exact path. Callable before
+  /// or after Start.
+  void AddHandler(const std::string& path, const std::string& content_type,
+                  Handler handler);
+
+  /// Bind, listen and spawn the accept thread. Throws ContractViolation
+  /// when the socket cannot be bound (port in use, bad address).
+  void Start();
+
+  /// Shut the listener down and join the accept thread. Idempotent.
+  void Stop();
+
+  /// The bound port — the kernel's choice when config.port was 0. Valid
+  /// after Start.
+  std::uint16_t port() const { return port_; }
+  bool running() const;
+
+ private:
+  struct Route {
+    std::string content_type;
+    Handler handler;
+  };
+
+  void ServeLoop();
+  void HandleConnection(int fd);
+
+  AdminServerConfig config_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: Stop() unblocks the poll
+  std::thread thread_;
+  mutable std::mutex mutex_;  // guards routes_ and running_
+  std::map<std::string, Route> routes_;
+  bool running_ = false;
+};
+
+}  // namespace cordial::obs

@@ -1,0 +1,349 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace cordial::obs {
+
+namespace {
+
+/// Lock-free double accumulation over the bit representation.
+void AtomicAddDouble(std::atomic<std::uint64_t>& bits, double delta) {
+  std::uint64_t observed = bits.load(std::memory_order_relaxed);
+  for (;;) {
+    const double next = std::bit_cast<double>(observed) + delta;
+    if (bits.compare_exchange_weak(observed, std::bit_cast<std::uint64_t>(next),
+                                   std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+bool ValidMetricName(std::string_view name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name.front())) return false;
+  for (const char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+/// %g — compact, stable rendering for bucket bounds we choose ourselves.
+std::string FormatBound(double bound) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", bound);
+  return buf;
+}
+
+/// %.17g — lossless rendering for accumulated sums (framing.hpp convention).
+std::string FormatDoubleExact(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// `{k1="v1",k2="v2"}`, optionally with a trailing `le` pair; empty labels
+/// and no `le` render as nothing.
+std::string RenderLabels(const Labels& labels, const std::string* le = nullptr) {
+  if (labels.empty() && le == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += key + "=\"" + EscapeLabelValue(value) + "\"";
+  }
+  if (le != nullptr) {
+    if (!first) out.push_back(',');
+    out += "le=\"" + *le + "\"";
+  }
+  out.push_back('}');
+  return out;
+}
+
+bool SampleOrder(const MetricSample& a, const MetricSample& b) {
+  if (a.name != b.name) return a.name < b.name;
+  return a.labels < b.labels;
+}
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  CORDIAL_CHECK_MSG(
+      std::is_sorted(bounds_.begin(), bounds_.end()) &&
+          std::adjacent_find(bounds_.begin(), bounds_.end()) == bounds_.end(),
+      "histogram bounds must be strictly ascending");
+}
+
+void Histogram::Observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t index =
+      static_cast<std::size_t>(it - bounds_.begin());  // +Inf when past-end
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(sum_bits_, value);
+}
+
+HistogramData Histogram::Snapshot() const {
+  HistogramData data;
+  data.bounds = bounds_;
+  data.buckets.reserve(buckets_.size());
+  for (const auto& bucket : buckets_) {
+    data.buckets.push_back(bucket.load(std::memory_order_relaxed));
+  }
+  data.count = count_.load(std::memory_order_relaxed);
+  data.sum = std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+  return data;
+}
+
+std::vector<double> DefaultLatencyBuckets() {
+  return {1e-6,  2.5e-6, 5e-6,  1e-5,  2.5e-5, 5e-5, 1e-4, 2.5e-4,
+          5e-4,  1e-3,   2.5e-3, 5e-3, 1e-2,  2.5e-2, 5e-2, 1e-1,
+          2.5e-1, 5e-1,  1.0,   2.5,   5.0,   10.0};
+}
+
+MetricRegistry::Entry* MetricRegistry::FindLocked(std::string_view name,
+                                                 const Labels& labels) {
+  for (const auto& entry : entries_) {
+    if (entry->name == name && entry->labels == labels) return entry.get();
+  }
+  return nullptr;
+}
+
+Counter& MetricRegistry::GetCounter(const std::string& name,
+                                    const std::string& help, Labels labels) {
+  CORDIAL_CHECK_MSG(ValidMetricName(name), "invalid metric name: " + name);
+  std::sort(labels.begin(), labels.end());
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* existing = FindLocked(name, labels)) {
+    CORDIAL_CHECK_MSG(existing->kind == MetricKind::kCounter,
+                      name + " already registered with a different kind");
+    return *existing->counter;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->kind = MetricKind::kCounter;
+  entry->name = name;
+  entry->help = help;
+  entry->labels = std::move(labels);
+  entry->counter = std::make_unique<Counter>();
+  entries_.push_back(std::move(entry));
+  return *entries_.back()->counter;
+}
+
+Gauge& MetricRegistry::GetGauge(const std::string& name,
+                                const std::string& help, Labels labels) {
+  CORDIAL_CHECK_MSG(ValidMetricName(name), "invalid metric name: " + name);
+  std::sort(labels.begin(), labels.end());
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* existing = FindLocked(name, labels)) {
+    CORDIAL_CHECK_MSG(existing->kind == MetricKind::kGauge,
+                      name + " already registered with a different kind");
+    return *existing->gauge;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->kind = MetricKind::kGauge;
+  entry->name = name;
+  entry->help = help;
+  entry->labels = std::move(labels);
+  entry->gauge = std::make_unique<Gauge>();
+  entries_.push_back(std::move(entry));
+  return *entries_.back()->gauge;
+}
+
+Histogram& MetricRegistry::GetHistogram(const std::string& name,
+                                        const std::string& help,
+                                        std::vector<double> bounds,
+                                        Labels labels) {
+  CORDIAL_CHECK_MSG(ValidMetricName(name), "invalid metric name: " + name);
+  std::sort(labels.begin(), labels.end());
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* existing = FindLocked(name, labels)) {
+    CORDIAL_CHECK_MSG(existing->kind == MetricKind::kHistogram,
+                      name + " already registered with a different kind");
+    CORDIAL_CHECK_MSG(existing->histogram->bounds() == bounds,
+                      name + " already registered with different buckets");
+    return *existing->histogram;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->kind = MetricKind::kHistogram;
+  entry->name = name;
+  entry->help = help;
+  entry->labels = std::move(labels);
+  entry->histogram = std::make_unique<Histogram>(std::move(bounds));
+  entries_.push_back(std::move(entry));
+  return *entries_.back()->histogram;
+}
+
+RegistrySnapshot MetricRegistry::Snapshot() const {
+  RegistrySnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mutex_);
+  snapshot.samples.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    MetricSample sample;
+    sample.name = entry->name;
+    sample.help = entry->help;
+    sample.kind = entry->kind;
+    sample.labels = entry->labels;
+    switch (entry->kind) {
+      case MetricKind::kCounter:
+        sample.counter_value = entry->counter->value();
+        break;
+      case MetricKind::kGauge:
+        sample.gauge_value = entry->gauge->value();
+        break;
+      case MetricKind::kHistogram:
+        sample.histogram = entry->histogram->Snapshot();
+        break;
+    }
+    snapshot.samples.push_back(std::move(sample));
+  }
+  std::sort(snapshot.samples.begin(), snapshot.samples.end(), SampleOrder);
+  return snapshot;
+}
+
+RegistrySnapshot MergeSnapshots(const std::vector<RegistrySnapshot>& parts) {
+  // std::map keys give the deterministic (name, labels) ordering directly.
+  std::map<std::pair<std::string, Labels>, MetricSample> merged;
+  for (const RegistrySnapshot& part : parts) {
+    for (const MetricSample& sample : part.samples) {
+      const auto key = std::make_pair(sample.name, sample.labels);
+      const auto [it, inserted] = merged.try_emplace(key, sample);
+      if (inserted) continue;
+      MetricSample& into = it->second;
+      CORDIAL_CHECK_MSG(into.kind == sample.kind,
+                        sample.name + ": kind mismatch across merged parts");
+      switch (sample.kind) {
+        case MetricKind::kCounter:
+          into.counter_value += sample.counter_value;
+          break;
+        case MetricKind::kGauge:
+          into.gauge_value += sample.gauge_value;
+          break;
+        case MetricKind::kHistogram: {
+          CORDIAL_CHECK_MSG(
+              into.histogram.bounds == sample.histogram.bounds,
+              sample.name + ": bucket bounds mismatch across merged parts");
+          for (std::size_t b = 0; b < into.histogram.buckets.size(); ++b) {
+            into.histogram.buckets[b] += sample.histogram.buckets[b];
+          }
+          into.histogram.count += sample.histogram.count;
+          into.histogram.sum += sample.histogram.sum;
+          break;
+        }
+      }
+    }
+  }
+  RegistrySnapshot out;
+  out.samples.reserve(merged.size());
+  for (auto& [key, sample] : merged) out.samples.push_back(std::move(sample));
+  return out;
+}
+
+std::string RenderPrometheus(const RegistrySnapshot& snapshot) {
+  std::ostringstream out;
+  std::string_view open_family;
+  for (const MetricSample& sample : snapshot.samples) {
+    if (sample.name != open_family) {
+      out << "# HELP " << sample.name << ' ' << sample.help << '\n';
+      out << "# TYPE " << sample.name << ' ' << KindName(sample.kind) << '\n';
+      open_family = sample.name;
+    }
+    switch (sample.kind) {
+      case MetricKind::kCounter:
+        out << sample.name << RenderLabels(sample.labels) << ' '
+            << sample.counter_value << '\n';
+        break;
+      case MetricKind::kGauge:
+        out << sample.name << RenderLabels(sample.labels) << ' '
+            << sample.gauge_value << '\n';
+        break;
+      case MetricKind::kHistogram: {
+        const HistogramData& h = sample.histogram;
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+          cumulative += h.buckets[b];
+          const std::string le = b < h.bounds.size()
+                                     ? FormatBound(h.bounds[b])
+                                     : std::string("+Inf");
+          out << sample.name << "_bucket" << RenderLabels(sample.labels, &le)
+              << ' ' << cumulative << '\n';
+        }
+        out << sample.name << "_sum" << RenderLabels(sample.labels) << ' '
+            << FormatDoubleExact(h.sum) << '\n';
+        out << sample.name << "_count" << RenderLabels(sample.labels) << ' '
+            << h.count << '\n';
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+std::uint64_t SumCounterSamples(const RegistrySnapshot& snapshot,
+                                std::string_view name) {
+  std::uint64_t total = 0;
+  for (const MetricSample& sample : snapshot.samples) {
+    if (sample.name == name && sample.kind == MetricKind::kCounter) {
+      total += sample.counter_value;
+    }
+  }
+  return total;
+}
+
+std::int64_t SumGaugeSamples(const RegistrySnapshot& snapshot,
+                             std::string_view name) {
+  std::int64_t total = 0;
+  for (const MetricSample& sample : snapshot.samples) {
+    if (sample.name == name && sample.kind == MetricKind::kGauge) {
+      total += sample.gauge_value;
+    }
+  }
+  return total;
+}
+
+const MetricSample* FindSample(const RegistrySnapshot& snapshot,
+                               std::string_view name, const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  for (const MetricSample& sample : snapshot.samples) {
+    if (sample.name == name && sample.labels == sorted) return &sample;
+  }
+  return nullptr;
+}
+
+}  // namespace cordial::obs

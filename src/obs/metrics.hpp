@@ -1,0 +1,189 @@
+// Thread-safe metrics for the observability layer: counters, gauges and
+// fixed-bucket latency histograms behind a named registry, rendered in
+// Prometheus text exposition format.
+//
+// The hot-path contract is lock-free accumulation: Increment/Set/Observe are
+// relaxed atomic operations on pre-registered metric objects — no lock, no
+// allocation, no string handling — so instrumented code pays nanoseconds
+// whether or not anyone is scraping. All aggregation cost lives on the
+// scrape side: a registry produces a `RegistrySnapshot` (a plain value
+// object), snapshots from per-shard registries merge deterministically
+// (samples keyed and sorted by name + labels, counts summed bucket-wise),
+// and the merged snapshot renders to text. This is why each serving shard
+// owns its own registry instead of sharing one: writers never contend, and
+// the scrape thread does the merge.
+//
+// Naming follows Prometheus conventions: `cordial_<subsystem>_<what>`, with
+// `_total` suffixes on counters and `_seconds` on latency histograms.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cordial::obs {
+
+/// Label set attached to one metric instance, e.g. {{"shard", "3"}}. Kept
+/// sorted by key inside the registry so equal sets compare equal.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic event count. Relaxed increments: safe from any thread.
+/// Cache-line aligned so adjacent metrics (e.g. one bumped by a producer,
+/// one by the worker) never false-share.
+class alignas(64) Counter {
+ public:
+  void Increment(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (queue depth, resident banks). Set/Add from
+/// any thread. Aligned for the same reason as Counter.
+class alignas(64) Gauge {
+ public:
+  void Set(std::int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Merged/scraped view of one histogram: per-bucket (non-cumulative) counts
+/// for each upper bound plus the implicit +Inf bucket at the back.
+struct HistogramData {
+  std::vector<double> bounds;          ///< ascending upper bounds (le)
+  std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 entries
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  friend bool operator==(const HistogramData&,
+                         const HistogramData&) = default;
+};
+
+/// Fixed-bucket distribution. Observe is a relaxed per-bucket increment plus
+/// a CAS-loop double add — no locks. A concurrent Snapshot sees each bucket
+/// atomically but is not a cross-bucket point-in-time cut; after the writers
+/// drain it is exact.
+class Histogram {
+ public:
+  /// `bounds` are strictly ascending upper bounds; an +Inf bucket is
+  /// implicit. An empty list leaves just the +Inf bucket.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+  HistogramData Snapshot() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{0};  // double stored as bits
+};
+
+/// The bucket layout every latency histogram in cordial uses: 1µs … 10s,
+/// roughly ×2.5 per step. Shared bounds keep cross-shard merges legal.
+std::vector<double> DefaultLatencyBuckets();
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One metric instance's scraped state.
+struct MetricSample {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  Labels labels;
+  std::uint64_t counter_value = 0;  // kCounter
+  std::int64_t gauge_value = 0;     // kGauge
+  HistogramData histogram;          // kHistogram
+
+  friend bool operator==(const MetricSample&, const MetricSample&) = default;
+};
+
+/// A registry's (or merge's) full scraped state, sorted by (name, labels).
+struct RegistrySnapshot {
+  std::vector<MetricSample> samples;
+
+  friend bool operator==(const RegistrySnapshot&,
+                         const RegistrySnapshot&) = default;
+};
+
+/// Named metric owner. Get* registers on first call and returns the same
+/// instance on every subsequent call with the same (name, labels); the
+/// returned reference stays valid for the registry's lifetime, so hot paths
+/// resolve their metrics once and never touch the registry lock again.
+/// Re-registering a name under a different kind (or a histogram under
+/// different bounds) is a ContractViolation.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter& GetCounter(const std::string& name, const std::string& help,
+                      Labels labels = {});
+  Gauge& GetGauge(const std::string& name, const std::string& help,
+                  Labels labels = {});
+  Histogram& GetHistogram(const std::string& name, const std::string& help,
+                          std::vector<double> bounds, Labels labels = {});
+
+  /// Scrape every registered metric. Safe concurrently with writers.
+  RegistrySnapshot Snapshot() const;
+
+ private:
+  struct Entry {
+    MetricKind kind;
+    std::string name;
+    std::string help;
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* FindLocked(std::string_view name, const Labels& labels);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+/// Merge snapshots from independent registries into one: samples with equal
+/// (name, labels) are summed (counters and gauges add; histograms require
+/// identical bounds and add bucket-wise), distinct ones concatenate. The
+/// result is sorted by (name, labels), so the merge is deterministic,
+/// associative and commutative (pinned by tests/obs/metrics_test.cpp).
+/// Mismatched kinds or histogram bounds for one key are a ContractViolation.
+RegistrySnapshot MergeSnapshots(const std::vector<RegistrySnapshot>& parts);
+
+/// Render a snapshot in Prometheus text exposition format (version 0.0.4):
+/// one HELP/TYPE block per metric name, histogram buckets as cumulative
+/// `_bucket{le=...}` series plus `_sum`/`_count`. Deterministic for equal
+/// snapshots (golden-tested).
+std::string RenderPrometheus(const RegistrySnapshot& snapshot);
+
+/// Sum of every counter sample named `name` across label sets (0 if none).
+/// Convenience for status lines that want fleet-wide totals.
+std::uint64_t SumCounterSamples(const RegistrySnapshot& snapshot,
+                                std::string_view name);
+/// Sum of every gauge sample named `name` across label sets.
+std::int64_t SumGaugeSamples(const RegistrySnapshot& snapshot,
+                             std::string_view name);
+/// The sample with exactly this (name, labels), or nullptr.
+const MetricSample* FindSample(const RegistrySnapshot& snapshot,
+                               std::string_view name, const Labels& labels);
+
+}  // namespace cordial::obs

@@ -6,6 +6,7 @@
 #include "common/check.hpp"
 #include "common/framing.hpp"
 #include "common/rng.hpp"
+#include "common/table.hpp"
 #include "serve/checkpoint.hpp"
 
 namespace cordial::serve {
@@ -28,7 +29,8 @@ FleetServer::FleetServer(const hbm::TopologyConfig& topology,
     }
     shards_.push_back(std::make_unique<EngineShard>(
         topology, classifier, single_predictor, double_predictor,
-        config.engine, config.queue, std::move(shard_sink)));
+        config.engine, config.queue, std::move(shard_sink),
+        config.instrument, obs::Labels{{"shard", std::to_string(s)}}));
   }
 }
 
@@ -81,6 +83,56 @@ ShardCounters FleetServer::AggregateCounters() const {
     total.rejected += c.rejected;
   }
   return total;
+}
+
+obs::RegistrySnapshot FleetServer::MetricsSnapshot() const {
+  std::vector<obs::RegistrySnapshot> parts;
+  parts.reserve(shards_.size());
+  for (const auto& shard : shards_) parts.push_back(shard->MetricsSnapshot());
+  return obs::MergeSnapshots(parts);
+}
+
+std::string FleetServer::StatusTable() const {
+  TextTable table({"Shard", "Submitted", "Processed", "Queued", "Dropped",
+                   "Rejected", "Events", "UERs", "Rows spared",
+                   "Banks spared"});
+  ShardCounters totals;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const ShardCounters c = shards_[s]->counters();
+    totals.submitted += c.submitted;
+    totals.processed += c.processed;
+    totals.dropped_oldest += c.dropped_oldest;
+    totals.rejected += c.rejected;
+    const obs::RegistrySnapshot snap = shards_[s]->MetricsSnapshot();
+    const auto engine_counter = [&](const char* name) {
+      return shards_[s]->instrumented()
+                 ? std::to_string(obs::SumCounterSamples(snap, name))
+                 : std::string("-");
+    };
+    table.AddRow({std::to_string(s), std::to_string(c.submitted),
+                  std::to_string(c.processed),
+                  std::to_string(shards_[s]->queue_depth()),
+                  std::to_string(c.dropped_oldest), std::to_string(c.rejected),
+                  engine_counter("cordial_engine_events_total"),
+                  engine_counter("cordial_engine_uer_events_total"),
+                  engine_counter("cordial_engine_rows_spared_total"),
+                  engine_counter("cordial_engine_banks_spared_total")});
+  }
+  const obs::RegistrySnapshot merged = MetricsSnapshot();
+  const auto total_counter = [&](const char* name) {
+    return std::to_string(obs::SumCounterSamples(merged, name));
+  };
+  table.AddSeparator();
+  table.AddRow({"total", std::to_string(totals.submitted),
+                std::to_string(totals.processed), "",
+                std::to_string(totals.dropped_oldest),
+                std::to_string(totals.rejected),
+                total_counter("cordial_engine_events_total"),
+                total_counter("cordial_engine_uer_events_total"),
+                total_counter("cordial_engine_rows_spared_total"),
+                total_counter("cordial_engine_banks_spared_total")});
+  return table.Render("fleet server (" + std::to_string(shards_.size()) +
+                      " shards)");
 }
 
 void FleetServer::SaveCheckpoint(std::ostream& out) const {

@@ -28,6 +28,11 @@ struct FleetServerConfig {
   std::size_t shard_count = 1;  ///< must be >= 1
   core::EngineConfig engine;    ///< per-shard engine configuration
   QueueConfig queue;            ///< per-shard queue bound + overload policy
+  /// Per-shard metrics (queue depth, latency histograms, engine action
+  /// counters, labelled shard="<index>"). Near-free on the hot path —
+  /// relaxed atomics and two steady_clock reads per record — but can be
+  /// turned off to benchmark the bare path (bench/perf_obs_overhead).
+  bool instrument = true;
 };
 
 class FleetServer {
@@ -65,6 +70,18 @@ class FleetServer {
   core::EngineStats AggregateStats() const;
   /// Element-wise sum of every shard's queue counters.
   ShardCounters AggregateCounters() const;
+
+  /// Merge every shard registry's snapshot into one deterministic scrape
+  /// (samples sorted by name + shard label). Safe to call at any time,
+  /// concurrently with submission and the workers — this is the /metrics
+  /// read path. When the server is uninstrumented the snapshot is empty.
+  obs::RegistrySnapshot MetricsSnapshot() const;
+
+  /// Human-readable per-shard table (queue counters, depth, live engine
+  /// action counters) for /statusz. Safe while running: every cell comes
+  /// from a mutex-guarded counter copy or an atomic metric, never from the
+  /// engines themselves.
+  std::string StatusTable() const;
 
   /// Serialize every shard engine into one framed checkpoint. The server
   /// must be drained (Drain() or Stop() first).

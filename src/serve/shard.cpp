@@ -11,13 +11,41 @@ EngineShard::EngineShard(const hbm::TopologyConfig& topology,
                          const core::CrossRowPredictor& single_predictor,
                          const core::CrossRowPredictor* double_predictor,
                          core::EngineConfig engine_config,
-                         QueueConfig queue_config, ActionSink sink)
+                         QueueConfig queue_config, ActionSink sink,
+                         bool instrument, obs::Labels metric_labels)
     : engine_(topology, classifier, single_predictor, double_predictor,
               engine_config),
       queue_config_(queue_config),
       sink_(std::move(sink)) {
   CORDIAL_CHECK_MSG(queue_config_.capacity >= 1,
                     "shard queue capacity must be >= 1");
+  CORDIAL_CHECK_MSG(queue_config_.latency_sample_every >= 1,
+                    "latency sample stride must be >= 1");
+  if (instrument) {
+    queue_metrics_.depth = &metrics_registry_.GetGauge(
+        "cordial_shard_queue_depth", "Records waiting in the shard queue",
+        metric_labels);
+    queue_metrics_.latency = &metrics_registry_.GetHistogram(
+        "cordial_shard_latency_seconds",
+        "Submit-to-processed latency through the shard queue",
+        obs::DefaultLatencyBuckets(), metric_labels);
+    queue_metrics_.submitted = &metrics_registry_.GetCounter(
+        "cordial_shard_records_submitted_total",
+        "Records accepted into the shard queue", metric_labels);
+    queue_metrics_.processed = &metrics_registry_.GetCounter(
+        "cordial_shard_records_processed_total",
+        "Records the shard's engine consumed", metric_labels);
+    queue_metrics_.dropped_oldest = &metrics_registry_.GetCounter(
+        "cordial_shard_records_dropped_oldest_total",
+        "Queued records evicted under the drop-oldest overload policy",
+        metric_labels);
+    queue_metrics_.rejected = &metrics_registry_.GetCounter(
+        "cordial_shard_records_rejected_total",
+        "Records refused under the reject overload policy or while stopping",
+        metric_labels);
+    engine_.AttachMetrics(metrics_registry_, metric_labels,
+                          queue_config_.latency_sample_every);
+  }
 }
 
 EngineShard::~EngineShard() { Stop(); }
@@ -34,6 +62,7 @@ bool EngineShard::Submit(const trace::MceRecord& record) {
   std::unique_lock<std::mutex> lock(mutex_);
   if (stopping_ || stopped_) {
     ++counters_.rejected;
+    if (queue_metrics_.rejected) queue_metrics_.rejected->Increment();
     return false;
   }
   if (queue_.size() >= queue_config_.capacity) {
@@ -44,6 +73,7 @@ bool EngineShard::Submit(const trace::MceRecord& record) {
         });
         if (stopping_) {
           ++counters_.rejected;
+          if (queue_metrics_.rejected) queue_metrics_.rejected->Increment();
           return false;
         }
         break;
@@ -51,15 +81,30 @@ bool EngineShard::Submit(const trace::MceRecord& record) {
         while (queue_.size() >= queue_config_.capacity) {
           queue_.pop_front();
           ++counters_.dropped_oldest;
+          if (queue_metrics_.dropped_oldest) {
+            queue_metrics_.dropped_oldest->Increment();
+          }
         }
         break;
       case OverloadPolicy::kReject:
         ++counters_.rejected;
+        if (queue_metrics_.rejected) queue_metrics_.rejected->Increment();
         return false;
     }
   }
-  queue_.push_back(record);
+  // Sampled stamp: a zero time_point means "don't time this one" — the
+  // worker skips the latency histograms for unstamped records. Threshold
+  // compare, not modulo: a u64 division per record is measurable here.
+  const bool stamp = queue_metrics_.latency != nullptr &&
+                     counters_.submitted >= next_latency_stamp_;
+  if (stamp) {
+    next_latency_stamp_ =
+        counters_.submitted + queue_config_.latency_sample_every;
+  }
+  queue_.emplace_back(record, stamp ? std::chrono::steady_clock::now()
+                                    : std::chrono::steady_clock::time_point{});
   ++counters_.submitted;
+  if (queue_metrics_.submitted) queue_metrics_.submitted->Increment();
   not_empty_.notify_one();
   return true;
 }
@@ -94,6 +139,18 @@ ShardCounters EngineShard::counters() const {
   return counters_;
 }
 
+std::size_t EngineShard::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+obs::RegistrySnapshot EngineShard::MetricsSnapshot() const {
+  if (queue_metrics_.depth) {
+    queue_metrics_.depth->Set(static_cast<std::int64_t>(queue_depth()));
+  }
+  return metrics_registry_.Snapshot();
+}
+
 void EngineShard::SaveState(std::ostream& out) const {
   std::lock_guard<std::mutex> lock(mutex_);
   CORDIAL_CHECK_MSG(queue_.empty() && !busy_,
@@ -113,13 +170,21 @@ void EngineShard::WorkerLoop() {
   for (;;) {
     not_empty_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
     if (queue_.empty()) return;  // stopping and fully drained
-    const trace::MceRecord record = queue_.front();
+    const QueueItem item = queue_.front();
     queue_.pop_front();
     busy_ = true;
     lock.unlock();
     not_full_.notify_one();
-    const core::IsolationActions actions = engine_.Observe(record);
-    if (sink_) sink_(record, actions);
+    const core::IsolationActions actions = engine_.Observe(item.first);
+    if (sink_) sink_(item.first, actions);
+    if (queue_metrics_.latency &&
+        item.second != std::chrono::steady_clock::time_point{}) {
+      queue_metrics_.latency->Observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        item.second)
+              .count());
+    }
+    if (queue_metrics_.processed) queue_metrics_.processed->Increment();
     lock.lock();
     busy_ = false;
     ++counters_.processed;

@@ -12,6 +12,7 @@
 // (caller decides). Every lossy outcome is counted.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -19,8 +20,10 @@
 #include <iosfwd>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 #include "core/engine.hpp"
+#include "obs/metrics.hpp"
 
 namespace cordial::serve {
 
@@ -34,6 +37,14 @@ enum class OverloadPolicy {
 struct QueueConfig {
   std::size_t capacity = 1024;  ///< must be >= 1
   OverloadPolicy policy = OverloadPolicy::kBlock;
+  /// Latency-histogram sampling stride (must be >= 1): only every Nth
+  /// submitted record is clock-stamped, and only stamped records feed the
+  /// queue and engine latency histograms. Counters and gauges stay exact —
+  /// they cost relaxed atomics, while a timed record costs up to four
+  /// steady_clock reads, which at multi-M records/s dominates the
+  /// observability bill. 1 = time everything (tests); 64 keeps the
+  /// instrumented hot path within the perf_obs_overhead budget.
+  std::size_t latency_sample_every = 64;
 };
 
 /// Tallies of everything that crossed (or failed to cross) a shard's queue.
@@ -57,12 +68,21 @@ class EngineShard {
   using ActionSink = std::function<void(const trace::MceRecord&,
                                         const core::IsolationActions&)>;
 
+  /// `instrument` turns on the shard's own metric registry: queue depth
+  /// gauge, submit→processed latency histogram, overload counters, plus the
+  /// engine's cordial_engine_* metrics — all labelled with `metric_labels`
+  /// (the fleet server passes {{"shard", "<index>"}}). Everything is
+  /// accumulated with relaxed atomics on the hot path; scraping merges
+  /// per-shard registries so producers and workers never contend on a
+  /// shared metrics lock. With instrument=false the shard runs the bare
+  /// PR-3 hot path (no clock reads, null metric pointers).
   EngineShard(const hbm::TopologyConfig& topology,
               const core::PatternClassifier& classifier,
               const core::CrossRowPredictor& single_predictor,
               const core::CrossRowPredictor* double_predictor,
               core::EngineConfig engine_config, QueueConfig queue_config = {},
-              ActionSink sink = nullptr);
+              ActionSink sink = nullptr, bool instrument = true,
+              obs::Labels metric_labels = {});
   ~EngineShard();
 
   EngineShard(const EngineShard&) = delete;
@@ -90,6 +110,19 @@ class EngineShard {
 
   ShardCounters counters() const;
 
+  /// Records currently queued (racy by nature; exact once drained).
+  std::size_t queue_depth() const;
+
+  bool instrumented() const { return queue_metrics_.depth != nullptr; }
+
+  /// Scrape this shard's registry. Safe at any time, concurrently with
+  /// producers and the worker; cheap (atomic loads under the registry
+  /// registration lock). The queue-depth gauge is refreshed here rather
+  /// than on the hot path — a gauge written by both the producer and the
+  /// worker would ping-pong its cache line millions of times per second
+  /// for a value only scrapes ever read.
+  obs::RegistrySnapshot MetricsSnapshot() const;
+
   /// Checkpoint the engine (PredictionEngine::SaveState). The shard must be
   /// drained or stopped — enforced by a contract check.
   void SaveState(std::ostream& out) const;
@@ -97,18 +130,34 @@ class EngineShard {
   void RestoreState(std::istream& in);
 
  private:
+  /// Hot-path metric handles, null when the shard is uninstrumented.
+  struct QueueMetrics {
+    obs::Gauge* depth = nullptr;
+    obs::Histogram* latency = nullptr;  // submit → processed, seconds
+    obs::Counter* submitted = nullptr;
+    obs::Counter* processed = nullptr;
+    obs::Counter* dropped_oldest = nullptr;
+    obs::Counter* rejected = nullptr;
+  };
+  /// A queued record plus its enqueue instant (zero when uninstrumented).
+  using QueueItem =
+      std::pair<trace::MceRecord, std::chrono::steady_clock::time_point>;
+
   void WorkerLoop();
 
   core::PredictionEngine engine_;
   QueueConfig queue_config_;
   ActionSink sink_;
+  obs::MetricRegistry metrics_registry_;
+  QueueMetrics queue_metrics_;
 
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::condition_variable idle_;
-  std::deque<trace::MceRecord> queue_;
+  std::deque<QueueItem> queue_;
   ShardCounters counters_;
+  std::uint64_t next_latency_stamp_ = 0;  ///< submitted count to stamp next
   bool busy_ = false;      ///< worker is inside an engine step
   bool started_ = false;
   bool stopping_ = false;

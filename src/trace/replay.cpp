@@ -7,6 +7,7 @@
 
 #include "common/check.hpp"
 #include "common/framing.hpp"
+#include "obs/metrics.hpp"
 
 namespace cordial::trace {
 
@@ -33,6 +34,7 @@ const BankHistory* StreamReplayer::Ingest(const MceRecord& record) {
                       bank.events.begin() +
                           static_cast<std::ptrdiff_t>(excess));
     dropped_ += excess;
+    if (eviction_counter_ != nullptr) eviction_counter_->Increment(excess);
   }
   return &bank;
 }

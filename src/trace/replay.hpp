@@ -25,6 +25,10 @@
 #include "hbm/address.hpp"
 #include "trace/error_log.hpp"
 
+namespace cordial::obs {
+class Counter;
+}  // namespace cordial::obs
+
 namespace cordial::trace {
 
 /// What to do with a record whose timestamp precedes the newest one seen.
@@ -66,6 +70,14 @@ class StreamReplayer {
   /// Timestamp of the newest ingested record (0 before any).
   double now() const { return now_; }
 
+  /// Mirror retention evictions into a live metrics counter (obs layer).
+  /// The counter must outlive the replayer; nullptr detaches. The replayer's
+  /// own records_dropped() tally is unaffected (and checkpointed); the
+  /// counter only feeds scrape-time visibility.
+  void SetRetentionEvictionCounter(obs::Counter* counter) {
+    eviction_counter_ = counter;
+  }
+
   /// Serialize the full replay state (counters + retained events) as a
   /// token stream, bit-exact under Restore. Per-bank sections are emitted
   /// in ascending key order so equal states serialize identically.
@@ -82,6 +94,7 @@ class StreamReplayer {
   std::size_t dropped_ = 0;
   std::size_t skew_dropped_ = 0;
   double now_ = 0.0;
+  obs::Counter* eviction_counter_ = nullptr;
 };
 
 }  // namespace cordial::trace

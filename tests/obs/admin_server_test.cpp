@@ -1,0 +1,132 @@
+// End-to-end exercise of the admin plane over real sockets: an AdminServer
+// on an ephemeral loopback port must answer /healthz and /metrics to a
+// plain HTTP/1.1 client, 404 unknown paths, refuse non-GET methods, and
+// convert handler exceptions into 500s instead of dying.
+#include "obs/admin_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "common/check.hpp"
+#include "obs/metrics.hpp"
+
+namespace cordial::obs {
+namespace {
+
+/// Minimal blocking HTTP client: one request, read to EOF, full response.
+std::string HttpRequest(std::uint16_t port, const std::string& raw_request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof addr),
+            0);
+  EXPECT_EQ(::send(fd, raw_request.data(), raw_request.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(raw_request.size()));
+  std::string response;
+  char buf[1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string HttpGet(std::uint16_t port, const std::string& path) {
+  return HttpRequest(port, "GET " + path +
+                               " HTTP/1.1\r\nHost: localhost\r\n"
+                               "Connection: close\r\n\r\n");
+}
+
+TEST(ObsAdminServer, ServesHealthzOnEphemeralPort) {
+  AdminServer server;  // port 0: kernel picks
+  server.Start();
+  ASSERT_NE(server.port(), 0);
+  const std::string response = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("\r\n\r\nok\n"), std::string::npos);
+  server.Stop();
+  server.Stop();  // idempotent
+}
+
+TEST(ObsAdminServer, ServesMetricsEndToEnd) {
+  MetricRegistry registry;
+  registry.GetCounter("cordial_admin_test_total", "help").Increment(9);
+  AdminServer server;
+  server.AddHandler("/metrics", "text/plain; version=0.0.4; charset=utf-8",
+                    [&] { return RenderPrometheus(registry.Snapshot()); });
+  server.Start();
+  const std::string response = HttpGet(server.port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("# TYPE cordial_admin_test_total counter"),
+            std::string::npos);
+  EXPECT_NE(response.find("cordial_admin_test_total 9"), std::string::npos);
+
+  // The handler sees live state, not a registration-time copy.
+  registry.GetCounter("cordial_admin_test_total", "help").Increment();
+  EXPECT_NE(HttpGet(server.port(), "/metrics")
+                .find("cordial_admin_test_total 10"),
+            std::string::npos);
+  server.Stop();
+}
+
+TEST(ObsAdminServer, UnknownPathsAndMethodsAreRejected) {
+  AdminServer server;
+  server.Start();
+  const std::string missing = HttpGet(server.port(), "/nope");
+  EXPECT_NE(missing.find("HTTP/1.1 404 Not Found"), std::string::npos);
+  EXPECT_NE(missing.find("/healthz"), std::string::npos);  // lists routes
+  const std::string post = HttpRequest(
+      server.port(),
+      "POST /healthz HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n");
+  EXPECT_NE(post.find("HTTP/1.1 405"), std::string::npos);
+  server.Stop();
+}
+
+TEST(ObsAdminServer, HandlerExceptionsBecome500) {
+  AdminServer server;
+  server.AddHandler("/boom", "text/plain", []() -> std::string {
+    throw std::runtime_error("kaput");
+  });
+  server.Start();
+  const std::string response = HttpGet(server.port(), "/boom");
+  EXPECT_NE(response.find("HTTP/1.1 500"), std::string::npos);
+  EXPECT_NE(response.find("kaput"), std::string::npos);
+  // The server survives the throwing handler.
+  EXPECT_NE(HttpGet(server.port(), "/healthz").find("200 OK"),
+            std::string::npos);
+  server.Stop();
+}
+
+TEST(ObsAdminServer, QueryStringsAreStripped) {
+  AdminServer server;
+  server.Start();
+  EXPECT_NE(HttpGet(server.port(), "/healthz?verbose=1").find("200 OK"),
+            std::string::npos);
+  server.Stop();
+}
+
+TEST(ObsAdminServer, StartRejectsPortInUse) {
+  AdminServer first;
+  first.Start();
+  AdminServerConfig config;
+  config.port = first.port();
+  AdminServer second(config);
+  EXPECT_THROW(second.Start(), ContractViolation);
+  first.Stop();
+}
+
+}  // namespace
+}  // namespace cordial::obs

@@ -1,0 +1,207 @@
+// The metrics layer's load-bearing properties: lock-free accumulation is
+// lossless under contention, per-shard snapshot merging is a commutative
+// monoid (so any scrape-side merge order yields one truth), and the
+// Prometheus exposition is byte-stable for equal snapshots.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace cordial::obs {
+namespace {
+
+TEST(ObsMetrics, CounterAndGaugeBasics) {
+  MetricRegistry registry;
+  Counter& counter = registry.GetCounter("cordial_test_total", "help");
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), 42u);
+
+  Gauge& gauge = registry.GetGauge("cordial_test_depth", "help");
+  gauge.Set(7);
+  gauge.Add(-3);
+  EXPECT_EQ(gauge.value(), 4);
+
+  // Same (name, labels) resolves to the same instance; labels distinguish.
+  EXPECT_EQ(&registry.GetCounter("cordial_test_total", "help"), &counter);
+  Counter& labelled = registry.GetCounter("cordial_test_total", "help",
+                                          {{"shard", "0"}});
+  EXPECT_NE(&labelled, &counter);
+}
+
+TEST(ObsMetrics, RegistryRejectsKindMismatchAndBadNames) {
+  MetricRegistry registry;
+  registry.GetCounter("cordial_test_total", "help");
+  EXPECT_THROW(registry.GetGauge("cordial_test_total", "help"),
+               ContractViolation);
+  EXPECT_THROW(registry.GetCounter("0starts_with_digit", "help"),
+               ContractViolation);
+  EXPECT_THROW(registry.GetCounter("has-dash", "help"), ContractViolation);
+  registry.GetHistogram("cordial_test_seconds", "help", {0.5, 1.0});
+  EXPECT_THROW(registry.GetHistogram("cordial_test_seconds", "help", {1.0}),
+               ContractViolation);
+  EXPECT_THROW(Histogram({1.0, 0.5}), ContractViolation);
+}
+
+TEST(ObsMetrics, HistogramBucketsHonourLeSemantics) {
+  Histogram histogram({0.25, 1.0});
+  histogram.Observe(0.125);  // <= 0.25
+  histogram.Observe(0.25);   // == bound, still le 0.25
+  histogram.Observe(0.5);    // <= 1.0
+  histogram.Observe(2.0);    // +Inf
+  const HistogramData data = histogram.Snapshot();
+  EXPECT_EQ(data.buckets, (std::vector<std::uint64_t>{2, 1, 1}));
+  EXPECT_EQ(data.count, 4u);
+  EXPECT_DOUBLE_EQ(data.sum, 2.875);
+}
+
+TEST(ObsMetrics, ConcurrentAccumulationIsLossless) {
+  MetricRegistry registry;
+  Counter& counter = registry.GetCounter("cordial_test_total", "help");
+  Histogram& histogram = registry.GetHistogram("cordial_test_seconds", "help",
+                                               DefaultLatencyBuckets());
+  Gauge& gauge = registry.GetGauge("cordial_test_depth", "help");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.Increment();
+        histogram.Observe(0.0009765625);  // 2^-10: sums stay exact
+        gauge.Set(t);
+        if (i % 64 == 0) registry.Snapshot();  // scrape under fire
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  const HistogramData data = histogram.Snapshot();
+  EXPECT_EQ(data.count, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_DOUBLE_EQ(data.sum, kThreads * kPerThread * 0.0009765625);
+}
+
+/// One randomized per-shard snapshot: a shared unlabelled counter (merge
+/// sums it), a per-shard labelled counter (merge concatenates), a gauge and
+/// a histogram over shared bounds. Dyadic observations keep double sums
+/// exact, so merge equality is bit-exact in every association order.
+RegistrySnapshot RandomShardSnapshot(Rng& rng, int shard) {
+  MetricRegistry registry;
+  registry.GetCounter("cordial_prop_shared_total", "help")
+      .Increment(rng.UniformU64(1000));
+  registry
+      .GetCounter("cordial_prop_sharded_total", "help",
+                  {{"shard", std::to_string(shard)}})
+      .Increment(rng.UniformU64(1000));
+  Gauge& gauge = registry.GetGauge("cordial_prop_depth", "help");
+  gauge.Set(static_cast<std::int64_t>(rng.UniformU64(64)));
+  Histogram& histogram =
+      registry.GetHistogram("cordial_prop_seconds", "help", {0.25, 1.0, 4.0});
+  const std::size_t observations = rng.UniformU64(40);
+  for (std::size_t i = 0; i < observations; ++i) {
+    histogram.Observe(static_cast<double>(rng.UniformU64(64)) * 0.125);
+  }
+  return registry.Snapshot();
+}
+
+TEST(ObsMetrics, MergeIsAssociativeAndCommutative) {
+  Rng rng(1234);
+  for (int round = 0; round < 20; ++round) {
+    const RegistrySnapshot a = RandomShardSnapshot(rng, 0);
+    const RegistrySnapshot b = RandomShardSnapshot(rng, 1);
+    const RegistrySnapshot c = RandomShardSnapshot(rng, 2);
+    const RegistrySnapshot d = RandomShardSnapshot(rng, 3);
+
+    const RegistrySnapshot flat = MergeSnapshots({a, b, c, d});
+    const RegistrySnapshot left =
+        MergeSnapshots({MergeSnapshots({a, b}), MergeSnapshots({c, d})});
+    const RegistrySnapshot right =
+        MergeSnapshots({a, MergeSnapshots({b, MergeSnapshots({c, d})})});
+    const RegistrySnapshot shuffled = MergeSnapshots({d, b, c, a});
+
+    EXPECT_EQ(flat, left);
+    EXPECT_EQ(flat, right);
+    EXPECT_EQ(flat, shuffled);
+    // Identity: merging with an empty snapshot changes nothing.
+    EXPECT_EQ(flat, MergeSnapshots({flat, RegistrySnapshot{}}));
+  }
+}
+
+TEST(ObsMetrics, MergeRejectsMismatchedSchemas) {
+  MetricRegistry counter_registry;
+  counter_registry.GetCounter("cordial_prop_x", "help");
+  MetricRegistry gauge_registry;
+  gauge_registry.GetGauge("cordial_prop_x", "help");
+  EXPECT_THROW(MergeSnapshots(
+                   {counter_registry.Snapshot(), gauge_registry.Snapshot()}),
+               ContractViolation);
+
+  MetricRegistry h1, h2;
+  h1.GetHistogram("cordial_prop_seconds", "help", {0.5});
+  h2.GetHistogram("cordial_prop_seconds", "help", {0.25});
+  EXPECT_THROW(MergeSnapshots({h1.Snapshot(), h2.Snapshot()}),
+               ContractViolation);
+}
+
+TEST(ObsMetrics, PrometheusExpositionGolden) {
+  MetricRegistry registry;
+  registry
+      .GetCounter("cordial_demo_requests_total", "Requests handled",
+                  {{"shard", "1"}})
+      .Increment(4);
+  registry
+      .GetCounter("cordial_demo_requests_total", "Requests handled",
+                  {{"shard", "0"}})
+      .Increment(3);
+  registry.GetGauge("cordial_demo_queue_depth", "Queue depth").Set(2);
+  Histogram& histogram = registry.GetHistogram("cordial_demo_latency_seconds",
+                                               "Latency", {0.25, 1.0});
+  histogram.Observe(0.125);
+  histogram.Observe(0.5);
+  histogram.Observe(3.0);
+
+  const std::string expected =
+      "# HELP cordial_demo_latency_seconds Latency\n"
+      "# TYPE cordial_demo_latency_seconds histogram\n"
+      "cordial_demo_latency_seconds_bucket{le=\"0.25\"} 1\n"
+      "cordial_demo_latency_seconds_bucket{le=\"1\"} 2\n"
+      "cordial_demo_latency_seconds_bucket{le=\"+Inf\"} 3\n"
+      "cordial_demo_latency_seconds_sum 3.625\n"
+      "cordial_demo_latency_seconds_count 3\n"
+      "# HELP cordial_demo_queue_depth Queue depth\n"
+      "# TYPE cordial_demo_queue_depth gauge\n"
+      "cordial_demo_queue_depth 2\n"
+      "# HELP cordial_demo_requests_total Requests handled\n"
+      "# TYPE cordial_demo_requests_total counter\n"
+      "cordial_demo_requests_total{shard=\"0\"} 3\n"
+      "cordial_demo_requests_total{shard=\"1\"} 4\n";
+  EXPECT_EQ(RenderPrometheus(registry.Snapshot()), expected);
+  // Stable: rendering the same state twice is byte-identical.
+  EXPECT_EQ(RenderPrometheus(registry.Snapshot()),
+            RenderPrometheus(registry.Snapshot()));
+}
+
+TEST(ObsMetrics, SampleLookupHelpers) {
+  MetricRegistry shard0, shard1;
+  shard0.GetCounter("cordial_x_total", "help", {{"shard", "0"}}).Increment(5);
+  shard1.GetCounter("cordial_x_total", "help", {{"shard", "1"}}).Increment(7);
+  shard0.GetGauge("cordial_x_depth", "help", {{"shard", "0"}}).Set(3);
+  shard1.GetGauge("cordial_x_depth", "help", {{"shard", "1"}}).Set(4);
+  const RegistrySnapshot merged =
+      MergeSnapshots({shard0.Snapshot(), shard1.Snapshot()});
+  EXPECT_EQ(SumCounterSamples(merged, "cordial_x_total"), 12u);
+  EXPECT_EQ(SumGaugeSamples(merged, "cordial_x_depth"), 7);
+  const MetricSample* sample =
+      FindSample(merged, "cordial_x_total", {{"shard", "1"}});
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->counter_value, 7u);
+  EXPECT_EQ(FindSample(merged, "cordial_x_total", {{"shard", "9"}}), nullptr);
+}
+
+}  // namespace
+}  // namespace cordial::obs

@@ -1,0 +1,290 @@
+// Observability end-to-end: a live instrumented FleetServer's merged
+// metric snapshot must agree with the engine/queue ground truth, stay
+// scrapable while workers are hot (no data race, no torn reads), and the
+// admin plane must expose all of it as Prometheus text over real HTTP.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/labeler.hpp"
+#include "common/check.hpp"
+#include "hbm/address.hpp"
+#include "obs/admin_server.hpp"
+#include "obs/metrics.hpp"
+#include "serve/fleet_server.hpp"
+#include "trace/fleet.hpp"
+
+namespace cordial::serve {
+namespace {
+
+/// Small fleet plus models trained on it, built once and shared read-only.
+struct World {
+  hbm::TopologyConfig topology;
+  trace::GeneratedFleet fleet;
+  core::PatternClassifier classifier;
+  core::CrossRowPredictor single_pred;
+  core::CrossRowPredictor double_pred;
+  bool double_ok = false;
+
+  World()
+      : fleet([] {
+          hbm::TopologyConfig topology;
+          trace::CalibrationProfile profile;
+          profile.scale = 0.08;
+          return trace::FleetGenerator(topology, profile).Generate(5);
+        }()),
+        classifier(topology, ml::LearnerKind::kRandomForest),
+        single_pred(topology, ml::LearnerKind::kRandomForest),
+        double_pred(topology, ml::LearnerKind::kRandomForest) {
+    hbm::AddressCodec codec(topology);
+    const auto banks = fleet.log.GroupByBank(codec);
+    analysis::PatternLabeler labeler(topology);
+    std::vector<core::LabelledBank> labelled;
+    std::vector<const trace::BankHistory*> singles, doubles;
+    for (const trace::BankHistory& bank : banks) {
+      if (!bank.HasUer()) continue;
+      const hbm::FailureClass cls = labeler.LabelClass(bank);
+      labelled.push_back(core::LabelledBank{&bank, cls});
+      if (cls == hbm::FailureClass::kSingleRowClustering) {
+        singles.push_back(&bank);
+      } else if (cls == hbm::FailureClass::kDoubleRowClustering) {
+        doubles.push_back(&bank);
+      }
+    }
+    Rng rng(99);
+    classifier.Train(labelled, rng);
+    single_pred.Train(singles, rng);
+    try {
+      double_pred.Train(doubles, rng);
+      double_ok = true;
+    } catch (const ContractViolation&) {
+      double_ok = false;
+    }
+  }
+
+  const core::CrossRowPredictor* double_or_null() const {
+    return double_ok ? &double_pred : nullptr;
+  }
+};
+
+const World& SharedWorld() {
+  static const World* world = new World();
+  return *world;
+}
+
+/// Sum of a histogram family's observation counts across all label sets.
+std::uint64_t SumHistogramCounts(const obs::RegistrySnapshot& snapshot,
+                                 const std::string& name) {
+  std::uint64_t total = 0;
+  for (const obs::MetricSample& sample : snapshot.samples) {
+    if (sample.name == name) total += sample.histogram.count;
+  }
+  return total;
+}
+
+std::string HttpGet(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof addr),
+            0);
+  const std::string request = "GET " + path +
+                              " HTTP/1.1\r\nHost: localhost\r\n"
+                              "Connection: close\r\n\r\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(FleetServerObs, MergedMetricsMatchEngineGroundTruth) {
+  const World& w = SharedWorld();
+  FleetServerConfig config;
+  config.shard_count = 3;
+  // Stride 1: every record is timed, so histogram counts are exact below.
+  config.queue.latency_sample_every = 1;
+  FleetServer server(w.topology, w.classifier, w.single_pred,
+                     w.double_or_null(), config);
+  server.Start();
+  for (const trace::MceRecord& record : w.fleet.log.records()) {
+    ASSERT_TRUE(server.Submit(record));
+  }
+  server.Stop();
+
+  const core::EngineStats stats = server.AggregateStats();
+  const ShardCounters counters = server.AggregateCounters();
+  const obs::RegistrySnapshot merged = server.MetricsSnapshot();
+
+  // Engine counters mirror EngineStats field for field.
+  EXPECT_EQ(obs::SumCounterSamples(merged, "cordial_engine_events_total"),
+            stats.events);
+  EXPECT_EQ(obs::SumCounterSamples(merged, "cordial_engine_uer_events_total"),
+            stats.uer_events);
+  EXPECT_EQ(
+      obs::SumCounterSamples(merged, "cordial_engine_banks_classified_total"),
+      stats.banks_classified);
+  EXPECT_EQ(
+      obs::SumCounterSamples(merged, "cordial_engine_banks_spared_total"),
+      stats.banks_bank_spared);
+  EXPECT_EQ(
+      obs::SumCounterSamples(merged, "cordial_engine_block_predictions_total"),
+      stats.predictions_issued);
+  EXPECT_EQ(obs::SumCounterSamples(merged, "cordial_engine_rows_spared_total"),
+            stats.rows_isolated);
+  EXPECT_EQ(obs::SumCounterSamples(
+                merged, "cordial_engine_records_skew_dropped_total"),
+            stats.records_skew_dropped);
+
+  // Queue counters mirror ShardCounters, and both latency histograms saw
+  // every processed record exactly once.
+  EXPECT_EQ(
+      obs::SumCounterSamples(merged, "cordial_shard_records_submitted_total"),
+      counters.submitted);
+  EXPECT_EQ(
+      obs::SumCounterSamples(merged, "cordial_shard_records_processed_total"),
+      counters.processed);
+  EXPECT_EQ(SumHistogramCounts(merged, "cordial_shard_latency_seconds"),
+            counters.processed);
+  EXPECT_EQ(SumHistogramCounts(merged, "cordial_engine_observe_seconds"),
+            counters.processed);
+  EXPECT_EQ(obs::SumGaugeSamples(merged, "cordial_shard_queue_depth"), 0);
+  EXPECT_GT(stats.events, 0u);  // the run exercised the hot path
+
+  // Per-shard label sets survive the merge: one queue-depth gauge per shard.
+  for (std::size_t s = 0; s < server.shard_count(); ++s) {
+    EXPECT_NE(obs::FindSample(merged, "cordial_shard_queue_depth",
+                              {{"shard", std::to_string(s)}}),
+              nullptr);
+  }
+
+  // The rendered table carries the same totals it advertises.
+  const std::string table = server.StatusTable();
+  EXPECT_NE(table.find("fleet server (3 shards)"), std::string::npos);
+  EXPECT_NE(table.find(std::to_string(stats.events)), std::string::npos);
+}
+
+TEST(FleetServerObs, UninstrumentedServerHasBarePathAndEmptySnapshot) {
+  const World& w = SharedWorld();
+  FleetServerConfig config;
+  config.shard_count = 2;
+  config.instrument = false;
+  FleetServer server(w.topology, w.classifier, w.single_pred,
+                     w.double_or_null(), config);
+  for (std::size_t s = 0; s < server.shard_count(); ++s) {
+    EXPECT_FALSE(server.shard(s).instrumented());
+  }
+  server.Start();
+  for (const trace::MceRecord& record : w.fleet.log.records()) {
+    ASSERT_TRUE(server.Submit(record));
+  }
+  server.Stop();
+  // Decisions are identical to the instrumented path; only visibility is
+  // gone — the snapshot is empty and the table degrades to "-".
+  EXPECT_GT(server.AggregateStats().events, 0u);
+  EXPECT_TRUE(server.MetricsSnapshot().samples.empty());
+  EXPECT_NE(server.StatusTable().find("-"), std::string::npos);
+}
+
+TEST(FleetServerObs, ScrapingWhileSubmittingIsSafeAndMonotonic) {
+  const World& w = SharedWorld();
+  FleetServerConfig config;
+  config.shard_count = 2;
+  FleetServer server(w.topology, w.classifier, w.single_pred,
+                     w.double_or_null(), config);
+  server.Start();
+
+  std::atomic<bool> done{false};
+  std::uint64_t last_events = 0;
+  std::size_t scrapes = 0;
+  std::thread scraper([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const obs::RegistrySnapshot merged = server.MetricsSnapshot();
+      const std::uint64_t events =
+          obs::SumCounterSamples(merged, "cordial_engine_events_total");
+      EXPECT_GE(events, last_events);  // counters only ever go up
+      last_events = events;
+      (void)server.StatusTable();
+      ++scrapes;
+    }
+  });
+  for (const trace::MceRecord& record : w.fleet.log.records()) {
+    ASSERT_TRUE(server.Submit(record));
+  }
+  server.Drain();
+  done.store(true, std::memory_order_release);
+  scraper.join();
+  server.Stop();
+  EXPECT_GT(scrapes, 0u);
+  EXPECT_EQ(obs::SumCounterSamples(server.MetricsSnapshot(),
+                                   "cordial_engine_events_total"),
+            server.AggregateStats().events);
+}
+
+TEST(FleetServerObs, AdminPlaneServesFleetMetricsEndToEnd) {
+  const World& w = SharedWorld();
+  FleetServerConfig config;
+  config.shard_count = 2;
+  FleetServer server(w.topology, w.classifier, w.single_pred,
+                     w.double_or_null(), config);
+  server.Start();
+
+  obs::AdminServer admin;
+  admin.AddHandler("/metrics", "text/plain; version=0.0.4; charset=utf-8",
+                   [&] { return obs::RenderPrometheus(server.MetricsSnapshot()); });
+  admin.AddHandler("/statusz", "text/plain; charset=utf-8",
+                   [&] { return server.StatusTable(); });
+  admin.Start();
+
+  for (const trace::MceRecord& record : w.fleet.log.records()) {
+    ASSERT_TRUE(server.Submit(record));
+  }
+  server.Drain();
+
+  EXPECT_NE(HttpGet(admin.port(), "/healthz").find("200 OK"),
+            std::string::npos);
+  const std::string metrics = HttpGet(admin.port(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+  // The acceptance pin: queue-depth gauges, observe-latency histogram
+  // buckets, and sparing counters all reach the wire as Prometheus text.
+  EXPECT_NE(metrics.find("# TYPE cordial_shard_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("cordial_shard_queue_depth{shard=\"0\"} 0"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE cordial_engine_observe_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("cordial_engine_observe_seconds_bucket"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE cordial_engine_rows_spared_total counter"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("cordial_engine_banks_spared_total"),
+            std::string::npos);
+
+  const std::string statusz = HttpGet(admin.port(), "/statusz");
+  EXPECT_NE(statusz.find("fleet server (2 shards)"), std::string::npos);
+
+  admin.Stop();
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace cordial::serve
