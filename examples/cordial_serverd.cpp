@@ -17,9 +17,19 @@
 //   cordial_serverd <model_prefix> [options]
 //     --input <path>           feed to read (default: stdin). A FIFO works:
 //                              mkfifo feed && cordial_serverd m --input feed
-//     --checkpoint <path>      checkpoint file; loaded at boot when present,
-//                              rewritten atomically (tmp + rename) while
-//                              running
+//     --checkpoint <path>      checkpoint file; recovered at boot (see
+//                              below), rewritten atomically and durably
+//                              (tmp + fsync + rename + dir fsync, previous
+//                              generation kept at <path>.prev) while running
+//
+// Boot recovery: a corrupt <path> (truncated by a crash, bit-rotted, or
+// written by an incompatible build) is quarantined to <path>.corrupt and
+// the daemon falls back to <path>.prev; if that is corrupt too it is
+// quarantined likewise and the daemon starts fresh. Either way it comes up
+// serving. Quarantines and fallbacks are exported as
+// cordial_checkpoint_corrupt_total / cordial_checkpoint_fallback_total on
+// /metrics. Fault injection for drills: set CORDIAL_FAILPOINTS (see
+// src/common/failpoint.hpp and the catalogue in DESIGN.md).
 //     --checkpoint-every <n>   records between periodic checkpoints
 //                              (default 5000; 0 = only on shutdown)
 //     --shards <n>             engine shards (default 4)
@@ -32,6 +42,8 @@
 //     --version                print the frame versions this build speaks
 //
 // Models come from `cordial_cli train <log.csv> <model_prefix>`.
+#include <unistd.h>
+
 #include <chrono>
 #include <csignal>
 #include <cstdlib>
@@ -41,6 +53,8 @@
 #include <string>
 #include <vector>
 
+#include "common/failpoint.hpp"
+#include "common/framing.hpp"
 #include "common/table.hpp"
 #include "core/persist.hpp"
 #include "obs/admin_server.hpp"
@@ -74,7 +88,9 @@ int PrintVersion() {
             << "  engine state:      " << core::kEngineStateMagic << " v"
             << core::kEngineStateVersion << "\n"
             << "  fleet checkpoint:  " << serve::kFleetCheckpointMagic << " v"
-            << serve::kFleetCheckpointVersion << "\n";
+            << serve::kFleetCheckpointVersion << "\n"
+            << "  frame layout:      v" << kFramingLayoutVersion
+            << " (crc32; reads v1 checksum-less frames with a warning)\n";
   return 0;
 }
 
@@ -223,6 +239,13 @@ int main(int argc, char** argv) {
     obs::Counter& malformed_total = daemon_metrics.GetCounter(
         "cordial_feed_malformed_lines_total",
         "Feed lines that failed CSV parsing");
+    obs::Counter& corrupt_total = daemon_metrics.GetCounter(
+        "cordial_checkpoint_corrupt_total",
+        "Checkpoint files quarantined as corrupt during boot recovery");
+    obs::Counter& fallback_total = daemon_metrics.GetCounter(
+        "cordial_checkpoint_fallback_total",
+        "Boots that could not use the newest checkpoint and fell back to an "
+        "older generation or a fresh start");
 
     std::size_t submitted = 0, refused = 0, malformed = 0, checkpoints = 0;
     const auto write_checkpoint = [&] {
@@ -250,6 +273,12 @@ int main(int argc, char** argv) {
         std::string page = server.StatusTable();
         page += "\ncheckpoints written: " + std::to_string(checkpoints_total.value());
         page += "\nmalformed feed lines: " + std::to_string(malformed_total.value());
+        page += "\ncheckpoints quarantined: " + std::to_string(corrupt_total.value());
+        page += "\nlegacy (pre-crc32) frames read: " +
+                std::to_string(GetFramingStats().legacy_frames_read);
+        for (const std::string& armed : failpoint::ArmedNames()) {
+          page += "\nfailpoint armed: " + armed;
+        }
         page += "\n";
         return page;
       });
@@ -258,10 +287,25 @@ int main(int argc, char** argv) {
                 << " (/metrics /statusz /healthz)\n";
     }
 
-    if (!opts.checkpoint.empty() &&
-        serve::ReadCheckpointFile(server, opts.checkpoint)) {
-      std::cerr << "resumed from checkpoint " << opts.checkpoint << " ("
-                << server.AggregateStats().events << " events replayed)\n";
+    if (!opts.checkpoint.empty()) {
+      const serve::RecoveryOutcome recovery =
+          serve::RecoverCheckpoint(server, opts.checkpoint);
+      for (const std::string& reason : recovery.errors) {
+        std::cerr << "corrupt checkpoint: " << reason << "\n";
+      }
+      for (const std::string& quarantined : recovery.quarantined) {
+        std::cerr << "quarantined corrupt checkpoint to " << quarantined
+                  << "\n";
+        corrupt_total.Increment();
+      }
+      if (recovery.fell_back()) fallback_total.Increment();
+      if (!recovery.restored_from.empty()) {
+        std::cerr << "resumed from checkpoint " << recovery.restored_from
+                  << " (" << server.AggregateStats().events
+                  << " events replayed)\n";
+      } else if (recovery.fell_back()) {
+        std::cerr << "no usable checkpoint — starting fresh\n";
+      }
     }
 
     std::signal(SIGINT, HandleStop);
@@ -293,6 +337,9 @@ int main(int argc, char** argv) {
         continue;
       }
       ++submitted;
+      // Simulated hard crash of the feed loop (recovery drills): the next
+      // boot must come up from the last durable checkpoint.
+      CORDIAL_FAILPOINT("serverd.feed.crash", ::_exit(122));
       if (!opts.checkpoint.empty() && opts.checkpoint_every > 0 &&
           submitted % opts.checkpoint_every == 0) {
         server.Drain();

@@ -5,20 +5,28 @@
 # fanned-out hot path fail the run even when the plain build passes, and the
 # engine/profile/replay tests under AddressSanitizer so lifetime bugs in the
 # incremental per-bank state (profile snapshots, bounded retention eviction)
-# fail the run too. Finally the observability overhead gate: instrumenting
-# the serving hot path must cost <= 5% throughput vs the uninstrumented
-# path, or the run fails (BENCH_obs.json holds the measurement).
+# fail the run too (including the checkpoint durability torture suite —
+# truncation/bit-flip parsing is exactly where lifetime bugs would hide).
+# Then the durability smoke: a failpoint power-cuts cordial_serverd in the
+# middle of a checkpoint write; the restarted daemon must recover and end
+# with a checkpoint byte-identical to an uninterrupted reference run.
+# Finally the observability overhead gate: instrumenting the serving hot
+# path must cost <= 5% throughput vs the uninstrumented path, or the run
+# fails (BENCH_obs.json holds the measurement).
 #
-# Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan] [--skip-bench]
+# Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan] [--skip-smoke]
+#                         [--skip-bench]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SKIP_TSAN=0
 SKIP_ASAN=0
+SKIP_SMOKE=0
 SKIP_BENCH=0
 for arg in "$@"; do
   [[ "$arg" == "--skip-tsan" ]] && SKIP_TSAN=1
   [[ "$arg" == "--skip-asan" ]] && SKIP_ASAN=1
+  [[ "$arg" == "--skip-smoke" ]] && SKIP_SMOKE=1
   [[ "$arg" == "--skip-bench" ]] && SKIP_BENCH=1
 done
 
@@ -47,7 +55,55 @@ else
     -DCORDIAL_BUILD_BENCHMARKS=OFF -DCORDIAL_BUILD_EXAMPLES=OFF
   cmake --build build-asan -j
   ctest --test-dir build-asan --output-on-failure \
-    -R '^(BankProfile|PredictionEngine|StreamReplayer|Obs)'
+    -R '^(BankProfile|PredictionEngine|StreamReplayer|Obs|Durability|Failpoint)'
+fi
+
+if [[ "$SKIP_SMOKE" == "1" ]]; then
+  echo "tier1: skipping durability smoke (--skip-smoke)"
+else
+  # Crash/recovery drill with the real daemon binaries. The failpoint
+  # power-cuts (::_exit 121) the second periodic checkpoint after its tmp
+  # file is durable but before the rename publishes it; the restart must
+  # recover from the first checkpoint, re-feed the lost records, and end in
+  # a state byte-identical to an uninterrupted reference run.
+  SMOKE=build/durability-smoke
+  rm -rf "$SMOKE"
+  mkdir -p "$SMOKE"
+  ./build/examples/cordial_cli generate "$SMOKE/log.csv" > /dev/null
+  ./build/examples/cordial_cli train "$SMOKE/log.csv" "$SMOKE/m" > /dev/null
+  TOTAL=$(( $(wc -l < "$SMOKE/log.csv") - 1 ))  # minus the CSV header
+  EVERY=$(( TOTAL / 4 ))
+  [[ "$EVERY" -ge 1 ]] || { echo "tier1: smoke feed too small"; exit 1; }
+
+  ./build/examples/cordial_serverd "$SMOKE/m" --input "$SMOKE/log.csv" \
+    --checkpoint "$SMOKE/ref.ckpt" --checkpoint-every "$EVERY" \
+    --shards 2 --status-every 0 > /dev/null 2>&1
+
+  set +e
+  CORDIAL_FAILPOINTS="serve.checkpoint.crash_before_rename=1:1" \
+    ./build/examples/cordial_serverd "$SMOKE/m" --input "$SMOKE/log.csv" \
+    --checkpoint "$SMOKE/crash.ckpt" --checkpoint-every "$EVERY" \
+    --shards 2 --status-every 0 > /dev/null 2>&1
+  CRASH_CODE=$?
+  set -e
+  if [[ "$CRASH_CODE" != "121" ]]; then
+    echo "tier1: smoke expected power-cut exit 121, got $CRASH_CODE"
+    exit 1
+  fi
+  # The cut happened after the tmp fsync: the unpublished file must exist.
+  [[ -f "$SMOKE/crash.ckpt.tmp" ]] || {
+    echo "tier1: smoke durable tmp file missing after power cut"; exit 1; }
+
+  # The crashed run consumed 2*EVERY records but only EVERY are durable;
+  # the restart re-feeds everything after the surviving checkpoint
+  # (line 1 is the CSV header, so data record N is line N+1).
+  tail -n +$(( EVERY + 2 )) "$SMOKE/log.csv" > "$SMOKE/rest.csv"
+  ./build/examples/cordial_serverd "$SMOKE/m" --input "$SMOKE/rest.csv" \
+    --checkpoint "$SMOKE/crash.ckpt" --checkpoint-every "$EVERY" \
+    --shards 2 --status-every 0 > /dev/null 2>&1
+  cmp "$SMOKE/ref.ckpt" "$SMOKE/crash.ckpt"
+  echo "tier1: durability smoke OK (power cut at record $(( 2 * EVERY ))," \
+    "resumed from record $EVERY, final checkpoints byte-identical)"
 fi
 
 if [[ "$SKIP_BENCH" == "1" ]]; then

@@ -1,0 +1,152 @@
+#include "common/failpoint.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <unordered_map>
+
+namespace cordial::failpoint {
+
+namespace {
+
+struct Entry {
+  std::uint64_t skip = 0;      ///< hits left to pass through
+  std::int64_t count = -1;     ///< failures left (-1 = unbounded)
+  std::uint64_t hits = 0;      ///< total hits since armed
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::unordered_map<std::string, Entry> entries;
+};
+
+Registry& TheRegistry() {
+  static Registry* registry = new Registry();  // leaked: outlives all users
+  return *registry;
+}
+
+/// Armed-entry count, mirrored outside the lock so ShouldFail's fast path
+/// is one relaxed load.
+std::atomic<std::size_t> g_armed_count{0};
+
+/// Parse one `name[=skip[:count]]` spec; false on malformed input.
+bool ArmSpec(const std::string& spec) {
+  const std::size_t eq = spec.find('=');
+  const std::string name = spec.substr(0, eq);
+  if (name.empty()) return false;
+  std::uint64_t skip = 0;
+  std::int64_t count = -1;
+  if (eq != std::string::npos) {
+    const std::string args = spec.substr(eq + 1);
+    const std::size_t colon = args.find(':');
+    char* end = nullptr;
+    const std::string skip_str = args.substr(0, colon);
+    skip = std::strtoull(skip_str.c_str(), &end, 10);
+    if (end == skip_str.c_str() || *end != '\0') return false;
+    if (colon != std::string::npos) {
+      const std::string count_str = args.substr(colon + 1);
+      count = std::strtoll(count_str.c_str(), &end, 10);
+      if (end == count_str.c_str() || *end != '\0') return false;
+    }
+  }
+  Arm(name, skip, count);
+  return true;
+}
+
+/// Parses CORDIAL_FAILPOINTS once at process start, before main runs, so
+/// the armed-count fast path never needs an env check.
+const bool g_env_parsed = [] {
+  ArmFromEnv();
+  return true;
+}();
+
+}  // namespace
+
+void Arm(const std::string& name, std::uint64_t skip, std::int64_t count) {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  const bool inserted = registry.entries.try_emplace(name).second;
+  registry.entries[name] = Entry{skip, count, 0};
+  if (inserted) g_armed_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Disarm(const std::string& name) {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  if (registry.entries.erase(name) > 0) {
+    g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAll() {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  g_armed_count.fetch_sub(registry.entries.size(),
+                          std::memory_order_relaxed);
+  registry.entries.clear();
+}
+
+bool AnyArmed() {
+  return g_armed_count.load(std::memory_order_relaxed) != 0;
+}
+
+std::uint64_t HitCount(const std::string& name) {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  const auto it = registry.entries.find(name);
+  return it == registry.entries.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string> ArmedNames() {
+  Registry& registry = TheRegistry();
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    names.reserve(registry.entries.size());
+    for (const auto& [name, entry] : registry.entries) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void ArmFromEnv() {
+  const char* env = std::getenv("CORDIAL_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return;
+  const std::string specs(env);
+  std::size_t start = 0;
+  while (start <= specs.size()) {
+    const std::size_t comma = specs.find(',', start);
+    const std::string spec =
+        specs.substr(start, comma == std::string::npos ? std::string::npos
+                                                       : comma - start);
+    if (!spec.empty() && !ArmSpec(spec)) {
+      std::cerr << "cordial: ignoring malformed CORDIAL_FAILPOINTS spec '"
+                << spec << "'\n";
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+}
+
+bool ShouldFail(const char* name) {
+  if (!AnyArmed()) return false;
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  const auto it = registry.entries.find(name);
+  if (it == registry.entries.end()) return false;
+  Entry& entry = it->second;
+  ++entry.hits;
+  if (entry.skip > 0) {
+    --entry.skip;
+    return false;
+  }
+  if (entry.count == 0) return false;  // spent but not yet disarmed
+  if (entry.count > 0 && --entry.count == 0) {
+    // Spent: keep the entry (so HitCount still answers) but fail this hit.
+  }
+  return true;
+}
+
+}  // namespace cordial::failpoint

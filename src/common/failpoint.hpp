@@ -1,0 +1,74 @@
+// Fault-injection points for durability and I/O failure testing.
+//
+// A failpoint is a named site in production code where a test (or an
+// operator reproducing an incident) can force a failure: a syscall that
+// reports EIO, a frame read that throws, a process that power-cuts mid
+// checkpoint. Failpoints are compiled in unconditionally — the crash paths
+// they guard are exactly the ones that must stay testable in release builds
+// — but cost one relaxed atomic load per hit while nothing is armed, so the
+// hot paths pay nothing in normal operation.
+//
+// Activation is programmatic (tests call Arm/Disarm) or environmental: the
+// CORDIAL_FAILPOINTS variable is parsed once at process start,
+//
+//   CORDIAL_FAILPOINTS="serve.checkpoint.fsync,serve.checkpoint.crash_before_rename=2:1"
+//
+// arms a comma-separated list of `name[=skip[:count]]` specs: the first
+// `skip` hits pass through, the next `count` hits fail (count omitted or
+// negative = every subsequent hit fails until disarmed; a finite count
+// auto-disarms when exhausted).
+//
+// The failpoint registry decides only *whether* a hit fails; the site
+// decides *what* failing means (throw, errno + -1, ::_exit). The catalogue
+// of compiled-in sites lives in DESIGN.md §"Durability".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cordial::failpoint {
+
+/// Arm `name`: the next `skip` hits pass, then `count` hits fail. A
+/// negative `count` fails every hit until Disarm; a finite count disarms
+/// itself when spent. Re-arming an armed name replaces its spec.
+void Arm(const std::string& name, std::uint64_t skip = 0,
+         std::int64_t count = -1);
+
+/// Disarm `name` (no-op when not armed).
+void Disarm(const std::string& name);
+
+/// Disarm everything (tests call this in teardown).
+void DisarmAll();
+
+/// True when at least one failpoint is armed. This is the zero-cost guard:
+/// one relaxed atomic load, no locking, no string handling.
+bool AnyArmed();
+
+/// Hits observed for `name` since it was last armed (0 when not armed).
+/// Counts both passed-through and failed hits; for test assertions.
+std::uint64_t HitCount(const std::string& name);
+
+/// Names currently armed, sorted (for /statusz style introspection).
+std::vector<std::string> ArmedNames();
+
+/// Parse CORDIAL_FAILPOINTS and arm what it names. Called automatically
+/// once at process start (static initializer); exposed for tests that set
+/// the variable afterwards. Malformed specs are ignored with a stderr
+/// warning rather than aborting the process.
+void ArmFromEnv();
+
+/// One hit of the failpoint `name`: true when this hit must fail. The
+/// fast path (nothing armed anywhere) is a single relaxed atomic load.
+bool ShouldFail(const char* name);
+
+}  // namespace cordial::failpoint
+
+/// Run `action` (throw, errno assignment, ::_exit, ...) when this hit of
+/// `name` is armed to fail.
+#define CORDIAL_FAILPOINT(name, action)                  \
+  do {                                                   \
+    if (::cordial::failpoint::ShouldFail(name)) {        \
+      action;                                            \
+    }                                                    \
+  } while (0)

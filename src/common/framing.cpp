@@ -1,10 +1,18 @@
 #include "common/framing.hpp"
 
+#include <array>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <atomic>
+#include <iostream>
 #include <istream>
+#include <mutex>
 #include <ostream>
+#include <set>
 
 #include "common/check.hpp"
+#include "common/failpoint.hpp"
 
 namespace cordial {
 
@@ -26,15 +34,81 @@ std::uint32_t ParseVersionToken(const std::string& token,
   return version;
 }
 
+std::atomic<std::uint64_t> g_checksummed_frames{0};
+std::atomic<std::uint64_t> g_legacy_frames{0};
+
+/// Warn once per magic that its frames predate the checksum layout; a
+/// checkpoint nests dozens of engine frames and repeating the warning per
+/// frame would bury the log.
+void WarnLegacyFrame(const std::string& magic) {
+  static std::mutex mutex;
+  static std::set<std::string>* warned = new std::set<std::string>();
+  std::lock_guard<std::mutex> lock(mutex);
+  if (!warned->insert(magic).second) return;
+  std::cerr << "warning: " << magic
+            << " frame has no crc32 field (layout v1, written by an older "
+               "build) — payload corruption is undetectable; rewrite it "
+               "with this build to gain checksums\n";
+}
+
+/// The 15-char layout-v2 header tail: " crc32=" + 8 hex digits. Anything
+/// longer before the newline is a corrupt header.
+constexpr std::size_t kMaxHeaderTailBytes = 32;
+
+/// Strictly the alphabet WriteFramed emits (%08x): lowercase only. Accepting
+/// uppercase would let a bit flip inside the checksum field ('c' ^ 0x20 =
+/// 'C') produce a header that still parses to the same CRC value, i.e. a
+/// corrupted-but-accepted frame header.
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
 }  // namespace
+
+std::uint32_t Crc32(std::string_view data) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+FramingStats GetFramingStats() {
+  FramingStats stats;
+  stats.checksummed_frames_read =
+      g_checksummed_frames.load(std::memory_order_relaxed);
+  stats.legacy_frames_read = g_legacy_frames.load(std::memory_order_relaxed);
+  return stats;
+}
 
 void WriteFramed(std::ostream& out, const std::string& magic,
                  std::uint32_t version, const std::string& payload) {
-  out << magic << " v" << version << ' ' << payload.size() << '\n' << payload;
+  char crc_hex[16];
+  std::snprintf(crc_hex, sizeof(crc_hex), "%08x", Crc32(payload));
+  out << magic << " v" << version << ' ' << payload.size() << " crc32="
+      << crc_hex << '\n'
+      << payload;
 }
 
 std::string ReadFramed(std::istream& in, const std::string& magic,
                        std::uint32_t expected_version) {
+  CORDIAL_FAILPOINT("common.framing.read",
+                    throw ParseError(magic +
+                                     ": injected read failure (failpoint "
+                                     "common.framing.read)"));
   std::string seen_magic;
   if (!(in >> seen_magic)) throw ParseError(magic + ": empty stream");
   if (seen_magic != magic) {
@@ -51,14 +125,84 @@ std::string ReadFramed(std::istream& in, const std::string& magic,
   }
   std::uint64_t bytes = 0;
   if (!(in >> bytes)) throw ParseError(magic + ": missing payload length");
-  // The single separator newline written by WriteFramed.
-  if (in.get() != '\n') throw ParseError(magic + ": malformed header");
+
+  // The rest of the header line: empty for layout v1, " crc32=<8 hex>" for
+  // layout v2. Read strictly character-by-character — whitespace-skipping
+  // extraction could silently consume payload bytes on a corrupt header.
+  std::string tail;
+  for (;;) {
+    const int c = in.get();
+    if (c == std::char_traits<char>::eof()) {
+      throw ParseError(magic + ": malformed header");
+    }
+    if (c == '\n') break;
+    tail.push_back(static_cast<char>(c));
+    if (tail.size() > kMaxHeaderTailBytes) {
+      throw ParseError(magic + ": malformed header");
+    }
+  }
+  bool has_checksum = false;
+  std::uint32_t expected_crc = 0;
+  if (!tail.empty()) {
+    // Anything other than a well-formed checksum field is a corrupt header,
+    // never a demotion to the checksum-less layout.
+    const std::string prefix = " crc32=";
+    if (tail.size() != prefix.size() + 8 ||
+        tail.compare(0, prefix.size(), prefix) != 0) {
+      throw ParseError(magic + ": malformed checksum field '" + tail + "'");
+    }
+    for (std::size_t i = prefix.size(); i < tail.size(); ++i) {
+      const int digit = HexDigit(tail[i]);
+      if (digit < 0) {
+        throw ParseError(magic + ": malformed checksum field '" + tail + "'");
+      }
+      expected_crc = (expected_crc << 4) | static_cast<std::uint32_t>(digit);
+    }
+    has_checksum = true;
+  }
+
+  // Sanity-cap the promised length before allocating: a corrupt byte count
+  // must be a ParseError, not a bad_alloc that kills the daemon.
+  if (bytes > kMaxFramePayloadBytes) {
+    throw ParseError(magic + ": implausible payload length " +
+                     std::to_string(bytes) + " (limit " +
+                     std::to_string(kMaxFramePayloadBytes) + " bytes)");
+  }
+  const std::streampos pos = in.tellg();
+  if (pos != std::streampos(-1)) {
+    in.seekg(0, std::ios::end);
+    const std::streampos end = in.tellg();
+    in.seekg(pos);
+    if (end != std::streampos(-1) &&
+        bytes > static_cast<std::uint64_t>(end - pos)) {
+      throw ParseError(magic + ": truncated payload (header promises " +
+                       std::to_string(bytes) + " bytes, stream has " +
+                       std::to_string(static_cast<std::int64_t>(end - pos)) +
+                       " left)");
+    }
+  }
+
   std::string payload(static_cast<std::size_t>(bytes), '\0');
   in.read(payload.data(), static_cast<std::streamsize>(bytes));
   if (static_cast<std::uint64_t>(in.gcount()) != bytes) {
     throw ParseError(magic + ": truncated payload (expected " +
                      std::to_string(bytes) + " bytes, got " +
                      std::to_string(in.gcount()) + ")");
+  }
+  if (has_checksum) {
+    const std::uint32_t actual_crc = Crc32(payload);
+    if (actual_crc != expected_crc) {
+      char expected_hex[16], actual_hex[16];
+      std::snprintf(expected_hex, sizeof(expected_hex), "%08x", expected_crc);
+      std::snprintf(actual_hex, sizeof(actual_hex), "%08x", actual_crc);
+      throw ParseError(magic + ": payload checksum mismatch (header crc32=" +
+                       expected_hex + ", payload crc32=" + actual_hex +
+                       ") — corrupt frame");
+    }
+    g_checksummed_frames.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    g_legacy_frames.fetch_add(1, std::memory_order_relaxed);
+    WarnLegacyFrame(magic);
   }
   return payload;
 }
@@ -76,15 +220,33 @@ std::string PeekMagic(std::istream& in) {
 }
 
 void WriteDoubleToken(std::ostream& out, double value) {
+  if (std::isnan(value)) {
+    out << (std::signbit(value) ? "-nan" : "nan");
+    return;
+  }
+  if (std::isinf(value)) {
+    out << (std::signbit(value) ? "-inf" : "inf");
+    return;
+  }
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.17g", value);
   out << buf;
 }
 
 double ReadDoubleToken(std::istream& in, const char* context) {
-  double value = 0.0;
-  if (!(in >> value)) {
+  // operator>>(double) rejects the nan/inf tokens WriteDoubleToken emits
+  // (and, pre-fix, silently poisoned checkpoints containing them), so parse
+  // the token through strtod, which accepts them and round-trips %.17g
+  // output bit-exactly.
+  std::string token;
+  if (!(in >> token)) {
     throw ParseError(std::string(context) + ": malformed double");
+  }
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size()) {
+    throw ParseError(std::string(context) + ": malformed double '" + token +
+                     "'");
   }
   return value;
 }

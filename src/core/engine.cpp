@@ -259,11 +259,30 @@ void PredictionEngine::SaveState(std::ostream& out) const {
   WriteFramed(out, kEngineStateMagic, kEngineStateVersion, payload.str());
 }
 
+struct PredictionEngine::StagedState::Impl {
+  EngineStats stats;
+  hbm::SparingLedger ledger;
+  trace::StagedReplayerState replayer;
+  std::unordered_map<std::uint64_t, BankState> banks;
+};
+
+PredictionEngine::StagedState::StagedState() : impl_(new Impl()) {}
+PredictionEngine::StagedState::StagedState(StagedState&&) noexcept = default;
+PredictionEngine::StagedState& PredictionEngine::StagedState::operator=(
+    StagedState&&) noexcept = default;
+PredictionEngine::StagedState::~StagedState() = default;
+
 void PredictionEngine::RestoreState(std::istream& in) {
+  CommitState(ParseState(in));
+}
+
+PredictionEngine::StagedState PredictionEngine::ParseState(
+    std::istream& in) const {
   std::istringstream payload(
       ReadFramed(in, kEngineStateMagic, kEngineStateVersion));
+  StagedState staged;
   ExpectToken(payload, "stats");
-  EngineStats stats;
+  EngineStats& stats = staged.impl_->stats;
   stats.events = ReadU64Token(payload, "engine stats");
   stats.uer_events = ReadU64Token(payload, "engine stats");
   stats.banks_classified = ReadU64Token(payload, "engine stats");
@@ -275,15 +294,16 @@ void PredictionEngine::RestoreState(std::istream& in) {
   stats.uer_rows_covered_by_bank = ReadU64Token(payload, "engine stats");
   stats.records_skew_dropped = ReadU64Token(payload, "engine stats");
 
-  hbm::SparingLedger ledger = hbm::SparingLedger::Load(payload);
-  // The replayer holds a codec reference and is restored in place; a throw
-  // past this point leaves the engine unspecified (see header contract).
-  replayer_.Restore(payload);
+  staged.impl_->ledger = hbm::SparingLedger::Load(payload);
+  staged.impl_->replayer = replayer_.ParseState(payload);
 
   ExpectToken(payload, "banks");
   const std::uint64_t bank_count = ReadU64Token(payload, "engine banks");
-  std::unordered_map<std::uint64_t, BankState> banks;
-  banks.reserve(static_cast<std::size_t>(bank_count));
+  std::unordered_map<std::uint64_t, BankState>& banks = staged.impl_->banks;
+  // Cap the reserve: a corrupt count fails below on a token read, and must
+  // not pre-allocate an absurd table first.
+  banks.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(bank_count, 1 << 16)));
   for (std::uint64_t b = 0; b < bank_count; ++b) {
     const std::uint64_t key = ReadU64Token(payload, "engine bank");
     const auto [it, inserted] =
@@ -301,10 +321,14 @@ void PredictionEngine::RestoreState(std::istream& in) {
     state.cordial.last_anchor_row = ReadI64Token(payload, "engine bank");
     state.profile = BankProfile::Load(payload);
   }
+  return staged;
+}
 
-  stats_ = stats;
-  ledger_ = std::move(ledger);
-  banks_ = std::move(banks);
+void PredictionEngine::CommitState(StagedState&& staged) {
+  stats_ = staged.impl_->stats;
+  ledger_ = std::move(staged.impl_->ledger);
+  replayer_.CommitState(std::move(staged.impl_->replayer));
+  banks_ = std::move(staged.impl_->banks);
 }
 
 }  // namespace cordial::core

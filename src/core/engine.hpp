@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -155,10 +156,34 @@ class PredictionEngine {
   void SaveState(std::ostream& out) const;
 
   /// Replace this engine's mutable state with a SaveState stream's. Throws
-  /// ParseError on malformed input or version mismatch; the engine's state
-  /// is unspecified after a throw (discard it). After a successful
-  /// RestoreState the engine resumes bit-identically to the saver.
+  /// ParseError on malformed input or version mismatch. Strong guarantee:
+  /// after a throw the engine is unchanged (the whole stream is parsed
+  /// into a StagedState before anything commits), so a recovery loop can
+  /// try the next checkpoint candidate on the same engine. After a
+  /// successful RestoreState the engine resumes bit-identically to the
+  /// saver.
   void RestoreState(std::istream& in);
+
+  /// A fully parsed — but not yet adopted — SaveState stream (opaque,
+  /// move-only). ParseState never touches the engine; CommitState never
+  /// throws. RestoreState is ParseState + CommitState; the split exists so
+  /// a multi-engine checkpoint (serve::FleetServer) can parse every
+  /// section before committing any of them — a corrupt shard N must not
+  /// leave shards 0..N-1 restored and the rest stale.
+  class StagedState {
+   public:
+    StagedState(StagedState&&) noexcept;
+    StagedState& operator=(StagedState&&) noexcept;
+    ~StagedState();
+
+   private:
+    friend class PredictionEngine;
+    StagedState();
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+  };
+  StagedState ParseState(std::istream& in) const;
+  void CommitState(StagedState&& staged);
 
   /// Register this engine's live metrics (`cordial_engine_*` counters, the
   /// Observe latency histogram, and the replayer's retention-eviction

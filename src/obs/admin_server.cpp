@@ -32,6 +32,7 @@ void SendAll(int fd, const std::string& data) {
   while (sent < data.size()) {
     const ssize_t n =
         ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;  // signal mid-send: not peer-gone
     if (n <= 0) return;  // peer went away; nothing useful to do
     sent += static_cast<std::size_t>(n);
   }
@@ -55,6 +56,7 @@ std::string ReadRequestHead(int fd) {
          request.find("\n\n") == std::string::npos &&
          request.size() < kMaxRequestBytes) {
     const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;  // signal mid-read: keep reading
     if (n <= 0) break;
     request.append(buf, static_cast<std::size_t>(n));
   }

@@ -1,18 +1,35 @@
-// Checkpoint framing constants and atomic file helpers for the serve layer.
+// Checkpoint framing constants, crash-safe file helpers and the boot-time
+// recovery policy for the serve layer.
 //
 // A fleet checkpoint is one frame (common/framing.hpp) whose payload holds
 // the shard count followed by each shard engine's own framed state, in shard
-// order. Frames nest, so every section self-describes its version and length
-// and a truncated file is rejected rather than half-loaded.
+// order. Frames nest, so every section self-describes its version, length
+// and CRC-32, and a truncated or bit-rotted file is rejected rather than
+// half-loaded.
 //
-// The file helpers write through a `<path>.tmp` + rename sequence so a crash
-// mid-checkpoint leaves the previous checkpoint intact — the restart path
-// either sees the old complete file or the new complete file, never a torn
-// one.
+// Crash-consistency contract of WriteCheckpointFile:
+//   1. the full serialized state is written to `<path>.tmp` and fsync'd —
+//      the data is on disk before anything points at it;
+//   2. the previous `<path>` (if any) is retained as `<path>.prev` via a
+//      hard link, so one older generation survives a corrupting write;
+//   3. `<path>.tmp` is renamed over `<path>` (atomic within a filesystem);
+//   4. the containing directory is fsync'd, making the rename itself
+//      durable — without this a power cut can roll the directory entry
+//      back to the old file even though the data blocks were flushed.
+// On any failure the tmp file is unlinked and ContractViolation is thrown;
+// a crash at any instant leaves either the old complete checkpoint or the
+// new complete checkpoint at `<path>`, never a torn one.
+//
+// Every step is wired with a failpoint (common/failpoint.hpp) so the
+// failure paths stay testable: serve.checkpoint.{open,write,fsync,rename,
+// dirsync} make the corresponding syscall report EIO, and
+// serve.checkpoint.crash_before_rename power-cuts the process (::_exit)
+// after the tmp file is durable but before it is published.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace cordial::serve {
 
@@ -21,14 +38,39 @@ class FleetServer;
 inline constexpr char kFleetCheckpointMagic[] = "cordial_fleet_checkpoint";
 inline constexpr std::uint32_t kFleetCheckpointVersion = 1;
 
-/// Atomically write `server`'s checkpoint to `path` (tmp + rename). The
-/// server must be drained. Throws ContractViolation when the file cannot be
-/// written.
+/// Atomically and durably write `server`'s checkpoint to `path` (tmp +
+/// fsync + rename + directory fsync, retaining the previous generation as
+/// `<path>.prev`). The server must be drained. Throws ContractViolation
+/// when the file cannot be written; the tmp file is removed on failure.
 void WriteCheckpointFile(const FleetServer& server, const std::string& path);
 
 /// Restore `server` from a checkpoint file. Returns false when `path` does
 /// not exist (fresh start); throws ParseError on a malformed or
-/// incompatible checkpoint.
+/// incompatible checkpoint (the server is left unchanged).
 bool ReadCheckpointFile(FleetServer& server, const std::string& path);
+
+/// What RecoverCheckpoint did at boot.
+struct RecoveryOutcome {
+  /// The file the server restored from; empty = fresh start (no candidate
+  /// existed, or every one was corrupt and quarantined).
+  std::string restored_from;
+  /// Corrupt candidates, in the order found, after being renamed to
+  /// `<candidate>.corrupt` for post-mortem inspection.
+  std::vector<std::string> quarantined;
+  /// One human-readable reason per quarantined file.
+  std::vector<std::string> errors;
+
+  /// True when the newest checkpoint could not be used (recovery fell back
+  /// to an older generation or to a fresh start).
+  bool fell_back() const { return !quarantined.empty(); }
+};
+
+/// Boot-time recovery: try `path`, then `path + ".prev"`. A candidate that
+/// fails to restore (ParseError: truncation, bit rot, version mismatch) is
+/// quarantined to `<candidate>.corrupt` and the next one is tried; the
+/// server is untouched by failed candidates (strong restore guarantee), so
+/// falling through to a fresh start is safe. Never throws ParseError.
+RecoveryOutcome RecoverCheckpoint(FleetServer& server,
+                                  const std::string& path);
 
 }  // namespace cordial::serve

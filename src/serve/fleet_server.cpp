@@ -154,7 +154,16 @@ void FleetServer::RestoreCheckpoint(std::istream& in) {
                      std::to_string(shards_.size()) +
                      " — shard counts must match to restore");
   }
-  for (auto& shard : shards_) shard->RestoreState(payload);
+  // Parse every shard's section before committing any of them: a corrupt
+  // shard N must fail the whole restore with the server unchanged, never
+  // leave shards 0..N-1 on the new state and the rest on the old (the
+  // recovery path retries older checkpoints on this same server).
+  std::vector<core::PredictionEngine::StagedState> staged;
+  staged.reserve(shards_.size());
+  for (auto& shard : shards_) staged.push_back(shard->ParseState(payload));
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->CommitState(std::move(staged[s]));
+  }
 }
 
 }  // namespace cordial::serve

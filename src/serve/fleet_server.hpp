@@ -88,7 +88,9 @@ class FleetServer {
   void SaveCheckpoint(std::ostream& out) const;
   /// Restore from a SaveCheckpoint stream. Throws ParseError on malformed
   /// input, version mismatch, or a shard-count mismatch (a checkpoint only
-  /// restores into a server with the same shard count).
+  /// restores into a server with the same shard count). Strong guarantee:
+  /// every shard section is parsed before any shard commits, so a throw
+  /// leaves the whole server unchanged — never half-restored.
   void RestoreCheckpoint(std::istream& in);
 
  private:

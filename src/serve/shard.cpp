@@ -165,6 +165,18 @@ void EngineShard::RestoreState(std::istream& in) {
   engine_.RestoreState(in);
 }
 
+core::PredictionEngine::StagedState EngineShard::ParseState(
+    std::istream& in) const {
+  return engine_.ParseState(in);
+}
+
+void EngineShard::CommitState(core::PredictionEngine::StagedState&& staged) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CORDIAL_CHECK_MSG(queue_.empty() && !busy_,
+                    "shard must be drained before restoring");
+  engine_.CommitState(std::move(staged));
+}
+
 void EngineShard::WorkerLoop() {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {

@@ -126,8 +126,16 @@ class EngineShard {
   /// Checkpoint the engine (PredictionEngine::SaveState). The shard must be
   /// drained or stopped — enforced by a contract check.
   void SaveState(std::ostream& out) const;
-  /// Restore the engine from a SaveState stream (same contract).
+  /// Restore the engine from a SaveState stream (same contract). Strong
+  /// guarantee: a ParseError leaves the engine unchanged.
   void RestoreState(std::istream& in);
+
+  /// Parse a SaveState stream without touching the engine; the fleet
+  /// server stages every shard before committing any (see
+  /// FleetServer::RestoreCheckpoint).
+  core::PredictionEngine::StagedState ParseState(std::istream& in) const;
+  /// Adopt a staged state (drained-shard contract; never throws past it).
+  void CommitState(core::PredictionEngine::StagedState&& staged);
 
  private:
   /// Hot-path metric handles, null when the shard is uninstrumented.

@@ -64,23 +64,27 @@ void StreamReplayer::Save(std::ostream& out) const {
   }
 }
 
-void StreamReplayer::Restore(std::istream& in) {
+void StreamReplayer::Restore(std::istream& in) { CommitState(ParseState(in)); }
+
+StagedReplayerState StreamReplayer::ParseState(std::istream& in) const {
   ExpectToken(in, "stream_replayer");
   ExpectToken(in, "v1");
-  banks_.clear();
-  now_ = ReadDoubleToken(in, "replayer");
-  records_ = ReadU64Token(in, "replayer");
-  dropped_ = ReadU64Token(in, "replayer");
-  skew_dropped_ = ReadU64Token(in, "replayer");
+  StagedReplayerState staged;
+  staged.now = ReadDoubleToken(in, "replayer");
+  staged.records = ReadU64Token(in, "replayer");
+  staged.dropped = ReadU64Token(in, "replayer");
+  staged.skew_dropped = ReadU64Token(in, "replayer");
   ExpectToken(in, "banks");
   const std::uint64_t bank_count = ReadU64Token(in, "replayer");
   for (std::uint64_t b = 0; b < bank_count; ++b) {
     const std::uint64_t key = ReadU64Token(in, "replayer bank");
     const std::uint64_t event_count = ReadU64Token(in, "replayer bank");
-    BankHistory& bank = banks_[key];
+    BankHistory& bank = staged.banks[key];
     bank.bank_key = key;
-    bank.events.clear();
-    bank.events.reserve(static_cast<std::size_t>(event_count));
+    // Reserve only a sane bound: a corrupt count must fail on a token read
+    // below, not allocate terabytes up front.
+    bank.events.reserve(
+        static_cast<std::size_t>(std::min<std::uint64_t>(event_count, 4096)));
     for (std::uint64_t e = 0; e < event_count; ++e) {
       MceRecord r;
       r.time_s = ReadDoubleToken(in, "replayer event");
@@ -93,6 +97,15 @@ void StreamReplayer::Restore(std::istream& in) {
       bank.events.push_back(r);
     }
   }
+  return staged;
+}
+
+void StreamReplayer::CommitState(StagedReplayerState&& staged) {
+  banks_ = std::move(staged.banks);
+  now_ = staged.now;
+  records_ = staged.records;
+  dropped_ = staged.dropped;
+  skew_dropped_ = staged.skew_dropped;
 }
 
 }  // namespace cordial::trace

@@ -44,6 +44,19 @@ struct RetentionPolicy {
   TimeSkewPolicy skew_policy = TimeSkewPolicy::kThrow;
 };
 
+/// A fully parsed — but not yet adopted — replayer snapshot, produced by
+/// StreamReplayer::ParseState and consumed by CommitState. Splitting the
+/// two lets Restore offer the strong exception guarantee (a malformed
+/// stream leaves the replayer untouched) and lets the engine stage every
+/// section of a checkpoint before committing any of it.
+struct StagedReplayerState {
+  std::unordered_map<std::uint64_t, BankHistory> banks;
+  std::size_t records = 0;
+  std::size_t dropped = 0;
+  std::size_t skew_dropped = 0;
+  double now = 0.0;
+};
+
 class StreamReplayer {
  public:
   explicit StreamReplayer(const hbm::AddressCodec& codec,
@@ -84,7 +97,15 @@ class StreamReplayer {
   void Save(std::ostream& out) const;
   /// Replace this replayer's state with a stream written by Save. The
   /// retention policy stays the constructor's; only dynamic state loads.
+  /// Strong guarantee: a ParseError leaves this replayer unchanged.
   void Restore(std::istream& in);
+
+  /// Parse a Save stream into a staged snapshot without touching this
+  /// replayer (the codec is only used to unpack addresses). Throws
+  /// ParseError on malformed input.
+  StagedReplayerState ParseState(std::istream& in) const;
+  /// Adopt a staged snapshot. Never throws.
+  void CommitState(StagedReplayerState&& staged);
 
  private:
   const hbm::AddressCodec& codec_;

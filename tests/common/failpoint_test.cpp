@@ -1,0 +1,127 @@
+// Fault-injection registry: unarmed sites must be free (no registry
+// lookup), and skip/count arithmetic decides exactly which hits fail.
+#include "common/failpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/check.hpp"
+
+namespace cordial::failpoint {
+namespace {
+
+// Every test leaves the registry clean so ordering cannot matter.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { DisarmAll(); }
+  void TearDown() override { DisarmAll(); }
+};
+
+TEST_F(FailpointTest, UnarmedNeverFails) {
+  EXPECT_FALSE(AnyArmed());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(ShouldFail("test.never_armed"));
+  }
+  // An unarmed site is not even tracked.
+  EXPECT_EQ(HitCount("test.never_armed"), 0u);
+}
+
+TEST_F(FailpointTest, ArmedFailsEveryHitByDefault) {
+  Arm("test.always");
+  EXPECT_TRUE(AnyArmed());
+  EXPECT_TRUE(ShouldFail("test.always"));
+  EXPECT_TRUE(ShouldFail("test.always"));
+  EXPECT_TRUE(ShouldFail("test.always"));
+  EXPECT_EQ(HitCount("test.always"), 3u);
+  // Other names stay unaffected.
+  EXPECT_FALSE(ShouldFail("test.other"));
+}
+
+TEST_F(FailpointTest, SkipPassesFirstNHits) {
+  Arm("test.skip", /*skip=*/2);
+  EXPECT_FALSE(ShouldFail("test.skip"));
+  EXPECT_FALSE(ShouldFail("test.skip"));
+  EXPECT_TRUE(ShouldFail("test.skip"));
+  EXPECT_TRUE(ShouldFail("test.skip"));
+  EXPECT_EQ(HitCount("test.skip"), 4u);
+}
+
+TEST_F(FailpointTest, CountLimitsHowManyTimesItFires) {
+  Arm("test.count", /*skip=*/0, /*count=*/2);
+  EXPECT_TRUE(ShouldFail("test.count"));
+  EXPECT_TRUE(ShouldFail("test.count"));
+  // Spent: passes from now on, but the entry stays for HitCount.
+  EXPECT_FALSE(ShouldFail("test.count"));
+  EXPECT_FALSE(ShouldFail("test.count"));
+  EXPECT_EQ(HitCount("test.count"), 4u);
+}
+
+TEST_F(FailpointTest, SkipAndCountCompose) {
+  // "Fail only the 3rd hit" — the serverd smoke's crash_before_rename=2:1.
+  Arm("test.third_only", /*skip=*/2, /*count=*/1);
+  EXPECT_FALSE(ShouldFail("test.third_only"));
+  EXPECT_FALSE(ShouldFail("test.third_only"));
+  EXPECT_TRUE(ShouldFail("test.third_only"));
+  EXPECT_FALSE(ShouldFail("test.third_only"));
+  EXPECT_FALSE(ShouldFail("test.third_only"));
+}
+
+TEST_F(FailpointTest, DisarmStopsOneNameDisarmAllStopsEverything) {
+  Arm("test.a");
+  Arm("test.b");
+  EXPECT_TRUE(ShouldFail("test.a"));
+  Disarm("test.a");
+  EXPECT_FALSE(ShouldFail("test.a"));
+  EXPECT_TRUE(ShouldFail("test.b"));
+  DisarmAll();
+  EXPECT_FALSE(AnyArmed());
+  EXPECT_FALSE(ShouldFail("test.b"));
+}
+
+TEST_F(FailpointTest, ArmedNamesListsActiveFailpoints) {
+  Arm("test.z");
+  Arm("test.a");
+  const auto names = ArmedNames();
+  ASSERT_EQ(names.size(), 2u);
+  // Sorted, so /statusz output is stable.
+  EXPECT_EQ(names[0], "test.a");
+  EXPECT_EQ(names[1], "test.z");
+}
+
+TEST_F(FailpointTest, ArmFromEnvParsesSpecList) {
+  ::setenv("CORDIAL_FAILPOINTS", "test.env_a,test.env_b=1,test.env_c=2:3", 1);
+  ArmFromEnv();
+  ::unsetenv("CORDIAL_FAILPOINTS");
+
+  EXPECT_TRUE(ShouldFail("test.env_a"));
+
+  EXPECT_FALSE(ShouldFail("test.env_b"));  // skip=1
+  EXPECT_TRUE(ShouldFail("test.env_b"));
+
+  EXPECT_FALSE(ShouldFail("test.env_c"));  // skip=2
+  EXPECT_FALSE(ShouldFail("test.env_c"));
+  EXPECT_TRUE(ShouldFail("test.env_c"));  // count=3 firings
+  EXPECT_TRUE(ShouldFail("test.env_c"));
+  EXPECT_TRUE(ShouldFail("test.env_c"));
+  EXPECT_FALSE(ShouldFail("test.env_c"));  // spent
+}
+
+TEST_F(FailpointTest, ArmFromEnvWithoutVariableIsANoOp) {
+  ::unsetenv("CORDIAL_FAILPOINTS");
+  ArmFromEnv();
+  EXPECT_FALSE(AnyArmed());
+}
+
+TEST_F(FailpointTest, MacroRunsActionOnlyWhenArmed) {
+  int fired = 0;
+  CORDIAL_FAILPOINT("test.macro", ++fired);
+  EXPECT_EQ(fired, 0);
+  Arm("test.macro");
+  CORDIAL_FAILPOINT("test.macro", ++fired);
+  CORDIAL_FAILPOINT("test.macro", ++fired);
+  EXPECT_EQ(fired, 2);
+}
+
+}  // namespace
+}  // namespace cordial::failpoint

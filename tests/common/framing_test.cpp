@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "common/failpoint.hpp"
 
 namespace cordial {
 namespace {
@@ -104,6 +105,115 @@ TEST(Framing, DoubleTokensRoundTripBitExactly) {
     const double back = ReadDoubleToken(in, "test");
     EXPECT_EQ(std::signbit(back), std::signbit(v));
     EXPECT_EQ(back, v);
+  }
+}
+
+TEST(Framing, CorruptLengthIsParseErrorNotBadAlloc) {
+  // A flipped bit in the byte count must be rejected before allocation: a
+  // huge promised length used to throw bad_alloc/length_error and could
+  // OOM the daemon.
+  std::istringstream absurd("magic v1 123456789012345678\npayload");
+  EXPECT_THROW(ReadFramed(absurd, "magic", 1), ParseError);
+
+  // Over the hard cap even if the stream were big enough.
+  std::istringstream over_cap(
+      "magic v1 " + std::to_string(kMaxFramePayloadBytes + 1) + "\nx");
+  EXPECT_THROW(ReadFramed(over_cap, "magic", 1), ParseError);
+
+  // Seekable stream: a length larger than the remaining bytes is rejected
+  // up front as truncation.
+  std::istringstream longer("magic v1 1000\nonly a few bytes");
+  try {
+    ReadFramed(longer, "magic", 1);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Framing, ChecksumMismatchIsRejectedWithClearMessage) {
+  std::ostringstream out;
+  WriteFramed(out, "magic", 1, "a payload worth protecting");
+  std::string bytes = out.str();
+  bytes[bytes.size() - 3] ^= 0x10;  // flip one payload bit
+  std::istringstream in(bytes);
+  try {
+    ReadFramed(in, "magic", 1);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Framing, LegacyChecksumlessFramesStillReadWithCount) {
+  // Layout v1, as written by pre-CRC builds: no crc32 field. Must still
+  // load (old checkpoints stay restorable) and be tallied.
+  const std::string payload = "legacy payload";
+  std::ostringstream out;
+  out << "magic v3 " << payload.size() << '\n' << payload;
+  const std::uint64_t legacy_before = GetFramingStats().legacy_frames_read;
+  std::istringstream in(out.str());
+  EXPECT_EQ(ReadFramed(in, "magic", 3), payload);
+  EXPECT_EQ(GetFramingStats().legacy_frames_read, legacy_before + 1);
+}
+
+TEST(Framing, MalformedChecksumFieldIsNotDemotedToLegacy) {
+  // Anything after the byte count other than a well-formed crc32 token is
+  // a corrupt header — a bit flip inside the checksum field must not turn
+  // a protected frame into an unchecked one.
+  const std::string payload = "x";
+  for (const std::string tail :
+       {" crc32=xyz", " crc32=1234567", " crc32=123456789", " crcZZ=12345678",
+        " 12345678", "  crc32=12345678"}) {
+    std::ostringstream out;
+    out << "magic v1 " << payload.size() << tail << '\n' << payload;
+    std::istringstream in(out.str());
+    EXPECT_THROW(ReadFramed(in, "magic", 1), ParseError) << tail;
+  }
+}
+
+TEST(Framing, ChecksummedFramesAreCounted) {
+  const std::uint64_t before = GetFramingStats().checksummed_frames_read;
+  std::ostringstream out;
+  WriteFramed(out, "magic", 1, "counted");
+  std::istringstream in(out.str());
+  EXPECT_EQ(ReadFramed(in, "magic", 1), "counted");
+  EXPECT_EQ(GetFramingStats().checksummed_frames_read, before + 1);
+}
+
+TEST(Framing, Crc32MatchesKnownVectors) {
+  // The standard IEEE 802.3 check value, so the on-disk format is the
+  // zlib/PNG CRC and not some homegrown variant.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0x00000000u);
+}
+
+TEST(Framing, ReadFailpointInjectsParseError) {
+  std::ostringstream out;
+  WriteFramed(out, "magic", 1, "fine payload");
+  failpoint::Arm("common.framing.read");
+  std::istringstream armed(out.str());
+  EXPECT_THROW(ReadFramed(armed, "magic", 1), ParseError);
+  failpoint::DisarmAll();
+  std::istringstream disarmed(out.str());
+  EXPECT_EQ(ReadFramed(disarmed, "magic", 1), "fine payload");
+}
+
+TEST(Framing, NonFiniteDoublesRoundTripExplicitly) {
+  // A non-finite stat used to serialize as a token operator>> rejects,
+  // poisoning a checkpoint that then failed to restore.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const double v : {nan, -nan, inf, -inf}) {
+    std::ostringstream out;
+    WriteDoubleToken(out, v);
+    std::istringstream in(out.str());
+    const double back = ReadDoubleToken(in, "test");
+    EXPECT_EQ(std::isnan(back), std::isnan(v)) << out.str();
+    EXPECT_EQ(std::isinf(back), std::isinf(v)) << out.str();
+    EXPECT_EQ(std::signbit(back), std::signbit(v)) << out.str();
   }
 }
 

@@ -6,13 +6,19 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <pthread.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "common/check.hpp"
 #include "obs/metrics.hpp"
@@ -116,6 +122,90 @@ TEST(ObsAdminServer, QueryStringsAreStripped) {
   EXPECT_NE(HttpGet(server.port(), "/healthz?verbose=1").find("200 OK"),
             std::string::npos);
   server.Stop();
+}
+
+TEST(ObsAdminServer, SlowClientSendingRequestInTinyChunksIsServed) {
+  // ReadRequestHead must keep recv'ing until the header terminator arrives;
+  // a client that dribbles the request a few bytes at a time used to risk a
+  // short read being treated as the whole request.
+  AdminServer server;
+  server.Start();
+  const std::string request =
+      "GET /healthz HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n";
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+  for (std::size_t i = 0; i < request.size(); i += 5) {
+    const std::size_t chunk = std::min<std::size_t>(5, request.size() - i);
+    ASSERT_EQ(::send(fd, request.data() + i, chunk, MSG_NOSIGNAL),
+              static_cast<ssize_t>(chunk));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  std::string response;
+  char buf[1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("\r\n\r\nok\n"), std::string::npos);
+  server.Stop();
+}
+
+TEST(ObsAdminServer, SignalStormDoesNotTruncateResponses) {
+  // send/recv on the connection can return EINTR when a signal lands on the
+  // serving thread; before the retry fix a scrape during a signal storm
+  // (e.g. a profiler's SIGPROF) came back truncated or empty. Arrange for
+  // SIGUSR1 to be deliverable ONLY to the server thread: install a no-op
+  // handler without SA_RESTART, start the server while SIGUSR1 is unblocked
+  // (its thread inherits that mask), then block it in this thread before
+  // spawning the pinger (which inherits the blocked mask).
+  struct sigaction action{};
+  action.sa_handler = [](int) {};
+  action.sa_flags = 0;  // deliberately no SA_RESTART: syscalls see EINTR
+  struct sigaction previous{};
+  ASSERT_EQ(::sigaction(SIGUSR1, &action, &previous), 0);
+
+  // A body big enough that SendAll needs many send() calls.
+  const std::string big(2 * 1024 * 1024, 'x');
+  AdminServer server;
+  server.AddHandler("/big", "text/plain", [&] { return big; });
+  server.Start();
+
+  sigset_t block_usr1, old_mask;
+  sigemptyset(&block_usr1);
+  sigaddset(&block_usr1, SIGUSR1);
+  ASSERT_EQ(::pthread_sigmask(SIG_BLOCK, &block_usr1, &old_mask), 0);
+
+  std::atomic<bool> storming{true};
+  std::thread pinger([&] {
+    while (storming.load()) {
+      ::kill(::getpid(), SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  for (int i = 0; i < 3; ++i) {
+    const std::string response = HttpGet(server.port(), "/big");
+    EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << i;
+    const std::size_t body_at = response.find("\r\n\r\n");
+    ASSERT_NE(body_at, std::string::npos) << i;
+    EXPECT_EQ(response.size() - (body_at + 4), big.size()) << i;
+  }
+
+  storming.store(false);
+  pinger.join();
+  server.Stop();
+  ::pthread_sigmask(SIG_SETMASK, &old_mask, nullptr);
+  ::sigaction(SIGUSR1, &previous, nullptr);
 }
 
 TEST(ObsAdminServer, StartRejectsPortInUse) {
