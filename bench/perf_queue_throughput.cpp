@@ -1,0 +1,332 @@
+// Ingestion queue transport gate (records/sec).
+//
+// PR 6 replaced EngineShard's mutex-guarded deque with the lock-free
+// MpscRing + batched submit. This benchmark pins the transport win itself:
+// it pushes MceRecords through three queue transports whose consumer
+// discards every record — no engine work, so wall time is queue cost, not
+// prediction cost (with the engine in the loop every transport converges on
+// engine throughput and the comparison measures nothing).
+//
+//   * mutex        — a faithful replica of the pre-ring EngineShard queue:
+//                    bounded deque, one mutex, not_empty/not_full condvars,
+//                    one lock cycle per push and per pop.
+//   * ring         — MpscRing::TryPush per record + spin-then-park via
+//                    ParkingSpot (the new EngineShard Submit path).
+//   * ring_batched — records staged in chunks and claimed with
+//                    MpscRing::TryPushBatch (the new SubmitBatch path).
+//
+// Runs each transport at 1/2/4/8 producers, interleaving repetitions and
+// keeping each side's best run (least-perturbed measurement of fixed work,
+// same method as perf_obs_overhead). Emits BENCH_queue.json and exits
+// non-zero unless the batched ring beats the mutex path into one shard by
+// --threshold x (default 5) at its best producer count — the acceptance
+// gate for the lock-free ingest path, run by tier-1. Contention is where
+// lock-freedom pays: at 1 producer on an idle host the mutex path
+// degenerates into alternating fill-1024/drain-1024 phases that amortize
+// its condvar wakeups, so the gap there understates the serving-plane win
+// (every deployment has concurrent feeders per shard).
+//
+// Usage: perf_queue_throughput [--records N] [--reps N] [--capacity N]
+//                              [--threshold X] [--out FILE]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/mpsc_ring.hpp"
+#include "trace/mce_record.hpp"
+
+namespace {
+
+using namespace cordial;
+
+trace::MceRecord MakeRecord(std::uint64_t i) {
+  trace::MceRecord r;
+  r.time_s = static_cast<double>(i);
+  r.address.row = static_cast<std::uint32_t>(i % 4096);
+  r.type = hbm::ErrorType::kCe;
+  return r;
+}
+
+/// The pre-ring EngineShard queue, reduced to its transport — a faithful
+/// replica of the replaced Submit/WorkerLoop (same QueueItem pair, the
+/// front() copy, counters under the lock, notify_one while holding it, and
+/// the worker's two lock cycles per record around the engine call), minus
+/// the engine work itself.
+double RunMutexQueue(std::uint64_t records, std::size_t producers,
+                     std::size_t capacity) {
+  using QueueItem =
+      std::pair<trace::MceRecord, std::chrono::steady_clock::time_point>;
+  std::deque<QueueItem> queue;
+  std::mutex mutex;
+  std::condition_variable not_empty, not_full, idle;
+  bool stopping = false;
+  bool busy = false;
+  std::uint64_t submitted = 0, processed = 0;
+
+  const auto start = std::chrono::steady_clock::now();
+  std::thread consumer([&] {
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      not_empty.wait(lock, [&] { return stopping || !queue.empty(); });
+      if (queue.empty()) return;  // stopping and fully drained
+      const QueueItem item = queue.front();
+      queue.pop_front();
+      busy = true;
+      lock.unlock();
+      not_full.notify_one();
+      // (engine_.Observe would run here)
+      static_cast<void>(item);
+      lock.lock();
+      busy = false;
+      ++processed;
+      if (queue.empty()) idle.notify_all();
+    }
+  });
+  std::vector<std::thread> threads;
+  threads.reserve(producers);
+  const std::uint64_t per = records / producers;
+  for (std::size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      const std::uint64_t n =
+          p == 0 ? records - per * (producers - 1) : per;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const trace::MceRecord record = MakeRecord(i);
+        std::unique_lock<std::mutex> lock(mutex);
+        not_full.wait(lock, [&] { return queue.size() < capacity; });
+        queue.emplace_back(record, std::chrono::steady_clock::time_point{});
+        ++submitted;
+        not_empty.notify_one();  // held lock, exactly like the old Submit
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    stopping = true;
+  }
+  not_empty.notify_all();
+  consumer.join();
+  const auto end = std::chrono::steady_clock::now();
+  CORDIAL_CHECK(processed == records && submitted == records && !busy);
+  return static_cast<double>(records) /
+         std::chrono::duration<double>(end - start).count();
+}
+
+/// The new EngineShard transport: MpscRing + spin-then-park ParkingSpots.
+/// `batch` > 1 stages producer chunks through TryPushBatch (the SubmitBatch
+/// path); `batch` == 1 is the per-record Submit path.
+double RunRing(std::uint64_t records, std::size_t producers,
+               std::size_t capacity, std::size_t batch) {
+  constexpr std::size_t kSpinBudget = 128;
+  constexpr std::size_t kDrainMax = 256;
+  MpscRing<trace::MceRecord> ring(capacity);
+  ParkingSpot not_empty, not_full;
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> consumed{0};
+
+  const auto spin = [](auto&& ready) {
+    for (std::size_t i = 0; i < kSpinBudget; ++i) {
+      if (ready()) return true;
+      if ((i & 15u) == 15u) {
+        std::this_thread::yield();
+      } else {
+        CpuRelax();
+      }
+    }
+    return ready();
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  std::thread consumer([&] {
+    std::vector<trace::MceRecord> buf(kDrainMax);
+    for (;;) {
+      const std::size_t n = ring.TryPopBatch(buf.data(), kDrainMax);
+      if (n == 0) {
+        if (done.load(std::memory_order_acquire) && ring.ApproxEmpty()) {
+          return;
+        }
+        const auto ready = [&] {
+          return ring.PoppableNow() || done.load(std::memory_order_acquire);
+        };
+        if (spin(ready)) continue;
+        const std::uint64_t epoch = not_empty.PrepareWait();
+        if (ready()) {
+          not_empty.CancelWait();
+        } else {
+          not_empty.Wait(epoch);
+        }
+        continue;
+      }
+      consumed.fetch_add(n, std::memory_order_relaxed);
+      not_full.Notify();
+    }
+  });
+  std::vector<std::thread> threads;
+  threads.reserve(producers);
+  const std::uint64_t per = records / producers;
+  for (std::size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      const std::uint64_t n =
+          p == 0 ? records - per * (producers - 1) : per;
+      std::vector<trace::MceRecord> chunk(batch);
+      std::uint64_t i = 0;
+      while (i < n) {
+        const std::size_t len =
+            static_cast<std::size_t>(std::min<std::uint64_t>(batch, n - i));
+        for (std::size_t j = 0; j < len; ++j) chunk[j] = MakeRecord(i + j);
+        std::size_t off = 0;
+        while (off < len) {
+          const std::size_t pushed =
+              batch == 1 ? (ring.TryPush(std::move(chunk[0])) ? 1u : 0u)
+                         : ring.TryPushBatch(chunk.data() + off, len - off);
+          if (pushed > 0) {
+            off += pushed;
+            not_empty.Notify();
+            continue;
+          }
+          const auto ready = [&] { return ring.ApproxSize() < capacity; };
+          if (spin(ready)) continue;
+          const std::uint64_t epoch = not_full.PrepareWait();
+          if (ready()) {
+            not_full.CancelWait();
+          } else {
+            not_full.Wait(epoch);
+          }
+        }
+        i += len;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  done.store(true, std::memory_order_release);
+  not_empty.Notify();
+  consumer.join();
+  const auto end = std::chrono::steady_clock::now();
+  CORDIAL_CHECK(consumed.load() == records);
+  return static_cast<double>(records) /
+         std::chrono::duration<double>(end - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t records = 200000;
+  std::size_t reps = 4;
+  std::size_t capacity = 1024;
+  std::size_t batch = 64;
+  double threshold_x = 5.0;
+  std::string out_path = "BENCH_queue.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--records") {
+      records = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--reps") {
+      reps = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--capacity") {
+      capacity = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--batch") {
+      batch = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--threshold") {
+      threshold_x = std::strtod(next(), nullptr);
+    } else if (arg == "--out") {
+      out_path = next();
+    } else {
+      std::cerr << "unknown flag " << arg << "\n";
+      return 2;
+    }
+  }
+  if (records == 0 || reps == 0 || capacity == 0 || batch == 0) {
+    std::cerr << "--records, --reps, --capacity and --batch must be >= 1\n";
+    return 2;
+  }
+
+  const std::vector<std::size_t> producer_counts = {1, 2, 4, 8};
+  struct Row {
+    std::size_t producers;
+    double mutex_rps = 0.0;
+    double ring_rps = 0.0;
+    double ring_batched_rps = 0.0;
+  };
+  std::vector<Row> rows;
+
+  std::cout << records << " records, capacity " << capacity << ", batch "
+            << batch << ", " << reps << " interleaved rep(s)\n";
+  for (const std::size_t producers : producer_counts) {
+    Row row;
+    row.producers = producers;
+    // Warm each transport once, then interleave A/B/C measurements so
+    // scheduler drift hits all three equally; keep each side's best.
+    RunMutexQueue(records / 4, producers, capacity);
+    RunRing(records / 4, producers, capacity, 1);
+    RunRing(records / 4, producers, capacity, batch);
+    for (std::size_t r = 0; r < reps; ++r) {
+      row.mutex_rps = std::max(
+          row.mutex_rps, RunMutexQueue(records, producers, capacity));
+      row.ring_rps =
+          std::max(row.ring_rps, RunRing(records, producers, capacity, 1));
+      row.ring_batched_rps = std::max(
+          row.ring_batched_rps, RunRing(records, producers, capacity, batch));
+    }
+    rows.push_back(row);
+    std::cout << "  " << producers << " producer(s): mutex "
+              << static_cast<std::uint64_t>(row.mutex_rps) << " rec/s, ring "
+              << static_cast<std::uint64_t>(row.ring_rps)
+              << " rec/s, ring+batch "
+              << static_cast<std::uint64_t>(row.ring_batched_rps)
+              << " rec/s (" << std::fixed << std::setprecision(1)
+              << row.ring_batched_rps / row.mutex_rps << "x)\n";
+  }
+
+  double speedup = 0.0;
+  for (const Row& row : rows) {
+    speedup = std::max(speedup, row.ring_batched_rps / row.mutex_rps);
+  }
+  const bool pass = speedup >= threshold_x;
+  std::cout << "best batched-ring speedup (single shard): "
+            << std::setprecision(2) << speedup << "x (threshold "
+            << threshold_x << "x) — " << (pass ? "PASS" : "FAIL") << "\n";
+
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"name\": \"perf_queue_throughput\",\n"
+      << "  \"records\": " << records << ",\n"
+      << "  \"capacity\": " << capacity << ",\n"
+      << "  \"batch\": " << batch << ",\n"
+      << "  \"repetitions\": " << reps << ",\n"
+      << "  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    out << "    {\"producers\": " << row.producers
+        << ", \"mutex_records_per_s\": " << row.mutex_rps
+        << ", \"ring_records_per_s\": " << row.ring_rps
+        << ", \"ring_batched_records_per_s\": " << row.ring_batched_rps
+        << ", \"batched_speedup_x\": " << row.ring_batched_rps / row.mutex_rps
+        << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"best_batched_speedup_x\": " << speedup << ",\n"
+      << "  \"threshold_x\": " << threshold_x << ",\n"
+      << "  \"pass\": " << (pass ? "true" : "false") << "\n"
+      << "}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return pass ? 0 : 1;
+}

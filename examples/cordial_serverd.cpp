@@ -34,6 +34,11 @@
 //                              (default 5000; 0 = only on shutdown)
 //     --shards <n>             engine shards (default 4)
 //     --queue-capacity <n>     per-shard queue bound (default 1024)
+//     --batch-max <n>          feed records parsed per submit batch, and the
+//                              per-shard worker drain batch (default 256).
+//                              Batches are capped so checkpoint/status
+//                              boundaries land on the exact record counts
+//                              the single-record loop produced.
 //     --overload <policy>      block | drop-oldest | reject (default block)
 //     --admin-port <port>      HTTP admin plane on 127.0.0.1:<port>
 //                              (default 0 = off)
@@ -44,6 +49,7 @@
 // Models come from `cordial_cli train <log.csv> <model_prefix>`.
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdlib>
@@ -74,7 +80,7 @@ int Usage() {
   std::cerr
       << "usage: cordial_serverd <model_prefix> [--input <path>]\n"
          "         [--checkpoint <path>] [--checkpoint-every <n>]\n"
-         "         [--shards <n>] [--queue-capacity <n>]\n"
+         "         [--shards <n>] [--queue-capacity <n>] [--batch-max <n>]\n"
          "         [--overload block|drop-oldest|reject]\n"
          "         [--admin-port <port>] [--status-every <n>] [--version]\n";
   return 2;
@@ -101,6 +107,7 @@ struct Options {
   std::size_t checkpoint_every = 5000;
   std::size_t shards = 4;
   std::size_t queue_capacity = 1024;
+  std::size_t batch_max = 256;
   serve::OverloadPolicy overload = serve::OverloadPolicy::kBlock;
   std::uint16_t admin_port = 0;     // 0 = admin plane off
   std::size_t status_every = 10000; // 0 = status lines off
@@ -152,6 +159,8 @@ bool ParseArgs(int argc, char** argv, Options& opts, std::string& error) {
       if (!parse_count(value, opts.shards, false)) return false;
     } else if (flag == "--queue-capacity") {
       if (!parse_count(value, opts.queue_capacity, false)) return false;
+    } else if (flag == "--batch-max") {
+      if (!parse_count(value, opts.batch_max, false)) return false;
     } else if (flag == "--status-every") {
       if (!parse_count(value, opts.status_every, true)) return false;
     } else if (flag == "--admin-port") {
@@ -220,6 +229,7 @@ int main(int argc, char** argv) {
     config.shard_count = opts.shards;
     config.queue.capacity = opts.queue_capacity;
     config.queue.policy = opts.overload;
+    config.queue.batch_max = opts.batch_max;
     // A live fleet feed is aggregated from many BMC clocks: drop stale
     // records instead of dying on the first skewed timestamp.
     config.engine.retention.skew_policy = trace::TimeSkewPolicy::kDrop;
@@ -320,32 +330,61 @@ int main(int argc, char** argv) {
 
     server.Start();
     std::vector<serve::ShardCounters> last_status(opts.shards);
+    // Chunked feed loop: parse up to --batch-max CSV lines into a record
+    // batch, then hand the whole batch to the server (one routed
+    // SubmitBatch instead of per-record mutex/CAS traffic). Each batch is
+    // capped at the distance to the next checkpoint/status boundary, so
+    // those fire at exactly the accepted-record counts the single-record
+    // loop produced — the durability drill's byte-identical-checkpoint
+    // comparison depends on it. Refused records don't advance `submitted`,
+    // so a short batch just re-aims at the same boundary next time.
+    std::vector<trace::MceRecord> batch;
+    batch.reserve(opts.batch_max);
     std::string line;
-    while (g_stop == 0 && std::getline(feed, line)) {
-      if (line.empty() || trace::LogCodec::IsCsvHeader(line)) continue;
-      trace::MceRecord record;
-      try {
-        record = trace::LogCodec::ParseCsvLine(line);
-      } catch (const ParseError& e) {
-        ++malformed;
-        malformed_total.Increment();
-        std::cerr << "skipping malformed line: " << e.what() << "\n";
-        continue;
+    bool feed_open = true;
+    while (g_stop == 0 && feed_open) {
+      std::size_t limit = opts.batch_max;
+      // Armed failpoints mean a crash drill wants record-exact semantics
+      // ("power-cut after record N"): fall back to one record per batch.
+      if (failpoint::AnyArmed()) limit = 1;
+      if (!opts.checkpoint.empty() && opts.checkpoint_every > 0) {
+        limit = std::min(
+            limit, opts.checkpoint_every - submitted % opts.checkpoint_every);
       }
-      if (!server.Submit(record)) {
-        ++refused;
-        continue;
+      if (opts.status_every > 0) {
+        limit =
+            std::min(limit, opts.status_every - submitted % opts.status_every);
       }
-      ++submitted;
+      batch.clear();
+      while (batch.size() < limit && std::getline(feed, line)) {
+        if (line.empty() || trace::LogCodec::IsCsvHeader(line)) continue;
+        try {
+          batch.push_back(trace::LogCodec::ParseCsvLine(line));
+        } catch (const ParseError& e) {
+          ++malformed;
+          malformed_total.Increment();
+          std::cerr << "skipping malformed line: " << e.what() << "\n";
+        }
+      }
+      if (!feed) feed_open = false;
+      if (batch.empty()) continue;
+      const std::size_t accepted = server.SubmitBatch(batch);
+      refused += batch.size() - accepted;
+      submitted += accepted;
       // Simulated hard crash of the feed loop (recovery drills): the next
-      // boot must come up from the last durable checkpoint.
-      CORDIAL_FAILPOINT("serverd.feed.crash", ::_exit(122));
-      if (!opts.checkpoint.empty() && opts.checkpoint_every > 0 &&
+      // boot must come up from the last durable checkpoint. One hit per
+      // accepted record, exactly as the single-record loop produced.
+      for (std::size_t i = 0; i < accepted; ++i) {
+        CORDIAL_FAILPOINT("serverd.feed.crash", ::_exit(122));
+      }
+      if (accepted > 0 && !opts.checkpoint.empty() &&
+          opts.checkpoint_every > 0 &&
           submitted % opts.checkpoint_every == 0) {
         server.Drain();
         write_checkpoint();
       }
-      if (opts.status_every > 0 && submitted % opts.status_every == 0) {
+      if (accepted > 0 && opts.status_every > 0 &&
+          submitted % opts.status_every == 0) {
         // Per-shard queue-counter deltas since the last status line, then
         // aggregate engine tallies off the atomic metric counters (the
         // engines themselves are never read while their workers run).

@@ -10,9 +10,10 @@
 # Then the durability smoke: a failpoint power-cuts cordial_serverd in the
 # middle of a checkpoint write; the restarted daemon must recover and end
 # with a checkpoint byte-identical to an uninterrupted reference run.
-# Finally the observability overhead gate: instrumenting the serving hot
-# path must cost <= 5% throughput vs the uninstrumented path, or the run
-# fails (BENCH_obs.json holds the measurement).
+# Finally two perf gates: instrumenting the serving hot path must cost
+# <= 5% throughput vs the uninstrumented path (BENCH_obs.json), and the
+# lock-free batched ring must beat the pre-ring mutex queue >= 5x into a
+# single shard (BENCH_queue.json).
 #
 # Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan] [--skip-smoke]
 #                         [--skip-bench]
@@ -45,7 +46,7 @@ else
   # observability tests (concurrent metric accumulation, scrape-under-fire,
   # the admin HTTP server).
   CORDIAL_THREADS=8 ctest --test-dir build-tsan --output-on-failure \
-    -R '^(Parallel|FleetServer|EngineCheckpoint|Obs)'
+    -R '^(Parallel|FleetServer|EngineCheckpoint|Obs|MpscRing)'
 fi
 
 if [[ "$SKIP_ASAN" == "1" ]]; then
@@ -111,5 +112,8 @@ if [[ "$SKIP_BENCH" == "1" ]]; then
 else
   # Exits non-zero when instrumentation costs more than 5% throughput.
   (cd build/bench && ./perf_obs_overhead)
+  # Exits non-zero unless the lock-free batched ring beats the pre-ring
+  # mutex queue >= 5x into one shard (BENCH_queue.json holds the rows).
+  (cd build/bench && ./perf_queue_throughput)
 fi
 echo "tier1: OK"

@@ -1,0 +1,329 @@
+// Lock-free bounded MPSC ring + the park/wake primitive the serving hot
+// path waits with.
+//
+// `MpscRing<T>` is a bounded FIFO in the Vyukov bounded-queue style: a slot
+// array where each slot carries its own sequence counter, so producers and
+// consumers synchronize per-slot with acquire/release pairs and the only
+// shared hot words are the head and tail tickets (each on its own cache
+// line, like the slots). There is no mutex anywhere on the push/pop path —
+// a push is one CAS on the tail plus one release store into the claimed
+// slot; a pop is one CAS on the head plus one release store that frees the
+// slot for the next lap.
+//
+// Design points that matter to the serving layer (`serve::EngineShard`):
+//
+//  * Exact capacity, any value >= 1. The bound is enforced by the slot
+//    sequence check itself (a slot still holding the previous lap's element
+//    refuses the claim), not by an approximate head/tail subtraction, so
+//    overload policies see precisely `capacity` queued records — identical
+//    to the mutex-guarded deque this replaces. Power-of-two capacities use
+//    a mask; others pay one integer remainder per operation.
+//
+//  * Batched claim. `TryPushBatch` claims a contiguous run of slots with a
+//    single CAS on the tail, then fills the run with independent release
+//    stores; `TryPopBatch` drains up to N elements per call. Batching
+//    amortizes the CAS and the producer→consumer wakeup over the run —
+//    this is where the ingest-path win comes from (bench/
+//    perf_queue_throughput.cpp).
+//
+//  * Pops are MPMC-safe even though the steady-state consumer is a single
+//    worker: under the drop-oldest overload policy a *producer* evicts the
+//    head concurrently with the worker, so `TryPop` claims via CAS rather
+//    than assuming a unique consumer.
+//
+//  * No blocking. Full/empty are returned, not waited out; callers compose
+//    the adaptive spin-then-park policy from `ParkingSpot` (below), which
+//    is a futex-shaped eventcount: wait on an atomic epoch, park on a
+//    condvar only after the spin budget is spent, and pay one fence + one
+//    load on the notify side when nobody is parked.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace cordial {
+
+/// Pause the core briefly inside a spin loop (PAUSE/YIELD where available).
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Futex-style park/wake point: an eventcount over an atomic epoch.
+///
+/// Waiter protocol (the caller owns the spin budget and the condition):
+///
+///   const std::uint64_t epoch = spot.PrepareWait();
+///   if (condition_already_true) { spot.CancelWait(); ... }
+///   else spot.Wait(epoch);   // parks unless the epoch already moved
+///
+/// Notifier protocol: make the condition true, then `Notify()`. Notify is
+/// one seq_cst fence plus one load when nobody is parked; the mutex and
+/// condvar are touched only to publish the epoch bump to real waiters.
+/// The seq_cst pairing between the waiter's registration (`PrepareWait`'s
+/// RMW) and the notifier's fence+load closes the classic lost-wakeup race:
+/// either the notifier sees the registered waiter, or the waiter's
+/// post-registration re-check sees the notifier's state change.
+class ParkingSpot {
+ public:
+  std::uint64_t PrepareWait() {
+    waiters_.fetch_add(1, std::memory_order_seq_cst);
+    return epoch_.load(std::memory_order_seq_cst);
+  }
+
+  void CancelWait() { waiters_.fetch_sub(1, std::memory_order_seq_cst); }
+
+  /// Park until the epoch moves past `epoch` (from PrepareWait). Returns
+  /// immediately if it already has. Always de-registers the waiter.
+  void Wait(std::uint64_t epoch) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] {
+        return epoch_.load(std::memory_order_seq_cst) != epoch;
+      });
+    }
+    waiters_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+
+  /// Wake every parked waiter. Cheap when there are none.
+  void Notify() {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (waiters_.load(std::memory_order_seq_cst) == 0) return;
+    {
+      // The epoch bumps under the mutex so a waiter between its epoch
+      // re-check and cv_.wait cannot miss the change.
+      std::lock_guard<std::mutex> lock(mutex_);
+      epoch_.fetch_add(1, std::memory_order_seq_cst);
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> waiters_{0};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+template <typename T>
+class MpscRing {
+ public:
+  explicit MpscRing(std::size_t capacity)
+      : capacity_([&] {
+          CORDIAL_CHECK_MSG(capacity >= 1, "ring capacity must be >= 1");
+          return capacity;
+        }()),
+        // The sequence protocol needs >= 2 slots: with one slot, "occupied
+        // since position p" (seq p+1) and "free for position p+1" (seq
+        // p+stride, stride == 1) are the same value. A capacity-1 ring gets
+        // two physical slots and an explicit head/tail gate on push instead
+        // (see TryPush), keeping the logical bound exact.
+        phys_(capacity >= 2 ? capacity : 2),
+        mask_((phys_ & (phys_ - 1)) == 0 ? phys_ - 1 : 0),
+        slots_(phys_) {
+    for (std::size_t i = 0; i < phys_; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Enqueue one element. On failure (ring full) `value` is untouched, so
+  /// callers can retry or fall back without losing the element.
+  bool TryPush(T&& value) {
+    std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    Slot* slot;
+    for (;;) {
+      if (Gated() && pos - head_.load(std::memory_order_acquire) >=
+                         capacity_) {
+        const std::uint64_t cur = tail_.load(std::memory_order_relaxed);
+        if (cur != pos) {
+          pos = cur;
+          continue;
+        }
+        return false;  // logical bound reached (capacity < physical slots)
+      }
+      slot = &slots_[Index(pos)];
+      const std::uint64_t seq = slot->seq.load(std::memory_order_acquire);
+      const std::int64_t dif = static_cast<std::int64_t>(seq - pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        // The slot still holds the element from `capacity_` positions ago:
+        // the ring is exactly full.
+        return false;
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    slot->value = std::move(value);
+    slot->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool TryPush(const T& value) { return TryPush(T(value)); }
+
+  /// Claim a contiguous run of up to `count` slots with one CAS on the
+  /// tail, move `items[0..n)` into them, and return n (0 when full). The
+  /// free-slot scan re-reads the tail on contention so a stale view never
+  /// reports "full" spuriously. Unclaimed `items` are untouched.
+  std::size_t TryPushBatch(T* items, std::size_t count) {
+    if (count == 0) return 0;
+    std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    std::size_t n;
+    for (;;) {
+      // Count free slots from `pos` forward. A slot is free for this lap
+      // exactly when its sequence equals its position; stop at the first
+      // one that is not (still occupied, or claimed by a racing producer —
+      // the CAS below distinguishes the two for us).
+      std::size_t avail = count < capacity_ ? count : capacity_;
+      if (Gated()) {
+        const std::uint64_t used = pos - head_.load(std::memory_order_acquire);
+        avail = used >= capacity_ ? 0 : std::min(avail, capacity_ - used);
+      }
+      n = 0;
+      while (n < avail) {
+        const std::uint64_t p = pos + n;
+        if (slots_[Index(p)].seq.load(std::memory_order_acquire) != p) break;
+        ++n;
+      }
+      if (n == 0) {
+        const std::uint64_t cur = tail_.load(std::memory_order_relaxed);
+        if (cur != pos) {
+          pos = cur;  // raced with another producer: rescan from its tail
+          continue;
+        }
+        return 0;  // genuinely full
+      }
+      if (tail_.compare_exchange_weak(pos, pos + n,
+                                      std::memory_order_relaxed)) {
+        break;  // pos..pos+n-1 are ours
+      }
+      // CAS refreshed `pos` on failure; rescan from the new tail.
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      Slot& slot = slots_[Index(pos + i)];
+      slot.value = std::move(items[i]);
+      slot.seq.store(pos + i + 1, std::memory_order_release);
+    }
+    return n;
+  }
+
+  /// Dequeue one element. Safe from multiple threads (the drop-oldest
+  /// overload policy pops from producers while the worker drains). Returns
+  /// false when the ring is empty — or when the head slot is claimed but
+  /// its producer has not yet published it, which callers treat as empty
+  /// and retry after the publish (the producer's Notify covers them).
+  bool TryPop(T& out) {
+    std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    Slot* slot;
+    for (;;) {
+      slot = &slots_[Index(pos)];
+      const std::uint64_t seq = slot->seq.load(std::memory_order_acquire);
+      const std::int64_t dif = static_cast<std::int64_t>(seq - (pos + 1));
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        const std::uint64_t cur = head_.load(std::memory_order_relaxed);
+        if (cur != pos) {
+          pos = cur;
+          continue;
+        }
+        return false;
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    out = std::move(slot->value);
+    slot->seq.store(pos + phys_, std::memory_order_release);
+    return true;
+  }
+
+  /// Drain up to `max` elements into `out`, FIFO order. Per-element CAS
+  /// claims (readiness is per-slot, not per-range: a batch producer
+  /// publishes its slots independently), but an uncontended consumer pays
+  /// no more than the claim itself.
+  std::size_t TryPopBatch(T* out, std::size_t max) {
+    std::size_t n = 0;
+    while (n < max && TryPop(out[n])) ++n;
+    return n;
+  }
+
+  /// True when the next pop would find a published element — the worker's
+  /// park predicate (ApproxEmpty would spin on a claimed-but-unpublished
+  /// slot; this parks instead and lets the producer's Notify wake us).
+  bool PoppableNow() const {
+    const std::uint64_t pos = head_.load(std::memory_order_acquire);
+    return slots_[Index(pos)].seq.load(std::memory_order_acquire) == pos + 1;
+  }
+
+  /// Queued-element estimate straight off the head/tail tickets: two
+  /// relaxed-ish loads, no slot traffic. Racy by nature (exact once
+  /// producers and the consumer are quiet) — this is the scrape-time
+  /// queue-depth read, deliberately free of hot-path cache-line traffic.
+  std::size_t ApproxSize() const {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<std::size_t>(tail - head) : 0;
+  }
+
+  bool ApproxEmpty() const { return ApproxSize() == 0; }
+
+  /// Total elements ever claimed for push / freed by pop (monotone).
+  std::uint64_t pushed() const {
+    return tail_.load(std::memory_order_acquire);
+  }
+  std::uint64_t popped() const {
+    return head_.load(std::memory_order_acquire);
+  }
+
+ private:
+  /// One element plus its sequence counter, padded to a cache line so
+  /// neighbouring slots never false-share between a producer publishing
+  /// slot i and the consumer freeing slot i+1.
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> seq{0};
+    T value{};
+  };
+
+  std::size_t Index(std::uint64_t pos) const {
+    return mask_ ? static_cast<std::size_t>(pos & mask_)
+                 : static_cast<std::size_t>(pos % phys_);
+  }
+
+  /// True when the logical bound is below the physical slot count (only
+  /// capacity 1) and pushes must check head/tail occupancy themselves.
+  bool Gated() const { return capacity_ != phys_; }
+
+  const std::size_t capacity_;  ///< logical bound callers observe
+  const std::size_t phys_;      ///< physical slots (max(capacity, 2))
+  const std::uint64_t mask_;    // phys-1 when a power of two, else 0
+  std::vector<Slot> slots_;
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< next push position
+  alignas(64) std::atomic<std::uint64_t> head_{0};  ///< next pop position
+};
+
+}  // namespace cordial

@@ -47,6 +47,28 @@ bool FleetServer::Submit(const trace::MceRecord& record) {
   return shards_[ShardOf(codec_.BankKey(record.address))]->Submit(record);
 }
 
+bool FleetServer::Submit(trace::MceRecord&& record) {
+  const std::size_t s = ShardOf(codec_.BankKey(record.address));
+  return shards_[s]->Submit(std::move(record));
+}
+
+std::size_t FleetServer::SubmitBatch(
+    std::span<const trace::MceRecord> records) {
+  if (records.empty()) return 0;
+  if (shards_.size() == 1) return shards_[0]->SubmitBatch(records);
+  std::vector<std::vector<trace::MceRecord>> buckets(shards_.size());
+  const std::size_t hint = records.size() / shards_.size() + 1;
+  for (auto& bucket : buckets) bucket.reserve(hint);
+  for (const trace::MceRecord& record : records) {
+    buckets[ShardOf(codec_.BankKey(record.address))].push_back(record);
+  }
+  std::size_t accepted = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (!buckets[s].empty()) accepted += shards_[s]->SubmitBatch(buckets[s]);
+  }
+  return accepted;
+}
+
 void FleetServer::Drain() {
   for (auto& shard : shards_) shard->Drain();
 }

@@ -18,6 +18,7 @@
 #include <functional>
 #include <iosfwd>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "serve/shard.hpp"
@@ -52,8 +53,15 @@ class FleetServer {
 
   void Start();  ///< start every shard's worker
   /// Route one record to its bank's shard. Returns false when that shard
-  /// refused it (kReject overload policy).
+  /// refused it (kReject overload policy). The && overload moves the record
+  /// all the way into its shard's ring slot.
   bool Submit(const trace::MceRecord& record);
+  bool Submit(trace::MceRecord&& record);
+  /// Route a batch: bucket the span by shard (stable — records keep their
+  /// span order within each bucket, which is all determinism needs since a
+  /// bank never spans shards), then hand each bucket to its shard's
+  /// SubmitBatch. Returns the number of records accepted.
+  std::size_t SubmitBatch(std::span<const trace::MceRecord> records);
   void Drain();  ///< block until every shard is idle with an empty queue
   void Stop();   ///< drain remaining work and join all workers; idempotent
 

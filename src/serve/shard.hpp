@@ -1,27 +1,42 @@
-// One serving shard: a PredictionEngine behind a bounded MPSC queue.
+// One serving shard: a PredictionEngine behind a lock-free bounded MPSC
+// ring (common/mpsc_ring.hpp).
 //
 // The fleet server partitions banks across shards; each shard's worker
-// thread consumes its queue in FIFO order, so every bank's records reach its
+// thread consumes its ring in FIFO order, so every bank's records reach its
 // engine in exactly the submission order — the property that makes an
 // N-shard server's decisions bit-identical to one engine consuming the same
 // feed (banks never span shards, and Cordial's policy is per-bank).
 //
+// Hot path: Submit is one CAS on the ring tail plus a release store — no
+// mutex, no condvar signal, no allocation (records move into pre-allocated
+// cache-line-padded slots). SubmitBatch claims a contiguous run of slots
+// with a single CAS. The worker drains up to `QueueConfig::batch_max`
+// records per wakeup into a worker-local buffer before touching the engine,
+// so the per-record queue cost amortizes across the batch. Waiting is
+// adaptive spin-then-park: a bounded spin (QueueConfig::spin_budget), then
+// a futex-style park on an atomic epoch (ParkingSpot) — the pre-ring
+// not_empty_/not_full_/idle_ condvars survive only inside that park
+// mechanism, and nobody touches them while the queue is moving.
+//
 // The queue is bounded; what happens when producers outrun the worker is the
 // OverloadPolicy: block the producer (lossless, backpressure), drop the
-// oldest queued record (bounded latency, lossy), or reject the new record
-// (caller decides). Every lossy outcome is counted.
+// oldest queued record (bounded latency, lossy — the producer evicts the
+// ring head itself, which is why pops are MPMC-safe), or reject the new
+// record (caller decides). Every lossy outcome is counted.
 #pragma once
 
+#include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <iosfwd>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <utility>
+#include <vector>
 
+#include "common/mpsc_ring.hpp"
 #include "core/engine.hpp"
 #include "obs/metrics.hpp"
 
@@ -35,16 +50,26 @@ enum class OverloadPolicy {
 };
 
 struct QueueConfig {
-  std::size_t capacity = 1024;  ///< must be >= 1
+  std::size_t capacity = 1024;  ///< must be >= 1 (exact bound, any value)
   OverloadPolicy policy = OverloadPolicy::kBlock;
   /// Latency-histogram sampling stride (must be >= 1): only every Nth
   /// submitted record is clock-stamped, and only stamped records feed the
   /// queue and engine latency histograms. Counters and gauges stay exact —
   /// they cost relaxed atomics, while a timed record costs up to four
   /// steady_clock reads, which at multi-M records/s dominates the
-  /// observability bill. 1 = time everything (tests); 64 keeps the
-  /// instrumented hot path within the perf_obs_overhead budget.
+  /// observability bill. 1 = time everything (exact for a single producer;
+  /// concurrent producers may sample a near-miss of the stride); 64 keeps
+  /// the instrumented hot path within the perf_obs_overhead budget.
   std::size_t latency_sample_every = 64;
+  /// Max records the worker drains from the ring per wakeup (must be
+  /// >= 1). Larger batches amortize ring claims and wakeups; the records
+  /// still hit the engine one at a time, in FIFO order.
+  std::size_t batch_max = 256;
+  /// Spin iterations before a waiter (blocked producer, empty worker,
+  /// Drain) parks on its ParkingSpot. 0 = park immediately. Keep small on
+  /// oversubscribed hosts — the spin yields periodically so a single core
+  /// still makes progress.
+  std::size_t spin_budget = 128;
 };
 
 /// Tallies of everything that crossed (or failed to cross) a shard's queue.
@@ -58,9 +83,9 @@ struct ShardCounters {
                          const ShardCounters&) = default;
 };
 
-/// A single engine + queue + worker thread. Thread-safe for any number of
-/// producers calling Submit concurrently; the engine itself is touched only
-/// by the worker.
+/// A single engine + ring + worker thread. Thread-safe for any number of
+/// producers calling Submit/SubmitBatch concurrently; the engine itself is
+/// touched only by the worker.
 class EngineShard {
  public:
   /// Called by the worker after each engine step (still on the worker
@@ -75,7 +100,7 @@ class EngineShard {
   /// accumulated with relaxed atomics on the hot path; scraping merges
   /// per-shard registries so producers and workers never contend on a
   /// shared metrics lock. With instrument=false the shard runs the bare
-  /// PR-3 hot path (no clock reads, null metric pointers).
+  /// hot path (no clock reads, null metric pointers).
   EngineShard(const hbm::TopologyConfig& topology,
               const core::PatternClassifier& classifier,
               const core::CrossRowPredictor& single_predictor,
@@ -94,11 +119,22 @@ class EngineShard {
   void Start();
 
   /// Enqueue one record. Returns false only when the record was refused
-  /// (kReject on a full queue, or the shard is stopping).
+  /// (kReject on a full queue, or the shard is stopping). The && overload
+  /// moves the record straight into its ring slot.
   bool Submit(const trace::MceRecord& record);
+  bool Submit(trace::MceRecord&& record);
 
-  /// Block until the queue is empty and the worker is idle. Requires the
-  /// worker to be running if anything is queued.
+  /// Enqueue a run of records in order, claiming contiguous slot runs with
+  /// one CAS each. Returns how many were accepted (all of them under
+  /// kBlock/kDropOldest unless the shard is stopping; under kReject the
+  /// tail of the span past the first full encounter is refused and
+  /// counted). Per-bank record order is preserved: the span lands in the
+  /// ring exactly in span order.
+  std::size_t SubmitBatch(std::span<const trace::MceRecord> records);
+
+  /// Block until every accepted record has been processed (or dropped) and
+  /// the worker is idle. Requires the worker to be running if anything is
+  /// queued.
   void Drain();
 
   /// Process everything still queued, then join the worker. Idempotent.
@@ -110,17 +146,19 @@ class EngineShard {
 
   ShardCounters counters() const;
 
-  /// Records currently queued (racy by nature; exact once drained).
-  std::size_t queue_depth() const;
+  /// Records currently queued, read straight off the ring's head/tail
+  /// tickets (racy by nature; exact once drained). Costs two atomic loads
+  /// and touches nothing the hot path writes per-record.
+  std::size_t queue_depth() const { return ring_.ApproxSize(); }
 
   bool instrumented() const { return queue_metrics_.depth != nullptr; }
 
   /// Scrape this shard's registry. Safe at any time, concurrently with
   /// producers and the worker; cheap (atomic loads under the registry
-  /// registration lock). The queue-depth gauge is refreshed here rather
-  /// than on the hot path — a gauge written by both the producer and the
-  /// worker would ping-pong its cache line millions of times per second
-  /// for a value only scrapes ever read.
+  /// registration lock). The queue-depth gauge is refreshed here from the
+  /// ring's head/tail tickets rather than on the hot path — a gauge
+  /// written by both the producer and the worker would ping-pong its cache
+  /// line millions of times per second for a value only scrapes ever read.
   obs::RegistrySnapshot MetricsSnapshot() const;
 
   /// Checkpoint the engine (PredictionEngine::SaveState). The shard must be
@@ -138,6 +176,8 @@ class EngineShard {
   void CommitState(core::PredictionEngine::StagedState&& staged);
 
  private:
+  enum class State : int { kIdle, kRunning, kStopping, kStopped };
+
   /// Hot-path metric handles, null when the shard is uninstrumented.
   struct QueueMetrics {
     obs::Gauge* depth = nullptr;
@@ -147,10 +187,31 @@ class EngineShard {
     obs::Counter* dropped_oldest = nullptr;
     obs::Counter* rejected = nullptr;
   };
-  /// A queued record plus its enqueue instant (zero when uninstrumented).
+  /// A queued record plus its enqueue instant (zero when unstamped).
   using QueueItem =
       std::pair<trace::MceRecord, std::chrono::steady_clock::time_point>;
 
+  bool SubmitImpl(trace::MceRecord&& record);
+  /// Push one already-built item, applying the overload policy. Returns
+  /// false when the item was refused (kReject full, or stopping).
+  bool PushWithPolicy(QueueItem&& item);
+  /// Stride-sampled enqueue stamp for the record holding ticket `ticket`.
+  std::chrono::steady_clock::time_point MaybeStamp(std::uint64_t ticket);
+  bool StoppingOrStopped() const {
+    const State s = state_.load(std::memory_order_acquire);
+    return s == State::kStopping || s == State::kStopped;
+  }
+  /// True when every accepted record has been consumed (processed or
+  /// dropped). Acquire loads, so a true answer also publishes the worker's
+  /// engine writes to the caller.
+  bool DrainedNow() const {
+    return processed_.load(std::memory_order_acquire) +
+               dropped_.load(std::memory_order_acquire) >=
+           submitted_.load(std::memory_order_acquire);
+  }
+  void CountRejected(std::uint64_t n);
+  void CountDropped(std::uint64_t n);
+  void CountSubmitted(std::uint64_t n);
   void WorkerLoop();
 
   core::PredictionEngine engine_;
@@ -159,17 +220,27 @@ class EngineShard {
   obs::MetricRegistry metrics_registry_;
   QueueMetrics queue_metrics_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::condition_variable idle_;
-  std::deque<QueueItem> queue_;
-  ShardCounters counters_;
-  std::uint64_t next_latency_stamp_ = 0;  ///< submitted count to stamp next
-  bool busy_ = false;      ///< worker is inside an engine step
-  bool started_ = false;
-  bool stopping_ = false;
-  bool stopped_ = false;   ///< Stop completed — the shard is terminal
+  MpscRing<QueueItem> ring_;
+  /// Queue counters. Release on write / acquire on read so counters() and
+  /// DrainedNow() observers see the work the counts describe.
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> processed_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> next_latency_stamp_{0};
+  std::atomic<bool> busy_{false};  ///< worker is inside an engine batch
+  std::atomic<State> state_{State::kIdle};
+
+  /// Park points (spin-then-park waiters only; never touched while the
+  /// queue is moving). These are the surviving descendants of the pre-ring
+  /// not_empty_/not_full_/idle_ condvars.
+  ParkingSpot not_empty_;  ///< worker parks here when the ring is empty
+  ParkingSpot not_full_;   ///< kBlock producers park here when full
+  ParkingSpot idle_;       ///< Drain parks here until the shard quiesces
+
+  /// Serializes Start/Stop/checkpoint calls (mutable: SaveState is const).
+  mutable std::mutex control_mutex_;
+  std::vector<QueueItem> drain_buf_;  ///< worker-local batch buffer
   std::thread worker_;
 };
 

@@ -6,7 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <span>
+#include <sstream>
+#include <thread>
 #include <vector>
 
 #include "analysis/labeler.hpp"
@@ -264,6 +268,175 @@ TEST(FleetServerShard, StopDrainsPendingWorkAndIsIdempotent) {
   EXPECT_EQ(shard.engine().stats().events, 32u);
   shard.Stop();  // second stop is a no-op
   EXPECT_FALSE(shard.Submit(MakeCe(33.0, 1)));  // stopped shards refuse
+}
+
+// The batched ingest path is an optimization, never a semantic: a server
+// fed via SubmitBatch must end bit-identical — stats, ledgers, checkpoint
+// bytes — to the same server fed record by record.
+TEST(FleetServer, BatchedSubmitMatchesPerRecordSubmitByteExactly) {
+  const World& w = SharedWorld();
+  const auto run = [&](bool batched) {
+    FleetServerConfig config;
+    config.shard_count = 3;
+    FleetServer server(w.topology, w.classifier, w.single_pred,
+                       w.double_or_null(), config);
+    server.Start();
+    const auto& records = w.fleet.log.records();
+    if (batched) {
+      // Deliberately awkward batch sizes so bucket boundaries never align
+      // with anything structural in the feed.
+      std::size_t i = 0;
+      std::size_t len = 1;
+      while (i < records.size()) {
+        const std::size_t n = std::min(len, records.size() - i);
+        EXPECT_EQ(server.SubmitBatch(
+                      std::span<const trace::MceRecord>(&records[i], n)),
+                  n);
+        i += n;
+        len = len % 97 + 7;
+      }
+    } else {
+      for (const trace::MceRecord& record : records) {
+        server.Submit(record);
+      }
+    }
+    server.Stop();
+    std::ostringstream checkpoint;
+    server.SaveCheckpoint(checkpoint);
+    return std::make_pair(server.AggregateStats(), checkpoint.str());
+  };
+  const auto [single_stats, single_bytes] = run(false);
+  const auto [batched_stats, batched_bytes] = run(true);
+  EXPECT_EQ(batched_stats, single_stats);
+  EXPECT_EQ(batched_bytes, single_bytes);
+}
+
+// N concurrent producers, one per shard: each producer owns every bank
+// routed to its shard and feeds them in feed order, so each shard still
+// sees a time-ordered stream (the replayer's monotonic-timestamp contract)
+// while the producers race each other through the server API. The result
+// must be bit-identical to the sequential single-submit replay.
+TEST(FleetServer, ConcurrentBatchedProducersStayBitIdentical) {
+  const World& w = SharedWorld();
+  constexpr std::size_t kProducers = 4;
+  hbm::AddressCodec codec(w.topology);
+
+  const auto run_reference = [&] {
+    FleetServerConfig config;
+    config.shard_count = kProducers;
+    FleetServer server(w.topology, w.classifier, w.single_pred,
+                       w.double_or_null(), config);
+    server.Start();
+    for (const trace::MceRecord& record : w.fleet.log.records()) {
+      server.Submit(record);
+    }
+    server.Stop();
+    std::ostringstream checkpoint;
+    server.SaveCheckpoint(checkpoint);
+    return std::make_pair(server.AggregateStats(), checkpoint.str());
+  };
+  const auto [ref_stats, ref_bytes] = run_reference();
+
+  FleetServerConfig config;
+  config.shard_count = kProducers;
+  FleetServer server(w.topology, w.classifier, w.single_pred,
+                     w.double_or_null(), config);
+
+  // Partition the feed by home shard: producer p gets shard p's records in
+  // feed order (ShardOf is deterministic, so this matches the routing).
+  std::vector<std::vector<trace::MceRecord>> feeds(kProducers);
+  for (const trace::MceRecord& record : w.fleet.log.records()) {
+    feeds[server.ShardOf(codec.BankKey(record.address))].push_back(record);
+  }
+
+  server.Start();
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&server, &feeds, p] {
+      const std::vector<trace::MceRecord>& feed = feeds[p];
+      std::size_t i = 0;
+      while (i < feed.size()) {
+        const std::size_t n = std::min<std::size_t>(33, feed.size() - i);
+        server.SubmitBatch(
+            std::span<const trace::MceRecord>(&feed[i], n));
+        i += n;
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  server.Stop();
+  std::ostringstream checkpoint;
+  server.SaveCheckpoint(checkpoint);
+
+  EXPECT_EQ(server.AggregateStats(), ref_stats);
+  EXPECT_EQ(checkpoint.str(), ref_bytes);
+  const ShardCounters counters = server.AggregateCounters();
+  EXPECT_EQ(counters.submitted, w.fleet.log.size());
+  EXPECT_EQ(counters.processed, w.fleet.log.size());
+}
+
+TEST(FleetServerShard, BatchRejectCountsRefusedTail) {
+  const World& w = SharedWorld();
+  QueueConfig queue;
+  queue.capacity = 4;
+  queue.policy = OverloadPolicy::kReject;
+  EngineShard shard(w.topology, w.classifier, w.single_pred,
+                    w.double_or_null(), core::EngineConfig{}, queue);
+  // Unstarted worker: the queue fills deterministically at 4.
+  std::vector<trace::MceRecord> batch;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    batch.push_back(MakeCe(static_cast<double>(i), i));
+  }
+  EXPECT_EQ(shard.SubmitBatch(batch), 4u);
+  const ShardCounters counters = shard.counters();
+  EXPECT_EQ(counters.submitted, 4u);
+  EXPECT_EQ(counters.rejected, 6u);
+  shard.Start();
+  shard.Drain();
+  EXPECT_EQ(shard.engine().stats().events, 4u);
+}
+
+TEST(FleetServerShard, BatchDropOldestKeepsNewestInOrder) {
+  const World& w = SharedWorld();
+  QueueConfig queue;
+  queue.capacity = 4;
+  queue.policy = OverloadPolicy::kDropOldest;
+  EngineShard shard(w.topology, w.classifier, w.single_pred,
+                    w.double_or_null(), core::EngineConfig{}, queue);
+  std::vector<trace::MceRecord> batch;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    batch.push_back(MakeCe(static_cast<double>(i), 100 + i));
+  }
+  EXPECT_EQ(shard.SubmitBatch(batch), 10u);
+  ShardCounters counters = shard.counters();
+  EXPECT_EQ(counters.submitted, 10u);
+  EXPECT_EQ(counters.dropped_oldest, 6u);
+  shard.Start();
+  shard.Drain();
+  // Same survivors as the single-record drop-oldest test: rows 106..109.
+  EXPECT_EQ(shard.engine().stats().events, 4u);
+  const trace::MceRecord probe = MakeCe(0.0, 0);
+  const trace::BankHistory* bank = shard.engine().replayer().Find(
+      shard.engine().codec().BankKey(probe.address));
+  ASSERT_NE(bank, nullptr);
+  ASSERT_EQ(bank->events.size(), 4u);
+  EXPECT_EQ(bank->events.front().address.row, 106u);
+  EXPECT_EQ(bank->events.back().address.row, 109u);
+}
+
+TEST(FleetServerShard, MoveSubmitIsAcceptedAndProcessed) {
+  const World& w = SharedWorld();
+  EngineShard shard(w.topology, w.classifier, w.single_pred,
+                    w.double_or_null(), core::EngineConfig{});
+  shard.Start();
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    trace::MceRecord record = MakeCe(static_cast<double>(i), i);
+    EXPECT_TRUE(shard.Submit(std::move(record)));
+  }
+  shard.Drain();
+  EXPECT_EQ(shard.engine().stats().events, 16u);
+  shard.Stop();
 }
 
 TEST(FleetServerShard, RejectsZeroCapacity) {
