@@ -42,6 +42,20 @@
 //     --overload <policy>      block | drop-oldest | reject (default block)
 //     --admin-port <port>      HTTP admin plane on 127.0.0.1:<port>
 //                              (default 0 = off)
+//     --listen-port <port>     TCP ingest plane (net::IngestServer) on
+//                              --listen-address:<port>; 0 asks the kernel
+//                              for an ephemeral port. The bound port is
+//                              announced on stderr ("ingest listening on
+//                              ..."), so scripts can parse it. With a
+//                              listen plane and no --input the daemon skips
+//                              stdin and serves until SIGTERM/SIGINT; with
+//                              both, the file feed drains first and the
+//                              daemon then keeps serving TCP. Periodic
+//                              checkpoints track the file feed only — the
+//                              final checkpoint on shutdown covers
+//                              network-fed state.
+//     --listen-address <addr>  interface for --listen-port (default
+//                              127.0.0.1)
 //     --status-every <n>       records between stderr status lines
 //                              (default 10000; 0 = off)
 //     --version                print the frame versions this build speaks
@@ -57,12 +71,14 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/failpoint.hpp"
 #include "common/framing.hpp"
 #include "common/table.hpp"
 #include "core/persist.hpp"
+#include "net/ingest_server.hpp"
 #include "obs/admin_server.hpp"
 #include "obs/metrics.hpp"
 #include "serve/checkpoint.hpp"
@@ -82,7 +98,9 @@ int Usage() {
          "         [--checkpoint <path>] [--checkpoint-every <n>]\n"
          "         [--shards <n>] [--queue-capacity <n>] [--batch-max <n>]\n"
          "         [--overload block|drop-oldest|reject]\n"
-         "         [--admin-port <port>] [--status-every <n>] [--version]\n";
+         "         [--admin-port <port>] [--listen-port <port>]\n"
+         "         [--listen-address <addr>] [--status-every <n>]\n"
+         "         [--version]\n";
   return 2;
 }
 
@@ -110,6 +128,9 @@ struct Options {
   std::size_t batch_max = 256;
   serve::OverloadPolicy overload = serve::OverloadPolicy::kBlock;
   std::uint16_t admin_port = 0;     // 0 = admin plane off
+  bool listen = false;              // --listen-port given (0 = ephemeral)
+  std::string listen_address = "127.0.0.1";
+  std::uint16_t listen_port = 0;
   std::size_t status_every = 10000; // 0 = status lines off
 };
 
@@ -171,6 +192,17 @@ bool ParseArgs(int argc, char** argv, Options& opts, std::string& error) {
         return false;
       }
       opts.admin_port = static_cast<std::uint16_t>(port);
+    } else if (flag == "--listen-port") {
+      std::size_t port = 0;
+      if (!parse_count(value, port, true)) return false;
+      if (port > 65535) {
+        error = flag + " must be a TCP port (0-65535)";
+        return false;
+      }
+      opts.listen = true;
+      opts.listen_port = static_cast<std::uint16_t>(port);
+    } else if (flag == "--listen-address") {
+      opts.listen_address = value;
     } else if (flag == "--overload") {
       const std::string policy = value;
       if (policy == "block") {
@@ -269,6 +301,10 @@ int main(int argc, char** argv) {
       ++checkpoints;
     };
 
+    // The TCP ingest plane is constructed after the fleet server starts
+    // (below); declared here so /metrics can fold its registry in.
+    std::unique_ptr<net::IngestServer> ingest;
+
     std::unique_ptr<obs::AdminServer> admin;
     if (opts.admin_port != 0) {
       obs::AdminServerConfig admin_config;
@@ -276,8 +312,10 @@ int main(int argc, char** argv) {
       admin = std::make_unique<obs::AdminServer>(admin_config);
       admin->AddHandler(
           "/metrics", "text/plain; version=0.0.4; charset=utf-8", [&] {
-            return obs::RenderPrometheus(obs::MergeSnapshots(
-                {daemon_metrics.Snapshot(), server.MetricsSnapshot()}));
+            std::vector<obs::RegistrySnapshot> parts{
+                daemon_metrics.Snapshot(), server.MetricsSnapshot()};
+            if (ingest) parts.push_back(ingest->MetricsSnapshot());
+            return obs::RenderPrometheus(obs::MergeSnapshots(parts));
           });
       admin->AddHandler("/statusz", "text/plain; charset=utf-8", [&] {
         std::string page = server.StatusTable();
@@ -321,14 +359,28 @@ int main(int argc, char** argv) {
     std::signal(SIGINT, HandleStop);
     std::signal(SIGTERM, HandleStop);
 
+    // A listen plane with no --input means pure network serving: reading
+    // stdin would just block shutdown on a terminal that never closes.
     std::ifstream file;
+    std::istream* feed = nullptr;
     if (!opts.input.empty()) {
       file.open(opts.input);
       if (!file) throw ParseError("cannot open input " + opts.input);
+      feed = &file;
+    } else if (!opts.listen) {
+      feed = &std::cin;
     }
-    std::istream& feed = opts.input.empty() ? std::cin : file;
 
     server.Start();
+    if (opts.listen) {
+      net::IngestServerConfig ingest_config;
+      ingest_config.bind_address = opts.listen_address;
+      ingest_config.port = opts.listen_port;
+      ingest = std::make_unique<net::IngestServer>(server, ingest_config);
+      ingest->Start();
+      std::cerr << "ingest listening on " << opts.listen_address << ":"
+                << ingest->port() << "\n";
+    }
     std::vector<serve::ShardCounters> last_status(opts.shards);
     // Chunked feed loop: parse up to --batch-max CSV lines into a record
     // batch, then hand the whole batch to the server (one routed
@@ -341,7 +393,7 @@ int main(int argc, char** argv) {
     std::vector<trace::MceRecord> batch;
     batch.reserve(opts.batch_max);
     std::string line;
-    bool feed_open = true;
+    bool feed_open = feed != nullptr;
     while (g_stop == 0 && feed_open) {
       std::size_t limit = opts.batch_max;
       // Armed failpoints mean a crash drill wants record-exact semantics
@@ -356,7 +408,7 @@ int main(int argc, char** argv) {
             std::min(limit, opts.status_every - submitted % opts.status_every);
       }
       batch.clear();
-      while (batch.size() < limit && std::getline(feed, line)) {
+      while (batch.size() < limit && std::getline(*feed, line)) {
         if (line.empty() || trace::LogCodec::IsCsvHeader(line)) continue;
         try {
           batch.push_back(trace::LogCodec::ParseCsvLine(line));
@@ -366,7 +418,7 @@ int main(int argc, char** argv) {
           std::cerr << "skipping malformed line: " << e.what() << "\n";
         }
       }
-      if (!feed) feed_open = false;
+      if (!*feed) feed_open = false;
       if (batch.empty()) continue;
       const std::size_t accepted = server.SubmitBatch(batch);
       refused += batch.size() - accepted;
@@ -423,6 +475,13 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Listen mode keeps serving TCP batches after the file feed (if any)
+    // drained, until a signal asks for shutdown.
+    while (g_stop == 0 && ingest) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (ingest) ingest->Stop();  // no new records past this point
+
     server.Stop();  // drains the queues, then joins the workers
     if (!opts.checkpoint.empty()) {
       write_checkpoint();
@@ -438,6 +497,12 @@ int main(int argc, char** argv) {
     summary.AddRow({"records dropped (overload)",
                     std::to_string(counters.dropped_oldest)});
     summary.AddRow({"malformed lines skipped", std::to_string(malformed)});
+    if (ingest) {
+      summary.AddRow({"records ingested over TCP",
+                      std::to_string(obs::SumCounterSamples(
+                          ingest->MetricsSnapshot(),
+                          "cordial_net_records_total"))});
+    }
     summary.AddRow({"stale records dropped (skew)",
                     std::to_string(stats.records_skew_dropped)});
     summary.AddRow({"events processed", std::to_string(stats.events)});

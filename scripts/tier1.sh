@@ -7,13 +7,17 @@
 # incremental per-bank state (profile snapshots, bounded retention eviction)
 # fail the run too (including the checkpoint durability torture suite —
 # truncation/bit-flip parsing is exactly where lifetime bugs would hide).
-# Then the durability smoke: a failpoint power-cuts cordial_serverd in the
-# middle of a checkpoint write; the restarted daemon must recover and end
-# with a checkpoint byte-identical to an uninterrupted reference run.
-# Finally two perf gates: instrumenting the serving hot path must cost
-# <= 5% throughput vs the uninstrumented path (BENCH_obs.json), and the
+# Then two smokes with the real daemon binaries: the durability drill (a
+# failpoint power-cuts cordial_serverd mid-checkpoint; the restart must end
+# byte-identical to an uninterrupted reference) and the migration drill
+# (cordial_feed drives two listening daemons, moves a shard between the
+# processes mid-feed, and the merged checkpoint it collects must be
+# byte-identical to the never-migrated reference).
+# Finally three perf gates: instrumenting the serving hot path must cost
+# <= 5% throughput vs the uninstrumented path (BENCH_obs.json), the
 # lock-free batched ring must beat the pre-ring mutex queue >= 5x into a
-# single shard (BENCH_queue.json).
+# single shard (BENCH_queue.json), and TCP ingest must sustain >= 80% of
+# in-process SubmitBatch throughput at 8 connections (BENCH_net.json).
 #
 # Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan] [--skip-smoke]
 #                         [--skip-bench]
@@ -42,11 +46,12 @@ else
     -DCORDIAL_BUILD_BENCHMARKS=OFF -DCORDIAL_BUILD_EXAMPLES=OFF
   cmake --build build-tsan -j
   # Run the parallel-layer tests wide enough to exercise the worker pool,
-  # plus the serving-layer tests (shard workers + checkpointing) and the
+  # plus the serving-layer tests (shard workers + checkpointing), the
   # observability tests (concurrent metric accumulation, scrape-under-fire,
-  # the admin HTTP server).
+  # the admin HTTP server) and the network plane (reactor loop thread,
+  # ingest connections, cross-server shard migration).
   CORDIAL_THREADS=8 ctest --test-dir build-tsan --output-on-failure \
-    -R '^(Parallel|FleetServer|EngineCheckpoint|Obs|MpscRing)'
+    -R '^(Parallel|FleetServer|EngineCheckpoint|Obs|MpscRing|Net|Migration)'
 fi
 
 if [[ "$SKIP_ASAN" == "1" ]]; then
@@ -56,7 +61,7 @@ else
     -DCORDIAL_BUILD_BENCHMARKS=OFF -DCORDIAL_BUILD_EXAMPLES=OFF
   cmake --build build-asan -j
   ctest --test-dir build-asan --output-on-failure \
-    -R '^(BankProfile|PredictionEngine|StreamReplayer|Obs|Durability|Failpoint)'
+    -R '^(BankProfile|PredictionEngine|StreamReplayer|Obs|Durability|Failpoint|Net|Migration)'
 fi
 
 if [[ "$SKIP_SMOKE" == "1" ]]; then
@@ -105,6 +110,42 @@ else
   cmp "$SMOKE/ref.ckpt" "$SMOKE/crash.ckpt"
   echo "tier1: durability smoke OK (power cut at record $(( 2 * EVERY ))," \
     "resumed from record $EVERY, final checkpoints byte-identical)"
+
+  # Migration smoke with two live daemons. Both serve the TCP ingest plane;
+  # cordial_feed routes shards across them, moves shard 1 between processes
+  # mid-feed, then collects a merged checkpoint from the final owners. It
+  # must be byte-identical to the single-process never-migrated reference
+  # the durability drill already produced from the same feed.
+  NET_PIDS=""
+  cleanup_net() { [[ -n "$NET_PIDS" ]] && kill $NET_PIDS 2>/dev/null || true; }
+  trap cleanup_net EXIT
+  ./build/examples/cordial_serverd "$SMOKE/m" --shards 2 --listen-port 0 \
+    --status-every 0 > /dev/null 2> "$SMOKE/node_a.log" &
+  NET_PIDS="$!"
+  ./build/examples/cordial_serverd "$SMOKE/m" --shards 2 --listen-port 0 \
+    --status-every 0 > /dev/null 2> "$SMOKE/node_b.log" &
+  NET_PIDS="$NET_PIDS $!"
+  for _ in $(seq 1 100); do
+    grep -q "ingest listening on" "$SMOKE/node_a.log" 2>/dev/null &&
+      grep -q "ingest listening on" "$SMOKE/node_b.log" 2>/dev/null && break
+    sleep 0.1
+  done
+  PORT_A=$(sed -n 's/.*ingest listening on .*:\([0-9]*\)$/\1/p' \
+    "$SMOKE/node_a.log" | head -1)
+  PORT_B=$(sed -n 's/.*ingest listening on .*:\([0-9]*\)$/\1/p' \
+    "$SMOKE/node_b.log" | head -1)
+  [[ -n "$PORT_A" && -n "$PORT_B" ]] || {
+    echo "tier1: net smoke daemons never announced their ports"; exit 1; }
+  ./build/examples/cordial_feed "$SMOKE/log.csv" --shards 2 \
+    --to "127.0.0.1:$PORT_A" --to "127.0.0.1:$PORT_B" \
+    --migrate "1:0@$(( TOTAL / 2 ))" --collect "$SMOKE/merged.ckpt" \
+    > /dev/null 2>&1
+  kill $NET_PIDS 2>/dev/null || true
+  wait $NET_PIDS 2>/dev/null || true
+  NET_PIDS=""
+  cmp "$SMOKE/ref.ckpt" "$SMOKE/merged.ckpt"
+  echo "tier1: migration smoke OK (shard 1 moved between two processes at" \
+    "record $(( TOTAL / 2 )), merged checkpoint byte-identical)"
 fi
 
 if [[ "$SKIP_BENCH" == "1" ]]; then
@@ -115,5 +156,8 @@ else
   # Exits non-zero unless the lock-free batched ring beats the pre-ring
   # mutex queue >= 5x into one shard (BENCH_queue.json holds the rows).
   (cd build/bench && ./perf_queue_throughput)
+  # Exits non-zero unless TCP ingest sustains >= 80% of in-process
+  # SubmitBatch throughput at 8 connections (BENCH_net.json holds the rows).
+  (cd build/bench && ./perf_net_ingest)
 fi
 echo "tier1: OK"

@@ -1,6 +1,7 @@
 #include "common/framing.hpp"
 
 #include <array>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -51,9 +52,10 @@ void WarnLegacyFrame(const std::string& magic) {
                "with this build to gain checksums\n";
 }
 
-/// The 15-char layout-v2 header tail: " crc32=" + 8 hex digits. Anything
+/// Everything after the magic token on a header line: " v<version>
+/// <bytes> crc32=<8 hex>" is ~40 bytes at the widest legal values; anything
 /// longer before the newline is a corrupt header.
-constexpr std::size_t kMaxHeaderTailBytes = 32;
+constexpr std::size_t kMaxHeaderRestBytes = 64;
 
 /// Strictly the alphabet WriteFramed emits (%08x): lowercase only. Accepting
 /// uppercase would let a bit flip inside the checksum field ('c' ^ 0x20 =
@@ -68,22 +70,114 @@ int HexDigit(char c) {
 }  // namespace
 
 std::uint32_t Crc32(std::string_view data) {
-  static const std::array<std::uint32_t, 256> table = [] {
-    std::array<std::uint32_t, 256> t{};
+  // Slice-by-8: eight derived tables let one iteration fold eight input
+  // bytes, versus one per iteration for the classic single-table form. The
+  // network plane checksums every frame on both ends of every connection,
+  // so this sits on the ingest hot path; the polynomial and the result are
+  // unchanged (reflected 0xEDB88320, zlib-compatible).
+  static const std::array<std::array<std::uint32_t, 256>, 8> tables = [] {
+    std::array<std::array<std::uint32_t, 256>, 8> t{};
     for (std::uint32_t i = 0; i < 256; ++i) {
       std::uint32_t c = i;
       for (int bit = 0; bit < 8; ++bit) {
         c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
       }
-      t[i] = c;
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      for (std::size_t k = 1; k < 8; ++k) {
+        t[k][i] = t[0][t[k - 1][i] & 0xFFu] ^ (t[k - 1][i] >> 8);
+      }
     }
     return t;
   }();
+  const auto* p = reinterpret_cast<const unsigned char*>(data.data());
+  std::size_t n = data.size();
   std::uint32_t crc = 0xFFFFFFFFu;
-  for (const char ch : data) {
-    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+  while (n >= 8) {
+    // Byte-assembled loads keep this endian-independent; compilers emit a
+    // single 32-bit load on little-endian targets.
+    const std::uint32_t lo = static_cast<std::uint32_t>(p[0]) |
+                             static_cast<std::uint32_t>(p[1]) << 8 |
+                             static_cast<std::uint32_t>(p[2]) << 16 |
+                             static_cast<std::uint32_t>(p[3]) << 24;
+    const std::uint32_t hi = static_cast<std::uint32_t>(p[4]) |
+                             static_cast<std::uint32_t>(p[5]) << 8 |
+                             static_cast<std::uint32_t>(p[6]) << 16 |
+                             static_cast<std::uint32_t>(p[7]) << 24;
+    crc ^= lo;
+    crc = tables[7][crc & 0xFFu] ^ tables[6][(crc >> 8) & 0xFFu] ^
+          tables[5][(crc >> 16) & 0xFFu] ^ tables[4][crc >> 24] ^
+          tables[3][hi & 0xFFu] ^ tables[2][(hi >> 8) & 0xFFu] ^
+          tables[1][(hi >> 16) & 0xFFu] ^ tables[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = tables[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
   }
   return crc ^ 0xFFFFFFFFu;
+}
+
+FrameHeader ParseFrameHeaderLine(std::string_view line) {
+  FrameHeader header;
+  std::size_t pos = 0;
+  const auto take_token = [&]() -> std::string_view {
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+    const std::size_t start = pos;
+    while (pos < line.size() && line[pos] != ' ' && line[pos] != '\t') ++pos;
+    return line.substr(start, pos - start);
+  };
+  header.magic = std::string(take_token());
+  if (header.magic.empty()) {
+    throw ParseError("frame header: missing magic");
+  }
+  const std::string version_token(take_token());
+  if (version_token.empty()) {
+    throw ParseError(header.magic + ": missing version");
+  }
+  header.version = ParseVersionToken(version_token, header.magic);
+  const std::string_view bytes_token = take_token();
+  if (bytes_token.empty()) {
+    throw ParseError(header.magic + ": missing payload length");
+  }
+  const auto [ptr, ec] =
+      std::from_chars(bytes_token.data(), bytes_token.data() + bytes_token.size(),
+                      header.payload_bytes);
+  if (ec != std::errc() || ptr != bytes_token.data() + bytes_token.size()) {
+    throw ParseError(header.magic + ": malformed payload length '" +
+                     std::string(bytes_token) + "'");
+  }
+  // The header tail keeps the old ReadFramed grammar exactly: empty for
+  // layout v1, or precisely " crc32=<8 lowercase hex>" for v2 — anything
+  // else is a corrupt header, never a demotion to the checksum-less layout.
+  const std::string tail(line.substr(pos));
+  if (!tail.empty()) {
+    const std::string prefix = " crc32=";
+    if (tail.size() != prefix.size() + 8 ||
+        tail.compare(0, prefix.size(), prefix) != 0) {
+      throw ParseError(header.magic + ": malformed checksum field '" + tail +
+                       "'");
+    }
+    for (std::size_t i = prefix.size(); i < tail.size(); ++i) {
+      const int digit = HexDigit(tail[i]);
+      if (digit < 0) {
+        throw ParseError(header.magic + ": malformed checksum field '" + tail +
+                         "'");
+      }
+      header.crc32 =
+          (header.crc32 << 4) | static_cast<std::uint32_t>(digit);
+    }
+    header.has_checksum = true;
+  }
+  // Sanity-cap the promised length before anyone allocates for it: a
+  // corrupt byte count must be a ParseError, not a bad_alloc.
+  if (header.payload_bytes > kMaxFramePayloadBytes) {
+    throw ParseError(header.magic + ": implausible payload length " +
+                     std::to_string(header.payload_bytes) + " (limit " +
+                     std::to_string(kMaxFramePayloadBytes) + " bytes)");
+  }
+  return header;
 }
 
 FramingStats GetFramingStats() {
@@ -115,59 +209,31 @@ std::string ReadFramed(std::istream& in, const std::string& magic,
     throw ParseError(magic + ": bad magic '" + seen_magic +
                      "' (not a " + magic + " stream)");
   }
-  std::string version_token;
-  if (!(in >> version_token)) throw ParseError(magic + ": missing version");
-  const std::uint32_t version = ParseVersionToken(version_token, magic);
-  if (version != expected_version) {
-    throw ParseError(magic + ": version mismatch — stream is v" +
-                     std::to_string(version) + ", this build reads v" +
-                     std::to_string(expected_version));
-  }
-  std::uint64_t bytes = 0;
-  if (!(in >> bytes)) throw ParseError(magic + ": missing payload length");
-
-  // The rest of the header line: empty for layout v1, " crc32=<8 hex>" for
-  // layout v2. Read strictly character-by-character — whitespace-skipping
-  // extraction could silently consume payload bytes on a corrupt header.
-  std::string tail;
+  // The rest of the header line, read strictly character-by-character —
+  // whitespace-skipping extraction could silently consume payload bytes on
+  // a corrupt header. The grammar itself lives in ParseFrameHeaderLine,
+  // shared with the network plane's incremental frame assembler.
+  std::string rest;
   for (;;) {
     const int c = in.get();
     if (c == std::char_traits<char>::eof()) {
       throw ParseError(magic + ": malformed header");
     }
     if (c == '\n') break;
-    tail.push_back(static_cast<char>(c));
-    if (tail.size() > kMaxHeaderTailBytes) {
+    rest.push_back(static_cast<char>(c));
+    if (rest.size() > kMaxHeaderRestBytes) {
       throw ParseError(magic + ": malformed header");
     }
   }
-  bool has_checksum = false;
-  std::uint32_t expected_crc = 0;
-  if (!tail.empty()) {
-    // Anything other than a well-formed checksum field is a corrupt header,
-    // never a demotion to the checksum-less layout.
-    const std::string prefix = " crc32=";
-    if (tail.size() != prefix.size() + 8 ||
-        tail.compare(0, prefix.size(), prefix) != 0) {
-      throw ParseError(magic + ": malformed checksum field '" + tail + "'");
-    }
-    for (std::size_t i = prefix.size(); i < tail.size(); ++i) {
-      const int digit = HexDigit(tail[i]);
-      if (digit < 0) {
-        throw ParseError(magic + ": malformed checksum field '" + tail + "'");
-      }
-      expected_crc = (expected_crc << 4) | static_cast<std::uint32_t>(digit);
-    }
-    has_checksum = true;
+  const FrameHeader header = ParseFrameHeaderLine(seen_magic + rest);
+  if (header.version != expected_version) {
+    throw ParseError(magic + ": version mismatch — stream is v" +
+                     std::to_string(header.version) + ", this build reads v" +
+                     std::to_string(expected_version));
   }
-
-  // Sanity-cap the promised length before allocating: a corrupt byte count
-  // must be a ParseError, not a bad_alloc that kills the daemon.
-  if (bytes > kMaxFramePayloadBytes) {
-    throw ParseError(magic + ": implausible payload length " +
-                     std::to_string(bytes) + " (limit " +
-                     std::to_string(kMaxFramePayloadBytes) + " bytes)");
-  }
+  const std::uint64_t bytes = header.payload_bytes;
+  const bool has_checksum = header.has_checksum;
+  const std::uint32_t expected_crc = header.crc32;
   const std::streampos pos = in.tellg();
   if (pos != std::streampos(-1)) {
     in.seekg(0, std::ios::end);

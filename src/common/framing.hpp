@@ -64,6 +64,26 @@ struct FramingStats {
 };
 FramingStats GetFramingStats();
 
+/// One parsed header line — the shared grammar between the stream reader
+/// (ReadFramed) and the network plane's incremental frame assembler
+/// (net::FrameAssembler), which sees a byte buffer instead of an istream
+/// and must learn the payload length before the payload has arrived.
+struct FrameHeader {
+  std::string magic;
+  std::uint32_t version = 0;
+  std::uint64_t payload_bytes = 0;
+  bool has_checksum = false;  ///< false = layout v1 (checksum-less)
+  std::uint32_t crc32 = 0;    ///< meaningful only when has_checksum
+};
+
+/// Parse one header line (the bytes before the '\n', exclusive). Throws
+/// ParseError on anything that is not a well-formed layout v1/v2 header:
+/// missing fields, a malformed version or checksum token, or a payload
+/// length above kMaxFramePayloadBytes. Performs no magic/version
+/// expectation checks — callers compare against what they expect so the
+/// error can name both sides.
+FrameHeader ParseFrameHeaderLine(std::string_view line);
+
 /// Write `payload` wrapped in a `<magic> v<version> <bytes> crc32=<hex>`
 /// header (layout v2).
 void WriteFramed(std::ostream& out, const std::string& magic,

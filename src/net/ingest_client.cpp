@@ -1,0 +1,134 @@
+#include "net/ingest_client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace cordial::net {
+
+IngestClient::~IngestClient() { Close(); }
+
+void IngestClient::Connect(const std::string& address, std::uint16_t port) {
+  CORDIAL_CHECK_MSG(fd_ < 0, "ingest client already connected");
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  CORDIAL_CHECK_MSG(fd_ >= 0, "ingest client: socket() failed");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    CORDIAL_CHECK_MSG(false, "ingest client: bad address " + address);
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const std::string reason = std::strerror(errno);
+    Close();
+    CORDIAL_CHECK_MSG(false, "ingest client: cannot connect to " + address +
+                                 ":" + std::to_string(port) + " — " + reason);
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+  const Message reply = Call(Hello{});
+  const Hello* hello = std::get_if<Hello>(&reply);
+  if (hello == nullptr || hello->protocol_version != kWireVersion) {
+    Close();
+    throw ParseError("ingest client: handshake failed");
+  }
+}
+
+void IngestClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  assembler_ = FrameAssembler();
+  next_seq_ = 1;
+}
+
+Message IngestClient::Call(const Message& request) {
+  SendFrame(EncodeFrame(request));
+  return ReadReply();
+}
+
+Message IngestClient::SendBatch(std::span<const trace::MceRecord> records) {
+  const std::uint64_t sequence = next_seq_;
+  SendFrame(EncodeBatchFrame(sequence, records));
+  const Message reply = ReadReply();
+  if (const Ack* ack = std::get_if<Ack>(&reply)) {
+    if (ack->sequence != sequence) {
+      throw ParseError("ingest client: ack for wrong sequence");
+    }
+    ++next_seq_;
+    return reply;
+  }
+  if (const Reject* reject = std::get_if<Reject>(&reply)) {
+    if (reject->reason != RejectReason::kBackpressure) {
+      throw ParseError(std::string("ingest client: batch rejected (") +
+                       std::string(RejectReasonName(reject->reason)) + ")");
+    }
+    ++next_seq_;  // the batch was consumed, just not fully accepted
+    return reply;
+  }
+  throw ParseError("ingest client: unexpected reply to batch");
+}
+
+std::string IngestClient::FetchShard(std::uint32_t shard) {
+  Message reply = Call(ExportShard{shard});
+  ShardState* state = std::get_if<ShardState>(&reply);
+  if (state == nullptr || state->shard != shard) {
+    throw ParseError("ingest client: unexpected reply to shard export");
+  }
+  return std::move(state->state);
+}
+
+void IngestClient::DeliverShard(std::uint32_t shard,
+                                const std::string& state) {
+  const Message reply = Call(ImportShard{shard, state});
+  const Imported* imported = std::get_if<Imported>(&reply);
+  if (imported == nullptr || imported->shard != shard) {
+    throw ParseError("ingest client: unexpected reply to shard import");
+  }
+}
+
+void IngestClient::SendFrame(const std::string& frame) {
+  CORDIAL_CHECK_MSG(fd_ >= 0, "ingest client is not connected");
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      Close();
+      throw ParseError("ingest client: connection lost mid-send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+Message IngestClient::ReadReply() {
+  std::string payload;
+  char buf[16 * 1024];
+  for (;;) {
+    if (assembler_.Next(payload)) return DecodeMessage(payload);
+    const ssize_t n = ::read(fd_, buf, sizeof buf);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      Close();
+      throw ParseError("ingest client: connection closed awaiting reply");
+    }
+    assembler_.Append(std::string_view(buf, static_cast<std::size_t>(n)));
+  }
+}
+
+}  // namespace cordial::net

@@ -1,0 +1,62 @@
+// Blocking client for the ingest wire protocol — the feeder side.
+//
+// One request in flight at a time: Connect performs the Hello handshake,
+// SendBatch stamps the next per-connection sequence number and returns the
+// server's Ack/Reject, and the shard-migration calls wrap their
+// request/reply pairs. The client is synchronous on purpose — feeders and
+// the migration driver want the reply before deciding the next step, and a
+// blocking socket keeps their control flow linear. Anything unexpected off
+// the wire (a malformed frame, a reply of the wrong type, a closed
+// connection mid-reply) throws ParseError.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "net/wire.hpp"
+
+namespace cordial::net {
+
+class IngestClient {
+ public:
+  IngestClient() = default;
+  ~IngestClient();  ///< closes the connection if still open
+
+  IngestClient(const IngestClient&) = delete;
+  IngestClient& operator=(const IngestClient&) = delete;
+
+  /// Connect and exchange Hellos. Throws ContractViolation when the TCP
+  /// connect fails, ParseError when the handshake does.
+  void Connect(const std::string& address, std::uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Send one request frame and block for one reply frame.
+  Message Call(const Message& request);
+
+  /// Send `records` as the next Batch in sequence; returns the server's
+  /// Ack or Reject{backpressure}. A fatal Reject (bad-sequence/malformed)
+  /// throws ParseError — the server is closing the connection.
+  Message SendBatch(std::span<const trace::MceRecord> records);
+
+  /// Drain + export shard `shard` on the server; returns its framed state.
+  std::string FetchShard(std::uint32_t shard);
+
+  /// Install a FetchShard payload into shard `shard` on this server.
+  void DeliverShard(std::uint32_t shard, const std::string& state);
+
+  /// The sequence number the next SendBatch will use (starts at 1).
+  std::uint64_t next_sequence() const { return next_seq_; }
+
+ private:
+  void SendFrame(const std::string& frame);
+  Message ReadReply();
+
+  int fd_ = -1;
+  FrameAssembler assembler_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace cordial::net

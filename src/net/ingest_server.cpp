@@ -1,0 +1,285 @@
+#include "net/ingest_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace cordial::net {
+
+IngestServer::IngestServer(serve::FleetServer& fleet,
+                           IngestServerConfig config)
+    : fleet_(fleet), config_(std::move(config)) {
+  connections_opened_ = &metrics_.GetCounter(
+      "cordial_net_connections_opened_total", "Ingest connections accepted");
+  connections_refused_ = &metrics_.GetCounter(
+      "cordial_net_connections_refused_total",
+      "Connections closed at accept because the connection cap was reached");
+  frames_ = &metrics_.GetCounter("cordial_net_frames_total",
+                                 "Complete wire frames decoded");
+  records_accepted_ =
+      &metrics_.GetCounter("cordial_net_records_total",
+                           "MCE records accepted into the fleet server");
+  batches_acked_ =
+      &metrics_.GetCounter("cordial_net_batches_acked_total",
+                           "Batch frames fully accepted and acked");
+  batches_rejected_ = &metrics_.GetCounter(
+      "cordial_net_batches_rejected_total",
+      "Batch frames rejected (backpressure or protocol error)");
+  protocol_errors_ = &metrics_.GetCounter(
+      "cordial_net_protocol_errors_total",
+      "Connections dropped for malformed frames or bad sequences");
+  idle_closed_ = &metrics_.GetCounter(
+      "cordial_net_idle_closed_total",
+      "Connections closed by the per-connection idle timeout");
+  bytes_read_ = &metrics_.GetCounter("cordial_net_bytes_read_total",
+                                     "Bytes read from ingest connections");
+  bytes_written_ = &metrics_.GetCounter(
+      "cordial_net_bytes_written_total", "Bytes written to ingest connections");
+  connections_active_ = &metrics_.GetGauge("cordial_net_connections_active",
+                                           "Currently open ingest connections");
+}
+
+IngestServer::~IngestServer() { Stop(); }
+
+void IngestServer::Start() {
+  CORDIAL_CHECK_MSG(!started_, "ingest server already running");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  CORDIAL_CHECK_MSG(listen_fd_ >= 0, "ingest server: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    CORDIAL_CHECK_MSG(
+        false, "ingest server: bad bind address " + config_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    CORDIAL_CHECK_MSG(false, "ingest server: cannot listen on " +
+                                 config_.bind_address + ":" +
+                                 std::to_string(config_.port) + " — " +
+                                 reason);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+  SetNonBlocking(listen_fd_);
+
+  // The loop has not started, so registering from this thread is safe.
+  reactor_.Add(listen_fd_, kReadable, [this](std::uint32_t) { AcceptReady(); });
+  started_ = true;
+  loop_thread_ = std::thread([this] { reactor_.Run(); });
+}
+
+void IngestServer::Stop() {
+  if (!started_) return;
+  reactor_.Stop();
+  loop_thread_.join();
+  // The loop is gone; tear down its state from this thread.
+  for (auto& [fd, conn] : connections_) {
+    reactor_.Remove(fd);
+    ::close(fd);
+  }
+  connections_.clear();
+  reactor_.Remove(listen_fd_);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  started_ = false;
+}
+
+void IngestServer::AcceptReady() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or a transient accept failure: poll again
+    }
+    if (connections_.size() >= config_.max_connections) {
+      connections_refused_->Increment();
+      ::close(fd);
+      continue;
+    }
+    SetNonBlocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    auto conn = std::make_unique<Connection>(config_.max_frame_bytes);
+    conn->fd = fd;
+    ArmIdleTimer(*conn);
+    connections_.emplace(fd, std::move(conn));
+    reactor_.Add(fd, kReadable,
+                 [this, fd](std::uint32_t events) { ConnReady(fd, events); });
+    connections_opened_->Increment();
+    connections_active_->Add(1);
+  }
+}
+
+void IngestServer::ArmIdleTimer(Connection& conn) {
+  if (config_.idle_timeout.count() <= 0) return;
+  if (conn.idle_timer != Reactor::kInvalidTimer) {
+    reactor_.CancelTimer(conn.idle_timer);
+  }
+  const int fd = conn.fd;
+  conn.idle_timer = reactor_.AddTimer(config_.idle_timeout, [this, fd] {
+    idle_closed_->Increment();
+    CloseConnection(fd);
+  });
+}
+
+void IngestServer::CloseConnection(int fd) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  if (it->second->idle_timer != Reactor::kInvalidTimer) {
+    reactor_.CancelTimer(it->second->idle_timer);
+  }
+  reactor_.Remove(fd);
+  ::close(fd);
+  connections_.erase(it);
+  connections_active_->Add(-1);
+}
+
+void IngestServer::ConnReady(int fd, std::uint32_t events) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& conn = *it->second;
+
+  if (events & kError) {
+    CloseConnection(fd);
+    return;
+  }
+  if (events & kWritable) {
+    if (!FlushWrites(conn)) return;
+  }
+  if ((events & kReadable) == 0) return;
+
+  char buf[16 * 1024];
+  bool got_bytes = false;
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n > 0) {
+      got_bytes = true;
+      bytes_read_->Increment(static_cast<std::uint64_t>(n));
+      conn.assembler.Append(std::string_view(buf, static_cast<std::size_t>(n)));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    CloseConnection(fd);  // EOF or a hard read error
+    return;
+  }
+  if (got_bytes) ArmIdleTimer(conn);
+
+  try {
+    std::string payload;
+    while (conn.assembler.Next(payload)) {
+      frames_->Increment();
+      if (!HandleMessage(conn, DecodeMessage(payload))) return;
+    }
+  } catch (const ParseError&) {
+    protocol_errors_->Increment();
+    CloseConnection(fd);
+  } catch (const ContractViolation&) {
+    protocol_errors_->Increment();
+    CloseConnection(fd);
+  }
+}
+
+bool IngestServer::HandleMessage(Connection& conn, Message&& message) {
+  switch (TypeOf(message)) {
+    case MessageType::kHello:
+      return SendReply(conn, Hello{});
+    case MessageType::kBatch: {
+      Batch& batch = std::get<Batch>(message);
+      if (batch.sequence != conn.expected_seq) {
+        protocol_errors_->Increment();
+        batches_rejected_->Increment();
+        conn.close_after_flush = true;
+        return SendReply(conn,
+                         Reject{batch.sequence, RejectReason::kBadSequence,
+                                conn.accepted_records});
+      }
+      ++conn.expected_seq;
+      const std::size_t accepted = fleet_.SubmitBatch(batch.records);
+      conn.accepted_records += accepted;
+      records_accepted_->Increment(accepted);
+      if (accepted == batch.records.size()) {
+        batches_acked_->Increment();
+        return SendReply(conn, Ack{batch.sequence, conn.accepted_records});
+      }
+      batches_rejected_->Increment();
+      return SendReply(conn,
+                       Reject{batch.sequence, RejectReason::kBackpressure,
+                              conn.accepted_records});
+    }
+    case MessageType::kExportShard: {
+      const std::uint32_t shard = std::get<ExportShard>(message).shard;
+      // Throws ContractViolation on a bad index — caught by ConnReady.
+      std::string state = fleet_.ExportShard(shard);
+      return SendReply(conn, ShardState{shard, std::move(state)});
+    }
+    case MessageType::kImportShard: {
+      ImportShard& import = std::get<ImportShard>(message);
+      fleet_.ImportShard(import.shard, import.state);
+      return SendReply(conn, Imported{import.shard});
+    }
+    case MessageType::kAck:
+    case MessageType::kReject:
+    case MessageType::kShardState:
+    case MessageType::kImported:
+      // Server-to-client messages arriving at the server: protocol error.
+      protocol_errors_->Increment();
+      CloseConnection(conn.fd);
+      return false;
+  }
+  return true;
+}
+
+bool IngestServer::SendReply(Connection& conn, const Message& message) {
+  conn.out += EncodeFrame(message);
+  return FlushWrites(conn);
+}
+
+bool IngestServer::FlushWrites(Connection& conn) {
+  const int fd = conn.fd;
+  while (!conn.out.empty()) {
+    const ssize_t n = ::send(fd, conn.out.data(), conn.out.size(),
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      bytes_written_->Increment(static_cast<std::uint64_t>(n));
+      conn.out.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      reactor_.SetInterest(fd, kReadable | kWritable);
+      return true;  // backlog remains; the loop resumes when writable
+    }
+    CloseConnection(fd);  // peer is gone
+    return false;
+  }
+  if (conn.close_after_flush) {
+    CloseConnection(fd);
+    return false;
+  }
+  reactor_.SetInterest(fd, kReadable);
+  return true;
+}
+
+}  // namespace cordial::net

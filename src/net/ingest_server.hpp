@@ -1,0 +1,126 @@
+// TCP ingest front end for a FleetServer, built on the net::Reactor.
+//
+// One loop thread owns the listening socket and every connection; each
+// connection is a small state machine (FrameAssembler in, write backlog
+// out, expected sequence number, idle timer). Decoded Batch frames feed
+// FleetServer::SubmitBatch on the loop thread — the fleet server's shard
+// rings are the concurrency boundary, so the network plane itself never
+// needs more than one thread. Replies follow the wire contract in
+// net/wire.hpp: Ack when the whole batch landed, Reject{backpressure} when
+// the fleet server's overload policy refused part of it, Reject{bad-seq /
+// malformed} followed by a close on protocol violations.
+//
+// Shard migration terminates here too: ExportShard drains the shard and
+// answers with its framed engine state; ImportShard installs one. Both run
+// on the loop thread — a drain briefly stalls other connections, which is
+// deliberate: migration is an operator action and the driver has already
+// stopped feeding the moving shard.
+//
+// Slow or dead peers: every connection carries an idle timer that re-arms
+// on every byte read; firing closes the connection and bumps
+// cordial_net_idle_closed_total. This is the slow-loris defence — a peer
+// trickling a frame one byte per minute cannot hold a connection slot.
+//
+// All cordial_net_* metrics live in the server's own registry, merged into
+// the daemon's scrape by whoever wires /metrics.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "net/reactor.hpp"
+#include "net/wire.hpp"
+#include "obs/metrics.hpp"
+#include "serve/fleet_server.hpp"
+
+namespace cordial::net {
+
+struct IngestServerConfig {
+  /// Interface to bind. Loopback by default, like the admin plane.
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 asks the kernel for an ephemeral port (see port()).
+  std::uint16_t port = 0;
+  /// A connection that reads no bytes for this long is closed (and counted
+  /// in cordial_net_idle_closed_total). Zero disables the timeout.
+  std::chrono::milliseconds idle_timeout{30000};
+  /// Connections beyond this are accepted and immediately closed.
+  std::size_t max_connections = 64;
+  /// Per-frame payload cap handed to each connection's FrameAssembler.
+  std::uint64_t max_frame_bytes = kMaxWireFrameBytes;
+};
+
+class IngestServer {
+ public:
+  IngestServer(serve::FleetServer& fleet, IngestServerConfig config = {});
+  ~IngestServer();  ///< stops the server if still running
+
+  IngestServer(const IngestServer&) = delete;
+  IngestServer& operator=(const IngestServer&) = delete;
+
+  /// Bind, listen and spawn the loop thread. Throws ContractViolation when
+  /// the socket cannot be bound.
+  void Start();
+
+  /// Close every connection, stop the loop and join it. Idempotent.
+  void Stop();
+
+  /// The bound port — the kernel's choice when config.port was 0. Valid
+  /// after Start.
+  std::uint16_t port() const { return port_; }
+  bool running() const { return reactor_.running(); }
+
+  /// Scrape the cordial_net_* metrics. Safe from any thread, any time.
+  obs::RegistrySnapshot MetricsSnapshot() const { return metrics_.Snapshot(); }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    FrameAssembler assembler;
+    std::string out;                 ///< unflushed reply bytes
+    std::uint64_t expected_seq = 1;  ///< next Batch sequence we will accept
+    std::uint64_t accepted_records = 0;
+    bool close_after_flush = false;  ///< fatal reply queued; close once sent
+    Reactor::TimerId idle_timer = Reactor::kInvalidTimer;
+
+    explicit Connection(std::uint64_t max_frame_bytes)
+        : assembler(max_frame_bytes) {}
+  };
+
+  // All of these run on the loop thread. Functions that might close the
+  // connection return false when they did, so callers drop their reference.
+  void AcceptReady();
+  void ConnReady(int fd, std::uint32_t events);
+  bool HandleMessage(Connection& conn, Message&& message);
+  bool SendReply(Connection& conn, const Message& message);
+  bool FlushWrites(Connection& conn);
+  void ArmIdleTimer(Connection& conn);
+  void CloseConnection(int fd);
+
+  serve::FleetServer& fleet_;
+  IngestServerConfig config_;
+  Reactor reactor_;
+  std::thread loop_thread_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  bool started_ = false;
+  std::unordered_map<int, std::unique_ptr<Connection>> connections_;
+
+  obs::MetricRegistry metrics_;
+  obs::Counter* connections_opened_;
+  obs::Counter* connections_refused_;
+  obs::Counter* frames_;
+  obs::Counter* records_accepted_;
+  obs::Counter* batches_acked_;
+  obs::Counter* batches_rejected_;
+  obs::Counter* protocol_errors_;
+  obs::Counter* idle_closed_;
+  obs::Counter* bytes_read_;
+  obs::Counter* bytes_written_;
+  obs::Gauge* connections_active_;
+};
+
+}  // namespace cordial::net

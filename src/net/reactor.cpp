@@ -1,0 +1,263 @@
+#include "net/reactor.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace cordial::net {
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+Reactor::Reactor() : epoch_(std::chrono::steady_clock::now()) {
+  CORDIAL_CHECK_MSG(::pipe(wake_fds_) == 0, "reactor: pipe() failed");
+  SetNonBlocking(wake_fds_[0]);
+  SetNonBlocking(wake_fds_[1]);
+}
+
+Reactor::~Reactor() {
+  CORDIAL_CHECK_MSG(!running(), "reactor destroyed while running");
+  ::close(wake_fds_[0]);
+  ::close(wake_fds_[1]);
+}
+
+void Reactor::Add(int fd, std::uint32_t interest, FdCallback callback) {
+  CORDIAL_CHECK_MSG(fd >= 0, "reactor: registering a bad fd");
+  const auto it = index_.find(fd);
+  CORDIAL_CHECK_MSG(it == index_.end() || entries_[it->second].dead,
+                    "reactor: fd registered twice");
+  FdEntry entry;
+  entry.fd = fd;
+  entry.interest = interest;
+  entry.callback = std::move(callback);
+  index_[fd] = entries_.size();
+  entries_.push_back(std::move(entry));
+}
+
+void Reactor::SetInterest(int fd, std::uint32_t interest) {
+  const auto it = index_.find(fd);
+  CORDIAL_CHECK_MSG(it != index_.end() && !entries_[it->second].dead,
+                    "reactor: SetInterest on an unregistered fd");
+  entries_[it->second].interest = interest;
+}
+
+void Reactor::Remove(int fd) {
+  const auto it = index_.find(fd);
+  if (it == index_.end()) return;
+  entries_[it->second].dead = true;
+  entries_[it->second].callback = nullptr;  // release captured state now
+  index_.erase(it);
+  entries_dirty_ = true;
+}
+
+std::size_t Reactor::fd_count() const { return index_.size(); }
+
+std::int64_t Reactor::NowTick() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+             .count() /
+         kTickMillis;
+}
+
+Reactor::TimerId Reactor::AddTimer(std::chrono::milliseconds delay,
+                                   std::function<void()> callback) {
+  // Round the delay up to whole ticks and never arm in the current tick —
+  // the sweep has already passed it.
+  const std::int64_t delay_ticks = std::max<std::int64_t>(
+      1, (delay.count() + kTickMillis - 1) / kTickMillis);
+  const std::int64_t expiry_tick =
+      std::max(NowTick(), cursor_tick_) + delay_ticks;
+  const std::int64_t delta = expiry_tick - cursor_tick_;
+  Timer timer;
+  timer.id = next_timer_id_++;
+  timer.rounds = static_cast<std::uint64_t>((delta - 1)) / kWheelSlots;
+  timer.callback = std::move(callback);
+  const std::size_t slot =
+      static_cast<std::size_t>(expiry_tick) % kWheelSlots;
+  const TimerId id = timer.id;
+  timer_slot_[id] = slot;
+  wheel_[slot].push_back(std::move(timer));
+  ++live_timers_;
+  return id;
+}
+
+void Reactor::CancelTimer(TimerId id) {
+  const auto it = timer_slot_.find(id);
+  if (it == timer_slot_.end()) return;
+  std::vector<Timer>& slot = wheel_[it->second];
+  for (std::size_t i = 0; i < slot.size(); ++i) {
+    if (slot[i].id == id) {
+      slot.erase(slot.begin() + static_cast<std::ptrdiff_t>(i));
+      --live_timers_;
+      break;
+    }
+  }
+  timer_slot_.erase(it);
+}
+
+void Reactor::AdvanceWheel() {
+  const std::int64_t now_tick = NowTick();
+  if (now_tick <= cursor_tick_) return;
+  if (live_timers_ == 0) {  // nothing armed: skip the empty sweep entirely
+    cursor_tick_ = now_tick;
+    return;
+  }
+  std::vector<Timer> due;
+  for (std::int64_t tick = cursor_tick_ + 1; tick <= now_tick; ++tick) {
+    std::vector<Timer>& slot =
+        wheel_[static_cast<std::size_t>(tick) % kWheelSlots];
+    if (slot.empty()) continue;
+    std::vector<Timer> keep;
+    keep.reserve(slot.size());
+    for (Timer& timer : slot) {
+      if (timer.rounds > 0) {
+        --timer.rounds;
+        keep.push_back(std::move(timer));
+      } else {
+        timer_slot_.erase(timer.id);
+        --live_timers_;
+        due.push_back(std::move(timer));
+      }
+    }
+    slot = std::move(keep);
+  }
+  cursor_tick_ = now_tick;
+  // Fire after the wheel is consistent again: a timer callback may arm or
+  // cancel other timers (idle timeouts re-arm on every read).
+  for (Timer& timer : due) timer.callback();
+}
+
+int Reactor::PollTimeoutMillis() const {
+  {
+    std::lock_guard<std::mutex> lock(post_mutex_);
+    if (!posted_.empty()) return 0;
+  }
+  if (live_timers_ == 0) return -1;
+  // Wake at the next armed slot within one revolution (or a full
+  // revolution out, when every live timer still has rounds to serve), not
+  // every tick — an idle connection's 30s timeout must not cost 100
+  // wakeups a second.
+  std::int64_t delta = kWheelSlots;
+  for (std::int64_t d = 1; d <= static_cast<std::int64_t>(kWheelSlots); ++d) {
+    if (!wheel_[static_cast<std::size_t>(cursor_tick_ + d) % kWheelSlots]
+             .empty()) {
+      delta = d;
+      break;
+    }
+  }
+  const std::int64_t now_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count();
+  const std::int64_t target_ms = (cursor_tick_ + delta) * kTickMillis;
+  return static_cast<int>(std::clamp<std::int64_t>(
+      target_ms - now_ms, 1, kWheelSlots * kTickMillis));
+}
+
+void Reactor::DrainWakePipe() {
+  char buf[64];
+  while (::read(wake_fds_[0], buf, sizeof buf) > 0) {
+  }
+}
+
+void Reactor::RunPosted() {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(post_mutex_);
+    tasks.swap(posted_);
+  }
+  for (auto& task : tasks) task();
+}
+
+void Reactor::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(post_mutex_);
+    posted_.push_back(std::move(fn));
+  }
+  const char byte = 0;
+  // A full pipe is fine: the loop is already scheduled to wake.
+  [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &byte, 1);
+}
+
+void Reactor::Stop() {
+  stop_.store(true, std::memory_order_release);
+  const char byte = 0;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &byte, 1);
+}
+
+void Reactor::Run() {
+  CORDIAL_CHECK_MSG(!running_.exchange(true, std::memory_order_acq_rel),
+                    "reactor already running");
+  struct ReadyFd {
+    int fd;
+    std::uint32_t events;
+  };
+  std::vector<pollfd> pollfds;
+  std::vector<ReadyFd> ready_fds;
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfds.clear();
+    pollfds.push_back({wake_fds_[0], POLLIN, 0});
+    for (const FdEntry& entry : entries_) {
+      if (entry.dead) continue;
+      short events = 0;
+      if (entry.interest & kReadable) events |= POLLIN;
+      if (entry.interest & kWritable) events |= POLLOUT;
+      pollfds.push_back({entry.fd, events, 0});
+    }
+
+    const int ready = ::poll(pollfds.data(),
+                             static_cast<nfds_t>(pollfds.size()),
+                             PollTimeoutMillis());
+    if (ready < 0 && errno != EINTR) break;  // unrecoverable poll failure
+
+    if (!pollfds.empty() && pollfds[0].revents != 0) DrainWakePipe();
+    RunPosted();
+    AdvanceWheel();
+    if (stop_.load(std::memory_order_acquire)) break;
+
+    // Collect the ready set first: callbacks mutate entries_/index_
+    // (Remove, even Add), which would invalidate direct iteration.
+    ready_fds.clear();
+    for (std::size_t i = 1; i < pollfds.size(); ++i) {
+      const short revents = pollfds[i].revents;
+      if (revents == 0) continue;
+      std::uint32_t events = 0;
+      if (revents & (POLLIN | POLLPRI)) events |= kReadable;
+      if (revents & POLLOUT) events |= kWritable;
+      if (revents & (POLLERR | POLLHUP | POLLNVAL)) events |= kError;
+      ready_fds.push_back({pollfds[i].fd, events});
+    }
+    for (const ReadyFd& ready_fd : ready_fds) {
+      const auto it = index_.find(ready_fd.fd);
+      if (it == index_.end() || entries_[it->second].dead) continue;
+      // Take a handle on the std::function rather than the entry: the
+      // callback may push new registrations and reallocate entries_.
+      const FdCallback callback = entries_[it->second].callback;
+      callback(ready_fd.events);
+    }
+
+    if (entries_dirty_) {
+      entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                    [](const FdEntry& e) { return e.dead; }),
+                     entries_.end());
+      index_.clear();
+      for (std::size_t i = 0; i < entries_.size(); ++i) {
+        index_[entries_[i].fd] = i;
+      }
+      entries_dirty_ = false;
+    }
+  }
+  stop_.store(false, std::memory_order_release);  // allow a future Run
+  running_.store(false, std::memory_order_release);
+}
+
+}  // namespace cordial::net

@@ -1,0 +1,146 @@
+// Single-threaded poll(2) reactor — the event loop under the whole network
+// plane (TCP ingest, the obs admin server).
+//
+// One thread calls Run(); everything else is callbacks on that thread.
+// Registered fds must be non-blocking (SetNonBlocking below): the loop
+// polls the whole registration set, then invokes each ready fd's callback
+// with the subset of {kReadable, kWritable, kError} that fired. Callbacks
+// own all per-connection state, so no registration data is ever touched
+// from two threads — the only thread-safe entry points are Post() and
+// Stop(), which hand work to the loop through a self-pipe (write one byte,
+// poll wakes, the loop drains the task queue). Everything else (Add /
+// SetInterest / Remove / timers) must be called on the loop thread or
+// before Run starts.
+//
+// Timers are a classic timer wheel: kWheelSlots buckets of kTickMillis
+// each. Arming a timer hashes its expiry tick into a slot and records how
+// many full wheel revolutions remain; each loop iteration advances the
+// cursor over the elapsed slots and fires (or decrements) what it finds
+// there. Arm and cancel are O(1), the per-tick sweep touches only one
+// slot, and the poll timeout collapses to "time until the next tick" only
+// while timers are actually live — an idle reactor with no timers blocks
+// in poll indefinitely. Granularity is deliberately coarse (10ms): every
+// timer in this plane is an idle/read timeout measured in seconds, where
+// ±10ms of slop buys a sweep that never scans the full timer set.
+//
+// Removal during dispatch is safe: Remove() marks the registration dead
+// and the loop skips dead entries for the rest of the iteration, so a
+// callback may close and remove any fd — including its own.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace cordial::net {
+
+/// Event bits passed to fd callbacks and used as interest masks.
+inline constexpr std::uint32_t kReadable = 1;
+inline constexpr std::uint32_t kWritable = 2;
+/// Delivered regardless of interest: POLLERR/POLLHUP/POLLNVAL. A callback
+/// receiving kError should tear the connection down.
+inline constexpr std::uint32_t kError = 4;
+
+/// Set O_NONBLOCK on `fd`; returns false when fcntl fails.
+bool SetNonBlocking(int fd);
+
+class Reactor {
+ public:
+  using FdCallback = std::function<void(std::uint32_t events)>;
+  using TimerId = std::uint64_t;
+  static constexpr TimerId kInvalidTimer = 0;
+
+  Reactor();
+  ~Reactor();  ///< must not be running (Stop + join the Run thread first)
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  // --- loop-thread-only registration API ---------------------------------
+
+  /// Register `fd` with an interest mask. The callback fires with the ready
+  /// events each time poll reports the fd. The fd must already be
+  /// non-blocking; the reactor never closes it — owners do.
+  void Add(int fd, std::uint32_t interest, FdCallback callback);
+  /// Change the interest mask of a registered fd (e.g. add kWritable while
+  /// a write backlog exists, drop it when drained).
+  void SetInterest(int fd, std::uint32_t interest);
+  /// Deregister `fd`. Safe from inside any callback, including the fd's
+  /// own — the loop skips the dead registration for the rest of the
+  /// current dispatch round.
+  void Remove(int fd);
+
+  /// One-shot timer: run `callback` on the loop thread after >= `delay`
+  /// (rounded up to the wheel tick). Returns an id for CancelTimer.
+  TimerId AddTimer(std::chrono::milliseconds delay,
+                   std::function<void()> callback);
+  /// Cancel a pending timer; a no-op when it already fired or never existed.
+  void CancelTimer(TimerId id);
+
+  // --- thread-safe API ----------------------------------------------------
+
+  /// Run `fn` on the loop thread at the next iteration. Callable from any
+  /// thread, including the loop thread itself (the task queues and runs on
+  /// the following iteration).
+  void Post(std::function<void()> fn);
+
+  /// Process events until Stop. Must be called by exactly one thread.
+  void Run();
+
+  /// Make Run return after it finishes the current iteration. Callable
+  /// from any thread; idempotent.
+  void Stop();
+
+  /// True while some thread is inside Run. (Racy by nature — intended for
+  /// asserts and tests.)
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Registered fd count (loop thread only; for tests/introspection).
+  std::size_t fd_count() const;
+
+  static constexpr std::size_t kWheelSlots = 512;
+  static constexpr std::int64_t kTickMillis = 10;
+
+ private:
+  struct FdEntry {
+    int fd = -1;
+    std::uint32_t interest = 0;
+    FdCallback callback;
+    bool dead = false;  ///< removed mid-dispatch; reaped after the round
+  };
+  struct Timer {
+    TimerId id = kInvalidTimer;
+    std::uint64_t rounds = 0;  ///< full wheel revolutions still to wait
+    std::function<void()> callback;
+  };
+
+  std::int64_t NowTick() const;
+  void AdvanceWheel();
+  void DrainWakePipe();
+  void RunPosted();
+  /// Poll timeout: -1 with no timers or posted work, else ms to next tick.
+  int PollTimeoutMillis() const;
+
+  int wake_fds_[2] = {-1, -1};  // self-pipe: Post/Stop wake the poll
+  std::vector<FdEntry> entries_;               // dense; dead entries reaped
+  std::unordered_map<int, std::size_t> index_;  // fd -> entries_ slot
+  bool entries_dirty_ = false;  ///< a dispatch round removed something
+
+  std::vector<std::vector<Timer>> wheel_{kWheelSlots};
+  std::unordered_map<TimerId, std::size_t> timer_slot_;  // live timers
+  std::size_t live_timers_ = 0;
+  TimerId next_timer_id_ = 1;
+  std::chrono::steady_clock::time_point epoch_;
+  std::int64_t cursor_tick_ = 0;  ///< last tick the wheel advanced through
+
+  mutable std::mutex post_mutex_;
+  std::vector<std::function<void()>> posted_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace cordial::net

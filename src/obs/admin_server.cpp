@@ -2,11 +2,11 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -17,6 +17,10 @@ namespace cordial::obs {
 namespace {
 
 constexpr std::size_t kMaxRequestBytes = 16 * 1024;
+/// A client that has not delivered its request head within this long is
+/// stalled; the reactor timer closes it (the old blocking implementation
+/// bounded the same hazard with SO_RCVTIMEO).
+constexpr std::chrono::milliseconds kStallTimeout{2000};
 
 std::string StatusLine(int code) {
   switch (code) {
@@ -27,40 +31,19 @@ std::string StatusLine(int code) {
   }
 }
 
-void SendAll(int fd, const std::string& data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n =
-        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (n < 0 && errno == EINTR) continue;  // signal mid-send: not peer-gone
-    if (n <= 0) return;  // peer went away; nothing useful to do
-    sent += static_cast<std::size_t>(n);
-  }
-}
-
-void SendResponse(int fd, int code, const std::string& content_type,
-                  const std::string& body) {
+std::string BuildResponse(int code, const std::string& content_type,
+                          const std::string& body) {
   std::string response = StatusLine(code);
   response += "\r\nContent-Type: " + content_type;
   response += "\r\nContent-Length: " + std::to_string(body.size());
   response += "\r\nConnection: close\r\n\r\n";
   response += body;
-  SendAll(fd, response);
+  return response;
 }
 
-/// Read until the header terminator (we never expect a body on GET).
-std::string ReadRequestHead(int fd) {
-  std::string request;
-  char buf[1024];
-  while (request.find("\r\n\r\n") == std::string::npos &&
-         request.find("\n\n") == std::string::npos &&
-         request.size() < kMaxRequestBytes) {
-    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
-    if (n < 0 && errno == EINTR) continue;  // signal mid-read: keep reading
-    if (n <= 0) break;
-    request.append(buf, static_cast<std::size_t>(n));
-  }
-  return request;
+bool RequestHeadComplete(const std::string& request) {
+  return request.find("\r\n\r\n") != std::string::npos ||
+         request.find("\n\n") != std::string::npos;
 }
 
 }  // namespace
@@ -113,13 +96,16 @@ void AdminServer::Start() {
   socklen_t bound_len = sizeof bound;
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
   port_ = ntohs(bound.sin_port);
+  net::SetNonBlocking(listen_fd_);
 
-  CORDIAL_CHECK_MSG(::pipe(wake_fds_) == 0, "admin server: pipe() failed");
+  // The loop has not started yet; registering from this thread is safe.
+  reactor_.Add(listen_fd_, net::kReadable,
+               [this](std::uint32_t) { AcceptReady(); });
   {
     std::lock_guard<std::mutex> lock(mutex_);
     running_ = true;
   }
-  thread_ = std::thread(&AdminServer::ServeLoop, this);
+  loop_thread_ = std::thread([this] { reactor_.Run(); });
 }
 
 void AdminServer::Stop() {
@@ -128,13 +114,16 @@ void AdminServer::Stop() {
     if (!running_) return;
     running_ = false;
   }
-  const char byte = 0;
-  [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &byte, 1);
-  thread_.join();
+  reactor_.Stop();
+  loop_thread_.join();
+  for (auto& [fd, conn] : connections_) {
+    reactor_.Remove(fd);
+    ::close(fd);
+  }
+  connections_.clear();
+  reactor_.Remove(listen_fd_);
   ::close(listen_fd_);
-  ::close(wake_fds_[0]);
-  ::close(wake_fds_[1]);
-  listen_fd_ = wake_fds_[0] = wake_fds_[1] = -1;
+  listen_fd_ = -1;
 }
 
 bool AdminServer::running() const {
@@ -142,29 +131,74 @@ bool AdminServer::running() const {
   return running_;
 }
 
-void AdminServer::ServeLoop() {
+void AdminServer::AcceptReady() {
   for (;;) {
-    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_fds_[0], POLLIN, 0}};
-    const int ready = ::poll(fds, 2, -1);
-    if (ready < 0) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
       if (errno == EINTR) continue;
       return;
     }
-    if (fds[1].revents != 0) return;  // Stop() woke us
-    if ((fds[0].revents & POLLIN) == 0) continue;
-    const int conn = ::accept(listen_fd_, nullptr, nullptr);
-    if (conn < 0) continue;
-    // Bound how long a stalled client can hold the (single) accept thread.
-    timeval timeout{2, 0};
-    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
-    ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof timeout);
-    HandleConnection(conn);
-    ::close(conn);
+    net::SetNonBlocking(fd);
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->stall_timer =
+        reactor_.AddTimer(kStallTimeout, [this, fd] { CloseConnection(fd); });
+    connections_.emplace(fd, std::move(conn));
+    reactor_.Add(fd, net::kReadable, [this, fd](std::uint32_t events) {
+      ConnReady(fd, events);
+    });
   }
 }
 
-void AdminServer::HandleConnection(int fd) {
-  const std::string request = ReadRequestHead(fd);
+void AdminServer::CloseConnection(int fd) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  if (it->second->stall_timer != net::Reactor::kInvalidTimer) {
+    reactor_.CancelTimer(it->second->stall_timer);
+  }
+  reactor_.Remove(fd);
+  ::close(fd);
+  connections_.erase(it);
+}
+
+void AdminServer::ConnReady(int fd, std::uint32_t events) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& conn = *it->second;
+
+  if (events & net::kError) {
+    CloseConnection(fd);
+    return;
+  }
+  if (events & net::kWritable) {
+    if (!FlushWrites(conn)) return;
+  }
+  if ((events & net::kReadable) == 0 || conn.responding) return;
+
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n > 0) {
+      conn.request.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n == 0 && !RequestHeadComplete(conn.request)) {
+      CloseConnection(fd);  // peer quit before finishing the request
+      return;
+    }
+    break;  // EOF after a complete head, or a hard error surfacing below
+  }
+  if (RequestHeadComplete(conn.request) ||
+      conn.request.size() >= kMaxRequestBytes) {
+    Respond(conn);
+  }
+}
+
+void AdminServer::Respond(Connection& conn) {
+  conn.responding = true;
+  const std::string& request = conn.request;
   const std::size_t line_end = request.find_first_of("\r\n");
   const std::string request_line =
       line_end == std::string::npos ? request : request.substr(0, line_end);
@@ -175,7 +209,9 @@ void AdminServer::HandleConnection(int fd) {
           ? std::string::npos
           : request_line.find(' ', method_end + 1);
   if (method_end == std::string::npos || target_end == std::string::npos) {
-    SendResponse(fd, 405, "text/plain; charset=utf-8", "malformed request\n");
+    conn.out = BuildResponse(405, "text/plain; charset=utf-8",
+                             "malformed request\n");
+    FlushWrites(conn);
     return;
   }
   const std::string method = request_line.substr(0, method_end);
@@ -185,8 +221,9 @@ void AdminServer::HandleConnection(int fd) {
   if (query != std::string::npos) path.resize(query);
 
   if (method != "GET") {
-    SendResponse(fd, 405, "text/plain; charset=utf-8",
-                 "only GET is supported\n");
+    conn.out = BuildResponse(405, "text/plain; charset=utf-8",
+                             "only GET is supported\n");
+    FlushWrites(conn);
     return;
   }
 
@@ -208,15 +245,41 @@ void AdminServer::HandleConnection(int fd) {
         body += "  " + known_path + "\n";
       }
     }
-    SendResponse(fd, 404, "text/plain; charset=utf-8", body);
+    conn.out = BuildResponse(404, "text/plain; charset=utf-8", body);
+    FlushWrites(conn);
     return;
   }
   try {
-    SendResponse(fd, 200, route.content_type, route.handler());
+    conn.out = BuildResponse(200, route.content_type, route.handler());
   } catch (const std::exception& e) {
-    SendResponse(fd, 500, "text/plain; charset=utf-8",
-                 std::string("handler error: ") + e.what() + "\n");
+    conn.out = BuildResponse(500, "text/plain; charset=utf-8",
+                             std::string("handler error: ") + e.what() + "\n");
   }
+  FlushWrites(conn);
+}
+
+bool AdminServer::FlushWrites(Connection& conn) {
+  const int fd = conn.fd;
+  while (!conn.out.empty()) {
+    const ssize_t n =
+        ::send(fd, conn.out.data(), conn.out.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      reactor_.SetInterest(fd, net::kReadable | net::kWritable);
+      return true;
+    }
+    CloseConnection(fd);  // peer went away; nothing useful to do
+    return false;
+  }
+  if (conn.responding) {
+    CloseConnection(fd);  // one response per connection, then close
+    return false;
+  }
+  return true;
 }
 
 }  // namespace cordial::obs

@@ -1,13 +1,18 @@
-// Minimal blocking HTTP admin plane over plain BSD sockets — no external
-// dependencies, one accept thread, Connection: close on every response.
+// Minimal HTTP admin plane on the shared net::Reactor event loop — no
+// external dependencies, one loop thread, Connection: close on every
+// response.
 //
 // This is an operator endpoint, not a traffic server: a Prometheus scraper
-// or a human with curl hits it every few seconds, so requests are handled
-// serially on the accept thread and each connection carries exactly one GET.
-// Handlers run on that thread; they must be safe to call concurrently with
-// the daemon's workers (the obs metric snapshots are — atomics and
-// per-registry locks only) and a throwing handler becomes a 500 rather than
-// taking the daemon down.
+// or a human with curl hits it every few seconds, so each connection
+// carries exactly one GET. Connections are per-fd state machines on the
+// reactor: non-blocking reads accumulate the request head, the response is
+// flushed through a write backlog, and a per-connection timer closes
+// clients that stall mid-request — a slow peer can no longer hold the
+// plane hostage the way it could the old blocking accept thread. Handlers
+// run on the loop thread; they must be safe to call concurrently with the
+// daemon's workers (the obs metric snapshots are — atomics and
+// per-registry locks only) and a throwing handler becomes a 500 rather
+// than taking the daemon down.
 //
 // `/healthz` is built in (returns "ok"); `/metrics`, `/statusz` and anything
 // else are added by the daemon via AddHandler. Binding port 0 picks an
@@ -17,9 +22,13 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
+
+#include "net/reactor.hpp"
 
 namespace cordial::obs {
 
@@ -33,7 +42,7 @@ struct AdminServerConfig {
 
 class AdminServer {
  public:
-  /// Produces a response body. Runs on the accept thread per request.
+  /// Produces a response body. Runs on the loop thread per request.
   using Handler = std::function<std::string()>;
 
   explicit AdminServer(AdminServerConfig config = {});
@@ -47,11 +56,11 @@ class AdminServer {
   void AddHandler(const std::string& path, const std::string& content_type,
                   Handler handler);
 
-  /// Bind, listen and spawn the accept thread. Throws ContractViolation
+  /// Bind, listen and spawn the loop thread. Throws ContractViolation
   /// when the socket cannot be bound (port in use, bad address).
   void Start();
 
-  /// Shut the listener down and join the accept thread. Idempotent.
+  /// Shut the listener down and join the loop thread. Idempotent.
   void Stop();
 
   /// The bound port — the kernel's choice when config.port was 0. Valid
@@ -64,15 +73,28 @@ class AdminServer {
     std::string content_type;
     Handler handler;
   };
+  /// One in-flight GET: request head in, response backlog out.
+  struct Connection {
+    int fd = -1;
+    std::string request;
+    std::string out;
+    bool responding = false;  ///< request parsed; only writes remain
+    net::Reactor::TimerId stall_timer = net::Reactor::kInvalidTimer;
+  };
 
-  void ServeLoop();
-  void HandleConnection(int fd);
+  // Loop-thread-only connection machinery.
+  void AcceptReady();
+  void ConnReady(int fd, std::uint32_t events);
+  void Respond(Connection& conn);
+  bool FlushWrites(Connection& conn);
+  void CloseConnection(int fd);
 
   AdminServerConfig config_;
   std::uint16_t port_ = 0;
   int listen_fd_ = -1;
-  int wake_fds_[2] = {-1, -1};  // self-pipe: Stop() unblocks the poll
-  std::thread thread_;
+  net::Reactor reactor_;
+  std::thread loop_thread_;
+  std::unordered_map<int, std::unique_ptr<Connection>> connections_;
   mutable std::mutex mutex_;  // guards routes_ and running_
   std::map<std::string, Route> routes_;
   bool running_ = false;

@@ -39,8 +39,33 @@ void FleetServer::Start() {
 }
 
 std::size_t FleetServer::ShardOf(std::uint64_t bank_key) const {
+  return ShardIndexOf(bank_key, shards_.size());
+}
+
+std::size_t FleetServer::ShardIndexOf(std::uint64_t bank_key,
+                                      std::size_t shard_count) {
   std::uint64_t state = bank_key;
-  return static_cast<std::size_t>(SplitMix64(state) % shards_.size());
+  return static_cast<std::size_t>(SplitMix64(state) % shard_count);
+}
+
+void FleetServer::DrainShard(std::size_t index) {
+  CORDIAL_CHECK_MSG(index < shards_.size(), "DrainShard: no such shard");
+  shards_[index]->Drain();
+}
+
+std::string FleetServer::ExportShard(std::size_t index) {
+  CORDIAL_CHECK_MSG(index < shards_.size(), "ExportShard: no such shard");
+  shards_[index]->Drain();
+  std::ostringstream state;
+  shards_[index]->SaveState(state);
+  return state.str();
+}
+
+void FleetServer::ImportShard(std::size_t index, const std::string& state) {
+  CORDIAL_CHECK_MSG(index < shards_.size(), "ImportShard: no such shard");
+  shards_[index]->Drain();
+  std::istringstream in(state);
+  shards_[index]->RestoreState(in);
 }
 
 bool FleetServer::Submit(const trace::MceRecord& record) {

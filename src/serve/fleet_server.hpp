@@ -12,6 +12,18 @@
 // Checkpointing: SaveCheckpoint serializes every shard's engine into one
 // versioned frame; RestoreCheckpoint rebuilds a same-shape server that
 // resumes bit-identically. Both require the server to be drained.
+//
+// Migration: a shard's engine state can leave one server and land in
+// another. ExportShard drains the shard and returns its framed engine
+// section (the exact bytes a checkpoint would hold for it); ImportShard
+// installs such a section into the same-index shard of another server.
+// Routing is position-based — ShardIndexOf(bank_key, shard_count) is a pure
+// function every process agrees on — so a driver that runs N servers each
+// constructed with the full shard_count, feeds each server only the shards
+// it owns, and moves ownership with Export/Import, produces per-shard
+// engine states bit-identical to one server consuming the whole feed
+// (pinned by tests/serve/migration_test.cpp and the tier-1 two-process
+// smoke).
 #pragma once
 
 #include <cstdint>
@@ -71,7 +83,26 @@ class FleetServer {
   }
   /// Deterministic bank→shard routing: SplitMix64(bank_key) % shard_count.
   std::size_t ShardOf(std::uint64_t bank_key) const;
+  /// The same routing as a pure function — remote feeders use it to agree
+  /// with every server on which shard owns a bank.
+  static std::size_t ShardIndexOf(std::uint64_t bank_key,
+                                  std::size_t shard_count);
   const hbm::AddressCodec& codec() const { return codec_; }
+
+  // --- shard migration -----------------------------------------------------
+
+  /// Block until shard `index` is idle with an empty queue.
+  void DrainShard(std::size_t index);
+  /// Drain shard `index` and return its engine's framed state — the exact
+  /// bytes SaveCheckpoint writes for that shard's section. The caller must
+  /// stop submitting records routed to this shard first, or the export is a
+  /// snapshot of a moving target.
+  std::string ExportShard(std::size_t index);
+  /// Drain shard `index` and replace its engine state with a section
+  /// previously produced by ExportShard (here or on another server with the
+  /// same engine config). Throws ParseError on malformed input and leaves
+  /// the shard unchanged.
+  void ImportShard(std::size_t index, const std::string& state);
 
   /// Element-wise sum of every shard engine's stats (ratios recompute from
   /// the summed tallies). Meaningful when drained.

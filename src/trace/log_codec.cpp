@@ -1,6 +1,7 @@
 #include "trace/log_codec.hpp"
 
 #include <charconv>
+#include <cstring>
 #include <istream>
 #include <ostream>
 #include <string>
@@ -112,6 +113,83 @@ ErrorLog LogCodec::ReadCsv(std::istream& in) {
 
 bool LogCodec::IsCsvHeader(const std::string& line) {
   return line.rfind(kHeader[0], 0) == 0;
+}
+
+namespace {
+
+/// Little-endian scalar append/read — explicit byte shifts, so the wire
+/// bytes are identical on any host endianness.
+void AppendU32(std::uint32_t value, std::string& out) {
+  out.push_back(static_cast<char>(value & 0xFF));
+  out.push_back(static_cast<char>((value >> 8) & 0xFF));
+  out.push_back(static_cast<char>((value >> 16) & 0xFF));
+  out.push_back(static_cast<char>((value >> 24) & 0xFF));
+}
+
+std::uint32_t ReadU32(const char* p) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+}  // namespace
+
+void LogCodec::AppendBinary(const MceRecord& record, std::string& out) {
+  std::uint64_t time_bits = 0;
+  static_assert(sizeof(time_bits) == sizeof(record.time_s));
+  std::memcpy(&time_bits, &record.time_s, sizeof(time_bits));
+  AppendU32(static_cast<std::uint32_t>(time_bits & 0xFFFFFFFFu), out);
+  AppendU32(static_cast<std::uint32_t>(time_bits >> 32), out);
+  const hbm::DeviceAddress& a = record.address;
+  AppendU32(a.node, out);
+  AppendU32(a.npu, out);
+  AppendU32(a.hbm, out);
+  AppendU32(a.sid, out);
+  AppendU32(a.channel, out);
+  AppendU32(a.pseudo_channel, out);
+  AppendU32(a.bank_group, out);
+  AppendU32(a.bank, out);
+  AppendU32(a.row, out);
+  AppendU32(a.col, out);
+  out.push_back(static_cast<char>(record.type));
+}
+
+MceRecord LogCodec::ParseBinary(std::string_view bytes) {
+  if (bytes.size() < kBinaryRecordBytes) {
+    throw ParseError("MCE binary record: truncated (" +
+                     std::to_string(bytes.size()) + " bytes, need " +
+                     std::to_string(kBinaryRecordBytes) + ")");
+  }
+  const char* p = bytes.data();
+  MceRecord r;
+  const std::uint64_t time_bits =
+      static_cast<std::uint64_t>(ReadU32(p)) |
+      static_cast<std::uint64_t>(ReadU32(p + 4)) << 32;
+  std::memcpy(&r.time_s, &time_bits, sizeof(r.time_s));
+  hbm::DeviceAddress& a = r.address;
+  a.node = ReadU32(p + 8);
+  a.npu = ReadU32(p + 12);
+  a.hbm = ReadU32(p + 16);
+  a.sid = ReadU32(p + 20);
+  a.channel = ReadU32(p + 24);
+  a.pseudo_channel = ReadU32(p + 28);
+  a.bank_group = ReadU32(p + 32);
+  a.bank = ReadU32(p + 36);
+  a.row = ReadU32(p + 40);
+  a.col = ReadU32(p + 44);
+  const unsigned char type_byte = static_cast<unsigned char>(p[48]);
+  switch (type_byte) {
+    case static_cast<unsigned char>(hbm::ErrorType::kCe):
+    case static_cast<unsigned char>(hbm::ErrorType::kUeo):
+    case static_cast<unsigned char>(hbm::ErrorType::kUer):
+      r.type = static_cast<hbm::ErrorType>(type_byte);
+      break;
+    default:
+      throw ParseError("MCE binary record: unknown error type byte " +
+                       std::to_string(type_byte));
+  }
+  return r;
 }
 
 MceRecord LogCodec::ParseCsvLine(const std::string& line) {

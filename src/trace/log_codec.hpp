@@ -1,9 +1,22 @@
-// CSV persistence for MCE logs — round-trips through the CsvWriter/Reader,
-// so generated traces can be exported, inspected, and re-ingested.
+// Persistence codecs for MCE logs.
+//
+// Two encodings share this class: the CSV form (round-trips through
+// CsvWriter/Reader, human-inspectable, the file-feed format) and a
+// fixed-width little-endian binary form — the wire encoding of the TCP
+// ingest protocol (src/net). A binary record is exactly
+// kBinaryRecordBytes: the time as raw IEEE-754 bits, the ten address
+// coordinates as u32s, then one error-type byte. Fixed width means a batch
+// frame's record count is length / kBinaryRecordBytes with no per-record
+// length prefixes, and decode touches no allocator. Malformed input —
+// short buffers, an unknown type byte — is a ParseError, never UB;
+// bit flips in the numeric fields are caught one layer up by the wire
+// frame's CRC-32 (common/framing).
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "trace/error_log.hpp"
 
@@ -26,6 +39,20 @@ class LogCodec {
   /// for daemons consuming a live feed line by line; same ParseError
   /// contract as ReadCsv.
   static MceRecord ParseCsvLine(const std::string& line);
+
+  /// Exact size of one binary-encoded record: 8 (time bits) + 10 * 4
+  /// (address coordinates) + 1 (error type).
+  static constexpr std::size_t kBinaryRecordBytes = 8 + 10 * 4 + 1;
+
+  /// Append the fixed-width little-endian encoding of `record` to `out`
+  /// (exactly kBinaryRecordBytes bytes).
+  static void AppendBinary(const MceRecord& record, std::string& out);
+
+  /// Decode one binary record from the front of `bytes`. Throws ParseError
+  /// when fewer than kBinaryRecordBytes are available or the type byte is
+  /// not a known ErrorType; extra bytes past the record are ignored (the
+  /// caller advances by kBinaryRecordBytes).
+  static MceRecord ParseBinary(std::string_view bytes);
 };
 
 }  // namespace cordial::trace

@@ -1,0 +1,325 @@
+// End-to-end TCP ingest: frames over a real socket into a FleetServer must
+// produce exactly the state an in-process SubmitBatch feed produces, the
+// reply protocol must track sequences and overload, and hostile peers
+// (slow-loris trickles, garbage frames) must be cut off and counted.
+#include "net/ingest_server.hpp"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "common/check.hpp"
+#include "net/ingest_client.hpp"
+#include "obs/metrics.hpp"
+#include "support/serve_world.hpp"
+
+namespace cordial::net {
+namespace {
+
+using namespace std::chrono_literals;
+using serve::test_support::SharedWorld;
+using serve::test_support::World;
+
+std::unique_ptr<serve::FleetServer> MakeFleet(const World& w,
+                                              std::size_t shards = 2) {
+  serve::FleetServerConfig config;
+  config.shard_count = shards;
+  return std::make_unique<serve::FleetServer>(
+      w.topology, w.classifier, w.single_pred, w.double_or_null(), config);
+}
+
+/// Raw blocking TCP connection for tests that speak bytes, not messages.
+class RawConn {
+ public:
+  explicit RawConn(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    CORDIAL_CHECK(fd_ >= 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    CORDIAL_CHECK_MSG(::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                                sizeof addr) == 0,
+                      "test connect failed");
+  }
+  ~RawConn() { ::close(fd_); }
+
+  void Send(std::string_view bytes) {
+    ASSERT_EQ(::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(bytes.size()));
+  }
+
+  /// Block for up to 5s until some reply bytes arrive; returns them.
+  std::string RecvSome() {
+    timeval tv{5, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    return n > 0 ? std::string(buf, static_cast<std::size_t>(n))
+                 : std::string();
+  }
+
+  /// Block until the peer closes (returns true) or `deadline` passes.
+  bool WaitForClose(std::chrono::milliseconds deadline) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(deadline.count() / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((deadline.count() % 1000) * 1000);
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    char buf[256];
+    for (;;) {
+      const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+      if (n == 0) return true;   // orderly close
+      if (n < 0) return errno == ECONNRESET;  // reset also counts as closed
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+std::uint64_t CounterValue(const IngestServer& server, std::string_view name) {
+  const obs::RegistrySnapshot snap = server.MetricsSnapshot();
+  return obs::SumCounterSamples(snap, name);
+}
+
+TEST(NetIngest, HandshakeBatchesAndRunningTotals) {
+  const World& w = SharedWorld();
+  auto fleet = MakeFleet(w);
+  fleet->Start();
+  IngestServer server(*fleet);
+  server.Start();
+
+  IngestClient client;
+  client.Connect("127.0.0.1", server.port());
+  EXPECT_EQ(client.next_sequence(), 1u);
+
+  const auto& records = w.fleet.log.records();
+  const std::size_t batch_size = 100;
+  std::uint64_t sent = 0;
+  std::uint64_t batches = 0;
+  for (std::size_t off = 0; off < records.size() && sent < 500;
+       off += batch_size) {
+    const std::size_t n = std::min(batch_size, records.size() - off);
+    const Message reply =
+        client.SendBatch(std::span(records).subspan(off, n));
+    sent += n;
+    ++batches;
+    const Ack& ack = std::get<Ack>(reply);
+    EXPECT_EQ(ack.sequence, batches);
+    EXPECT_EQ(ack.accepted_records, sent);
+  }
+  EXPECT_EQ(client.next_sequence(), batches + 1);
+
+  fleet->Drain();
+  EXPECT_EQ(fleet->AggregateCounters().submitted, sent);
+  EXPECT_EQ(CounterValue(server, "cordial_net_records_total"), sent);
+  EXPECT_GE(CounterValue(server, "cordial_net_frames_total"),
+            sent / batch_size);
+  EXPECT_EQ(CounterValue(server, "cordial_net_protocol_errors_total"), 0u);
+
+  client.Close();
+  server.Stop();
+  fleet->Stop();
+}
+
+TEST(NetIngest, TcpFeedMatchesInProcessFeedBitExactly) {
+  const World& w = SharedWorld();
+
+  // In-process reference: the same records through SubmitBatch directly.
+  auto reference = MakeFleet(w);
+  reference->Start();
+  reference->SubmitBatch(w.fleet.log.records());
+  reference->Stop();
+
+  auto fleet = MakeFleet(w);
+  fleet->Start();
+  IngestServer server(*fleet);
+  server.Start();
+  {
+    IngestClient client;
+    client.Connect("127.0.0.1", server.port());
+    const auto& records = w.fleet.log.records();
+    for (std::size_t off = 0; off < records.size(); off += 500) {
+      const std::size_t n = std::min<std::size_t>(500, records.size() - off);
+      client.SendBatch(std::span(records).subspan(off, n));
+    }
+  }
+  server.Stop();
+  fleet->Stop();
+
+  EXPECT_EQ(fleet->AggregateStats(), reference->AggregateStats());
+  for (std::size_t s = 0; s < fleet->shard_count(); ++s) {
+    EXPECT_EQ(fleet->ExportShard(s), reference->ExportShard(s))
+        << "shard " << s;
+  }
+}
+
+TEST(NetIngest, BadSequenceIsRejectedAndConnectionCloses) {
+  const World& w = SharedWorld();
+  auto fleet = MakeFleet(w);
+  fleet->Start();
+  IngestServer server(*fleet);
+  server.Start();
+
+  IngestClient client;
+  client.Connect("127.0.0.1", server.port());
+  Batch batch;
+  batch.sequence = 7;  // first batch must be 1
+  const Message reply = client.Call(batch);
+  const Reject& reject = std::get<Reject>(reply);
+  EXPECT_EQ(reject.reason, RejectReason::kBadSequence);
+  EXPECT_EQ(reject.accepted_records, 0u);
+  // The server closes after flushing the reject; the next call fails.
+  EXPECT_THROW(client.Call(Hello{}), ParseError);
+  EXPECT_EQ(CounterValue(server, "cordial_net_protocol_errors_total"), 1u);
+
+  server.Stop();
+  fleet->Stop();
+}
+
+TEST(NetIngest, OverloadedFleetYieldsBackpressureReject) {
+  const World& w = SharedWorld();
+  serve::FleetServerConfig config;
+  config.shard_count = 1;
+  config.queue.capacity = 8;
+  config.queue.policy = serve::OverloadPolicy::kReject;
+  serve::FleetServer fleet(w.topology, w.classifier, w.single_pred,
+                           w.double_or_null(), config);
+  // Deliberately not started: the queue fills deterministically at 8.
+  IngestServer server(fleet);
+  server.Start();
+
+  IngestClient client;
+  client.Connect("127.0.0.1", server.port());
+  const auto records =
+      std::span(w.fleet.log.records()).subspan(0, 20);
+  const Message reply = client.SendBatch(records);
+  const Reject& reject = std::get<Reject>(reply);
+  EXPECT_EQ(reject.reason, RejectReason::kBackpressure);
+  EXPECT_EQ(reject.accepted_records, 8u);
+  EXPECT_EQ(client.next_sequence(), 2u);  // the batch was consumed
+  EXPECT_EQ(CounterValue(server, "cordial_net_batches_rejected_total"), 1u);
+
+  server.Stop();
+  fleet.Start();
+  fleet.Stop();
+}
+
+TEST(NetIngest, SlowLorisConnectionIsClosedAndCounted) {
+  const World& w = SharedWorld();
+  auto fleet = MakeFleet(w);
+  fleet->Start();
+  IngestServerConfig config;
+  config.idle_timeout = 80ms;
+  IngestServer server(*fleet, config);
+  server.Start();
+
+  RawConn loris(server.port());
+  // A frame prefix, then silence: the peer never completes the header.
+  loris.Send("cordial_net v1 ");
+  EXPECT_TRUE(loris.WaitForClose(5000ms));
+  EXPECT_EQ(CounterValue(server, "cordial_net_idle_closed_total"), 1u);
+
+  // A live connection trickling bytes faster than the timeout stays open
+  // long enough to complete its frame — every byte re-arms the timer, so
+  // the server still answers with an Ack.
+  const std::string frame = EncodeFrame(Batch{1, {}});
+  RawConn trickle(server.port());
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    trickle.Send(std::string_view(frame).substr(i, 1));
+    std::this_thread::sleep_for(2ms);
+  }
+  const std::string reply = trickle.RecvSome();
+  EXPECT_EQ(reply.rfind("cordial_net v1 ", 0), 0u) << reply;
+  EXPECT_EQ(CounterValue(server, "cordial_net_idle_closed_total"), 1u);
+
+  server.Stop();
+  fleet->Stop();
+}
+
+TEST(NetIngest, GarbageBytesCloseTheConnection) {
+  const World& w = SharedWorld();
+  auto fleet = MakeFleet(w);
+  fleet->Start();
+  IngestServer server(*fleet);
+  server.Start();
+
+  RawConn garbage(server.port());
+  garbage.Send("GET /metrics HTTP/1.1\r\n\r\n");  // wrong plane entirely
+  EXPECT_TRUE(garbage.WaitForClose(5000ms));
+  EXPECT_EQ(CounterValue(server, "cordial_net_protocol_errors_total"), 1u);
+
+  server.Stop();
+  fleet->Stop();
+}
+
+TEST(NetIngest, ShardMigratesBetweenServersOverTheWire) {
+  const World& w = SharedWorld();
+  auto fleet_a = MakeFleet(w);
+  auto fleet_b = MakeFleet(w);
+  fleet_a->Start();
+  fleet_b->Start();
+  IngestServer server_a(*fleet_a);
+  IngestServer server_b(*fleet_b);
+  server_a.Start();
+  server_b.Start();
+
+  IngestClient to_a, to_b;
+  to_a.Connect("127.0.0.1", server_a.port());
+  to_b.Connect("127.0.0.1", server_b.port());
+
+  // Feed everything to A, then move shard 1's state to B over the wire.
+  const auto& records = w.fleet.log.records();
+  for (std::size_t off = 0; off < records.size(); off += 500) {
+    const std::size_t n = std::min<std::size_t>(500, records.size() - off);
+    to_a.SendBatch(std::span(records).subspan(off, n));
+  }
+  const std::string state = to_a.FetchShard(1);
+  to_b.DeliverShard(1, state);
+
+  // B's shard 1 now re-exports byte-identically; its other shard is
+  // untouched.
+  EXPECT_EQ(to_b.FetchShard(1), state);
+  EXPECT_EQ(fleet_b->shard(0).engine().stats().events, 0u);
+
+  server_a.Stop();
+  server_b.Stop();
+  fleet_a->Stop();
+  fleet_b->Stop();
+}
+
+TEST(NetIngest, ConnectionCapRefusesExtraPeers) {
+  const World& w = SharedWorld();
+  auto fleet = MakeFleet(w);
+  fleet->Start();
+  IngestServerConfig config;
+  config.max_connections = 1;
+  IngestServer server(*fleet, config);
+  server.Start();
+
+  IngestClient first;
+  first.Connect("127.0.0.1", server.port());
+  RawConn second(server.port());
+  EXPECT_TRUE(second.WaitForClose(5000ms));
+  EXPECT_EQ(CounterValue(server, "cordial_net_connections_refused_total"),
+            1u);
+  // The first connection still works.
+  first.SendBatch(std::span<const trace::MceRecord>{});
+
+  server.Stop();
+  fleet->Stop();
+}
+
+}  // namespace
+}  // namespace cordial::net

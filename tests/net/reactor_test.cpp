@@ -1,0 +1,222 @@
+#include "net/reactor.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cordial::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Runs the reactor on a background thread for a test's lifetime.
+class LoopFixture {
+ public:
+  LoopFixture() : thread_([this] { reactor_.Run(); }) {
+    // Wait until the loop is actually polling before tests poke it.
+    while (!reactor_.running()) std::this_thread::yield();
+  }
+  ~LoopFixture() {
+    reactor_.Stop();
+    thread_.join();
+  }
+  Reactor& reactor() { return reactor_; }
+
+ private:
+  Reactor reactor_;
+  std::thread thread_;
+};
+
+/// Spin-wait for a cross-thread flag with a generous deadline.
+template <typename Pred>
+bool WaitFor(Pred pred, std::chrono::milliseconds deadline = 5000ms) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < until) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(1ms);
+  }
+  return pred();
+}
+
+TEST(NetReactor, RunsPostedTasksFromOtherThreads) {
+  LoopFixture loop;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i) {
+    loop.reactor().Post([&ran] { ran.fetch_add(1); });
+  }
+  EXPECT_TRUE(WaitFor([&] { return ran.load() == 10; }));
+}
+
+TEST(NetReactor, StopMakesRunReturnAndRunRestarts) {
+  Reactor reactor;
+  std::thread t([&] { reactor.Run(); });
+  while (!reactor.running()) std::this_thread::yield();
+  reactor.Stop();
+  t.join();
+  EXPECT_FALSE(reactor.running());
+
+  // The same reactor can run again after a clean stop.
+  std::thread t2([&] { reactor.Run(); });
+  while (!reactor.running()) std::this_thread::yield();
+  std::atomic<bool> ran{false};
+  reactor.Post([&ran] { ran.store(true); });
+  EXPECT_TRUE(WaitFor([&] { return ran.load(); }));
+  reactor.Stop();
+  t2.join();
+}
+
+TEST(NetReactor, ReadableCallbackFiresAndSeesBytes) {
+  LoopFixture loop;
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_TRUE(SetNonBlocking(fds[0]));
+
+  std::atomic<int> bytes_seen{0};
+  loop.reactor().Post([&] {
+    loop.reactor().Add(fds[0], kReadable, [&](std::uint32_t events) {
+      EXPECT_TRUE(events & kReadable);
+      char buf[16];
+      ssize_t n;
+      while ((n = ::read(fds[0], buf, sizeof buf)) > 0) {
+        bytes_seen.fetch_add(static_cast<int>(n));
+      }
+    });
+  });
+  ASSERT_EQ(::write(fds[1], "abc", 3), 3);
+  EXPECT_TRUE(WaitFor([&] { return bytes_seen.load() == 3; }));
+  ASSERT_EQ(::write(fds[1], "de", 2), 2);
+  EXPECT_TRUE(WaitFor([&] { return bytes_seen.load() == 5; }));
+
+  loop.reactor().Post([&] { loop.reactor().Remove(fds[0]); });
+  std::atomic<bool> removed{false};
+  loop.reactor().Post([&] {
+    removed.store(loop.reactor().fd_count() == 0);
+  });
+  EXPECT_TRUE(WaitFor([&] { return removed.load(); }));
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(NetReactor, CallbackMayRemoveItsOwnFd) {
+  LoopFixture loop;
+  int a[2], b[2];
+  ASSERT_EQ(::pipe(a), 0);
+  ASSERT_EQ(::pipe(b), 0);
+  SetNonBlocking(a[0]);
+  SetNonBlocking(b[0]);
+
+  std::atomic<int> a_fires{0};
+  std::atomic<int> b_fires{0};
+  loop.reactor().Post([&] {
+    // Both fds are ready in the same poll round; each callback removes its
+    // own registration — the loop must tolerate that mid-dispatch.
+    loop.reactor().Add(a[0], kReadable, [&](std::uint32_t) {
+      a_fires.fetch_add(1);
+      loop.reactor().Remove(a[0]);
+    });
+    loop.reactor().Add(b[0], kReadable, [&](std::uint32_t) {
+      b_fires.fetch_add(1);
+      loop.reactor().Remove(b[0]);
+    });
+  });
+  ASSERT_EQ(::write(a[1], "x", 1), 1);
+  ASSERT_EQ(::write(b[1], "x", 1), 1);
+  EXPECT_TRUE(
+      WaitFor([&] { return a_fires.load() == 1 && b_fires.load() == 1; }));
+
+  // Neither fires again: both registrations are gone even though the pipes
+  // still hold unread bytes.
+  std::this_thread::sleep_for(50ms);
+  EXPECT_EQ(a_fires.load(), 1);
+  EXPECT_EQ(b_fires.load(), 1);
+  ::close(a[0]);
+  ::close(a[1]);
+  ::close(b[0]);
+  ::close(b[1]);
+}
+
+TEST(NetReactor, TimerFiresOnceAfterDelay) {
+  LoopFixture loop;
+  std::atomic<int> fired{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::atomic<std::int64_t> elapsed_ms{-1};
+  loop.reactor().Post([&] {
+    loop.reactor().AddTimer(40ms, [&] {
+      elapsed_ms.store(std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count());
+      fired.fetch_add(1);
+    });
+  });
+  EXPECT_TRUE(WaitFor([&] { return fired.load() == 1; }));
+  // Never early (the wheel rounds delays up); lateness is scheduler noise.
+  EXPECT_GE(elapsed_ms.load(), 30);
+  std::this_thread::sleep_for(80ms);
+  EXPECT_EQ(fired.load(), 1) << "one-shot timer fired twice";
+}
+
+TEST(NetReactor, CancelledTimerNeverFires) {
+  LoopFixture loop;
+  std::atomic<bool> fired{false};
+  std::atomic<bool> cancelled{false};
+  loop.reactor().Post([&] {
+    const Reactor::TimerId id =
+        loop.reactor().AddTimer(50ms, [&] { fired.store(true); });
+    loop.reactor().CancelTimer(id);
+    cancelled.store(true);
+  });
+  EXPECT_TRUE(WaitFor([&] { return cancelled.load(); }));
+  std::this_thread::sleep_for(120ms);
+  EXPECT_FALSE(fired.load());
+}
+
+TEST(NetReactor, TimerCallbackMayReArm) {
+  LoopFixture loop;
+  std::atomic<int> ticks{0};
+  // A self-re-arming 10ms timer: the periodic pattern every idle timeout
+  // uses. Stop after five firings.
+  std::function<void()> tick = [&] {
+    if (ticks.fetch_add(1) + 1 < 5) loop.reactor().AddTimer(10ms, tick);
+  };
+  loop.reactor().Post([&] { loop.reactor().AddTimer(10ms, tick); });
+  EXPECT_TRUE(WaitFor([&] { return ticks.load() == 5; }));
+}
+
+TEST(NetReactor, FarTimerDoesNotFireWhenNearSlotsSweep) {
+  LoopFixture loop;
+  std::atomic<bool> far_fired{false};
+  std::atomic<int> near_fired{0};
+  loop.reactor().Post([&] {
+    // Past one full wheel revolution (512 slots x 10ms), so it carries a
+    // non-zero round count; sweeping its slot must decrement, not fire.
+    loop.reactor().AddTimer(
+        std::chrono::milliseconds(Reactor::kWheelSlots * Reactor::kTickMillis +
+                                  20),
+        [&] { far_fired.store(true); });
+    loop.reactor().AddTimer(30ms, [&] { near_fired.fetch_add(1); });
+  });
+  EXPECT_TRUE(WaitFor([&] { return near_fired.load() == 1; }));
+  std::this_thread::sleep_for(100ms);
+  EXPECT_FALSE(far_fired.load());
+}
+
+TEST(NetReactor, ManyTimersAllFire) {
+  LoopFixture loop;
+  constexpr int kTimers = 200;
+  std::atomic<int> fired{0};
+  loop.reactor().Post([&] {
+    for (int i = 0; i < kTimers; ++i) {
+      loop.reactor().AddTimer(std::chrono::milliseconds(1 + i % 60),
+                              [&] { fired.fetch_add(1); });
+    }
+  });
+  EXPECT_TRUE(WaitFor([&] { return fired.load() == kTimers; }));
+}
+
+}  // namespace
+}  // namespace cordial::net

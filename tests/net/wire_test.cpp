@@ -1,0 +1,204 @@
+#include "net/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/check.hpp"
+#include "trace/log_codec.hpp"
+
+namespace cordial::net {
+namespace {
+
+trace::MceRecord SampleRecord(double t, std::uint32_t row) {
+  trace::MceRecord r;
+  r.time_s = t;
+  r.address = {1, 2, 3, 1, 2, 1, 3, 2, row, 101};
+  r.type = hbm::ErrorType::kUeo;
+  return r;
+}
+
+/// Encode, run through an assembler, decode — the full wire path.
+Message RoundTrip(const Message& message) {
+  FrameAssembler assembler;
+  assembler.Append(EncodeFrame(message));
+  std::string payload;
+  EXPECT_TRUE(assembler.Next(payload));
+  EXPECT_EQ(assembler.buffered_bytes(), 0u);
+  return DecodeMessage(payload);
+}
+
+TEST(NetWire, RoundTripsEveryMessageType) {
+  {
+    const auto m = std::get<Hello>(RoundTrip(Hello{7}));
+    EXPECT_EQ(m.protocol_version, 7u);
+  }
+  {
+    Batch batch;
+    batch.sequence = 42;
+    batch.records = {SampleRecord(1.5, 10), SampleRecord(2.5, 11)};
+    const auto m = std::get<Batch>(RoundTrip(batch));
+    EXPECT_EQ(m.sequence, 42u);
+    ASSERT_EQ(m.records.size(), 2u);
+    EXPECT_EQ(m.records[0], batch.records[0]);
+    EXPECT_EQ(m.records[1], batch.records[1]);
+  }
+  {
+    const auto m = std::get<Ack>(RoundTrip(Ack{9, 1234}));
+    EXPECT_EQ(m.sequence, 9u);
+    EXPECT_EQ(m.accepted_records, 1234u);
+  }
+  {
+    const auto m = std::get<Reject>(
+        RoundTrip(Reject{3, RejectReason::kBackpressure, 55}));
+    EXPECT_EQ(m.sequence, 3u);
+    EXPECT_EQ(m.reason, RejectReason::kBackpressure);
+    EXPECT_EQ(m.accepted_records, 55u);
+  }
+  {
+    const auto m = std::get<ExportShard>(RoundTrip(ExportShard{6}));
+    EXPECT_EQ(m.shard, 6u);
+  }
+  {
+    const std::string state("framed\0bytes\n", 13);  // embedded NUL survives
+    const auto m = std::get<ShardState>(RoundTrip(ShardState{2, state}));
+    EXPECT_EQ(m.shard, 2u);
+    EXPECT_EQ(m.state, state);
+  }
+  {
+    const auto m =
+        std::get<ImportShard>(RoundTrip(ImportShard{1, std::string(1000, 'x')}));
+    EXPECT_EQ(m.shard, 1u);
+    EXPECT_EQ(m.state.size(), 1000u);
+  }
+  {
+    const auto m = std::get<Imported>(RoundTrip(Imported{4}));
+    EXPECT_EQ(m.shard, 4u);
+  }
+}
+
+TEST(NetWire, EmptyBatchRoundTrips) {
+  const auto m = std::get<Batch>(RoundTrip(Batch{1, {}}));
+  EXPECT_EQ(m.sequence, 1u);
+  EXPECT_TRUE(m.records.empty());
+}
+
+TEST(NetWire, AssemblerReassemblesByteByByte) {
+  Batch batch;
+  batch.sequence = 5;
+  batch.records = {SampleRecord(0.5, 1)};
+  const std::string frame = EncodeFrame(batch);
+
+  FrameAssembler assembler;
+  std::string payload;
+  for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+    assembler.Append(std::string_view(frame).substr(i, 1));
+    EXPECT_FALSE(assembler.Next(payload)) << "complete at byte " << i;
+  }
+  assembler.Append(std::string_view(frame).substr(frame.size() - 1));
+  ASSERT_TRUE(assembler.Next(payload));
+  EXPECT_EQ(std::get<Batch>(DecodeMessage(payload)).sequence, 5u);
+}
+
+TEST(NetWire, AssemblerYieldsMultipleFramesFromOneAppend) {
+  std::string stream;
+  for (std::uint64_t seq = 1; seq <= 3; ++seq) {
+    stream += EncodeFrame(Ack{seq, seq * 10});
+  }
+  FrameAssembler assembler;
+  assembler.Append(stream);
+  std::string payload;
+  for (std::uint64_t seq = 1; seq <= 3; ++seq) {
+    ASSERT_TRUE(assembler.Next(payload));
+    EXPECT_EQ(std::get<Ack>(DecodeMessage(payload)).sequence, seq);
+  }
+  EXPECT_FALSE(assembler.Next(payload));
+  EXPECT_EQ(assembler.buffered_bytes(), 0u);
+}
+
+TEST(NetWire, CorruptPayloadFailsChecksum) {
+  std::string frame = EncodeFrame(Ack{1, 2});
+  frame[frame.size() - 3] ^= 0x20;  // flip a payload bit
+  FrameAssembler assembler;
+  assembler.Append(frame);
+  std::string payload;
+  EXPECT_THROW(assembler.Next(payload), ParseError);
+}
+
+TEST(NetWire, WrongMagicRejected) {
+  FrameAssembler assembler;
+  assembler.Append("cordial_fleet_checkpoint v1 3 crc32=deadbeef\nabc");
+  std::string payload;
+  EXPECT_THROW(assembler.Next(payload), ParseError);
+}
+
+TEST(NetWire, WrongVersionRejected) {
+  FrameAssembler assembler;
+  assembler.Append("cordial_net v9 3 crc32=deadbeef\nabc");
+  std::string payload;
+  EXPECT_THROW(assembler.Next(payload), ParseError);
+}
+
+TEST(NetWire, ChecksumlessFrameRejected) {
+  // Files grandfather layout-v1 frames; the wire never does.
+  FrameAssembler assembler;
+  assembler.Append("cordial_net v1 3\nabc");
+  std::string payload;
+  EXPECT_THROW(assembler.Next(payload), ParseError);
+}
+
+TEST(NetWire, UnterminatedHeaderRejectedAtCap) {
+  FrameAssembler assembler;
+  assembler.Append(std::string(300, 'a'));  // no newline, over the cap
+  std::string payload;
+  EXPECT_THROW(assembler.Next(payload), ParseError);
+}
+
+TEST(NetWire, OversizedPayloadRejectedBeforeArrival) {
+  FrameAssembler assembler(1024);
+  assembler.Append("cordial_net v1 4096 crc32=deadbeef\n");
+  std::string payload;
+  EXPECT_THROW(assembler.Next(payload), ParseError);
+}
+
+TEST(NetWire, UnknownTypeByteRejected) {
+  std::string payload(1, '\x63');
+  EXPECT_THROW(DecodeMessage(payload), ParseError);
+}
+
+TEST(NetWire, TruncatedPayloadRejected) {
+  const std::string frame = EncodeFrame(Ack{1, 2});
+  // Strip the header and cut the payload short.
+  const std::string payload = frame.substr(frame.find('\n') + 1);
+  EXPECT_THROW(DecodeMessage(payload.substr(0, payload.size() - 1)),
+               ParseError);
+}
+
+TEST(NetWire, TrailingBytesRejected) {
+  const std::string frame = EncodeFrame(Imported{1});
+  std::string payload = frame.substr(frame.find('\n') + 1);
+  payload.push_back('x');
+  EXPECT_THROW(DecodeMessage(payload), ParseError);
+}
+
+TEST(NetWire, BatchCountMismatchRejected) {
+  Batch batch;
+  batch.sequence = 1;
+  batch.records = {SampleRecord(1.0, 1)};
+  const std::string frame = EncodeFrame(batch);
+  std::string payload = frame.substr(frame.find('\n') + 1);
+  payload.resize(payload.size() - 1);  // count says 1 record, bytes say less
+  EXPECT_THROW(DecodeMessage(payload), ParseError);
+}
+
+TEST(NetWire, UnknownRejectReasonRejected) {
+  const std::string frame = EncodeFrame(Reject{1, RejectReason::kMalformed, 0});
+  std::string payload = frame.substr(frame.find('\n') + 1);
+  payload[1 + 8] = '\x07';  // reason byte sits after type + sequence
+  EXPECT_THROW(DecodeMessage(payload), ParseError);
+}
+
+}  // namespace
+}  // namespace cordial::net

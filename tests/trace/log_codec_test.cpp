@@ -98,5 +98,90 @@ TEST(LogCodec, AllErrorTypesParse) {
   EXPECT_EQ(log.records()[2].type, hbm::ErrorType::kUer);
 }
 
+TEST(LogCodec, BinaryRoundTripsHandcraftedRecords) {
+  MceRecord r;
+  r.time_s = 1234.5;
+  r.address = {1, 2, 3, 1, 2, 1, 3, 2, 30000, 101};
+  r.type = hbm::ErrorType::kUeo;
+
+  std::string bytes;
+  LogCodec::AppendBinary(r, bytes);
+  ASSERT_EQ(bytes.size(), LogCodec::kBinaryRecordBytes);
+  EXPECT_EQ(LogCodec::ParseBinary(bytes), r);
+
+  // Non-trivial doubles survive bit-exactly (raw IEEE-754 bits on the wire).
+  r.time_s = 1.0 / 3.0;
+  r.type = hbm::ErrorType::kCe;
+  bytes.clear();
+  LogCodec::AppendBinary(r, bytes);
+  EXPECT_EQ(LogCodec::ParseBinary(bytes).time_s, 1.0 / 3.0);
+}
+
+TEST(LogCodec, BinaryRoundTripsGeneratedFleetLog) {
+  hbm::TopologyConfig topology;
+  CalibrationProfile profile;
+  profile.scale = 0.02;
+  const GeneratedFleet fleet = FleetGenerator(topology, profile).Generate(1);
+  ASSERT_GT(fleet.log.size(), 100u);
+
+  std::string bytes;
+  for (const MceRecord& r : fleet.log.records()) {
+    LogCodec::AppendBinary(r, bytes);
+  }
+  ASSERT_EQ(bytes.size(),
+            fleet.log.size() * LogCodec::kBinaryRecordBytes);
+  std::string_view view(bytes);
+  for (const MceRecord& r : fleet.log.records()) {
+    EXPECT_EQ(LogCodec::ParseBinary(view), r);
+    view.remove_prefix(LogCodec::kBinaryRecordBytes);
+  }
+}
+
+TEST(LogCodec, BinaryTruncationIsParseErrorAtEveryPrefix) {
+  MceRecord r;
+  r.time_s = 7.5;
+  r.address.row = 42;
+  r.type = hbm::ErrorType::kUer;
+  std::string bytes;
+  LogCodec::AppendBinary(r, bytes);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_THROW(LogCodec::ParseBinary(std::string_view(bytes).substr(0, cut)),
+                 ParseError)
+        << "prefix length " << cut;
+  }
+}
+
+TEST(LogCodec, BinaryUnknownTypeByteIsParseError) {
+  MceRecord r;
+  std::string bytes;
+  LogCodec::AppendBinary(r, bytes);
+  // Every flipped bit in the type byte lands outside the enum (3..255) or
+  // on a different valid type; only the former must throw — the latter is
+  // the wire CRC's job one layer up.
+  for (int bit = 0; bit < 8; ++bit) {
+    std::string corrupt = bytes;
+    corrupt.back() = static_cast<char>(corrupt.back() ^ (1 << bit));
+    const unsigned char type =
+        static_cast<unsigned char>(corrupt.back());
+    if (type > 2) {
+      EXPECT_THROW(LogCodec::ParseBinary(corrupt), ParseError)
+          << "type byte " << int(type);
+    } else {
+      EXPECT_EQ(static_cast<unsigned char>(
+                    LogCodec::ParseBinary(corrupt).type),
+                type);
+    }
+  }
+}
+
+TEST(LogCodec, BinaryIgnoresTrailingBytes) {
+  MceRecord r;
+  r.address.bank = 3;
+  std::string bytes;
+  LogCodec::AppendBinary(r, bytes);
+  LogCodec::AppendBinary(r, bytes);  // a second record behind the first
+  EXPECT_EQ(LogCodec::ParseBinary(bytes), r);
+}
+
 }  // namespace
 }  // namespace cordial::trace
