@@ -1,0 +1,294 @@
+// Model hot-swap overhead gate (records/sec).
+//
+// Online refresh puts one relaxed atomic version poll on every Observe and
+// a mutex-guarded shared_ptr reload on each adoption. This benchmark prices
+// that against the fixed-model path by driving one fleet stream through two
+// FleetServers that differ only in FleetServerConfig::model_slot:
+//
+//   * baseline — model_slot=nullptr: the pre-refresh serving hot path.
+//   * swapping — a ModelSlot attached, with the producer republishing the
+//                same champion ModelSet every --publish-every records — far
+//                more churn than any real trainer produces (identical bits,
+//                so the measured work stays identical, and every publish is
+//                a full version-poll + per-shard adoption cycle).
+//
+// Publishing from the producer keeps the thread count equal on both sides:
+// a timer thread would oversubscribe small CI machines and bill scheduler
+// preemption to the swap path (on a 1-core container that reads as ~8%).
+//
+// Repetitions interleave the two configurations (A B B A ...) so thermal
+// and scheduler drift hits both equally, and each side keeps its best run.
+// Queue capacity exceeds the stream so wall time is engine work, not
+// backpressure.
+//
+// Emits BENCH_swap.json and exits non-zero when the swapping path is more
+// than --threshold percent (default 5) slower than baseline — tier-1 runs
+// this, so a slow poll or a lock on the per-record path cannot land
+// silently.
+//
+// Usage: perf_model_swap [--reps N] [--passes N] [--shards N]
+//                        [--publish-every N] [--threshold PCT]
+//                        [--out FILE]
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/labeler.hpp"
+#include "common/rng.hpp"
+#include "core/model_slot.hpp"
+#include "serve/fleet_server.hpp"
+#include "trace/fleet.hpp"
+
+namespace {
+
+using namespace cordial;
+
+/// UER banks padded with CE background to deployment-like event densities
+/// (same construction as perf_serve_throughput).
+trace::BankHistory Densify(const trace::BankHistory& bank,
+                           std::size_t target_events, std::uint32_t rows,
+                           Rng& rng) {
+  trace::BankHistory dense = bank;
+  const double horizon = bank.events.back().time_s;
+  while (dense.events.size() < target_events) {
+    trace::MceRecord ce = bank.events[rng.UniformU64(bank.events.size())];
+    ce.type = hbm::ErrorType::kCe;
+    ce.time_s = rng.UniformReal(0.0, horizon);
+    const std::int64_t jittered =
+        static_cast<std::int64_t>(ce.address.row) + rng.UniformInt(-64, 64);
+    ce.address.row = static_cast<std::uint32_t>(
+        std::clamp<std::int64_t>(jittered, 0, rows - 1));
+    dense.events.push_back(ce);
+  }
+  std::stable_sort(dense.events.begin(), dense.events.end(),
+                   [](const trace::MceRecord& a, const trace::MceRecord& b) {
+                     return a.time_s < b.time_s;
+                   });
+  return dense;
+}
+
+struct BenchWorld {
+  hbm::TopologyConfig topology;
+  trace::GeneratedFleet fleet;
+  std::vector<trace::MceRecord> stream;
+  core::PatternClassifier classifier;
+  core::CrossRowPredictor single_pred;
+  core::CrossRowPredictor double_pred;
+  bool double_ok = false;
+
+  BenchWorld()
+      : fleet([] {
+          hbm::TopologyConfig topology;
+          trace::CalibrationProfile profile;
+          profile.scale = 0.08;
+          return trace::FleetGenerator(topology, profile).Generate(123);
+        }()),
+        classifier(topology, ml::LearnerKind::kRandomForest),
+        single_pred(topology, ml::LearnerKind::kRandomForest),
+        double_pred(topology, ml::LearnerKind::kRandomForest) {
+    hbm::AddressCodec codec(topology);
+    const auto banks = fleet.log.GroupByBank(codec);
+    analysis::PatternLabeler labeler(topology);
+    std::vector<core::LabelledBank> labelled;
+    std::vector<const trace::BankHistory*> singles, doubles;
+    std::vector<trace::BankHistory> dense_banks;
+    Rng dense_rng(31);
+    for (const trace::BankHistory& bank : banks) {
+      if (!bank.HasUer()) continue;
+      dense_banks.push_back(
+          Densify(bank, 1000, topology.rows_per_bank, dense_rng));
+      const hbm::FailureClass cls = labeler.LabelClass(bank);
+      labelled.push_back(core::LabelledBank{&bank, cls});
+      if (cls == hbm::FailureClass::kSingleRowClustering) {
+        singles.push_back(&bank);
+      } else if (cls == hbm::FailureClass::kDoubleRowClustering) {
+        doubles.push_back(&bank);
+      }
+    }
+    for (const trace::BankHistory& bank : dense_banks) {
+      stream.insert(stream.end(), bank.events.begin(), bank.events.end());
+    }
+    std::stable_sort(stream.begin(), stream.end(),
+                     [](const trace::MceRecord& a, const trace::MceRecord& b) {
+                       return a.time_s < b.time_s;
+                     });
+    Rng rng(7);
+    classifier.Train(labelled, rng);
+    single_pred.Train(singles, rng);
+    try {
+      double_pred.Train(doubles, rng);
+      double_ok = true;
+    } catch (const ContractViolation&) {
+      double_ok = false;
+    }
+  }
+
+  const core::CrossRowPredictor* double_or_null() const {
+    return double_ok ? &double_pred : nullptr;
+  }
+
+  core::ModelSet ChampionSet() const {
+    core::ModelSet set;
+    set.classifier = core::UnownedModel(classifier);
+    set.single = core::UnownedModel(single_pred);
+    if (double_ok) set.double_row = core::UnownedModel(double_pred);
+    return set;
+  }
+};
+
+/// One measurement: `passes` time-shifted replays of the stream through a
+/// fresh server; returns records/sec. The work is deterministic and
+/// identical for both configurations — `with_slot` only attaches a slot
+/// into which the producer republishes the same bits every
+/// `publish_every` records.
+double RunOnce(const BenchWorld& w, std::size_t shards, std::size_t passes,
+               bool with_slot, std::size_t publish_every,
+               std::uint64_t* publishes_out = nullptr) {
+  core::ModelSlot slot(w.ChampionSet());
+  serve::FleetServerConfig config;
+  config.shard_count = shards;
+  config.queue.capacity = w.stream.size() * passes + 1;
+  if (with_slot) config.model_slot = &slot;
+  serve::FleetServer server(w.topology, w.classifier, w.single_pred,
+                            w.double_or_null(), config);
+
+  // Each pass shifts times forward by the stream's span so records stay in
+  // non-decreasing time order across passes.
+  const double span = w.stream.back().time_s + 1.0;
+  std::uint64_t publishes = 0;
+  std::size_t since_publish = 0;
+  server.Start();
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t pass = 0; pass < passes; ++pass) {
+    const double offset = static_cast<double>(pass) * span;
+    for (trace::MceRecord record : w.stream) {
+      record.time_s += offset;
+      server.Submit(record);
+      if (with_slot && ++since_publish >= publish_every) {
+        since_publish = 0;
+        slot.Publish(w.ChampionSet());
+        ++publishes;
+      }
+    }
+  }
+  server.Drain();
+  const auto end = std::chrono::steady_clock::now();
+  server.Stop();
+  if (publishes_out != nullptr) *publishes_out = publishes;
+
+  const double seconds = std::chrono::duration<double>(end - start).count();
+  return static_cast<double>(w.stream.size() * passes) / seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Best-of over interleaved reps, same rationale as perf_obs_overhead: the
+  // true cost is a relaxed load per record (~nothing), but container noise
+  // jitters single runs far more than the threshold.
+  std::size_t reps = 8;
+  std::size_t passes = 4;
+  std::size_t shards = 4;
+  std::size_t publish_every = 5000;
+  double threshold_pct = 5.0;
+  std::string out_path = "BENCH_swap.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--reps") {
+      reps = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--passes") {
+      passes = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--shards") {
+      shards = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--publish-every") {
+      publish_every =
+          static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--threshold") {
+      threshold_pct = std::strtod(next(), nullptr);
+    } else if (arg == "--out") {
+      out_path = next();
+    } else {
+      std::cerr << "unknown flag " << arg << "\n";
+      return 2;
+    }
+  }
+  if (reps == 0 || shards == 0 || passes == 0 || publish_every == 0) {
+    std::cerr << "--reps, --passes, --shards and --publish-every must be "
+                 ">= 1\n";
+    return 2;
+  }
+
+  const BenchWorld world;
+  std::cout << "stream: " << world.stream.size() << " records x " << passes
+            << " pass(es), " << shards << " shard(s), publish every "
+            << publish_every << " records, " << reps
+            << " interleaved rep(s)\n";
+
+  // Warm both paths once (page-in, branch predictors) before measuring.
+  RunOnce(world, shards, 1, false, publish_every);
+  RunOnce(world, shards, 1, true, publish_every);
+
+  double baseline_best = 0.0, swapping_best = 0.0;
+  std::uint64_t max_publishes = 0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    // Alternate the A/B order each rep so slow drift cancels instead of
+    // consistently penalising whichever side runs second.
+    double base, swap;
+    std::uint64_t publishes = 0;
+    if (r % 2 == 0) {
+      base = RunOnce(world, shards, passes, false, publish_every);
+      swap = RunOnce(world, shards, passes, true, publish_every, &publishes);
+    } else {
+      swap = RunOnce(world, shards, passes, true, publish_every, &publishes);
+      base = RunOnce(world, shards, passes, false, publish_every);
+    }
+    baseline_best = std::max(baseline_best, base);
+    swapping_best = std::max(swapping_best, swap);
+    max_publishes = std::max(max_publishes, publishes);
+    std::cout << "  rep " << (r + 1) << ": baseline " << std::fixed
+              << static_cast<std::uint64_t>(base) << " rec/s, swapping "
+              << static_cast<std::uint64_t>(swap) << " rec/s (" << publishes
+              << " publishes)\n";
+  }
+
+  const double overhead_pct =
+      (baseline_best - swapping_best) / baseline_best * 100.0;
+  const bool pass = overhead_pct <= threshold_pct;
+  std::cout << "baseline best: " << static_cast<std::uint64_t>(baseline_best)
+            << " rec/s\n"
+            << "swapping best: " << static_cast<std::uint64_t>(swapping_best)
+            << " rec/s\n"
+            << "overhead:      " << std::setprecision(2) << overhead_pct
+            << "% (threshold " << threshold_pct << "%) — "
+            << (pass ? "PASS" : "FAIL") << "\n";
+
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"name\": \"perf_model_swap\",\n"
+      << "  \"stream_records\": " << world.stream.size() << ",\n"
+      << "  \"shard_count\": " << shards << ",\n"
+      << "  \"passes\": " << passes << ",\n"
+      << "  \"repetitions\": " << reps << ",\n"
+      << "  \"publish_every_records\": " << publish_every << ",\n"
+      << "  \"publishes_per_run\": " << max_publishes << ",\n"
+      << "  \"baseline_records_per_s\": " << baseline_best << ",\n"
+      << "  \"swapping_records_per_s\": " << swapping_best << ",\n"
+      << "  \"overhead_pct\": " << overhead_pct << ",\n"
+      << "  \"threshold_pct\": " << threshold_pct << ",\n"
+      << "  \"pass\": " << (pass ? "true" : "false") << "\n"
+      << "}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return pass ? 0 : 1;
+}

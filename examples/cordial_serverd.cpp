@@ -58,6 +58,18 @@
 //                              127.0.0.1)
 //     --status-every <n>       records between stderr status lines
 //                              (default 10000; 0 = off)
+//     --refresh-every <sec>    online learning: run a shadow-training round
+//                              every <sec> wall seconds (default 0 = off).
+//                              The daemon collects labelled outcomes from
+//                              the serving path, retrains a challenger
+//                              pattern classifier in the background, and
+//                              hot-swaps it into the serving engines when it
+//                              beats the champion on held-out replay (see
+//                              DESIGN.md §13). Adds /modelz, /modelz/swap
+//                              and /modelz/rollback to the admin plane and
+//                              cordial_learn_* to /metrics.
+//     --promotion-min-icr <r>  absolute held-out ICR floor a challenger
+//                              must clear to be promoted (default 0)
 //     --version                print the frame versions this build speaks
 //
 // Models come from `cordial_cli train <log.csv> <model_prefix>`.
@@ -77,7 +89,10 @@
 #include "common/failpoint.hpp"
 #include "common/framing.hpp"
 #include "common/table.hpp"
+#include "core/model_slot.hpp"
 #include "core/persist.hpp"
+#include "learn/outcome_log.hpp"
+#include "learn/shadow_trainer.hpp"
 #include "net/ingest_server.hpp"
 #include "obs/admin_server.hpp"
 #include "obs/metrics.hpp"
@@ -100,6 +115,7 @@ int Usage() {
          "         [--overload block|drop-oldest|reject]\n"
          "         [--admin-port <port>] [--listen-port <port>]\n"
          "         [--listen-address <addr>] [--status-every <n>]\n"
+         "         [--refresh-every <sec>] [--promotion-min-icr <r>]\n"
          "         [--version]\n";
   return 2;
 }
@@ -132,6 +148,8 @@ struct Options {
   std::string listen_address = "127.0.0.1";
   std::uint16_t listen_port = 0;
   std::size_t status_every = 10000; // 0 = status lines off
+  double refresh_every_s = 0.0;     // 0 = online learning off
+  double promotion_min_icr = 0.0;
 };
 
 /// Parse argv into `opts`; on failure `error` names the offending flag.
@@ -203,6 +221,16 @@ bool ParseArgs(int argc, char** argv, Options& opts, std::string& error) {
       opts.listen_port = static_cast<std::uint16_t>(port);
     } else if (flag == "--listen-address") {
       opts.listen_address = value;
+    } else if (flag == "--refresh-every" || flag == "--promotion-min-icr") {
+      char* end = nullptr;
+      const double parsed = std::strtod(value, &end);
+      if (end == value || *end != '\0' || parsed < 0.0) {
+        error = flag + " expects a non-negative number, got '" +
+                std::string(value) + "'";
+        return false;
+      }
+      (flag == "--refresh-every" ? opts.refresh_every_s
+                                 : opts.promotion_min_icr) = parsed;
     } else if (flag == "--overload") {
       const std::string policy = value;
       if (policy == "block") {
@@ -265,8 +293,31 @@ int main(int argc, char** argv) {
     // A live fleet feed is aggregated from many BMC clocks: drop stale
     // records instead of dying on the first skewed timestamp.
     config.engine.retention.skew_policy = trace::TimeSkewPolicy::kDrop;
+
+    // Online learning (--refresh-every): the boot models seed a model slot
+    // every shard engine subscribes to; the serving path feeds an outcome
+    // collector; a shadow trainer retrains and hot-swaps in the background.
+    // The slot and collector outlive the server (declared first).
+    const bool learning = opts.refresh_every_s > 0.0;
+    std::unique_ptr<core::ModelSlot> slot;
+    std::unique_ptr<learn::OutcomeCollector> collector;
+    serve::FleetServer::ActionSink sink;
+    if (learning) {
+      core::ModelSet boot;
+      boot.classifier = core::UnownedModel(classifier);
+      boot.single = core::UnownedModel(single_predictor);
+      boot.double_row = core::UnownedModel(double_predictor);
+      slot = std::make_unique<core::ModelSlot>(std::move(boot));
+      config.model_slot = slot.get();
+      collector = std::make_unique<learn::OutcomeCollector>(topology);
+      learn::OutcomeCollector* taps = collector.get();
+      sink = [taps](std::size_t, const trace::MceRecord& record,
+                    const core::IsolationActions& actions) {
+        taps->Record(record, actions);
+      };
+    }
     serve::FleetServer server(topology, classifier, single_predictor,
-                              &double_predictor, config);
+                              &double_predictor, config, std::move(sink));
 
     // Daemon-level metrics: checkpoint-cycle timing lives here (it is a
     // property of the daemon's drain+write cycle, not of any one shard) and
@@ -301,6 +352,18 @@ int main(int argc, char** argv) {
       ++checkpoints;
     };
 
+    std::unique_ptr<learn::ShadowTrainer> trainer;
+    if (learning) {
+      learn::TrainerConfig trainer_config;
+      trainer_config.refresh_every_s = opts.refresh_every_s;
+      trainer_config.promotion_min_icr = opts.promotion_min_icr;
+      trainer_config.policy = config.engine.policy;
+      trainer_config.eval_budget = config.engine.budget;
+      trainer = std::make_unique<learn::ShadowTrainer>(
+          topology, *slot, *collector, trainer_config);
+      trainer->AttachMetrics(daemon_metrics);
+    }
+
     // The TCP ingest plane is constructed after the fleet server starts
     // (below); declared here so /metrics can fold its registry in.
     std::unique_ptr<net::IngestServer> ingest;
@@ -330,9 +393,40 @@ int main(int argc, char** argv) {
         page += "\n";
         return page;
       });
+      if (trainer) {
+        learn::ShadowTrainer* t = trainer.get();
+        serve::FleetServer* srv = &server;
+        admin->AddHandler("/modelz", "text/plain; charset=utf-8", [t, srv] {
+          std::string page = t->StatusPage();
+          page += "per-shard serving generation:";
+          for (const std::uint64_t v : srv->ModelVersions()) {
+            page += " " + std::to_string(v);
+          }
+          page += "\n";
+          return page;
+        });
+        admin->AddHandler(
+            "/modelz/swap", "text/plain; charset=utf-8",
+            [t] {
+              return "republished champion as generation " +
+                     std::to_string(t->ForceSwap()) + "\n";
+            },
+            obs::AdminServer::Method::kPost);
+        admin->AddHandler(
+            "/modelz/rollback", "text/plain; charset=utf-8",
+            [t] {
+              const std::uint64_t version = t->ForceRollback();
+              return version == 0
+                         ? std::string("nothing to roll back to\n")
+                         : "rolled back; previous models republished as "
+                           "generation " + std::to_string(version) + "\n";
+            },
+            obs::AdminServer::Method::kPost);
+      }
       admin->Start();
       std::cerr << "admin plane on http://127.0.0.1:" << admin->port()
-                << " (/metrics /statusz /healthz)\n";
+                << " (/metrics /statusz /healthz"
+                << (trainer ? " /modelz" : "") << ")\n";
     }
 
     if (!opts.checkpoint.empty()) {
@@ -372,6 +466,12 @@ int main(int argc, char** argv) {
     }
 
     server.Start();
+    if (trainer) {
+      trainer->Start();
+      std::cerr << "online learning: shadow-training round every "
+                << opts.refresh_every_s << "s (promotion ICR floor "
+                << opts.promotion_min_icr << ")\n";
+    }
     if (opts.listen) {
       net::IngestServerConfig ingest_config;
       ingest_config.bind_address = opts.listen_address;
@@ -481,6 +581,7 @@ int main(int argc, char** argv) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
     if (ingest) ingest->Stop();  // no new records past this point
+    if (trainer) trainer->Stop();  // no new model generations past this point
 
     server.Stop();  // drains the queues, then joins the workers
     if (!opts.checkpoint.empty()) {
@@ -514,6 +615,12 @@ int main(int argc, char** argv) {
                     std::to_string(stats.uer_rows_covered +
                                    stats.uer_rows_covered_by_bank)});
     summary.AddRow({"checkpoints written", std::to_string(checkpoints)});
+    if (trainer) {
+      const learn::RoundResult last = trainer->LastRound();
+      summary.AddRow({"shadow-training rounds", std::to_string(last.round)});
+      summary.AddRow({"serving model generation",
+                      std::to_string(slot->version())});
+    }
     std::cout << summary.Render("cordial_serverd session (" +
                                 std::to_string(opts.shards) + " shards)");
     return 0;

@@ -13,11 +13,13 @@
 # (cordial_feed drives two listening daemons, moves a shard between the
 # processes mid-feed, and the merged checkpoint it collects must be
 # byte-identical to the never-migrated reference).
-# Finally three perf gates: instrumenting the serving hot path must cost
+# Finally four perf gates: instrumenting the serving hot path must cost
 # <= 5% throughput vs the uninstrumented path (BENCH_obs.json), the
 # lock-free batched ring must beat the pre-ring mutex queue >= 5x into a
-# single shard (BENCH_queue.json), and TCP ingest must sustain >= 80% of
-# in-process SubmitBatch throughput at 8 connections (BENCH_net.json).
+# single shard (BENCH_queue.json), TCP ingest must sustain >= 80% of
+# in-process SubmitBatch throughput at 8 connections (BENCH_net.json), and
+# serving under constant model hot-swaps must stay within 5% of the
+# fixed-model path (BENCH_swap.json).
 #
 # Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan] [--skip-smoke]
 #                         [--skip-bench]
@@ -51,7 +53,7 @@ else
   # the admin HTTP server) and the network plane (reactor loop thread,
   # ingest connections, cross-server shard migration).
   CORDIAL_THREADS=8 ctest --test-dir build-tsan --output-on-failure \
-    -R '^(Parallel|FleetServer|EngineCheckpoint|Obs|MpscRing|Net|Migration)'
+    -R '^(Parallel|FleetServer|EngineCheckpoint|Obs|MpscRing|Net|Migration|Learn|ModelSwap)'
 fi
 
 if [[ "$SKIP_ASAN" == "1" ]]; then
@@ -61,7 +63,7 @@ else
     -DCORDIAL_BUILD_BENCHMARKS=OFF -DCORDIAL_BUILD_EXAMPLES=OFF
   cmake --build build-asan -j
   ctest --test-dir build-asan --output-on-failure \
-    -R '^(BankProfile|PredictionEngine|StreamReplayer|Obs|Durability|Failpoint|Net|Migration)'
+    -R '^(BankProfile|PredictionEngine|StreamReplayer|Obs|Durability|Failpoint|Net|Migration|Learn|ModelSwap)'
 fi
 
 if [[ "$SKIP_SMOKE" == "1" ]]; then
@@ -159,5 +161,9 @@ else
   # Exits non-zero unless TCP ingest sustains >= 80% of in-process
   # SubmitBatch throughput at 8 connections (BENCH_net.json holds the rows).
   (cd build/bench && ./perf_net_ingest)
+  # Exits non-zero when serving under constant identical-bits model
+  # publishes costs more than 5% steady-state throughput vs the fixed-model
+  # path (BENCH_swap.json holds the rows).
+  (cd build/bench && ./perf_model_swap)
 fi
 echo "tier1: OK"

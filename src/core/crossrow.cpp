@@ -182,6 +182,7 @@ std::vector<int> CrossRowPredictor::PredictBlocksFromProfile(
 void CrossRowPredictor::SaveModel(std::ostream& out) const {
   CORDIAL_CHECK_MSG(trained_, "cannot save an untrained predictor");
   std::ostringstream payload;
+  payload << "features " << extractor_.num_features() << '\n';
   ml::SaveClassifier(*model_, payload);
   WriteFramed(out, kCrossRowModelMagic, kModelFrameVersion, payload.str());
 }
@@ -189,9 +190,25 @@ void CrossRowPredictor::SaveModel(std::ostream& out) const {
 void CrossRowPredictor::LoadModel(std::istream& in) {
   std::istringstream payload(
       ReadFramed(in, kCrossRowModelMagic, kModelFrameVersion));
+  // Reject a model whose feature layout disagrees with the extractor's —
+  // it would parse cleanly and then mispredict from shifted columns.
+  ExpectToken(payload, "features");
+  const std::uint64_t saved = ReadU64Token(payload, "crossrow model features");
+  if (saved != extractor_.num_features()) {
+    throw ParseError("crossrow model: feature count mismatch (model has " +
+                     std::to_string(saved) + ", extractor expects " +
+                     std::to_string(extractor_.num_features()) + ")");
+  }
   model_ = ml::LoadClassifier(payload);
   trained_ = true;
 }
+
+CrossRowPredictor::CrossRowPredictor(const CrossRowPredictor& other)
+    : topology_(other.topology_),
+      extractor_(other.extractor_),
+      config_(other.config_),
+      model_(other.model_->Clone()),
+      trained_(other.trained_) {}
 
 std::vector<double> CrossRowPredictor::FeatureImportance() const {
   CORDIAL_CHECK_MSG(trained_, "cross-row predictor not trained");

@@ -46,6 +46,12 @@ class CrossRowPredictor {
   CrossRowPredictor(const hbm::TopologyConfig& topology, ml::LearnerKind kind,
                     CrossRowConfig config = {});
 
+  /// Deep copy via ml::Classifier::Clone — predictions bit-identical,
+  /// lifetimes independent (see PatternClassifier's copy constructor).
+  CrossRowPredictor(const CrossRowPredictor& other);
+  CrossRowPredictor& operator=(const CrossRowPredictor&) = delete;
+  CrossRowPredictor(CrossRowPredictor&&) = default;
+
   const CrossRowConfig& config() const { return config_; }
   const CrossRowFeatureExtractor& extractor() const { return extractor_; }
 

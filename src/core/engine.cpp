@@ -79,22 +79,55 @@ PredictionEngine::PredictionEngine(const hbm::TopologyConfig& topology,
                                    const CrossRowPredictor* double_predictor,
                                    EngineConfig config)
     : codec_(topology),
-      classifier_(classifier),
-      single_(single_predictor),
-      double_(double_predictor != nullptr ? *double_predictor
-                                          : single_predictor),
+      classifier_(&classifier),
+      single_(&single_predictor),
+      double_(double_predictor != nullptr ? double_predictor
+                                          : &single_predictor),
       config_(config),
       replayer_(codec_, config.retention),
       ledger_(config.budget) {
-  CORDIAL_CHECK_MSG(classifier_.trained(), "classifier must be trained");
-  CORDIAL_CHECK_MSG(single_.trained() && double_.trained(),
+  CORDIAL_CHECK_MSG(classifier_->trained(), "classifier must be trained");
+  CORDIAL_CHECK_MSG(single_->trained() && double_->trained(),
                     "cross-row predictors must be trained");
   // With the trigger at or past the truncation depth, the classification
   // cutoff can never be later than the triggering event — the profile view
   // is guaranteed lookahead-free.
   CORDIAL_CHECK_MSG(
-      single_.config().trigger_uers >= classifier_.extractor().max_uers(),
+      single_->config().trigger_uers >= classifier_->extractor().max_uers(),
       "cross-row trigger must not precede the classification truncation");
+}
+
+void PredictionEngine::AttachModelSlot(const ModelSlot& slot) {
+  model_slot_ = &slot;
+  // Adopting the attach-time generation is wiring, not a swap — neither
+  // model_swaps() nor the swap counter moves.
+  RefreshModels();
+}
+
+void PredictionEngine::RefreshModels() {
+  std::shared_ptr<const ModelSet> set = model_slot_->Acquire();
+  const PatternClassifier& classifier = *set->classifier;
+  const CrossRowPredictor& single = *set->single;
+  const CrossRowPredictor& double_row =
+      set->double_row != nullptr ? *set->double_row : *set->single;
+  // A generation that changes the feature layout or trigger contract would
+  // silently misread the accumulated per-bank profiles — refuse it and
+  // keep serving the current one.
+  CORDIAL_CHECK_MSG(
+      classifier.extractor().max_uers() == classifier_->extractor().max_uers(),
+      "model swap must keep the classification truncation depth");
+  CORDIAL_CHECK_MSG(
+      single.config().trigger_uers >= classifier.extractor().max_uers(),
+      "cross-row trigger must not precede the classification truncation");
+  classifier_ = &classifier;
+  single_ = &single;
+  double_ = &double_row;
+  active_models_ = std::move(set);
+  model_version_.store(active_models_->version, std::memory_order_relaxed);
+  if (metrics_.model_version) {
+    metrics_.model_version->Set(
+        static_cast<std::int64_t>(active_models_->version));
+  }
 }
 
 void PredictionEngine::AttachMetrics(obs::MetricRegistry& registry,
@@ -133,10 +166,27 @@ void PredictionEngine::AttachMetrics(obs::MetricRegistry& registry,
       "cordial_replay_retention_evictions_total",
       "Raw records evicted from the replayer's bounded per-bank window",
       labels));
+  metrics_.model_version = &registry.GetGauge(
+      "cordial_engine_model_version",
+      "Model-slot generation this engine is serving (0 = no slot attached)",
+      labels);
+  metrics_.model_version->Set(static_cast<std::int64_t>(model_version()));
+  metrics_.model_swaps = &registry.GetCounter(
+      "cordial_engine_model_swaps_total",
+      "Model generations hot-swapped in at a record boundary", labels);
 }
 
 IsolationActions PredictionEngine::Observe(const trace::MceRecord& record) {
   using Clock = std::chrono::steady_clock;
+  // Record-boundary model swap: adopt a newly published generation BEFORE
+  // this record is ingested, so every record is decided by exactly one
+  // generation. Costs one relaxed atomic load when nothing was published.
+  if (model_slot_ != nullptr &&
+      model_slot_->version() != model_version_.load(std::memory_order_relaxed)) {
+    RefreshModels();
+    model_swaps_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_.model_swaps) metrics_.model_swaps->Increment();
+  }
   // Threshold compare, not modulo — a division per record is measurable.
   const bool timed =
       metrics_.observe_latency != nullptr && observe_calls_ >= next_timed_;
@@ -162,7 +212,7 @@ IsolationActions PredictionEngine::Observe(const trace::MceRecord& record) {
   ++stats_.events;
   if (metrics_.events) metrics_.events->Increment();
   const auto [it, inserted] =
-      banks_.try_emplace(bank->bank_key, classifier_.extractor().max_uers());
+      banks_.try_emplace(bank->bank_key, classifier_->extractor().max_uers());
   BankState& state = it->second;
 
   IsolationActions coverage;
@@ -186,8 +236,8 @@ IsolationActions PredictionEngine::Observe(const trace::MceRecord& record) {
 
   state.profile.Observe(record);
   IsolationActions actions =
-      StepCordial(state.cordial, state.profile, record, classifier_, single_,
-                  double_, config_.policy);
+      StepCordial(state.cordial, state.profile, record, *classifier_,
+                  *single_, *double_, config_.policy);
   actions.first_failure = coverage.first_failure;
   actions.covered_by_row_spare = coverage.covered_by_row_spare;
   actions.covered_by_bank_spare = coverage.covered_by_bank_spare;
@@ -307,7 +357,7 @@ PredictionEngine::StagedState PredictionEngine::ParseState(
   for (std::uint64_t b = 0; b < bank_count; ++b) {
     const std::uint64_t key = ReadU64Token(payload, "engine bank");
     const auto [it, inserted] =
-        banks.try_emplace(key, classifier_.extractor().max_uers());
+        banks.try_emplace(key, classifier_->extractor().max_uers());
     if (!inserted) throw ParseError("engine bank: duplicate bank key");
     BankState& state = it->second;
     state.cordial.uer_events_seen = ReadU64Token(payload, "engine bank");

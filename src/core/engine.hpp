@@ -15,6 +15,7 @@
 // a window of raw records; profiles never need the dropped ones).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
@@ -22,6 +23,7 @@
 #include <vector>
 
 #include "core/crossrow.hpp"
+#include "core/model_slot.hpp"
 #include "core/pattern_classifier.hpp"
 #include "hbm/address.hpp"
 #include "hbm/sparing.hpp"
@@ -203,6 +205,35 @@ class PredictionEngine {
                      std::size_t latency_sample_every = 1);
   bool instrumented() const { return metrics_.observe_latency != nullptr; }
 
+  /// Subscribe this engine to a published model slot. From now on every
+  /// Observe polls the slot's version (one relaxed atomic load) and, when a
+  /// new generation was published, adopts it BEFORE ingesting the record —
+  /// a swap always lands on an exact record boundary, and an in-flight
+  /// Observe finishes entirely on the generation it started with. The new
+  /// generation must keep the feature layout compatible with the engine's
+  /// accumulated per-bank state (same classification truncation depth and
+  /// cross-row trigger contract); violations are a ContractViolation at
+  /// swap time, leaving the previous generation serving.
+  ///
+  /// The slot must outlive the engine. Call while no Observe is in flight
+  /// (single-threaded engines anywhere; sharded engines before Start or
+  /// while drained). The constructor-time models keep serving until the
+  /// slot's version moves past the attached generation. Model versions are
+  /// NOT persisted by SaveState: a restored engine serves whatever its
+  /// slot currently publishes, which is what keeps checkpoints byte-
+  /// identical across swap histories.
+  void AttachModelSlot(const ModelSlot& slot);
+  /// Version of the generation currently serving (0 when never attached).
+  /// Safe to read from any thread while the engine runs (relaxed atomic) —
+  /// the /modelz admin page polls it against live shard workers.
+  std::uint64_t model_version() const {
+    return model_version_.load(std::memory_order_relaxed);
+  }
+  /// Generations adopted since construction (attach itself not counted).
+  std::uint64_t model_swaps() const {
+    return model_swaps_.load(std::memory_order_relaxed);
+  }
+
   const EngineStats& stats() const { return stats_; }
   const hbm::SparingLedger& ledger() const { return ledger_; }
   const trace::StreamReplayer& replayer() const { return replayer_; }
@@ -231,12 +262,27 @@ class PredictionEngine {
     obs::Counter* block_predictions = nullptr;
     obs::Counter* rows_spared = nullptr;
     obs::Counter* skew_dropped = nullptr;
+    obs::Gauge* model_version = nullptr;
+    obs::Counter* model_swaps = nullptr;
   };
 
+  /// Adopt the slot's current generation (record-boundary call site).
+  void RefreshModels();
+
   hbm::AddressCodec codec_;
-  const PatternClassifier& classifier_;
-  const CrossRowPredictor& single_;
-  const CrossRowPredictor& double_;
+  // Always non-null; constructor-time referees until a slot swap replaces
+  // them with the active ModelSet's models (kept alive by active_models_).
+  const PatternClassifier* classifier_;
+  const CrossRowPredictor* single_;
+  const CrossRowPredictor* double_;
+  const ModelSlot* model_slot_ = nullptr;
+  std::shared_ptr<const ModelSet> active_models_;
+  /// Generation serving / generations adopted. Written only by the Observe
+  /// thread; atomic (relaxed) so status pages can read them while running.
+  /// Never persisted — checkpoints stay byte-identical across swap
+  /// histories.
+  std::atomic<std::uint64_t> model_version_{0};
+  std::atomic<std::uint64_t> model_swaps_{0};
   EngineConfig config_;
   Metrics metrics_;
   std::size_t latency_sample_every_ = 1;

@@ -1,0 +1,48 @@
+#include "core/model_slot.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+#include "core/crossrow.hpp"
+#include "core/pattern_classifier.hpp"
+
+namespace cordial::core {
+
+ModelSlot::ModelSlot(ModelSet initial) {
+  Validate(initial);
+  auto set = std::make_shared<ModelSet>(std::move(initial));
+  set->version = 1;
+  std::lock_guard<std::mutex> lock(mutex_);
+  current_ = std::move(set);
+  version_.store(1, std::memory_order_release);
+}
+
+void ModelSlot::Validate(const ModelSet& set) const {
+  CORDIAL_CHECK_MSG(set.classifier != nullptr && set.single != nullptr,
+                    "model set needs a classifier and a single-row predictor");
+  CORDIAL_CHECK_MSG(set.classifier->trained(), "classifier must be trained");
+  CORDIAL_CHECK_MSG(set.single->trained(),
+                    "single-row predictor must be trained");
+  CORDIAL_CHECK_MSG(set.double_row == nullptr || set.double_row->trained(),
+                    "double-row predictor must be trained");
+}
+
+std::uint64_t ModelSlot::Publish(ModelSet next) {
+  Validate(next);
+  auto set = std::make_shared<ModelSet>(std::move(next));
+  std::lock_guard<std::mutex> lock(mutex_);
+  set->version = version_.load(std::memory_order_relaxed) + 1;
+  const std::uint64_t version = set->version;
+  current_ = std::move(set);
+  // Version moves only after the set is visible: a reader that saw the new
+  // version acquires at least that generation.
+  version_.store(version, std::memory_order_release);
+  return version;
+}
+
+std::shared_ptr<const ModelSet> ModelSlot::Acquire() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+}  // namespace cordial::core

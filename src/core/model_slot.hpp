@@ -1,0 +1,77 @@
+// Versioned, atomically-published model bundle for online refresh.
+//
+// A `ModelSet` is an immutable snapshot of the three trained models the
+// Cordial policy consults (pattern classifier, single- and double-row
+// cross-row predictors). A `ModelSlot` publishes one ModelSet at a time,
+// RCU-style: writers (the shadow trainer, an admin force-swap) swap the
+// shared_ptr under a mutex and bump a monotonic version counter; readers
+// (one PredictionEngine per serving shard) poll the version with a single
+// relaxed atomic load per Observe and only take the mutex when it moved.
+// Old sets stay alive until the last engine drops its shared_ptr, so an
+// in-flight decision never sees a model die under it, and a swap can only
+// take effect at a record boundary — the property the hot-swap determinism
+// tests pin (a run with K swaps of an identical model is byte-identical to
+// a no-swap run).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+namespace cordial::core {
+
+class PatternClassifier;
+class CrossRowPredictor;
+
+/// Wrap an externally-owned model in a non-owning shared_ptr (the caller
+/// guarantees the referee outlives every ModelSet holding it). Lets the
+/// boot-time models — typically stack- or daemon-owned — seed a slot whose
+/// later champions are heap-owned by their sets.
+template <typename T>
+std::shared_ptr<const T> UnownedModel(const T& model) {
+  return std::shared_ptr<const T>(&model, [](const T*) {});
+}
+
+/// One immutable generation of the serving models. `double_row` may be
+/// null: the single-row predictor then serves both clustering classes,
+/// mirroring the PredictionEngine constructor's contract.
+struct ModelSet {
+  std::uint64_t version = 0;  ///< assigned by the slot on publish
+  std::shared_ptr<const PatternClassifier> classifier;
+  std::shared_ptr<const CrossRowPredictor> single;
+  std::shared_ptr<const CrossRowPredictor> double_row;
+};
+
+class ModelSlot {
+ public:
+  /// Seeds the slot with generation 1. `initial.classifier` and
+  /// `initial.single` must be non-null and trained.
+  explicit ModelSlot(ModelSet initial);
+
+  ModelSlot(const ModelSlot&) = delete;
+  ModelSlot& operator=(const ModelSlot&) = delete;
+
+  /// Publish a new generation; assigns and returns its version (previous
+  /// + 1). Readers acquire it at their next version poll. Thread-safe.
+  std::uint64_t Publish(ModelSet next);
+
+  /// The currently published generation. Thread-safe; the returned set is
+  /// immutable and stays valid for as long as the caller holds it.
+  std::shared_ptr<const ModelSet> Acquire() const;
+
+  /// Version of the current generation — one relaxed atomic load, the
+  /// per-record poll engines pay. Starts at 1.
+  std::uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void Validate(const ModelSet& set) const;
+
+  mutable std::mutex mutex_;
+  std::shared_ptr<const ModelSet> current_;
+  std::atomic<std::uint64_t> version_{0};
+};
+
+}  // namespace cordial::core

@@ -80,6 +80,7 @@ ml::ConfusionMatrix PatternClassifier::Evaluate(
 void PatternClassifier::SaveModel(std::ostream& out) const {
   CORDIAL_CHECK_MSG(trained_, "cannot save an untrained classifier");
   std::ostringstream payload;
+  payload << "features " << extractor_.num_features() << '\n';
   ml::SaveClassifier(*model_, payload);
   WriteFramed(out, kPatternModelMagic, kModelFrameVersion, payload.str());
 }
@@ -87,9 +88,25 @@ void PatternClassifier::SaveModel(std::ostream& out) const {
 void PatternClassifier::LoadModel(std::istream& in) {
   std::istringstream payload(
       ReadFramed(in, kPatternModelMagic, kModelFrameVersion));
+  // A model trained against a different feature layout would not fail to
+  // parse — it would silently read shifted columns and mispredict. Reject
+  // it here, naming both counts.
+  ExpectToken(payload, "features");
+  const std::uint64_t saved = ReadU64Token(payload, "pattern model features");
+  if (saved != extractor_.num_features()) {
+    throw ParseError("pattern model: feature count mismatch (model has " +
+                     std::to_string(saved) + ", extractor expects " +
+                     std::to_string(extractor_.num_features()) + ")");
+  }
   model_ = ml::LoadClassifier(payload);
   trained_ = true;
 }
+
+PatternClassifier::PatternClassifier(const PatternClassifier& other)
+    : extractor_(other.extractor_),
+      kind_(other.kind_),
+      model_(other.model_->Clone()),
+      trained_(other.trained_) {}
 
 std::vector<double> PatternClassifier::FeatureImportance() const {
   CORDIAL_CHECK_MSG(trained_, "classifier not trained");

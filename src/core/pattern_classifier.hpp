@@ -28,6 +28,14 @@ class PatternClassifier {
   PatternClassifier(const hbm::TopologyConfig& topology,
                     ml::LearnerKind kind, std::size_t max_uers = 3);
 
+  /// Deep copy via ml::Classifier::Clone — predictions bit-identical to the
+  /// original, lifetimes fully independent. The shadow trainer copies the
+  /// champion this way so champion/challenger evaluation runs concurrently
+  /// with serving without re-parsing a serialized stream.
+  PatternClassifier(const PatternClassifier& other);
+  PatternClassifier& operator=(const PatternClassifier&) = delete;
+  PatternClassifier(PatternClassifier&&) = default;
+
   const ClassificationFeatureExtractor& extractor() const {
     return extractor_;
   }

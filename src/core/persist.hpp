@@ -10,7 +10,13 @@ namespace cordial::core {
 
 inline constexpr char kPatternModelMagic[] = "cordial_pattern_model";
 inline constexpr char kCrossRowModelMagic[] = "cordial_crossrow_model";
-inline constexpr std::uint32_t kModelFrameVersion = 1;
+// v2: payload leads with `features <n>` so a stale model trained against a
+// different extractor layout is rejected at load time instead of silently
+// mispredicting from shifted feature columns.
+inline constexpr std::uint32_t kModelFrameVersion = 2;
+
+inline constexpr char kOutcomeStoreMagic[] = "cordial_outcome_store";
+inline constexpr std::uint32_t kOutcomeStoreVersion = 1;
 
 inline constexpr char kEngineStateMagic[] = "cordial_engine_state";
 inline constexpr std::uint32_t kEngineStateVersion = 1;

@@ -1,0 +1,79 @@
+#include "learn/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace cordial::learn {
+
+void ScoreHistogram::Add(double score) {
+  const double clamped = std::clamp(score, 0.0, 1.0);
+  std::size_t bin = static_cast<std::size_t>(clamped * kBins);
+  if (bin >= kBins) bin = kBins - 1;  // score == 1.0
+  ++counts[bin];
+  ++total;
+}
+
+ScoreProfile BuildScoreProfile(
+    const core::PatternClassifier& classifier,
+    const std::vector<std::shared_ptr<const LabelledOutcome>>& outcomes) {
+  CORDIAL_CHECK_MSG(classifier.trained(), "profile needs a trained model");
+  ScoreProfile profile;
+  for (const auto& outcome : outcomes) {
+    const std::vector<double> proba =
+        classifier.ClassifyProba(outcome->bank);
+    std::size_t winner = 0;
+    for (std::size_t c = 1; c < proba.size() && c < 3; ++c) {
+      if (proba[c] > proba[winner]) winner = c;
+    }
+    ++profile.class_counts[winner];
+    profile.score_hists[winner].Add(proba[winner]);
+  }
+  return profile;
+}
+
+double MixDivergence(const std::array<std::uint64_t, 3>& a,
+                     const std::array<std::uint64_t, 3>& b) {
+  const double total_a =
+      static_cast<double>(a[0]) + static_cast<double>(a[1]) +
+      static_cast<double>(a[2]);
+  const double total_b =
+      static_cast<double>(b[0]) + static_cast<double>(b[1]) +
+      static_cast<double>(b[2]);
+  if (total_a == 0.0 || total_b == 0.0) return 0.0;
+  double tv = 0.0;
+  for (std::size_t c = 0; c < 3; ++c) {
+    tv += std::abs(static_cast<double>(a[c]) / total_a -
+                   static_cast<double>(b[c]) / total_b);
+  }
+  return tv / 2.0;
+}
+
+namespace {
+
+double HistogramTv(const ScoreHistogram& a, const ScoreHistogram& b) {
+  double tv = 0.0;
+  for (std::size_t bin = 0; bin < ScoreHistogram::kBins; ++bin) {
+    tv += std::abs(static_cast<double>(a.counts[bin]) /
+                       static_cast<double>(a.total) -
+                   static_cast<double>(b.counts[bin]) /
+                       static_cast<double>(b.total));
+  }
+  return tv / 2.0;
+}
+
+}  // namespace
+
+double ScoreDivergence(const ScoreProfile& a, const ScoreProfile& b) {
+  double sum = 0.0;
+  std::size_t comparable = 0;
+  for (std::size_t c = 0; c < 3; ++c) {
+    if (a.score_hists[c].total == 0 || b.score_hists[c].total == 0) continue;
+    sum += HistogramTv(a.score_hists[c], b.score_hists[c]);
+    ++comparable;
+  }
+  return comparable == 0 ? 0.0 : sum / static_cast<double>(comparable);
+}
+
+}  // namespace cordial::learn

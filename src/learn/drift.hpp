@@ -1,0 +1,76 @@
+// Drift detection for the online learning loop.
+//
+// Two complementary signals, both cheap and deterministic:
+//
+//  * Pattern-mix divergence — the live serving engines classify banks as
+//    they hit the trigger; the collector tallies that class mix. Comparing
+//    it against the class mix a model predicts over the replay store says
+//    whether the *data* the fleet now produces still looks like what the
+//    model was promoted on.
+//
+//  * Score-distribution shift — classifying the same replay banks under two
+//    models (champion vs challenger, or the same model across rounds) and
+//    histogramming each predicted class's winning score shows whether the
+//    *model's* confidence surface moved, even when the argmax mix did not.
+//
+// Divergences are total-variation distances in [0, 1]: 0 = identical
+// distributions, 1 = disjoint. The trainer exports them ppm-scaled through
+// the integer gauge metrics (`cordial_learn_*_divergence_ppm`).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/pattern_classifier.hpp"
+#include "learn/outcome_log.hpp"
+
+namespace cordial::learn {
+
+/// Fixed-bin histogram of winning-class scores over [0, 1].
+struct ScoreHistogram {
+  static constexpr std::size_t kBins = 10;
+  std::array<std::uint64_t, kBins> counts{};
+  std::uint64_t total = 0;
+
+  void Add(double score);
+};
+
+/// What a classifier's predictions over a bank set look like: the predicted
+/// class mix plus, per predicted class, the distribution of the winning
+/// probability.
+struct ScoreProfile {
+  std::array<std::uint64_t, 3> class_counts{};
+  std::array<ScoreHistogram, 3> score_hists;
+
+  std::uint64_t total() const {
+    return class_counts[0] + class_counts[1] + class_counts[2];
+  }
+};
+
+/// Classify every outcome's bank and accumulate its profile. The classifier
+/// must be trained.
+ScoreProfile BuildScoreProfile(
+    const core::PatternClassifier& classifier,
+    const std::vector<std::shared_ptr<const LabelledOutcome>>& outcomes);
+
+/// Total-variation distance between two class mixes (each normalized by its
+/// own total). 0 when either side is empty — no evidence is not drift.
+double MixDivergence(const std::array<std::uint64_t, 3>& a,
+                     const std::array<std::uint64_t, 3>& b);
+
+/// Mean per-class total-variation distance between the score histograms,
+/// averaged over classes where both sides have samples. 0 when no class is
+/// comparable.
+double ScoreDivergence(const ScoreProfile& a, const ScoreProfile& b);
+
+/// One round's drift readout (see ShadowTrainer::RunOnce).
+struct DriftReport {
+  /// Live serving class mix vs the champion's predicted mix on replay.
+  double mix_divergence = 0.0;
+  /// Champion vs challenger score distributions on the same replay banks.
+  double score_divergence = 0.0;
+};
+
+}  // namespace cordial::learn

@@ -1,0 +1,350 @@
+#include "learn/shadow_trainer.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "core/isolation.hpp"
+#include "core/pattern_classifier.hpp"
+#include "hbm/fault.hpp"
+#include "ml/metrics.hpp"
+
+namespace cordial::learn {
+
+namespace {
+
+std::int64_t Ppm(double ratio) {
+  return static_cast<std::int64_t>(ratio * 1e6);
+}
+
+std::vector<const trace::BankHistory*> BanksOf(
+    const std::vector<std::shared_ptr<const LabelledOutcome>>& outcomes) {
+  std::vector<const trace::BankHistory*> banks;
+  banks.reserve(outcomes.size());
+  for (const auto& outcome : outcomes) banks.push_back(&outcome->bank);
+  return banks;
+}
+
+std::vector<core::LabelledBank> LabelledOf(
+    const std::vector<std::shared_ptr<const LabelledOutcome>>& outcomes) {
+  std::vector<core::LabelledBank> labelled;
+  labelled.reserve(outcomes.size());
+  for (const auto& outcome : outcomes) {
+    labelled.push_back({&outcome->bank, outcome->label});
+  }
+  return labelled;
+}
+
+}  // namespace
+
+ShadowTrainer::ShadowTrainer(const hbm::TopologyConfig& topology,
+                             core::ModelSlot& slot,
+                             OutcomeCollector& collector, TrainerConfig config)
+    : topology_(topology),
+      slot_(slot),
+      collector_(collector),
+      config_(config),
+      rng_(config.seed) {
+  CORDIAL_CHECK_MSG(config_.refresh_every_s > 0.0,
+                    "refresh period must be positive");
+  CORDIAL_CHECK_MSG(config_.min_holdout_outcomes >= 1,
+                    "need at least one held-out outcome to evaluate");
+}
+
+ShadowTrainer::~ShadowTrainer() { Stop(); }
+
+RoundResult ShadowTrainer::RunOnce() {
+  RoundResult result;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    result.round = ++rounds_run_;
+  }
+  if (metrics_.rounds) metrics_.rounds->Increment();
+
+  result.harvested = collector_.HarvestMature(collector_.MaxTimeSeen());
+  if (metrics_.harvested && result.harvested > 0) {
+    metrics_.harvested->Increment(result.harvested);
+  }
+  const OutcomeCollector::ReplaySplit replay = collector_.SnapshotReplay();
+  result.train_outcomes = replay.train.size();
+  result.holdout_outcomes = replay.holdout.size();
+
+  const std::shared_ptr<const core::ModelSet> champion = slot_.Acquire();
+  result.published_version = champion->version;
+
+  if (replay.train.size() < config_.min_train_outcomes) {
+    result.skip_reason = "train set below min_train_outcomes";
+  } else if (replay.holdout.size() < config_.min_holdout_outcomes) {
+    result.skip_reason = "holdout set below min_holdout_outcomes";
+  }
+  if (!result.skip_reason.empty()) {
+    if (metrics_.skipped) metrics_.skipped->Increment();
+    FinishRound(result);
+    return result;
+  }
+
+  // Train the challenger: the champion's architecture, a fresh fit on the
+  // harvested replay. Round-forked RNG: reproducible, rounds independent.
+  auto challenger = std::make_shared<core::PatternClassifier>(
+      topology_, champion->classifier->kind(),
+      champion->classifier->extractor().max_uers());
+  Rng round_rng = rng_.Fork(result.round);
+  challenger->Train(LabelledOf(replay.train), round_rng);
+  result.trained = true;
+
+  // Held-out evaluation, champion vs challenger. Both replay the full
+  // Cordial strategy (classification gates cross-row prediction), sharing
+  // the champion's predictors — promotion replaces only the classifier.
+  const std::vector<const trace::BankHistory*> holdout_banks =
+      BanksOf(replay.holdout);
+  const std::vector<core::LabelledBank> holdout_labelled =
+      LabelledOf(replay.holdout);
+  const core::IcrEvaluator evaluator(topology_, config_.eval_budget);
+  const core::CrossRowPredictor& double_row =
+      champion->double_row ? *champion->double_row : *champion->single;
+  core::CordialStrategy champion_strategy(*champion->classifier,
+                                          *champion->single, double_row,
+                                          config_.policy);
+  core::CordialStrategy challenger_strategy(*challenger, *champion->single,
+                                            double_row, config_.policy);
+  result.champion_icr =
+      evaluator.Evaluate(holdout_banks, champion_strategy).Icr();
+  result.challenger_icr =
+      evaluator.Evaluate(holdout_banks, challenger_strategy).Icr();
+  result.champion_f1 =
+      champion->classifier->Evaluate(holdout_labelled).MacroAverage().f1;
+  result.challenger_f1 =
+      challenger->Evaluate(holdout_labelled).MacroAverage().f1;
+
+  // Drift: what the fleet produces now vs what the champion expects, and
+  // how far the challenger's confidence surface moved from the champion's.
+  const ScoreProfile champion_profile =
+      BuildScoreProfile(*champion->classifier, replay.train);
+  const ScoreProfile challenger_profile =
+      BuildScoreProfile(*challenger, replay.train);
+  result.drift.mix_divergence =
+      MixDivergence(collector_.LiveClassMix(), champion_profile.class_counts);
+  result.drift.score_divergence =
+      ScoreDivergence(champion_profile, challenger_profile);
+
+  const bool clears_floor = result.challenger_icr >= config_.promotion_min_icr;
+  const bool clears_gain =
+      result.challenger_icr - result.champion_icr >= config_.min_icr_gain;
+  const bool clears_f1 =
+      result.champion_f1 - result.challenger_f1 <= config_.max_f1_regression;
+  if (clears_floor && clears_gain && clears_f1) {
+    std::lock_guard<std::mutex> lock(publish_mutex_);
+    core::ModelSet next;
+    next.classifier = std::move(challenger);
+    next.single = champion->single;
+    next.double_row = champion->double_row;
+    previous_ = *champion;
+    result.published_version = slot_.Publish(std::move(next));
+    result.promoted = true;
+    if (metrics_.promotions) metrics_.promotions->Increment();
+  } else if (!clears_floor) {
+    result.skip_reason = "challenger below promotion_min_icr";
+  } else if (!clears_gain) {
+    result.skip_reason = "ICR gain below min_icr_gain";
+  } else {
+    result.skip_reason = "macro-F1 regression above max_f1_regression";
+  }
+
+  FinishRound(result);
+  return result;
+}
+
+void ShadowTrainer::FinishRound(const RoundResult& result) {
+  const CollectorStats stats = collector_.Stats();
+  if (metrics_.model_version) {
+    metrics_.model_version->Set(
+        static_cast<std::int64_t>(slot_.version()));
+  }
+  if (metrics_.replay_banks) {
+    metrics_.replay_banks->Set(static_cast<std::int64_t>(stats.replay_banks));
+  }
+  if (metrics_.open_banks) {
+    metrics_.open_banks->Set(static_cast<std::int64_t>(stats.open_banks));
+  }
+  if (result.trained) {
+    if (metrics_.champion_icr_ppm) {
+      metrics_.champion_icr_ppm->Set(Ppm(result.champion_icr));
+    }
+    if (metrics_.challenger_icr_ppm) {
+      metrics_.challenger_icr_ppm->Set(Ppm(result.challenger_icr));
+    }
+    if (metrics_.champion_f1_ppm) {
+      metrics_.champion_f1_ppm->Set(Ppm(result.champion_f1));
+    }
+    if (metrics_.challenger_f1_ppm) {
+      metrics_.challenger_f1_ppm->Set(Ppm(result.challenger_f1));
+    }
+    if (metrics_.mix_divergence_ppm) {
+      metrics_.mix_divergence_ppm->Set(Ppm(result.drift.mix_divergence));
+    }
+    if (metrics_.score_divergence_ppm) {
+      metrics_.score_divergence_ppm->Set(Ppm(result.drift.score_divergence));
+    }
+  }
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  last_round_ = result;
+}
+
+void ShadowTrainer::Start() {
+  std::lock_guard<std::mutex> lock(loop_mutex_);
+  CORDIAL_CHECK_MSG(!running_, "trainer loop already running");
+  stop_requested_ = false;
+  running_ = true;
+  loop_ = std::thread([this] { LoopBody(); });
+}
+
+void ShadowTrainer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(loop_mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  loop_cv_.notify_all();
+  loop_.join();
+  std::lock_guard<std::mutex> lock(loop_mutex_);
+  running_ = false;
+}
+
+void ShadowTrainer::LoopBody() {
+  const auto period = std::chrono::duration<double>(config_.refresh_every_s);
+  std::unique_lock<std::mutex> lock(loop_mutex_);
+  while (!stop_requested_) {
+    if (loop_cv_.wait_for(lock, period, [this] { return stop_requested_; })) {
+      return;
+    }
+    lock.unlock();
+    RunOnce();
+    lock.lock();
+  }
+}
+
+std::uint64_t ShadowTrainer::ForceSwap() {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  const std::shared_ptr<const core::ModelSet> current = slot_.Acquire();
+  core::ModelSet same;
+  same.classifier = current->classifier;
+  same.single = current->single;
+  same.double_row = current->double_row;
+  previous_ = *current;
+  const std::uint64_t version = slot_.Publish(std::move(same));
+  if (metrics_.forced_swaps) metrics_.forced_swaps->Increment();
+  if (metrics_.model_version) {
+    metrics_.model_version->Set(static_cast<std::int64_t>(version));
+  }
+  return version;
+}
+
+std::uint64_t ShadowTrainer::ForceRollback() {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  if (!previous_.classifier) return 0;
+  const std::shared_ptr<const core::ModelSet> current = slot_.Acquire();
+  core::ModelSet back = std::move(previous_);
+  previous_ = *current;
+  const std::uint64_t version = slot_.Publish(std::move(back));
+  if (metrics_.rollbacks) metrics_.rollbacks->Increment();
+  if (metrics_.model_version) {
+    metrics_.model_version->Set(static_cast<std::int64_t>(version));
+  }
+  return version;
+}
+
+RoundResult ShadowTrainer::LastRound() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return last_round_;
+}
+
+void ShadowTrainer::AttachMetrics(obs::MetricRegistry& registry,
+                                  const obs::Labels& labels) {
+  metrics_.rounds = &registry.GetCounter(
+      "cordial_learn_rounds_total", "Shadow-training rounds run", labels);
+  metrics_.promotions = &registry.GetCounter(
+      "cordial_learn_promotions_total",
+      "Challenger models promoted into the serving slot", labels);
+  metrics_.skipped = &registry.GetCounter(
+      "cordial_learn_skipped_rounds_total",
+      "Rounds skipped (too little replay data)", labels);
+  metrics_.forced_swaps = &registry.GetCounter(
+      "cordial_learn_forced_swaps_total",
+      "Admin-forced republishes of the current champion", labels);
+  metrics_.rollbacks = &registry.GetCounter(
+      "cordial_learn_rollbacks_total",
+      "Admin-forced rollbacks to the previous generation", labels);
+  metrics_.harvested = &registry.GetCounter(
+      "cordial_learn_outcomes_harvested_total",
+      "Labelled outcomes matured into the replay store", labels);
+  metrics_.model_version = &registry.GetGauge(
+      "cordial_learn_model_version",
+      "Model-slot generation most recently published", labels);
+  metrics_.model_version->Set(static_cast<std::int64_t>(slot_.version()));
+  metrics_.replay_banks = &registry.GetGauge(
+      "cordial_learn_replay_banks",
+      "Labelled outcomes currently in the replay store", labels);
+  metrics_.open_banks = &registry.GetGauge(
+      "cordial_learn_open_banks",
+      "Banks accumulating events, label not yet mature", labels);
+  metrics_.champion_icr_ppm = &registry.GetGauge(
+      "cordial_learn_champion_icr_ppm",
+      "Champion held-out ICR, parts per million", labels);
+  metrics_.challenger_icr_ppm = &registry.GetGauge(
+      "cordial_learn_challenger_icr_ppm",
+      "Challenger held-out ICR, parts per million", labels);
+  metrics_.champion_f1_ppm = &registry.GetGauge(
+      "cordial_learn_champion_f1_ppm",
+      "Champion held-out macro-F1, parts per million", labels);
+  metrics_.challenger_f1_ppm = &registry.GetGauge(
+      "cordial_learn_challenger_f1_ppm",
+      "Challenger held-out macro-F1, parts per million", labels);
+  metrics_.mix_divergence_ppm = &registry.GetGauge(
+      "cordial_learn_mix_divergence_ppm",
+      "Live vs model-predicted pattern-mix divergence, ppm", labels);
+  metrics_.score_divergence_ppm = &registry.GetGauge(
+      "cordial_learn_score_divergence_ppm",
+      "Champion vs challenger score-distribution divergence, ppm", labels);
+}
+
+std::string ShadowTrainer::StatusPage() const {
+  const RoundResult round = LastRound();
+  const CollectorStats stats = collector_.Stats();
+  std::ostringstream out;
+  out << "online learning\n";
+  out << "===============\n";
+  out << "slot version: " << slot_.version() << '\n';
+  out << "gates: promotion_min_icr=" << config_.promotion_min_icr
+      << " min_icr_gain=" << config_.min_icr_gain
+      << " max_f1_regression=" << config_.max_f1_regression << '\n';
+  out << "replay store: " << stats.replay_banks << " labelled bank(s), "
+      << stats.open_banks << " open, " << stats.matured_total
+      << " matured total, " << stats.evicted_total << " evicted\n";
+  if (round.round == 0) {
+    out << "no training round has run yet\n";
+    return out.str();
+  }
+  out << "round " << round.round << ": harvested=" << round.harvested
+      << " train=" << round.train_outcomes
+      << " holdout=" << round.holdout_outcomes << '\n';
+  if (!round.trained) {
+    out << "  skipped: " << round.skip_reason << '\n';
+    return out.str();
+  }
+  out << "  champion:   icr=" << round.champion_icr
+      << " macro_f1=" << round.champion_f1 << '\n';
+  out << "  challenger: icr=" << round.challenger_icr
+      << " macro_f1=" << round.challenger_f1 << '\n';
+  out << "  drift: mix=" << round.drift.mix_divergence
+      << " score=" << round.drift.score_divergence << '\n';
+  if (round.promoted) {
+    out << "  PROMOTED as generation " << round.published_version << '\n';
+  } else {
+    out << "  not promoted: " << round.skip_reason << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace cordial::learn

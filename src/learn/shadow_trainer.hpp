@@ -1,0 +1,180 @@
+// Shadow training: the champion/challenger loop that closes train → serve.
+//
+// The serving engines run the *champion* model set, published through a
+// core::ModelSlot. A ShadowTrainer periodically (or on demand, RunOnce):
+//
+//   1. harvests matured labelled outcomes from its OutcomeCollector,
+//   2. trains a *challenger* pattern classifier — same architecture as the
+//      champion, fresh fit on the harvested replay data — off the serving
+//      threads (the existing parallel Fit path),
+//   3. evaluates champion vs challenger on the held-out replay split: ICR
+//      via IcrEvaluator replaying the full Cordial strategy, macro-F1 via
+//      the classifier confusion matrix,
+//   4. promotes the challenger iff it clears the gates (an absolute ICR
+//      floor, a minimum ICR gain over the champion, and a bounded F1
+//      regression) by publishing a new ModelSet generation into the slot —
+//      the serving engines adopt it at each shard's next record boundary,
+//   5. measures drift (live pattern mix vs model-predicted mix; champion vs
+//      challenger score distributions) and exports everything as
+//      `cordial_learn_*` metrics.
+//
+// The trainer never touches a serving thread: training and evaluation run
+// on its own background thread against snapshot copies; the only shared
+// write is the slot publish (mutex + release store), and the only thing
+// serving pays is its existing once-per-record version poll.
+//
+// Promotion only replaces the pattern classifier; the cross-row predictors
+// are shared from the champion generation (retraining them needs block
+// truth, which matures much later — an open roadmap item).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "core/model_slot.hpp"
+#include "hbm/sparing.hpp"
+#include "learn/drift.hpp"
+#include "learn/outcome_log.hpp"
+#include "obs/metrics.hpp"
+
+namespace cordial::learn {
+
+struct TrainerConfig {
+  /// Background-loop period, wall seconds (Start/Stop). RunOnce ignores it.
+  double refresh_every_s = 30.0;
+  /// Gate 1: the challenger's held-out ICR must be at least this.
+  double promotion_min_icr = 0.0;
+  /// Gate 2: challenger ICR minus champion ICR must be at least this.
+  double min_icr_gain = 0.0;
+  /// Gate 3: champion macro-F1 minus challenger macro-F1 must not exceed
+  /// this (a better-ICR challenger that forgot how to classify is refused).
+  double max_f1_regression = 0.05;
+  /// Train on fewer outcomes than this and the round is skipped.
+  std::size_t min_train_outcomes = 8;
+  /// Skip rounds whose held-out split is smaller than this.
+  std::size_t min_holdout_outcomes = 2;
+  /// Root seed; round k trains with Fork(k) so rounds are independent and
+  /// the whole history is reproducible from (seed, feed).
+  std::uint64_t seed = 0x5eed1ea51ULL;
+  /// Policy + budget the held-out ICR replay evaluates under (should match
+  /// the serving engine's config).
+  core::CordialPolicyConfig policy;
+  hbm::SparingBudget eval_budget;
+};
+
+/// Everything one RunOnce did — the /modelz page renders the latest one.
+struct RoundResult {
+  std::uint64_t round = 0;
+  std::size_t harvested = 0;        ///< outcomes matured this round
+  std::size_t train_outcomes = 0;
+  std::size_t holdout_outcomes = 0;
+  bool trained = false;             ///< a challenger was fitted
+  bool promoted = false;            ///< ...and published
+  std::string skip_reason;          ///< non-empty when !trained
+  double champion_icr = 0.0;
+  double challenger_icr = 0.0;
+  double champion_f1 = 0.0;
+  double challenger_f1 = 0.0;
+  DriftReport drift;
+  std::uint64_t published_version = 0;  ///< slot version after the round
+};
+
+/// Owns the retrain loop. Thread-safe: RunOnce (trainer thread) and the
+/// Force* admin calls may race; publishes are serialized internally.
+class ShadowTrainer {
+ public:
+  /// `slot` is where promotions land; `collector` supplies the replay data.
+  /// Both must outlive the trainer. The slot must already be seeded with a
+  /// trained champion generation.
+  ShadowTrainer(const hbm::TopologyConfig& topology, core::ModelSlot& slot,
+                OutcomeCollector& collector, TrainerConfig config = {});
+  ~ShadowTrainer();
+
+  ShadowTrainer(const ShadowTrainer&) = delete;
+  ShadowTrainer& operator=(const ShadowTrainer&) = delete;
+
+  /// One synchronous harvest→train→evaluate→maybe-promote round. Safe from
+  /// any thread; this is what the background loop calls.
+  RoundResult RunOnce();
+
+  /// Spawn the background loop: RunOnce every refresh_every_s wall seconds
+  /// until Stop. Attach metrics first if they are wanted.
+  void Start();
+  /// Stop and join the background loop. Idempotent; also run by ~.
+  void Stop();
+
+  /// Republish the CURRENT champion models as a fresh generation (same
+  /// bits, new version). Every serving engine re-adopts at its next record
+  /// boundary — the determinism property tests force swaps this way, and
+  /// operators use it to verify swap plumbing. Returns the new version.
+  std::uint64_t ForceSwap();
+
+  /// Republish the generation the last promotion replaced. Returns the new
+  /// version, or 0 when there is nothing to roll back to. Rolling back
+  /// twice toggles between the two newest generations.
+  std::uint64_t ForceRollback();
+
+  /// Latest finished round (value copy; zero-initialized before any round).
+  RoundResult LastRound() const;
+
+  /// Register the `cordial_learn_*` metrics. Call before Start. Ratios and
+  /// divergences are exported ppm-scaled (gauges are integers).
+  void AttachMetrics(obs::MetricRegistry& registry,
+                     const obs::Labels& labels = {});
+
+  /// Human-readable /modelz body: slot version, gates, last round, drift,
+  /// replay-store occupancy.
+  std::string StatusPage() const;
+
+  const TrainerConfig& config() const { return config_; }
+
+ private:
+  struct Metrics {
+    obs::Counter* rounds = nullptr;
+    obs::Counter* promotions = nullptr;
+    obs::Counter* skipped = nullptr;
+    obs::Counter* forced_swaps = nullptr;
+    obs::Counter* rollbacks = nullptr;
+    obs::Counter* harvested = nullptr;
+    obs::Gauge* model_version = nullptr;
+    obs::Gauge* replay_banks = nullptr;
+    obs::Gauge* open_banks = nullptr;
+    obs::Gauge* champion_icr_ppm = nullptr;
+    obs::Gauge* challenger_icr_ppm = nullptr;
+    obs::Gauge* champion_f1_ppm = nullptr;
+    obs::Gauge* challenger_f1_ppm = nullptr;
+    obs::Gauge* mix_divergence_ppm = nullptr;
+    obs::Gauge* score_divergence_ppm = nullptr;
+  };
+
+  void LoopBody();
+  /// Export a finished round's gauges and stash it as LastRound.
+  void FinishRound(const RoundResult& result);
+
+  hbm::TopologyConfig topology_;
+  core::ModelSlot& slot_;
+  OutcomeCollector& collector_;
+  TrainerConfig config_;
+  Rng rng_;
+  Metrics metrics_;
+
+  /// Serializes slot publishes and guards previous_ (rollback target).
+  std::mutex publish_mutex_;
+  core::ModelSet previous_;  ///< generation the last publish replaced
+
+  mutable std::mutex state_mutex_;
+  RoundResult last_round_;
+  std::uint64_t rounds_run_ = 0;
+
+  std::mutex loop_mutex_;
+  std::condition_variable loop_cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::thread loop_;
+};
+
+}  // namespace cordial::learn

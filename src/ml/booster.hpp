@@ -26,6 +26,9 @@ class GradientBoostedClassifier final : public Classifier {
   void Serialize(std::ostream& out) const override;
   static std::unique_ptr<GradientBoostedClassifier> Deserialize(
       std::istream& in);
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<GradientBoostedClassifier>(*this);
+  }
 
   std::size_t total_trees() const { return trees_.size(); }
 

@@ -36,6 +36,13 @@ class Classifier {
 
   /// Text serialization of the fitted model (predict-path state only).
   virtual void Serialize(std::ostream& out) const = 0;
+
+  /// Deep copy of the fitted model. Predictions of the clone are
+  /// bit-identical to the original's, and the two are fully independent —
+  /// the online refresh loop clones the champion so a challenger can train
+  /// and evaluate concurrently with serving, without re-parsing a
+  /// serialized stream on every evaluation round.
+  virtual std::unique_ptr<Classifier> Clone() const = 0;
 };
 
 /// Persist / restore a fitted classifier with a type tag, so deployment

@@ -18,6 +18,9 @@ class RandomForestClassifier final : public Classifier {
   std::vector<double> FeatureImportance() const override;
   void Serialize(std::ostream& out) const override;
   static std::unique_ptr<RandomForestClassifier> Deserialize(std::istream& in);
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<RandomForestClassifier>(*this);
+  }
 
   std::size_t tree_count() const { return trees_.size(); }
 

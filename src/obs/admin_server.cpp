@@ -57,10 +57,10 @@ AdminServer::AdminServer(AdminServerConfig config)
 AdminServer::~AdminServer() { Stop(); }
 
 void AdminServer::AddHandler(const std::string& path,
-                             const std::string& content_type,
-                             Handler handler) {
+                             const std::string& content_type, Handler handler,
+                             Method method) {
   std::lock_guard<std::mutex> lock(mutex_);
-  routes_[path] = Route{content_type, std::move(handler)};
+  routes_[path] = Route{content_type, std::move(handler), method};
 }
 
 void AdminServer::Start() {
@@ -220,9 +220,9 @@ void AdminServer::Respond(Connection& conn) {
   const std::size_t query = path.find('?');
   if (query != std::string::npos) path.resize(query);
 
-  if (method != "GET") {
+  if (method != "GET" && method != "POST") {
     conn.out = BuildResponse(405, "text/plain; charset=utf-8",
-                             "only GET is supported\n");
+                             "only GET and POST are supported\n");
     FlushWrites(conn);
     return;
   }
@@ -235,6 +235,17 @@ void AdminServer::Respond(Connection& conn) {
     if (it != routes_.end()) {
       route = it->second;
       found = true;
+    }
+  }
+  if (found) {
+    const std::string required =
+        route.method == Method::kPost ? "POST" : "GET";
+    if (method != required) {
+      conn.out = BuildResponse(
+          405, "text/plain; charset=utf-8",
+          path + " requires " + required + ", got " + method + "\n");
+      FlushWrites(conn);
+      return;
     }
   }
   if (!found) {

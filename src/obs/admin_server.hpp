@@ -4,7 +4,10 @@
 //
 // This is an operator endpoint, not a traffic server: a Prometheus scraper
 // or a human with curl hits it every few seconds, so each connection
-// carries exactly one GET. Connections are per-fd state machines on the
+// carries exactly one request — GET for read-only routes, POST for the
+// mutating ones (a route registered as POST rejects GET with a 405, so a
+// crawler or a careless scrape cannot trip a model swap). Any request body
+// is ignored. Connections are per-fd state machines on the
 // reactor: non-blocking reads accumulate the request head, the response is
 // flushed through a write backlog, and a per-connection timer closes
 // clients that stall mid-request — a slow peer can no longer hold the
@@ -51,10 +54,15 @@ class AdminServer {
   AdminServer(const AdminServer&) = delete;
   AdminServer& operator=(const AdminServer&) = delete;
 
+  /// HTTP method a route answers to. Read-only routes are kGet; routes
+  /// with side effects (forced swaps, rollbacks) must be kPost so that
+  /// GETs can never mutate state.
+  enum class Method { kGet, kPost };
+
   /// Register (or replace) the handler for an exact path. Callable before
   /// or after Start.
   void AddHandler(const std::string& path, const std::string& content_type,
-                  Handler handler);
+                  Handler handler, Method method = Method::kGet);
 
   /// Bind, listen and spawn the loop thread. Throws ContractViolation
   /// when the socket cannot be bound (port in use, bad address).
@@ -72,8 +80,9 @@ class AdminServer {
   struct Route {
     std::string content_type;
     Handler handler;
+    Method method = Method::kGet;
   };
-  /// One in-flight GET: request head in, response backlog out.
+  /// One in-flight request: head in, response backlog out.
   struct Connection {
     int fd = -1;
     std::string request;

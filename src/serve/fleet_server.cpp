@@ -31,6 +31,9 @@ FleetServer::FleetServer(const hbm::TopologyConfig& topology,
         topology, classifier, single_predictor, double_predictor,
         config.engine, config.queue, std::move(shard_sink),
         config.instrument, obs::Labels{{"shard", std::to_string(s)}}));
+    if (config.model_slot != nullptr) {
+      shards_.back()->AttachModelSlot(*config.model_slot);
+    }
   }
 }
 
@@ -130,6 +133,13 @@ ShardCounters FleetServer::AggregateCounters() const {
     total.rejected += c.rejected;
   }
   return total;
+}
+
+std::vector<std::uint64_t> FleetServer::ModelVersions() const {
+  std::vector<std::uint64_t> versions;
+  versions.reserve(shards_.size());
+  for (const auto& shard : shards_) versions.push_back(shard->model_version());
+  return versions;
 }
 
 obs::RegistrySnapshot FleetServer::MetricsSnapshot() const {

@@ -46,6 +46,11 @@ struct FleetServerConfig {
   /// relaxed atomics and two steady_clock reads per record — but can be
   /// turned off to benchmark the bare path (bench/perf_obs_overhead).
   bool instrument = true;
+  /// When set, every shard's engine subscribes to this slot
+  /// (PredictionEngine::AttachModelSlot): newly published model generations
+  /// are adopted per shard at its next record boundary. The slot must
+  /// outlive the server. Null = models are fixed for the server's lifetime.
+  const core::ModelSlot* model_slot = nullptr;
 };
 
 class FleetServer {
@@ -115,6 +120,13 @@ class FleetServer {
   /// concurrently with submission and the workers — this is the /metrics
   /// read path. When the server is uninstrumented the snapshot is empty.
   obs::RegistrySnapshot MetricsSnapshot() const;
+
+  /// Per-shard model generation currently being served, read from each
+  /// engine's model-version gauge path (an acquire load — safe while
+  /// running). Shards adopt a published generation independently at their
+  /// next record boundary, so the entries may briefly disagree right after
+  /// a publish; they converge as every shard touches its next record.
+  std::vector<std::uint64_t> ModelVersions() const;
 
   /// Human-readable per-shard table (queue counters, depth, live engine
   /// action counters) for /statusz. Safe while running: every cell comes

@@ -86,6 +86,16 @@ void EngineShard::Start() {
   worker_ = std::thread(&EngineShard::WorkerLoop, this);
 }
 
+void EngineShard::AttachModelSlot(const core::ModelSlot& slot) {
+  std::lock_guard<std::mutex> lock(control_mutex_);
+  // The engine belongs to the worker once started; a running shard must be
+  // drained first so no Observe is in flight during the attach.
+  CORDIAL_CHECK_MSG(state_.load(std::memory_order_acquire) != State::kRunning ||
+                        DrainedNow(),
+                    "attach a model slot before Start or while drained");
+  engine_.AttachModelSlot(slot);
+}
+
 void EngineShard::CountRejected(std::uint64_t n) {
   rejected_.fetch_add(n, std::memory_order_release);
   if (queue_metrics_.rejected) queue_metrics_.rejected->Increment(n);

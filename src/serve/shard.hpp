@@ -118,6 +118,12 @@ class EngineShard {
   /// forever — start first under that policy.
   void Start();
 
+  /// Subscribe this shard's engine to a published model slot (see
+  /// PredictionEngine::AttachModelSlot). The worker adopts newly published
+  /// generations at record boundaries. Call before Start or while the
+  /// shard is drained; the slot must outlive the shard.
+  void AttachModelSlot(const core::ModelSlot& slot);
+
   /// Enqueue one record. Returns false only when the record was refused
   /// (kReject on a full queue, or the shard is stopping). The && overload
   /// moves the record straight into its ring slot.
@@ -143,6 +149,10 @@ class EngineShard {
   /// The shard's engine. Safe to read only while the shard is drained or
   /// stopped and no producer is submitting.
   const core::PredictionEngine& engine() const { return engine_; }
+
+  /// Model generation the engine currently serves. Unlike engine(), safe
+  /// while the worker runs (relaxed atomic read).
+  std::uint64_t model_version() const { return engine_.model_version(); }
 
   ShardCounters counters() const;
 

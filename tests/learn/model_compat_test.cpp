@@ -1,0 +1,153 @@
+// Model-compatibility guards for the online refresh loop: feature-count
+// mismatches are rejected at load time (naming both counts), and cloned
+// models — the copy path the shadow trainer relies on — are bit-identical
+// to their originals.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/framing.hpp"
+#include "core/crossrow.hpp"
+#include "core/pattern_classifier.hpp"
+#include "core/persist.hpp"
+#include "support/serve_world.hpp"
+
+namespace cordial::core {
+namespace {
+
+using serve::test_support::SharedWorld;
+using serve::test_support::World;
+
+/// Re-frame a saved model with its "features <n>" payload token bumped by
+/// `delta`, returning the tampered stream and the original count.
+std::string TamperFeatureCount(const std::string& framed,
+                               const std::string& magic, std::uint64_t delta,
+                               std::uint64_t* original) {
+  std::istringstream in(framed);
+  std::string payload = ReadFramed(in, magic, kModelFrameVersion);
+  std::istringstream scan(payload);
+  std::string token;
+  std::uint64_t count = 0;
+  scan >> token >> count;
+  EXPECT_EQ(token, "features");
+  *original = count;
+  const std::string needle = "features " + std::to_string(count);
+  const std::string replacement = "features " + std::to_string(count + delta);
+  const std::size_t at = payload.find(needle);
+  EXPECT_NE(at, std::string::npos);
+  payload.replace(at, needle.size(), replacement);
+  std::ostringstream out;
+  WriteFramed(out, magic, kModelFrameVersion, payload);
+  return out.str();
+}
+
+TEST(LearnModelCompat, PatternClassifierRejectsFeatureCountMismatch) {
+  const World& world = SharedWorld();
+  std::ostringstream saved;
+  world.classifier.SaveModel(saved);
+
+  std::uint64_t original = 0;
+  const std::string tampered =
+      TamperFeatureCount(saved.str(), kPatternModelMagic, 3, &original);
+  PatternClassifier fresh(world.topology, ml::LearnerKind::kRandomForest);
+  std::istringstream in(tampered);
+  try {
+    fresh.LoadModel(in);
+    FAIL() << "mismatched feature count was accepted";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("feature count mismatch"), std::string::npos) << what;
+    EXPECT_NE(what.find(std::to_string(original + 3)), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("expects " + std::to_string(original)),
+              std::string::npos)
+        << what;
+  }
+}
+
+TEST(LearnModelCompat, CrossRowPredictorRejectsFeatureCountMismatch) {
+  const World& world = SharedWorld();
+  std::ostringstream saved;
+  world.single_pred.SaveModel(saved);
+
+  std::uint64_t original = 0;
+  const std::string tampered =
+      TamperFeatureCount(saved.str(), kCrossRowModelMagic, 5, &original);
+  CrossRowPredictor fresh(world.topology, ml::LearnerKind::kRandomForest);
+  std::istringstream in(tampered);
+  try {
+    fresh.LoadModel(in);
+    FAIL() << "mismatched feature count was accepted";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("feature count mismatch"), std::string::npos) << what;
+    EXPECT_NE(what.find(std::to_string(original + 5)), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("expects " + std::to_string(original)),
+              std::string::npos)
+        << what;
+  }
+}
+
+TEST(LearnModelCompat, UntamperedModelsStillRoundTrip) {
+  const World& world = SharedWorld();
+  std::ostringstream saved;
+  world.classifier.SaveModel(saved);
+  PatternClassifier fresh(world.topology, ml::LearnerKind::kRandomForest);
+  std::istringstream in(saved.str());
+  fresh.LoadModel(in);
+  std::ostringstream resaved;
+  fresh.SaveModel(resaved);
+  EXPECT_EQ(resaved.str(), saved.str());
+}
+
+TEST(LearnModelCompat, ClassifierCopyIsBitIdentical) {
+  const World& world = SharedWorld();
+  const PatternClassifier copy(world.classifier);  // deep Clone() under it
+  std::ostringstream a, b;
+  world.classifier.SaveModel(a);
+  copy.SaveModel(b);
+  EXPECT_EQ(a.str(), b.str());
+
+  hbm::AddressCodec codec(world.topology);
+  for (const trace::BankHistory& bank : world.fleet.log.GroupByBank(codec)) {
+    if (!bank.HasUer()) continue;
+    EXPECT_EQ(copy.Classify(bank), world.classifier.Classify(bank));
+    EXPECT_EQ(copy.ClassifyProba(bank), world.classifier.ClassifyProba(bank));
+  }
+}
+
+TEST(LearnModelCompat, BoostedClassifierCloneIsBitIdentical) {
+  const World& world = SharedWorld();
+  hbm::AddressCodec codec(world.topology);
+  const auto banks = world.fleet.log.GroupByBank(codec);
+  analysis::PatternLabeler labeler(world.topology);
+  std::vector<LabelledBank> labelled;
+  for (const trace::BankHistory& bank : banks) {
+    if (bank.HasUer()) labelled.push_back({&bank, labeler.LabelClass(bank)});
+  }
+  PatternClassifier boosted(world.topology, ml::LearnerKind::kXgbStyle);
+  Rng rng(11);
+  boosted.Train(labelled, rng);
+
+  const PatternClassifier copy(boosted);  // exercises the booster Clone()
+  std::ostringstream a, b;
+  boosted.SaveModel(a);
+  copy.SaveModel(b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(LearnModelCompat, CrossRowCopyIsBitIdentical) {
+  const World& world = SharedWorld();
+  const CrossRowPredictor copy(world.single_pred);
+  std::ostringstream a, b;
+  world.single_pred.SaveModel(a);
+  copy.SaveModel(b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+}  // namespace
+}  // namespace cordial::core

@@ -1,0 +1,197 @@
+// ShadowTrainer: champion/challenger rounds against the shared serving
+// World — promotion plumbing, gate refusals, forced swap/rollback, and the
+// reproducibility of the whole round history from (seed, feed).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "core/model_slot.hpp"
+#include "core/pattern_classifier.hpp"
+#include "learn/outcome_log.hpp"
+#include "learn/shadow_trainer.hpp"
+#include "support/serve_world.hpp"
+
+namespace cordial::learn {
+namespace {
+
+using serve::test_support::SharedWorld;
+using serve::test_support::World;
+
+/// A trainer test rig: the World's predictors plus a deliberately weak
+/// champion classifier (fitted on almost nothing) seeded into a slot, and a
+/// collector fed the whole World fleet log with an immediate-maturity
+/// horizon so RunOnce has a populated replay store to work from.
+struct Rig {
+  const World& world = SharedWorld();
+  std::unique_ptr<core::PatternClassifier> champion;
+  std::unique_ptr<core::ModelSlot> slot;
+  std::unique_ptr<OutcomeCollector> collector;
+
+  explicit Rig(std::size_t champion_banks = 2) {
+    hbm::AddressCodec codec(world.topology);
+    const auto banks = world.fleet.log.GroupByBank(codec);
+    analysis::PatternLabeler labeler(world.topology);
+    std::vector<core::LabelledBank> starve;
+    for (const trace::BankHistory& bank : banks) {
+      if (!bank.HasUer()) continue;
+      starve.push_back({&bank, labeler.LabelClass(bank)});
+      if (starve.size() >= champion_banks) break;
+    }
+    champion = std::make_unique<core::PatternClassifier>(
+        world.topology, ml::LearnerKind::kRandomForest);
+    Rng rng(7);
+    champion->Train(starve, rng);
+
+    core::ModelSet boot;
+    boot.classifier = core::UnownedModel(*champion);
+    boot.single = core::UnownedModel(world.single_pred);
+    if (world.double_ok) {
+      boot.double_row = core::UnownedModel(world.double_pred);
+    }
+    slot = std::make_unique<core::ModelSlot>(std::move(boot));
+
+    CollectorConfig cc;
+    cc.label_maturity_s = 0.0;
+    cc.holdout_modulus = 3;
+    collector = std::make_unique<OutcomeCollector>(world.topology, cc);
+    for (const trace::MceRecord& record : world.fleet.log.records()) {
+      collector->Record(record, core::IsolationActions{});
+    }
+  }
+
+  TrainerConfig PermissiveGates() const {
+    TrainerConfig tc;
+    tc.promotion_min_icr = 0.0;
+    tc.min_icr_gain = -1.0;       // any challenger wins
+    tc.max_f1_regression = 1.0;
+    tc.min_train_outcomes = 2;
+    tc.min_holdout_outcomes = 1;
+    return tc;
+  }
+};
+
+TEST(LearnTrainer, SkipsWhenReplayTooSmall) {
+  Rig rig;
+  OutcomeCollector empty(rig.world.topology);  // nothing fed, nothing mature
+  ShadowTrainer trainer(rig.world.topology, *rig.slot, empty,
+                        rig.PermissiveGates());
+  const RoundResult round = trainer.RunOnce();
+  EXPECT_EQ(round.round, 1u);
+  EXPECT_FALSE(round.trained);
+  EXPECT_FALSE(round.promoted);
+  EXPECT_EQ(round.skip_reason, "train set below min_train_outcomes");
+  EXPECT_EQ(rig.slot->version(), 1u);
+  EXPECT_NE(trainer.StatusPage().find("skipped"), std::string::npos);
+}
+
+TEST(LearnTrainer, PromotesUnderPermissiveGates) {
+  Rig rig;
+  obs::MetricRegistry registry;
+  ShadowTrainer trainer(rig.world.topology, *rig.slot, *rig.collector,
+                        rig.PermissiveGates());
+  trainer.AttachMetrics(registry);
+
+  const RoundResult round = trainer.RunOnce();
+  ASSERT_TRUE(round.trained) << round.skip_reason;
+  ASSERT_TRUE(round.promoted) << round.skip_reason;
+  EXPECT_GT(round.train_outcomes, 0u);
+  EXPECT_GT(round.holdout_outcomes, 0u);
+  EXPECT_EQ(round.published_version, 2u);
+  EXPECT_EQ(rig.slot->version(), 2u);
+
+  // Promotion replaces only the classifier; the predictors are shared from
+  // the champion generation.
+  const auto current = rig.slot->Acquire();
+  EXPECT_NE(current->classifier.get(), rig.champion.get());
+  EXPECT_EQ(current->single.get(), &rig.world.single_pred);
+
+  const obs::RegistrySnapshot snap = registry.Snapshot();
+  EXPECT_EQ(obs::SumCounterSamples(snap, "cordial_learn_rounds_total"), 1u);
+  EXPECT_EQ(obs::SumCounterSamples(snap, "cordial_learn_promotions_total"),
+            1u);
+  EXPECT_GT(obs::SumCounterSamples(
+                snap, "cordial_learn_outcomes_harvested_total"),
+            0u);
+  EXPECT_EQ(obs::SumGaugeSamples(snap, "cordial_learn_model_version"), 2);
+
+  const std::string page = trainer.StatusPage();
+  EXPECT_NE(page.find("PROMOTED as generation 2"), std::string::npos);
+  EXPECT_NE(page.find("challenger"), std::string::npos);
+}
+
+TEST(LearnTrainer, RefusesChallengerBelowIcrFloor) {
+  Rig rig;
+  TrainerConfig tc = rig.PermissiveGates();
+  tc.promotion_min_icr = 1.5;  // unreachable: ICR is a ratio in [0, 1]
+  ShadowTrainer trainer(rig.world.topology, *rig.slot, *rig.collector, tc);
+  const RoundResult round = trainer.RunOnce();
+  EXPECT_TRUE(round.trained);
+  EXPECT_FALSE(round.promoted);
+  EXPECT_EQ(round.skip_reason, "challenger below promotion_min_icr");
+  EXPECT_EQ(rig.slot->version(), 1u);
+}
+
+TEST(LearnTrainer, ForceSwapRepublishesTheSameBits) {
+  Rig rig;
+  ShadowTrainer trainer(rig.world.topology, *rig.slot, *rig.collector,
+                        rig.PermissiveGates());
+  const auto before = rig.slot->Acquire();
+  EXPECT_EQ(trainer.ForceSwap(), 2u);
+  const auto after = rig.slot->Acquire();
+  EXPECT_EQ(after->version, 2u);
+  EXPECT_EQ(after->classifier.get(), before->classifier.get());
+  EXPECT_EQ(after->single.get(), before->single.get());
+}
+
+TEST(LearnTrainer, ForceRollbackTogglesGenerations) {
+  Rig rig;
+  ShadowTrainer trainer(rig.world.topology, *rig.slot, *rig.collector,
+                        rig.PermissiveGates());
+  EXPECT_EQ(trainer.ForceRollback(), 0u);  // nothing published yet
+
+  const RoundResult round = trainer.RunOnce();
+  ASSERT_TRUE(round.promoted) << round.skip_reason;
+  const auto challenger = rig.slot->Acquire()->classifier;
+
+  // Roll back to the boot champion, then forward to the challenger again.
+  EXPECT_EQ(trainer.ForceRollback(), 3u);
+  EXPECT_EQ(rig.slot->Acquire()->classifier.get(), rig.champion.get());
+  EXPECT_EQ(trainer.ForceRollback(), 4u);
+  EXPECT_EQ(rig.slot->Acquire()->classifier.get(), challenger.get());
+}
+
+TEST(LearnTrainer, ChallengerIsReproducibleFromSeed) {
+  Rig rig_a;
+  Rig rig_b;
+  ShadowTrainer trainer_a(rig_a.world.topology, *rig_a.slot, *rig_a.collector,
+                          rig_a.PermissiveGates());
+  ShadowTrainer trainer_b(rig_b.world.topology, *rig_b.slot, *rig_b.collector,
+                          rig_b.PermissiveGates());
+  ASSERT_TRUE(trainer_a.RunOnce().promoted);
+  ASSERT_TRUE(trainer_b.RunOnce().promoted);
+  std::ostringstream model_a, model_b;
+  rig_a.slot->Acquire()->classifier->SaveModel(model_a);
+  rig_b.slot->Acquire()->classifier->SaveModel(model_b);
+  EXPECT_EQ(model_a.str(), model_b.str());
+}
+
+TEST(LearnTrainer, BackgroundLoopRunsRounds) {
+  Rig rig;
+  TrainerConfig tc = rig.PermissiveGates();
+  tc.refresh_every_s = 0.01;
+  ShadowTrainer trainer(rig.world.topology, *rig.slot, *rig.collector, tc);
+  trainer.Start();
+  while (trainer.LastRound().round == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  trainer.Stop();
+  EXPECT_GE(trainer.LastRound().round, 1u);
+}
+
+}  // namespace
+}  // namespace cordial::learn

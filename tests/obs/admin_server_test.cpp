@@ -101,6 +101,33 @@ TEST(ObsAdminServer, UnknownPathsAndMethodsAreRejected) {
   server.Stop();
 }
 
+TEST(ObsAdminServer, PostRoutesRejectGetAndRunOnPost) {
+  int hits = 0;
+  AdminServer server;
+  server.AddHandler(
+      "/mutate", "text/plain",
+      [&] {
+        ++hits;
+        return std::string("mutated\n");
+      },
+      AdminServer::Method::kPost);
+  server.Start();
+
+  // A GET must not trigger the side effect — scrapes and crawlers send GETs.
+  const std::string get = HttpGet(server.port(), "/mutate");
+  EXPECT_NE(get.find("HTTP/1.1 405"), std::string::npos);
+  EXPECT_NE(get.find("requires POST"), std::string::npos);
+  EXPECT_EQ(hits, 0);
+
+  const std::string post = HttpRequest(
+      server.port(),
+      "POST /mutate HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n");
+  EXPECT_NE(post.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(post.find("mutated"), std::string::npos);
+  EXPECT_EQ(hits, 1);
+  server.Stop();
+}
+
 TEST(ObsAdminServer, HandlerExceptionsBecome500) {
   AdminServer server;
   server.AddHandler("/boom", "text/plain", []() -> std::string {
