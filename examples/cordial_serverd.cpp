@@ -32,6 +32,17 @@
 // src/common/failpoint.hpp and the catalogue in DESIGN.md).
 //     --checkpoint-every <n>   records between periodic checkpoints
 //                              (default 5000; 0 = only on shutdown)
+//     --checkpoint-mode <m>    full (default) rewrites the whole state file
+//                              each cycle; delta treats --checkpoint as a
+//                              chain DIRECTORY (created if missing) holding
+//                              a binary full plus dirty-bank delta members
+//                              under a CRC manifest (persist::CheckpointChain,
+//                              DESIGN.md §14). Steady-state cycles then write
+//                              only the banks touched since the last cycle.
+//                              Inspect/verify/compact the chain offline with
+//                              cordial_ckpt.
+//     --compact-every <n>      delta mode: deltas per epoch before the chain
+//                              is folded into a fresh full (default 16)
 //     --shards <n>             engine shards (default 4)
 //     --queue-capacity <n>     per-shard queue bound (default 1024)
 //     --batch-max <n>          feed records parsed per submit batch, and the
@@ -73,6 +84,7 @@
 //     --version                print the frame versions this build speaks
 //
 // Models come from `cordial_cli train <log.csv> <model_prefix>`.
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -82,6 +94,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -96,6 +109,7 @@
 #include "net/ingest_server.hpp"
 #include "obs/admin_server.hpp"
 #include "obs/metrics.hpp"
+#include "persist/chain.hpp"
 #include "serve/checkpoint.hpp"
 #include "serve/fleet_server.hpp"
 #include "trace/log_codec.hpp"
@@ -111,6 +125,7 @@ int Usage() {
   std::cerr
       << "usage: cordial_serverd <model_prefix> [--input <path>]\n"
          "         [--checkpoint <path>] [--checkpoint-every <n>]\n"
+         "         [--checkpoint-mode full|delta] [--compact-every <n>]\n"
          "         [--shards <n>] [--queue-capacity <n>] [--batch-max <n>]\n"
          "         [--overload block|drop-oldest|reject]\n"
          "         [--admin-port <port>] [--listen-port <port>]\n"
@@ -126,9 +141,16 @@ int PrintVersion() {
             << core::kCrossRowModelMagic << " v" << core::kModelFrameVersion
             << "\n"
             << "  engine state:      " << core::kEngineStateMagic << " v"
-            << core::kEngineStateVersion << "\n"
+            << core::kEngineStateVersion << " (text), v"
+            << core::kEngineStateBinaryVersion << " (binary)\n"
+            << "  engine delta:      " << core::kEngineDeltaMagic << " v"
+            << core::kEngineDeltaVersion << "\n"
             << "  fleet checkpoint:  " << serve::kFleetCheckpointMagic << " v"
             << serve::kFleetCheckpointVersion << "\n"
+            << "  fleet delta:       " << serve::kFleetDeltaMagic << " v"
+            << serve::kFleetDeltaVersion << "\n"
+            << "  chain manifest:    " << persist::kManifestMagic << " v"
+            << persist::kManifestVersion << "\n"
             << "  frame layout:      v" << kFramingLayoutVersion
             << " (crc32; reads v1 checksum-less frames with a warning)\n";
   return 0;
@@ -139,6 +161,8 @@ struct Options {
   std::string input;       // empty = stdin
   std::string checkpoint;  // empty = no checkpointing
   std::size_t checkpoint_every = 5000;
+  bool delta_mode = false;         // --checkpoint-mode delta: chain directory
+  std::size_t compact_every = 16;  // deltas per epoch before folding
   std::size_t shards = 4;
   std::size_t queue_capacity = 1024;
   std::size_t batch_max = 256;
@@ -194,6 +218,18 @@ bool ParseArgs(int argc, char** argv, Options& opts, std::string& error) {
       opts.checkpoint = value;
     } else if (flag == "--checkpoint-every") {
       if (!parse_count(value, opts.checkpoint_every, true)) return false;
+    } else if (flag == "--checkpoint-mode") {
+      const std::string mode = value;
+      if (mode == "full") {
+        opts.delta_mode = false;
+      } else if (mode == "delta") {
+        opts.delta_mode = true;
+      } else {
+        error = "--checkpoint-mode must be full or delta, got '" + mode + "'";
+        return false;
+      }
+    } else if (flag == "--compact-every") {
+      if (!parse_count(value, opts.compact_every, false)) return false;
     } else if (flag == "--shards") {
       if (!parse_count(value, opts.shards, false)) return false;
     } else if (flag == "--queue-capacity") {
@@ -339,17 +375,95 @@ int main(int argc, char** argv) {
         "cordial_checkpoint_fallback_total",
         "Boots that could not use the newest checkpoint and fell back to an "
         "older generation or a fresh start");
+    // Per-kind checkpoint accounting: in delta mode the interesting signal
+    // is how much smaller/faster a steady-state delta cycle is than a full.
+    const auto kind_labels = [](const char* kind) {
+      return obs::Labels{{"kind", kind}};
+    };
+    obs::Counter* ckpt_bytes[2] = {
+        &daemon_metrics.GetCounter("cordial_checkpoint_bytes_total",
+                                   "Checkpoint bytes written, by member kind",
+                                   kind_labels("full")),
+        &daemon_metrics.GetCounter("cordial_checkpoint_bytes_total",
+                                   "Checkpoint bytes written, by member kind",
+                                   kind_labels("delta"))};
+    obs::Counter* ckpt_banks[2] = {
+        &daemon_metrics.GetCounter(
+            "cordial_checkpoint_banks_written",
+            "Bank records serialized into checkpoints, by member kind",
+            kind_labels("full")),
+        &daemon_metrics.GetCounter(
+            "cordial_checkpoint_banks_written",
+            "Bank records serialized into checkpoints, by member kind",
+            kind_labels("delta"))};
+    obs::Histogram* ckpt_write_seconds[2] = {
+        &daemon_metrics.GetHistogram(
+            "cordial_checkpoint_write_seconds",
+            "Wall time of one checkpoint write, by member kind",
+            obs::DefaultLatencyBuckets(), kind_labels("full")),
+        &daemon_metrics.GetHistogram(
+            "cordial_checkpoint_write_seconds",
+            "Wall time of one checkpoint write, by member kind",
+            obs::DefaultLatencyBuckets(), kind_labels("delta"))};
+
+    // Delta mode: --checkpoint names the chain directory.
+    std::unique_ptr<persist::CheckpointChain> chain;
+    if (opts.delta_mode && !opts.checkpoint.empty()) {
+      ::mkdir(opts.checkpoint.c_str(), 0777);  // EEXIST is the normal case
+      chain = std::make_unique<persist::CheckpointChain>(
+          persist::ChainConfig{opts.checkpoint, opts.compact_every});
+    }
+
+    // Last-checkpoint facts for /statusz. The admin plane reads them from
+    // its own thread while the feed loop writes them, hence the mutex.
+    struct LastCheckpoint {
+      std::mutex mutex;
+      bool any = false;
+      bool full = false;
+      std::uint64_t bytes = 0;
+      double seconds = 0.0;
+      std::size_t chain_length = 0;  // 0 = single-file mode
+    } last_ckpt;
 
     std::size_t submitted = 0, refused = 0, malformed = 0, checkpoints = 0;
     const auto write_checkpoint = [&] {
       const auto start = std::chrono::steady_clock::now();
-      serve::WriteCheckpointFile(server, opts.checkpoint);
-      checkpoint_seconds.Observe(
+      bool full = true;
+      std::uint64_t bytes = 0, banks = 0;
+      std::size_t chain_length = 0;
+      if (chain) {
+        const persist::ChainWriteResult result = chain->Write(server);
+        full = result.full;
+        bytes = result.bytes;
+        banks = result.banks_written;
+        chain_length = result.chain_length;
+      } else {
+        std::ostringstream buffer;
+        server.SaveCheckpoint(buffer);
+        const std::string data = buffer.str();
+        serve::WriteFileDurably(opts.checkpoint, data, /*retain_prev=*/true);
+        bytes = data.size();
+        banks = server.TotalBankCount();
+      }
+      const double seconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         start)
-              .count());
+              .count();
+      checkpoint_seconds.Observe(seconds);
+      const std::size_t kind = full ? 0 : 1;
+      ckpt_bytes[kind]->Increment(bytes);
+      ckpt_banks[kind]->Increment(banks);
+      ckpt_write_seconds[kind]->Observe(seconds);
       checkpoints_total.Increment();
       ++checkpoints;
+      {
+        std::lock_guard<std::mutex> lock(last_ckpt.mutex);
+        last_ckpt.any = true;
+        last_ckpt.full = full;
+        last_ckpt.bytes = bytes;
+        last_ckpt.seconds = seconds;
+        last_ckpt.chain_length = chain_length;
+      }
     };
 
     std::unique_ptr<learn::ShadowTrainer> trainer;
@@ -385,6 +499,19 @@ int main(int argc, char** argv) {
         page += "\ncheckpoints written: " + std::to_string(checkpoints_total.value());
         page += "\nmalformed feed lines: " + std::to_string(malformed_total.value());
         page += "\ncheckpoints quarantined: " + std::to_string(corrupt_total.value());
+        {
+          std::lock_guard<std::mutex> lock(last_ckpt.mutex);
+          if (last_ckpt.any) {
+            char line[160];
+            std::snprintf(line, sizeof line,
+                          "\nlast checkpoint: kind=%s bytes=%llu "
+                          "seconds=%.6f chain_length=%zu",
+                          last_ckpt.full ? "full" : "delta",
+                          static_cast<unsigned long long>(last_ckpt.bytes),
+                          last_ckpt.seconds, last_ckpt.chain_length);
+            page += line;
+          }
+        }
         page += "\nlegacy (pre-crc32) frames read: " +
                 std::to_string(GetFramingStats().legacy_frames_read);
         for (const std::string& armed : failpoint::ArmedNames()) {
@@ -429,7 +556,25 @@ int main(int argc, char** argv) {
                 << (trainer ? " /modelz" : "") << ")\n";
     }
 
-    if (!opts.checkpoint.empty()) {
+    if (chain) {
+      const persist::ChainRecoveryOutcome recovery = chain->Recover(server);
+      for (const std::string& reason : recovery.errors) {
+        std::cerr << "corrupt checkpoint: " << reason << "\n";
+      }
+      for (const std::string& quarantined : recovery.quarantined) {
+        std::cerr << "quarantined corrupt checkpoint to " << quarantined
+                  << ".corrupt\n";
+        corrupt_total.Increment();
+      }
+      if (recovery.fell_back) fallback_total.Increment();
+      if (!recovery.fresh_start()) {
+        std::cerr << "resumed from checkpoint chain " << recovery.restored_from
+                  << " (" << server.AggregateStats().events
+                  << " events replayed)\n";
+      } else if (recovery.fell_back) {
+        std::cerr << "no usable checkpoint — starting fresh\n";
+      }
+    } else if (!opts.checkpoint.empty()) {
       const serve::RecoveryOutcome recovery =
           serve::RecoverCheckpoint(server, opts.checkpoint);
       for (const std::string& reason : recovery.errors) {

@@ -7,19 +7,24 @@
 # incremental per-bank state (profile snapshots, bounded retention eviction)
 # fail the run too (including the checkpoint durability torture suite —
 # truncation/bit-flip parsing is exactly where lifetime bugs would hide).
-# Then two smokes with the real daemon binaries: the durability drill (a
+# Then three smokes with the real daemon binaries: the durability drill (a
 # failpoint power-cuts cordial_serverd mid-checkpoint; the restart must end
-# byte-identical to an uninterrupted reference) and the migration drill
-# (cordial_feed drives two listening daemons, moves a shard between the
-# processes mid-feed, and the merged checkpoint it collects must be
-# byte-identical to the never-migrated reference).
-# Finally four perf gates: instrumenting the serving hot path must cost
+# byte-identical to an uninterrupted reference), the chain drill (same
+# power cut, but in --checkpoint-mode=delta mid-delta-member; the restart
+# must recover off the surviving chain prefix and the folded chains must be
+# byte-identical) and the migration drill (cordial_feed drives two
+# listening daemons, moves a shard between the processes mid-feed, and the
+# merged checkpoint it collects must be byte-identical to the
+# never-migrated reference).
+# Finally five perf gates: instrumenting the serving hot path must cost
 # <= 5% throughput vs the uninstrumented path (BENCH_obs.json), the
 # lock-free batched ring must beat the pre-ring mutex queue >= 5x into a
 # single shard (BENCH_queue.json), TCP ingest must sustain >= 80% of
-# in-process SubmitBatch throughput at 8 connections (BENCH_net.json), and
+# in-process SubmitBatch throughput at 8 connections (BENCH_net.json),
 # serving under constant model hot-swaps must stay within 5% of the
-# fixed-model path (BENCH_swap.json).
+# fixed-model path (BENCH_swap.json), and a steady-state dirty-bank delta
+# checkpoint must be >= 10x cheaper than the full-text snapshot in both
+# bytes and wall time on a >= 4k-bank fleet (BENCH_ckpt.json).
 #
 # Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan] [--skip-smoke]
 #                         [--skip-bench]
@@ -53,7 +58,7 @@ else
   # the admin HTTP server) and the network plane (reactor loop thread,
   # ingest connections, cross-server shard migration).
   CORDIAL_THREADS=8 ctest --test-dir build-tsan --output-on-failure \
-    -R '^(Parallel|FleetServer|EngineCheckpoint|Obs|MpscRing|Net|Migration|Learn|ModelSwap)'
+    -R '^(Parallel|FleetServer|EngineCheckpoint|Obs|MpscRing|Net|Migration|Learn|ModelSwap|Persist|Chain)'
 fi
 
 if [[ "$SKIP_ASAN" == "1" ]]; then
@@ -63,7 +68,7 @@ else
     -DCORDIAL_BUILD_BENCHMARKS=OFF -DCORDIAL_BUILD_EXAMPLES=OFF
   cmake --build build-asan -j
   ctest --test-dir build-asan --output-on-failure \
-    -R '^(BankProfile|PredictionEngine|StreamReplayer|Obs|Durability|Failpoint|Net|Migration|Learn|ModelSwap)'
+    -R '^(BankProfile|PredictionEngine|StreamReplayer|Obs|Durability|Failpoint|Net|Migration|Learn|ModelSwap|Persist|Chain)'
 fi
 
 if [[ "$SKIP_SMOKE" == "1" ]]; then
@@ -112,6 +117,43 @@ else
   cmp "$SMOKE/ref.ckpt" "$SMOKE/crash.ckpt"
   echo "tier1: durability smoke OK (power cut at record $(( 2 * EVERY ))," \
     "resumed from record $EVERY, final checkpoints byte-identical)"
+
+  # Chain drill: the same power cut, but against the delta checkpoint
+  # chain. In delta mode each interval durably writes a member then the
+  # manifest, so durable-write hits run full(1) manifest(2) delta(3)
+  # manifest(4) ...; skipping 2 cuts power mid-first-delta-member. Only the
+  # full survives; the restart must recover off that chain prefix, re-feed
+  # the lost records, and fold (cordial_ckpt export) to bytes identical to
+  # an uninterrupted delta-mode reference run's fold.
+  ./build/examples/cordial_serverd "$SMOKE/m" --input "$SMOKE/log.csv" \
+    --checkpoint "$SMOKE/chain-ref" --checkpoint-mode delta \
+    --checkpoint-every "$EVERY" --shards 2 --status-every 0 > /dev/null 2>&1
+
+  set +e
+  CORDIAL_FAILPOINTS="serve.checkpoint.crash_before_rename=2:1" \
+    ./build/examples/cordial_serverd "$SMOKE/m" --input "$SMOKE/log.csv" \
+    --checkpoint "$SMOKE/chain-crash" --checkpoint-mode delta \
+    --checkpoint-every "$EVERY" --shards 2 --status-every 0 > /dev/null 2>&1
+  CRASH_CODE=$?
+  set -e
+  if [[ "$CRASH_CODE" != "121" ]]; then
+    echo "tier1: chain smoke expected power-cut exit 121, got $CRASH_CODE"
+    exit 1
+  fi
+  # The surviving prefix (the epoch-1 full + manifest) must verify sound.
+  ./build/examples/cordial_ckpt verify "$SMOKE/chain-crash" > /dev/null
+
+  tail -n +$(( EVERY + 2 )) "$SMOKE/log.csv" > "$SMOKE/chain-rest.csv"
+  ./build/examples/cordial_serverd "$SMOKE/m" --input "$SMOKE/chain-rest.csv" \
+    --checkpoint "$SMOKE/chain-crash" --checkpoint-mode delta \
+    --checkpoint-every "$EVERY" --shards 2 --status-every 0 > /dev/null 2>&1
+  ./build/examples/cordial_ckpt export "$SMOKE/chain-ref" \
+    "$SMOKE/chain-ref.full" 2> /dev/null
+  ./build/examples/cordial_ckpt export "$SMOKE/chain-crash" \
+    "$SMOKE/chain-crash.full" 2> /dev/null
+  cmp "$SMOKE/chain-ref.full" "$SMOKE/chain-crash.full"
+  echo "tier1: chain smoke OK (power cut mid-delta at record $(( 2 * EVERY ))," \
+    "resumed off the chain from record $EVERY, folded chains byte-identical)"
 
   # Migration smoke with two live daemons. Both serve the TCP ingest plane;
   # cordial_feed routes shards across them, moves shard 1 between processes
@@ -165,5 +207,9 @@ else
   # publishes costs more than 5% steady-state throughput vs the fixed-model
   # path (BENCH_swap.json holds the rows).
   (cd build/bench && ./perf_model_swap)
+  # Exits non-zero unless a steady-state dirty-bank delta checkpoint is
+  # >= 10x cheaper than the full-text snapshot in both bytes and wall time
+  # on a >= 4k-bank fleet (BENCH_ckpt.json holds the rows).
+  (cd build/bench && ./perf_checkpoint)
 fi
 echo "tier1: OK"

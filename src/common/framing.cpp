@@ -199,6 +199,12 @@ void WriteFramed(std::ostream& out, const std::string& magic,
 
 std::string ReadFramed(std::istream& in, const std::string& magic,
                        std::uint32_t expected_version) {
+  return ReadFramedAny(in, magic, {expected_version}, nullptr);
+}
+
+std::string ReadFramedAny(std::istream& in, const std::string& magic,
+                          std::initializer_list<std::uint32_t> accepted_versions,
+                          std::uint32_t* version_out) {
   CORDIAL_FAILPOINT("common.framing.read",
                     throw ParseError(magic +
                                      ": injected read failure (failpoint "
@@ -226,11 +232,21 @@ std::string ReadFramed(std::istream& in, const std::string& magic,
     }
   }
   const FrameHeader header = ParseFrameHeaderLine(seen_magic + rest);
-  if (header.version != expected_version) {
-    throw ParseError(magic + ": version mismatch — stream is v" +
-                     std::to_string(header.version) + ", this build reads v" +
-                     std::to_string(expected_version));
+  bool version_ok = false;
+  for (const std::uint32_t accepted : accepted_versions) {
+    if (header.version == accepted) version_ok = true;
   }
+  if (!version_ok) {
+    std::string accepted_list;
+    for (const std::uint32_t accepted : accepted_versions) {
+      if (!accepted_list.empty()) accepted_list += "/";
+      accepted_list += "v" + std::to_string(accepted);
+    }
+    throw ParseError(magic + ": version mismatch — stream is v" +
+                     std::to_string(header.version) + ", this build reads " +
+                     accepted_list);
+  }
+  if (version_out != nullptr) *version_out = header.version;
   const std::uint64_t bytes = header.payload_bytes;
   const bool has_checksum = header.has_checksum;
   const std::uint32_t expected_crc = header.crc32;

@@ -36,6 +36,7 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <iosfwd>
 #include <string>
 #include <string_view>
@@ -97,6 +98,15 @@ void WriteFramed(std::ostream& out, const std::string& magic,
 /// Checksum-less layout-v1 frames are accepted with a counted warning.
 std::string ReadFramed(std::istream& in, const std::string& magic,
                        std::uint32_t expected_version);
+
+/// ReadFramed for a magic whose payload exists in several accepted
+/// versions (e.g. engine snapshots: v1 text, v2 binary). Identical checks,
+/// except the frame version must be one of `accepted_versions`; the version
+/// actually found is stored through `version_out` (when non-null) so the
+/// caller can dispatch to the right payload parser.
+std::string ReadFramedAny(std::istream& in, const std::string& magic,
+                          std::initializer_list<std::uint32_t> accepted_versions,
+                          std::uint32_t* version_out = nullptr);
 
 /// Magic of the next frame without consuming it (empty at end of stream).
 std::string PeekMagic(std::istream& in);

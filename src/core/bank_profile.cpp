@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "common/framing.hpp"
+#include "persist/binary_io.hpp"
 
 namespace cordial::core {
 
@@ -317,6 +318,139 @@ CrossRowAccumulator ReadCrossRow(std::istream& in) {
   return acc;
 }
 
+// Binary mirrors of the writers above: identical field order, fixed-width
+// little-endian fields, doubles as raw IEEE-754 bit patterns.
+
+void WriteChainBinary(persist::BinaryWriter& out, const DiffChain& chain) {
+  out.U64(chain.count);
+  out.F64(chain.sum);
+  out.F64(chain.min);
+  out.F64(chain.max);
+  out.U8(chain.has_last ? 1 : 0);
+  out.F64(chain.last);
+}
+
+DiffChain ReadChainBinary(persist::BinaryReader& in) {
+  DiffChain chain;
+  chain.count = static_cast<std::size_t>(in.U64());
+  chain.sum = in.F64();
+  chain.min = in.F64();
+  chain.max = in.F64();
+  chain.has_last = in.U8() != 0;
+  chain.last = in.F64();
+  return chain;
+}
+
+void WriteRowsBinary(persist::BinaryWriter& out,
+                     const std::vector<double>& rows) {
+  out.U32(static_cast<std::uint32_t>(rows.size()));
+  for (const double row : rows) out.F64(row);
+}
+
+std::vector<double> ReadRowsBinary(persist::BinaryReader& in) {
+  const std::uint32_t n = in.Count32(8);
+  std::vector<double> rows;
+  rows.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) rows.push_back(in.F64());
+  return rows;
+}
+
+void WriteClassBinary(persist::BinaryWriter& out, const ClassAccumulator& acc) {
+  out.U64(acc.ce_total);
+  out.U64(acc.ueo_total);
+  out.U64(acc.uer_events);
+  for (const double v :
+       {acc.ce_row_min, acc.ce_row_max, acc.ueo_row_min, acc.ueo_row_max,
+        acc.uer_row_min, acc.uer_row_max, acc.first_uer_time,
+        acc.last_uer_time, acc.ce_before_first_uer, acc.ueo_before_first_uer,
+        acc.last_time}) {
+    out.F64(v);
+  }
+  out.U8(acc.any_event ? 1 : 0);
+  out.U64(acc.ce_at_last_time);
+  out.U64(acc.ueo_at_last_time);
+  WriteChainBinary(out, acc.uer_row_diff);
+  WriteChainBinary(out, acc.all_row_diff);
+  WriteChainBinary(out, acc.ce_dt);
+  WriteChainBinary(out, acc.ueo_dt);
+  WriteChainBinary(out, acc.uer_dt);
+  WriteRowsBinary(out, acc.distinct_uer_rows);
+}
+
+ClassAccumulator ReadClassBinary(persist::BinaryReader& in) {
+  ClassAccumulator acc;
+  acc.ce_total = static_cast<std::size_t>(in.U64());
+  acc.ueo_total = static_cast<std::size_t>(in.U64());
+  acc.uer_events = static_cast<std::size_t>(in.U64());
+  acc.ce_row_min = in.F64();
+  acc.ce_row_max = in.F64();
+  acc.ueo_row_min = in.F64();
+  acc.ueo_row_max = in.F64();
+  acc.uer_row_min = in.F64();
+  acc.uer_row_max = in.F64();
+  acc.first_uer_time = in.F64();
+  acc.last_uer_time = in.F64();
+  acc.ce_before_first_uer = in.F64();
+  acc.ueo_before_first_uer = in.F64();
+  acc.last_time = in.F64();
+  acc.any_event = in.U8() != 0;
+  acc.ce_at_last_time = static_cast<std::size_t>(in.U64());
+  acc.ueo_at_last_time = static_cast<std::size_t>(in.U64());
+  acc.uer_row_diff = ReadChainBinary(in);
+  acc.all_row_diff = ReadChainBinary(in);
+  acc.ce_dt = ReadChainBinary(in);
+  acc.ueo_dt = ReadChainBinary(in);
+  acc.uer_dt = ReadChainBinary(in);
+  acc.distinct_uer_rows = ReadRowsBinary(in);
+  return acc;
+}
+
+void WriteCrossRowBinary(persist::BinaryWriter& out,
+                         const CrossRowAccumulator& acc) {
+  out.U64(acc.ce_count);
+  out.U64(acc.ueo_count);
+  out.U64(acc.uer_count);
+  out.U64(acc.all_count);
+  for (const double v : {acc.uer_row_min, acc.uer_row_max, acc.first_uer_time,
+                         acc.last_event_time}) {
+    out.F64(v);
+  }
+  WriteChainBinary(out, acc.uer_row_diff);
+  WriteChainBinary(out, acc.all_row_diff);
+  WriteChainBinary(out, acc.ce_dt);
+  WriteChainBinary(out, acc.ueo_dt);
+  WriteChainBinary(out, acc.uer_dt);
+  WriteRowsBinary(out, acc.ce_rows);
+  WriteRowsBinary(out, acc.ueo_rows);
+  WriteRowsBinary(out, acc.uer_rows);
+  // uer_row_gaps is derived from uer_rows and rebuilt on load.
+}
+
+CrossRowAccumulator ReadCrossRowBinary(persist::BinaryReader& in) {
+  CrossRowAccumulator acc;
+  acc.ce_count = static_cast<std::size_t>(in.U64());
+  acc.ueo_count = static_cast<std::size_t>(in.U64());
+  acc.uer_count = static_cast<std::size_t>(in.U64());
+  acc.all_count = static_cast<std::size_t>(in.U64());
+  acc.uer_row_min = in.F64();
+  acc.uer_row_max = in.F64();
+  acc.first_uer_time = in.F64();
+  acc.last_event_time = in.F64();
+  acc.uer_row_diff = ReadChainBinary(in);
+  acc.all_row_diff = ReadChainBinary(in);
+  acc.ce_dt = ReadChainBinary(in);
+  acc.ueo_dt = ReadChainBinary(in);
+  acc.uer_dt = ReadChainBinary(in);
+  acc.ce_rows = ReadRowsBinary(in);
+  acc.ueo_rows = ReadRowsBinary(in);
+  acc.uer_rows = ReadRowsBinary(in);
+  for (std::size_t i = 1; i < acc.uer_rows.size(); ++i) {
+    acc.uer_row_gaps.insert(static_cast<std::uint32_t>(acc.uer_rows[i]) -
+                            static_cast<std::uint32_t>(acc.uer_rows[i - 1]));
+  }
+  return acc;
+}
+
 }  // namespace
 
 void BankProfile::Save(std::ostream& out) const {
@@ -344,6 +478,37 @@ BankProfile BankProfile::Load(std::istream& in) {
   profile.live_ = ReadClass(in);
   profile.frozen_ = ReadClass(in);
   profile.crossrow_ = ReadCrossRow(in);
+  return profile;
+}
+
+void BankProfile::SaveBinary(persist::BinaryWriter& out) const {
+  out.U64(max_uers_);
+  out.U64(events_);
+  out.F64(last_time_);
+  out.U64(uer_accepted_);
+  out.U8(capped_ ? 1 : 0);
+  out.F64(cutoff_);
+  WriteClassBinary(out, live_);
+  WriteClassBinary(out, frozen_);
+  WriteCrossRowBinary(out, crossrow_);
+}
+
+BankProfile BankProfile::LoadBinary(persist::BinaryReader& in) {
+  const std::uint64_t max_uers = in.U64();
+  // The constructor CORDIAL_CHECKs max_uers >= 1; surface a corrupt value
+  // as a ParseError so recovery's fail-closed path handles it.
+  if (max_uers == 0) {
+    throw ParseError("profile: corrupt max_uers 0");
+  }
+  BankProfile profile(static_cast<std::size_t>(max_uers));
+  profile.events_ = static_cast<std::size_t>(in.U64());
+  profile.last_time_ = in.F64();
+  profile.uer_accepted_ = static_cast<std::size_t>(in.U64());
+  profile.capped_ = in.U8() != 0;
+  profile.cutoff_ = in.F64();
+  profile.live_ = ReadClassBinary(in);
+  profile.frozen_ = ReadClassBinary(in);
+  profile.crossrow_ = ReadCrossRowBinary(in);
   return profile;
 }
 

@@ -32,6 +32,11 @@
 
 #include "trace/error_log.hpp"
 
+namespace cordial::persist {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace cordial::persist
+
 namespace cordial::core {
 
 /// Running min/max/sum over consecutive absolute differences of a pushed
@@ -142,6 +147,14 @@ class BankProfile {
   /// checkpoint/restore layer depends on this).
   void Save(std::ostream& out) const;
   static BankProfile Load(std::istream& in);
+
+  /// Binary codec (engine-state frame v2 and delta payloads): the same
+  /// fields in the same order as Save/Load, as fixed-width little-endian
+  /// values with doubles as raw bit patterns — so a binary round trip is
+  /// bit-identical to a text one. uer_row_gaps is rebuilt on load, exactly
+  /// as the text reader does.
+  void SaveBinary(persist::BinaryWriter& out) const;
+  static BankProfile LoadBinary(persist::BinaryReader& in);
 
  private:
   std::size_t max_uers_;

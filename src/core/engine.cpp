@@ -9,6 +9,7 @@
 #include "common/check.hpp"
 #include "common/framing.hpp"
 #include "core/persist.hpp"
+#include "persist/binary_io.hpp"
 
 namespace cordial::core {
 
@@ -214,6 +215,14 @@ IsolationActions PredictionEngine::Observe(const trace::MceRecord& record) {
   const auto [it, inserted] =
       banks_.try_emplace(bank->bank_key, classifier_->extractor().max_uers());
   BankState& state = it->second;
+  // Dirty-bank tracking for delta checkpoints: every mutation below (the
+  // profile, the Cordial state, this bank's ledger rows) touches only this
+  // bank plus global counters — which every delta carries — so stamping
+  // here is exact at record boundaries. O(1): one compare per record.
+  if (state.dirty_epoch != snapshot_epoch_) {
+    state.dirty_epoch = snapshot_epoch_;
+    ++dirty_banks_;
+  }
 
   IsolationActions coverage;
   if (record.type == ErrorType::kUer) {
@@ -281,7 +290,213 @@ const BankProfile* PredictionEngine::FindProfile(std::uint64_t bank_key) const {
   return it == banks_.end() ? nullptr : &it->second.profile;
 }
 
-void PredictionEngine::SaveState(std::ostream& out) const {
+// ------------------------------------------------- binary state codec (v2)
+//
+// Full (cordial_engine_state v2) and delta (cordial_engine_delta v1)
+// payloads share one self-delimiting shape:
+//
+//   u32 header_len | header | u64 bank_count | bank records...
+//   bank record := u64 bank_key | u32 blob_len | blob
+//
+// The explicit lengths make the payload structurally parseable without
+// models or topology: the offline inspector (persist::) folds a delta chain
+// by overlaying bank records keyed by bank_key and keeping the newest
+// header verbatim — producing exactly the bytes a live full save would.
+// Bank records are emitted in ascending key order so equal states
+// serialize identically.
+
+namespace {
+
+/// Everything global in an engine snapshot: stats, the ledger's budget and
+/// spend counters, the replayer's counters and clock. Deltas carry the
+/// same header as fulls — the counters are tiny and every one of them can
+/// move on any record.
+struct StateHeader {
+  EngineStats stats;
+  hbm::SparingBudget budget;
+  std::uint64_t rows_spared = 0;
+  std::uint64_t banks_spared = 0;
+  std::uint64_t records = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t skew_dropped = 0;
+  double now = 0.0;
+};
+
+void EncodeStateHeader(persist::BinaryWriter& out, const EngineStats& stats,
+                       const hbm::SparingLedger& ledger,
+                       const trace::StreamReplayer& replayer) {
+  out.U64(stats.events);
+  out.U64(stats.uer_events);
+  out.U64(stats.banks_classified);
+  out.U64(stats.banks_bank_spared);
+  out.U64(stats.predictions_issued);
+  out.U64(stats.rows_isolated);
+  out.U64(stats.uer_rows_total);
+  out.U64(stats.uer_rows_covered);
+  out.U64(stats.uer_rows_covered_by_bank);
+  out.U64(stats.records_skew_dropped);
+  const hbm::SparingBudget& budget = ledger.budget();
+  out.U32(budget.rows_per_bank);
+  out.U8(budget.bank_sparing_available ? 1 : 0);
+  out.F64(budget.row_spare_cost);
+  out.F64(budget.bank_spare_cost);
+  out.U64(ledger.rows_spared());
+  out.U64(ledger.banks_spared());
+  out.U64(replayer.record_count());
+  out.U64(replayer.records_dropped());
+  out.U64(replayer.records_skew_dropped());
+  out.F64(replayer.now());
+}
+
+StateHeader DecodeStateHeader(persist::BinaryReader& in) {
+  StateHeader h;
+  h.stats.events = static_cast<std::size_t>(in.U64());
+  h.stats.uer_events = static_cast<std::size_t>(in.U64());
+  h.stats.banks_classified = static_cast<std::size_t>(in.U64());
+  h.stats.banks_bank_spared = static_cast<std::size_t>(in.U64());
+  h.stats.predictions_issued = static_cast<std::size_t>(in.U64());
+  h.stats.rows_isolated = static_cast<std::size_t>(in.U64());
+  h.stats.uer_rows_total = static_cast<std::size_t>(in.U64());
+  h.stats.uer_rows_covered = static_cast<std::size_t>(in.U64());
+  h.stats.uer_rows_covered_by_bank = static_cast<std::size_t>(in.U64());
+  h.stats.records_skew_dropped = static_cast<std::size_t>(in.U64());
+  h.budget.rows_per_bank = in.U32();
+  h.budget.bank_sparing_available = in.U8() != 0;
+  h.budget.row_spare_cost = in.F64();
+  h.budget.bank_spare_cost = in.F64();
+  h.rows_spared = in.U64();
+  h.banks_spared = in.U64();
+  h.records = in.U64();
+  h.dropped = in.U64();
+  h.skew_dropped = in.U64();
+  h.now = in.F64();
+  return h;
+}
+
+constexpr std::uint8_t kBlobHasLedgerEntry = 1u << 0;
+constexpr std::uint8_t kBlobBankSpared = 1u << 1;
+
+/// One bank's full slice of engine state: Cordial decision state, the
+/// profile, this bank's ledger section (the has-entry flag distinguishes
+/// "no spared-row entry" from "an entry with zero rows" — TrySpareRow
+/// creates the latter when rows_per_bank is 0, and the text serializer
+/// lists it, so byte-identity needs the distinction), and the replayer's
+/// retained event window.
+void EncodeBankBlob(persist::BinaryWriter& out, const CordialBankState& cordial,
+                    const BankProfile& profile,
+                    const hbm::SparingLedger& ledger, std::uint64_t key,
+                    const trace::BankHistory* window,
+                    const hbm::AddressCodec& codec) {
+  out.U64(cordial.uer_events_seen);
+  out.U64(cordial.anchors_used);
+  out.U8(cordial.classified ? 1 : 0);
+  out.U8(static_cast<std::uint8_t>(cordial.bank_class));
+  out.I64(cordial.last_anchor_row);
+  profile.SaveBinary(out);
+
+  const std::unordered_set<std::uint32_t>* rows = ledger.FindRowEntry(key);
+  std::uint8_t flags = 0;
+  if (rows != nullptr) flags |= kBlobHasLedgerEntry;
+  if (ledger.IsBankSpared(key)) flags |= kBlobBankSpared;
+  out.U8(flags);
+  if (rows != nullptr) {
+    std::vector<std::uint32_t> sorted(rows->begin(), rows->end());
+    std::sort(sorted.begin(), sorted.end());
+    out.U32(static_cast<std::uint32_t>(sorted.size()));
+    for (const std::uint32_t row : sorted) out.U32(row);
+  }
+
+  const std::size_t events = window != nullptr ? window->events.size() : 0;
+  out.U32(static_cast<std::uint32_t>(events));
+  if (window != nullptr) {
+    for (const trace::MceRecord& r : window->events) {
+      out.F64(r.time_s);
+      out.U64(codec.Pack(r.address));
+      out.U8(static_cast<std::uint8_t>(r.type));
+    }
+  }
+}
+
+struct BankBlob {
+  CordialBankState cordial;
+  BankProfile profile{1};
+  bool has_ledger_entry = false;
+  bool bank_spared = false;
+  std::vector<std::uint32_t> rows;
+  trace::BankHistory window;
+};
+
+BankBlob DecodeBankBlob(persist::BinaryReader& in, std::uint64_t key,
+                        const hbm::AddressCodec& codec) {
+  BankBlob blob;
+  blob.cordial.uer_events_seen = static_cast<std::size_t>(in.U64());
+  blob.cordial.anchors_used = static_cast<std::size_t>(in.U64());
+  blob.cordial.classified = in.U8() != 0;
+  const std::uint8_t bank_class = in.U8();
+  if (bank_class > 2) {
+    throw ParseError("engine bank: unknown failure class");
+  }
+  blob.cordial.bank_class = static_cast<hbm::FailureClass>(bank_class);
+  blob.cordial.last_anchor_row = in.I64();
+  blob.profile = BankProfile::LoadBinary(in);
+
+  const std::uint8_t flags = in.U8();
+  blob.has_ledger_entry = (flags & kBlobHasLedgerEntry) != 0;
+  blob.bank_spared = (flags & kBlobBankSpared) != 0;
+  if (blob.has_ledger_entry) {
+    const std::uint32_t nrows = in.Count32(4);
+    blob.rows.reserve(nrows);
+    for (std::uint32_t i = 0; i < nrows; ++i) blob.rows.push_back(in.U32());
+  }
+
+  const std::uint32_t nevents = in.Count32(17);  // f64 + u64 + u8 per event
+  blob.window.bank_key = key;
+  blob.window.events.reserve(nevents);
+  for (std::uint32_t e = 0; e < nevents; ++e) {
+    trace::MceRecord r;
+    r.time_s = in.F64();
+    r.address = codec.Unpack(in.U64());
+    const std::uint8_t type = in.U8();
+    if (type > 2) throw ParseError("engine bank event: unknown error type");
+    r.type = static_cast<hbm::ErrorType>(type);
+    blob.window.events.push_back(r);
+  }
+  return blob;
+}
+
+}  // namespace
+
+void PredictionEngine::SaveState(std::ostream& out,
+                                 StateEncoding encoding) const {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(banks_.size());
+  for (const auto& [key, state] : banks_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+
+  if (encoding == StateEncoding::kBinary) {
+    std::string payload;
+    persist::BinaryWriter writer(payload);
+    std::string header;
+    persist::BinaryWriter header_writer(header);
+    EncodeStateHeader(header_writer, stats_, ledger_, replayer_);
+    writer.U32(static_cast<std::uint32_t>(header.size()));
+    writer.Bytes(header);
+    writer.U64(keys.size());
+    std::string blob;
+    for (const std::uint64_t key : keys) {
+      const BankState& state = banks_.at(key);
+      blob.clear();
+      persist::BinaryWriter blob_writer(blob);
+      EncodeBankBlob(blob_writer, state.cordial, state.profile, ledger_, key,
+                     replayer_.Find(key), codec_);
+      writer.U64(key);
+      writer.U32(static_cast<std::uint32_t>(blob.size()));
+      writer.Bytes(blob);
+    }
+    WriteFramed(out, kEngineStateMagic, kEngineStateBinaryVersion, payload);
+    return;
+  }
+
   std::ostringstream payload;
   payload << "stats " << stats_.events << ' ' << stats_.uer_events << ' '
           << stats_.banks_classified << ' ' << stats_.banks_bank_spared << ' '
@@ -292,10 +507,6 @@ void PredictionEngine::SaveState(std::ostream& out) const {
   ledger_.Save(payload);
   replayer_.Save(payload);
 
-  std::vector<std::uint64_t> keys;
-  keys.reserve(banks_.size());
-  for (const auto& [key, state] : banks_) keys.push_back(key);
-  std::sort(keys.begin(), keys.end());
   payload << "banks " << keys.size() << '\n';
   for (const std::uint64_t key : keys) {
     const BankState& state = banks_.at(key);
@@ -307,6 +518,42 @@ void PredictionEngine::SaveState(std::ostream& out) const {
     state.profile.Save(payload);
   }
   WriteFramed(out, kEngineStateMagic, kEngineStateVersion, payload.str());
+}
+
+std::uint64_t PredictionEngine::SaveDeltaState(std::ostream& out) const {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(dirty_banks_);
+  for (const auto& [key, state] : banks_) {
+    if (state.dirty_epoch == snapshot_epoch_) keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+
+  std::string payload;
+  persist::BinaryWriter writer(payload);
+  std::string header;
+  persist::BinaryWriter header_writer(header);
+  EncodeStateHeader(header_writer, stats_, ledger_, replayer_);
+  writer.U32(static_cast<std::uint32_t>(header.size()));
+  writer.Bytes(header);
+  writer.U64(keys.size());
+  std::string blob;
+  for (const std::uint64_t key : keys) {
+    const BankState& state = banks_.at(key);
+    blob.clear();
+    persist::BinaryWriter blob_writer(blob);
+    EncodeBankBlob(blob_writer, state.cordial, state.profile, ledger_, key,
+                   replayer_.Find(key), codec_);
+    writer.U64(key);
+    writer.U32(static_cast<std::uint32_t>(blob.size()));
+    writer.Bytes(blob);
+  }
+  WriteFramed(out, kEngineDeltaMagic, kEngineDeltaVersion, payload);
+  return keys.size();
+}
+
+void PredictionEngine::MarkCheckpointClean() {
+  ++snapshot_epoch_;
+  dirty_banks_ = 0;
 }
 
 struct PredictionEngine::StagedState::Impl {
@@ -328,8 +575,55 @@ void PredictionEngine::RestoreState(std::istream& in) {
 
 PredictionEngine::StagedState PredictionEngine::ParseState(
     std::istream& in) const {
-  std::istringstream payload(
-      ReadFramed(in, kEngineStateMagic, kEngineStateVersion));
+  std::uint32_t version = 0;
+  std::string raw = ReadFramedAny(
+      in, kEngineStateMagic, {kEngineStateVersion, kEngineStateBinaryVersion},
+      &version);
+  if (version == kEngineStateBinaryVersion) {
+    StagedState staged;
+    persist::BinaryReader reader(raw, "engine state v2");
+    const std::uint32_t header_len = reader.Count32(1);
+    persist::BinaryReader header_reader(reader.Bytes(header_len),
+                                        "engine state header");
+    const StateHeader header = DecodeStateHeader(header_reader);
+    header_reader.ExpectEnd();
+    staged.impl_->stats = header.stats;
+    hbm::SparingLedger ledger(header.budget);
+    trace::StagedReplayerState& replayer = staged.impl_->replayer;
+    replayer.records = static_cast<std::size_t>(header.records);
+    replayer.dropped = static_cast<std::size_t>(header.dropped);
+    replayer.skew_dropped = static_cast<std::size_t>(header.skew_dropped);
+    replayer.now = header.now;
+
+    const std::uint64_t bank_count = reader.Count(8 + 4);
+    std::unordered_map<std::uint64_t, BankState>& banks = staged.impl_->banks;
+    banks.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(bank_count, 1 << 16)));
+    for (std::uint64_t b = 0; b < bank_count; ++b) {
+      const std::uint64_t key = reader.U64();
+      const std::uint32_t blob_len = reader.Count32(1);
+      persist::BinaryReader blob_reader(reader.Bytes(blob_len),
+                                        "engine bank blob");
+      BankBlob blob = DecodeBankBlob(blob_reader, key, codec_);
+      blob_reader.ExpectEnd();
+      const auto [it, inserted] =
+          banks.try_emplace(key, classifier_->extractor().max_uers());
+      if (!inserted) throw ParseError("engine bank: duplicate bank key");
+      it->second.cordial = blob.cordial;
+      it->second.profile = std::move(blob.profile);
+      ledger.RestoreBankSection(key, blob.has_ledger_entry, blob.rows,
+                                blob.bank_spared);
+      if (!blob.window.events.empty()) {
+        replayer.banks.emplace(key, std::move(blob.window));
+      }
+    }
+    reader.ExpectEnd();
+    ledger.RestoreCounters(header.rows_spared, header.banks_spared);
+    staged.impl_->ledger = std::move(ledger);
+    return staged;
+  }
+
+  std::istringstream payload(std::move(raw));
   StagedState staged;
   ExpectToken(payload, "stats");
   EngineStats& stats = staged.impl_->stats;
@@ -379,6 +673,101 @@ void PredictionEngine::CommitState(StagedState&& staged) {
   ledger_ = std::move(staged.impl_->ledger);
   replayer_.CommitState(std::move(staged.impl_->replayer));
   banks_ = std::move(staged.impl_->banks);
+  // Freshly parsed BankStates carry dirty_epoch 0, which can never equal
+  // snapshot_epoch_ (>= 1): the restored state is entirely clean.
+  dirty_banks_ = 0;
+}
+
+struct PredictionEngine::StagedDelta::Impl {
+  EngineStats stats;
+  std::uint64_t rows_spared = 0;
+  std::uint64_t banks_spared = 0;
+  std::size_t records = 0;
+  std::size_t dropped = 0;
+  std::size_t skew_dropped = 0;
+  double now = 0.0;
+  struct Bank {
+    std::uint64_t key = 0;
+    BankBlob blob;
+  };
+  std::vector<Bank> banks;
+};
+
+PredictionEngine::StagedDelta::StagedDelta() : impl_(new Impl()) {}
+PredictionEngine::StagedDelta::StagedDelta(StagedDelta&&) noexcept = default;
+PredictionEngine::StagedDelta& PredictionEngine::StagedDelta::operator=(
+    StagedDelta&&) noexcept = default;
+PredictionEngine::StagedDelta::~StagedDelta() = default;
+
+PredictionEngine::StagedDelta PredictionEngine::ParseDeltaState(
+    std::istream& in) const {
+  const std::string raw = ReadFramed(in, kEngineDeltaMagic, kEngineDeltaVersion);
+  StagedDelta staged;
+  persist::BinaryReader reader(raw, "engine delta");
+  const std::uint32_t header_len = reader.Count32(1);
+  persist::BinaryReader header_reader(reader.Bytes(header_len),
+                                      "engine delta header");
+  const StateHeader header = DecodeStateHeader(header_reader);
+  header_reader.ExpectEnd();
+  // The budget in a delta header describes the chain's full snapshot; the
+  // live ledger already carries it, so only the counters are staged.
+  staged.impl_->stats = header.stats;
+  staged.impl_->rows_spared = header.rows_spared;
+  staged.impl_->banks_spared = header.banks_spared;
+  staged.impl_->records = static_cast<std::size_t>(header.records);
+  staged.impl_->dropped = static_cast<std::size_t>(header.dropped);
+  staged.impl_->skew_dropped = static_cast<std::size_t>(header.skew_dropped);
+  staged.impl_->now = header.now;
+
+  const std::uint64_t bank_count = reader.Count(8 + 4);
+  staged.impl_->banks.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(bank_count, 1 << 16)));
+  std::uint64_t prev_key = 0;
+  for (std::uint64_t b = 0; b < bank_count; ++b) {
+    StagedDelta::Impl::Bank bank;
+    bank.key = reader.U64();
+    if (b > 0 && bank.key <= prev_key) {
+      throw ParseError("engine delta: bank keys not strictly ascending");
+    }
+    prev_key = bank.key;
+    const std::uint32_t blob_len = reader.Count32(1);
+    persist::BinaryReader blob_reader(reader.Bytes(blob_len),
+                                      "engine delta bank blob");
+    bank.blob = DecodeBankBlob(blob_reader, bank.key, codec_);
+    blob_reader.ExpectEnd();
+    staged.impl_->banks.push_back(std::move(bank));
+  }
+  reader.ExpectEnd();
+  return staged;
+}
+
+void PredictionEngine::CommitDeltaState(StagedDelta&& staged) {
+  stats_ = staged.impl_->stats;
+  ledger_.RestoreCounters(staged.impl_->rows_spared,
+                          staged.impl_->banks_spared);
+  replayer_.RestoreCounters(staged.impl_->records, staged.impl_->dropped,
+                            staged.impl_->skew_dropped, staged.impl_->now);
+  for (StagedDelta::Impl::Bank& bank : staged.impl_->banks) {
+    BankBlob& blob = bank.blob;
+    ledger_.RestoreBankSection(bank.key, blob.has_ledger_entry, blob.rows,
+                               blob.bank_spared);
+    if (!blob.window.events.empty()) {
+      replayer_.OverwriteBank(std::move(blob.window));
+    }
+    const auto [it, inserted] =
+        banks_.try_emplace(bank.key, classifier_->extractor().max_uers());
+    if (!inserted && it->second.dirty_epoch == snapshot_epoch_) {
+      --dirty_banks_;
+    }
+    it->second.cordial = blob.cordial;
+    it->second.profile = std::move(blob.profile);
+    // The committed bank now matches the checkpoint that carried it.
+    it->second.dirty_epoch = 0;
+  }
+}
+
+void PredictionEngine::ApplyDeltaState(std::istream& in) {
+  CommitDeltaState(ParseDeltaState(in));
 }
 
 }  // namespace cordial::core

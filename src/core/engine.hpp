@@ -97,6 +97,16 @@ struct EngineConfig {
   trace::RetentionPolicy retention{64};
 };
 
+/// Payload encoding of a full engine snapshot. Text (frame v1) is the
+/// original human-greppable token stream; binary (frame v2, the
+/// persist/binary_io.hpp codec) is the compact fixed-width form chain
+/// checkpoints use. Both restore bit-identically; RestoreState dispatches
+/// on the frame version it finds.
+enum class StateEncoding {
+  kText,
+  kBinary,
+};
+
 /// Running tallies over everything the engine observed.
 struct EngineStats {
   std::size_t events = 0;
@@ -155,7 +165,8 @@ class PredictionEngine {
   /// stream. Deterministic: equal state serializes byte-identically.
   /// Models and config are NOT serialized — a restoring engine must be
   /// constructed with the same models, topology and config.
-  void SaveState(std::ostream& out) const;
+  void SaveState(std::ostream& out,
+                 StateEncoding encoding = StateEncoding::kText) const;
 
   /// Replace this engine's mutable state with a SaveState stream's. Throws
   /// ParseError on malformed input or version mismatch. Strong guarantee:
@@ -186,6 +197,55 @@ class PredictionEngine {
   };
   StagedState ParseState(std::istream& in) const;
   void CommitState(StagedState&& staged);
+
+  // --- delta checkpoints ---------------------------------------------------
+  // The engine tracks which banks changed since the last checkpoint: every
+  // Observe stamps the record's bank with the current snapshot epoch, and
+  // MarkCheckpointClean (called after a checkpoint is durably on disk)
+  // advances the epoch, making every bank clean in O(1). A delta snapshot
+  // carries only the dirty banks plus all global counters; applied on top of
+  // the full snapshot it chains from, it restores bit-identically to a full
+  // snapshot taken at the same record boundary.
+
+  /// Serialize a cordial_engine_delta frame (always binary): the banks
+  /// dirtied since the last MarkCheckpointClean, plus stats / ledger /
+  /// replayer counters. Const — the dirty set is NOT cleared here, so a
+  /// failed write loses nothing; call MarkCheckpointClean once the bytes
+  /// are durable. Returns the number of banks written.
+  std::uint64_t SaveDeltaState(std::ostream& out) const;
+
+  /// Start a new snapshot epoch: every bank becomes clean. Call only after
+  /// the snapshot (full or delta) that captured the current state is
+  /// durably persisted.
+  void MarkCheckpointClean();
+
+  /// Banks dirtied since the last MarkCheckpointClean.
+  std::size_t dirty_bank_count() const { return dirty_banks_; }
+  std::size_t bank_count() const { return banks_.size(); }
+
+  /// Parsed-but-unapplied delta (opaque, move-only), mirroring StagedState:
+  /// ParseDeltaState never touches the engine, CommitDeltaState never
+  /// throws, and a fleet checkpoint stages every shard's delta before
+  /// committing any of them.
+  class StagedDelta {
+   public:
+    StagedDelta(StagedDelta&&) noexcept;
+    StagedDelta& operator=(StagedDelta&&) noexcept;
+    ~StagedDelta();
+
+   private:
+    friend class PredictionEngine;
+    StagedDelta();
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+  };
+  StagedDelta ParseDeltaState(std::istream& in) const;
+  /// Upsert the delta's banks over the current state and overwrite the
+  /// global counters. Committed banks come out clean (they now match the
+  /// checkpoint that carried them).
+  void CommitDeltaState(StagedDelta&& staged);
+  /// ParseDeltaState + CommitDeltaState.
+  void ApplyDeltaState(std::istream& in);
 
   /// Register this engine's live metrics (`cordial_engine_*` counters, the
   /// Observe latency histogram, and the replayer's retention-eviction
@@ -249,6 +309,9 @@ class PredictionEngine {
   struct BankState {
     BankProfile profile;
     CordialBankState cordial;
+    /// Snapshot epoch this bank was last mutated in; dirty iff it equals
+    /// the engine's current snapshot_epoch_. 0 (pre-first-epoch) == clean.
+    std::uint64_t dirty_epoch = 0;
     explicit BankState(std::size_t max_uers) : profile(max_uers) {}
   };
 
@@ -292,6 +355,10 @@ class PredictionEngine {
   hbm::SparingLedger ledger_;
   std::unordered_map<std::uint64_t, BankState> banks_;
   EngineStats stats_;
+  /// Current snapshot epoch (starts at 1 so default dirty_epoch 0 = clean)
+  /// and an O(1)-maintained count of banks stamped with it.
+  std::uint64_t snapshot_epoch_ = 1;
+  std::size_t dirty_banks_ = 0;
 };
 
 }  // namespace cordial::core

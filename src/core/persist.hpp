@@ -20,5 +20,14 @@ inline constexpr std::uint32_t kOutcomeStoreVersion = 1;
 
 inline constexpr char kEngineStateMagic[] = "cordial_engine_state";
 inline constexpr std::uint32_t kEngineStateVersion = 1;
+// v2: same magic, binary payload (persist/binary_io.hpp codec — fixed-width
+// little-endian fields, doubles as raw IEEE-754 bit patterns). v1 text
+// payloads still load; RestoreState dispatches on the frame version.
+inline constexpr std::uint32_t kEngineStateBinaryVersion = 2;
+
+// Delta snapshot: only the banks dirtied since the last checkpoint, plus the
+// global counters. Always binary; applied on top of a restored full state.
+inline constexpr char kEngineDeltaMagic[] = "cordial_engine_delta";
+inline constexpr std::uint32_t kEngineDeltaVersion = 1;
 
 }  // namespace cordial::core

@@ -11,6 +11,7 @@
 #include <iosfwd>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 namespace cordial::hbm {
 
@@ -57,6 +58,28 @@ class SparingLedger {
   /// Rebuild a ledger from a Save stream. Throws ParseError on malformed
   /// input.
   static SparingLedger Load(std::istream& in);
+
+  // --- per-bank slicing (delta / binary checkpoints) ----------------------
+  // The engine's binary state codec carries this ledger sliced per bank:
+  // each bank blob holds that bank's section, the state header holds the
+  // budget and global counters. A section distinguishes "no row entry" from
+  // "an entry with zero rows" — TrySpareRow creates an empty entry when
+  // rows_per_bank is 0, and the text Save lists such entries, so the
+  // distinction must survive a binary round trip for byte-identity.
+
+  /// The bank's spared-row entry, or nullptr when none exists.
+  const std::unordered_set<std::uint32_t>* FindRowEntry(
+      std::uint64_t bank_key) const;
+
+  /// Overwrite one bank's section: replace (or erase, when !has_row_entry)
+  /// its spared-row entry and set its bank-spared membership. Global
+  /// counters are not touched — restore them once via RestoreCounters.
+  void RestoreBankSection(std::uint64_t bank_key, bool has_row_entry,
+                          const std::vector<std::uint32_t>& rows,
+                          bool bank_spared);
+
+  /// Overwrite the global spend counters (checkpoint restore only).
+  void RestoreCounters(std::uint64_t rows_spared, std::uint64_t banks_spared);
   double total_cost() const {
     return static_cast<double>(rows_spared_) * budget_.row_spare_cost +
            static_cast<double>(banks_spared_) * budget_.bank_spare_cost;

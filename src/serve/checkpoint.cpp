@@ -42,12 +42,8 @@ bool WriteAll(int fd, const char* data, std::size_t size) {
 
 }  // namespace
 
-void WriteCheckpointFile(const FleetServer& server, const std::string& path) {
-  // Serialize first: a failure here costs nothing on disk.
-  std::ostringstream buffer;
-  server.SaveCheckpoint(buffer);
-  const std::string data = buffer.str();
-
+void WriteFileDurably(const std::string& path, std::string_view bytes,
+                      bool retain_prev) {
   const std::string tmp = path + ".tmp";
   // Failure path shared by every step before the rename: drop the fd and
   // the tmp file so a failed checkpoint leaves no debris (and the previous
@@ -66,7 +62,7 @@ void WriteCheckpointFile(const FleetServer& server, const std::string& path) {
 
   const bool write_ok = failpoint::ShouldFail("serve.checkpoint.write")
                             ? (errno = EIO, false)
-                            : WriteAll(fd, data.data(), data.size());
+                            : WriteAll(fd, bytes.data(), bytes.size());
   if (!write_ok) fail(fd, "checkpoint tmp write failed");
 
   // The data must be on disk before anything points at it: rename first
@@ -83,9 +79,23 @@ void WriteCheckpointFile(const FleetServer& server, const std::string& path) {
 
   // Retain one older generation for RecoverCheckpoint's fallback. Best
   // effort: a filesystem without hard links just loses the safety net.
-  const std::string prev = path + ".prev";
-  ::unlink(prev.c_str());
-  (void)::link(path.c_str(), prev.c_str());
+  // The replacement must itself be atomic — link the current file to a
+  // side name and rename it over the old `.prev`. The previous scheme
+  // (unlink old .prev, then link) had a window where the fallback was
+  // gone entirely: a failure between the two calls — or between this
+  // block and the rename below — would leave neither generation behind
+  // the published path. Now the old `.prev` survives until the new one
+  // replaces it in one atomic step.
+  if (retain_prev) {
+    const std::string prev = path + ".prev";
+    const std::string prev_tmp = prev + ".tmp";
+    ::unlink(prev_tmp.c_str());
+    if (::link(path.c_str(), prev_tmp.c_str()) == 0) {
+      if (std::rename(prev_tmp.c_str(), prev.c_str()) != 0) {
+        ::unlink(prev_tmp.c_str());
+      }
+    }
+  }
 
   const bool rename_ok = failpoint::ShouldFail("serve.checkpoint.rename")
                              ? (errno = EIO, false)
@@ -108,6 +118,13 @@ void WriteCheckpointFile(const FleetServer& server, const std::string& path) {
   // directory entry is not guaranteed.
   CORDIAL_CHECK_MSG(dir_ok, "checkpoint directory fsync failed (" + dir +
                                 "): " + std::strerror(errno));
+}
+
+void WriteCheckpointFile(const FleetServer& server, const std::string& path) {
+  // Serialize first: a failure here costs nothing on disk.
+  std::ostringstream buffer;
+  server.SaveCheckpoint(buffer);
+  WriteFileDurably(path, buffer.str(), /*retain_prev=*/true);
 }
 
 bool ReadCheckpointFile(FleetServer& server, const std::string& path) {

@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace cordial::serve {
@@ -37,6 +38,26 @@ class FleetServer;
 
 inline constexpr char kFleetCheckpointMagic[] = "cordial_fleet_checkpoint";
 inline constexpr std::uint32_t kFleetCheckpointVersion = 1;
+
+/// Fleet-wide delta checkpoint frame: the same "shards N" + nested engine
+/// frame layout as a full checkpoint, but each nested frame is a
+/// cordial_engine_delta carrying only that shard's dirty banks.
+inline constexpr char kFleetDeltaMagic[] = "cordial_fleet_delta";
+inline constexpr std::uint32_t kFleetDeltaVersion = 1;
+
+/// The crash-consistency core shared by full checkpoints, chain members and
+/// chain manifests: durably publish `bytes` at `path` via tmp + fsync +
+/// rename + directory fsync (steps 1/3/4 of the contract above, wired with
+/// the same serve.checkpoint.* failpoints). With `retain_prev` the previous
+/// `<path>` survives as `<path>.prev` (step 2) — and the replacement of an
+/// older `.prev` is itself atomic (link to `<path>.prev.tmp`, then rename),
+/// so no instant exists where the fallback generation is missing. Chain
+/// members pass retain_prev=false: their history lives in the chain itself,
+/// and a stray `.prev` would only confuse the manifest. Throws
+/// ContractViolation on failure; the tmp file is removed, `path` and
+/// `<path>.prev` are left as they were.
+void WriteFileDurably(const std::string& path, std::string_view bytes,
+                      bool retain_prev);
 
 /// Atomically and durably write `server`'s checkpoint to `path` (tmp +
 /// fsync + rename + directory fsync, retaining the previous generation as

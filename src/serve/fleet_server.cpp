@@ -192,12 +192,63 @@ std::string FleetServer::StatusTable() const {
                       " shards)");
 }
 
-void FleetServer::SaveCheckpoint(std::ostream& out) const {
+void FleetServer::SaveCheckpoint(std::ostream& out,
+                                 core::StateEncoding encoding) const {
   std::ostringstream payload;
   payload << "shards " << shards_.size() << '\n';
-  for (const auto& shard : shards_) shard->SaveState(payload);
+  for (const auto& shard : shards_) shard->SaveState(payload, encoding);
   WriteFramed(out, kFleetCheckpointMagic, kFleetCheckpointVersion,
               payload.str());
+}
+
+std::uint64_t FleetServer::SaveDeltaCheckpoint(std::ostream& out) const {
+  std::ostringstream payload;
+  payload << "shards " << shards_.size() << '\n';
+  std::uint64_t banks_written = 0;
+  for (const auto& shard : shards_) {
+    banks_written += shard->SaveDeltaState(payload);
+  }
+  WriteFramed(out, kFleetDeltaMagic, kFleetDeltaVersion, payload.str());
+  return banks_written;
+}
+
+void FleetServer::ApplyDeltaCheckpoint(std::istream& in) {
+  std::istringstream payload(
+      ReadFramed(in, kFleetDeltaMagic, kFleetDeltaVersion));
+  ExpectToken(payload, "shards");
+  const std::uint64_t shard_count = ReadU64Token(payload, "delta checkpoint");
+  if (shard_count != shards_.size()) {
+    throw ParseError("delta checkpoint holds " + std::to_string(shard_count) +
+                     " shard(s) but this server has " +
+                     std::to_string(shards_.size()) +
+                     " — shard counts must match to restore");
+  }
+  // Stage-all-then-commit-all, exactly like RestoreCheckpoint: a corrupt
+  // shard N must leave every shard on its pre-delta state.
+  std::vector<core::PredictionEngine::StagedDelta> staged;
+  staged.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    staged.push_back(shard->ParseDeltaState(payload));
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->CommitDeltaState(std::move(staged[s]));
+  }
+}
+
+void FleetServer::MarkCheckpointClean() {
+  for (auto& shard : shards_) shard->MarkCheckpointClean();
+}
+
+std::size_t FleetServer::DirtyBankCount() const {
+  std::size_t dirty = 0;
+  for (const auto& shard : shards_) dirty += shard->dirty_bank_count();
+  return dirty;
+}
+
+std::size_t FleetServer::TotalBankCount() const {
+  std::size_t banks = 0;
+  for (const auto& shard : shards_) banks += shard->bank_count();
+  return banks;
 }
 
 void FleetServer::RestoreCheckpoint(std::istream& in) {

@@ -135,14 +135,36 @@ class FleetServer {
   std::string StatusTable() const;
 
   /// Serialize every shard engine into one framed checkpoint. The server
-  /// must be drained (Drain() or Stop() first).
-  void SaveCheckpoint(std::ostream& out) const;
+  /// must be drained (Drain() or Stop() first). The outer fleet frame is
+  /// the same for both encodings ("shards N" + nested engine frames); each
+  /// nested engine frame self-describes v1 text or v2 binary, so
+  /// RestoreCheckpoint reads either transparently.
+  void SaveCheckpoint(std::ostream& out, core::StateEncoding encoding =
+                                             core::StateEncoding::kText) const;
   /// Restore from a SaveCheckpoint stream. Throws ParseError on malformed
   /// input, version mismatch, or a shard-count mismatch (a checkpoint only
   /// restores into a server with the same shard count). Strong guarantee:
   /// every shard section is parsed before any shard commits, so a throw
   /// leaves the whole server unchanged — never half-restored.
   void RestoreCheckpoint(std::istream& in);
+
+  // --- delta checkpoints (server must be drained throughout) ---------------
+
+  /// Serialize every shard's dirty banks into one cordial_fleet_delta
+  /// frame. Dirty sets are NOT cleared — call MarkCheckpointClean once the
+  /// bytes are durable, so a failed write loses nothing. Returns the total
+  /// number of banks written across shards.
+  std::uint64_t SaveDeltaCheckpoint(std::ostream& out) const;
+  /// Apply a delta on top of the current state (the full snapshot it chains
+  /// from, plus any earlier deltas). Same strong guarantee and shard-count
+  /// check as RestoreCheckpoint: every shard's delta is parsed before any
+  /// commits.
+  void ApplyDeltaCheckpoint(std::istream& in);
+  /// Advance every shard's snapshot epoch (all banks become clean).
+  void MarkCheckpointClean();
+  /// Banks dirtied since the last MarkCheckpointClean, across all shards.
+  std::size_t DirtyBankCount() const;
+  std::size_t TotalBankCount() const;
 
  private:
   hbm::AddressCodec codec_;

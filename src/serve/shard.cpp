@@ -306,12 +306,59 @@ obs::RegistrySnapshot EngineShard::MetricsSnapshot() const {
   return metrics_registry_.Snapshot();
 }
 
-void EngineShard::SaveState(std::ostream& out) const {
+void EngineShard::SaveState(std::ostream& out,
+                            core::StateEncoding encoding) const {
   std::lock_guard<std::mutex> lock(control_mutex_);
   CORDIAL_CHECK_MSG(
       ring_.ApproxEmpty() && !busy_.load(std::memory_order_acquire),
       "shard must be drained before checkpointing");
-  engine_.SaveState(out);
+  engine_.SaveState(out, encoding);
+}
+
+std::uint64_t EngineShard::SaveDeltaState(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(control_mutex_);
+  CORDIAL_CHECK_MSG(
+      ring_.ApproxEmpty() && !busy_.load(std::memory_order_acquire),
+      "shard must be drained before checkpointing");
+  return engine_.SaveDeltaState(out);
+}
+
+core::PredictionEngine::StagedDelta EngineShard::ParseDeltaState(
+    std::istream& in) const {
+  return engine_.ParseDeltaState(in);
+}
+
+void EngineShard::CommitDeltaState(
+    core::PredictionEngine::StagedDelta&& staged) {
+  std::lock_guard<std::mutex> lock(control_mutex_);
+  CORDIAL_CHECK_MSG(
+      ring_.ApproxEmpty() && !busy_.load(std::memory_order_acquire),
+      "shard must be drained before restoring");
+  engine_.CommitDeltaState(std::move(staged));
+}
+
+void EngineShard::MarkCheckpointClean() {
+  std::lock_guard<std::mutex> lock(control_mutex_);
+  CORDIAL_CHECK_MSG(
+      ring_.ApproxEmpty() && !busy_.load(std::memory_order_acquire),
+      "shard must be drained before marking a checkpoint clean");
+  engine_.MarkCheckpointClean();
+}
+
+std::size_t EngineShard::dirty_bank_count() const {
+  std::lock_guard<std::mutex> lock(control_mutex_);
+  CORDIAL_CHECK_MSG(
+      ring_.ApproxEmpty() && !busy_.load(std::memory_order_acquire),
+      "shard must be drained before reading dirty state");
+  return engine_.dirty_bank_count();
+}
+
+std::size_t EngineShard::bank_count() const {
+  std::lock_guard<std::mutex> lock(control_mutex_);
+  CORDIAL_CHECK_MSG(
+      ring_.ApproxEmpty() && !busy_.load(std::memory_order_acquire),
+      "shard must be drained before reading dirty state");
+  return engine_.bank_count();
 }
 
 void EngineShard::RestoreState(std::istream& in) {

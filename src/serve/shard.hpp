@@ -173,7 +173,8 @@ class EngineShard {
 
   /// Checkpoint the engine (PredictionEngine::SaveState). The shard must be
   /// drained or stopped — enforced by a contract check.
-  void SaveState(std::ostream& out) const;
+  void SaveState(std::ostream& out,
+                 core::StateEncoding encoding = core::StateEncoding::kText) const;
   /// Restore the engine from a SaveState stream (same contract). Strong
   /// guarantee: a ParseError leaves the engine unchanged.
   void RestoreState(std::istream& in);
@@ -184,6 +185,20 @@ class EngineShard {
   core::PredictionEngine::StagedState ParseState(std::istream& in) const;
   /// Adopt a staged state (drained-shard contract; never throws past it).
   void CommitState(core::PredictionEngine::StagedState&& staged);
+
+  // --- delta checkpoints (drained-shard contract throughout) ---------------
+  /// Serialize this engine's dirty banks (PredictionEngine::SaveDeltaState);
+  /// the dirty set is not cleared — call MarkCheckpointClean once the bytes
+  /// are durable. Returns the number of banks written.
+  std::uint64_t SaveDeltaState(std::ostream& out) const;
+  /// Parse a delta without touching the engine (lock-free, like ParseState).
+  core::PredictionEngine::StagedDelta ParseDeltaState(std::istream& in) const;
+  /// Apply a staged delta on top of the current engine state.
+  void CommitDeltaState(core::PredictionEngine::StagedDelta&& staged);
+  /// Advance the engine's snapshot epoch (all banks become clean).
+  void MarkCheckpointClean();
+  std::size_t dirty_bank_count() const;
+  std::size_t bank_count() const;
 
  private:
   enum class State : int { kIdle, kRunning, kStopping, kStopped };

@@ -108,4 +108,16 @@ void StreamReplayer::CommitState(StagedReplayerState&& staged) {
   skew_dropped_ = staged.skew_dropped;
 }
 
+void StreamReplayer::OverwriteBank(BankHistory&& bank) {
+  banks_[bank.bank_key] = std::move(bank);
+}
+
+void StreamReplayer::RestoreCounters(std::size_t records, std::size_t dropped,
+                                     std::size_t skew_dropped, double now) {
+  records_ = records;
+  dropped_ = dropped;
+  skew_dropped_ = skew_dropped;
+  now_ = now;
+}
+
 }  // namespace cordial::trace

@@ -107,6 +107,13 @@ class StreamReplayer {
   /// Adopt a staged snapshot. Never throws.
   void CommitState(StagedReplayerState&& staged);
 
+  // --- delta-checkpoint restore hooks -------------------------------------
+  /// Replace (or create) one bank's retained window. Counters untouched.
+  void OverwriteBank(BankHistory&& bank);
+  /// Overwrite the global counters and clock (checkpoint restore only).
+  void RestoreCounters(std::size_t records, std::size_t dropped,
+                       std::size_t skew_dropped, double now);
+
  private:
   const hbm::AddressCodec& codec_;
   RetentionPolicy retention_;

@@ -1,0 +1,365 @@
+// Binary state codec: the fixed-width payload behind engine-state frame v2
+// and delta frames must be a lossless re-encoding of the text codec — a
+// server restored from a binary save is bit-identical (as judged by its
+// text checkpoint, the format every older pin compares) to one restored
+// from the text save, at every prefix of a replayed trace, including
+// non-finite doubles and empty/saturated bank profiles. Plus the dirty-bank
+// tracking contract delta checkpoints are built on.
+#include "persist/binary_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "core/bank_profile.hpp"
+#include "serve/fleet_server.hpp"
+#include "support/serve_world.hpp"
+
+namespace cordial::persist {
+namespace {
+
+using serve::FleetServer;
+using serve::test_support::SharedWorld;
+using serve::test_support::World;
+
+constexpr std::size_t kShardCount = 2;
+
+FleetServer MakeServer(const World& w,
+                       core::EngineConfig engine = core::EngineConfig{}) {
+  serve::FleetServerConfig config;
+  config.shard_count = kShardCount;
+  config.engine = engine;
+  return FleetServer(w.topology, w.classifier, w.single_pred,
+                     w.double_or_null(), config);
+}
+
+/// Feed records [begin, end) and leave the server drained.
+void Feed(FleetServer& server, const World& w, std::size_t begin,
+          std::size_t end) {
+  const auto& records = w.fleet.log.records();
+  for (std::size_t i = begin; i < std::min(end, records.size()); ++i) {
+    server.Submit(records[i]);
+  }
+  server.Drain();
+}
+
+std::string TextCheckpoint(const FleetServer& server) {
+  std::ostringstream out;
+  server.SaveCheckpoint(out, core::StateEncoding::kText);
+  return out.str();
+}
+
+std::string BinaryCheckpoint(const FleetServer& server) {
+  std::ostringstream out;
+  server.SaveCheckpoint(out, core::StateEncoding::kBinary);
+  return out.str();
+}
+
+void Restore(FleetServer& server, const std::string& bytes) {
+  std::istringstream in(bytes);
+  server.RestoreCheckpoint(in);
+}
+
+// --- primitives -----------------------------------------------------------
+
+TEST(PersistBinaryPrimitives, FixedWidthFieldsRoundTripBitExactly) {
+  std::string buffer;
+  BinaryWriter writer(buffer);
+  writer.U8(0);
+  writer.U8(0xFF);
+  writer.U32(0);
+  writer.U32(0xDEADBEEFu);
+  writer.U64(0);
+  writer.U64(~0ull);
+  writer.I64(-1);
+  writer.I64(std::numeric_limits<std::int64_t>::min());
+
+  // Doubles must round-trip as raw bit patterns: quiet/signalling NaNs with
+  // payloads, both infinities, negative zero, denormals.
+  const std::uint64_t double_bits[] = {
+      0x0000000000000000ull,  // +0.0
+      0x8000000000000000ull,  // -0.0
+      0x7FF0000000000000ull,  // +inf
+      0xFFF0000000000000ull,  // -inf
+      0x7FF8000000000000ull,  // quiet NaN
+      0xFFF8DEADBEEF0001ull,  // negative NaN with payload
+      0x7FF0000000000001ull,  // signalling NaN
+      0x0000000000000001ull,  // smallest denormal
+      0x3FF0000000000000ull,  // 1.0
+  };
+  for (const std::uint64_t bits : double_bits) {
+    double value = 0.0;
+    std::memcpy(&value, &bits, sizeof value);
+    writer.F64(value);
+  }
+  writer.Bytes("payload");
+
+  BinaryReader reader(buffer, "test");
+  EXPECT_EQ(reader.U8(), 0u);
+  EXPECT_EQ(reader.U8(), 0xFFu);
+  EXPECT_EQ(reader.U32(), 0u);
+  EXPECT_EQ(reader.U32(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.U64(), 0u);
+  EXPECT_EQ(reader.U64(), ~0ull);
+  EXPECT_EQ(reader.I64(), -1);
+  EXPECT_EQ(reader.I64(), std::numeric_limits<std::int64_t>::min());
+  for (const std::uint64_t bits : double_bits) {
+    const double value = reader.F64();
+    std::uint64_t read_bits = 0;
+    std::memcpy(&read_bits, &value, sizeof read_bits);
+    EXPECT_EQ(read_bits, bits);
+  }
+  EXPECT_EQ(reader.Bytes(7), "payload");
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_NO_THROW(reader.ExpectEnd());
+}
+
+TEST(PersistBinaryPrimitives, TruncationAndBadCountsFailClosed) {
+  std::string buffer;
+  BinaryWriter writer(buffer);
+  writer.U32(7);
+  BinaryReader short_read(buffer, "test");
+  EXPECT_THROW(short_read.U64(), ParseError);
+
+  // An element count that cannot fit in the remaining payload is rejected
+  // before any allocation.
+  std::string counted;
+  BinaryWriter counted_writer(counted);
+  counted_writer.U64(1u << 20);
+  BinaryReader count_reader(counted, "test");
+  EXPECT_THROW(count_reader.Count(8), ParseError);
+
+  // Trailing bytes after the last field are an error, not ignored.
+  BinaryReader trailing(buffer, "test");
+  EXPECT_THROW(trailing.ExpectEnd(), ParseError);
+}
+
+// --- BankProfile binary codec --------------------------------------------
+
+trace::MceRecord Make(double t, std::uint32_t row, hbm::ErrorType type) {
+  trace::MceRecord r;
+  r.time_s = t;
+  r.address.row = row;
+  r.type = type;
+  return r;
+}
+
+std::string ProfileText(const core::BankProfile& profile) {
+  std::ostringstream out;
+  profile.Save(out);
+  return out.str();
+}
+
+core::BankProfile BinaryRoundTrip(const core::BankProfile& profile) {
+  std::string bytes;
+  BinaryWriter writer(bytes);
+  profile.SaveBinary(writer);
+  BinaryReader reader(bytes, "profile round-trip");
+  core::BankProfile loaded = core::BankProfile::LoadBinary(reader);
+  reader.ExpectEnd();
+  return loaded;
+}
+
+TEST(PersistBinaryCodec, EmptyProfileRoundTripsThroughBinary) {
+  const core::BankProfile empty(3);
+  EXPECT_EQ(ProfileText(BinaryRoundTrip(empty)), ProfileText(empty));
+}
+
+TEST(PersistBinaryCodec, SaturatedProfileRoundTripsThroughBinary) {
+  // max_uers=1 caps the classification view immediately; keep observing past
+  // the cap so the capped/frozen split is exercised too.
+  core::BankProfile profile(1);
+  profile.Observe(Make(1.0, 10, hbm::ErrorType::kCe));
+  profile.Observe(Make(2.0, 11, hbm::ErrorType::kUeo));
+  profile.Observe(Make(3.0, 12, hbm::ErrorType::kUer));
+  profile.Observe(Make(4.0, 13, hbm::ErrorType::kUer));
+  profile.Observe(Make(5.0, 14, hbm::ErrorType::kCe));
+  ASSERT_TRUE(profile.HasClassificationView());
+
+  core::BankProfile loaded = BinaryRoundTrip(profile);
+  EXPECT_EQ(ProfileText(loaded), ProfileText(profile));
+
+  // The restored profile keeps absorbing events bit-identically.
+  core::BankProfile original = profile;
+  original.Observe(Make(6.0, 15, hbm::ErrorType::kUer));
+  loaded.Observe(Make(6.0, 15, hbm::ErrorType::kUer));
+  EXPECT_EQ(ProfileText(loaded), ProfileText(original));
+}
+
+// --- engine-state equivalence --------------------------------------------
+
+TEST(PersistBinaryCodec, BinaryAndTextRestoreBitIdenticallyAtEveryPrefix) {
+  const World& w = SharedWorld();
+  FleetServer donor = MakeServer(w);
+  FleetServer from_binary = MakeServer(w);
+  FleetServer from_text = MakeServer(w);
+  donor.Start();
+
+  const std::size_t total =
+      std::min<std::size_t>(w.fleet.log.records().size(), 160);
+  for (std::size_t prefix = 0; prefix <= total; ++prefix) {
+    if (prefix > 0) Feed(donor, w, prefix - 1, prefix);
+    const std::string text = TextCheckpoint(donor);
+    const std::string binary = BinaryCheckpoint(donor);
+
+    // Binary restore reproduces the exact text state, and vice versa.
+    Restore(from_binary, binary);
+    EXPECT_EQ(TextCheckpoint(from_binary), text) << "prefix " << prefix;
+    Restore(from_text, text);
+    EXPECT_EQ(BinaryCheckpoint(from_text), binary) << "prefix " << prefix;
+  }
+  donor.Stop();
+}
+
+TEST(PersistBinaryCodec, RestoredServerContinuesBitIdentically) {
+  const World& w = SharedWorld();
+  FleetServer donor = MakeServer(w);
+  donor.Start();
+  Feed(donor, w, 0, 80);
+
+  FleetServer restored = MakeServer(w);
+  Restore(restored, BinaryCheckpoint(donor));
+  restored.Start();
+  Feed(donor, w, 80, 160);
+  Feed(restored, w, 80, 160);
+  donor.Stop();
+  restored.Stop();
+  EXPECT_EQ(TextCheckpoint(restored), TextCheckpoint(donor));
+  EXPECT_EQ(BinaryCheckpoint(restored), BinaryCheckpoint(donor));
+}
+
+TEST(PersistBinaryCodec, NonFiniteBudgetCostsSurviveBinaryRoundTrip) {
+  const World& w = SharedWorld();
+  core::EngineConfig engine;
+  engine.budget.row_spare_cost = std::numeric_limits<double>::infinity();
+  engine.budget.bank_spare_cost = std::numeric_limits<double>::quiet_NaN();
+  FleetServer donor = MakeServer(w, engine);
+  donor.Start();
+  Feed(donor, w, 0, 120);
+  donor.Stop();
+
+  const std::string text = TextCheckpoint(donor);
+  const std::string binary = BinaryCheckpoint(donor);
+  FleetServer restored = MakeServer(w, engine);
+  Restore(restored, binary);
+  EXPECT_EQ(TextCheckpoint(restored), text);
+  EXPECT_EQ(BinaryCheckpoint(restored), binary);
+}
+
+// --- dirty tracking + delta equivalence -----------------------------------
+
+TEST(PersistDelta, DirtyTrackingFollowsObserveAndClean) {
+  const World& w = SharedWorld();
+  FleetServer server = MakeServer(w);
+  EXPECT_EQ(server.DirtyBankCount(), 0u);
+  server.Start();
+  Feed(server, w, 0, 40);
+
+  const std::size_t dirty = server.DirtyBankCount();
+  EXPECT_GT(dirty, 0u);
+  EXPECT_LE(dirty, server.TotalBankCount());
+
+  // Serializing a delta does NOT clear the dirty set (the bytes are not
+  // durable yet); it writes exactly the dirty banks.
+  std::ostringstream delta;
+  EXPECT_EQ(server.SaveDeltaCheckpoint(delta), dirty);
+  EXPECT_EQ(server.DirtyBankCount(), dirty);
+
+  server.MarkCheckpointClean();
+  EXPECT_EQ(server.DirtyBankCount(), 0u);
+  std::ostringstream empty_delta;
+  EXPECT_EQ(server.SaveDeltaCheckpoint(empty_delta), 0u);
+
+  // New observations dirty banks again; re-touching the same banks does not
+  // double-count.
+  Feed(server, w, 40, 80);
+  const std::size_t redirtied = server.DirtyBankCount();
+  EXPECT_GT(redirtied, 0u);
+  EXPECT_LE(redirtied, server.TotalBankCount());
+  server.Stop();
+}
+
+TEST(PersistDelta, FullPlusDeltasRestoreBitIdenticallyToUninterrupted) {
+  const World& w = SharedWorld();
+  constexpr std::size_t kEvery = 24;
+  constexpr std::size_t kTotal = 144;
+
+  FleetServer donor = MakeServer(w);
+  donor.Start();
+  Feed(donor, w, 0, kEvery);
+  const std::string full = BinaryCheckpoint(donor);
+  donor.MarkCheckpointClean();
+
+  std::vector<std::string> deltas;
+  for (std::size_t at = kEvery; at < kTotal; at += kEvery) {
+    Feed(donor, w, at, at + kEvery);
+    std::ostringstream out;
+    donor.SaveDeltaCheckpoint(out);
+    donor.MarkCheckpointClean();
+    deltas.push_back(out.str());
+  }
+  donor.Stop();
+
+  // full + deltas == the uninterrupted server, bit for bit.
+  FleetServer follower = MakeServer(w);
+  Restore(follower, full);
+  for (const std::string& delta : deltas) {
+    std::istringstream in(delta);
+    follower.ApplyDeltaCheckpoint(in);
+  }
+  EXPECT_EQ(TextCheckpoint(follower), TextCheckpoint(donor));
+  EXPECT_EQ(BinaryCheckpoint(follower), BinaryCheckpoint(donor));
+
+  // ...and keeps consuming the feed bit-identically afterwards.
+  FleetServer reference = MakeServer(w);
+  Restore(reference, BinaryCheckpoint(donor));
+  follower.Start();
+  reference.Start();
+  Feed(follower, w, kTotal, kTotal + 40);
+  Feed(reference, w, kTotal, kTotal + 40);
+  follower.Stop();
+  reference.Stop();
+  EXPECT_EQ(TextCheckpoint(follower), TextCheckpoint(reference));
+}
+
+TEST(PersistDelta, EmptyDeltaIsAnExactNoOp) {
+  const World& w = SharedWorld();
+  FleetServer server = MakeServer(w);
+  server.Start();
+  Feed(server, w, 0, 50);
+  server.Stop();
+  server.MarkCheckpointClean();
+
+  std::ostringstream out;
+  ASSERT_EQ(server.SaveDeltaCheckpoint(out), 0u);
+  const std::string before = TextCheckpoint(server);
+  std::istringstream in(out.str());
+  server.ApplyDeltaCheckpoint(in);
+  EXPECT_EQ(TextCheckpoint(server), before);
+}
+
+TEST(PersistDelta, DeltaWithWrongShardCountIsRejected) {
+  const World& w = SharedWorld();
+  FleetServer donor = MakeServer(w);
+  donor.Start();
+  Feed(donor, w, 0, 30);
+  donor.Stop();
+  std::ostringstream out;
+  donor.SaveDeltaCheckpoint(out);
+
+  serve::FleetServerConfig config;
+  config.shard_count = kShardCount + 1;
+  FleetServer other(w.topology, w.classifier, w.single_pred, w.double_or_null(),
+                    config);
+  std::istringstream in(out.str());
+  EXPECT_THROW(other.ApplyDeltaCheckpoint(in), ParseError);
+}
+
+}  // namespace
+}  // namespace cordial::persist
