@@ -1,0 +1,131 @@
+// ICR under logical->physical row remapping, with a read-disturb component
+// in the failure mix (extends the paper's Table IV: the paper's fleet has
+// no vendor row scramble and no RowHammer-style shape).
+//
+// Three arms over the SAME physical fleet (the generator plants faults in
+// physical row space and remapping consumes no randomness, so one seed
+// pins one fleet across all arms):
+//
+//   identity       — logs carry physical rows; the paper's setting.
+//   swizzle-naive  — the device scrambles rows (bit-swizzle k=3) and the
+//                    consumer analyses the logical rows as-is. Cross-row
+//                    locality is torn apart at exactly the +-1/+-2
+//                    distances Cordial's features key on.
+//   swizzle-aware  — same logs, but the consumer undoes the scramble
+//                    (RemapLogRowsToPhysical) before analysis. Must be
+//                    bit-identical to the identity arm — asserted here by
+//                    comparing the full serialized logs.
+//
+// Each arm reports Cordial (random forest) and the Neighbor-Rows baseline.
+// The headline: Neighbor Rows collapses under a naive scramble (its fixed
+// +-2 window almost never covers the scrambled victim), Cordial degrades
+// but keeps a margin (bank-level features survive any per-bank permutation;
+// only row-distance features break), and awareness restores everything.
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "core/pipeline.hpp"
+#include "trace/log_codec.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cordial;
+  const auto args = bench::BenchArgs::Parse(argc, argv);
+
+  hbm::TopologyConfig topology;
+  trace::CalibrationProfile profile;
+  profile.scale = args.scale;
+  // Keep the paper's five-shape mix at 85% of its relative weight and give
+  // the remaining ~15% to read-disturb incidents.
+  const double keep = 0.85;
+  profile.mix_single *= keep;
+  profile.mix_double *= keep;
+  profile.mix_half *= keep;
+  profile.mix_scattered *= keep;
+  profile.mix_column *= keep;
+  profile.mix_read_disturb =
+      1.0 - (profile.mix_single + profile.mix_double + profile.mix_half +
+             profile.mix_scattered + profile.mix_column);
+
+  const hbm::RowMapping swizzle =
+      hbm::RowMapping::BitSwizzle(topology.rows_per_bank, 3);
+
+  std::cerr << "generating identity-mapped fleet (scale=" << args.scale
+            << ", seed=" << args.seed << ")...\n";
+  const trace::GeneratedFleet identity =
+      trace::FleetGenerator(topology, profile).Generate(args.seed);
+  std::cerr << "generating " << swizzle.Describe() << " fleet...\n";
+  const trace::GeneratedFleet swizzled =
+      trace::FleetGenerator(topology, profile, {}, {}, swizzle)
+          .Generate(args.seed);
+
+  // The aware consumer: same scrambled logs, descrambled before analysis.
+  // Remapping preserves stream order, but the generator emits logs in
+  // canonical (time, address, type) order and equal-time ties were broken
+  // by *logical* row — re-sort so the comparison below is order-for-order.
+  trace::GeneratedFleet aware = swizzled;
+  aware.log = trace::RemapLogRowsToPhysical(swizzled.log, swizzle);
+  aware.log.Sort();
+
+  // Descrambling must recover the identity arm's log bit-for-bit: one
+  // seed, one physical fleet, the mapping an involution on every record.
+  const auto serialize = [](const trace::ErrorLog& log) {
+    std::ostringstream out;
+    trace::LogCodec::WriteCsv(log, out);
+    return out.str();
+  };
+  if (serialize(aware.log) != serialize(identity.log)) {
+    std::cerr << "FAIL: descrambled log differs from the identity log\n";
+    return 1;
+  }
+  std::cout << "== Table V: ICR under row remapping ==\n"
+            << "synthetic fleet: " << identity.log.size()
+            << " MCE records across " << identity.banks.size()
+            << " faulty banks, read-disturb mix "
+            << TextTable::FormatPercent(profile.mix_read_disturb)
+            << " (scale " << args.scale << ", seed " << args.seed << ")\n"
+            << "descrambled swizzle log == identity log: OK\n\n";
+
+  struct Arm {
+    const char* name;
+    const trace::GeneratedFleet* fleet;
+  };
+  const Arm arms[] = {{"identity", &identity},
+                      {"swizzle-naive", &swizzled},
+                      {"swizzle-aware", &aware}};
+
+  TextTable table({"Row mapping", "Cordial ICR", "Cordial F1",
+                   "Neighbor Rows ICR", "Neighbor Rows F1"});
+  double identity_icr = -1.0, aware_icr = -2.0;
+  for (const Arm& arm : arms) {
+    core::PipelineConfig config;
+    config.learner = ml::LearnerKind::kRandomForest;
+    core::CordialPipeline pipeline(topology, config);
+    std::cerr << "running pipeline on " << arm.name << " arm...\n";
+    const core::PipelineResult result =
+        pipeline.Run(*arm.fleet, args.seed + 3);
+    table.AddRow({arm.name,
+                  TextTable::FormatPercent(result.cordial.icr.Icr()),
+                  TextTable::FormatDouble(result.cordial.block_metrics.f1),
+                  TextTable::FormatPercent(result.neighbor_baseline.icr.Icr()),
+                  TextTable::FormatDouble(
+                      result.neighbor_baseline.block_metrics.f1)});
+    if (std::string(arm.name) == "identity") {
+      identity_icr = result.cordial.icr.Icr();
+    } else if (std::string(arm.name) == "swizzle-aware") {
+      aware_icr = result.cordial.icr.Icr();
+    }
+  }
+  std::cout << table.Render(
+      "ICR under logical->physical row remapping (read-disturb mix)");
+  if (identity_icr != aware_icr) {
+    std::cerr << "FAIL: swizzle-aware ICR (" << aware_icr
+              << ") != identity ICR (" << identity_icr << ")\n";
+    return 1;
+  }
+  std::cout << "\nswizzle-aware == identity (exact): OK\n"
+            << "shape check: naive scramble hurts Neighbor Rows (fixed +-2\n"
+            << "window) far more than Cordial (bank-level locality features\n"
+            << "survive any per-bank permutation); awareness restores the\n"
+            << "identity numbers exactly.\n";
+  return 0;
+}

@@ -259,7 +259,7 @@ int main(int argc, char** argv) {
       if (line.empty() || trace::LogCodec::IsCsvHeader(line)) continue;
       trace::MceRecord record;
       try {
-        record = trace::LogCodec::ParseCsvLine(line);
+        record = trace::LogCodec::ParseCsvLine(line, codec);
       } catch (const ParseError& e) {
         ++malformed;
         std::cerr << "skipping malformed line: " << e.what() << "\n";

@@ -131,6 +131,7 @@ int Usage() {
          "         [--admin-port <port>] [--listen-port <port>]\n"
          "         [--listen-address <addr>] [--status-every <n>]\n"
          "         [--refresh-every <sec>] [--promotion-min-icr <r>]\n"
+         "         [--row-mapping identity|swizzle[:<k>]|shuffle:<seed>]\n"
          "         [--version]\n";
   return 2;
 }
@@ -174,6 +175,7 @@ struct Options {
   std::size_t status_every = 10000; // 0 = status lines off
   double refresh_every_s = 0.0;     // 0 = online learning off
   double promotion_min_icr = 0.0;
+  std::string row_mapping;          // empty = identity (logical == physical)
 };
 
 /// Parse argv into `opts`; on failure `error` names the offending flag.
@@ -257,6 +259,8 @@ bool ParseArgs(int argc, char** argv, Options& opts, std::string& error) {
       opts.listen_port = static_cast<std::uint16_t>(port);
     } else if (flag == "--listen-address") {
       opts.listen_address = value;
+    } else if (flag == "--row-mapping") {
+      opts.row_mapping = value;
     } else if (flag == "--refresh-every" || flag == "--promotion-min-icr") {
       char* end = nullptr;
       const double parsed = std::strtod(value, &end);
@@ -329,6 +333,15 @@ int main(int argc, char** argv) {
     // A live fleet feed is aggregated from many BMC clocks: drop stale
     // records instead of dying on the first skewed timestamp.
     config.engine.retention.skew_policy = trace::TimeSkewPolicy::kDrop;
+    // Feed rows are logical; every shard engine remaps them to physical
+    // before profiling. Not serialized — a restoring boot must pass the
+    // same spec (the engine-state frame carries physical rows only).
+    config.engine.row_mapping =
+        hbm::RowMapping::Parse(opts.row_mapping, topology.rows_per_bank);
+    if (!config.engine.row_mapping.identity()) {
+      std::cerr << "row mapping: " << config.engine.row_mapping.Describe()
+                << "\n";
+    }
 
     // Online learning (--refresh-every): the boot models seed a model slot
     // every shard engine subscribes to; the serving path feeds an outcome
@@ -656,7 +669,7 @@ int main(int argc, char** argv) {
       while (batch.size() < limit && std::getline(*feed, line)) {
         if (line.empty() || trace::LogCodec::IsCsvHeader(line)) continue;
         try {
-          batch.push_back(trace::LogCodec::ParseCsvLine(line));
+          batch.push_back(trace::LogCodec::ParseCsvLine(line, server.codec()));
         } catch (const ParseError& e) {
           ++malformed;
           malformed_total.Increment();

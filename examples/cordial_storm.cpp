@@ -1,0 +1,235 @@
+// cordial_storm — hostile-feed scenario driver.
+//
+// Reads a LogCodec CSV feed and writes a deliberately nasty version of it:
+// the record stream a serving daemon sees when a rack melts down and the
+// collection pipeline degrades with it. Every distortion is seeded and
+// deterministic, so tier-1 smokes can assert exact counter values on the
+// consuming daemon.
+//
+//   cordial_storm <log.csv> [flags] > storm.csv
+//     --burst <n>        repeat every UER line n times back to back (burst
+//                        storm: a failing row re-reports faster than the
+//                        collector dedupes). n=1 leaves the feed unchanged.
+//     --duplicate <f>    duplicate a fraction f of all lines immediately
+//                        after themselves (at-least-once delivery).
+//     --reorder <w>      shuffle lines within consecutive windows of w
+//                        lines (out-of-order aggregation across BMCs).
+//     --garbage <f>      after a fraction f of lines, inject one malformed
+//                        line (cycling: wrong arity, non-numeric field,
+//                        out-of-topology row, non-finite timestamp).
+//     --multi-bank <n>   after every UER line, emit n correlated CE records
+//                        in sibling banks of the same bank group at the
+//                        same timestamp (a correlated multi-bank incident).
+//     --seed <s>         seed for duplicate/reorder/garbage draws.
+//
+// Emits "STORM lines=<n> malformed=<m>" on stderr: <n> is the number of
+// data lines written and <m> how many of them a validating consumer must
+// reject — the exact numbers a smoke asserts against the daemon's
+// "records submitted" and "malformed lines skipped" counters.
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "hbm/address.hpp"
+#include "trace/log_codec.hpp"
+
+using namespace cordial;
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage: cordial_storm <log.csv> [--burst <n>]\n"
+               "         [--duplicate <frac>] [--reorder <window>]\n"
+               "         [--garbage <frac>] [--multi-bank <n>] [--seed <s>]\n";
+  return 2;
+}
+
+struct Options {
+  std::string input;
+  std::size_t burst = 1;
+  double duplicate = 0.0;
+  std::size_t reorder = 0;
+  double garbage = 0.0;
+  std::size_t multi_bank = 0;
+  std::uint64_t seed = 1;
+};
+
+bool ParseArgs(int argc, char** argv, Options& opts, std::string& error) {
+  if (argc < 2) {
+    error = "missing <log.csv>";
+    return false;
+  }
+  opts.input = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (++i >= argc) {
+      error = flag + " requires a value";
+      return false;
+    }
+    const std::string value = argv[i];
+    char* end = nullptr;
+    if (flag == "--burst" || flag == "--reorder" || flag == "--multi-bank" ||
+        flag == "--seed") {
+      const unsigned long long parsed =
+          std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        error = flag + " expects an integer, got '" + value + "'";
+        return false;
+      }
+      if (flag == "--burst") {
+        if (parsed == 0) {
+          error = "--burst must be at least 1";
+          return false;
+        }
+        opts.burst = static_cast<std::size_t>(parsed);
+      } else if (flag == "--reorder") {
+        opts.reorder = static_cast<std::size_t>(parsed);
+      } else if (flag == "--multi-bank") {
+        opts.multi_bank = static_cast<std::size_t>(parsed);
+      } else {
+        opts.seed = parsed;
+      }
+    } else if (flag == "--duplicate" || flag == "--garbage") {
+      const double parsed = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || parsed < 0.0 ||
+          parsed > 1.0) {
+        error = flag + " expects a fraction in [0, 1], got '" + value + "'";
+        return false;
+      }
+      (flag == "--duplicate" ? opts.duplicate : opts.garbage) = parsed;
+    } else {
+      error = "unknown flag " + flag;
+      return false;
+    }
+  }
+  return true;
+}
+
+/// One output line plus whether a validating consumer must reject it.
+struct StormLine {
+  std::string text;
+  bool malformed = false;
+};
+
+/// The four malformed shapes a degraded collector actually produces, keyed
+/// off the line they follow so the corruption is locally plausible.
+std::string MakeGarbage(const std::string& line, std::uint64_t which,
+                        const hbm::TopologyConfig& topology) {
+  switch (which % 4) {
+    case 0:  // wrong arity: a torn write drops the tail of the line
+      return line.substr(0, line.rfind(','));
+    case 1: {  // non-numeric field
+      std::string bad = line;
+      bad.replace(0, bad.find(','), "garbage");
+      return bad;
+    }
+    case 2: {  // out-of-topology row: parses clean, fails bounds validation
+      trace::MceRecord r = trace::LogCodec::ParseCsvLine(line);
+      r.address.row = topology.rows_per_bank + 17;
+      std::ostringstream out;
+      trace::ErrorLog one;
+      one.Add(r);
+      trace::LogCodec::WriteCsv(one, out);
+      std::string body = out.str();
+      const std::size_t newline = body.find('\n');
+      return body.substr(newline + 1, body.size() - newline - 2);
+    }
+    default: {  // non-finite timestamp
+      const std::size_t comma = line.find(',');
+      return "inf" + line.substr(comma);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  std::string parse_error;
+  if (!ParseArgs(argc, argv, opts, parse_error)) {
+    std::cerr << "cordial_storm: " << parse_error << "\n";
+    return Usage();
+  }
+
+  try {
+    std::ifstream in(opts.input);
+    if (!in) throw ParseError("cannot open " + opts.input);
+    const hbm::TopologyConfig topology;
+    const hbm::AddressCodec codec(topology);
+    Rng rng(opts.seed);
+
+    std::vector<StormLine> out_lines;
+    std::string line;
+    std::uint64_t garbage_kind = 0;
+    while (std::getline(in, line)) {
+      if (line.empty() || trace::LogCodec::IsCsvHeader(line)) continue;
+      const trace::MceRecord record = trace::LogCodec::ParseCsvLine(line);
+      const bool is_uer = record.type == hbm::ErrorType::kUer;
+      const std::size_t copies = is_uer ? opts.burst : 1;
+      for (std::size_t c = 0; c < copies; ++c) {
+        out_lines.push_back({line, false});
+        if (opts.duplicate > 0.0 && rng.Bernoulli(opts.duplicate)) {
+          out_lines.push_back({line, false});
+        }
+      }
+      if (is_uer && opts.multi_bank > 0) {
+        // Correlated incident: the same event seen as CEs in sibling banks
+        // of the bank group, all inside topology bounds.
+        for (std::size_t b = 1; b <= opts.multi_bank; ++b) {
+          trace::MceRecord sibling = record;
+          sibling.type = hbm::ErrorType::kCe;
+          sibling.address.bank = static_cast<std::uint32_t>(
+              (record.address.bank + b) % topology.banks_per_bank_group);
+          trace::ErrorLog one;
+          one.Add(sibling);
+          std::ostringstream encoded;
+          trace::LogCodec::WriteCsv(one, encoded);
+          std::string body = encoded.str();
+          const std::size_t newline = body.find('\n');
+          out_lines.push_back(
+              {body.substr(newline + 1, body.size() - newline - 2), false});
+        }
+      }
+      if (opts.garbage > 0.0 && rng.Bernoulli(opts.garbage)) {
+        out_lines.push_back(
+            {MakeGarbage(line, garbage_kind++, topology), true});
+      }
+    }
+
+    if (opts.reorder > 1) {
+      for (std::size_t start = 0; start < out_lines.size();
+           start += opts.reorder) {
+        const std::size_t end =
+            std::min(out_lines.size(), start + opts.reorder);
+        // Fisher-Yates on the window, same draws as Rng::Shuffle.
+        for (std::size_t i = end - start; i > 1; --i) {
+          const std::size_t j =
+              static_cast<std::size_t>(rng.UniformU64(i));
+          std::swap(out_lines[start + i - 1], out_lines[start + j]);
+        }
+      }
+    }
+
+    std::uint64_t total = 0, malformed = 0;
+    std::cout << "time_s,node,npu,hbm,sid,channel,pseudo_channel,bank_group,"
+                 "bank,row,col,type\n";
+    for (const StormLine& out : out_lines) {
+      std::cout << out.text << "\n";
+      ++total;
+      if (out.malformed) ++malformed;
+    }
+    std::cerr << "STORM lines=" << total << " malformed=" << malformed
+              << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "cordial_storm: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -58,7 +58,7 @@ else
   # the admin HTTP server) and the network plane (reactor loop thread,
   # ingest connections, cross-server shard migration).
   CORDIAL_THREADS=8 ctest --test-dir build-tsan --output-on-failure \
-    -R '^(Parallel|FleetServer|EngineCheckpoint|Obs|MpscRing|Net|Migration|Learn|ModelSwap|Persist|Chain)'
+    -R '^(Parallel|FleetServer|EngineCheckpoint|Obs|MpscRing|Net|Migration|Learn|ModelSwap|Persist|Chain|ReadDisturb|RowMapping)'
 fi
 
 if [[ "$SKIP_ASAN" == "1" ]]; then
@@ -68,7 +68,7 @@ else
     -DCORDIAL_BUILD_BENCHMARKS=OFF -DCORDIAL_BUILD_EXAMPLES=OFF
   cmake --build build-asan -j
   ctest --test-dir build-asan --output-on-failure \
-    -R '^(BankProfile|PredictionEngine|StreamReplayer|Obs|Durability|Failpoint|Net|Migration|Learn|ModelSwap|Persist|Chain)'
+    -R '^(BankProfile|PredictionEngine|StreamReplayer|Obs|Durability|Failpoint|Net|Migration|Learn|ModelSwap|Persist|Chain|ReadDisturb|RowMapping)'
 fi
 
 if [[ "$SKIP_SMOKE" == "1" ]]; then
@@ -190,6 +190,50 @@ else
   cmp "$SMOKE/ref.ckpt" "$SMOKE/merged.ckpt"
   echo "tier1: migration smoke OK (shard 1 moved between two processes at" \
     "record $(( TOTAL / 2 )), merged checkpoint byte-identical)"
+
+  # Hostile-feed smoke: cordial_storm distorts the reference feed (UER
+  # bursts, duplicates, window reordering, malformed lines, correlated
+  # multi-bank CEs) and announces exactly how many lines it wrote and how
+  # many a validating consumer must reject. The daemon's counters must
+  # match exactly — every malformed line skipped at the parse boundary,
+  # every valid record either processed or skew-dropped, none lost — and
+  # the checkpoint it writes under that abuse must still be loadable.
+  ./build/examples/cordial_storm "$SMOKE/log.csv" --burst 3 \
+    --duplicate 0.1 --reorder 8 --garbage 0.05 --multi-bank 2 --seed 7 \
+    > "$SMOKE/storm.csv" 2> "$SMOKE/storm.stats"
+  STORM_LINES=$(sed -n 's/^STORM lines=\([0-9]*\) .*/\1/p' "$SMOKE/storm.stats")
+  STORM_BAD=$(sed -n 's/^STORM .* malformed=\([0-9]*\)$/\1/p' "$SMOKE/storm.stats")
+  [[ -n "$STORM_LINES" && -n "$STORM_BAD" && "$STORM_BAD" -gt 0 ]] || {
+    echo "tier1: storm smoke produced no stats (lines=$STORM_LINES" \
+      "malformed=$STORM_BAD)"; exit 1; }
+  ./build/examples/cordial_serverd "$SMOKE/m" --input "$SMOKE/storm.csv" \
+    --checkpoint "$SMOKE/storm.ckpt" --checkpoint-every 0 \
+    --shards 2 --status-every 0 > "$SMOKE/storm.out" 2>/dev/null
+  SUBMITTED=$(grep "records submitted" "$SMOKE/storm.out" \
+    | grep -o '[0-9]\+' | tail -1)
+  MALFORMED=$(grep "malformed lines skipped" "$SMOKE/storm.out" \
+    | grep -o '[0-9]\+' | tail -1)
+  EVENTS=$(grep "events processed" "$SMOKE/storm.out" \
+    | grep -o '[0-9]\+' | tail -1)
+  SKEW=$(grep "stale records dropped (skew)" "$SMOKE/storm.out" \
+    | grep -o '[0-9]\+' | tail -1)
+  [[ "$MALFORMED" == "$STORM_BAD" ]] || {
+    echo "tier1: storm smoke malformed mismatch: daemon=$MALFORMED" \
+      "storm=$STORM_BAD"; exit 1; }
+  [[ "$SUBMITTED" == "$(( STORM_LINES - STORM_BAD ))" ]] || {
+    echo "tier1: storm smoke submitted mismatch: daemon=$SUBMITTED" \
+      "expected=$(( STORM_LINES - STORM_BAD ))"; exit 1; }
+  [[ "$(( EVENTS + SKEW ))" == "$SUBMITTED" ]] || {
+    echo "tier1: storm smoke lost records: events=$EVENTS skew=$SKEW" \
+      "submitted=$SUBMITTED"; exit 1; }
+  ./build/examples/cordial_serverd "$SMOKE/m" --input /dev/null \
+    --checkpoint "$SMOKE/storm.ckpt" --checkpoint-every 0 \
+    --shards 2 --status-every 0 > /dev/null 2> "$SMOKE/storm.resume.log"
+  grep -q "resumed from checkpoint" "$SMOKE/storm.resume.log" || {
+    echo "tier1: storm smoke checkpoint did not resume"; exit 1; }
+  echo "tier1: hostile-feed smoke OK ($STORM_LINES storm lines," \
+    "$STORM_BAD malformed all skipped, $EVENTS processed + $SKEW" \
+    "skew-dropped = $SUBMITTED submitted, checkpoint reloadable)"
 fi
 
 if [[ "$SKIP_BENCH" == "1" ]]; then

@@ -53,6 +53,24 @@ hbm::PatternShape PatternLabeler::LabelShape(
     if (span >= params_.column_min_span) return PatternShape::kWholeColumn;
   }
 
+  // Read-disturb rule (opt-in): the blast radius around hammered aggressors
+  // is a single cluster of near-adjacent victims, orders of magnitude
+  // tighter than an SWD strip (whose rows sit a 32/64-row stride apart).
+  if (params_.detect_read_disturb &&
+      distinct_rows.size() >= params_.read_disturb_min_rows &&
+      distinct_rows.back() - distinct_rows.front() <=
+          params_.read_disturb_max_span) {
+    bool tight = true;
+    for (std::size_t i = 1; i < distinct_rows.size(); ++i) {
+      if (distinct_rows[i] - distinct_rows[i - 1] >
+          params_.read_disturb_max_gap) {
+        tight = false;
+        break;
+      }
+    }
+    if (tight) return PatternShape::kReadDisturb;
+  }
+
   const auto clusters = Clusters(distinct_rows);
   if (clusters.size() == 1) return PatternShape::kSingleRowCluster;
   if (clusters.size() == 2) {

@@ -26,6 +26,16 @@ struct LabelerParams {
   /// spanning at least this fraction of the bank's rows.
   std::size_t column_min_rows = 10;
   double column_min_span = 0.5;
+
+  /// Opt-in read-disturb rule, checked before the cluster rules: a single
+  /// tight victim cluster (at least min_rows rows, total span <= max_span,
+  /// every inter-row gap <= max_gap) is labeled kReadDisturb. Off by
+  /// default so fleets without hammering keep the paper's five-shape
+  /// labeling bit-for-bit (a tight SWD cluster stays kSingleRowCluster).
+  bool detect_read_disturb = false;
+  std::size_t read_disturb_min_rows = 3;
+  std::uint32_t read_disturb_max_span = 6;
+  std::uint32_t read_disturb_max_gap = 2;
 };
 
 class PatternLabeler {

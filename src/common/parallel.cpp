@@ -2,14 +2,42 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <limits>
 #include <mutex>
+#include <string>
 #include <thread>
 
 namespace cordial {
+
+std::size_t ParseThreadCount(const char* text, std::string& error) {
+  error.clear();
+  if (text == nullptr || *text == '\0') {
+    error = "empty value";
+    return 0;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0') {
+    error = "not a number";
+    return 0;
+  }
+  if (errno == ERANGE || parsed > std::numeric_limits<int>::max()) {
+    error = "out of range";
+    return 0;
+  }
+  if (parsed <= 0) {
+    error = "must be a positive thread count";
+    return 0;
+  }
+  return static_cast<std::size_t>(parsed);
+}
 
 namespace {
 
@@ -48,16 +76,28 @@ void DrainJob(Job& job) {
   t_in_parallel_region = was_nested;
 }
 
-std::size_t AutoThreadCount() {
-  if (const char* env = std::getenv("CORDIAL_THREADS")) {
-    char* end = nullptr;
-    const long parsed = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && parsed > 0) {
-      return static_cast<std::size_t>(parsed);
-    }
-  }
+std::size_t HardwareThreadCount() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t AutoThreadCount() {
+  if (const char* env = std::getenv("CORDIAL_THREADS")) {
+    std::string error;
+    const std::size_t parsed = ParseThreadCount(env, error);
+    if (parsed > 0) return parsed;
+    // Warn once, not per pool query: a rejected value falls back to
+    // hardware concurrency for the rest of the process either way.
+    static const bool warned = [&] {
+      std::fprintf(stderr,
+                   "cordial: ignoring CORDIAL_THREADS=\"%s\" (%s); using "
+                   "hardware concurrency\n",
+                   env, error.c_str());
+      return true;
+    }();
+    (void)warned;
+  }
+  return HardwareThreadCount();
 }
 
 class Pool {

@@ -26,6 +26,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <string>
 #include <vector>
 
 namespace cordial {
@@ -41,6 +42,13 @@ void SetThreadCount(std::size_t n);
 /// True while the current thread is executing inside a ParallelFor body;
 /// nested parallel calls detect this and run serially inline.
 bool InParallelRegion();
+
+/// Parse a CORDIAL_THREADS-style value. Returns the thread count, or 0 with
+/// `error` filled when `text` is null, empty, has trailing garbage, is
+/// non-positive, or exceeds the int range (0 is never a valid result —
+/// "auto" is expressed by unsetting the variable). Exposed so the
+/// environment-variable handling is testable without mutating the pool.
+std::size_t ParseThreadCount(const char* text, std::string& error);
 
 /// Run body(i) for every i in [0, n). `chunk` is the scheduling grain
 /// (indices claimed per worker grab); 0 picks a grain that gives each

@@ -177,8 +177,18 @@ void PredictionEngine::AttachMetrics(obs::MetricRegistry& registry,
       "Model generations hot-swapped in at a record boundary", labels);
 }
 
-IsolationActions PredictionEngine::Observe(const trace::MceRecord& record) {
+IsolationActions PredictionEngine::Observe(const trace::MceRecord& logical_record) {
   using Clock = std::chrono::steady_clock;
+  // Device row scramble: operate in physical row space so locality features
+  // and ledger rows reflect true adjacency. Identity mapping costs nothing.
+  trace::MceRecord remapped_storage;
+  const trace::MceRecord& record = [&]() -> const trace::MceRecord& {
+    if (config_.row_mapping.identity()) return logical_record;
+    remapped_storage = logical_record;
+    remapped_storage.address.row =
+        config_.row_mapping.ToPhysical(logical_record.address.row);
+    return remapped_storage;
+  }();
   // Record-boundary model swap: adopt a newly published generation BEFORE
   // this record is ingested, so every record is decided by exactly one
   // generation. Costs one relaxed atomic load when nothing was published.

@@ -95,6 +95,13 @@ struct EngineConfig {
   /// from BankProfile accumulators, so any bound (even 1) leaves them
   /// bit-identical; the retained window only serves debugging/inspection.
   trace::RetentionPolicy retention{64};
+  /// Logical->physical row map of the device feeding this engine. With a
+  /// non-identity mapping every incoming record's row is remapped to
+  /// physical space before ingestion, so locality features, predictions,
+  /// ledger rows and checkpoints all live in physical row coordinates.
+  /// Like the rest of the config it is NOT serialized: a restoring engine
+  /// must be constructed with the same mapping.
+  hbm::RowMapping row_mapping;
 };
 
 /// Payload encoding of a full engine snapshot. Text (frame v1) is the

@@ -1,6 +1,10 @@
 #include "hbm/address.hpp"
 
+#include <charconv>
+#include <numeric>
 #include <sstream>
+
+#include "common/rng.hpp"
 
 namespace cordial::hbm {
 
@@ -10,6 +14,123 @@ std::string DeviceAddress::ToString() const {
      << "/ch" << channel << "/psch" << pseudo_channel << "/bg" << bank_group
      << "/bank" << bank << "/row" << row << "/col" << col;
   return os.str();
+}
+
+const char* RowMappingKindName(RowMappingKind kind) {
+  switch (kind) {
+    case RowMappingKind::kIdentity: return "identity";
+    case RowMappingKind::kBitSwizzle: return "swizzle";
+    case RowMappingKind::kTable: return "shuffle";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsPowerOfTwo(std::uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+int Log2U32(std::uint32_t v) {
+  int bits = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+RowMapping RowMapping::BitSwizzle(std::uint32_t rows, int k) {
+  CORDIAL_CHECK_MSG(IsPowerOfTwo(rows),
+                    "BitSwizzle needs a power-of-two row count");
+  CORDIAL_CHECK_MSG(k >= 1 && 2 * k <= Log2U32(rows),
+                    "BitSwizzle fold width does not fit the row index");
+  RowMapping m;
+  m.kind_ = RowMappingKind::kBitSwizzle;
+  m.rows_ = rows;
+  m.swizzle_k_ = k;
+  return m;
+}
+
+RowMapping RowMapping::Shuffle(std::uint32_t rows, std::uint64_t seed) {
+  CORDIAL_CHECK_MSG(rows >= 1, "Shuffle needs at least one row");
+  RowMapping m;
+  m.kind_ = RowMappingKind::kTable;
+  m.rows_ = rows;
+  m.shuffle_seed_ = seed;
+  m.to_physical_.resize(rows);
+  std::iota(m.to_physical_.begin(), m.to_physical_.end(), 0u);
+  Rng rng(seed);
+  rng.Shuffle(m.to_physical_);
+  m.to_logical_.resize(rows);
+  for (std::uint32_t l = 0; l < rows; ++l) m.to_logical_[m.to_physical_[l]] = l;
+  return m;
+}
+
+RowMapping RowMapping::Parse(const std::string& spec, std::uint32_t rows) {
+  if (spec == "identity" || spec.empty()) return Identity();
+  const auto parse_u64 = [&spec](const std::string& text) {
+    std::uint64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc() || ptr != text.data() + text.size()) {
+      throw ParseError("RowMapping: bad numeric argument in spec '" + spec +
+                       "'");
+    }
+    return value;
+  };
+  if (spec == "swizzle") return BitSwizzle(rows);
+  if (spec.rfind("swizzle:", 0) == 0) {
+    const std::uint64_t k = parse_u64(spec.substr(8));
+    if (k < 1 || k > 15) throw ParseError("RowMapping: swizzle width out of range");
+    return BitSwizzle(rows, static_cast<int>(k));
+  }
+  if (spec.rfind("shuffle:", 0) == 0) {
+    return Shuffle(rows, parse_u64(spec.substr(8)));
+  }
+  throw ParseError("RowMapping: unrecognized spec '" + spec +
+                   "' (want identity, swizzle[:k], or shuffle:<seed>)");
+}
+
+std::uint32_t RowMapping::ToPhysical(std::uint32_t logical) const {
+  switch (kind_) {
+    case RowMappingKind::kIdentity:
+      return logical;
+    case RowMappingKind::kBitSwizzle:
+      CORDIAL_CHECK_MSG(logical < rows_, "ToPhysical: row out of range");
+      return logical ^ ((logical >> swizzle_k_) &
+                        ((1u << swizzle_k_) - 1u));
+    case RowMappingKind::kTable:
+      CORDIAL_CHECK_MSG(logical < rows_, "ToPhysical: row out of range");
+      return to_physical_[logical];
+  }
+  return logical;
+}
+
+std::uint32_t RowMapping::ToLogical(std::uint32_t physical) const {
+  switch (kind_) {
+    case RowMappingKind::kIdentity:
+      return physical;
+    case RowMappingKind::kBitSwizzle:
+      // The XOR fold is an involution: the swizzle is its own inverse.
+      return ToPhysical(physical);
+    case RowMappingKind::kTable:
+      CORDIAL_CHECK_MSG(physical < rows_, "ToLogical: row out of range");
+      return to_logical_[physical];
+  }
+  return physical;
+}
+
+std::string RowMapping::Describe() const {
+  switch (kind_) {
+    case RowMappingKind::kIdentity:
+      return "identity";
+    case RowMappingKind::kBitSwizzle:
+      return "swizzle:" + std::to_string(swizzle_k_);
+    case RowMappingKind::kTable:
+      return "shuffle:" + std::to_string(shuffle_seed_);
+  }
+  return "?";
 }
 
 AddressCodec::AddressCodec(const TopologyConfig& topology)
@@ -119,6 +240,34 @@ std::uint64_t AddressCodec::EntityCount(Level level) const {
   std::uint64_t count = 1;
   for (int i = 0; i < n; ++i) count *= radix_[i];
   return count;
+}
+
+namespace {
+
+void CheckMappingFits(const RowMapping& mapping, std::uint64_t rows_per_bank) {
+  CORDIAL_CHECK_MSG(
+      mapping.identity() || mapping.rows() == rows_per_bank,
+      "row mapping was built for a different rows_per_bank");
+}
+
+}  // namespace
+
+DeviceAddress AddressCodec::ToPhysical(const DeviceAddress& address,
+                                       const RowMapping& mapping) const {
+  CORDIAL_CHECK_MSG(IsValid(address), "ToPhysical: address out of bounds");
+  CheckMappingFits(mapping, radix_[8]);
+  DeviceAddress out = address;
+  out.row = mapping.ToPhysical(address.row);
+  return out;
+}
+
+DeviceAddress AddressCodec::ToLogical(const DeviceAddress& address,
+                                      const RowMapping& mapping) const {
+  CORDIAL_CHECK_MSG(IsValid(address), "ToLogical: address out of bounds");
+  CheckMappingFits(mapping, radix_[8]);
+  DeviceAddress out = address;
+  out.row = mapping.ToLogical(address.row);
+  return out;
 }
 
 }  // namespace cordial::hbm

@@ -10,6 +10,7 @@
 #include <compare>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "hbm/topology.hpp"
 
@@ -30,6 +31,60 @@ struct DeviceAddress {
   auto operator<=>(const DeviceAddress&) const = default;
 
   std::string ToString() const;
+};
+
+enum class RowMappingKind : std::uint8_t {
+  kIdentity = 0,
+  kBitSwizzle,  // p = l XOR ((l >> k) & (2^k - 1)); self-inverse
+  kTable,       // seeded permutation table with explicit inverse
+};
+
+const char* RowMappingKindName(RowMappingKind kind);
+
+/// Bijective logical<->physical row map within one bank. Real DRAM devices
+/// scramble row addresses internally (remapped spare rows, anti-RowHammer
+/// swizzling, vendor address functions recovered by ZenHammer-style attacks),
+/// so the row index an MCE log reports need not be physically adjacent to
+/// row+1. The mapping is a pure function of its spec — no hidden state — so
+/// trace generation and the engine can agree on it out of band.
+class RowMapping {
+ public:
+  /// Identity over any row count.
+  RowMapping() = default;
+
+  static RowMapping Identity() { return RowMapping(); }
+
+  /// XOR-fold swizzle: physical = logical ^ ((logical >> k) & (2^k - 1)).
+  /// An involution (applying it twice is the identity), which mirrors how
+  /// simple vendor scrambling functions behave. Requires `rows` to be a
+  /// power of two and 2k <= log2(rows).
+  static RowMapping BitSwizzle(std::uint32_t rows, int k = 3);
+
+  /// Seeded Fisher-Yates permutation table — the worst case for locality:
+  /// logical adjacency carries no information about physical adjacency.
+  static RowMapping Shuffle(std::uint32_t rows, std::uint64_t seed);
+
+  /// Parses "identity", "swizzle", "swizzle:<k>", or "shuffle:<seed>".
+  /// Throws ParseError on an unrecognized spec.
+  static RowMapping Parse(const std::string& spec, std::uint32_t rows);
+
+  std::uint32_t ToPhysical(std::uint32_t logical) const;
+  std::uint32_t ToLogical(std::uint32_t physical) const;
+
+  RowMappingKind kind() const { return kind_; }
+  bool identity() const { return kind_ == RowMappingKind::kIdentity; }
+  /// Row count the mapping was built for; 0 means "any" (identity only).
+  std::uint32_t rows() const { return rows_; }
+
+  std::string Describe() const;
+
+ private:
+  RowMappingKind kind_ = RowMappingKind::kIdentity;
+  std::uint32_t rows_ = 0;
+  int swizzle_k_ = 0;
+  std::uint64_t shuffle_seed_ = 0;
+  std::vector<std::uint32_t> to_physical_;
+  std::vector<std::uint32_t> to_logical_;
 };
 
 /// Packs DeviceAddress <-> uint64 for a fixed topology, and derives the
@@ -60,6 +115,16 @@ class AddressCodec {
 
   /// Number of distinct entities at `level` in the whole fleet.
   std::uint64_t EntityCount(Level level) const;
+
+  /// Same address with the row coordinate pushed through `mapping`
+  /// logical->physical (resp. physical->logical). All other coordinates are
+  /// untouched: the scramble is per-bank row-internal. Throws
+  /// ContractViolation when the input address is out of topology bounds or
+  /// the mapping was built for a different row count.
+  DeviceAddress ToPhysical(const DeviceAddress& address,
+                           const RowMapping& mapping) const;
+  DeviceAddress ToLogical(const DeviceAddress& address,
+                          const RowMapping& mapping) const;
 
  private:
   TopologyConfig topology_;

@@ -88,6 +88,77 @@ BankSimulator::ReadResult BankSimulator::Read(std::uint32_t row,
   return result;
 }
 
+double BankSimulator::DisturbanceOn(std::uint32_t victim) const {
+  double pressure = 0.0;
+  for (int offset : {-2, -1, 1, 2}) {
+    const std::int64_t aggressor = static_cast<std::int64_t>(victim) + offset;
+    if (aggressor < 0 ||
+        aggressor >= static_cast<std::int64_t>(topology_.rows_per_bank)) {
+      continue;
+    }
+    const auto it = activations_.find(static_cast<std::uint32_t>(aggressor));
+    if (it == activations_.end()) continue;
+    const double weight =
+        (offset == -1 || offset == 1) ? 1.0 : disturb_.distance2_weight;
+    pressure += weight * static_cast<double>(it->second);
+  }
+  return pressure;
+}
+
+void BankSimulator::MaybeFlipVictim(std::uint32_t victim, double time_s) {
+  int& flips = victim_flips_[victim];
+  if (flips >= 2) return;
+  const double pressure = DisturbanceOn(victim);
+  while (flips < 2) {
+    const std::uint64_t base = flips == 0 ? disturb_.first_flip_activations
+                                          : disturb_.second_flip_activations;
+    // Deterministic per-(victim, flip) cell variation in [0.75, 1.25).
+    std::uint64_t state =
+        (static_cast<std::uint64_t>(victim) << 8) | static_cast<std::uint64_t>(flips);
+    const std::uint64_t hash = SplitMix64(state);
+    const double threshold =
+        static_cast<double>(base) * (0.75 + static_cast<double>(hash % 512) / 1024.0);
+    if (pressure < threshold) break;
+    // Both flips land in the same word so the victim escalates CE -> UER.
+    // Column and starting bit derive from a victim-only hash; consecutive
+    // flips take consecutive bit positions, so they never collide.
+    std::uint64_t pos_state = static_cast<std::uint64_t>(victim);
+    const std::uint64_t pos_hash = SplitMix64(pos_state);
+    const auto col =
+        static_cast<std::uint32_t>(pos_hash % topology_.cols_per_bank);
+    const int bit = static_cast<int>(
+        ((pos_hash >> 32) + static_cast<std::uint64_t>(flips)) %
+        SecDedCodec::kCodeBits);
+    InjectStuckBit(victim, col, bit, time_s);
+    ++disturb_flips_;
+    ++flips;
+  }
+}
+
+void BankSimulator::ActivateRow(std::uint32_t row, std::uint64_t count,
+                                double time_s) {
+  CORDIAL_CHECK_MSG(row < topology_.rows_per_bank,
+                    "activated row out of range");
+  CORDIAL_CHECK_MSG(time_s >= 0.0, "activation time must be non-negative");
+  if (count == 0) return;
+  activations_[row] += count;
+  for (int offset : {-2, -1, 1, 2}) {
+    const std::int64_t victim = static_cast<std::int64_t>(row) + offset;
+    if (victim < 0 ||
+        victim >= static_cast<std::int64_t>(topology_.rows_per_bank)) {
+      continue;
+    }
+    MaybeFlipVictim(static_cast<std::uint32_t>(victim), time_s);
+  }
+}
+
+void BankSimulator::Refresh() { activations_.clear(); }
+
+std::uint64_t BankSimulator::ActivationCount(std::uint32_t row) const {
+  const auto it = activations_.find(row);
+  return it == activations_.end() ? 0 : it->second;
+}
+
 std::vector<SimFinding> BankSimulator::Scrub(double time_s) {
   std::vector<SimFinding> findings;
   for (auto& [address, word] : words_) {

@@ -12,6 +12,13 @@
 //   >=2 faulty bits, demand access consumes it     -> UER
 //   >=3 faulty bits may alias the code             -> silent corruption
 //                                                     (counted separately)
+//
+// Read disturbance (RowHammer) rides the same pipeline: ActivateRow
+// accumulates activation pressure on the neighbours of a hammered row, and
+// once a victim's disturbance crosses its flip threshold the flipped cell is
+// planted as a stuck bit — from there ECC, scrubbing and demand reads treat
+// it exactly like any other fault, so a hammered victim escalates CE -> UER
+// as its second bit flips.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +38,19 @@ struct SimFinding {
   std::uint32_t col = 0;
   double time_s = 0.0;
   ErrorType type = ErrorType::kCe;
+};
+
+/// Read-disturb susceptibility, calibrated against Olgun et al.'s HBM2
+/// RowHammer characterization: the first victim cell flips after ~12.5k
+/// activations of an adjacent aggressor, and distance-2 victims need
+/// several times that pressure. Per-victim thresholds get a deterministic
+/// +/-25% cell-variation jitter.
+struct ReadDisturbParams {
+  std::uint64_t first_flip_activations = 12500;
+  std::uint64_t second_flip_activations = 35000;
+  /// Distance-2 victims see this fraction of the disturbance a distance-1
+  /// victim accumulates from the same aggressor (blast-radius decay).
+  double distance2_weight = 0.25;
 };
 
 class BankSimulator {
@@ -73,6 +93,26 @@ class BankSimulator {
     return scrubber_.ScrubWinsRace(fault_t, access_delay);
   }
 
+  /// Record `count` activations of aggressor `row` ending at `time_s`.
+  /// Victims at +/-1 and +/-2 rows accumulate disturbance; crossing the
+  /// first threshold plants a single stuck bit (CE on read), crossing the
+  /// second plants another bit in the same word (UER on demand read).
+  void ActivateRow(std::uint32_t row, std::uint64_t count, double time_s);
+
+  /// Refresh restores every cell's charge, resetting all accumulated
+  /// disturbance. Bits that already flipped stay flipped: the corrupted
+  /// value is what gets refreshed.
+  void Refresh();
+
+  /// Activations recorded against `row` since the last Refresh().
+  std::uint64_t ActivationCount(std::uint32_t row) const;
+
+  /// Stuck bits planted by read disturbance so far.
+  std::uint64_t disturb_flips() const { return disturb_flips_; }
+
+  void SetReadDisturbParams(ReadDisturbParams params) { disturb_ = params; }
+  const ReadDisturbParams& read_disturb_params() const { return disturb_; }
+
   std::uint64_t silent_corruptions() const { return silent_corruptions_; }
   std::size_t faulty_words() const { return words_.size(); }
 
@@ -89,10 +129,20 @@ class BankSimulator {
   SecDedCodec::Codeword ReadRaw(std::uint32_t row, std::uint32_t col,
                                 double time_s) const;
 
+  /// Disturbance accumulated on `victim` from its hammered neighbours.
+  double DisturbanceOn(std::uint32_t victim) const;
+  /// Re-check `victim` against its flip thresholds, planting stuck bits.
+  void MaybeFlipVictim(std::uint32_t victim, double time_s);
+
   TopologyConfig topology_;
   PatrolScrubber scrubber_;
   std::map<std::pair<std::uint32_t, std::uint32_t>, WordState> words_;
   std::uint64_t silent_corruptions_ = 0;
+
+  ReadDisturbParams disturb_;
+  std::map<std::uint32_t, std::uint64_t> activations_;  // since last refresh
+  std::map<std::uint32_t, int> victim_flips_;           // bits planted, 0..2
+  std::uint64_t disturb_flips_ = 0;
 };
 
 }  // namespace cordial::hbm

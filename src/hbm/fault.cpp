@@ -15,6 +15,7 @@ const char* FaultKindName(FaultKind kind) {
     case FaultKind::kDieCrack: return "die-crack";
     case FaultKind::kTsvFault: return "tsv";
     case FaultKind::kColumnDriverFault: return "column-driver";
+    case FaultKind::kReadDisturb: return "read-disturb";
   }
   return "?";
 }
@@ -27,6 +28,7 @@ const char* PatternShapeName(PatternShape shape) {
     case PatternShape::kHalfTotalRowCluster: return "half-total-row-cluster";
     case PatternShape::kScattered: return "scattered";
     case PatternShape::kWholeColumn: return "whole-column";
+    case PatternShape::kReadDisturb: return "read-disturb";
   }
   return "?";
 }
@@ -45,6 +47,10 @@ std::optional<FailureClass> CollapseToClass(PatternShape shape) {
     case PatternShape::kCeOnly:
       return std::nullopt;
     case PatternShape::kSingleRowCluster:
+    // A read-disturb footprint is one tight victim cluster around the
+    // aggressors, so it aggregates like a single-row cluster and the
+    // single-cluster cross-row predictor is the right model for it.
+    case PatternShape::kReadDisturb:
       return FailureClass::kSingleRowClustering;
     case PatternShape::kDoubleRowCluster:
     case PatternShape::kHalfTotalRowCluster:
@@ -64,6 +70,7 @@ FaultKind RootCauseOf(PatternShape shape) {
     case PatternShape::kHalfTotalRowCluster: return FaultKind::kDieCrack;
     case PatternShape::kScattered: return FaultKind::kTsvFault;
     case PatternShape::kWholeColumn: return FaultKind::kColumnDriverFault;
+    case PatternShape::kReadDisturb: return FaultKind::kReadDisturb;
   }
   return FaultKind::kCellFault;
 }
@@ -287,6 +294,54 @@ BankFaultPlan FootprintGenerator::Generate(PatternShape shape, Rng& rng) const {
         plan.uer_rows.push_back(RowErrors{row, {col}});
       }
       rng.Shuffle(plan.uer_rows);
+      break;
+    }
+    case PatternShape::kReadDisturb: {
+      ce_rows_mean = params_.ce_rows_mean_rd;
+      const bool double_sided = rng.Bernoulli(params_.rd_double_sided_prob);
+      // Keep the whole +/-2 blast radius inside the bank.
+      const auto base =
+          static_cast<std::uint32_t>(2 + rng.UniformU64(rows - 7));
+      plan.aggressor_rows.push_back(base);
+      if (double_sided) plan.aggressor_rows.push_back(base + 2);
+
+      // Candidate victims nearest-first; the row sandwiched between a
+      // double-sided pair accumulates disturbance from both aggressors.
+      struct Candidate {
+        std::uint32_t row;
+        double prob;
+      };
+      std::vector<Candidate> candidates;
+      if (double_sided) {
+        candidates.push_back({base + 1, params_.rd_victim_sandwich_prob});
+        candidates.push_back({base - 1, params_.rd_victim_prob_1});
+        candidates.push_back({base + 3, params_.rd_victim_prob_1});
+        candidates.push_back({base - 2, params_.rd_victim_prob_2});
+        candidates.push_back({base + 4, params_.rd_victim_prob_2});
+      } else {
+        candidates.push_back({base - 1, params_.rd_victim_prob_1});
+        candidates.push_back({base + 1, params_.rd_victim_prob_1});
+        candidates.push_back({base - 2, params_.rd_victim_prob_2});
+        candidates.push_back({base + 2, params_.rd_victim_prob_2});
+      }
+      std::vector<std::uint32_t> victims;
+      for (const Candidate& c : candidates) {
+        if (rng.Bernoulli(c.prob)) victims.push_back(c.row);
+      }
+      // Sustained hammering eventually flips the near victims regardless of
+      // the per-cell draw; keep >= 3 victim rows so the footprint stays a
+      // recognizable tight cluster.
+      for (const Candidate& c : candidates) {
+        if (victims.size() >= 3) break;
+        if (std::find(victims.begin(), victims.end(), c.row) == victims.end()) {
+          victims.push_back(c.row);
+        }
+      }
+      // Escalation order follows accumulated disturbance: victims nearest
+      // the aggressors cross their flip threshold first.
+      for (std::uint32_t victim : victims) {
+        plan.uer_rows.push_back(RowErrors{victim, SampleCols(rng)});
+      }
       break;
     }
   }

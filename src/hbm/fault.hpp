@@ -20,6 +20,12 @@
 //   whole column            <- column-driver / column-select fault: one
 //                              column fails across nearly all rows.
 //   CE-only                 <- isolated weak cells; never escalates to UER.
+//   read-disturb            <- RowHammer on HBM2 (Olgun et al., PAPERS.md):
+//                              hammered aggressor rows flip cells in victims
+//                              at +/-1 and +/-2 rows, escalating CE -> UER.
+//                              Not one of the paper's five shapes, but a
+//                              first-class HBM failure mode with the tightest
+//                              bank-level locality of all.
 //
 // For classification the five UER shapes collapse onto the paper's three
 // classes (see DESIGN.md "taxonomy reconciliation").
@@ -42,6 +48,7 @@ enum class FaultKind : std::uint8_t {
   kDieCrack,           ///< die crack / stuck row-address bit
   kTsvFault,           ///< TSV or micro-bump defect
   kColumnDriverFault,  ///< column driver / column select fault
+  kReadDisturb,        ///< RowHammer-style read disturbance from aggressors
 };
 
 /// Ground-truth spatial shape of a bank's eventual UER footprint.
@@ -52,6 +59,7 @@ enum class PatternShape : std::uint8_t {
   kHalfTotalRowCluster,
   kScattered,
   kWholeColumn,
+  kReadDisturb,
 };
 
 /// The paper's three-way classification target (§IV-C).
@@ -90,6 +98,9 @@ struct BankFaultPlan {
   /// Rows that emit CEs (ambient weak cells inside the fault region); may
   /// overlap uer_rows (in-row precursors of non-sudden UERs).
   std::vector<RowErrors> ce_rows;
+  /// Read-disturb only: the hammered rows whose activation pressure drives
+  /// the victims in uer_rows. Aggressors themselves do not fail.
+  std::vector<std::uint32_t> aggressor_rows;
 };
 
 /// Tunable shape parameters. Defaults are calibrated so that (a) the
@@ -148,6 +159,15 @@ struct FootprintParams {
   // Whole column: one column, rows uniform across nearly the full bank.
   double column_rows_mean = 8.0;  // UER rows = 10 + Poisson(mean)
 
+  // Read-disturb (RowHammer): hammered aggressor rows flip cells in their
+  // physically adjacent victims with a steep distance decay — HBM2 studies
+  // (Olgun et al.) see a +/-2-row blast radius with distance-2 victims
+  // needing several times the activation count of distance-1 victims.
+  double rd_double_sided_prob = 0.5;      // aggressor pair at distance 2
+  double rd_victim_prob_1 = 0.75;         // victim at distance 1 escalates
+  double rd_victim_prob_2 = 0.25;         // victim at distance 2 escalates
+  double rd_victim_sandwich_prob = 0.95;  // row between a double-sided pair
+
   // Ambient CE rows per faulty bank, by shape (Poisson means). Scattered
   // and whole-column faults sit on shared infrastructure (TSV, column
   // driver) and therefore shower the bank with correctable noise — the
@@ -158,6 +178,7 @@ struct FootprintParams {
   double ce_rows_mean_scattered = 12.0;
   double ce_rows_mean_column = 20.0;
   double ce_rows_mean_ce_only = 5.0;
+  double ce_rows_mean_rd = 2.0;
 
   // Columns hit per error row.
   double cols_per_row_mean = 2.0;  // 1 + Poisson(mean)

@@ -1,5 +1,6 @@
 #include "serve/fleet_server.hpp"
 
+#include <cmath>
 #include <sstream>
 #include <utility>
 
@@ -71,11 +72,23 @@ void FleetServer::ImportShard(std::size_t index, const std::string& state) {
   shards_[index]->RestoreState(in);
 }
 
+bool FleetServer::ValidRecord(const trace::MceRecord& record) const {
+  return std::isfinite(record.time_s) && codec_.IsValid(record.address);
+}
+
 bool FleetServer::Submit(const trace::MceRecord& record) {
+  if (!ValidRecord(record)) {
+    invalid_records_.fetch_add(1, std::memory_order_relaxed);
+    return true;  // consumed, not backpressure — see the header contract
+  }
   return shards_[ShardOf(codec_.BankKey(record.address))]->Submit(record);
 }
 
 bool FleetServer::Submit(trace::MceRecord&& record) {
+  if (!ValidRecord(record)) {
+    invalid_records_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
   const std::size_t s = ShardOf(codec_.BankKey(record.address));
   return shards_[s]->Submit(std::move(record));
 }
@@ -83,6 +96,20 @@ bool FleetServer::Submit(trace::MceRecord&& record) {
 std::size_t FleetServer::SubmitBatch(
     std::span<const trace::MceRecord> records) {
   if (records.empty()) return 0;
+  // Cheap validity scan first; the common all-valid batch pays no copy.
+  std::size_t invalid = 0;
+  for (const trace::MceRecord& record : records) {
+    if (!ValidRecord(record)) ++invalid;
+  }
+  if (invalid > 0) {
+    invalid_records_.fetch_add(invalid, std::memory_order_relaxed);
+    std::vector<trace::MceRecord> filtered;
+    filtered.reserve(records.size() - invalid);
+    for (const trace::MceRecord& record : records) {
+      if (ValidRecord(record)) filtered.push_back(record);
+    }
+    return invalid + SubmitBatch(std::span<const trace::MceRecord>(filtered));
+  }
   if (shards_.size() == 1) return shards_[0]->SubmitBatch(records);
   std::vector<std::vector<trace::MceRecord>> buckets(shards_.size());
   const std::size_t hint = records.size() / shards_.size() + 1;

@@ -26,6 +26,7 @@
 // smoke).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -68,16 +69,32 @@ class FleetServer {
               const core::CrossRowPredictor* double_predictor = nullptr,
               FleetServerConfig config = {}, ActionSink sink = nullptr);
 
+  /// Movable (factory-style construction); the atomic invalid-record tally
+  /// carries over with a relaxed load — only valid between submissions,
+  /// which is the only time moving a server is sane anyway.
+  FleetServer(FleetServer&& other) noexcept
+      : codec_(std::move(other.codec_)),
+        shards_(std::move(other.shards_)),
+        invalid_records_(
+            other.invalid_records_.load(std::memory_order_relaxed)) {}
+
   void Start();  ///< start every shard's worker
   /// Route one record to its bank's shard. Returns false when that shard
   /// refused it (kReject overload policy). The && overload moves the record
   /// all the way into its shard's ring slot.
+  ///
+  /// Records with an out-of-topology address or a non-finite timestamp are
+  /// silently consumed: counted in invalid_records(), reported as accepted
+  /// (no spurious backpressure to remote feeders), never routed to a shard.
+  /// Without this guard such a record would trip BankKey's contract check on
+  /// the submitter's thread and take the daemon down with it.
   bool Submit(const trace::MceRecord& record);
   bool Submit(trace::MceRecord&& record);
   /// Route a batch: bucket the span by shard (stable — records keep their
   /// span order within each bucket, which is all determinism needs since a
   /// bank never spans shards), then hand each bucket to its shard's
-  /// SubmitBatch. Returns the number of records accepted.
+  /// SubmitBatch. Returns the number of records accepted; invalid records
+  /// follow the Submit contract (counted, included in the return, dropped).
   std::size_t SubmitBatch(std::span<const trace::MceRecord> records);
   void Drain();  ///< block until every shard is idle with an empty queue
   void Stop();   ///< drain remaining work and join all workers; idempotent
@@ -108,6 +125,13 @@ class FleetServer {
   /// same engine config). Throws ParseError on malformed input and leaves
   /// the shard unchanged.
   void ImportShard(std::size_t index, const std::string& state);
+
+  /// Records consumed by Submit/SubmitBatch that never reached a shard
+  /// because their address fell outside the topology or their timestamp was
+  /// non-finite.
+  std::uint64_t invalid_records() const {
+    return invalid_records_.load(std::memory_order_relaxed);
+  }
 
   /// Element-wise sum of every shard engine's stats (ratios recompute from
   /// the summed tallies). Meaningful when drained.
@@ -167,8 +191,11 @@ class FleetServer {
   std::size_t TotalBankCount() const;
 
  private:
+  bool ValidRecord(const trace::MceRecord& record) const;
+
   hbm::AddressCodec codec_;
   std::vector<std::unique_ptr<EngineShard>> shards_;
+  std::atomic<std::uint64_t> invalid_records_{0};
 };
 
 }  // namespace cordial::serve

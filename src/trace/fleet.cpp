@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <unordered_set>
+#include <utility>
 
 #include "common/parallel.hpp"
 #include "hbm/address.hpp"
@@ -14,10 +15,12 @@ using hbm::PatternShape;
 
 void CalibrationProfile::Validate() const {
   CORDIAL_CHECK_MSG(scale > 0.0, "profile: scale must be positive");
-  const double mix =
-      mix_single + mix_double + mix_half + mix_scattered + mix_column;
+  const double mix = mix_single + mix_double + mix_half + mix_scattered +
+                     mix_column + mix_read_disturb;
   CORDIAL_CHECK_MSG(std::fabs(mix - 1.0) < 1e-6,
                     "profile: pattern mix must sum to 1");
+  CORDIAL_CHECK_MSG(mix_read_disturb >= 0.0,
+                    "profile: mix_read_disturb must be non-negative");
   CORDIAL_CHECK_MSG(uer_npus > 0, "profile: uer_npus must be > 0");
 }
 
@@ -33,16 +36,48 @@ std::size_t GeneratedFleet::CountUerBanks() const {
       }));
 }
 
+namespace {
+
+template <typename MapRow>
+ErrorLog RemapLogRows(const ErrorLog& log, MapRow&& map_row) {
+  ErrorLog out;
+  for (MceRecord record : log.records()) {
+    record.address.row = map_row(record.address.row);
+    out.Add(record);
+  }
+  return out;
+}
+
+}  // namespace
+
+ErrorLog RemapLogRowsToPhysical(const ErrorLog& log,
+                                const hbm::RowMapping& mapping) {
+  return RemapLogRows(
+      log, [&](std::uint32_t row) { return mapping.ToPhysical(row); });
+}
+
+ErrorLog RemapLogRowsToLogical(const ErrorLog& log,
+                               const hbm::RowMapping& mapping) {
+  return RemapLogRows(
+      log, [&](std::uint32_t row) { return mapping.ToLogical(row); });
+}
+
 FleetGenerator::FleetGenerator(const hbm::TopologyConfig& topology,
                                CalibrationProfile profile,
                                hbm::FootprintParams footprint,
-                               TimelineParams timeline)
+                               TimelineParams timeline,
+                               hbm::RowMapping row_mapping)
     : topology_(topology),
       profile_(profile),
       footprints_(topology, footprint),
-      timeline_(topology, timeline) {
+      timeline_(topology, timeline),
+      row_mapping_(std::move(row_mapping)) {
   topology_.Validate();
   profile_.Validate();
+  CORDIAL_CHECK_MSG(
+      row_mapping_.identity() ||
+          row_mapping_.rows() == topology_.rows_per_bank,
+      "row mapping was built for a different rows_per_bank");
 }
 
 namespace {
@@ -83,14 +118,17 @@ class IncidentBuilder {
                   const CalibrationProfile& profile,
                   const hbm::FootprintGenerator& footprints,
                   const TimelineExpander& timeline,
-                  const hbm::AddressCodec& codec)
+                  const hbm::AddressCodec& codec,
+                  const hbm::RowMapping& row_mapping)
       : topology_(topology),
         profile_(profile),
         footprints_(footprints),
         timeline_(timeline),
         codec_(codec),
+        row_mapping_(row_mapping),
         mix_{profile.mix_single, profile.mix_double, profile.mix_half,
-             profile.mix_scattered, profile.mix_column},
+             profile.mix_scattered, profile.mix_column,
+             profile.mix_read_disturb},
         psch_slots_(topology.channels_per_sid *
                     topology.pseudo_channels_per_channel) {}
 
@@ -107,7 +145,7 @@ class IncidentBuilder {
     static constexpr PatternShape kShapeByMix[] = {
         PatternShape::kSingleRowCluster, PatternShape::kDoubleRowCluster,
         PatternShape::kHalfTotalRowCluster, PatternShape::kScattered,
-        PatternShape::kWholeColumn};
+        PatternShape::kWholeColumn, PatternShape::kReadDisturb};
 
     IncidentOutput out;
     std::unordered_set<std::uint64_t> local_keys;
@@ -262,6 +300,18 @@ class IncidentBuilder {
       bank.truth.planned_uer_rows.push_back(row.row);
     }
     bank.events = timeline_.ExpandBank(plan, base, rng);
+    // Faults live in physical row space; what the controller logs — and
+    // what BankTruth promises about the log — is the logical row. The
+    // remap consumes no randomness, so the underlying physical fleet is
+    // identical across mappings.
+    if (!row_mapping_.identity()) {
+      for (MceRecord& event : bank.events) {
+        event.address.row = row_mapping_.ToLogical(event.address.row);
+      }
+      for (std::uint32_t& row : bank.truth.planned_uer_rows) {
+        row = row_mapping_.ToLogical(row);
+      }
+    }
     local_keys.insert(bank.truth.bank_key);
     out.banks.push_back(std::move(bank));
   }
@@ -271,6 +321,7 @@ class IncidentBuilder {
   const hbm::FootprintGenerator& footprints_;
   const TimelineExpander& timeline_;
   const hbm::AddressCodec& codec_;
+  const hbm::RowMapping& row_mapping_;
   const std::vector<double> mix_;
   const std::uint32_t psch_slots_;
 };
@@ -281,6 +332,7 @@ GeneratedFleet FleetGenerator::Generate(std::uint64_t seed) const {
   Rng root(seed);
   GeneratedFleet fleet;
   fleet.topology = topology_;
+  fleet.row_mapping = row_mapping_;
   hbm::AddressCodec codec(topology_);
 
   const std::size_t n_uer_npus = Scaled(profile_.uer_npus, profile_.scale);
@@ -298,7 +350,7 @@ GeneratedFleet FleetGenerator::Generate(std::uint64_t seed) const {
   // generated fleet is a pure function of (seed, profile) no matter how the
   // incidents are distributed over worker threads.
   const IncidentBuilder builder(topology_, profile_, footprints_, timeline_,
-                                codec);
+                                codec, row_mapping_);
   const std::size_t total_incidents = n_uer_npus + n_ce_npus;
   std::vector<IncidentOutput> incidents = ParallelMap<IncidentOutput>(
       total_incidents, [&](std::size_t i) {

@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "hbm/address.hpp"
 #include "hbm/fault.hpp"
 #include "trace/error_log.hpp"
 #include "trace/timeline.hpp"
@@ -32,6 +33,10 @@ struct CalibrationProfile {
   double mix_half = 0.073;
   double mix_scattered = 0.125;
   double mix_column = 0.021;
+  /// Read-disturb share of UER banks. The paper's dataset has none (0.0
+  /// keeps every historical fleet bit-identical); RowHammer-stressed fleets
+  /// set it > 0 and scale the five paper shapes down accordingly.
+  double mix_read_disturb = 0.0;
 
   /// NPUs containing at least one UER bank at scale=1 (Table I: 243+175).
   std::uint32_t uer_npus = 418;
@@ -78,6 +83,10 @@ struct BankTruth {
 
 struct GeneratedFleet {
   hbm::TopologyConfig topology;
+  /// Row map the log was emitted through: faults are planted in physical
+  /// row space, log records carry logical rows. Identity unless the
+  /// generator was built with a mapping.
+  hbm::RowMapping row_mapping;
   ErrorLog log;  ///< merged fleet log, time-sorted
   std::vector<BankTruth> banks;
   std::unordered_map<std::uint64_t, std::size_t> bank_index;  ///< key -> banks[i]
@@ -86,14 +95,24 @@ struct GeneratedFleet {
   std::size_t CountUerBanks() const;
 };
 
+/// Copy of `log` with every record's row pushed through `mapping`. Used to
+/// undo (ToPhysical) or apply (ToLogical) a row scramble on a whole log;
+/// record order is preserved, so a sorted log stays sorted.
+ErrorLog RemapLogRowsToPhysical(const ErrorLog& log,
+                                const hbm::RowMapping& mapping);
+ErrorLog RemapLogRowsToLogical(const ErrorLog& log,
+                               const hbm::RowMapping& mapping);
+
 class FleetGenerator {
  public:
   FleetGenerator(const hbm::TopologyConfig& topology,
                  CalibrationProfile profile = {},
                  hbm::FootprintParams footprint = {},
-                 TimelineParams timeline = {});
+                 TimelineParams timeline = {},
+                 hbm::RowMapping row_mapping = {});
 
   const CalibrationProfile& profile() const { return profile_; }
+  const hbm::RowMapping& row_mapping() const { return row_mapping_; }
 
   GeneratedFleet Generate(std::uint64_t seed) const;
 
@@ -102,6 +121,7 @@ class FleetGenerator {
   CalibrationProfile profile_;
   hbm::FootprintGenerator footprints_;
   TimelineExpander timeline_;
+  hbm::RowMapping row_mapping_;
 };
 
 }  // namespace cordial::trace

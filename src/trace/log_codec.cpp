@@ -1,6 +1,7 @@
 #include "trace/log_codec.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <cstring>
 #include <istream>
 #include <ostream>
@@ -215,6 +216,19 @@ MceRecord LogCodec::ParseCsvLine(const std::string& line) {
                      " fields, expected " + std::to_string(kFieldCount));
   }
   return ParseFields(fields);
+}
+
+MceRecord LogCodec::ParseCsvLine(const std::string& line,
+                                 const hbm::AddressCodec& codec) {
+  const MceRecord record = ParseCsvLine(line);
+  if (!std::isfinite(record.time_s)) {
+    throw ParseError("MCE CSV line: non-finite timestamp");
+  }
+  if (!codec.IsValid(record.address)) {
+    throw ParseError("MCE CSV line: address out of topology bounds: " +
+                     record.address.ToString());
+  }
+  return record;
 }
 
 }  // namespace cordial::trace

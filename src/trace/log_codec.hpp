@@ -40,6 +40,15 @@ class LogCodec {
   /// contract as ReadCsv.
   static MceRecord ParseCsvLine(const std::string& line);
 
+  /// Like ParseCsvLine, but additionally validated against `codec`'s
+  /// topology: a coordinate beyond bounds or a non-finite timestamp is a
+  /// ParseError too. Without this check an out-of-topology coordinate
+  /// survives parsing and later either aliases a valid-looking bank key or
+  /// detonates a contract check deep inside the serving plane — daemons
+  /// must count such lines as malformed at the ingest boundary instead.
+  static MceRecord ParseCsvLine(const std::string& line,
+                                const hbm::AddressCodec& codec);
+
   /// Exact size of one binary-encoded record: 8 (time bits) + 10 * 4
   /// (address coordinates) + 1 (error type).
   static constexpr std::size_t kBinaryRecordBytes = 8 + 10 * 4 + 1;

@@ -24,9 +24,16 @@ double TimelineExpander::InterUerMean(PatternShape shape) const {
     case PatternShape::kDoubleRowCluster:
     case PatternShape::kHalfTotalRowCluster:
       return params_.inter_uer_mean_cluster_s;
+    case PatternShape::kReadDisturb:
+      return params_.inter_uer_mean_rd_s;
     default:
       return params_.inter_uer_mean_scattered_s;
   }
+}
+
+double TimelineExpander::SuddenRowProb(PatternShape shape) const {
+  return shape == PatternShape::kReadDisturb ? params_.rd_sudden_row_prob
+                                             : params_.sudden_row_prob;
 }
 
 double TimelineExpander::ExtraUeoRowsMean(PatternShape shape) const {
@@ -36,6 +43,7 @@ double TimelineExpander::ExtraUeoRowsMean(PatternShape shape) const {
     case PatternShape::kHalfTotalRowCluster: return params_.extra_ueo_rows_half;
     case PatternShape::kScattered: return params_.extra_ueo_rows_scattered;
     case PatternShape::kWholeColumn: return params_.extra_ueo_rows_column;
+    case PatternShape::kReadDisturb: return params_.extra_ueo_rows_rd;
     case PatternShape::kCeOnly: return 0.0;
   }
   return 0.0;
@@ -92,7 +100,7 @@ std::vector<MceRecord> TimelineExpander::ExpandBank(
     const double row_first_t = t;
     if (row_first_t > params_.window_s) break;  // beyond observation window
 
-    const bool sudden = rng.Bernoulli(params_.sudden_row_prob);
+    const bool sudden = rng.Bernoulli(SuddenRowProb(plan.shape));
     if (!sudden) {
       // Same-row precursors: a few CEs, possibly a scrubber-found UEO.
       const auto n_ce = 1 + static_cast<std::size_t>(rng.Poisson(1.0));

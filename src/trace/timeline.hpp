@@ -29,6 +29,9 @@ struct TimelineParams {
 
   /// P(a UER row has no same-row precursor) — Table I row level: 95.61%.
   double sudden_row_prob = 0.9561;
+  /// Read-disturb victims escalate CE -> UER as their second cell flips, so
+  /// unlike Table I's fleet-wide ratio most of them shed same-row CEs first.
+  double rd_sudden_row_prob = 0.25;
   /// P(ambient bank noise starts before the bank's first UER).
   double ambient_precursor_prob = 0.20;
 
@@ -43,10 +46,13 @@ struct TimelineParams {
   double extra_ueo_rows_half = 10.0;
   double extra_ueo_rows_scattered = 28.0;
   double extra_ueo_rows_column = 36.0;
+  double extra_ueo_rows_rd = 1.0;
 
-  /// Mean seconds between successive row failures.
+  /// Mean seconds between successive row failures. Read-disturb victims
+  /// share one set of aggressors, so they escalate fastest of all.
   double inter_uer_mean_cluster_s = 6.0 * 3600.0;
   double inter_uer_mean_scattered_s = 18.0 * 3600.0;
+  double inter_uer_mean_rd_s = 2.0 * 3600.0;
   /// Repeat UER events per failing row = 1 + Poisson(mean).
   double uer_repeat_mean = 0.8;
   double uer_repeat_gap_mean_s = 2.0 * 3600.0;
@@ -78,6 +84,7 @@ class TimelineExpander {
  private:
   double InterUerMean(hbm::PatternShape shape) const;
   double ExtraUeoRowsMean(hbm::PatternShape shape) const;
+  double SuddenRowProb(hbm::PatternShape shape) const;
   MceRecord MakeRecord(const hbm::DeviceAddress& base, std::uint32_t row,
                        std::uint32_t col, hbm::ErrorType type,
                        double time_s) const;

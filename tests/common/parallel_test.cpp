@@ -127,6 +127,42 @@ TEST(Parallel, SetThreadCountResizesAndAutoRestores) {
   EXPECT_GE(ThreadCount(), 1u);
 }
 
+TEST(Parallel, ParseThreadCountAcceptsPositiveIntegers) {
+  std::string error;
+  EXPECT_EQ(ParseThreadCount("1", error), 1u);
+  EXPECT_TRUE(error.empty());
+  EXPECT_EQ(ParseThreadCount("8", error), 8u);
+  EXPECT_EQ(ParseThreadCount("512", error), 512u);
+}
+
+TEST(Parallel, ParseThreadCountRejectsGarbage) {
+  std::string error;
+  EXPECT_EQ(ParseThreadCount(nullptr, error), 0u);
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(ParseThreadCount("", error), 0u);
+  EXPECT_FALSE(error.empty());
+  // Trailing garbage must not silently parse as its numeric prefix.
+  EXPECT_EQ(ParseThreadCount("8x", error), 0u);
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(ParseThreadCount("4 ", error), 0u);
+  EXPECT_EQ(ParseThreadCount("2.5", error), 0u);
+  EXPECT_EQ(ParseThreadCount("threads", error), 0u);
+}
+
+TEST(Parallel, ParseThreadCountRejectsNonPositiveAndOverflow) {
+  std::string error;
+  EXPECT_EQ(ParseThreadCount("0", error), 0u);
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(ParseThreadCount("-4", error), 0u);
+  EXPECT_FALSE(error.empty());
+  // Beyond long: strtol saturates with ERANGE. Beyond int: also rejected,
+  // the pool stores thread counts as int-sized values.
+  EXPECT_EQ(ParseThreadCount("99999999999999999999", error), 0u);
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(ParseThreadCount("3000000000", error), 0u);
+  EXPECT_FALSE(error.empty());
+}
+
 TEST(Parallel, ResultIsThreadCountInvariant) {
   // A pure, index-keyed computation must come out identical at any width.
   auto run = [] {

@@ -143,6 +143,95 @@ TEST(AddressCodec, EntityKeyIsDenseUpperBound) {
   }
 }
 
+TEST(AddressCodec, MaxRadixAddressRoundTripsAndKeysStayDense) {
+  const TopologyConfig t;
+  const AddressCodec codec(t);
+  // Every coordinate at its extreme simultaneously: the densest key the
+  // mixed-radix packing can produce.
+  DeviceAddress a;
+  a.node = t.nodes - 1;
+  a.npu = t.npus_per_node - 1;
+  a.hbm = t.hbms_per_npu - 1;
+  a.sid = t.sids_per_hbm - 1;
+  a.channel = t.channels_per_sid - 1;
+  a.pseudo_channel = t.pseudo_channels_per_channel - 1;
+  a.bank_group = t.bank_groups_per_pseudo_channel - 1;
+  a.bank = t.banks_per_bank_group - 1;
+  a.row = t.rows_per_bank - 1;
+  a.col = t.cols_per_bank - 1;
+  EXPECT_TRUE(codec.IsValid(a));
+  const std::uint64_t key = codec.Pack(a);
+  EXPECT_EQ(codec.Unpack(key), a);
+  // The last valid address owns the last key of the space and the last
+  // entity key at every level — no slack, no aliasing headroom.
+  EXPECT_EQ(key, codec.EntityCount(Level::kRow) * t.cols_per_bank - 1);
+  for (Level level : kAllLevels) {
+    EXPECT_EQ(codec.EntityKey(a, level), codec.EntityCount(level) - 1);
+  }
+}
+
+TEST(AddressCodec, OnePastBoundsIsRejectedOnEveryCoordinate) {
+  const TopologyConfig t;
+  const AddressCodec codec(t);
+  const auto reject = [&](DeviceAddress a) {
+    EXPECT_FALSE(codec.IsValid(a));
+    EXPECT_THROW(codec.Pack(a), ContractViolation);
+    EXPECT_THROW(codec.BankKey(a), ContractViolation);
+  };
+  DeviceAddress a;  // all-zero base is valid everywhere
+  ASSERT_TRUE(codec.IsValid(a));
+  {
+    DeviceAddress bad = a;
+    bad.node = t.nodes;
+    reject(bad);
+  }
+  {
+    DeviceAddress bad = a;
+    bad.npu = t.npus_per_node;
+    reject(bad);
+  }
+  {
+    DeviceAddress bad = a;
+    bad.hbm = t.hbms_per_npu;
+    reject(bad);
+  }
+  {
+    DeviceAddress bad = a;
+    bad.sid = t.sids_per_hbm;
+    reject(bad);
+  }
+  {
+    DeviceAddress bad = a;
+    bad.channel = t.channels_per_sid;
+    reject(bad);
+  }
+  {
+    DeviceAddress bad = a;
+    bad.pseudo_channel = t.pseudo_channels_per_channel;
+    reject(bad);
+  }
+  {
+    DeviceAddress bad = a;
+    bad.bank_group = t.bank_groups_per_pseudo_channel;
+    reject(bad);
+  }
+  {
+    DeviceAddress bad = a;
+    bad.bank = t.banks_per_bank_group;
+    reject(bad);
+  }
+  {
+    DeviceAddress bad = a;
+    bad.row = t.rows_per_bank;
+    reject(bad);
+  }
+  {
+    DeviceAddress bad = a;
+    bad.col = t.cols_per_bank;
+    reject(bad);
+  }
+}
+
 TEST(DeviceAddress, ToStringContainsCoordinates) {
   DeviceAddress a;
   a.node = 3;

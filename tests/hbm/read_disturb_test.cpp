@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "analysis/labeler.hpp"
+#include "common/rng.hpp"
+#include "hbm/bank_sim.hpp"
+#include "hbm/fault.hpp"
+
+namespace cordial::hbm {
+namespace {
+
+// --- static footprint ------------------------------------------------------
+
+TEST(ReadDisturbFootprint, VictimsClusterAroundTheAggressors) {
+  const TopologyConfig topology;
+  const FootprintGenerator generator(topology);
+  Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const BankFaultPlan plan =
+        generator.Generate(PatternShape::kReadDisturb, rng);
+    EXPECT_EQ(plan.shape, PatternShape::kReadDisturb);
+    EXPECT_EQ(plan.kind, FaultKind::kReadDisturb);
+    ASSERT_FALSE(plan.aggressor_rows.empty());
+    ASSERT_GE(plan.uer_rows.size(), 3u);
+    std::vector<std::uint32_t> rows;
+    for (const RowErrors& r : plan.uer_rows) {
+      EXPECT_FALSE(r.cols.empty());
+      rows.push_back(r.row);
+    }
+    // Every victim within blast radius 2 of some aggressor; aggressors
+    // themselves never fail.
+    for (std::uint32_t row : rows) {
+      bool near = false;
+      for (std::uint32_t agg : plan.aggressor_rows) {
+        EXPECT_NE(row, agg);
+        const std::uint32_t lo = agg > row ? agg - row : row - agg;
+        near = near || lo <= 2;
+      }
+      EXPECT_TRUE(near) << "victim row " << row << " outside blast radius";
+    }
+    // Compact geometry: span <= 6 rows around the aggressor pair.
+    const auto [min_it, max_it] = std::minmax_element(rows.begin(), rows.end());
+    EXPECT_LE(*max_it - *min_it, 6u);
+  }
+}
+
+TEST(ReadDisturbFootprint, CollapsesToSingleRowClustering) {
+  EXPECT_EQ(CollapseToClass(PatternShape::kReadDisturb),
+            FailureClass::kSingleRowClustering);
+  EXPECT_EQ(RootCauseOf(PatternShape::kReadDisturb), FaultKind::kReadDisturb);
+  EXPECT_STREQ(PatternShapeName(PatternShape::kReadDisturb), "read-disturb");
+  EXPECT_STREQ(FaultKindName(FaultKind::kReadDisturb), "read-disturb");
+}
+
+// --- activation-pressure simulation ---------------------------------------
+
+class ReadDisturbSimTest : public ::testing::Test {
+ protected:
+  TopologyConfig topology_;
+  BankSimulator sim_{topology_, PatrolScrubber(100.0, 0.0)};
+};
+
+TEST_F(ReadDisturbSimTest, HammeringFlipsANeighborIntoCeThenUer) {
+  const std::uint32_t aggressor = 500;
+  // Well past the second-flip threshold: some victim must have escalated
+  // from one flipped bit (CE) to two in the same ECC word (UER on read).
+  sim_.ActivateRow(aggressor, 200000, 1.0);
+  EXPECT_GE(sim_.disturb_flips(), 2u);
+  bool saw_uer = false;
+  for (std::uint32_t victim : {499u, 501u, 498u, 502u}) {
+    for (std::uint32_t col = 0; col < topology_.cols_per_bank; ++col) {
+      const auto result = sim_.Read(victim, col, 2.0);
+      if (result.finding.has_value() &&
+          result.finding->type == ErrorType::kUer) {
+        saw_uer = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_uer);
+}
+
+TEST_F(ReadDisturbSimTest, ModestHammeringIsHarmless) {
+  sim_.ActivateRow(500, 1000, 1.0);  // an order below the first threshold
+  EXPECT_EQ(sim_.disturb_flips(), 0u);
+  for (std::uint32_t col = 0; col < topology_.cols_per_bank; ++col) {
+    EXPECT_TRUE(sim_.Read(499, col, 2.0).data_correct);
+    EXPECT_TRUE(sim_.Read(501, col, 2.0).data_correct);
+  }
+}
+
+TEST_F(ReadDisturbSimTest, DistanceTwoVictimsNeedMorePressure) {
+  // Enough pressure to flip a distance-1 victim but (weighted at 0.25)
+  // not a distance-2 one: only rows +-1 may carry flips.
+  sim_.ActivateRow(500, 30000, 1.0);
+  const std::uint64_t flips_near = sim_.disturb_flips();
+  EXPECT_GE(flips_near, 1u);
+  for (std::uint32_t col = 0; col < topology_.cols_per_bank; ++col) {
+    EXPECT_TRUE(sim_.Read(498, col, 2.0).data_correct);
+    EXPECT_TRUE(sim_.Read(502, col, 2.0).data_correct);
+  }
+}
+
+TEST_F(ReadDisturbSimTest, RefreshResetsPressureButNotFlippedBits) {
+  sim_.ActivateRow(500, 200000, 1.0);
+  const std::uint64_t flips = sim_.disturb_flips();
+  EXPECT_GE(flips, 1u);
+  sim_.Refresh();
+  EXPECT_EQ(sim_.ActivationCount(500), 0u);
+  // The charge reset does not heal corrupted cells...
+  EXPECT_EQ(sim_.disturb_flips(), flips);
+  // ...and with pressure gone, further light activation plants nothing new.
+  sim_.ActivateRow(500, 1000, 3.0);
+  EXPECT_EQ(sim_.disturb_flips(), flips);
+}
+
+TEST_F(ReadDisturbSimTest, PressureAccumulatesAcrossCalls) {
+  // 20 bursts of 10k = 200k total: same flips as one big hammer.
+  for (int burst = 0; burst < 20; ++burst) {
+    sim_.ActivateRow(500, 10000, 1.0 + burst);
+  }
+  BankSimulator one_shot(topology_, PatrolScrubber(100.0, 0.0));
+  one_shot.ActivateRow(500, 200000, 1.0);
+  EXPECT_EQ(sim_.disturb_flips(), one_shot.disturb_flips());
+}
+
+TEST_F(ReadDisturbSimTest, BoundsAreEnforced) {
+  EXPECT_THROW(sim_.ActivateRow(topology_.rows_per_bank, 1, 1.0),
+               ContractViolation);
+  // Hammering the edge row must not touch out-of-bank neighbours.
+  sim_.ActivateRow(0, 200000, 1.0);
+  sim_.ActivateRow(topology_.rows_per_bank - 1, 200000, 1.0);
+  EXPECT_GE(sim_.disturb_flips(), 1u);
+}
+
+// --- opt-in labeler rule ---------------------------------------------------
+
+TEST(ReadDisturbLabeler, OffByDefaultKeepsPaperLabels) {
+  const TopologyConfig topology;
+  const analysis::PatternLabeler labeler(topology);
+  // A tight 3-row cluster is a single-row cluster under the paper's
+  // five-shape taxonomy — the read-disturb rule must not fire unless asked.
+  EXPECT_EQ(labeler.LabelShape({100, 101, 102}, {5, 5, 5}),
+            PatternShape::kSingleRowCluster);
+}
+
+TEST(ReadDisturbLabeler, OptInRuleLabelsTightClusters) {
+  const TopologyConfig topology;
+  analysis::LabelerParams params;
+  params.detect_read_disturb = true;
+  const analysis::PatternLabeler labeler(topology, params);
+  EXPECT_EQ(labeler.LabelShape({100, 101, 102}, {5, 9, 5}),
+            PatternShape::kReadDisturb);
+  EXPECT_EQ(labeler.LabelShape({100, 102, 104}, {5, 9, 5}),
+            PatternShape::kReadDisturb);
+  // Too few rows, too wide a span, or too big a gap: not read-disturb.
+  EXPECT_NE(labeler.LabelShape({100, 101}, {5, 5}),
+            PatternShape::kReadDisturb);
+  EXPECT_NE(labeler.LabelShape({100, 104, 108}, {5, 5, 5}),
+            PatternShape::kReadDisturb);
+  EXPECT_NE(labeler.LabelShape({100, 101, 120}, {5, 5, 5}),
+            PatternShape::kReadDisturb);
+}
+
+}  // namespace
+}  // namespace cordial::hbm

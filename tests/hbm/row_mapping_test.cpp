@@ -1,0 +1,134 @@
+#include "hbm/address.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace cordial::hbm {
+namespace {
+
+TEST(RowMapping, IdentityIsDefault) {
+  RowMapping mapping;
+  EXPECT_TRUE(mapping.identity());
+  EXPECT_EQ(mapping.Describe(), "identity");
+}
+
+TEST(RowMapping, BitSwizzleIsAnInvolutionOnEveryRow) {
+  const std::uint32_t rows = 4096;
+  const RowMapping mapping = RowMapping::BitSwizzle(rows, 3);
+  EXPECT_FALSE(mapping.identity());
+  std::set<std::uint32_t> image;
+  for (std::uint32_t l = 0; l < rows; ++l) {
+    const std::uint32_t p = mapping.ToPhysical(l);
+    ASSERT_LT(p, rows);
+    EXPECT_EQ(mapping.ToLogical(p), l);
+    EXPECT_EQ(mapping.ToPhysical(p), l);  // involution: the map is its own
+    image.insert(p);                      // inverse
+  }
+  EXPECT_EQ(image.size(), rows);  // a permutation, not a projection
+}
+
+TEST(RowMapping, BitSwizzleMovesSomeRows) {
+  const RowMapping mapping = RowMapping::BitSwizzle(32768, 3);
+  std::size_t moved = 0;
+  for (std::uint32_t l = 0; l < 1024; ++l) {
+    if (mapping.ToPhysical(l) != l) ++moved;
+  }
+  EXPECT_GT(moved, 0u);
+}
+
+TEST(RowMapping, BitSwizzleRejectsBadShapes) {
+  EXPECT_THROW(RowMapping::BitSwizzle(1000, 3), ContractViolation);
+  EXPECT_THROW(RowMapping::BitSwizzle(4096, 0), ContractViolation);
+  EXPECT_THROW(RowMapping::BitSwizzle(16, 3), ContractViolation);  // 2k > log2
+}
+
+TEST(RowMapping, ShuffleIsAPermutationWithExactInverse) {
+  const std::uint32_t rows = 5000;  // not a power of two
+  const RowMapping mapping = RowMapping::Shuffle(rows, 77);
+  std::set<std::uint32_t> image;
+  for (std::uint32_t l = 0; l < rows; ++l) {
+    const std::uint32_t p = mapping.ToPhysical(l);
+    ASSERT_LT(p, rows);
+    EXPECT_EQ(mapping.ToLogical(p), l);
+    image.insert(p);
+  }
+  EXPECT_EQ(image.size(), rows);
+}
+
+TEST(RowMapping, ShuffleSeedChangesThePermutation) {
+  const RowMapping a = RowMapping::Shuffle(1024, 1);
+  const RowMapping b = RowMapping::Shuffle(1024, 2);
+  std::size_t differs = 0;
+  for (std::uint32_t l = 0; l < 1024; ++l) {
+    if (a.ToPhysical(l) != b.ToPhysical(l)) ++differs;
+  }
+  EXPECT_GT(differs, 0u);
+}
+
+TEST(RowMapping, OutOfRangeRowIsAContractViolation) {
+  const RowMapping swz = RowMapping::BitSwizzle(4096, 3);
+  EXPECT_THROW(swz.ToPhysical(4096), ContractViolation);
+  EXPECT_THROW(swz.ToLogical(4096), ContractViolation);
+  const RowMapping shuf = RowMapping::Shuffle(100, 3);
+  EXPECT_THROW(shuf.ToPhysical(100), ContractViolation);
+}
+
+TEST(RowMapping, ParseAcceptsTheDocumentedSpecs) {
+  EXPECT_TRUE(RowMapping::Parse("", 4096).identity());
+  EXPECT_TRUE(RowMapping::Parse("identity", 4096).identity());
+  const RowMapping swz = RowMapping::Parse("swizzle:4", 4096);
+  EXPECT_EQ(swz.Describe(), "swizzle:4");
+  const RowMapping swz_default = RowMapping::Parse("swizzle", 4096);
+  EXPECT_EQ(swz_default.Describe(), "swizzle:3");
+  const RowMapping shuf = RowMapping::Parse("shuffle:99", 4096);
+  EXPECT_EQ(shuf.Describe(), "shuffle:99");
+  // Parsed specs behave like their factory twins.
+  const RowMapping direct = RowMapping::Shuffle(4096, 99);
+  for (std::uint32_t l = 0; l < 4096; l += 37) {
+    EXPECT_EQ(shuf.ToPhysical(l), direct.ToPhysical(l));
+  }
+}
+
+TEST(RowMapping, ParseRejectsGarbage) {
+  EXPECT_THROW(RowMapping::Parse("bogus", 4096), ParseError);
+  EXPECT_THROW(RowMapping::Parse("swizzle:", 4096), ParseError);
+  EXPECT_THROW(RowMapping::Parse("swizzle:0", 4096), ParseError);
+  EXPECT_THROW(RowMapping::Parse("swizzle:99", 4096), ParseError);
+  EXPECT_THROW(RowMapping::Parse("swizzle:3x", 4096), ParseError);
+  EXPECT_THROW(RowMapping::Parse("shuffle:", 4096), ParseError);
+  EXPECT_THROW(RowMapping::Parse("shuffle:abc", 4096), ParseError);
+}
+
+TEST(RowMapping, CodecRemapsOnlyTheRowCoordinate) {
+  const TopologyConfig topology;
+  const AddressCodec codec(topology);
+  const RowMapping mapping =
+      RowMapping::BitSwizzle(topology.rows_per_bank, 3);
+  DeviceAddress a;
+  a.node = 3;
+  a.bank_group = 2;
+  a.row = 41;
+  a.col = 7;
+  const DeviceAddress physical = codec.ToPhysical(a, mapping);
+  EXPECT_EQ(physical.row, mapping.ToPhysical(41u));
+  DeviceAddress expect = a;
+  expect.row = physical.row;
+  EXPECT_EQ(physical, expect);  // every other coordinate untouched
+  EXPECT_EQ(codec.ToLogical(physical, mapping), a);
+}
+
+TEST(RowMapping, CodecRejectsAMappingSizedForAnotherTopology) {
+  const TopologyConfig topology;
+  const AddressCodec codec(topology);
+  const RowMapping wrong = RowMapping::Shuffle(128, 1);
+  DeviceAddress a;
+  a.row = 5;
+  EXPECT_THROW(codec.ToPhysical(a, wrong), ContractViolation);
+}
+
+}  // namespace
+}  // namespace cordial::hbm

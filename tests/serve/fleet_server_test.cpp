@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
 #include <span>
 #include <sstream>
 #include <thread>
@@ -455,6 +456,36 @@ TEST(FleetServer, RejectsZeroShards) {
   EXPECT_THROW(FleetServer(w.topology, w.classifier, w.single_pred,
                            w.double_or_null(), config),
                ContractViolation);
+}
+
+TEST(FleetServer, InvalidRecordsAreConsumedNotCrashed) {
+  const World& w = SharedWorld();
+  FleetServerConfig config;
+  config.shard_count = 2;
+  FleetServer server(w.topology, w.classifier, w.single_pred,
+                     w.double_or_null(), config);
+  server.Start();
+
+  trace::MceRecord out_of_bounds = MakeCe(1.0, 100);
+  out_of_bounds.address.row = w.topology.rows_per_bank + 5;
+  trace::MceRecord bad_time = MakeCe(1.0, 100);
+  bad_time.time_s = std::numeric_limits<double>::infinity();
+
+  // Unguarded, either record would detonate BankKey's contract check on
+  // the submitting thread. Guarded: consumed (true), counted, dropped.
+  EXPECT_TRUE(server.Submit(out_of_bounds));
+  EXPECT_TRUE(server.Submit(trace::MceRecord(bad_time)));
+  EXPECT_EQ(server.invalid_records(), 2u);
+
+  // Batch path: invalid records count toward the accepted total so remote
+  // feeders see no spurious backpressure, but never reach a shard.
+  std::vector<trace::MceRecord> batch = {MakeCe(2.0, 1), out_of_bounds,
+                                         MakeCe(3.0, 2), bad_time};
+  EXPECT_EQ(server.SubmitBatch(batch), batch.size());
+  EXPECT_EQ(server.invalid_records(), 4u);
+  server.Stop();
+  EXPECT_EQ(server.AggregateStats().events, 2u);  // only the valid pair
+  EXPECT_EQ(server.AggregateCounters().submitted, 2u);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
 
 #include "analysis/empirical.hpp"
 #include "common/check.hpp"
@@ -90,6 +91,127 @@ TEST(Fleet, ProfileValidation) {
   CalibrationProfile bad_mix;
   bad_mix.mix_single = 0.9;  // mix no longer sums to 1
   EXPECT_THROW(bad_mix.Validate(), ContractViolation);
+}
+
+// ---- read-disturb mix ----
+
+GeneratedFleet ReadDisturbFleet(std::uint64_t seed, double scale = 0.05) {
+  hbm::TopologyConfig topology;
+  CalibrationProfile profile;
+  profile.scale = scale;
+  const double keep = 0.85;
+  profile.mix_single *= keep;
+  profile.mix_double *= keep;
+  profile.mix_half *= keep;
+  profile.mix_scattered *= keep;
+  profile.mix_column *= keep;
+  profile.mix_read_disturb =
+      1.0 - (profile.mix_single + profile.mix_double + profile.mix_half +
+             profile.mix_scattered + profile.mix_column);
+  FleetGenerator generator(topology, profile);
+  return generator.Generate(seed);
+}
+
+TEST(ReadDisturbFleet, MixProducesReadDisturbBanksWithSaneTruth) {
+  const GeneratedFleet fleet = ReadDisturbFleet(5, 0.2);
+  std::size_t read_disturb = 0;
+  for (const BankTruth& truth : fleet.banks) {
+    if (truth.shape != hbm::PatternShape::kReadDisturb) continue;
+    ++read_disturb;
+    EXPECT_EQ(truth.failure_class, hbm::FailureClass::kSingleRowClustering);
+    EXPECT_GE(truth.planned_uer_rows.size(), 3u);
+  }
+  // ~15% of UER banks at this scale: dozens, not a handful.
+  EXPECT_GT(read_disturb, 10u);
+}
+
+TEST(ReadDisturbFleet, ZeroMixKeepsHistoricalFleetsBitIdentical) {
+  // The default profile has mix_read_disturb == 0 and appends its weight
+  // last, so pre-existing fleets regenerate byte-for-byte.
+  CalibrationProfile defaults;
+  EXPECT_EQ(defaults.mix_read_disturb, 0.0);
+  const GeneratedFleet fleet = SmallFleet(5);
+  for (const BankTruth& truth : fleet.banks) {
+    EXPECT_NE(truth.shape, hbm::PatternShape::kReadDisturb);
+  }
+}
+
+TEST(ReadDisturbFleet, NegativeMixFailsValidation) {
+  CalibrationProfile bad;
+  bad.mix_read_disturb = -0.1;
+  EXPECT_THROW(bad.Validate(), ContractViolation);
+}
+
+// ---- row remapping ----
+
+TEST(RowMappingFleet, SameSeedSamePhysicalFleetAcrossMappings) {
+  hbm::TopologyConfig topology;
+  CalibrationProfile profile;
+  profile.scale = 0.05;
+  const hbm::RowMapping mapping =
+      hbm::RowMapping::BitSwizzle(topology.rows_per_bank, 3);
+  const GeneratedFleet identity =
+      FleetGenerator(topology, profile).Generate(5);
+  const GeneratedFleet swizzled =
+      FleetGenerator(topology, profile, {}, {}, mapping).Generate(5);
+
+  EXPECT_TRUE(identity.row_mapping.identity());
+  EXPECT_FALSE(swizzled.row_mapping.identity());
+  // Remapping consumes no randomness: descrambling the swizzled log must
+  // recover the identity log exactly (in canonical order — equal-time ties
+  // were sorted by logical row).
+  ErrorLog descrambled = RemapLogRowsToPhysical(swizzled.log, mapping);
+  descrambled.Sort();
+  ASSERT_EQ(descrambled.size(), identity.log.size());
+  for (std::size_t i = 0; i < identity.log.size(); ++i) {
+    EXPECT_EQ(descrambled.records()[i], identity.log.records()[i]);
+  }
+}
+
+TEST(RowMappingFleet, TruthRowsAreLogical) {
+  hbm::TopologyConfig topology;
+  CalibrationProfile profile;
+  profile.scale = 0.05;
+  const hbm::RowMapping mapping =
+      hbm::RowMapping::BitSwizzle(topology.rows_per_bank, 3);
+  const GeneratedFleet swizzled =
+      FleetGenerator(topology, profile, {}, {}, mapping).Generate(5);
+  hbm::AddressCodec codec(topology);
+  // Ground truth speaks the same (logical) coordinate language as the log:
+  // every planned UER row must actually appear as a logged UER row.
+  for (const BankTruth& truth : swizzled.banks) {
+    if (truth.planned_uer_rows.empty()) continue;
+    std::set<std::uint32_t> logged;
+    for (const MceRecord& r : swizzled.log.records()) {
+      if (r.type == hbm::ErrorType::kUer &&
+          codec.BankKey(r.address) == truth.bank_key) {
+        logged.insert(r.address.row);
+      }
+    }
+    for (std::uint32_t row : truth.planned_uer_rows) {
+      EXPECT_TRUE(logged.count(row))
+          << "planned UER row " << row << " never logged";
+    }
+  }
+}
+
+TEST(RowMappingFleet, RemapHelpersAreInverses) {
+  const GeneratedFleet fleet = SmallFleet(7);
+  const hbm::RowMapping mapping =
+      hbm::RowMapping::Shuffle(fleet.topology.rows_per_bank, 11);
+  const ErrorLog there = RemapLogRowsToLogical(fleet.log, mapping);
+  const ErrorLog back = RemapLogRowsToPhysical(there, mapping);
+  ASSERT_EQ(back.size(), fleet.log.size());
+  for (std::size_t i = 0; i < back.size(); i += 13) {
+    EXPECT_EQ(back.records()[i], fleet.log.records()[i]);
+  }
+}
+
+TEST(RowMappingFleet, GeneratorRejectsMismatchedMapping) {
+  hbm::TopologyConfig topology;
+  const hbm::RowMapping wrong = hbm::RowMapping::Shuffle(64, 1);
+  EXPECT_THROW(FleetGenerator(topology, {}, {}, {}, wrong),
+               ContractViolation);
 }
 
 // ---- Calibration against the paper's published marginals ----

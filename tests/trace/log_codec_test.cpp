@@ -183,5 +183,41 @@ TEST(LogCodec, BinaryIgnoresTrailingBytes) {
   EXPECT_EQ(LogCodec::ParseBinary(bytes), r);
 }
 
+TEST(LogCodec, ValidatedParseAcceptsInBoundsLines) {
+  const hbm::TopologyConfig topology;
+  const hbm::AddressCodec codec(topology);
+  const std::string line = "10.5,1,2,3,1,2,1,3,2,30000,101,UER";
+  const MceRecord r = LogCodec::ParseCsvLine(line, codec);
+  EXPECT_EQ(r.address.row, 30000u);
+  EXPECT_EQ(r.type, hbm::ErrorType::kUer);
+}
+
+TEST(LogCodec, ValidatedParseRejectsOutOfTopologyCoordinates) {
+  const hbm::TopologyConfig topology;
+  const hbm::AddressCodec codec(topology);
+  // row 40000 > rows_per_bank: plain parse is fine (it is a well-formed
+  // u32), the validated overload must flag it as malformed.
+  const std::string line = "10.5,1,2,3,1,2,1,3,2,40000,101,UER";
+  EXPECT_NO_THROW(LogCodec::ParseCsvLine(line));
+  EXPECT_THROW(LogCodec::ParseCsvLine(line, codec), ParseError);
+  // Same for every coarser coordinate, e.g. an impossible node id.
+  EXPECT_THROW(
+      LogCodec::ParseCsvLine("10.5,9999,2,3,1,2,1,3,2,30000,101,UER", codec),
+      ParseError);
+}
+
+TEST(LogCodec, ValidatedParseRejectsNonFiniteTimestamps) {
+  const hbm::TopologyConfig topology;
+  const hbm::AddressCodec codec(topology);
+  EXPECT_NO_THROW(
+      LogCodec::ParseCsvLine("inf,1,2,3,1,2,1,3,2,30000,101,CE"));
+  EXPECT_THROW(
+      LogCodec::ParseCsvLine("inf,1,2,3,1,2,1,3,2,30000,101,CE", codec),
+      ParseError);
+  EXPECT_THROW(
+      LogCodec::ParseCsvLine("nan,1,2,3,1,2,1,3,2,30000,101,CE", codec),
+      ParseError);
+}
+
 }  // namespace
 }  // namespace cordial::trace
